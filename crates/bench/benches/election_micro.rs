@@ -1,0 +1,51 @@
+//! Microbenchmarks of the raw election state machines: cost per protocol
+//! step, independent of any transport.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use whisper_election::{BullyConfig, BullyNode, ElectionMsg, ElectionProtocol, RingNode};
+use whisper_p2p::PeerId;
+use whisper_simnet::SimTime;
+
+fn members(n: u64) -> Vec<PeerId> {
+    (1..=n).map(PeerId::new).collect()
+}
+
+fn bench_bully(c: &mut Criterion) {
+    let mut group = c.benchmark_group("election/bully_start");
+    for n in [4u64, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut node = BullyNode::new(PeerId::new(1), members(n), BullyConfig::default());
+                black_box(node.start_election(SimTime::ZERO))
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("election/bully_on_coordinator_msg", |b| {
+        let mut node = BullyNode::new(PeerId::new(1), members(16), BullyConfig::default());
+        b.iter(|| {
+            black_box(node.on_message(
+                PeerId::new(16),
+                ElectionMsg::Coordinator { from: PeerId::new(16) },
+                SimTime::ZERO,
+            ))
+        })
+    });
+}
+
+fn bench_ring(c: &mut Criterion) {
+    c.bench_function("election/ring_token_forward", |b| {
+        let mut node = RingNode::new(PeerId::new(8), members(16));
+        let token = ElectionMsg::RingElection {
+            origin: PeerId::new(1),
+            candidates: members(7),
+        };
+        b.iter(|| {
+            black_box(node.on_message(PeerId::new(7), token.clone(), SimTime::ZERO))
+        })
+    });
+}
+
+criterion_group!(benches, bench_bully, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion wrapper around the Figure 4 simulation: wall-clock cost of
+//! simulating a full startup + steady-state + request phase per group
+//! size. Guards against performance regressions in the simulator and the
+//! protocol stack (the counts themselves are asserted in unit tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use whisper_bench::experiments::fig4::{run_point, Fig4Params};
+use whisper_simnet::SimDuration;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_sim");
+    group.sample_size(10);
+    for n in [3usize, 9] {
+        let params = Fig4Params {
+            steady_window: SimDuration::from_secs(10),
+            requests: 5,
+            seed: 4,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_point(n, params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

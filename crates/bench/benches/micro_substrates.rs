@@ -1,0 +1,90 @@
+//! Microbenchmarks of the substrate layers: XML, SOAP, WSDL-S, ontology
+//! reasoning and semantic matching. These dominate per-message CPU cost in
+//! the simulator and would dominate a real deployment's proxy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use whisper::matchmaker;
+use whisper_ontology::samples::{university_ontology, UNIVERSITY_NS};
+use whisper_p2p::{Advertisement, GroupId, SemanticAdv};
+use whisper_soap::Envelope;
+use whisper_wsdl::samples::student_management;
+use whisper_wsdl::ServiceDescription;
+use whisper_xml::{parse, Element, QName};
+
+fn sample_soap_text() -> String {
+    let mut payload = Element::new("StudentInformation");
+    payload.push_child(Element::with_text("StudentID", "u1042"));
+    payload.push_child(Element::with_text("Detail", "full"));
+    Envelope::request(payload).to_xml_string()
+}
+
+fn bench_xml(c: &mut Criterion) {
+    let text = sample_soap_text();
+    c.bench_function("xml/parse_soap_envelope", |b| {
+        b.iter(|| parse(black_box(&text)).expect("well-formed"))
+    });
+    let tree = parse(&text).expect("well-formed");
+    c.bench_function("xml/serialize_soap_envelope", |b| b.iter(|| black_box(&tree).to_xml()));
+}
+
+fn bench_soap(c: &mut Criterion) {
+    let text = sample_soap_text();
+    c.bench_function("soap/parse_envelope", |b| {
+        b.iter(|| Envelope::parse(black_box(&text)).expect("valid envelope"))
+    });
+}
+
+fn bench_wsdl(c: &mut Criterion) {
+    let doc = student_management().to_xml_string();
+    c.bench_function("wsdl/parse_wsdls_document", |b| {
+        b.iter(|| ServiceDescription::parse(black_box(&doc)).expect("valid wsdl"))
+    });
+}
+
+fn bench_ontology(c: &mut Criterion) {
+    let onto = university_ontology();
+    let grad = onto.class_by_name("GraduateStudent").expect("concept");
+    let entity = onto.class_by_name("Entity").expect("concept");
+    c.bench_function("ontology/is_subclass_of", |b| {
+        b.iter(|| onto.is_subclass_of(black_box(grad), black_box(entity)))
+    });
+    let student = onto.class_by_name("Student").expect("concept");
+    c.bench_function("ontology/similarity", |b| {
+        b.iter(|| onto.similarity(black_box(grad), black_box(student)))
+    });
+}
+
+fn bench_matchmaker(c: &mut Criterion) {
+    let onto = university_ontology();
+    let request = student_management()
+        .operation("StudentInformation")
+        .expect("operation")
+        .resolve(&onto)
+        .expect("resolves");
+    let q = |l: &str| QName::with_ns(UNIVERSITY_NS, l);
+    let adv = SemanticAdv {
+        group: GroupId::new(1),
+        name: "g".into(),
+        action: q("StudentTranscriptRetrieval"),
+        inputs: vec![q("Identifier")],
+        outputs: vec![q("StudentTranscript")],
+        qos: None,
+    };
+    c.bench_function("matchmaker/match_semantic_adv", |b| {
+        b.iter(|| matchmaker::match_semantic_adv(&onto, black_box(&request), black_box(&adv)))
+    });
+    let text = Advertisement::Semantic(adv).to_xml_string();
+    c.bench_function("p2p/parse_semantic_advertisement", |b| {
+        b.iter(|| Advertisement::parse(black_box(&text)).expect("valid adv"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_xml,
+    bench_soap,
+    bench_wsdl,
+    bench_ontology,
+    bench_matchmaker
+);
+criterion_main!(benches);

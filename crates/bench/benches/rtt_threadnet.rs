@@ -1,0 +1,71 @@
+//! Wall-clock message round-trip over the **threaded** runtime: the same
+//! actor abstraction as the simulator, but on real OS threads and real
+//! channels. This is the hardware-grounded counterpart of the simulated
+//! RTT analysis — absolute numbers reflect this machine, not the paper's
+//! LAN, but the protocol code path is identical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use whisper_simnet::threadnet::ThreadNetBuilder;
+use whisper_simnet::{Actor, Context, NodeId, Wire};
+
+#[derive(Clone, Debug)]
+struct Ball {
+    bounces_left: u32,
+}
+
+impl Wire for Ball {
+    fn wire_size(&self) -> usize {
+        1024
+    }
+    fn kind(&self) -> &'static str {
+        "ball"
+    }
+}
+
+/// Bounces the ball back until it runs out, then bumps the counter.
+struct Paddle {
+    completed: Arc<AtomicU64>,
+}
+
+impl Actor<Ball> for Paddle {
+    fn on_message(&mut self, ctx: &mut Context<'_, Ball>, from: NodeId, msg: Ball) {
+        if msg.bounces_left == 0 {
+            self.completed.fetch_add(1, Ordering::SeqCst);
+        } else {
+            ctx.send(from, Ball { bounces_left: msg.bounces_left - 1 });
+        }
+    }
+}
+
+fn bench_threadnet_rtt(c: &mut Criterion) {
+    let completed = Arc::new(AtomicU64::new(0));
+    let mut b = ThreadNetBuilder::new();
+    let a = b.add_node(Paddle { completed: completed.clone() });
+    let z = b.add_node(Paddle { completed: completed.clone() });
+    let net = b.start();
+
+    // Each measured iteration = 100 hops (50 round trips) across two real
+    // threads; report per-iteration time.
+    c.bench_function("threadnet/100_hop_volley", |bench| {
+        bench.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let before = completed.load(Ordering::SeqCst);
+                let start = Instant::now();
+                net.inject(a, z, Ball { bounces_left: 100 });
+                while completed.load(Ordering::SeqCst) == before {
+                    std::hint::spin_loop();
+                }
+                total += start.elapsed();
+            }
+            total
+        })
+    });
+    net.shutdown();
+}
+
+criterion_group!(benches, bench_threadnet_rtt);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Runs every experiment back to back (the full evaluation section).
+
+use whisper_bench::experiments::*;
+
+fn main() {
+    println!("=== E1 / Figure 4 ===\n");
+    let rows = fig4::run_sweep(&[2, 3, 4, 5, 6, 8, 9, 12, 16, 20, 24], fig4::Fig4Params::default());
+    fig4::table(&rows).print();
+    let pts: Vec<(f64, f64)> =
+        rows.iter().map(|r| (r.bpeers as f64, r.steady_msgs as f64)).collect();
+    println!("linearity R² = {:.5}\n", fig4::linear_r2(&pts));
+    let _ = fig4::table(&rows).save_csv();
+
+    println!("=== E2 / RTT analysis ===\n");
+    let t = rtt::table(500, 300, 5, 11);
+    t.print();
+    let _ = t.save_csv();
+    println!();
+
+    println!("=== E3 / load scalability ===\n");
+    let rows = load::run_sweep(
+        &[1, 3, 5, 9],
+        &[50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0],
+        load::LoadParams::default(),
+    );
+    let t = load::table(&rows);
+    t.print();
+    let _ = t.save_csv();
+    println!();
+
+    println!("=== E4 / election time ===\n");
+    let rows = election::run_sweep(&[2, 3, 4, 6, 8, 12, 16, 24], 7);
+    let t = election::table(&rows);
+    t.print();
+    let _ = t.save_csv();
+    println!();
+
+    println!("=== E5 / availability ===\n");
+    let rows = availability::run_sweep(&[1, 2, 3, 5, 7], availability::AvailabilityParams::default());
+    let t = availability::table(&rows);
+    t.print();
+    let _ = t.save_csv();
+    println!();
+
+    println!("=== E5b / dynamic growth ===\n");
+    let rows = availability::run_growth(availability::AvailabilityParams::default());
+    let t = availability::growth_table(&rows);
+    t.print();
+    let _ = t.save_csv();
+    println!();
+
+    println!("=== E6 / discovery quality ===\n");
+    let (syn, sem) = discovery_quality::run(discovery_quality::CorpusParams::default());
+    let t = discovery_quality::table(syn, sem);
+    t.print();
+    let _ = t.save_csv();
+    println!();
+
+    println!("=== E7 / QoS selection ===\n");
+    let rows = qos::run_all_seeds(qos::QosParams::default(), &[37, 38, 39, 40, 41]);
+    let t = qos::table(&rows);
+    t.print();
+    let _ = t.save_csv();
+    println!();
+
+    println!("=== E10 / adaptive QoS vs lying advertiser ===\n");
+    let t = qos::lying_advertiser_table(qos::QosParams::default());
+    t.print();
+    let _ = t.save_csv();
+    println!();
+
+    println!("=== E9 / failover sensitivity ===\n");
+    let rows = failover_sensitivity::run_sweep(3, 19);
+    let t = failover_sensitivity::table(&rows);
+    t.print();
+    let _ = t.save_csv();
+    println!();
+
+    println!("=== E11 / relay overhead ===\n");
+    let (direct, relayed) = relay_overhead::run_both(29);
+    let t = relay_overhead::table(&direct, &relayed);
+    t.print();
+    let _ = t.save_csv();
+    println!();
+
+    println!("=== E8 / discovery cost ===\n");
+    let rows = discovery_cost::run_sweep(&[1, 2, 4, 8, 12], 2, 7);
+    let t = discovery_cost::table(&rows);
+    t.print();
+    let _ = t.save_csv();
+}

@@ -1,0 +1,28 @@
+//! Availability under churn: redundancy masks replica failures.
+
+use whisper_bench::experiments::availability::{self, AvailabilityParams};
+
+fn main() {
+    let params = AvailabilityParams::default();
+    println!(
+        "Availability under churn: MTTF {:.0} s, MTTR {:.0} s, horizon {:.0} s, {} rps\n",
+        params.mttf.as_secs_f64(),
+        params.mttr.as_secs_f64(),
+        params.horizon.as_secs_f64(),
+        params.rps
+    );
+    let rows = availability::run_sweep(&[1, 2, 3, 5, 7], params);
+    let t = availability::table(&rows);
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+
+    println!("\nDynamic growth: replicas joining a churning single-replica service\n");
+    let rows = availability::run_growth(params);
+    let t = availability::growth_table(&rows);
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+}

@@ -1,0 +1,13 @@
+//! Flooding vs. rendezvous discovery cost ablation.
+
+use whisper_bench::experiments::discovery_cost;
+
+fn main() {
+    println!("Discovery cost: flooding vs. rendezvous (2 b-peers per group)\n");
+    let rows = discovery_cost::run_sweep(&[1, 2, 4, 8, 12], 2, 7);
+    let t = discovery_cost::table(&rows);
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+}

@@ -1,0 +1,18 @@
+//! Semantic vs. syntactic discovery precision/recall (paper §3.1, §4.3).
+
+use whisper_bench::experiments::discovery_quality::{self, CorpusParams};
+
+fn main() {
+    let params = CorpusParams::default();
+    println!(
+        "Discovery quality over a corpus of {} advertisements ({}% relevant)\n",
+        params.size,
+        (params.relevant_fraction * 100.0) as u32
+    );
+    let (syn, sem) = discovery_quality::run(params);
+    let t = discovery_quality::table(syn, sem);
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+}

@@ -1,0 +1,14 @@
+//! Election-cost ablation: Bully (stale vs. updated membership) against a
+//! ring baseline, over group size.
+
+use whisper_bench::experiments::election;
+
+fn main() {
+    println!("Election cost vs. group size (lowest survivor initiates)\n");
+    let rows = election::run_sweep(&[2, 3, 4, 6, 8, 12, 16, 24], 7);
+    let t = election::table(&rows);
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+}

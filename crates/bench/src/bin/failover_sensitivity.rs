@@ -1,0 +1,14 @@
+//! Failover-latency sensitivity ablation: which timeout dominates the
+//! paper's multi-second worst-case RTT.
+
+use whisper_bench::experiments::failover_sensitivity;
+
+fn main() {
+    println!("Failover-latency sensitivity (3 b-peers, coordinator crash mid-request)\n");
+    let rows = failover_sensitivity::run_sweep(3, 19);
+    let t = failover_sensitivity::table(&rows);
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates the **throughput/latency under load** result (§5): the
+//! system "scales to meet desired throughput and latency requirements".
+
+use whisper_bench::experiments::load::{self, LoadParams};
+
+fn main() {
+    let params = LoadParams::default();
+    println!(
+        "Load scalability: open-loop Poisson arrivals, {} ms service time, load sharing on\n",
+        params.service_time.as_millis_f64()
+    );
+    let rows = load::run_sweep(
+        &[1, 3, 5, 9],
+        &[50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0],
+        params,
+    );
+    let t = load::table(&rows);
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+}

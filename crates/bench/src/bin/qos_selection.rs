@@ -1,0 +1,20 @@
+//! QoS-aware peer selection (paper §2.4 extension).
+
+use whisper_bench::experiments::qos::{self, QosParams};
+
+fn main() {
+    println!("QoS-aware selection across gold/silver/bronze groups\n");
+    let rows = qos::run_all_seeds(QosParams::default(), &[37, 38, 39, 40, 41]);
+    let t = qos::table(&rows);
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+
+    println!("\nAdaptive selection vs. a lying advertiser:\n");
+    let t = qos::lying_advertiser_table(QosParams::default());
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+}

@@ -1,0 +1,13 @@
+//! Relay-overhead ablation: firewalled b-peers behind the rendezvous relay.
+
+use whisper_bench::experiments::relay_overhead;
+
+fn main() {
+    println!("Relay overhead: direct vs firewalled b-peers (100 closed-loop requests)\n");
+    let (direct, relayed) = relay_overhead::run_both(29);
+    let t = relay_overhead::table(&direct, &relayed);
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's **RTT analysis** (§5): ≈0.5 ms average message
+//! RTT on the LAN; multi-second worst case during coordinator failover,
+//! split into election and re-binding components.
+
+use whisper_bench::experiments::rtt;
+
+fn main() {
+    println!("RTT analysis (paper §5)\n");
+    let t = rtt::table(500, 300, 5, 11);
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+}

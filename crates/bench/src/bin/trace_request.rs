@@ -1,0 +1,59 @@
+//! Prints the message-by-message trace of one Whisper request — first a
+//! cold request (semantic discovery + member discovery + binding), then a
+//! warm one (the 4-message steady-state path).
+
+use whisper::WhisperNet;
+use whisper_simnet::{NodeId, SimDuration, TraceOutcome};
+
+fn role(net: &WhisperNet, node: NodeId) -> String {
+    if node == net.proxy_node() {
+        return "proxy".to_string();
+    }
+    if net.client_ids().contains(&node) {
+        return "client".to_string();
+    }
+    if net.rendezvous_node() == Some(node) {
+        return "rendezvous".to_string();
+    }
+    match net.directory().peer_of(node) {
+        Some(p) => format!("b-peer {}", p.value()),
+        None => node.to_string(),
+    }
+}
+
+fn dump(net: &WhisperNet, title: &str) {
+    println!("--- {title} ---");
+    let base = net.trace().first().map(|e| e.sent_at).unwrap_or_default();
+    for e in net.trace() {
+        let fate = match e.outcome {
+            TraceOutcome::Delivered => String::new(),
+            other => format!("  [{other:?}]"),
+        };
+        println!(
+            "{:>9.3} ms  {:>10} -> {:<10}  {:<20} {:>5} B{fate}",
+            (e.sent_at.as_micros() - base.as_micros()) as f64 / 1000.0,
+            role(net, e.from),
+            role(net, e.to),
+            e.kind,
+            e.bytes,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let mut net = WhisperNet::student_scenario(3, 42);
+    net.run_for(SimDuration::from_secs(3));
+    let client = net.client_ids()[0];
+
+    net.enable_trace();
+    net.submit_student_request(client, "u1004");
+    net.run_for(SimDuration::from_secs(1));
+    // hide steady heartbeats for readability? keep them: they ARE the traffic
+    dump(&net, "cold request (discovery + bind + execute)");
+
+    net.sim().clear_trace();
+    net.submit_student_request(client, "u1007");
+    net.run_for(SimDuration::from_secs(1));
+    dump(&net, "warm request (bound: 4 messages + heartbeats)");
+}

@@ -1,0 +1,329 @@
+//! **Availability under churn** — the architecture's reason to exist: "a
+//! transparent approach to enable a significant increase in the
+//! availability of Web services" (paper §1).
+//!
+//! Each b-peer alternates between up and down states with exponentially
+//! distributed times-to-failure and times-to-repair while an open-loop
+//! client keeps invoking the service. A group of one replica approximates
+//! the plain (non-replicated) Web service baseline; larger groups show how
+//! static redundancy masks the churn.
+
+use crate::Table;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use whisper::{
+    ClientConfigTemplate, DeploymentConfig, GroupSpec, ServiceBackend, StudentRegistry,
+    WhisperNet, Workload,
+};
+use whisper_simnet::{FaultPlan, SimDuration, SimTime};
+use whisper_xml::Element;
+
+/// Parameters of the availability experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct AvailabilityParams {
+    /// Mean time to failure of one replica.
+    pub mttf: SimDuration,
+    /// Mean time to repair of one replica.
+    pub mttr: SimDuration,
+    /// Observation horizon.
+    pub horizon: SimDuration,
+    /// Client request rate (requests per second).
+    pub rps: f64,
+    /// Client-side timeout (an unanswered request counts as unavailable).
+    pub timeout: SimDuration,
+    /// Seed for both the simulator and the fault schedule.
+    pub seed: u64,
+}
+
+impl Default for AvailabilityParams {
+    fn default() -> Self {
+        AvailabilityParams {
+            mttf: SimDuration::from_secs(40),
+            mttr: SimDuration::from_secs(10),
+            horizon: SimDuration::from_secs(300),
+            rps: 10.0,
+            timeout: SimDuration::from_secs(8),
+            seed: 17,
+        }
+    }
+}
+
+/// One measured deployment.
+#[derive(Debug, Clone)]
+pub struct AvailabilityRow {
+    /// Replicas in the group.
+    pub replicas: usize,
+    /// Requests resolved (completed or timed out).
+    pub resolved: u64,
+    /// Fraction of resolved requests that succeeded.
+    pub availability: f64,
+    /// SOAP faults returned.
+    pub faults: u64,
+    /// Client-side timeouts.
+    pub timeouts: u64,
+    /// Mean RTT of the successful requests.
+    pub mean_rtt: Option<SimDuration>,
+}
+
+/// Draws an exponential duration with the given mean.
+fn exp_duration(rng: &mut SmallRng, mean: SimDuration) -> SimDuration {
+    let u: f64 = rng.gen_range(1e-9..1.0);
+    SimDuration::from_micros(((-u.ln()) * mean.as_micros() as f64).max(1.0) as u64)
+}
+
+/// Builds the crash/restart schedule for `nodes`, one independent
+/// alternating-renewal process per node.
+fn churn_plan(
+    nodes: &[whisper_simnet::NodeId],
+    params: AvailabilityParams,
+    rng: &mut SmallRng,
+) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for &n in nodes {
+        let mut t = SimTime::ZERO + SimDuration::from_secs(3); // spare the warmup
+        loop {
+            t += exp_duration(rng, params.mttf);
+            if t.since(SimTime::ZERO) >= params.horizon {
+                break;
+            }
+            plan.crash_at(n, t);
+            t += exp_duration(rng, params.mttr);
+            if t.since(SimTime::ZERO) >= params.horizon {
+                break;
+            }
+            plan.restart_at(n, t);
+        }
+    }
+    plan
+}
+
+/// Measures one replica count.
+pub fn run_point(replicas: usize, params: AvailabilityParams) -> AvailabilityRow {
+    let service = whisper_wsdl::samples::student_management();
+    let op = service.operation("StudentInformation").expect("sample op").clone();
+    let backends: Vec<Box<dyn ServiceBackend>> = (0..replicas)
+        .map(|_| Box::new(StudentRegistry::operational_db().with_sample_data()) as _)
+        .collect();
+    let mut payload = Element::new("StudentInformation");
+    payload.push_child(Element::with_text("StudentID", "u1005"));
+    let interval = SimDuration::from_micros((1_000_000.0 / params.rps) as u64);
+    let total = (params.rps * params.horizon.as_secs_f64()) as u64;
+    let cfg = DeploymentConfig {
+        seed: params.seed,
+        service,
+        groups: vec![GroupSpec::from_operation("StudentInfoGroup", &op, backends)],
+        clients: vec![ClientConfigTemplate {
+            workload: Workload::Open { interval, poisson: true },
+            payloads: vec![payload],
+            total: Some(total),
+            timeout: params.timeout,
+            warmup: SimDuration::from_secs(2),
+        }],
+        ..DeploymentConfig::default()
+    };
+    let mut net = WhisperNet::build(cfg).expect("valid deployment");
+
+    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0xfau64);
+    let plan = churn_plan(net.group_nodes(0), params, &mut rng);
+    net.apply_faults(&plan);
+
+    net.run_for(params.horizon + params.timeout + SimDuration::from_secs(5));
+    let stats = net.client_stats(net.client_ids()[0]);
+    AvailabilityRow {
+        replicas,
+        resolved: stats.completed + stats.timeouts,
+        availability: stats.availability().unwrap_or(0.0),
+        faults: stats.faults,
+        timeouts: stats.timeouts,
+        mean_rtt: stats.rtt.mean(),
+    }
+}
+
+/// Sweeps replica counts.
+pub fn run_sweep(replica_counts: &[usize], params: AvailabilityParams) -> Vec<AvailabilityRow> {
+    replica_counts.iter().map(|&k| run_point(k, params)).collect()
+}
+
+/// One window of the dynamic-growth run.
+#[derive(Debug, Clone)]
+pub struct GrowthRow {
+    /// Window index (each `horizon/3` long).
+    pub window: usize,
+    /// Replicas alive during the window.
+    pub replicas: usize,
+    /// Fraction of the window's resolved requests that succeeded.
+    pub availability: f64,
+    /// Requests resolved within the window.
+    pub resolved: u64,
+}
+
+/// **Dynamic growth** (paper §4.2: joining peers "dynamically increase the
+/// level of availability"). The service starts with a single churning
+/// replica; a stable replica joins at ⅓ of the horizon and another at ⅔.
+/// Availability is reported per window.
+pub fn run_growth(params: AvailabilityParams) -> Vec<GrowthRow> {
+    let service = whisper_wsdl::samples::student_management();
+    let op = service.operation("StudentInformation").expect("sample op").clone();
+    let backends: Vec<Box<dyn ServiceBackend>> =
+        vec![Box::new(StudentRegistry::operational_db().with_sample_data())];
+    let mut payload = Element::new("StudentInformation");
+    payload.push_child(Element::with_text("StudentID", "u1005"));
+    let interval = SimDuration::from_micros((1_000_000.0 / params.rps) as u64);
+    let total = (params.rps * params.horizon.as_secs_f64()) as u64;
+    let cfg = DeploymentConfig {
+        seed: params.seed,
+        service,
+        groups: vec![GroupSpec::from_operation("StudentInfoGroup", &op, backends)],
+        clients: vec![ClientConfigTemplate {
+            workload: Workload::Open { interval, poisson: true },
+            payloads: vec![payload],
+            total: Some(total),
+            timeout: params.timeout,
+            warmup: SimDuration::from_secs(2),
+        }],
+        ..DeploymentConfig::default()
+    };
+    let mut net = WhisperNet::build(cfg).expect("valid deployment");
+
+    // Only the original replica churns, on a fixed cadence (MTTF up,
+    // MTTR down) so every window sees the same fault pressure.
+    let original = net.group_nodes(0)[0];
+    let mut plan = FaultPlan::new();
+    let mut t = SimTime::ZERO + SimDuration::from_secs(5);
+    while t.since(SimTime::ZERO).as_micros() < params.horizon.as_micros() {
+        plan.crash_at(original, t);
+        plan.restart_at(original, t + params.mttr);
+        t += params.mttf;
+    }
+    net.apply_faults(&plan);
+
+    let window = SimDuration::from_micros(params.horizon.as_micros() / 3);
+    net.run_for(window);
+    net.add_bpeer(0, Box::new(StudentRegistry::data_warehouse().with_sample_data()));
+    net.run_for(window);
+    net.add_bpeer(0, Box::new(StudentRegistry::operational_db().with_sample_data()));
+    net.run_for(window + params.timeout + SimDuration::from_secs(5));
+
+    // Per-window availability from the request log.
+    let outcomes = net.client_outcomes(net.client_ids()[0]);
+    let mut rows = Vec::new();
+    for w in 0..3 {
+        let start = SimTime::ZERO + SimDuration::from_micros(window.as_micros() * w as u64);
+        let end = start + window;
+        let in_window = outcomes
+            .iter()
+            .filter(|o| o.sent_at >= start && o.sent_at < end);
+        let mut resolved = 0u64;
+        let mut good = 0u64;
+        for o in in_window {
+            if o.completed_at.is_some() || o.timed_out {
+                resolved += 1;
+                if o.completed_at.is_some() && !o.fault {
+                    good += 1;
+                }
+            }
+        }
+        rows.push(GrowthRow {
+            window: w,
+            replicas: w + 1,
+            availability: if resolved == 0 { 0.0 } else { good as f64 / resolved as f64 },
+            resolved,
+        });
+    }
+    rows
+}
+
+/// Renders the growth run.
+pub fn growth_table(rows: &[GrowthRow]) -> Table {
+    let mut t = Table::new(
+        "availability_growth",
+        &["window", "replicas", "resolved", "availability"],
+    );
+    for r in rows {
+        t.row([
+            r.window.to_string(),
+            r.replicas.to_string(),
+            r.resolved.to_string(),
+            format!("{:.4}", r.availability),
+        ]);
+    }
+    t
+}
+
+/// Renders the sweep.
+pub fn table(rows: &[AvailabilityRow]) -> Table {
+    let mut t = Table::new(
+        "availability",
+        &["replicas", "resolved", "availability", "faults", "timeouts", "mean rtt ms"],
+    );
+    for r in rows {
+        t.row([
+            r.replicas.to_string(),
+            r.resolved.to_string(),
+            format!("{:.4}", r.availability),
+            r.faults.to_string(),
+            r.timeouts.to_string(),
+            crate::table::ms_opt(r.mean_rtt),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> AvailabilityParams {
+        AvailabilityParams {
+            mttf: SimDuration::from_secs(20),
+            mttr: SimDuration::from_secs(8),
+            horizon: SimDuration::from_secs(90),
+            rps: 5.0,
+            timeout: SimDuration::from_secs(6),
+            seed: 23,
+        }
+    }
+
+    #[test]
+    fn redundancy_increases_availability() {
+        let solo = run_point(1, quick());
+        let redundant = run_point(3, quick());
+        assert!(solo.resolved > 100, "not enough samples: {}", solo.resolved);
+        assert!(
+            redundant.availability > solo.availability,
+            "3 replicas ({:.3}) should beat 1 ({:.3})",
+            redundant.availability,
+            solo.availability
+        );
+        assert!(
+            redundant.availability > 0.9,
+            "replicated availability too low: {:.3}",
+            redundant.availability
+        );
+        // an unreplicated service under this churn is visibly degraded
+        assert!(solo.availability < 0.97, "baseline suspiciously high: {:.3}", solo.availability);
+    }
+
+    #[test]
+    fn joining_replicas_raise_availability_mid_run() {
+        let rows = run_growth(quick());
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.resolved > 20), "{rows:?}");
+        // the lone churning replica degrades the first window...
+        assert!(rows[0].availability < 0.98, "{rows:?}");
+        // ...and the joined stable replicas mask it afterwards
+        assert!(rows[2].availability > rows[0].availability, "{rows:?}");
+        assert!(rows[2].availability > 0.97, "{rows:?}");
+    }
+
+    #[test]
+    fn churn_plan_is_deterministic_per_seed() {
+        let nodes = [whisper_simnet::NodeId::from_index(1)];
+        let mut r1 = SmallRng::seed_from_u64(5);
+        let mut r2 = SmallRng::seed_from_u64(5);
+        let p1 = churn_plan(&nodes, quick(), &mut r1);
+        let p2 = churn_plan(&nodes, quick(), &mut r2);
+        assert_eq!(p1.len(), p2.len());
+        assert!(!p1.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! **Discovery-cost ablation: flooding vs. rendezvous** — JXTA offers both
+//! basic (flooding) discovery and rendezvous-indexed discovery; Whisper's
+//! deployment can use either. This ablation counts the messages each
+//! strategy spends on (a) publishing the network's advertisements and
+//! (b) resolving one cold service request (semantic-group query plus
+//! member query), as the network grows.
+//!
+//! Flooding sends each query to every known peer and collects one response
+//! per peer — Θ(n) per query but zero publication traffic. The rendezvous
+//! indexes publications — Θ(1) per query but one publish message per
+//! advertisement and a single point of load.
+
+use crate::Table;
+use whisper::{ServiceBackend, StudentRegistry, WhisperNet};
+use whisper::{DeploymentConfig, GroupSpec};
+use whisper_simnet::SimDuration;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct CostRow {
+    /// Total b-peers in the network.
+    pub peers: usize,
+    /// `true` for rendezvous, `false` for flooding.
+    pub rendezvous: bool,
+    /// Publish messages during startup.
+    pub publish_msgs: u64,
+    /// Query messages for one cold request.
+    pub query_msgs: u64,
+    /// Response messages for one cold request.
+    pub response_msgs: u64,
+    /// Total discovery traffic (publish + query + response).
+    pub total: u64,
+}
+
+/// Builds a deployment with `groups` groups of `peers_per_group` b-peers.
+fn deployment(groups: usize, peers_per_group: usize, rendezvous: bool, seed: u64) -> WhisperNet {
+    let service = whisper_wsdl::samples::student_management();
+    let op = service.operation("StudentInformation").expect("sample op").clone();
+    let specs: Vec<GroupSpec> = (0..groups)
+        .map(|gi| {
+            let backends: Vec<Box<dyn ServiceBackend>> = (0..peers_per_group)
+                .map(|_| {
+                    Box::new(StudentRegistry::operational_db().with_sample_data())
+                        as Box<dyn ServiceBackend>
+                })
+                .collect();
+            GroupSpec::from_operation(format!("StudentInfoGroup{gi}"), &op, backends)
+        })
+        .collect();
+    let cfg = DeploymentConfig {
+        seed,
+        service,
+        groups: specs,
+        use_rendezvous: rendezvous,
+        ..DeploymentConfig::default()
+    };
+    WhisperNet::build(cfg).expect("valid deployment")
+}
+
+/// Measures one configuration.
+pub fn run_point(groups: usize, peers_per_group: usize, rendezvous: bool, seed: u64) -> CostRow {
+    let mut net = deployment(groups, peers_per_group, rendezvous, seed);
+    // Startup: publications (and the boot election, not counted below).
+    net.run_for(SimDuration::from_secs(2));
+    let publish_msgs = net.metrics().sent_of_kind("publish");
+
+    // One cold request = semantic-group query + member query.
+    net.reset_metrics();
+    let client = net.client_ids()[0];
+    net.submit_student_request(client, "u1000");
+    net.run_for(SimDuration::from_secs(3));
+    let query_msgs = net.metrics().sent_of_kind("discovery-query");
+    let response_msgs = net.metrics().sent_of_kind("discovery-response");
+    assert_eq!(
+        net.client_stats(client).completed,
+        1,
+        "cold request must complete (groups={groups}, rdv={rendezvous})"
+    );
+    CostRow {
+        peers: groups * peers_per_group,
+        rendezvous,
+        publish_msgs,
+        query_msgs,
+        response_msgs,
+        total: publish_msgs + query_msgs + response_msgs,
+    }
+}
+
+/// Sweeps network sizes for both strategies.
+pub fn run_sweep(group_counts: &[usize], peers_per_group: usize, seed: u64) -> Vec<CostRow> {
+    let mut rows = Vec::new();
+    for &g in group_counts {
+        for rdv in [false, true] {
+            rows.push(run_point(g, peers_per_group, rdv, seed));
+        }
+    }
+    rows
+}
+
+/// Renders the sweep.
+pub fn table(rows: &[CostRow]) -> Table {
+    let mut t = Table::new(
+        "discovery_cost",
+        &["b-peers", "strategy", "publish", "queries", "responses", "total"],
+    );
+    for r in rows {
+        t.row([
+            r.peers.to_string(),
+            if r.rendezvous { "rendezvous" } else { "flood" }.to_string(),
+            r.publish_msgs.to_string(),
+            r.query_msgs.to_string(),
+            r.response_msgs.to_string(),
+            r.total.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flood_query_cost_grows_with_network_rendezvous_stays_constant() {
+        let small_flood = run_point(2, 2, false, 3);
+        let big_flood = run_point(5, 2, false, 3);
+        assert!(
+            big_flood.query_msgs > small_flood.query_msgs,
+            "flood queries should grow: {} -> {}",
+            small_flood.query_msgs,
+            big_flood.query_msgs
+        );
+
+        let small_rdv = run_point(2, 2, true, 3);
+        let big_rdv = run_point(5, 2, true, 3);
+        assert_eq!(
+            small_rdv.query_msgs, big_rdv.query_msgs,
+            "rendezvous query cost should not depend on network size"
+        );
+        assert!(big_rdv.query_msgs <= 2, "one query per phase: {}", big_rdv.query_msgs);
+    }
+
+    #[test]
+    fn publication_cost_is_the_rendezvous_tradeoff() {
+        let flood = run_point(3, 3, false, 7);
+        let rdv = run_point(3, 3, true, 7);
+        assert_eq!(flood.publish_msgs, 0, "flooding publishes locally only");
+        // every b-peer pushes its peer adv + semantic adv to the rendezvous,
+        // plus one pipe adv per elected coordinator
+        assert_eq!(rdv.publish_msgs, 9 * 2 + 3);
+        assert!(rdv.query_msgs < flood.query_msgs);
+    }
+}

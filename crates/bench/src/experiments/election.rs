@@ -1,0 +1,278 @@
+//! **Election cost vs. group size** — the ablation behind the paper's
+//! observation that "in case of coordinator failure, the time needed to
+//! elect a new coordinator is considerably high".
+//!
+//! Runs the raw election protocols on the calibrated LAN (no Whisper layers
+//! on top) with the previous coordinator — the highest peer — dead:
+//!
+//! * **Bully, stale membership**: survivors still list the dead peer; the
+//!   initiator pays the answer timeout before self-promoting (the paper's
+//!   slow path).
+//! * **Bully, updated membership**: the failure detector already removed
+//!   the dead peer; elections resolve in one or two message rounds.
+//! * **Ring baseline**: Chang–Roberts-style circulation, Θ(2n) messages.
+
+use crate::Table;
+use whisper_election::{
+    BullyConfig, BullyNode, ElectionMsg, ElectionProtocol, RingNode,
+};
+use whisper_p2p::PeerId;
+use whisper_simnet::{Actor, Context, NodeId, SimDuration, SimNet, SimTime, Wire};
+
+#[derive(Debug, Clone)]
+struct WireMsg(ElectionMsg);
+
+impl Wire for WireMsg {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size()
+    }
+    fn kind(&self) -> &'static str {
+        self.0.kind()
+    }
+}
+
+/// Which protocol variant to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Bully with the dead coordinator still in every membership list.
+    BullyStaleMembership,
+    /// Bully after failure detection removed the dead coordinator.
+    BullyUpdatedMembership,
+    /// Ring election (membership updated; the ring must skip the corpse).
+    Ring,
+}
+
+impl Variant {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::BullyStaleMembership => "bully (stale membership)",
+            Variant::BullyUpdatedMembership => "bully (updated membership)",
+            Variant::Ring => "ring baseline",
+        }
+    }
+}
+
+struct ElectionHost {
+    proto: Box<dyn ElectionProtocol + Send>,
+    peer_to_node: Vec<(PeerId, NodeId)>,
+    /// Fires `start_election` at this delay when set.
+    trigger: Option<SimDuration>,
+}
+
+const TRIGGER_TOKEN: u64 = u64::MAX;
+
+impl ElectionHost {
+    fn route(&self, ctx: &mut Context<'_, WireMsg>, out: whisper_election::Output) {
+        for (to, msg) in out.sends {
+            if let Some(&(_, node)) = self.peer_to_node.iter().find(|(p, _)| *p == to) {
+                ctx.send(node, WireMsg(msg));
+            }
+        }
+        for t in out.timers {
+            ctx.set_timer(t.delay, t.token);
+        }
+    }
+}
+
+impl Actor<WireMsg> for ElectionHost {
+    fn on_start(&mut self, ctx: &mut Context<'_, WireMsg>) {
+        if let Some(d) = self.trigger {
+            ctx.set_timer(d, TRIGGER_TOKEN);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, WireMsg>, from: NodeId, msg: WireMsg) {
+        let from_peer = self
+            .peer_to_node
+            .iter()
+            .find(|(_, n)| *n == from)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.proto.me());
+        let out = self.proto.on_message(from_peer, msg.0, ctx.now());
+        self.route(ctx, out);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, WireMsg>, token: u64) {
+        let out = if token == TRIGGER_TOKEN {
+            self.proto.start_election(ctx.now())
+        } else {
+            self.proto.on_timer(token, ctx.now())
+        };
+        self.route(ctx, out);
+    }
+}
+
+/// Result of one measured election.
+#[derive(Debug, Clone)]
+pub struct ElectionRow {
+    /// Live peers participating.
+    pub peers: usize,
+    /// Protocol variant.
+    pub variant: Variant,
+    /// Virtual time from trigger to unanimous agreement.
+    pub time: SimDuration,
+    /// Messages exchanged.
+    pub messages: u64,
+}
+
+/// Runs one election: peers `1..=n+1` exist, the highest (old coordinator)
+/// is dead, and the *lowest* survivor detects it first (Bully's worst
+/// case). Returns time-to-unanimity among survivors and the message count.
+///
+/// # Panics
+///
+/// Panics if the survivors never agree (protocol bug).
+pub fn run_election(n_live: usize, variant: Variant, seed: u64) -> ElectionRow {
+    assert!(n_live >= 1);
+    let dead = PeerId::new(n_live as u64 + 1);
+    let all: Vec<PeerId> = (1..=n_live as u64 + 1).map(PeerId::new).collect();
+    let live: Vec<PeerId> = all[..n_live].to_vec();
+
+    let mut net: SimNet<WireMsg> = SimNet::new(seed);
+    let peer_to_node: Vec<(PeerId, NodeId)> = live
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, NodeId::from_index(i)))
+        .collect();
+    let expected_winner = *live.last().expect("non-empty");
+
+    for (i, &p) in live.iter().enumerate() {
+        let mut proto: Box<dyn ElectionProtocol + Send> = match variant {
+            Variant::BullyStaleMembership => {
+                Box::new(BullyNode::new(p, all.iter().copied(), BullyConfig::default()))
+            }
+            Variant::BullyUpdatedMembership => {
+                let mut b = BullyNode::new(p, all.iter().copied(), BullyConfig::default());
+                b.remove_member(dead);
+                Box::new(b)
+            }
+            Variant::Ring => {
+                let mut r = RingNode::new(p, all.iter().copied());
+                r.remove_member(dead);
+                Box::new(r)
+            }
+        };
+        // everyone starts believing in the dead coordinator
+        let _ = proto.on_message(dead, ElectionMsg::Coordinator { from: dead }, SimTime::ZERO);
+        let node = net.add_node(ElectionHost {
+            proto,
+            peer_to_node: peer_to_node.clone(),
+            // Failure detection fires well after the election cooldown in
+            // real deployments; trigger past it.
+            trigger: (i == 0).then(|| SimDuration::from_millis(600)),
+        });
+        debug_assert_eq!(node, NodeId::from_index(i));
+    }
+    // Step until every survivor believes in the expected winner; stale
+    // timers may still be queued afterwards, so quiescence would
+    // overestimate the agreement time.
+    let trigger_at = SimTime::from_micros(600_000);
+    let unanimous = |net: &SimNet<WireMsg>| {
+        (0..n_live).all(|i| {
+            net.node::<ElectionHost>(NodeId::from_index(i)).proto.coordinator()
+                == Some(expected_winner)
+        })
+    };
+    let agreed_at = loop {
+        if unanimous(&net) && net.now() >= trigger_at {
+            break net.now();
+        }
+        assert!(net.step(), "{}: quiesced without agreement", variant.label());
+        assert!(
+            net.now() < SimTime::from_micros(120_000_000),
+            "{}: election did not converge",
+            variant.label()
+        );
+    };
+    // Drain leftovers so the message count is complete.
+    net.run_until_quiescent();
+    ElectionRow {
+        peers: n_live,
+        variant,
+        time: agreed_at.since(trigger_at),
+        messages: net.metrics().messages_sent(),
+    }
+}
+
+/// Sweeps group sizes for every variant.
+pub fn run_sweep(sizes: &[usize], seed: u64) -> Vec<ElectionRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for v in [
+            Variant::BullyStaleMembership,
+            Variant::BullyUpdatedMembership,
+            Variant::Ring,
+        ] {
+            rows.push(run_election(n, v, seed));
+        }
+    }
+    rows
+}
+
+/// Renders the sweep.
+pub fn table(rows: &[ElectionRow]) -> Table {
+    let mut t = Table::new(
+        "election_time",
+        &["live peers", "variant", "time ms", "messages"],
+    );
+    for r in rows {
+        t.row([
+            r.peers.to_string(),
+            r.variant.label().to_string(),
+            crate::table::ms(r.time),
+            r.messages.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_membership_pays_the_answer_timeout() {
+        let stale = run_election(4, Variant::BullyStaleMembership, 3);
+        let fresh = run_election(4, Variant::BullyUpdatedMembership, 3);
+        // the stale path waits ≥ the 1 s answer timeout at least once
+        assert!(
+            stale.time.as_secs_f64() >= 1.0,
+            "stale election finished too fast: {}",
+            stale.time
+        );
+        assert!(
+            fresh.time < stale.time,
+            "updated membership should be faster: {} vs {}",
+            fresh.time,
+            stale.time
+        );
+        assert!(fresh.time.as_millis_f64() < 100.0, "fresh election {}", fresh.time);
+    }
+
+    #[test]
+    fn ring_messages_are_theta_two_n() {
+        for n in [3usize, 6, 10] {
+            let r = run_election(n, Variant::Ring, 5);
+            assert_eq!(r.messages as usize, 2 * n, "ring cost for n={n}");
+        }
+    }
+
+    #[test]
+    fn bully_worst_case_messages_grow_superlinearly() {
+        let small = run_election(4, Variant::BullyUpdatedMembership, 5);
+        let big = run_election(12, Variant::BullyUpdatedMembership, 5);
+        // worst case (lowest initiator) is O(n^2)
+        let ratio = big.messages as f64 / small.messages as f64;
+        assert!(
+            ratio > (12.0 / 4.0),
+            "bully messages should grow faster than linear: {} -> {}",
+            small.messages,
+            big.messages
+        );
+    }
+
+    #[test]
+    fn singleton_self_elects() {
+        let r = run_election(1, Variant::BullyUpdatedMembership, 1);
+        assert_eq!(r.messages, 0);
+    }
+}

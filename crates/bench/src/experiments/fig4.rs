@@ -1,0 +1,214 @@
+//! **Figure 4** — "Variation of the number of messages exchanged as the
+//! number of B-peers increases".
+//!
+//! The paper's headline scalability result: adding b-peers increases the
+//! message volume *linearly* ("good linear horizontal scalability").
+//! Whisper's steady-state chatter is heartbeat traffic arranged in a star
+//! around the coordinator (2·(n−1) beacons per period), so the per-second
+//! message rate grows linearly in the group size; startup adds a one-time
+//! burst of advertisements plus the boot election.
+//!
+//! Counts are exact: the deterministic simulator counts every transmitted
+//! message, so the figure is reproducible bit-for-bit from the seed.
+
+use crate::Table;
+use whisper::WhisperNet;
+use whisper_simnet::SimDuration;
+
+/// One point of Figure 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Row {
+    /// Number of b-peers in the group.
+    pub bpeers: usize,
+    /// Messages during startup (publication + boot election), one-time.
+    pub startup_msgs: u64,
+    /// Messages during the steady-state measurement window.
+    pub steady_msgs: u64,
+    /// Steady-state messages per second.
+    pub steady_per_sec: f64,
+    /// Heartbeats within the steady window.
+    pub heartbeats: u64,
+    /// Messages for `requests` service invocations (discovery amortized).
+    pub request_msgs: u64,
+    /// Total across all three phases.
+    pub total: u64,
+}
+
+/// Parameters of the Figure 4 run.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Params {
+    /// Steady-state observation window.
+    pub steady_window: SimDuration,
+    /// Service requests issued after the steady window.
+    pub requests: usize,
+    /// Simulator seed.
+    pub seed: u64,
+}
+
+impl Default for Fig4Params {
+    fn default() -> Self {
+        Fig4Params {
+            steady_window: SimDuration::from_secs(60),
+            requests: 20,
+            seed: 4,
+        }
+    }
+}
+
+/// Measures one group size.
+pub fn run_point(bpeers: usize, params: Fig4Params) -> Fig4Row {
+    let mut net = WhisperNet::student_scenario(bpeers, params.seed);
+
+    // Phase 1: startup (advertisement publication + boot election).
+    net.run_for(SimDuration::from_secs(2));
+    let startup_msgs = net.metrics().messages_sent();
+
+    // Phase 2: steady state.
+    net.reset_metrics();
+    net.run_for(params.steady_window);
+    let steady_msgs = net.metrics().messages_sent();
+    let heartbeats = net.metrics().sent_of_kind("heartbeat");
+
+    // Phase 3: service requests.
+    net.reset_metrics();
+    let client = net.client_ids()[0];
+    for i in 0..params.requests {
+        net.submit_student_request(client, &format!("u100{}", i % 10));
+        net.run_for(SimDuration::from_millis(500));
+    }
+    let phase3 = net.metrics().messages_sent();
+    // Heartbeats continue during phase 3; attribute only the non-heartbeat
+    // traffic to the requests.
+    let request_msgs = phase3 - net.metrics().sent_of_kind("heartbeat");
+
+    Fig4Row {
+        bpeers,
+        startup_msgs,
+        steady_msgs,
+        steady_per_sec: steady_msgs as f64 / params.steady_window.as_secs_f64(),
+        heartbeats,
+        request_msgs,
+        total: startup_msgs + steady_msgs + phase3,
+    }
+}
+
+/// Runs the full sweep.
+pub fn run_sweep(sizes: &[usize], params: Fig4Params) -> Vec<Fig4Row> {
+    sizes.iter().map(|&n| run_point(n, params)).collect()
+}
+
+/// Renders the figure as a table.
+pub fn table(rows: &[Fig4Row]) -> Table {
+    let mut t = Table::new(
+        "fig4_messages",
+        &[
+            "b-peers",
+            "startup",
+            "steady(60s)",
+            "msgs/s",
+            "heartbeats",
+            "20-req msgs",
+            "total",
+        ],
+    );
+    for r in rows {
+        t.row([
+            r.bpeers.to_string(),
+            r.startup_msgs.to_string(),
+            r.steady_msgs.to_string(),
+            format!("{:.1}", r.steady_per_sec),
+            r.heartbeats.to_string(),
+            r.request_msgs.to_string(),
+            r.total.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Least-squares linearity check: returns the coefficient of determination
+/// (R²) of a linear fit of `y` against `x`. The paper claims the growth is
+/// linear; the integration tests assert `R² > 0.98`.
+pub fn linear_r2(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return 1.0;
+    }
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return 0.0;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    if ss_tot.abs() < f64::EPSILON {
+        return 1.0;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_messages_grow_linearly() {
+        let params = Fig4Params {
+            steady_window: SimDuration::from_secs(10),
+            requests: 2,
+            seed: 1,
+        };
+        let rows = run_sweep(&[2, 4, 6, 8], params);
+        let points: Vec<(f64, f64)> = rows
+            .iter()
+            .map(|r| (r.bpeers as f64, r.steady_msgs as f64))
+            .collect();
+        let r2 = linear_r2(&points);
+        assert!(r2 > 0.98, "steady-state growth not linear: R²={r2}, {points:?}");
+        // strictly increasing
+        assert!(points.windows(2).all(|w| w[0].1 < w[1].1), "{points:?}");
+    }
+
+    #[test]
+    fn heartbeats_dominate_steady_state() {
+        let params = Fig4Params {
+            steady_window: SimDuration::from_secs(10),
+            requests: 0,
+            seed: 1,
+        };
+        let r = run_point(5, params);
+        assert!(
+            r.heartbeats as f64 > 0.9 * r.steady_msgs as f64,
+            "heartbeats {} of {}",
+            r.heartbeats,
+            r.steady_msgs
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_counts() {
+        let params = Fig4Params {
+            steady_window: SimDuration::from_secs(5),
+            requests: 3,
+            seed: 9,
+        };
+        assert_eq!(run_point(3, params), run_point(3, params));
+    }
+
+    #[test]
+    fn r2_of_perfect_line_is_one() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        assert!((linear_r2(&pts) - 1.0).abs() < 1e-12);
+        // constant y: fit is exact
+        let flat: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 2.0)).collect();
+        assert_eq!(linear_r2(&flat), 1.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! **Throughput/latency under system load** (paper §5): "the proposed
+//! solution was able to scale to meet desired throughput and latency
+//! requirements".
+//!
+//! An open-loop Poisson client offers increasing request rates against
+//! groups of 1, 3, 5 and 9 replicas with load-sharing enabled. Each
+//! replica is an M/D/1-style server with a fixed service time, so a single
+//! replica saturates at `1/service_time` requests per second and a group
+//! of `k` replicas at roughly `k/service_time` — throughput scales with
+//! redundancy, and latency stays flat until the knee.
+
+use crate::Table;
+use whisper::{
+    BPeerConfig, ClientConfigTemplate, DeploymentConfig, EchoBackend, GroupSpec, ServiceBackend,
+    WhisperNet, Workload,
+};
+use whisper_simnet::SimDuration;
+use whisper_xml::Element;
+
+/// One measured operating point.
+#[derive(Debug, Clone)]
+pub struct LoadRow {
+    /// Replicas in the group.
+    pub group_size: usize,
+    /// Offered rate in requests per second.
+    pub offered_rps: f64,
+    /// Completed (non-fault) responses per second of measurement window.
+    pub goodput_rps: f64,
+    /// Mean service RTT.
+    pub mean: Option<SimDuration>,
+    /// 99th-percentile service RTT.
+    pub p99: Option<SimDuration>,
+    /// Requests lost to the client-side timeout.
+    pub timeouts: u64,
+}
+
+/// Parameters of the load experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadParams {
+    /// Per-request service time at each replica.
+    pub service_time: SimDuration,
+    /// Measurement window.
+    pub window: SimDuration,
+    /// Client-side timeout.
+    pub timeout: SimDuration,
+    /// Simulator seed.
+    pub seed: u64,
+}
+
+impl Default for LoadParams {
+    fn default() -> Self {
+        LoadParams {
+            service_time: SimDuration::from_millis(2),
+            window: SimDuration::from_secs(30),
+            timeout: SimDuration::from_secs(5),
+            seed: 13,
+        }
+    }
+}
+
+/// Measures one (group size, offered rate) point.
+pub fn run_point(group_size: usize, offered_rps: f64, params: LoadParams) -> LoadRow {
+    let service = whisper_wsdl::samples::student_management();
+    let op = service.operation("StudentInformation").expect("sample op").clone();
+    let backends: Vec<Box<dyn ServiceBackend>> =
+        (0..group_size).map(|_| Box::new(EchoBackend) as _).collect();
+    let mut group = GroupSpec::from_operation("StudentInfoGroup", &op, backends);
+    group.processing_time = Some(params.service_time);
+
+    let interval_us = (1_000_000.0 / offered_rps).max(1.0) as u64;
+    let warmup = SimDuration::from_secs(2);
+    let total = (offered_rps * params.window.as_secs_f64()) as u64;
+    let mut payload = Element::new("StudentInformation");
+    payload.push_child(Element::with_text("StudentID", "u1000"));
+
+    let cfg = DeploymentConfig {
+        seed: params.seed,
+        service,
+        groups: vec![group],
+        bpeer: BPeerConfig { load_share: true, ..BPeerConfig::default() },
+        clients: vec![ClientConfigTemplate {
+            workload: Workload::Open {
+                interval: SimDuration::from_micros(interval_us),
+                poisson: true,
+            },
+            payloads: vec![payload],
+            total: Some(total),
+            timeout: params.timeout,
+            warmup,
+        }],
+        ..DeploymentConfig::default()
+    };
+    let mut net = WhisperNet::build(cfg).expect("valid deployment");
+    // warmup + window + drain
+    net.run_for(warmup + params.window + params.timeout + SimDuration::from_secs(2));
+
+    let stats = net.client_stats(net.client_ids()[0]);
+    let good = stats.completed - stats.faults;
+    let mut rtt = stats.rtt.clone();
+    LoadRow {
+        group_size,
+        offered_rps,
+        goodput_rps: good as f64 / params.window.as_secs_f64(),
+        mean: rtt.mean(),
+        p99: rtt.percentile(99.0),
+        timeouts: stats.timeouts,
+    }
+}
+
+/// Sweeps offered rates for each group size.
+pub fn run_sweep(group_sizes: &[usize], rates: &[f64], params: LoadParams) -> Vec<LoadRow> {
+    let mut rows = Vec::new();
+    for &g in group_sizes {
+        for &r in rates {
+            rows.push(run_point(g, r, params));
+        }
+    }
+    rows
+}
+
+/// Renders the sweep.
+pub fn table(rows: &[LoadRow]) -> Table {
+    let mut t = Table::new(
+        "load_scalability",
+        &["replicas", "offered rps", "goodput rps", "mean ms", "p99 ms", "timeouts"],
+    );
+    for r in rows {
+        t.row([
+            r.group_size.to_string(),
+            format!("{:.0}", r.offered_rps),
+            format!("{:.1}", r.goodput_rps),
+            crate::table::ms_opt(r.mean),
+            crate::table::ms_opt(r.p99),
+            r.timeouts.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_params() -> LoadParams {
+        LoadParams {
+            service_time: SimDuration::from_millis(2),
+            window: SimDuration::from_secs(8),
+            timeout: SimDuration::from_secs(3),
+            seed: 2,
+        }
+    }
+
+    #[test]
+    fn below_saturation_latency_is_flat_and_goodput_tracks_offered() {
+        // single replica saturates at 500 rps with 2 ms service time
+        let r = run_point(1, 100.0, quick_params());
+        assert!(
+            r.goodput_rps > 0.85 * r.offered_rps,
+            "goodput {} vs offered {}",
+            r.goodput_rps,
+            r.offered_rps
+        );
+        let mean = r.mean.expect("completions").as_millis_f64();
+        assert!(mean < 10.0, "underloaded latency {mean} ms too high");
+    }
+
+    #[test]
+    fn single_replica_saturates_but_group_absorbs_the_same_load() {
+        let params = quick_params();
+        // 800 rps > 500 rps capacity of one replica
+        let solo = run_point(1, 800.0, params);
+        let group = run_point(5, 800.0, params);
+        assert!(
+            group.goodput_rps > solo.goodput_rps * 1.3,
+            "load sharing did not scale: solo {} vs group {}",
+            solo.goodput_rps,
+            group.goodput_rps
+        );
+        let solo_p99 = solo.p99.expect("completions");
+        let group_p99 = group.p99.expect("completions");
+        assert!(
+            group_p99 < solo_p99,
+            "group p99 {group_p99} not better than saturated solo {solo_p99}"
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Experiment implementations, one module per table/figure.
+
+pub mod availability;
+pub mod discovery_cost;
+pub mod discovery_quality;
+pub mod election;
+pub mod failover_sensitivity;
+pub mod fig4;
+pub mod load;
+pub mod qos;
+pub mod relay_overhead;
+pub mod rtt;

@@ -1,0 +1,337 @@
+//! **QoS-aware peer selection** (paper §2.4): "after discovering a JXTA
+//! peer whose data and functional semantics match the semantics of the
+//! required Web service, the next step is to select the most suitable
+//! peer. Each peer can have different quality aspect and hence selection
+//! involves locating the peer that provides the best quality criteria
+//! match."
+//!
+//! Three semantically identical b-peer groups differ in *actual* service
+//! time and reliability, and advertise QoS claims that reflect reality.
+//! A closed-loop client runs the same workload under each selection policy;
+//! QoS-aware selection should deliver lower latency and fewer faults than
+//! random or first-found selection.
+
+use crate::Table;
+use whisper::{
+    ClientConfigTemplate, DeploymentConfig, EchoBackend, FlakyBackend, GroupSpec,
+    SelectionPolicy, ServiceBackend, WhisperNet, Workload,
+};
+use whisper_p2p::QosSpec;
+use whisper_simnet::SimDuration;
+use whisper_xml::Element;
+
+/// Parameters of the QoS-selection experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct QosParams {
+    /// Requests per policy run.
+    pub requests: u64,
+    /// Simulator seed.
+    pub seed: u64,
+}
+
+impl Default for QosParams {
+    fn default() -> Self {
+        QosParams { requests: 300, seed: 37 }
+    }
+}
+
+/// Outcome of one policy run.
+#[derive(Debug, Clone)]
+pub struct QosRow {
+    /// The selection policy measured.
+    pub policy: SelectionPolicy,
+    /// Mean service RTT.
+    pub mean: Option<SimDuration>,
+    /// 99th-percentile service RTT.
+    pub p99: Option<SimDuration>,
+    /// Faults observed (unreliable backends).
+    pub faults: u64,
+    /// Requests completed.
+    pub completed: u64,
+}
+
+/// The three group profiles: (name, service time, fail probability, QoS).
+fn profiles() -> Vec<(&'static str, SimDuration, f64, QosSpec)> {
+    vec![
+        (
+            "GoldGroup",
+            SimDuration::from_micros(300),
+            0.0,
+            QosSpec { latency_us: 300, reliability: 0.999, cost: 1.0 },
+        ),
+        (
+            "SilverGroup",
+            SimDuration::from_millis(3),
+            0.02,
+            QosSpec { latency_us: 3_000, reliability: 0.98, cost: 1.0 },
+        ),
+        (
+            "BronzeGroup",
+            SimDuration::from_millis(10),
+            0.08,
+            QosSpec { latency_us: 10_000, reliability: 0.92, cost: 1.0 },
+        ),
+    ]
+}
+
+/// Runs the workload under one selection policy.
+pub fn run_policy(policy: SelectionPolicy, params: QosParams) -> QosRow {
+    let service = whisper_wsdl::samples::student_management();
+    let op = service.operation("StudentInformation").expect("sample op").clone();
+
+    let mut groups = Vec::new();
+    for (gi, (name, service_time, fail_p, qos)) in profiles().into_iter().enumerate() {
+        let backends: Vec<Box<dyn ServiceBackend>> = (0..2)
+            .map(|pi| {
+                Box::new(FlakyBackend::new(
+                    Box::new(EchoBackend),
+                    fail_p,
+                    params.seed ^ ((gi * 10 + pi) as u64),
+                )) as Box<dyn ServiceBackend>
+            })
+            .collect();
+        let mut g = GroupSpec::from_operation(name, &op, backends);
+        g.qos = Some(qos);
+        g.processing_time = Some(service_time);
+        groups.push(g);
+    }
+
+    let mut payload = Element::new("StudentInformation");
+    payload.push_child(Element::with_text("StudentID", "u1000"));
+    let mut cfg = DeploymentConfig {
+        seed: params.seed,
+        service,
+        groups,
+        clients: vec![ClientConfigTemplate {
+            workload: Workload::Closed { think: SimDuration::from_millis(5) },
+            payloads: vec![payload],
+            total: Some(params.requests),
+            timeout: SimDuration::from_secs(10),
+            warmup: SimDuration::from_secs(2),
+        }],
+        ..DeploymentConfig::default()
+    };
+    cfg.proxy.policy = policy;
+
+    let mut net = WhisperNet::build(cfg).expect("valid deployment");
+    net.run_for(SimDuration::from_secs(2) + SimDuration::from_millis(40 * params.requests + 10_000));
+    let stats = net.client_stats(net.client_ids()[0]);
+    let mut rtt = stats.rtt.clone();
+    QosRow {
+        policy,
+        mean: rtt.mean(),
+        p99: rtt.percentile(99.0),
+        faults: stats.faults,
+        completed: stats.completed,
+    }
+}
+
+/// Runs every policy, averaging each over `seeds` independent runs so
+/// arrival-order luck (which decides what "first found" means) does not
+/// dominate.
+pub fn run_all_seeds(params: QosParams, seeds: &[u64]) -> Vec<QosRow> {
+    [
+        SelectionPolicy::SemanticThenQos,
+        SelectionPolicy::QosOnly,
+        SelectionPolicy::Adaptive,
+        SelectionPolicy::Random,
+        SelectionPolicy::FirstFound,
+    ]
+    .into_iter()
+    .map(|policy| {
+        let runs: Vec<QosRow> = seeds
+            .iter()
+            .map(|&s| run_policy(policy, QosParams { seed: s, ..params }))
+            .collect();
+        let n = runs.len() as f64;
+        let avg = |f: fn(&QosRow) -> Option<SimDuration>| {
+            let vals: Vec<f64> = runs.iter().filter_map(|r| f(r).map(|d| d.as_micros() as f64)).collect();
+            if vals.is_empty() {
+                None
+            } else {
+                Some(SimDuration::from_micros(
+                    (vals.iter().sum::<f64>() / vals.len() as f64) as u64,
+                ))
+            }
+        };
+        QosRow {
+            policy,
+            mean: avg(|r| r.mean),
+            p99: avg(|r| r.p99),
+            faults: (runs.iter().map(|r| r.faults).sum::<u64>() as f64 / n).round() as u64,
+            completed: runs.iter().map(|r| r.completed).sum::<u64>() / runs.len() as u64,
+        }
+    })
+    .collect()
+}
+
+/// Runs every policy once with the configured seed.
+pub fn run_all(params: QosParams) -> Vec<QosRow> {
+    run_all_seeds(params, &[params.seed])
+}
+
+fn policy_label(p: SelectionPolicy) -> &'static str {
+    match p {
+        SelectionPolicy::SemanticThenQos => "semantic+qos",
+        SelectionPolicy::QosOnly => "qos-only (advertised)",
+        SelectionPolicy::Adaptive => "adaptive (observed)",
+        SelectionPolicy::Random => "random",
+        SelectionPolicy::FirstFound => "first-found",
+    }
+}
+
+/// **E10 — adaptive selection vs. lying advertisements.** Two semantically
+/// equal groups: the *boaster* claims gold QoS but is slow and flaky; the
+/// *honest* group claims modest QoS and delivers it. Advertised-only
+/// selection trusts the boaster forever; adaptive selection abandons it as
+/// soon as the measurements accumulate.
+pub fn run_lying_advertiser(policy: SelectionPolicy, params: QosParams) -> QosRow {
+    let service = whisper_wsdl::samples::student_management();
+    let op = service.operation("StudentInformation").expect("sample op").clone();
+
+    let mk = |fail_p: f64, gi: u64| -> Vec<Box<dyn ServiceBackend>> {
+        (0..2)
+            .map(|pi| {
+                Box::new(FlakyBackend::new(
+                    Box::new(EchoBackend),
+                    fail_p,
+                    params.seed ^ (gi * 10 + pi),
+                )) as Box<dyn ServiceBackend>
+            })
+            .collect()
+    };
+    // claims 0.3 ms / 99.9%; delivers 20 ms / ~80%
+    let mut boaster = GroupSpec::from_operation("BoasterGroup", &op, mk(0.2, 1));
+    boaster.qos = Some(QosSpec { latency_us: 300, reliability: 0.999, cost: 1.0 });
+    boaster.processing_time = Some(SimDuration::from_millis(20));
+    // claims 3 ms / 97%; delivers exactly that
+    let mut honest = GroupSpec::from_operation("HonestGroup", &op, mk(0.02, 2));
+    honest.qos = Some(QosSpec { latency_us: 3_000, reliability: 0.97, cost: 1.0 });
+    honest.processing_time = Some(SimDuration::from_millis(3));
+
+    let mut payload = Element::new("StudentInformation");
+    payload.push_child(Element::with_text("StudentID", "u1000"));
+    let mut cfg = DeploymentConfig {
+        seed: params.seed,
+        service,
+        groups: vec![boaster, honest],
+        clients: vec![ClientConfigTemplate {
+            workload: Workload::Closed { think: SimDuration::from_millis(5) },
+            payloads: vec![payload],
+            total: Some(params.requests),
+            timeout: SimDuration::from_secs(10),
+            warmup: SimDuration::from_secs(2),
+        }],
+        ..DeploymentConfig::default()
+    };
+    cfg.proxy.policy = policy;
+    let mut net = WhisperNet::build(cfg).expect("valid deployment");
+    net.run_for(SimDuration::from_secs(2) + SimDuration::from_millis(60 * params.requests + 10_000));
+    let stats = net.client_stats(net.client_ids()[0]);
+    let mut rtt = stats.rtt.clone();
+    QosRow {
+        policy,
+        mean: rtt.mean(),
+        p99: rtt.percentile(99.0),
+        faults: stats.faults,
+        completed: stats.completed,
+    }
+}
+
+/// Renders the lying-advertiser comparison.
+pub fn lying_advertiser_table(params: QosParams) -> Table {
+    let rows: Vec<QosRow> = [SelectionPolicy::QosOnly, SelectionPolicy::Adaptive]
+        .into_iter()
+        .map(|p| run_lying_advertiser(p, params))
+        .collect();
+    let mut t = Table::new(
+        "qos_adaptive",
+        &["policy", "completed", "mean ms", "p99 ms", "faults"],
+    );
+    for r in &rows {
+        t.row([
+            policy_label(r.policy).to_string(),
+            r.completed.to_string(),
+            crate::table::ms_opt(r.mean),
+            crate::table::ms_opt(r.p99),
+            r.faults.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders the comparison.
+pub fn table(rows: &[QosRow]) -> Table {
+    let mut t = Table::new(
+        "qos_selection",
+        &["policy", "completed", "mean ms", "p99 ms", "faults"],
+    );
+    for r in rows {
+        t.row([
+            policy_label(r.policy).to_string(),
+            r.completed.to_string(),
+            crate::table::ms_opt(r.mean),
+            crate::table::ms_opt(r.p99),
+            r.faults.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qos_aware_selection_beats_random() {
+        let params = QosParams { requests: 120, seed: 5 };
+        let qos = run_policy(SelectionPolicy::QosOnly, params);
+        let random = run_policy(SelectionPolicy::Random, params);
+        let qm = qos.mean.expect("completions").as_millis_f64();
+        let rm = random.mean.expect("completions").as_millis_f64();
+        assert!(
+            qm < rm,
+            "qos-aware mean {qm:.3} ms should beat random {rm:.3} ms"
+        );
+        assert!(
+            qos.faults <= random.faults,
+            "qos faults {} vs random {}",
+            qos.faults,
+            random.faults
+        );
+        // QoS-aware traffic lands on the gold group; the mean carries the
+        // one-time discovery cost of the first (cold) request.
+        assert!(qm < 6.0, "gold-group latency should be low, got {qm:.3} ms");
+    }
+
+    #[test]
+    fn all_policies_complete_the_workload() {
+        let params = QosParams { requests: 50, seed: 9 };
+        for row in run_all(params) {
+            assert_eq!(
+                row.completed, 50,
+                "{:?} lost requests: {row:?}",
+                row.policy
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_selection_abandons_the_lying_advertiser() {
+        let params = QosParams { requests: 150, seed: 3 };
+        let advertised = run_lying_advertiser(SelectionPolicy::QosOnly, params);
+        let adaptive = run_lying_advertiser(SelectionPolicy::Adaptive, params);
+        let am = advertised.mean.expect("completions").as_millis_f64();
+        let dm = adaptive.mean.expect("completions").as_millis_f64();
+        assert!(
+            dm < am / 2.0,
+            "adaptive mean {dm:.2} ms should be far below advertised-only {am:.2} ms"
+        );
+        assert!(
+            adaptive.faults < advertised.faults,
+            "adaptive faults {} vs advertised-only {}",
+            adaptive.faults,
+            advertised.faults
+        );
+    }
+}

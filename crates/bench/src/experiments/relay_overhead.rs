@@ -1,0 +1,151 @@
+//! **Relay overhead** — the cost of JXTA's relay service. The paper (§5)
+//! calls its results "encouraging since JXTA is inherently a heavy
+//! architecture" providing "an abstract network transport capable of
+//! transporting messages between peers, either directly, or via relay
+//! peers … traversing firewall or NAT equipment".
+//!
+//! This ablation quantifies that heaviness: the same deployment runs once
+//! with directly reachable b-peers and once with every b-peer firewalled
+//! behind the rendezvous relay. Every proxy↔peer and peer↔peer message
+//! then takes two hops instead of one, roughly doubling steady-state RTT
+//! and total message count, while the architecture keeps functioning —
+//! including failover.
+
+use crate::Table;
+use whisper::{
+    ClientConfigTemplate, DeploymentConfig, GroupSpec, ServiceBackend, StudentRegistry,
+    WhisperNet, Workload,
+};
+use whisper_simnet::{SimDuration, SimTime};
+use whisper_xml::Element;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct RelayRow {
+    /// Whether the b-peers sat behind the relay.
+    pub firewalled: bool,
+    /// Requests completed (of the configured workload).
+    pub completed: u64,
+    /// Faults observed.
+    pub faults: u64,
+    /// Median steady-state service RTT.
+    pub p50: Option<SimDuration>,
+    /// Total messages during the measured window.
+    pub messages: u64,
+    /// Messages that leaked onto blocked links (must be zero: the relay
+    /// layer must carry everything).
+    pub partition_drops: u64,
+}
+
+fn deployment(firewalled: bool, bpeers: usize, seed: u64) -> WhisperNet {
+    let service = whisper_wsdl::samples::student_management();
+    let op = service.operation("StudentInformation").expect("sample op").clone();
+    let backends: Vec<Box<dyn ServiceBackend>> = (0..bpeers)
+        .map(|_| Box::new(StudentRegistry::operational_db().with_sample_data()) as _)
+        .collect();
+    let mut payload = Element::new("StudentInformation");
+    payload.push_child(Element::with_text("StudentID", "u1003"));
+    let cfg = DeploymentConfig {
+        seed,
+        service,
+        groups: vec![GroupSpec::from_operation("StudentInfoGroup", &op, backends)],
+        use_rendezvous: true,
+        firewall_bpeers: firewalled,
+        clients: vec![ClientConfigTemplate {
+            workload: Workload::Closed { think: SimDuration::from_millis(20) },
+            payloads: vec![payload],
+            total: Some(100),
+            timeout: SimDuration::from_secs(20),
+            warmup: SimDuration::from_secs(2),
+        }],
+        ..DeploymentConfig::default()
+    };
+    WhisperNet::build(cfg).expect("valid deployment")
+}
+
+/// Measures one configuration (3 b-peers, 100 closed-loop requests).
+pub fn run_point(firewalled: bool, seed: u64) -> RelayRow {
+    let mut net = deployment(firewalled, 3, seed);
+    net.run_until(SimTime::from_micros(2_000_000));
+    net.reset_metrics();
+    net.run_for(SimDuration::from_secs(20));
+    let stats = net.client_stats(net.client_ids()[0]);
+    let mut rtt = stats.rtt.clone();
+    RelayRow {
+        firewalled,
+        completed: stats.completed,
+        faults: stats.faults,
+        p50: rtt.percentile(50.0),
+        messages: net.metrics().messages_sent(),
+        partition_drops: net.metrics().messages_partitioned(),
+    }
+}
+
+/// Runs both configurations.
+pub fn run_both(seed: u64) -> (RelayRow, RelayRow) {
+    (run_point(false, seed), run_point(true, seed))
+}
+
+/// Renders the comparison.
+pub fn table(direct: &RelayRow, relayed: &RelayRow) -> Table {
+    let mut t = Table::new(
+        "relay_overhead",
+        &["topology", "completed", "faults", "p50 ms", "messages", "leaked"],
+    );
+    for r in [direct, relayed] {
+        t.row([
+            if r.firewalled { "firewalled (via relay)" } else { "direct" }.to_string(),
+            r.completed.to_string(),
+            r.faults.to_string(),
+            crate::table::ms_opt(r.p50),
+            r.messages.to_string(),
+            r.partition_drops.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_doubles_rtt_but_masks_the_firewall() {
+        let (direct, relayed) = run_both(29);
+        assert_eq!(direct.completed, 100, "{direct:?}");
+        assert_eq!(relayed.completed, 100, "{relayed:?}");
+        assert_eq!(direct.faults, 0);
+        assert_eq!(relayed.faults, 0);
+        // nothing may leak onto the blocked links
+        assert_eq!(relayed.partition_drops, 0, "traffic bypassed the relay");
+
+        let d = direct.p50.expect("samples").as_millis_f64();
+        let r = relayed.p50.expect("samples").as_millis_f64();
+        // proxy→peer and peer→proxy go via the relay (4 hops → 6 hops),
+        // so the service RTT grows by roughly half again
+        assert!(
+            r > 1.3 * d && r < 3.0 * d,
+            "relayed p50 {r:.3} ms should be ~1.5x direct {d:.3} ms"
+        );
+        assert!(
+            relayed.messages > direct.messages,
+            "relaying must add messages: {} vs {}",
+            relayed.messages,
+            direct.messages
+        );
+    }
+
+    #[test]
+    fn failover_still_works_behind_the_relay() {
+        let mut net = deployment(true, 3, 31);
+        net.run_for(SimDuration::from_secs(3));
+        let client = net.client_ids()[0];
+        // interrupt the closed loop by crashing the coordinator mid-run
+        net.crash_coordinator(0).expect("coordinator exists");
+        net.run_for(SimDuration::from_secs(40));
+        let stats = net.client_stats(client);
+        assert_eq!(stats.faults, 0, "failover behind NAT must be masked: {stats:?}");
+        assert!(stats.completed >= 90, "workload should finish: {stats:?}");
+        assert_eq!(net.metrics().messages_partitioned(), 0);
+    }
+}

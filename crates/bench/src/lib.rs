@@ -1,0 +1,28 @@
+//! # whisper-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (section 5), plus the ablations its design implies.
+//! Each experiment is a library module (so integration tests can pin its
+//! behaviour) with a thin binary in `src/bin` that prints the table the
+//! paper reports and saves a CSV under `target/experiments/`.
+//!
+//! | Binary | Paper artifact | Module |
+//! |--------|----------------|--------|
+//! | `fig4_messages` | Figure 4: messages vs. number of b-peers | [`experiments::fig4`] |
+//! | `rtt_analysis` | §5 RTT: ≈0.5 ms average, multi-second worst case | [`experiments::rtt`] |
+//! | `load_scalability` | §5 throughput/latency under system load | [`experiments::load`] |
+//! | `election_time` | implied: election cost vs. group size | [`experiments::election`] |
+//! | `availability` | §1/§4 claim: availability from redundancy | [`experiments::availability`] |
+//! | `discovery_quality` | §4.3 claim: semantic vs. syntactic discovery | [`experiments::discovery_quality`] |
+//! | `qos_selection` | §2.4 extension: QoS-aware peer selection | [`experiments::qos`] |
+//! | `discovery_cost` | ablation: flooding vs. rendezvous discovery | [`experiments::discovery_cost`] |
+//!
+//! Run everything with `cargo run -p whisper-bench --bin all_experiments`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod table;
+
+pub use table::Table;

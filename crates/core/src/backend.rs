@@ -1,0 +1,486 @@
+//! Service backends: the business logic a b-peer executes.
+//!
+//! In the paper's running example the Web service itself holds no logic —
+//! "the actual implementation of this service is not associated with the Web
+//! service itself, but it is supplied by a JXTA network of b-peers". A
+//! [`ServiceBackend`] is that implementation. Different b-peers of one
+//! semantic group may run *different* backends with the same semantics —
+//! e.g. an operational database and a data warehouse (section 4.1) — which
+//! is exactly what makes the redundancy transparent.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use whisper_xml::Element;
+
+/// Why a backend could not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The underlying resource (database, warehouse...) is down.
+    Unavailable(String),
+    /// The request payload is structurally wrong.
+    BadRequest(String),
+    /// The requested entity does not exist.
+    NotFound(String),
+    /// The backend does not implement this operation.
+    UnsupportedOperation(String),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Unavailable(what) => write!(f, "backend unavailable: {what}"),
+            BackendError::BadRequest(why) => write!(f, "bad request: {why}"),
+            BackendError::NotFound(what) => write!(f, "not found: {what}"),
+            BackendError::UnsupportedOperation(op) => {
+                write!(f, "operation {op:?} not supported by this backend")
+            }
+        }
+    }
+}
+
+impl Error for BackendError {}
+
+/// Business logic executed by a b-peer on behalf of a Web service.
+///
+/// `operation` is the WSDL operation name; `payload` is the SOAP body
+/// payload. The returned element becomes the response body payload.
+pub trait ServiceBackend: Send + Any {
+    /// Handles one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] that the b-peer converts into a SOAP
+    /// fault (or, for [`BackendError::Unavailable`], that Whisper masks by
+    /// failing over to a semantically equivalent peer).
+    fn handle(&mut self, operation: &str, payload: &Element) -> Result<Element, BackendError>;
+
+    /// A short label identifying the implementation (appears in responses
+    /// so experiments can see *which* replica answered).
+    fn label(&self) -> &str;
+}
+
+impl dyn ServiceBackend {
+    /// Downcasts to a concrete backend type, e.g. to flip a
+    /// [`StudentRegistry`]'s availability in a fault-injection experiment.
+    pub fn downcast_mut<T: ServiceBackend>(&mut self) -> Option<&mut T> {
+        (self as &mut dyn Any).downcast_mut()
+    }
+
+    /// Immutable variant of [`downcast_mut`](Self::downcast_mut).
+    pub fn downcast_ref<T: ServiceBackend>(&self) -> Option<&T> {
+        (self as &dyn Any).downcast_ref()
+    }
+}
+
+/// One student row of the paper's running example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudentRecord {
+    /// Student identifier, e.g. `"u1001"`.
+    pub id: String,
+    /// Full name.
+    pub name: String,
+    /// Enrolled program.
+    pub program: String,
+    /// Grade-point average.
+    pub gpa: f64,
+}
+
+/// The student-information backend: "accepts as input a student ID,
+/// connects to a relational database, retrieves the information of the
+/// student, and returns a structure with the information to the client"
+/// (paper, section 3.1).
+///
+/// Constructed either as the *operational database* or as the semantically
+/// equivalent *data warehouse* replica; the warehouse annotates its answers
+/// with provenance, demonstrating that replicas may implement the service
+/// differently.
+#[derive(Debug, Clone)]
+pub struct StudentRegistry {
+    source: &'static str,
+    students: BTreeMap<String, StudentRecord>,
+    available: bool,
+}
+
+impl StudentRegistry {
+    /// An empty operational-database registry.
+    pub fn operational_db() -> Self {
+        StudentRegistry { source: "operational-db", students: BTreeMap::new(), available: true }
+    }
+
+    /// An empty data-warehouse registry.
+    pub fn data_warehouse() -> Self {
+        StudentRegistry { source: "data-warehouse", students: BTreeMap::new(), available: true }
+    }
+
+    /// Loads the sample student body used by examples and benchmarks
+    /// (ids `u1000` through `u1009`).
+    pub fn with_sample_data(mut self) -> Self {
+        for i in 0..10 {
+            let id = format!("u100{i}");
+            self.students.insert(
+                id.clone(),
+                StudentRecord {
+                    id,
+                    name: format!("Student Number {i}"),
+                    program: if i % 2 == 0 { "Informatics" } else { "Mathematics" }.to_string(),
+                    gpa: 2.0 + (i as f64) * 0.2,
+                },
+            );
+        }
+        self
+    }
+
+    /// Adds one student.
+    pub fn insert(&mut self, rec: StudentRecord) {
+        self.students.insert(rec.id.clone(), rec);
+    }
+
+    /// Models the underlying database going down (or up): an unavailable
+    /// registry answers every request with [`BackendError::Unavailable`].
+    pub fn set_available(&mut self, available: bool) {
+        self.available = available;
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.students.len()
+    }
+
+    /// Whether the registry holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.students.is_empty()
+    }
+}
+
+impl ServiceBackend for StudentRegistry {
+    fn handle(&mut self, operation: &str, payload: &Element) -> Result<Element, BackendError> {
+        if !self.available {
+            return Err(BackendError::Unavailable(self.source.to_string()));
+        }
+        let id = payload
+            .descendant("StudentID")
+            .map(|e| e.text())
+            .or_else(|| {
+                (payload.name == "StudentID").then(|| payload.text())
+            })
+            .ok_or_else(|| BackendError::BadRequest("missing <StudentID>".into()))?;
+        let rec = self
+            .students
+            .get(id.trim())
+            .ok_or_else(|| BackendError::NotFound(format!("student {id}")))?;
+        match operation {
+            "StudentInformation" => {
+                let mut out = Element::new("StudentInfo");
+                out.push_child(Element::with_text("StudentID", &rec.id));
+                out.push_child(Element::with_text("Name", &rec.name));
+                out.push_child(Element::with_text("Program", &rec.program));
+                out.push_child(Element::with_text("GPA", format!("{:.2}", rec.gpa)));
+                out.push_child(Element::with_text("Source", self.source));
+                Ok(out)
+            }
+            "StudentTranscript" => {
+                let mut out = Element::new("StudentTranscript");
+                out.push_child(Element::with_text("StudentID", &rec.id));
+                out.push_child(Element::with_text("GPA", format!("{:.2}", rec.gpa)));
+                let mut courses = Element::new("Courses");
+                courses.push_child(Element::with_text("Course", "databases101"));
+                courses.push_child(Element::with_text("Course", "distsys201"));
+                out.push_child(courses);
+                out.push_child(Element::with_text("Source", self.source));
+                Ok(out)
+            }
+            other => Err(BackendError::UnsupportedOperation(other.to_string())),
+        }
+    }
+
+    fn label(&self) -> &str {
+        self.source
+    }
+}
+
+/// Insurance-claim processing backend for the B2B examples: approves claims
+/// under the configured limit, rejects the rest.
+#[derive(Debug, Clone)]
+pub struct ClaimProcessor {
+    /// Claims at or above this amount are rejected.
+    pub approval_limit: f64,
+    processed: u64,
+}
+
+impl ClaimProcessor {
+    /// A processor approving claims below `approval_limit`.
+    pub fn new(approval_limit: f64) -> Self {
+        ClaimProcessor { approval_limit, processed: 0 }
+    }
+
+    /// How many claims this replica has processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+impl ServiceBackend for ClaimProcessor {
+    fn handle(&mut self, operation: &str, payload: &Element) -> Result<Element, BackendError> {
+        if operation != "ProcessClaim" {
+            return Err(BackendError::UnsupportedOperation(operation.to_string()));
+        }
+        let number = payload
+            .descendant("ClaimNumber")
+            .map(|e| e.text())
+            .ok_or_else(|| BackendError::BadRequest("missing <ClaimNumber>".into()))?;
+        let amount: f64 = payload
+            .descendant("Amount")
+            .map(|e| e.text())
+            .and_then(|t| t.trim().parse().ok())
+            .ok_or_else(|| BackendError::BadRequest("missing or bad <Amount>".into()))?;
+        self.processed += 1;
+        let mut out = Element::new("ClaimDecision");
+        out.push_child(Element::with_text("ClaimNumber", number));
+        out.push_child(Element::with_text(
+            "Decision",
+            if amount < self.approval_limit { "approved" } else { "rejected" },
+        ));
+        Ok(out)
+    }
+
+    fn label(&self) -> &str {
+        "claim-processor"
+    }
+}
+
+/// Order-tracking backend for the supply-chain example.
+#[derive(Debug, Clone, Default)]
+pub struct OrderTracker {
+    orders: BTreeMap<String, &'static str>,
+}
+
+impl OrderTracker {
+    /// A tracker with a few seeded orders.
+    pub fn with_sample_orders() -> Self {
+        let mut orders = BTreeMap::new();
+        orders.insert("po-77".to_string(), "in-transit");
+        orders.insert("po-78".to_string(), "delivered");
+        orders.insert("po-79".to_string(), "processing");
+        OrderTracker { orders }
+    }
+}
+
+impl ServiceBackend for OrderTracker {
+    fn handle(&mut self, operation: &str, payload: &Element) -> Result<Element, BackendError> {
+        match operation {
+            "TrackOrder" => {
+                let number = payload
+                    .descendant("OrderNumber")
+                    .map(|e| e.text())
+                    .unwrap_or_else(|| payload.text());
+                let status = self
+                    .orders
+                    .get(number.trim())
+                    .ok_or_else(|| BackendError::NotFound(format!("order {number}")))?;
+                let mut out = Element::new("OrderStatus");
+                out.push_child(Element::with_text("OrderNumber", number.trim()));
+                out.push_child(Element::with_text("Status", *status));
+                Ok(out)
+            }
+            "ProcessOrder" => {
+                let number = payload
+                    .descendant("OrderNumber")
+                    .map(|e| e.text())
+                    .ok_or_else(|| BackendError::BadRequest("missing <OrderNumber>".into()))?;
+                self.orders.insert(number.trim().to_string(), "processing");
+                let mut out = Element::new("Invoice");
+                out.push_child(Element::with_text("OrderNumber", number.trim()));
+                out.push_child(Element::with_text("Total", "100.00"));
+                Ok(out)
+            }
+            other => Err(BackendError::UnsupportedOperation(other.to_string())),
+        }
+    }
+
+    fn label(&self) -> &str {
+        "order-tracker"
+    }
+}
+
+/// Wraps another backend and makes it fail intermittently with
+/// [`BackendError::Unavailable`] — the knob behind reliability experiments.
+/// Deterministic given the seed.
+pub struct FlakyBackend {
+    inner: Box<dyn ServiceBackend>,
+    fail_probability: f64,
+    rng: rand::rngs::SmallRng,
+}
+
+impl FlakyBackend {
+    /// Wraps `inner`, failing each request independently with
+    /// `fail_probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the probability is outside `[0, 1]`.
+    pub fn new(inner: Box<dyn ServiceBackend>, fail_probability: f64, seed: u64) -> Self {
+        use rand::SeedableRng;
+        assert!(
+            (0.0..=1.0).contains(&fail_probability),
+            "fail_probability {fail_probability} out of range"
+        );
+        FlakyBackend {
+            inner,
+            fail_probability,
+            rng: rand::rngs::SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ServiceBackend for FlakyBackend {
+    fn handle(&mut self, operation: &str, payload: &Element) -> Result<Element, BackendError> {
+        use rand::Rng;
+        if self.fail_probability > 0.0 && self.rng.gen_bool(self.fail_probability) {
+            return Err(BackendError::Unavailable("flaky backend".into()));
+        }
+        self.inner.handle(operation, payload)
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+}
+
+/// A backend that echoes the request payload, for tests and load benches
+/// where business logic is irrelevant.
+#[derive(Debug, Clone, Default)]
+pub struct EchoBackend;
+
+impl ServiceBackend for EchoBackend {
+    fn handle(&mut self, _operation: &str, payload: &Element) -> Result<Element, BackendError> {
+        let mut out = Element::new("Echo");
+        out.push_child(payload.clone());
+        Ok(out)
+    }
+
+    fn label(&self) -> &str {
+        "echo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn student_req(id: &str) -> Element {
+        let mut p = Element::new("StudentInformation");
+        p.push_child(Element::with_text("StudentID", id));
+        p
+    }
+
+    #[test]
+    fn registry_answers_information_requests() {
+        let mut db = StudentRegistry::operational_db().with_sample_data();
+        assert_eq!(db.len(), 10);
+        let out = db.handle("StudentInformation", &student_req("u1003")).unwrap();
+        assert_eq!(out.name, "StudentInfo");
+        assert_eq!(out.child("Name").unwrap().text(), "Student Number 3");
+        assert_eq!(out.child("Source").unwrap().text(), "operational-db");
+    }
+
+    #[test]
+    fn warehouse_same_semantics_different_provenance() {
+        let mut wh = StudentRegistry::data_warehouse().with_sample_data();
+        let out = wh.handle("StudentInformation", &student_req("u1003")).unwrap();
+        assert_eq!(out.name, "StudentInfo");
+        assert_eq!(out.child("Source").unwrap().text(), "data-warehouse");
+        assert_eq!(wh.label(), "data-warehouse");
+    }
+
+    #[test]
+    fn transcript_operation() {
+        let mut db = StudentRegistry::operational_db().with_sample_data();
+        let out = db.handle("StudentTranscript", &student_req("u1000")).unwrap();
+        assert_eq!(out.name, "StudentTranscript");
+        assert_eq!(out.child("Courses").unwrap().children_named("Course").count(), 2);
+    }
+
+    #[test]
+    fn registry_error_paths() {
+        let mut db = StudentRegistry::operational_db().with_sample_data();
+        assert!(matches!(
+            db.handle("StudentInformation", &student_req("nobody")),
+            Err(BackendError::NotFound(_))
+        ));
+        assert!(matches!(
+            db.handle("StudentInformation", &Element::new("Empty")),
+            Err(BackendError::BadRequest(_))
+        ));
+        assert!(matches!(
+            db.handle("DropTables", &student_req("u1000")),
+            Err(BackendError::UnsupportedOperation(_))
+        ));
+        db.set_available(false);
+        assert!(matches!(
+            db.handle("StudentInformation", &student_req("u1000")),
+            Err(BackendError::Unavailable(_))
+        ));
+        db.set_available(true);
+        assert!(db.handle("StudentInformation", &student_req("u1000")).is_ok());
+    }
+
+    #[test]
+    fn claims_approved_below_limit() {
+        let mut cp = ClaimProcessor::new(1000.0);
+        let mut claim = Element::new("InsuranceClaim");
+        claim.push_child(Element::with_text("ClaimNumber", "c-1"));
+        claim.push_child(Element::with_text("Amount", "250.00"));
+        let out = cp.handle("ProcessClaim", &claim).unwrap();
+        assert_eq!(out.child("Decision").unwrap().text(), "approved");
+
+        let mut big = Element::new("InsuranceClaim");
+        big.push_child(Element::with_text("ClaimNumber", "c-2"));
+        big.push_child(Element::with_text("Amount", "99999"));
+        let out = cp.handle("ProcessClaim", &big).unwrap();
+        assert_eq!(out.child("Decision").unwrap().text(), "rejected");
+        assert_eq!(cp.processed(), 2);
+    }
+
+    #[test]
+    fn claim_error_paths() {
+        let mut cp = ClaimProcessor::new(1000.0);
+        assert!(matches!(
+            cp.handle("Other", &Element::new("x")),
+            Err(BackendError::UnsupportedOperation(_))
+        ));
+        let mut noamount = Element::new("InsuranceClaim");
+        noamount.push_child(Element::with_text("ClaimNumber", "c-3"));
+        assert!(matches!(
+            cp.handle("ProcessClaim", &noamount),
+            Err(BackendError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn order_tracking_and_processing() {
+        let mut t = OrderTracker::with_sample_orders();
+        let mut req = Element::new("TrackOrder");
+        req.push_child(Element::with_text("OrderNumber", "po-77"));
+        let out = t.handle("TrackOrder", &req).unwrap();
+        assert_eq!(out.child("Status").unwrap().text(), "in-transit");
+
+        let mut po = Element::new("PurchaseOrder");
+        po.push_child(Element::with_text("OrderNumber", "po-99"));
+        let inv = t.handle("ProcessOrder", &po).unwrap();
+        assert_eq!(inv.name, "Invoice");
+        // the new order is now trackable
+        let mut req = Element::new("TrackOrder");
+        req.push_child(Element::with_text("OrderNumber", "po-99"));
+        assert!(t.handle("TrackOrder", &req).is_ok());
+    }
+
+    #[test]
+    fn echo_round_trips_payload() {
+        let mut e = EchoBackend;
+        let payload = student_req("u1");
+        let out = e.handle("Anything", &payload).unwrap();
+        assert_eq!(out.child_elements().next(), Some(&payload));
+    }
+}

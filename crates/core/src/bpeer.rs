@@ -1,0 +1,643 @@
+//! The b-peer actor: a replica of a service's business logic inside a
+//! semantic b-peer group.
+//!
+//! B-peers (paper, section 4.2) implement the service functionality plus the
+//! Bully election algorithm. Within a group all replicas are active (static
+//! redundancy); the coordinator processes requests. Heartbeats form a star
+//! around the coordinator — members beacon the coordinator, the coordinator
+//! beacons the members — so steady-state chatter grows *linearly* with group
+//! size, which is what the paper's Figure 4 observes.
+
+use crate::backend::{BackendError, ServiceBackend};
+use crate::directory::Directory;
+use crate::msg::WhisperMsg;
+use whisper_election::{BullyConfig, BullyNode, ElectionMsg, ElectionProtocol, Output};
+use whisper_p2p::{
+    Advertisement, DiscoveryService, DiscoveryStrategy, FailureDetector, GroupId, P2pMessage,
+    PeerAdv, PeerId, PipeId, SemanticAdv,
+};
+use whisper_simnet::{Actor, Context, NodeId, SimDuration};
+use whisper_soap::{Envelope, Fault, FaultCode};
+
+/// Timer tokens (election tokens live in the high half of the space).
+const TOKEN_HEARTBEAT: u64 = 1;
+const TOKEN_FD_CHECK: u64 = 2;
+const TOKEN_REPUBLISH: u64 = 3;
+const ELECTION_TOKEN_BASE: u64 = 1 << 63;
+const RESPONSE_TOKEN_BASE: u64 = 1 << 62;
+
+/// Tuning knobs of a b-peer.
+///
+/// # Examples
+///
+/// ```
+/// use whisper::BPeerConfig;
+/// use whisper_simnet::SimDuration;
+///
+/// // Aggressive failure detection (see the failover_sensitivity bench).
+/// let cfg = BPeerConfig {
+///     heartbeat_period: SimDuration::from_millis(100),
+///     failure_timeout: SimDuration::from_millis(300),
+///     ..BPeerConfig::default()
+/// };
+/// assert!(cfg.failure_timeout > cfg.heartbeat_period);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BPeerConfig {
+    /// Heartbeat beacon period.
+    pub heartbeat_period: SimDuration,
+    /// Silence after which a peer is suspected dead.
+    pub failure_timeout: SimDuration,
+    /// Lifetime requested for published advertisements.
+    pub adv_lifetime: SimDuration,
+    /// Bully algorithm timeouts.
+    pub bully: BullyConfig,
+    /// Discovery strategy (must match the deployment's).
+    pub strategy: DiscoveryStrategy,
+    /// Time the replica needs to process one request. Requests queue behind
+    /// each other (an M/D/1-style server), so offered load beyond
+    /// `1/processing_time` saturates the replica — the knob behind the
+    /// load-scalability experiment.
+    pub processing_time: SimDuration,
+    /// When set, the coordinator spreads requests round-robin over the live
+    /// members instead of executing everything itself (the paper's
+    /// "scalability requirements through load-sharing").
+    pub load_share: bool,
+}
+
+impl Default for BPeerConfig {
+    /// Paper-era defaults: 500 ms heartbeats, 1.5 s failure timeout,
+    /// 10 min advertisement lifetime.
+    fn default() -> Self {
+        BPeerConfig {
+            heartbeat_period: SimDuration::from_millis(500),
+            failure_timeout: SimDuration::from_millis(1500),
+            adv_lifetime: SimDuration::from_secs(600),
+            bully: BullyConfig::default(),
+            strategy: DiscoveryStrategy::Flood,
+            processing_time: SimDuration::ZERO,
+            load_share: false,
+        }
+    }
+}
+
+/// A b-peer: group member, election participant, request executor.
+pub struct BPeerActor {
+    peer: PeerId,
+    group: GroupId,
+    members: Vec<PeerId>,
+    directory: Directory,
+    disco: DiscoveryService,
+    election: BullyNode,
+    fd: FailureDetector,
+    backend: Box<dyn ServiceBackend>,
+    semantic_adv: SemanticAdv,
+    config: BPeerConfig,
+    requests_handled: u64,
+    name: String,
+    /// Server model: the instant the replica becomes free again.
+    busy_until: whisper_simnet::SimTime,
+    /// Deferred responses keyed by stash id (token payload).
+    stash: std::collections::HashMap<u64, (PeerId, WhisperMsg)>,
+    next_stash: u64,
+    /// Round-robin cursor for load sharing.
+    rr_cursor: usize,
+}
+
+impl BPeerActor {
+    /// Creates a b-peer for `peer`, member of `group` with `members`
+    /// (which must include `peer`), executing `backend`.
+    pub fn new(
+        peer: PeerId,
+        group: GroupId,
+        members: Vec<PeerId>,
+        semantic_adv: SemanticAdv,
+        backend: Box<dyn ServiceBackend>,
+        directory: Directory,
+        config: BPeerConfig,
+    ) -> Self {
+        let name = format!("b-peer {peer} of {}", semantic_adv.name);
+        BPeerActor {
+            peer,
+            group,
+            election: BullyNode::new(peer, members.iter().copied(), config.bully),
+            fd: FailureDetector::new(config.failure_timeout),
+            disco: DiscoveryService::new(peer, config.strategy),
+            members,
+            directory,
+            backend,
+            semantic_adv,
+            config,
+            requests_handled: 0,
+            name,
+            busy_until: whisper_simnet::SimTime::ZERO,
+            stash: std::collections::HashMap::new(),
+            next_stash: 0,
+            rr_cursor: 0,
+        }
+    }
+
+    /// This peer's id.
+    pub fn peer_id(&self) -> PeerId {
+        self.peer
+    }
+
+    /// The group this peer belongs to.
+    pub fn group_id(&self) -> GroupId {
+        self.group
+    }
+
+    /// Whether this peer currently believes it is the group coordinator.
+    pub fn is_coordinator(&self) -> bool {
+        self.election.is_coordinator()
+    }
+
+    /// The coordinator this peer currently believes in.
+    pub fn coordinator(&self) -> Option<PeerId> {
+        self.election.coordinator()
+    }
+
+    /// How many requests this replica has executed.
+    pub fn requests_handled(&self) -> u64 {
+        self.requests_handled
+    }
+
+    /// How many elections this peer initiated.
+    pub fn elections_started(&self) -> u64 {
+        self.election.elections_started()
+    }
+
+    /// The backend label (e.g. `"operational-db"`).
+    pub fn backend_label(&self) -> &str {
+        self.backend.label()
+    }
+
+    /// Direct mutable access to the backend, for fault-injection in tests
+    /// and experiments (e.g. taking the operational database offline).
+    pub fn backend_mut(&mut self) -> &mut dyn ServiceBackend {
+        self.backend.as_mut()
+    }
+
+    /// Read access to this peer's discovery state (advertisement cache,
+    /// bound pipes).
+    pub fn discovery(&self) -> &DiscoveryService {
+        &self.disco
+    }
+
+    /// The group members this peer currently knows, in id order.
+    pub fn members(&self) -> &[PeerId] {
+        &self.members
+    }
+
+    fn send_to_peer(&self, ctx: &mut Context<'_, WhisperMsg>, to: PeerId, msg: WhisperMsg) {
+        crate::routing::send_routed(&self.directory, self.peer, ctx, to, msg);
+    }
+
+    /// Symbolic name of the group's request pipe.
+    fn pipe_name(&self) -> String {
+        format!("{}-requests", self.semantic_adv.name)
+    }
+
+    /// Advertisements are refreshed at half their lifetime.
+    fn republish_period(&self) -> SimDuration {
+        SimDuration::from_micros((self.config.adv_lifetime.as_micros() / 2).max(1))
+    }
+
+    /// Learns a group member that joined after this peer started — JXTA
+    /// networks "are inherently dynamic", and a bigger group means higher
+    /// availability (paper, §4.2).
+    fn note_member(&mut self, peer: PeerId, now: whisper_simnet::SimTime) {
+        if peer == self.peer || self.members.contains(&peer) {
+            return;
+        }
+        self.members.push(peer);
+        self.members.sort();
+        self.election.set_members(&self.members);
+        self.disco.add_known_peer(peer);
+        self.fd.record(peer, now);
+    }
+
+    fn route_election_output(&mut self, ctx: &mut Context<'_, WhisperMsg>, out: Output) {
+        for (to, msg) in out.sends {
+            self.send_to_peer(ctx, to, WhisperMsg::Election { group: self.group, msg });
+        }
+        for t in out.timers {
+            ctx.set_timer(t.delay, ELECTION_TOKEN_BASE | t.token);
+        }
+        for ev in out.events {
+            let whisper_election::ElectionEvent::CoordinatorElected(winner) = ev;
+            if winner == self.peer {
+                // A new coordinator re-binds the group's request pipe
+                // (JXTA input-pipe creation); senders re-resolve it — the
+                // paper's "new binding between the SWS-proxy and the
+                // elected b-peer".
+                let name = self.pipe_name();
+                let sends = self.disco.bind_input_pipe(
+                    PipeId::new(self.group.value()),
+                    name,
+                    self.config.adv_lifetime,
+                    ctx.now(),
+                );
+                for s in sends {
+                    self.send_to_peer(ctx, s.to, WhisperMsg::P2p(s.msg));
+                }
+            }
+        }
+    }
+
+    fn publish_advertisements(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
+        let now = ctx.now();
+        let peer_adv = Advertisement::Peer(PeerAdv {
+            peer: self.peer,
+            name: self.name.clone(),
+            group: Some(self.group),
+        });
+        let sem_adv = Advertisement::Semantic(self.semantic_adv.clone());
+        for adv in [peer_adv, sem_adv] {
+            for send in self.disco.publish(adv, self.config.adv_lifetime, now) {
+                self.send_to_peer(ctx, send.to, WhisperMsg::P2p(send.msg));
+            }
+        }
+    }
+
+    fn heartbeat_targets(&self) -> Vec<PeerId> {
+        match self.election.coordinator() {
+            Some(c) if c == self.peer => {
+                // coordinator beacons every member
+                self.members.iter().copied().filter(|&p| p != self.peer).collect()
+            }
+            Some(c) => vec![c],
+            // no coordinator known (election in flight): beacon everyone so
+            // liveness information keeps flowing
+            None => self.members.iter().copied().filter(|&p| p != self.peer).collect(),
+        }
+    }
+
+    fn fault_envelope(code: FaultCode, reason: String) -> String {
+        Envelope::fault(Fault::new(code, reason)).to_xml_string()
+    }
+
+    fn execute(&mut self, envelope: &str) -> String {
+        let parsed = match Envelope::parse(envelope) {
+            Ok(env) => env,
+            Err(e) => {
+                return Self::fault_envelope(FaultCode::Sender, format!("unparseable request: {e}"))
+            }
+        };
+        let Some(payload) = parsed.body_payload() else {
+            return Self::fault_envelope(FaultCode::Sender, "empty request body".to_string());
+        };
+        let operation = payload.name.clone();
+        match self.backend.handle(&operation, payload) {
+            Ok(result) => {
+                self.requests_handled += 1;
+                Envelope::request(result).to_xml_string()
+            }
+            Err(BackendError::Unavailable(what)) => {
+                Self::fault_envelope(FaultCode::Receiver, format!("backend unavailable: {what}"))
+            }
+            Err(e @ (BackendError::BadRequest(_) | BackendError::UnsupportedOperation(_))) => {
+                Self::fault_envelope(FaultCode::Sender, e.to_string())
+            }
+            Err(e @ BackendError::NotFound(_)) => {
+                Self::fault_envelope(FaultCode::Sender, e.to_string())
+            }
+        }
+    }
+
+    /// Picks a live member other than us to delegate to when our own
+    /// backend is unavailable (the operational-DB → data-warehouse failover
+    /// of section 4.1).
+    fn delegate_target(&self, now: whisper_simnet::SimTime) -> Option<PeerId> {
+        let alive = self.fd.alive(now);
+        self.members
+            .iter()
+            .copied()
+            .filter(|&p| p != self.peer && alive.contains(&p))
+            .max()
+    }
+
+    fn handle_peer_request(
+        &mut self,
+        ctx: &mut Context<'_, WhisperMsg>,
+        request_id: u64,
+        reply_to: PeerId,
+        delegated: bool,
+        envelope: String,
+    ) {
+        if !delegated && !self.is_coordinator() {
+            // paper: "the b-peer found may not be the coordinator" — point
+            // the proxy at the peer we believe is coordinating.
+            let coordinator = self.election.coordinator().filter(|&c| c != self.peer);
+            self.send_to_peer(
+                ctx,
+                reply_to,
+                WhisperMsg::PeerRedirect { request_id, coordinator },
+            );
+            return;
+        }
+        // Load sharing: the coordinator spreads work across live members.
+        if !delegated && self.config.load_share {
+            let mut pool = self.fd.alive(ctx.now());
+            pool.retain(|p| self.members.contains(p));
+            pool.push(self.peer);
+            pool.sort();
+            pool.dedup();
+            if pool.len() > 1 {
+                let target = pool[self.rr_cursor % pool.len()];
+                self.rr_cursor += 1;
+                if target != self.peer {
+                    self.send_to_peer(
+                        ctx,
+                        target,
+                        WhisperMsg::PeerRequest { request_id, reply_to, delegated: true, envelope },
+                    );
+                    return;
+                }
+            }
+        }
+        // Probe the backend by executing; on unavailability, try to
+        // delegate to a semantically equivalent member.
+        let response = self.execute(&envelope);
+        let unavailable = Envelope::parse(&response)
+            .ok()
+            .and_then(|e| e.as_fault().map(|f| f.reason.contains("backend unavailable")))
+            .unwrap_or(false);
+        if unavailable && !delegated {
+            if let Some(delegate) = self.delegate_target(ctx.now()) {
+                self.send_to_peer(
+                    ctx,
+                    delegate,
+                    WhisperMsg::PeerRequest { request_id, reply_to, delegated: true, envelope },
+                );
+                return;
+            }
+        }
+        let msg = WhisperMsg::PeerResponse { request_id, envelope: response };
+        if self.config.processing_time == SimDuration::ZERO {
+            self.send_to_peer(ctx, reply_to, msg);
+        } else {
+            // Serve like a single-threaded server: requests queue behind the
+            // one in progress.
+            let now = ctx.now();
+            let start = self.busy_until.max(now);
+            self.busy_until = start + self.config.processing_time;
+            let stash_id = self.next_stash;
+            self.next_stash += 1;
+            self.stash.insert(stash_id, (reply_to, msg));
+            ctx.set_timer(self.busy_until.since(now), RESPONSE_TOKEN_BASE | stash_id);
+        }
+    }
+}
+
+impl Actor<WhisperMsg> for BPeerActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
+        // Give every member an initial grace period before suspecting it.
+        for &m in &self.members {
+            if m != self.peer {
+                self.fd.record(m, ctx.now());
+                self.disco.add_known_peer(m);
+            }
+        }
+        self.publish_advertisements(ctx);
+        let out = self.election.start_election(ctx.now());
+        self.route_election_output(ctx, out);
+        ctx.set_timer(self.config.heartbeat_period, TOKEN_HEARTBEAT);
+        ctx.set_timer(self.config.heartbeat_period, TOKEN_FD_CHECK);
+        // Refresh advertisements at half their lifetime so they never
+        // expire from caches while the peer is alive.
+        ctx.set_timer(self.republish_period(), TOKEN_REPUBLISH);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
+        // A recovered peer rejoins: re-publish, re-elect (it may be the
+        // rightful highest-id coordinator), restart beacons.
+        self.fd = FailureDetector::new(self.config.failure_timeout);
+        self.election = BullyNode::new(
+            self.peer,
+            self.members.iter().copied(),
+            self.config.bully,
+        );
+        self.on_start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, WhisperMsg>, from: NodeId, msg: WhisperMsg) {
+        // Unwrap (or forward, if we are the relay) relayed envelopes first.
+        let Some((from, msg)) =
+            crate::routing::unwrap_or_forward(&self.directory, self.peer, ctx, from, msg)
+        else {
+            return;
+        };
+        // Any traffic from a peer proves it is alive.
+        if let Some(peer) = self.directory.peer_of(from) {
+            self.fd.record(peer, ctx.now());
+        }
+        match msg {
+            WhisperMsg::P2p(m) => {
+                let from_peer = match &m {
+                    P2pMessage::Heartbeat { from, .. } => *from,
+                    _ => self.directory.peer_of(from).unwrap_or(self.peer),
+                };
+                if let P2pMessage::Heartbeat { from: hb_from, group } = &m {
+                    if *group == self.group {
+                        self.note_member(*hb_from, ctx.now());
+                    }
+                    self.fd.record(*hb_from, ctx.now());
+                }
+                let (sends, _events) = self.disco.handle_message(from_peer, m, ctx.now());
+                for s in sends {
+                    self.send_to_peer(ctx, s.to, WhisperMsg::P2p(s.msg));
+                }
+            }
+            WhisperMsg::Election { group, msg } => {
+                if group != self.group {
+                    return;
+                }
+                let from_peer = match &msg {
+                    ElectionMsg::Election { from }
+                    | ElectionMsg::Answer { from }
+                    | ElectionMsg::Coordinator { from } => *from,
+                    ElectionMsg::RingElection { origin, .. }
+                    | ElectionMsg::RingCoordinator { origin, .. } => *origin,
+                };
+                self.note_member(from_peer, ctx.now());
+                self.fd.record(from_peer, ctx.now());
+                let out = self.election.on_message(from_peer, msg, ctx.now());
+                self.route_election_output(ctx, out);
+            }
+            WhisperMsg::PeerRequest { request_id, reply_to, delegated, envelope } => {
+                self.handle_peer_request(ctx, request_id, reply_to, delegated, envelope);
+            }
+            // B-peers neither originate SOAP traffic nor receive responses;
+            // nested relay envelopes are already unwrapped above.
+            WhisperMsg::SoapRequest { .. }
+            | WhisperMsg::SoapResponse { .. }
+            | WhisperMsg::PeerResponse { .. }
+            | WhisperMsg::PeerRedirect { .. }
+            | WhisperMsg::Relayed { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, WhisperMsg>, token: u64) {
+        if token & ELECTION_TOKEN_BASE != 0 {
+            let out = self.election.on_timer(token & !ELECTION_TOKEN_BASE, ctx.now());
+            self.route_election_output(ctx, out);
+            return;
+        }
+        if token & RESPONSE_TOKEN_BASE != 0 {
+            if let Some((reply_to, msg)) = self.stash.remove(&(token & !RESPONSE_TOKEN_BASE)) {
+                self.send_to_peer(ctx, reply_to, msg);
+            }
+            return;
+        }
+        match token {
+            TOKEN_HEARTBEAT => {
+                for target in self.heartbeat_targets() {
+                    self.send_to_peer(
+                        ctx,
+                        target,
+                        WhisperMsg::P2p(P2pMessage::Heartbeat {
+                            group: self.group,
+                            from: self.peer,
+                        }),
+                    );
+                }
+                ctx.set_timer(self.config.heartbeat_period, TOKEN_HEARTBEAT);
+            }
+            TOKEN_REPUBLISH => {
+                self.publish_advertisements(ctx);
+                if self.is_coordinator() {
+                    let name = self.pipe_name();
+                    let sends = self.disco.bind_input_pipe(
+                        PipeId::new(self.group.value()),
+                        name,
+                        self.config.adv_lifetime,
+                        ctx.now(),
+                    );
+                    for s in sends {
+                        self.send_to_peer(ctx, s.to, WhisperMsg::P2p(s.msg));
+                    }
+                }
+                ctx.set_timer(self.republish_period(), TOKEN_REPUBLISH);
+            }
+            TOKEN_FD_CHECK => {
+                let suspected = self.fd.suspected(ctx.now());
+                if let Some(coord) = self.election.coordinator() {
+                    if coord != self.peer && suspected.contains(&coord) {
+                        // the coordinator went silent: elect a new one
+                        let out = self.election.start_election(ctx.now());
+                        self.route_election_output(ctx, out);
+                    }
+                }
+                ctx.set_timer(self.config.heartbeat_period, TOKEN_FD_CHECK);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::EchoBackend;
+    use whisper_xml::QName;
+
+    fn sem_adv(group: GroupId) -> SemanticAdv {
+        SemanticAdv {
+            group,
+            name: "test-group".into(),
+            action: QName::with_ns("urn:u", "Act"),
+            inputs: vec![],
+            outputs: vec![],
+            qos: None,
+        }
+    }
+
+    fn peer_actor(peer: u64, members: &[u64]) -> BPeerActor {
+        let g = GroupId::new(1);
+        let member_ids: Vec<PeerId> = members.iter().map(|&m| PeerId::new(m)).collect();
+        let directory = Directory::new(
+            member_ids
+                .iter()
+                .map(|&p| (p, whisper_simnet::NodeId::from_index(p.value() as usize))),
+        );
+        BPeerActor::new(
+            PeerId::new(peer),
+            g,
+            member_ids,
+            sem_adv(g),
+            Box::new(EchoBackend),
+            directory,
+            BPeerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn accessors_and_construction() {
+        let p = peer_actor(2, &[1, 2, 3]);
+        assert_eq!(p.peer_id(), PeerId::new(2));
+        assert_eq!(p.group_id(), GroupId::new(1));
+        assert!(!p.is_coordinator());
+        assert_eq!(p.requests_handled(), 0);
+        assert_eq!(p.backend_label(), "echo");
+    }
+
+    #[test]
+    fn heartbeat_targets_depend_on_role() {
+        let mut p = peer_actor(3, &[1, 2, 3]);
+        // no coordinator yet: beacon everyone
+        assert_eq!(p.heartbeat_targets().len(), 2);
+        // become coordinator: beacon all members
+        let _ = p.election.start_election(whisper_simnet::SimTime::ZERO);
+        assert!(p.is_coordinator());
+        assert_eq!(p.heartbeat_targets(), vec![PeerId::new(1), PeerId::new(2)]);
+
+        let mut member = peer_actor(1, &[1, 2, 3]);
+        let _ = member
+            .election
+            .on_message(PeerId::new(3), ElectionMsg::Coordinator { from: PeerId::new(3) }, whisper_simnet::SimTime::ZERO);
+        // member beacons only the coordinator
+        assert_eq!(member.heartbeat_targets(), vec![PeerId::new(3)]);
+    }
+
+    #[test]
+    fn execute_wraps_backend_results_and_faults() {
+        let mut p = peer_actor(1, &[1]);
+        let req = Envelope::request(whisper_xml::Element::with_text("Ping", "x")).to_xml_string();
+        let resp = p.execute(&req);
+        let env = Envelope::parse(&resp).unwrap();
+        assert!(!env.is_fault());
+        assert_eq!(env.body_payload().unwrap().name, "Echo");
+        assert_eq!(p.requests_handled(), 1);
+
+        let garbage = p.execute("not xml at all");
+        let env = Envelope::parse(&garbage).unwrap();
+        assert_eq!(env.as_fault().unwrap().code, FaultCode::Sender);
+
+        let empty = p.execute(&Envelope::empty().to_xml_string());
+        assert!(Envelope::parse(&empty).unwrap().is_fault());
+    }
+
+    #[test]
+    fn unavailable_backend_yields_receiver_fault_when_alone() {
+        let g = GroupId::new(1);
+        let directory = Directory::new([(PeerId::new(1), whisper_simnet::NodeId::from_index(1))]);
+        let mut reg = crate::backend::StudentRegistry::operational_db().with_sample_data();
+        reg.set_available(false);
+        let mut p = BPeerActor::new(
+            PeerId::new(1),
+            g,
+            vec![PeerId::new(1)],
+            sem_adv(g),
+            Box::new(reg),
+            directory,
+            BPeerConfig::default(),
+        );
+        let mut payload = whisper_xml::Element::new("StudentInformation");
+        payload.push_child(whisper_xml::Element::with_text("StudentID", "u1000"));
+        let req = Envelope::request(payload).to_xml_string();
+        let resp = p.execute(&req);
+        let env = Envelope::parse(&resp).unwrap();
+        assert_eq!(env.as_fault().unwrap().code, FaultCode::Receiver);
+    }
+}

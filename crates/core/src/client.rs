@@ -1,0 +1,367 @@
+//! Workload clients: the B2B applications invoking the Web service.
+
+use crate::msg::WhisperMsg;
+use whisper_simnet::{Actor, Context, Histogram, NodeId, SimDuration, SimTime};
+use whisper_soap::Envelope;
+use whisper_xml::Element;
+
+/// How a client generates requests.
+///
+/// # Examples
+///
+/// ```
+/// use whisper::Workload;
+/// use whisper_simnet::SimDuration;
+///
+/// // 200 requests/second Poisson arrivals, regardless of responses.
+/// let open = Workload::Open {
+///     interval: SimDuration::from_micros(5_000),
+///     poisson: true,
+/// };
+/// // one request at a time with 50 ms think time
+/// let closed = Workload::Closed { think: SimDuration::from_millis(50) };
+/// # let _ = (open, closed);
+/// ```
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// No autonomous traffic; requests are injected by the harness
+    /// ([`WhisperNet::submit_request`](crate::WhisperNet::submit_request)).
+    Manual,
+    /// Closed loop: wait for each response (or timeout), think, repeat.
+    Closed {
+        /// Think time between a response and the next request.
+        think: SimDuration,
+    },
+    /// Open loop: fire at fixed or exponential intervals regardless of
+    /// outstanding requests.
+    Open {
+        /// Mean inter-arrival interval.
+        interval: SimDuration,
+        /// Exponentially distributed inter-arrivals (Poisson process)
+        /// instead of fixed spacing.
+        poisson: bool,
+    },
+}
+
+/// Configuration of one client.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Node hosting the Web service (its SWS-proxy).
+    pub proxy_node: NodeId,
+    /// Traffic generation mode.
+    pub workload: Workload,
+    /// Request payloads, cycled in order.
+    pub payloads: Vec<Element>,
+    /// Stop after this many requests (`None` = until the run ends).
+    pub total: Option<u64>,
+    /// Client-side timeout; an unanswered request counts as failed.
+    pub timeout: SimDuration,
+    /// Delay before the first autonomous request (lets the b-peer groups
+    /// elect and publish).
+    pub warmup: SimDuration,
+}
+
+impl ClientConfig {
+    /// A manual client pointed at `proxy_node`.
+    pub fn manual(proxy_node: NodeId) -> Self {
+        ClientConfig {
+            proxy_node,
+            workload: Workload::Manual,
+            payloads: Vec::new(),
+            total: None,
+            timeout: SimDuration::from_secs(30),
+            warmup: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// The fate of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// Client-local request id.
+    pub id: u64,
+    /// When the request left the client.
+    pub sent_at: SimTime,
+    /// When the response arrived (`None` while pending or after timeout).
+    pub completed_at: Option<SimTime>,
+    /// Whether the response was a `<soap:fault>`.
+    pub fault: bool,
+    /// Whether the client-side timeout fired first.
+    pub timed_out: bool,
+}
+
+/// Aggregated client counters.
+#[derive(Debug, Clone, Default)]
+pub struct ClientStats {
+    /// Requests sent.
+    pub sent: u64,
+    /// Responses received (faults included).
+    pub completed: u64,
+    /// Responses that were faults.
+    pub faults: u64,
+    /// Requests that hit the client-side timeout.
+    pub timeouts: u64,
+    /// Round-trip times of successful (non-fault) responses.
+    pub rtt: Histogram,
+}
+
+impl ClientStats {
+    /// Requests neither answered nor timed out when the run stopped.
+    pub fn in_flight(&self) -> u64 {
+        self.sent - self.completed - self.timeouts
+    }
+
+    /// Fraction of sent requests that completed without fault or timeout,
+    /// ignoring still-in-flight ones. `None` before any request resolved.
+    pub fn availability(&self) -> Option<f64> {
+        let resolved = self.completed + self.timeouts;
+        if resolved == 0 {
+            return None;
+        }
+        let good = self.completed - self.faults;
+        Some(good as f64 / resolved as f64)
+    }
+}
+
+const TOKEN_SEND: u64 = 1;
+const TOKEN_THINK: u64 = 3;
+const PURPOSE_REQ_TIMEOUT: u64 = 2;
+
+fn req_token(id: u64) -> u64 {
+    (id << 2) | PURPOSE_REQ_TIMEOUT
+}
+
+/// A client application node.
+pub struct ClientActor {
+    config: ClientConfig,
+    next_id: u64,
+    payload_cursor: usize,
+    outcomes: Vec<RequestOutcome>,
+    stats: ClientStats,
+    last_response: Option<String>,
+}
+
+impl ClientActor {
+    /// Creates a client.
+    pub fn new(config: ClientConfig) -> Self {
+        ClientActor {
+            config,
+            next_id: 0,
+            payload_cursor: 0,
+            outcomes: Vec::new(),
+            stats: ClientStats::default(),
+            last_response: None,
+        }
+    }
+
+    /// Aggregated counters.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// Per-request outcomes in send order.
+    pub fn outcomes(&self) -> &[RequestOutcome] {
+        &self.outcomes
+    }
+
+    /// The most recent response envelope, for display and inspection.
+    pub fn last_response(&self) -> Option<&str> {
+        self.last_response.as_deref()
+    }
+
+    /// Registers a harness-injected request so the eventual response is
+    /// accounted for. Returns the request id to inject with.
+    pub fn register_manual(&mut self, now: SimTime) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.outcomes.push(RequestOutcome {
+            id,
+            sent_at: now,
+            completed_at: None,
+            fault: false,
+            timed_out: false,
+        });
+        self.stats.sent += 1;
+        id
+    }
+
+    fn quota_left(&self) -> bool {
+        match self.config.total {
+            Some(t) => self.stats.sent < t,
+            None => true,
+        }
+    }
+
+    fn interval(&self, ctx: &mut Context<'_, WhisperMsg>) -> SimDuration {
+        match &self.config.workload {
+            Workload::Open { interval, poisson } => {
+                if *poisson {
+                    use rand::Rng;
+                    let u: f64 = ctx.rng().gen_range(1e-9..1.0);
+                    let scaled = -(u.ln()) * interval.as_micros() as f64;
+                    SimDuration::from_micros(scaled.max(1.0) as u64)
+                } else {
+                    *interval
+                }
+            }
+            Workload::Closed { think } => *think,
+            Workload::Manual => SimDuration::ZERO,
+        }
+    }
+
+    fn send_next(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
+        if !self.quota_left() || self.config.payloads.is_empty() {
+            return;
+        }
+        let payload = self.config.payloads[self.payload_cursor % self.config.payloads.len()].clone();
+        self.payload_cursor += 1;
+        let id = self.register_manual(ctx.now());
+        let envelope = Envelope::request(payload).to_xml_string();
+        ctx.send(self.config.proxy_node, WhisperMsg::SoapRequest { request_id: id, envelope });
+        ctx.set_timer(self.config.timeout, req_token(id));
+        if let Workload::Open { .. } = self.config.workload {
+            let next = self.interval(ctx);
+            ctx.set_timer(next, TOKEN_SEND);
+        }
+    }
+
+    fn complete(&mut self, id: u64, now: SimTime, envelope: &str) {
+        let Some(outcome) = self.outcomes.iter_mut().find(|o| o.id == id) else {
+            return;
+        };
+        if outcome.completed_at.is_some() || outcome.timed_out {
+            return; // duplicate or late response
+        }
+        outcome.completed_at = Some(now);
+        self.last_response = Some(envelope.to_string());
+        let fault = Envelope::parse(envelope).map(|e| e.is_fault()).unwrap_or(true);
+        outcome.fault = fault;
+        self.stats.completed += 1;
+        if fault {
+            self.stats.faults += 1;
+        } else {
+            self.stats.rtt.record(now.since(outcome.sent_at));
+        }
+    }
+}
+
+impl Actor<WhisperMsg> for ClientActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
+        if !matches!(self.config.workload, Workload::Manual) {
+            ctx.set_timer(self.config.warmup, TOKEN_SEND);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, WhisperMsg>, _from: NodeId, msg: WhisperMsg) {
+        if let WhisperMsg::SoapResponse { request_id, envelope } = msg {
+            self.complete(request_id, ctx.now(), &envelope);
+            if let Workload::Closed { .. } = self.config.workload {
+                if self.quota_left() {
+                    let think = self.interval(ctx);
+                    ctx.set_timer(think, TOKEN_THINK);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, WhisperMsg>, token: u64) {
+        match token {
+            TOKEN_SEND | TOKEN_THINK => self.send_next(ctx),
+            t if t & 0b11 == PURPOSE_REQ_TIMEOUT => {
+                let id = t >> 2;
+                if let Some(o) = self.outcomes.iter_mut().find(|o| o.id == id) {
+                    if o.completed_at.is_none() && !o.timed_out {
+                        o.timed_out = true;
+                        self.stats.timeouts += 1;
+                        // keep a closed loop alive after a loss
+                        if let Workload::Closed { .. } = self.config.workload {
+                            if self.quota_left() {
+                                ctx.set_timer(SimDuration::ZERO, TOKEN_THINK);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload() -> Element {
+        let mut p = Element::new("StudentInformation");
+        p.push_child(Element::with_text("StudentID", "u1000"));
+        p
+    }
+
+    #[test]
+    fn manual_registration_and_completion() {
+        let mut c = ClientActor::new(ClientConfig::manual(NodeId::from_index(0)));
+        let id = c.register_manual(SimTime::from_micros(100));
+        assert_eq!(c.stats().sent, 1);
+        let resp = Envelope::request(payload()).to_xml_string();
+        c.complete(id, SimTime::from_micros(700), &resp);
+        let s = c.stats();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.faults, 0);
+        assert_eq!(s.rtt.count(), 1);
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.availability(), Some(1.0));
+        assert_eq!(c.outcomes()[0].completed_at, Some(SimTime::from_micros(700)));
+    }
+
+    #[test]
+    fn fault_responses_counted_separately() {
+        let mut c = ClientActor::new(ClientConfig::manual(NodeId::from_index(0)));
+        let id = c.register_manual(SimTime::ZERO);
+        let fault = Envelope::fault(whisper_soap::Fault::new(
+            whisper_soap::FaultCode::Receiver,
+            "down",
+        ))
+        .to_xml_string();
+        c.complete(id, SimTime::from_micros(10), &fault);
+        assert_eq!(c.stats().faults, 1);
+        assert_eq!(c.stats().rtt.count(), 0);
+        assert_eq!(c.stats().availability(), Some(0.0));
+    }
+
+    #[test]
+    fn duplicate_responses_ignored() {
+        let mut c = ClientActor::new(ClientConfig::manual(NodeId::from_index(0)));
+        let id = c.register_manual(SimTime::ZERO);
+        let resp = Envelope::request(payload()).to_xml_string();
+        c.complete(id, SimTime::from_micros(10), &resp);
+        c.complete(id, SimTime::from_micros(20), &resp);
+        assert_eq!(c.stats().completed, 1);
+        // unknown ids ignored too
+        c.complete(99, SimTime::from_micros(30), &resp);
+        assert_eq!(c.stats().completed, 1);
+    }
+
+    #[test]
+    fn unparseable_response_counts_as_fault() {
+        let mut c = ClientActor::new(ClientConfig::manual(NodeId::from_index(0)));
+        let id = c.register_manual(SimTime::ZERO);
+        c.complete(id, SimTime::from_micros(10), "garbage");
+        assert_eq!(c.stats().faults, 1);
+    }
+
+    #[test]
+    fn availability_none_before_any_resolution() {
+        let mut c = ClientActor::new(ClientConfig::manual(NodeId::from_index(0)));
+        assert_eq!(c.stats().availability(), None);
+        let _ = c.register_manual(SimTime::ZERO);
+        assert_eq!(c.stats().availability(), None);
+        assert_eq!(c.stats().in_flight(), 1);
+    }
+
+    #[test]
+    fn req_token_round_trip() {
+        let t = req_token(41);
+        assert_eq!(t & 0b11, PURPOSE_REQ_TIMEOUT);
+        assert_eq!(t >> 2, 41);
+    }
+}

@@ -1,0 +1,255 @@
+//! Workflow QoS aggregation — Cardoso's QoS composition model.
+//!
+//! The paper's section 2.4 grounds peer selection in the author's earlier
+//! workflow-QoS work (citations [10] and [11]: "e-workflow composition" and
+//! "Semantic Web Services and Web Process Composition"): a B2B *process*
+//! composes several service invocations, and its end-to-end QoS follows
+//! from the parts by reduction rules:
+//!
+//! * **sequence** — latencies and costs add, reliabilities multiply;
+//! * **parallel (AND split/join)** — latency is the slowest branch, costs
+//!   add, reliabilities multiply (all branches must succeed);
+//! * **conditional (XOR split)** — probability-weighted expectation of each
+//!   branch;
+//! * **loop** — a body retried until success with probability `p` of
+//!   another iteration: geometric expansion of latency and cost.
+//!
+//! This lets a deployment ask "what QoS can my *process* promise if I bind
+//! each step to these groups?" before publishing its own advertisement.
+//!
+//! # Examples
+//!
+//! ```
+//! use whisper::composition::QosExpr;
+//! use whisper_p2p::QosSpec;
+//!
+//! let step = |ms: u64, rel: f64| QosExpr::task(QosSpec {
+//!     latency_us: ms * 1000,
+//!     reliability: rel,
+//!     cost: 1.0,
+//! });
+//!
+//! // claim intake, then fraud check in parallel with coverage check,
+//! // then a decision step
+//! let process = QosExpr::seq(vec![
+//!     step(2, 0.999),
+//!     QosExpr::par(vec![step(10, 0.99), step(4, 0.995)]),
+//!     step(1, 0.999),
+//! ]);
+//! let q = process.aggregate();
+//! assert_eq!(q.latency_us, (2 + 10 + 1) * 1000); // slowest parallel branch
+//! assert!(q.reliability < 0.99);                 // product of all steps
+//! ```
+
+use whisper_p2p::QosSpec;
+
+/// A QoS expression tree over composed service invocations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QosExpr {
+    /// A single invocation with known (advertised or measured) QoS.
+    Task(QosSpec),
+    /// Steps executed one after another.
+    Seq(Vec<QosExpr>),
+    /// Branches executed concurrently, all of which must complete.
+    Par(Vec<QosExpr>),
+    /// Exactly one branch executes, chosen with the given probability.
+    /// Probabilities should sum to 1; they are normalized defensively.
+    Cond(Vec<(f64, QosExpr)>),
+    /// A body that repeats: after each execution, another iteration runs
+    /// with probability `again`.
+    Loop {
+        /// The repeated body.
+        body: Box<QosExpr>,
+        /// Probability of another iteration after each pass (`0 ≤ p < 1`).
+        again: f64,
+    },
+}
+
+impl QosExpr {
+    /// A leaf invocation.
+    pub fn task(q: QosSpec) -> Self {
+        QosExpr::Task(q)
+    }
+
+    /// A sequential composition.
+    pub fn seq(steps: Vec<QosExpr>) -> Self {
+        QosExpr::Seq(steps)
+    }
+
+    /// A parallel (AND) composition.
+    pub fn par(branches: Vec<QosExpr>) -> Self {
+        QosExpr::Par(branches)
+    }
+
+    /// A conditional (XOR) composition of `(probability, branch)` pairs.
+    pub fn cond(branches: Vec<(f64, QosExpr)>) -> Self {
+        QosExpr::Cond(branches)
+    }
+
+    /// A probabilistic loop around `body`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ again < 1` (a loop that never exits has no
+    /// finite QoS).
+    pub fn repeat(body: QosExpr, again: f64) -> Self {
+        assert!((0.0..1.0).contains(&again), "loop probability {again} not in [0, 1)");
+        QosExpr::Loop { body: Box::new(body), again }
+    }
+
+    /// Reduces the expression to a single expected [`QosSpec`].
+    pub fn aggregate(&self) -> QosSpec {
+        match self {
+            QosExpr::Task(q) => *q,
+            QosExpr::Seq(steps) => steps.iter().map(QosExpr::aggregate).fold(
+                QosSpec { latency_us: 0, reliability: 1.0, cost: 0.0 },
+                |acc, q| QosSpec {
+                    latency_us: acc.latency_us + q.latency_us,
+                    reliability: acc.reliability * q.reliability,
+                    cost: acc.cost + q.cost,
+                },
+            ),
+            QosExpr::Par(branches) => branches.iter().map(QosExpr::aggregate).fold(
+                QosSpec { latency_us: 0, reliability: 1.0, cost: 0.0 },
+                |acc, q| QosSpec {
+                    latency_us: acc.latency_us.max(q.latency_us),
+                    reliability: acc.reliability * q.reliability,
+                    cost: acc.cost + q.cost,
+                },
+            ),
+            QosExpr::Cond(branches) => {
+                let total_p: f64 = branches.iter().map(|(p, _)| p.max(0.0)).sum();
+                if total_p <= 0.0 || branches.is_empty() {
+                    return QosSpec { latency_us: 0, reliability: 1.0, cost: 0.0 };
+                }
+                let mut latency = 0.0;
+                let mut reliability = 0.0;
+                let mut cost = 0.0;
+                for (p, b) in branches {
+                    let w = p.max(0.0) / total_p;
+                    let q = b.aggregate();
+                    latency += w * q.latency_us as f64;
+                    reliability += w * q.reliability;
+                    cost += w * q.cost;
+                }
+                QosSpec { latency_us: latency.round() as u64, reliability, cost }
+            }
+            QosExpr::Loop { body, again } => {
+                let q = body.aggregate();
+                // expected iterations of a geometric distribution
+                let iterations = 1.0 / (1.0 - again);
+                QosSpec {
+                    latency_us: (q.latency_us as f64 * iterations).round() as u64,
+                    // success requires every expected iteration to succeed
+                    reliability: q.reliability.powf(iterations),
+                    cost: q.cost * iterations,
+                }
+            }
+        }
+    }
+
+    /// Number of leaf invocations in the expression.
+    pub fn task_count(&self) -> usize {
+        match self {
+            QosExpr::Task(_) => 1,
+            QosExpr::Seq(s) | QosExpr::Par(s) => s.iter().map(QosExpr::task_count).sum(),
+            QosExpr::Cond(b) => b.iter().map(|(_, e)| e.task_count()).sum(),
+            QosExpr::Loop { body, .. } => body.task_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64, rel: f64, cost: f64) -> QosExpr {
+        QosExpr::task(QosSpec { latency_us: ms * 1000, reliability: rel, cost })
+    }
+
+    #[test]
+    fn sequence_adds_latency_and_cost_multiplies_reliability() {
+        let q = QosExpr::seq(vec![t(2, 0.9, 1.0), t(3, 0.8, 2.0)]).aggregate();
+        assert_eq!(q.latency_us, 5_000);
+        assert!((q.reliability - 0.72).abs() < 1e-12);
+        assert_eq!(q.cost, 3.0);
+    }
+
+    #[test]
+    fn parallel_takes_slowest_branch() {
+        let q = QosExpr::par(vec![t(2, 0.9, 1.0), t(7, 0.99, 2.0), t(4, 1.0, 0.5)]).aggregate();
+        assert_eq!(q.latency_us, 7_000);
+        assert!((q.reliability - 0.9 * 0.99).abs() < 1e-12);
+        assert_eq!(q.cost, 3.5);
+    }
+
+    #[test]
+    fn conditional_is_probability_weighted() {
+        let q = QosExpr::cond(vec![(0.75, t(4, 1.0, 4.0)), (0.25, t(8, 0.8, 8.0))]).aggregate();
+        assert_eq!(q.latency_us, 5_000);
+        assert!((q.reliability - 0.95).abs() < 1e-12);
+        assert!((q.cost - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_normalizes_probabilities() {
+        let a = QosExpr::cond(vec![(1.0, t(4, 1.0, 1.0)), (3.0, t(8, 1.0, 1.0))]).aggregate();
+        let b = QosExpr::cond(vec![(0.25, t(4, 1.0, 1.0)), (0.75, t(8, 1.0, 1.0))]).aggregate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn loop_expands_geometrically() {
+        // retry probability 0.5 => expected 2 iterations
+        let q = QosExpr::repeat(t(3, 0.9, 1.5), 0.5).aggregate();
+        assert_eq!(q.latency_us, 6_000);
+        assert!((q.cost - 3.0).abs() < 1e-12);
+        assert!((q.reliability - 0.9f64.powf(2.0)).abs() < 1e-12);
+        // zero retry probability is the identity
+        let once = QosExpr::repeat(t(3, 0.9, 1.5), 0.0).aggregate();
+        assert_eq!(once, t(3, 0.9, 1.5).aggregate());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1)")]
+    fn endless_loop_rejected() {
+        let _ = QosExpr::repeat(t(1, 1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn nested_b2b_process() {
+        // the insurance-claim process of the paper's introduction: intake,
+        // then parallel fraud+coverage checks, then decision; resubmission
+        // loop around the whole thing with 10% probability
+        let process = QosExpr::repeat(
+            QosExpr::seq(vec![
+                t(2, 0.999, 1.0),
+                QosExpr::par(vec![t(10, 0.99, 3.0), t(4, 0.995, 2.0)]),
+                QosExpr::cond(vec![(0.9, t(1, 0.999, 1.0)), (0.1, t(20, 0.99, 5.0))]),
+            ]),
+            0.1,
+        );
+        assert_eq!(process.task_count(), 5);
+        let q = process.aggregate();
+        // one pass: 2 + 10 + (0.9*1 + 0.1*20) ms = 14.9 ms; /0.9 retries
+        assert_eq!(q.latency_us, ((14.9_f64 / 0.9) * 1000.0).round() as u64);
+        assert!(q.reliability > 0.9 && q.reliability < 1.0);
+        assert!(q.cost > 7.0);
+    }
+
+    #[test]
+    fn empty_compositions_are_identities() {
+        assert_eq!(
+            QosExpr::seq(vec![]).aggregate(),
+            QosSpec { latency_us: 0, reliability: 1.0, cost: 0.0 }
+        );
+        assert_eq!(
+            QosExpr::par(vec![]).aggregate(),
+            QosSpec { latency_us: 0, reliability: 1.0, cost: 0.0 }
+        );
+        assert_eq!(
+            QosExpr::cond(vec![]).aggregate(),
+            QosSpec { latency_us: 0, reliability: 1.0, cost: 0.0 }
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! The peer↔node directory: Whisper's stand-in for JXTA endpoint
+//! resolution.
+//!
+//! JXTA resolves peer ids to transport endpoints through its endpoint
+//! service. In a Whisper deployment the mapping is fixed at wiring time, so
+//! a shared immutable table is both realistic and simple.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+use whisper_p2p::PeerId;
+use whisper_simnet::NodeId;
+
+/// Shared bidirectional peer↔node mapping used by all actors of a
+/// deployment — Whisper's stand-in for JXTA endpoint resolution. Cloning is
+/// cheap (an `Arc` bump); peers joining at runtime [`register`] themselves,
+/// which every clone observes immediately.
+///
+/// [`register`]: Directory::register
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    inner: Arc<RwLock<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    peer_to_node: BTreeMap<PeerId, NodeId>,
+    node_to_peer: BTreeMap<NodeId, PeerId>,
+    /// Destination peer → relay peer. JXTA's relay service: traffic for a
+    /// firewalled peer is sent to its relay, which forwards it.
+    routes: BTreeMap<PeerId, PeerId>,
+}
+
+impl Directory {
+    /// Builds a directory from explicit pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a peer or node appears twice — a wiring bug.
+    pub fn new(pairs: impl IntoIterator<Item = (PeerId, NodeId)>) -> Self {
+        Directory::with_routes(pairs, [])
+    }
+
+    /// Builds a directory with relay routes: traffic for each `(dest,
+    /// relay)` pair is delivered to `relay`, which forwards it (JXTA's
+    /// relay service for firewalled peers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate peers/nodes, a route whose destination or relay
+    /// is unknown, a self-relaying route, or a relay that is itself routed
+    /// (one hop only — JXTA relays are edge services, not an overlay).
+    pub fn with_routes(
+        pairs: impl IntoIterator<Item = (PeerId, NodeId)>,
+        routes: impl IntoIterator<Item = (PeerId, PeerId)>,
+    ) -> Self {
+        let mut inner = Inner::default();
+        for (p, n) in pairs {
+            assert!(
+                inner.peer_to_node.insert(p, n).is_none(),
+                "peer {p} registered twice"
+            );
+            assert!(
+                inner.node_to_peer.insert(n, p).is_none(),
+                "node {n} registered twice"
+            );
+        }
+        for (dest, relay) in routes {
+            assert!(dest != relay, "peer {dest} cannot relay itself");
+            assert!(inner.peer_to_node.contains_key(&dest), "unknown routed peer {dest}");
+            assert!(inner.peer_to_node.contains_key(&relay), "unknown relay {relay}");
+            inner.routes.insert(dest, relay);
+        }
+        for relay in inner.routes.values() {
+            assert!(
+                !inner.routes.contains_key(relay),
+                "relay {relay} is itself behind a relay"
+            );
+        }
+        Directory { inner: Arc::new(RwLock::new(inner)) }
+    }
+
+    /// Registers a peer that joined at runtime (JXTA networks "are
+    /// inherently dynamic"). Every clone of the directory sees the new
+    /// entry immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the peer or node is already registered.
+    pub fn register(&self, peer: PeerId, node: NodeId) {
+        let mut inner = self.inner.write().expect("directory lock poisoned");
+        assert!(
+            inner.peer_to_node.insert(peer, node).is_none(),
+            "peer {peer} registered twice"
+        );
+        assert!(
+            inner.node_to_peer.insert(node, peer).is_none(),
+            "node {node} registered twice"
+        );
+    }
+
+    /// The highest registered peer id, if any (used to mint ids for
+    /// late-joining peers).
+    pub fn max_peer(&self) -> Option<PeerId> {
+        let inner = self.inner.read().expect("directory lock poisoned");
+        inner.peer_to_node.keys().next_back().copied()
+    }
+
+    /// The relay fronting `peer`, when it is firewalled.
+    pub fn relay_of(&self, peer: PeerId) -> Option<PeerId> {
+        self.inner.read().expect("directory lock poisoned").routes.get(&peer).copied()
+    }
+
+    /// The node hosting `peer`.
+    pub fn node_of(&self, peer: PeerId) -> Option<NodeId> {
+        self.inner
+            .read()
+            .expect("directory lock poisoned")
+            .peer_to_node
+            .get(&peer)
+            .copied()
+    }
+
+    /// The peer hosted on `node` (clients have no peer identity).
+    pub fn peer_of(&self, node: NodeId) -> Option<PeerId> {
+        self.inner
+            .read()
+            .expect("directory lock poisoned")
+            .node_to_peer
+            .get(&node)
+            .copied()
+    }
+
+    /// Number of registered peers.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("directory lock poisoned").peer_to_node.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All peers, in id order (snapshot).
+    pub fn peers(&self) -> Vec<PeerId> {
+        self.inner
+            .read()
+            .expect("directory lock poisoned")
+            .peer_to_node
+            .keys()
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bidirectional_lookup() {
+        let d = Directory::new([
+            (PeerId::new(1), NodeId::from_index(0)),
+            (PeerId::new(2), NodeId::from_index(1)),
+        ]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.node_of(PeerId::new(2)), Some(NodeId::from_index(1)));
+        assert_eq!(d.peer_of(NodeId::from_index(0)), Some(PeerId::new(1)));
+        assert_eq!(d.node_of(PeerId::new(9)), None);
+        assert_eq!(d.peers().len(), 2);
+    }
+
+    #[test]
+    fn runtime_registration_is_visible_to_clones() {
+        let d = Directory::new([(PeerId::new(1), NodeId::from_index(0))]);
+        let clone = d.clone();
+        d.register(PeerId::new(2), NodeId::from_index(1));
+        assert_eq!(clone.node_of(PeerId::new(2)), Some(NodeId::from_index(1)));
+        assert_eq!(clone.max_peer(), Some(PeerId::new(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn runtime_duplicate_rejected() {
+        let d = Directory::new([(PeerId::new(1), NodeId::from_index(0))]);
+        d.register(PeerId::new(1), NodeId::from_index(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_peer_panics() {
+        let _ = Directory::new([
+            (PeerId::new(1), NodeId::from_index(0)),
+            (PeerId::new(1), NodeId::from_index(1)),
+        ]);
+    }
+
+    #[test]
+    fn relay_routes_resolve() {
+        let p = |n| PeerId::new(n);
+        let d = Directory::with_routes(
+            [(p(1), NodeId::from_index(0)), (p(2), NodeId::from_index(1)), (p(3), NodeId::from_index(2))],
+            [(p(1), p(3))],
+        );
+        assert_eq!(d.relay_of(p(1)), Some(p(3)));
+        assert_eq!(d.relay_of(p(2)), None);
+        assert_eq!(d.relay_of(p(3)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot relay itself")]
+    fn self_relay_rejected() {
+        let p = |n| PeerId::new(n);
+        let _ = Directory::with_routes([(p(1), NodeId::from_index(0))], [(p(1), p(1))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "itself behind a relay")]
+    fn chained_relays_rejected() {
+        let p = |n| PeerId::new(n);
+        let _ = Directory::with_routes(
+            [(p(1), NodeId::from_index(0)), (p(2), NodeId::from_index(1)), (p(3), NodeId::from_index(2))],
+            [(p(1), p(2)), (p(2), p(3))],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown relay")]
+    fn unknown_relay_rejected() {
+        let p = |n| PeerId::new(n);
+        let _ = Directory::with_routes([(p(1), NodeId::from_index(0))], [(p(1), p(9))]);
+    }
+
+    #[test]
+    fn empty_directory() {
+        let d = Directory::default();
+        assert!(d.is_empty());
+        assert_eq!(d.node_of(PeerId::new(0)), None);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the Whisper core.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while assembling or operating a Whisper deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhisperError {
+    /// A WSDL-S annotation did not resolve against the deployment ontology.
+    Wsdl(whisper_wsdl::WsdlError),
+    /// A SOAP payload could not be interpreted.
+    Soap(whisper_soap::SoapError),
+    /// The named operation is not offered by the deployed service.
+    UnknownOperation(String),
+    /// A deployment was configured inconsistently.
+    BadDeployment(String),
+}
+
+impl fmt::Display for WhisperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhisperError::Wsdl(e) => write!(f, "service description error: {e}"),
+            WhisperError::Soap(e) => write!(f, "soap error: {e}"),
+            WhisperError::UnknownOperation(op) => write!(f, "unknown operation {op:?}"),
+            WhisperError::BadDeployment(why) => write!(f, "bad deployment: {why}"),
+        }
+    }
+}
+
+impl Error for WhisperError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WhisperError::Wsdl(e) => Some(e),
+            WhisperError::Soap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<whisper_wsdl::WsdlError> for WhisperError {
+    fn from(e: whisper_wsdl::WsdlError) -> Self {
+        WhisperError::Wsdl(e)
+    }
+}
+
+impl From<whisper_soap::SoapError> for WhisperError {
+    fn from(e: whisper_soap::SoapError) -> Self {
+        WhisperError::Soap(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = WhisperError::UnknownOperation("Foo".into());
+        assert!(e.to_string().contains("Foo"));
+        assert!(e.source().is_none());
+        let e = WhisperError::from(whisper_soap::SoapError::MissingBody);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,694 @@
+//! The deployment harness: builds a complete Whisper network on the
+//! simulator with one call.
+//!
+//! Node layout (insertion order is the directory order):
+//! `[rendezvous?] [b-peers, group by group] [proxy] [clients...]`.
+
+use crate::bpeer::{BPeerActor, BPeerConfig};
+use crate::client::{ClientActor, ClientConfig, ClientStats};
+use crate::directory::Directory;
+use crate::msg::WhisperMsg;
+use crate::proxy::{ProxyConfig, ProxyStats, SwsProxyActor};
+use crate::backend::{ServiceBackend, StudentRegistry};
+use crate::WhisperError;
+use whisper_ontology::Ontology;
+use whisper_p2p::{
+    DiscoveryService, DiscoveryStrategy, GroupId, P2pMessage, PeerId, QosSpec, SemanticAdv,
+};
+use whisper_simnet::{
+    Actor, Context, FaultPlan, Metrics, NodeId, SimDuration, SimNet, SimTime,
+    SwitchedLan,
+};
+use whisper_soap::Envelope;
+use whisper_wsdl::{Operation, ServiceDescription};
+use whisper_xml::Element;
+
+/// One semantic b-peer group to deploy: its advertisement concepts and one
+/// backend per replica.
+pub struct GroupSpec {
+    /// Symbolic group name (the syntactic identity).
+    pub name: String,
+    /// Action concept advertised by the group.
+    pub action: whisper_xml::QName,
+    /// Input concepts, in signature order.
+    pub inputs: Vec<whisper_xml::QName>,
+    /// Output concepts, in signature order.
+    pub outputs: Vec<whisper_xml::QName>,
+    /// QoS claims placed on the advertisement, if any.
+    pub qos: Option<QosSpec>,
+    /// Per-group override of the replica service time.
+    pub processing_time: Option<SimDuration>,
+    /// One backend per b-peer; the group size is `backends.len()`.
+    pub backends: Vec<Box<dyn ServiceBackend>>,
+}
+
+impl GroupSpec {
+    /// Builds a spec whose concepts mirror a WSDL-S operation exactly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use whisper::{EchoBackend, GroupSpec, ServiceBackend};
+    ///
+    /// let service = whisper_wsdl::samples::student_management();
+    /// let op = service.operation("StudentInformation").expect("sample op");
+    /// let backends: Vec<Box<dyn ServiceBackend>> =
+    ///     vec![Box::new(EchoBackend), Box::new(EchoBackend)];
+    /// let group = GroupSpec::from_operation("InfoGroup", op, backends);
+    /// assert_eq!(group.backends.len(), 2);
+    /// assert_eq!(group.inputs.len(), 1);
+    /// ```
+    pub fn from_operation(
+        name: impl Into<String>,
+        op: &Operation,
+        backends: Vec<Box<dyn ServiceBackend>>,
+    ) -> Self {
+        GroupSpec {
+            name: name.into(),
+            action: op.action.clone(),
+            inputs: op.inputs.iter().map(|p| p.concept.clone()).collect(),
+            outputs: op.outputs.iter().map(|p| p.concept.clone()).collect(),
+            qos: None,
+            processing_time: None,
+            backends,
+        }
+    }
+}
+
+/// [`ClientConfig`] without the proxy node (assigned by the harness).
+#[derive(Debug, Clone)]
+pub struct ClientConfigTemplate {
+    /// Traffic generation mode.
+    pub workload: crate::client::Workload,
+    /// Request payloads, cycled.
+    pub payloads: Vec<Element>,
+    /// Stop after this many requests.
+    pub total: Option<u64>,
+    /// Client-side timeout.
+    pub timeout: SimDuration,
+    /// Delay before the first autonomous request.
+    pub warmup: SimDuration,
+}
+
+impl Default for ClientConfigTemplate {
+    fn default() -> Self {
+        ClientConfigTemplate {
+            workload: crate::client::Workload::Manual,
+            payloads: Vec::new(),
+            total: None,
+            timeout: SimDuration::from_secs(30),
+            warmup: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Full configuration of a Whisper deployment.
+pub struct DeploymentConfig {
+    /// RNG seed for the simulator (reproducibility).
+    pub seed: u64,
+    /// The semantic Web service the proxy exposes.
+    pub service: ServiceDescription,
+    /// The shared deployment ontology.
+    pub ontology: Ontology,
+    /// B-peer groups to deploy.
+    pub groups: Vec<GroupSpec>,
+    /// Use a dedicated rendezvous peer instead of flooding.
+    pub use_rendezvous: bool,
+    /// Put every b-peer behind a firewall/NAT: its only reachable neighbour
+    /// is the rendezvous peer, which doubles as its JXTA relay. Requires
+    /// `use_rendezvous`; direct links are blocked on the simulator so any
+    /// unrouted traffic shows up as partition drops.
+    pub firewall_bpeers: bool,
+    /// B-peer tuning (strategy is overwritten to match the deployment).
+    pub bpeer: BPeerConfig,
+    /// Proxy tuning (strategy is overwritten to match the deployment).
+    pub proxy: ProxyConfig,
+    /// Clients to deploy.
+    pub clients: Vec<ClientConfigTemplate>,
+    /// The link model.
+    pub link: SwitchedLan,
+}
+
+impl Default for DeploymentConfig {
+    /// The paper scenario skeleton: StudentManagement service over the
+    /// university ontology, flood discovery, no groups or clients yet.
+    fn default() -> Self {
+        DeploymentConfig {
+            seed: 0,
+            service: whisper_wsdl::samples::student_management(),
+            ontology: whisper_ontology::samples::university_ontology(),
+            groups: Vec::new(),
+            use_rendezvous: false,
+            firewall_bpeers: false,
+            bpeer: BPeerConfig::default(),
+            proxy: ProxyConfig::default(),
+            clients: vec![ClientConfigTemplate::default()],
+            link: SwitchedLan::paper_testbed(),
+        }
+    }
+}
+
+/// A minimal rendezvous peer: caches publications, answers queries.
+struct RendezvousActor {
+    peer: PeerId,
+    directory: Directory,
+    disco: DiscoveryService,
+}
+
+impl Actor<WhisperMsg> for RendezvousActor {
+    fn on_message(&mut self, ctx: &mut Context<'_, WhisperMsg>, from: NodeId, msg: WhisperMsg) {
+        let Some((_from, msg)) =
+            crate::routing::unwrap_or_forward(&self.directory, self.peer, ctx, from, msg)
+        else {
+            return;
+        };
+        if let WhisperMsg::P2p(m) = msg {
+            let origin = match &m {
+                P2pMessage::Query { origin, .. } => *origin,
+                P2pMessage::Heartbeat { from, .. } => *from,
+                _ => self.peer,
+            };
+            let (sends, _) = self.disco.handle_message(origin, m, ctx.now());
+            for s in sends {
+                crate::routing::send_routed(&self.directory, self.peer, ctx, s.to, WhisperMsg::P2p(s.msg));
+            }
+        }
+    }
+}
+
+/// A fully wired Whisper deployment on the deterministic simulator.
+///
+/// See the crate docs for a quickstart.
+pub struct WhisperNet {
+    net: SimNet<WhisperMsg>,
+    directory: Directory,
+    rendezvous_node: Option<NodeId>,
+    group_nodes: Vec<Vec<NodeId>>,
+    group_ids: Vec<GroupId>,
+    group_advs: Vec<SemanticAdv>,
+    proxy_node: NodeId,
+    client_nodes: Vec<NodeId>,
+    strategy: DiscoveryStrategy,
+    bpeer_cfg: BPeerConfig,
+    next_node_index: usize,
+}
+
+impl WhisperNet {
+    /// Builds and wires a deployment.
+    ///
+    /// # Errors
+    ///
+    /// [`WhisperError::BadDeployment`] for structurally impossible
+    /// configurations (no groups, empty group, unresolvable service
+    /// annotations).
+    pub fn build(cfg: DeploymentConfig) -> Result<Self, WhisperError> {
+        if cfg.groups.is_empty() {
+            return Err(WhisperError::BadDeployment("no b-peer groups configured".into()));
+        }
+        if cfg.groups.iter().any(|g| g.backends.is_empty()) {
+            return Err(WhisperError::BadDeployment("a group has no b-peers".into()));
+        }
+        if cfg.firewall_bpeers && !cfg.use_rendezvous {
+            return Err(WhisperError::BadDeployment(
+                "firewalled b-peers need a rendezvous to relay through".into(),
+            ));
+        }
+        // Validate annotations up front (the proxy would panic otherwise).
+        cfg.service.resolve_all(&cfg.ontology)?;
+
+        // --- Assign node indices and peer ids -------------------------
+        let mut next_node = 0usize;
+        let rendezvous_idx = cfg.use_rendezvous.then(|| {
+            let i = next_node;
+            next_node += 1;
+            i
+        });
+        let mut group_node_idx: Vec<Vec<usize>> = Vec::new();
+        for g in &cfg.groups {
+            let idxs = (0..g.backends.len())
+                .map(|_| {
+                    let i = next_node;
+                    next_node += 1;
+                    i
+                })
+                .collect();
+            group_node_idx.push(idxs);
+        }
+        let proxy_idx = next_node;
+        next_node += 1;
+        let client_idx: Vec<usize> = (0..cfg.clients.len())
+            .map(|_| {
+                let i = next_node;
+                next_node += 1;
+                i
+            })
+            .collect();
+
+        // Peers: every node except clients. PeerId = node index + 1.
+        let peer_of = |idx: usize| PeerId::new(idx as u64 + 1);
+        let mut pairs = Vec::new();
+        if let Some(r) = rendezvous_idx {
+            pairs.push((peer_of(r), NodeId::from_index(r)));
+        }
+        for idxs in &group_node_idx {
+            for &i in idxs {
+                pairs.push((peer_of(i), NodeId::from_index(i)));
+            }
+        }
+        pairs.push((peer_of(proxy_idx), NodeId::from_index(proxy_idx)));
+        let mut routes = Vec::new();
+        if cfg.firewall_bpeers {
+            let relay = peer_of(rendezvous_idx.expect("validated above"));
+            for idxs in &group_node_idx {
+                for &i in idxs {
+                    routes.push((peer_of(i), relay));
+                }
+            }
+        }
+        let directory = Directory::with_routes(pairs, routes);
+
+        let strategy = match rendezvous_idx {
+            Some(r) => DiscoveryStrategy::Rendezvous(peer_of(r)),
+            None => DiscoveryStrategy::Flood,
+        };
+
+        // --- Instantiate the network ----------------------------------
+        let mut net: SimNet<WhisperMsg> = SimNet::with_link(cfg.seed, cfg.link);
+
+        if let Some(r) = rendezvous_idx {
+            let rdv_peer = peer_of(r);
+            let added = net.add_node(RendezvousActor {
+                peer: rdv_peer,
+                directory: directory.clone(),
+                disco: DiscoveryService::new(rdv_peer, DiscoveryStrategy::Rendezvous(rdv_peer)),
+            });
+            debug_assert_eq!(added, NodeId::from_index(r));
+        }
+
+        let mut group_nodes = Vec::new();
+        let mut group_ids = Vec::new();
+        let mut group_advs = Vec::new();
+        for (gi, spec) in cfg.groups.into_iter().enumerate() {
+            let group = GroupId::new(gi as u64 + 1);
+            let idxs = &group_node_idx[gi];
+            let members: Vec<PeerId> = idxs.iter().map(|&i| peer_of(i)).collect();
+            let adv = SemanticAdv {
+                group,
+                name: spec.name.clone(),
+                action: spec.action.clone(),
+                inputs: spec.inputs.clone(),
+                outputs: spec.outputs.clone(),
+                qos: spec.qos,
+            };
+            let mut nodes = Vec::new();
+            for (pi, backend) in spec.backends.into_iter().enumerate() {
+                let peer = peer_of(idxs[pi]);
+                let mut bp_cfg = cfg.bpeer.clone();
+                bp_cfg.strategy = strategy;
+                if let Some(pt) = spec.processing_time {
+                    bp_cfg.processing_time = pt;
+                }
+                let actor = BPeerActor::new(
+                    peer,
+                    group,
+                    members.clone(),
+                    adv.clone(),
+                    backend,
+                    directory.clone(),
+                    bp_cfg,
+                );
+                let added = net.add_node(actor);
+                debug_assert_eq!(added, NodeId::from_index(idxs[pi]));
+                nodes.push(added);
+            }
+            group_nodes.push(nodes);
+            group_ids.push(group);
+            group_advs.push(adv);
+        }
+
+        let proxy_peer = peer_of(proxy_idx);
+        let mut proxy_cfg = cfg.proxy.clone();
+        proxy_cfg.strategy = strategy;
+        let mut proxy = SwsProxyActor::new(
+            proxy_peer,
+            &cfg.service,
+            cfg.ontology,
+            directory.clone(),
+            proxy_cfg,
+        );
+        for idxs in &group_node_idx {
+            for &i in idxs {
+                proxy.add_known_peer(peer_of(i));
+            }
+        }
+        if let Some(r) = rendezvous_idx {
+            proxy.add_known_peer(peer_of(r));
+        }
+        let proxy_node = net.add_node(proxy);
+        debug_assert_eq!(proxy_node, NodeId::from_index(proxy_idx));
+
+        let mut client_nodes = Vec::new();
+        for (ci, tpl) in cfg.clients.into_iter().enumerate() {
+            let cc = ClientConfig {
+                proxy_node,
+                workload: tpl.workload,
+                payloads: tpl.payloads,
+                total: tpl.total,
+                timeout: tpl.timeout,
+                warmup: tpl.warmup,
+            };
+            let added = net.add_node(ClientActor::new(cc));
+            debug_assert_eq!(added, NodeId::from_index(client_idx[ci]));
+            client_nodes.push(added);
+        }
+
+        // Enforce the firewall on the wire: block every direct link that a
+        // NATed b-peer must not use, leaving only b-peer↔rendezvous. Any
+        // traffic that bypasses the relay then surfaces as a partition drop
+        // in the metrics (asserted zero by the relay experiment).
+        if cfg.firewall_bpeers {
+            let all_bpeers: Vec<NodeId> = group_nodes.iter().flatten().copied().collect();
+            let mut plan = FaultPlan::new();
+            for (i, &a) in all_bpeers.iter().enumerate() {
+                plan.block_at(a, proxy_node, SimTime::ZERO);
+                for &c in &client_nodes {
+                    plan.block_at(a, c, SimTime::ZERO);
+                }
+                for &b in &all_bpeers[i + 1..] {
+                    plan.block_at(a, b, SimTime::ZERO);
+                }
+            }
+            net.apply_faults(&plan);
+        }
+
+        Ok(WhisperNet {
+            net,
+            directory,
+            rendezvous_node: rendezvous_idx.map(NodeId::from_index),
+            group_nodes,
+            group_ids,
+            group_advs,
+            proxy_node,
+            client_nodes,
+            strategy,
+            bpeer_cfg: cfg.bpeer,
+            next_node_index: next_node,
+        })
+    }
+
+    /// Adds a b-peer to group `gi` **at runtime** — the paper's §4.2:
+    /// "b-peers may join or publish advertisements at different times …
+    /// dynamically increasing the level of availability of a Web service".
+    /// The newcomer gets the next peer id (so, being the highest, it will
+    /// bully its way to coordinator), registers itself in the directory,
+    /// and existing members learn it from its election and heartbeat
+    /// traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an out-of-range group index.
+    pub fn add_bpeer(&mut self, gi: usize, backend: Box<dyn ServiceBackend>) -> NodeId {
+        let group = self.group_ids[gi];
+        let adv = self.group_advs[gi].clone();
+        let peer = PeerId::new(
+            self.directory.max_peer().map(|p| p.value() + 1).unwrap_or(1),
+        );
+        let node = NodeId::from_index(self.next_node_index);
+        self.next_node_index += 1;
+        self.directory.register(peer, node);
+
+        let mut members: Vec<PeerId> = self.group_nodes[gi]
+            .iter()
+            .filter_map(|&n| self.directory.peer_of(n))
+            .collect();
+        members.push(peer);
+        let mut cfg = self.bpeer_cfg.clone();
+        cfg.strategy = self.strategy;
+        let actor = BPeerActor::new(
+            peer,
+            group,
+            members,
+            adv,
+            backend,
+            self.directory.clone(),
+            cfg,
+        );
+        let added = self.net.add_node(actor);
+        debug_assert_eq!(added, node);
+        self.group_nodes[gi].push(added);
+        // the proxy may flood-query the newcomer too
+        self.net
+            .node_mut::<SwsProxyActor>(self.proxy_node)
+            .add_known_peer(peer);
+        added
+    }
+
+    /// The paper's running example: one `StudentManagement` service backed
+    /// by one semantic group of `n_bpeers` replicas that alternate between
+    /// the operational database and the data warehouse, plus one manual
+    /// client. Flood discovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_bpeers` is zero.
+    pub fn student_scenario(n_bpeers: usize, seed: u64) -> WhisperNet {
+        assert!(n_bpeers > 0, "need at least one b-peer");
+        let service = whisper_wsdl::samples::student_management();
+        let op = service.operation("StudentInformation").expect("sample operation");
+        let backends: Vec<Box<dyn ServiceBackend>> = (0..n_bpeers)
+            .map(|i| -> Box<dyn ServiceBackend> {
+                if i % 2 == 0 {
+                    Box::new(StudentRegistry::operational_db().with_sample_data())
+                } else {
+                    Box::new(StudentRegistry::data_warehouse().with_sample_data())
+                }
+            })
+            .collect();
+        let group = GroupSpec::from_operation("StudentInfoGroup", op, backends);
+        let cfg = DeploymentConfig {
+            seed,
+            groups: vec![group],
+            ..DeploymentConfig::default()
+        };
+        WhisperNet::build(cfg).expect("student scenario is well-formed")
+    }
+
+    // --- Run control ---------------------------------------------------
+
+    /// Runs `d` of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.net.run_for(d);
+    }
+
+    /// Runs until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.net.run_until(deadline);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    /// Network metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        self.net.metrics()
+    }
+
+    /// Resets the metrics (to measure one phase in isolation).
+    pub fn reset_metrics(&mut self) {
+        self.net.metrics_mut().reset();
+    }
+
+    /// Starts recording every message (see [`SimNet::enable_trace`]).
+    pub fn enable_trace(&mut self) {
+        self.net.enable_trace();
+    }
+
+    /// The recorded message log.
+    pub fn trace(&self) -> &[whisper_simnet::TraceEvent] {
+        self.net.trace()
+    }
+
+    // --- Topology accessors ---------------------------------------------
+
+    /// The node hosting the Web service + SWS-proxy.
+    pub fn proxy_node(&self) -> NodeId {
+        self.proxy_node
+    }
+
+    /// Client nodes, in configuration order.
+    pub fn client_ids(&self) -> &[NodeId] {
+        &self.client_nodes
+    }
+
+    /// Nodes of group `gi`, in peer-id order.
+    pub fn group_nodes(&self, gi: usize) -> &[NodeId] {
+        &self.group_nodes[gi]
+    }
+
+    /// The rendezvous node when deployed with one.
+    pub fn rendezvous_node(&self) -> Option<NodeId> {
+        self.rendezvous_node
+    }
+
+    /// The peer↔node directory.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Number of deployed groups.
+    pub fn group_count(&self) -> usize {
+        self.group_nodes.len()
+    }
+
+    /// The id of group `gi`.
+    pub fn group_id(&self, gi: usize) -> GroupId {
+        self.group_ids[gi]
+    }
+
+    // --- Inspection -------------------------------------------------------
+
+    /// The coordinator group `gi`'s live members currently agree on, if
+    /// any (`None` during elections or total outage).
+    pub fn coordinator_of(&self, gi: usize) -> Option<PeerId> {
+        for &n in &self.group_nodes[gi] {
+            if self.net.is_up(n) {
+                let actor = self.net.node::<BPeerActor>(n);
+                if actor.is_coordinator() {
+                    return Some(actor.peer_id());
+                }
+            }
+        }
+        None
+    }
+
+    /// Read access to a b-peer actor.
+    pub fn bpeer(&self, node: NodeId) -> &BPeerActor {
+        self.net.node::<BPeerActor>(node)
+    }
+
+    /// Mutable access to a b-peer actor (fault injection on backends).
+    pub fn bpeer_mut(&mut self, node: NodeId) -> &mut BPeerActor {
+        self.net.node_mut::<BPeerActor>(node)
+    }
+
+    /// Proxy counters.
+    pub fn proxy_stats(&self) -> ProxyStats {
+        self.net.node::<SwsProxyActor>(self.proxy_node).stats()
+    }
+
+    /// Client counters.
+    pub fn client_stats(&self, client: NodeId) -> ClientStats {
+        self.net.node::<ClientActor>(client).stats().clone()
+    }
+
+    /// Per-request outcomes of a client.
+    pub fn client_outcomes(&self, client: NodeId) -> Vec<crate::client::RequestOutcome> {
+        self.net.node::<ClientActor>(client).outcomes().to_vec()
+    }
+
+    /// The most recent response envelope a client received.
+    pub fn client_last_response(&self, client: NodeId) -> Option<String> {
+        self.net.node::<ClientActor>(client).last_response().map(str::to_string)
+    }
+
+    /// Whether a node is currently up.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.net.is_up(node)
+    }
+
+    // --- Fault injection ---------------------------------------------------
+
+    /// Crashes the current coordinator of group `gi` immediately; returns
+    /// the crashed peer, or `None` when the group has no coordinator.
+    pub fn crash_coordinator(&mut self, gi: usize) -> Option<PeerId> {
+        let coord = self.coordinator_of(gi)?;
+        let node = self.directory.node_of(coord)?;
+        self.net.crash_now(node);
+        Some(coord)
+    }
+
+    /// Crashes an arbitrary node now.
+    pub fn crash_node(&mut self, node: NodeId) {
+        self.net.crash_now(node);
+    }
+
+    /// Restarts a crashed node now.
+    pub fn restart_node(&mut self, node: NodeId) {
+        self.net.restart_now(node);
+    }
+
+    /// Installs a pre-built fault plan.
+    pub fn apply_faults(&mut self, plan: &FaultPlan) {
+        self.net.apply_faults(plan);
+    }
+
+    // --- Request injection --------------------------------------------------
+
+    /// Injects `payload` as a SOAP request from `client`; returns the
+    /// client-local request id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is not a client node.
+    pub fn submit_request(&mut self, client: NodeId, payload: Element) -> u64 {
+        let now = self.net.now();
+        let id = self.net.node_mut::<ClientActor>(client).register_manual(now);
+        let envelope = Envelope::request(payload).to_xml_string();
+        self.net
+            .inject(client, self.proxy_node, WhisperMsg::SoapRequest { request_id: id, envelope });
+        id
+    }
+
+    /// Injects the paper's `StudentInformation` request for `student_id`.
+    pub fn submit_student_request(&mut self, client: NodeId, student_id: &str) -> u64 {
+        let mut payload = Element::new("StudentInformation");
+        payload.push_child(Element::with_text("StudentID", student_id));
+        self.submit_request(client, payload)
+    }
+
+    /// Direct access to the underlying simulator for advanced experiments.
+    pub fn sim(&mut self) -> &mut SimNet<WhisperMsg> {
+        &mut self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_rejects_empty_configs() {
+        let cfg = DeploymentConfig::default();
+        assert!(matches!(
+            WhisperNet::build(cfg),
+            Err(WhisperError::BadDeployment(_))
+        ));
+    }
+
+    #[test]
+    fn student_scenario_elects_highest_peer() {
+        let mut net = WhisperNet::student_scenario(3, 7);
+        net.run_for(SimDuration::from_secs(3));
+        // peers are 1..=3 (proxy is 4): the Bully winner is peer 3
+        assert_eq!(net.coordinator_of(0), Some(PeerId::new(3)));
+        // every member agrees
+        for &n in net.group_nodes(0) {
+            assert_eq!(net.bpeer(n).coordinator(), Some(PeerId::new(3)));
+        }
+    }
+
+    #[test]
+    fn end_to_end_request_succeeds() {
+        let mut net = WhisperNet::student_scenario(3, 11);
+        net.run_for(SimDuration::from_secs(3));
+        let client = net.client_ids()[0];
+        net.submit_student_request(client, "u1004");
+        net.run_for(SimDuration::from_secs(3));
+        let stats = net.client_stats(client);
+        assert_eq!(stats.completed, 1, "stats: {stats:?}");
+        assert_eq!(stats.faults, 0);
+        assert_eq!(stats.rtt.count(), 1);
+    }
+}

@@ -1,0 +1,355 @@
+//! The semantic matchmaker: deciding whether a discovered semantic
+//! advertisement can serve a Web-service operation, and ranking candidates.
+//!
+//! This is the heart of Whisper's "semantic integration": the SWS-proxy
+//! fetches semantic advertisements from the P2P network and matches their
+//! action/input/output concepts against the WSDL-S annotations of the
+//! service (paper, section 3.2). The matching is directional:
+//!
+//! * **action** — the advertised capability must be the requested action or
+//!   a *specialization* of it (degree Exact or Subsume);
+//! * **inputs** — the peer must accept what the service supplies, so the
+//!   advertised input concept may be equal or *more general* (Exact or
+//!   PlugIn);
+//! * **outputs** — the peer must produce what the service promises, so the
+//!   advertised output concept may be equal or *more specific* (Exact or
+//!   Subsume).
+//!
+//! The paper's own listing checks plain equality (`equals`); equality always
+//! satisfies these rules, so the matchmaker is a strict generalization, and
+//! the discovery-quality experiment quantifies what the generalization buys.
+
+use crate::qos::{QosMonitor, SelectionPolicy};
+use rand::Rng;
+use whisper_ontology::{MatchDegree, Ontology};
+use whisper_p2p::SemanticAdv;
+use whisper_wsdl::OperationSemantics;
+
+/// The result of matching one advertisement against one operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchOutcome {
+    /// Degree for the action concept.
+    pub action: MatchDegree,
+    /// Weakest input degree (Exact when there are no inputs).
+    pub inputs: MatchDegree,
+    /// Weakest output degree (Exact when there are no outputs).
+    pub outputs: MatchDegree,
+    /// Mean numeric score over all compared concept pairs, for ranking.
+    pub score: f64,
+}
+
+impl MatchOutcome {
+    /// Whether the advertisement satisfies the directional acceptance rules
+    /// and can therefore serve the operation.
+    pub fn is_acceptable(&self) -> bool {
+        matches!(self.action, MatchDegree::Exact | MatchDegree::Subsume)
+            && matches!(self.inputs, MatchDegree::Exact | MatchDegree::PlugIn)
+            && matches!(self.outputs, MatchDegree::Exact | MatchDegree::Subsume)
+    }
+}
+
+/// Matches `adv` against the resolved semantics of one operation.
+///
+/// Concepts that do not resolve in `onto` yield [`MatchDegree::Fail`] for
+/// their position; signature-arity mismatches fail the whole position.
+pub fn match_semantic_adv(
+    onto: &Ontology,
+    request: &OperationSemantics,
+    adv: &SemanticAdv,
+) -> MatchOutcome {
+    let resolve = |q: &whisper_xml::QName| onto.class_by_qname(q);
+
+    let action = match resolve(&adv.action) {
+        Some(a) => onto.match_concepts(request.action, a),
+        None => MatchDegree::Fail,
+    };
+
+    let list_degree = |requested: &[whisper_ontology::ClassId],
+                       advertised: &[whisper_xml::QName]|
+     -> (MatchDegree, f64) {
+        if requested.len() != advertised.len() {
+            return (MatchDegree::Fail, 0.0);
+        }
+        if requested.is_empty() {
+            return (MatchDegree::Exact, 1.0);
+        }
+        let mut weakest = MatchDegree::Exact;
+        let mut sum = 0.0;
+        for (r, aq) in requested.iter().zip(advertised) {
+            let d = match resolve(aq) {
+                Some(a) => onto.match_concepts(*r, a),
+                None => MatchDegree::Fail,
+            };
+            weakest = weakest.min(d);
+            sum += d.score();
+        }
+        (weakest, sum / requested.len() as f64)
+    };
+
+    let (inputs, in_score) = list_degree(&request.inputs, &adv.inputs);
+    let (outputs, out_score) = list_degree(&request.outputs, &adv.outputs);
+    let score = (action.score() + in_score + out_score) / 3.0;
+    MatchOutcome { action, inputs, outputs, score }
+}
+
+/// Filters `candidates` to the acceptable ones and picks one according to
+/// `policy`. Returns the index into `candidates`.
+///
+/// `rng` is only consulted by [`SelectionPolicy::Random`]; `monitor` only
+/// by [`SelectionPolicy::Adaptive`].
+pub fn select_candidate(
+    onto: &Ontology,
+    request: &OperationSemantics,
+    candidates: &[SemanticAdv],
+    policy: SelectionPolicy,
+    rng: &mut impl Rng,
+    monitor: &QosMonitor,
+) -> Option<usize> {
+    let acceptable: Vec<(usize, MatchOutcome)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, adv)| (i, match_semantic_adv(onto, request, adv)))
+        .filter(|(_, o)| o.is_acceptable())
+        .collect();
+    if acceptable.is_empty() {
+        return None;
+    }
+    let qos_utility =
+        |i: usize| candidates[i].qos.map(|q| q.utility()).unwrap_or(f64::NEG_INFINITY);
+    match policy {
+        SelectionPolicy::FirstFound => Some(acceptable[0].0),
+        SelectionPolicy::Random => {
+            let pick = rng.gen_range(0..acceptable.len());
+            Some(acceptable[pick].0)
+        }
+        SelectionPolicy::SemanticThenQos => acceptable
+            .iter()
+            .max_by(|(ia, a), (ib, b)| {
+                a.score
+                    .partial_cmp(&b.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| {
+                        qos_utility(*ia)
+                            .partial_cmp(&qos_utility(*ib))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+            })
+            .map(|(i, _)| *i),
+        SelectionPolicy::QosOnly => acceptable
+            .iter()
+            .max_by(|(ia, _), (ib, _)| {
+                qos_utility(*ia)
+                    .partial_cmp(&qos_utility(*ib))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| *i),
+        SelectionPolicy::Adaptive => {
+            // measured utility once warm, advertised claims while cold
+            let effective = |i: usize| {
+                monitor
+                    .observed_utility(candidates[i].group)
+                    .unwrap_or_else(|| qos_utility(i))
+            };
+            acceptable
+                .iter()
+                .max_by(|(ia, _), (ib, _)| {
+                    effective(*ia)
+                        .partial_cmp(&effective(*ib))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| *i)
+        }
+    }
+}
+
+/// Purely *syntactic* matching — the JXTA baseline the paper criticizes for
+/// "high recall and low precision": an advertisement matches when its
+/// symbolic name equals the requested operation name, regardless of
+/// concepts.
+pub fn syntactic_match(operation_name: &str, adv: &SemanticAdv) -> bool {
+    adv.name == operation_name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use whisper_ontology::samples::{university_ontology, UNIVERSITY_NS};
+    use whisper_p2p::{GroupId, QosSpec};
+    use whisper_wsdl::samples::student_management;
+    use whisper_xml::QName;
+
+    fn q(local: &str) -> QName {
+        QName::with_ns(UNIVERSITY_NS, local)
+    }
+
+    fn adv(group: u64, action: &str, input: &str, output: &str) -> SemanticAdv {
+        SemanticAdv {
+            group: GroupId::new(group),
+            name: format!("group{group}"),
+            action: q(action),
+            inputs: vec![q(input)],
+            outputs: vec![q(output)],
+            qos: None,
+        }
+    }
+
+    fn request() -> OperationSemantics {
+        student_management()
+            .operation("StudentInformation")
+            .unwrap()
+            .resolve(&university_ontology())
+            .unwrap()
+    }
+
+    #[test]
+    fn exact_advertisement_is_acceptable() {
+        let onto = university_ontology();
+        let a = adv(1, "StudentInformation", "StudentID", "StudentInfo");
+        let o = match_semantic_adv(&onto, &request(), &a);
+        assert_eq!(o.action, MatchDegree::Exact);
+        assert_eq!(o.inputs, MatchDegree::Exact);
+        assert_eq!(o.outputs, MatchDegree::Exact);
+        assert!(o.is_acceptable());
+        assert!((o.score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn specialized_output_is_acceptable_generalized_is_not() {
+        let onto = university_ontology();
+        // warehouse returns transcripts — a specialization of StudentInfo
+        let special = adv(1, "StudentInformation", "StudentID", "StudentTranscript");
+        let o = match_semantic_adv(&onto, &request(), &special);
+        assert_eq!(o.outputs, MatchDegree::Subsume);
+        assert!(o.is_acceptable());
+        // a group producing generic Records is too general to promise
+        let general = adv(2, "StudentInformation", "StudentID", "Record");
+        let o = match_semantic_adv(&onto, &request(), &general);
+        assert_eq!(o.outputs, MatchDegree::PlugIn);
+        assert!(!o.is_acceptable());
+    }
+
+    #[test]
+    fn generalized_input_is_acceptable_specialized_is_not() {
+        let onto = university_ontology();
+        // peer accepts any Identifier: fine, StudentID is one
+        let general_in = adv(1, "StudentInformation", "Identifier", "StudentInfo");
+        let o = match_semantic_adv(&onto, &request(), &general_in);
+        assert_eq!(o.inputs, MatchDegree::PlugIn);
+        assert!(o.is_acceptable());
+        // peer demands a NationalID: the service cannot supply that
+        let unrelated_in = adv(2, "StudentInformation", "NationalID", "StudentInfo");
+        let o = match_semantic_adv(&onto, &request(), &unrelated_in);
+        assert_eq!(o.inputs, MatchDegree::Fail);
+        assert!(!o.is_acceptable());
+    }
+
+    #[test]
+    fn action_must_be_equal_or_more_specific() {
+        let onto = university_ontology();
+        let specific = adv(1, "StudentTranscriptRetrieval", "StudentID", "StudentInfo");
+        assert!(match_semantic_adv(&onto, &request(), &specific).is_acceptable());
+        let too_general = adv(2, "InformationRetrieval", "StudentID", "StudentInfo");
+        let o = match_semantic_adv(&onto, &request(), &too_general);
+        assert_eq!(o.action, MatchDegree::PlugIn);
+        assert!(!o.is_acceptable());
+        let unrelated = adv(3, "EnrollmentUpdate", "StudentID", "StudentInfo");
+        assert!(!match_semantic_adv(&onto, &request(), &unrelated).is_acceptable());
+    }
+
+    #[test]
+    fn arity_mismatch_and_foreign_concepts_fail() {
+        let onto = university_ontology();
+        let mut a = adv(1, "StudentInformation", "StudentID", "StudentInfo");
+        a.inputs.push(q("StudentID"));
+        let o = match_semantic_adv(&onto, &request(), &a);
+        assert_eq!(o.inputs, MatchDegree::Fail);
+
+        let mut foreign = adv(2, "StudentInformation", "StudentID", "StudentInfo");
+        foreign.action = QName::with_ns("urn:elsewhere", "StudentInformation");
+        let o = match_semantic_adv(&onto, &request(), &foreign);
+        assert_eq!(o.action, MatchDegree::Fail);
+    }
+
+    #[test]
+    fn selection_policies() {
+        let onto = university_ontology();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let exact = adv(0, "StudentInformation", "StudentID", "StudentInfo");
+        let mut exact_good_qos = adv(1, "StudentInformation", "StudentID", "StudentInfo");
+        exact_good_qos.qos = Some(QosSpec { latency_us: 100, reliability: 0.999, cost: 0.1 });
+        let weaker = adv(2, "StudentInformation", "Identifier", "StudentInfo");
+        let bad = adv(3, "EnrollmentUpdate", "StudentID", "StudentInfo");
+        let candidates = vec![bad.clone(), weaker.clone(), exact.clone(), exact_good_qos.clone()];
+
+        let req = request();
+        // FirstFound skips the unacceptable candidate
+        assert_eq!(
+            select_candidate(&onto, &req, &candidates, SelectionPolicy::FirstFound, &mut rng, &QosMonitor::default()),
+            Some(1)
+        );
+        // SemanticThenQos: both exact advs outscore `weaker`; QoS breaks the tie
+        assert_eq!(
+            select_candidate(&onto, &req, &candidates, SelectionPolicy::SemanticThenQos, &mut rng, &QosMonitor::default()),
+            Some(3)
+        );
+        // QosOnly picks the only candidate with QoS claims
+        assert_eq!(
+            select_candidate(&onto, &req, &candidates, SelectionPolicy::QosOnly, &mut rng, &QosMonitor::default()),
+            Some(3)
+        );
+        // Random picks an acceptable one
+        for _ in 0..20 {
+            let pick =
+                select_candidate(&onto, &req, &candidates, SelectionPolicy::Random, &mut rng, &QosMonitor::default())
+                    .unwrap();
+            assert_ne!(pick, 0, "random must never pick the unacceptable candidate");
+        }
+        // nothing acceptable -> None
+        assert_eq!(
+            select_candidate(&onto, &req, &[bad], SelectionPolicy::SemanticThenQos, &mut rng, &QosMonitor::default()),
+            None
+        );
+    }
+
+    #[test]
+    fn syntactic_match_is_name_equality() {
+        let a = adv(1, "EnrollmentUpdate", "NationalID", "Record");
+        assert!(!syntactic_match("StudentInformation", &a));
+        let mut named = a.clone();
+        named.name = "StudentInformation".into();
+        // matches on name even though the semantics are wrong: the paper's
+        // low-precision failure mode
+        assert!(syntactic_match("StudentInformation", &named));
+    }
+
+    #[test]
+    fn adaptive_policy_overrides_lying_advertisements() {
+        let onto = university_ontology();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut boaster = adv(0, "StudentInformation", "StudentID", "StudentInfo");
+        boaster.qos = Some(QosSpec { latency_us: 100, reliability: 0.999, cost: 0.1 });
+        let mut honest = adv(1, "StudentInformation", "StudentID", "StudentInfo");
+        honest.qos = Some(QosSpec { latency_us: 2_000, reliability: 0.95, cost: 1.0 });
+        let candidates = vec![boaster.clone(), honest.clone()];
+        let req = request();
+
+        // Cold: the boaster's claims win.
+        let cold = QosMonitor::new(3);
+        assert_eq!(
+            select_candidate(&onto, &req, &candidates, SelectionPolicy::Adaptive, &mut rng, &cold),
+            Some(0)
+        );
+        // Warm: measurements show the boaster is slow and flaky.
+        let mut warm = QosMonitor::new(3);
+        for _ in 0..5 {
+            warm.record_response(boaster.group, whisper_simnet::SimDuration::from_millis(50), true);
+            warm.record_response(honest.group, whisper_simnet::SimDuration::from_millis(1), false);
+        }
+        assert_eq!(
+            select_candidate(&onto, &req, &candidates, SelectionPolicy::Adaptive, &mut rng, &warm),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! The Whisper wire protocol: everything that travels between nodes.
+
+use whisper_election::ElectionMsg;
+use whisper_p2p::{GroupId, P2pMessage, PeerId};
+use whisper_simnet::Wire;
+
+/// Every message exchanged in a Whisper deployment.
+///
+/// SOAP payloads travel as serialized XML text, exactly as they would over
+/// HTTP; the metrics layer therefore sees realistic wire sizes.
+#[derive(Debug, Clone)]
+pub enum WhisperMsg {
+    /// P2P substrate traffic (discovery, publication, heartbeats).
+    P2p(P2pMessage),
+    /// Election traffic within a b-peer group.
+    Election {
+        /// The group holding the election.
+        group: GroupId,
+        /// The protocol message.
+        msg: ElectionMsg,
+    },
+    /// Client → Web service: a SOAP request envelope.
+    SoapRequest {
+        /// Client-chosen correlation id.
+        request_id: u64,
+        /// Serialized SOAP envelope.
+        envelope: String,
+    },
+    /// Web service → client: the SOAP response (or fault) envelope.
+    SoapResponse {
+        /// Correlation id of the request.
+        request_id: u64,
+        /// Serialized SOAP envelope.
+        envelope: String,
+    },
+    /// SWS-proxy → b-peer: carry out a service request.
+    PeerRequest {
+        /// Proxy-chosen correlation id.
+        request_id: u64,
+        /// The peer the [`WhisperMsg::PeerResponse`] must go to (the proxy;
+        /// it survives coordinator→delegate forwarding).
+        reply_to: PeerId,
+        /// Set when a coordinator with an unavailable backend forwards the
+        /// request to a semantically equivalent member: the delegate must
+        /// process it even though it is not the coordinator.
+        delegated: bool,
+        /// Serialized SOAP envelope of the client request.
+        envelope: String,
+    },
+    /// B-peer coordinator → SWS-proxy: the processing result.
+    PeerResponse {
+        /// Correlation id of the peer request.
+        request_id: u64,
+        /// Serialized SOAP envelope (response or fault).
+        envelope: String,
+    },
+    /// A message in transit via a relay peer (JXTA relay service): the
+    /// relay unwraps it and forwards `inner` to `dest`.
+    Relayed {
+        /// Final destination.
+        dest: PeerId,
+        /// Original sender (for reply addressing at the destination).
+        origin: PeerId,
+        /// The carried message.
+        inner: Box<WhisperMsg>,
+    },
+    /// Non-coordinator b-peer → SWS-proxy: try the coordinator instead.
+    PeerRedirect {
+        /// Correlation id of the peer request.
+        request_id: u64,
+        /// The coordinator the b-peer currently believes in, if any.
+        coordinator: Option<PeerId>,
+    },
+}
+
+impl Wire for WhisperMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            WhisperMsg::P2p(m) => m.wire_size(),
+            WhisperMsg::Election { msg, .. } => msg.wire_size(),
+            WhisperMsg::SoapRequest { envelope, .. }
+            | WhisperMsg::SoapResponse { envelope, .. }
+            | WhisperMsg::PeerRequest { envelope, .. }
+            | WhisperMsg::PeerResponse { envelope, .. } => 128 + envelope.len(),
+            WhisperMsg::PeerRedirect { .. } => 160,
+            WhisperMsg::Relayed { inner, .. } => 64 + inner.wire_size(),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            WhisperMsg::P2p(m) => m.kind(),
+            WhisperMsg::Election { msg, .. } => msg.kind(),
+            WhisperMsg::SoapRequest { .. } => "soap-request",
+            WhisperMsg::SoapResponse { .. } => "soap-response",
+            WhisperMsg::PeerRequest { .. } => "peer-request",
+            WhisperMsg::PeerResponse { .. } => "peer-response",
+            WhisperMsg::PeerRedirect { .. } => "peer-redirect",
+            WhisperMsg::Relayed { .. } => "relayed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whisper_p2p::AdvFilter;
+
+    #[test]
+    fn kinds_delegate_to_inner_protocols() {
+        let q = WhisperMsg::P2p(P2pMessage::Query {
+            id: 0,
+            filter: AdvFilter::any(),
+            origin: PeerId::new(0),
+        });
+        assert_eq!(q.kind(), "discovery-query");
+        let e = WhisperMsg::Election {
+            group: GroupId::new(1),
+            msg: ElectionMsg::Election { from: PeerId::new(1) },
+        };
+        assert_eq!(e.kind(), "election");
+        assert_eq!(
+            WhisperMsg::PeerRedirect { request_id: 1, coordinator: None }.kind(),
+            "peer-redirect"
+        );
+    }
+
+    #[test]
+    fn soap_wire_size_tracks_envelope_length() {
+        let small = WhisperMsg::SoapRequest { request_id: 1, envelope: "x".repeat(10) };
+        let big = WhisperMsg::SoapRequest { request_id: 1, envelope: "x".repeat(1000) };
+        assert!(big.wire_size() > small.wire_size());
+        assert_eq!(big.wire_size(), 128 + 1000);
+    }
+}

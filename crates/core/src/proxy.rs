@@ -1,0 +1,798 @@
+//! The SWS-proxy actor: the bridge between a semantic Web service and its
+//! b-peer back end.
+//!
+//! "When a Web service receives a request it forwards it to the Semantic
+//! Web Service proxy. Proxies contact the JXTA infrastructure and using the
+//! Discovery Service locate a semantic group of peers that can satisfy the
+//! client's request" (paper, section 3.2). The proxy here implements the
+//! whole pipeline:
+//!
+//! 1. parse the client's SOAP request and identify the operation;
+//! 2. find a semantic b-peer group whose advertisement matches the
+//!    operation's WSDL-S semantics (local cache first, then a remote
+//!    discovery query);
+//! 3. enumerate the group's members (peer advertisements) and bind to the
+//!    presumed coordinator;
+//! 4. forward the request; follow [`WhisperMsg::PeerRedirect`]s; on
+//!    timeout, **re-bind** — re-query the members and try the next
+//!    candidate (the paper's costly failover path);
+//! 5. relay the response (or a `<soap:fault>` after exhausting attempts)
+//!    back to the client.
+
+use crate::directory::Directory;
+use crate::matchmaker;
+use crate::msg::WhisperMsg;
+use crate::qos::{QosMonitor, SelectionPolicy};
+use std::collections::HashMap;
+use whisper_ontology::Ontology;
+use whisper_p2p::{
+    AdvFilter, AdvKind, Advertisement, DiscoveryService, DiscoveryStrategy, GroupId, PeerId,
+    QueryId, SemanticAdv,
+};
+use whisper_simnet::{Actor, Context, NodeId, SimDuration, SimTime};
+use whisper_soap::{Envelope, Fault, FaultCode};
+use whisper_wsdl::{OperationSemantics, ServiceDescription};
+
+/// Tuning knobs of an SWS-proxy.
+///
+/// # Examples
+///
+/// ```
+/// use whisper::{ProxyConfig, SelectionPolicy};
+/// use whisper_simnet::SimDuration;
+///
+/// let cfg = ProxyConfig {
+///     policy: SelectionPolicy::Adaptive,
+///     request_timeout: SimDuration::from_millis(500),
+///     ..ProxyConfig::default()
+/// };
+/// assert_eq!(cfg.policy, SelectionPolicy::Adaptive);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Discovery strategy (must match the deployment's).
+    pub strategy: DiscoveryStrategy,
+    /// How candidate groups are chosen among acceptable matches.
+    pub policy: SelectionPolicy,
+    /// How long to wait for a b-peer response (or a discovery response)
+    /// before assuming failure.
+    pub request_timeout: SimDuration,
+    /// Delay before retrying when a group exists but has no coordinator
+    /// yet (election in progress).
+    pub retry_backoff: SimDuration,
+    /// Attempts (including re-binds and retries) before giving up with a
+    /// `<soap:fault>`.
+    pub max_attempts: u32,
+    /// How long to keep collecting flood responses to a group query before
+    /// choosing among the candidates. A longer window sees more of the
+    /// network and makes QoS-aware selection meaningful; zero selects on
+    /// the first response.
+    pub gather_window: SimDuration,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            strategy: DiscoveryStrategy::Flood,
+            policy: SelectionPolicy::default(),
+            request_timeout: SimDuration::from_millis(2000),
+            retry_backoff: SimDuration::from_millis(300),
+            max_attempts: 10,
+            gather_window: SimDuration::from_millis(250),
+        }
+    }
+}
+
+/// Counters exposed for experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Remote discovery queries issued.
+    pub discoveries: u64,
+    /// Re-binds after a bound peer stopped answering.
+    pub rebinds: u64,
+    /// Redirects followed to reach a coordinator.
+    pub redirects_followed: u64,
+    /// Responses relayed to clients (faults included).
+    pub responses_forwarded: u64,
+    /// Requests answered with a proxy-generated fault.
+    pub faults_generated: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum PendingState {
+    /// Waiting for semantic advertisements (group discovery).
+    AwaitGroups(QueryId),
+    /// Waiting for peer advertisements of the chosen group.
+    AwaitMembers(QueryId, GroupId),
+    /// Waiting for the bound peer to answer.
+    AwaitResponse(PeerId),
+    /// Backing off before retrying (election in progress on the group).
+    Backoff(GroupId),
+}
+
+#[derive(Debug)]
+struct Pending {
+    client_node: NodeId,
+    client_request_id: u64,
+    operation: String,
+    envelope: String,
+    attempts: u32,
+    state: PendingState,
+    /// Members of the bound group we have not tried yet this attempt wave.
+    candidates: Vec<PeerId>,
+    /// Semantic advertisements gathered while the gather window is open.
+    gathered: Vec<SemanticAdv>,
+    /// Whether the gather timer is armed for the current group query.
+    gathering: bool,
+    /// Groups this request already exhausted (every known member dead);
+    /// excluded from subsequent selections so a stale cached advertisement
+    /// cannot trap the request on a dead group.
+    failed_groups: Vec<GroupId>,
+    /// Peers that failed to answer this request; never retried for it.
+    dead_peers: Vec<PeerId>,
+    /// The group this request is currently targeting.
+    group: Option<GroupId>,
+    /// When the client request reached the proxy (for QoS measurement).
+    started_at: SimTime,
+    /// When the request was last forwarded to a b-peer. QoS measurements
+    /// use this, not `started_at`, so discovery cost (a proxy concern)
+    /// does not pollute the *group's* observed latency.
+    forwarded_at: Option<SimTime>,
+}
+
+/// Purpose bits of proxy timer tokens.
+const PURPOSE_TIMEOUT: u64 = 1;
+const PURPOSE_BACKOFF: u64 = 2;
+const PURPOSE_GATHER: u64 = 3;
+
+fn token(request_id: u64, attempt: u32, purpose: u64) -> u64 {
+    (request_id << 20) | ((attempt as u64) << 2) | purpose
+}
+
+fn untoken(t: u64) -> (u64, u32, u64) {
+    (t >> 20, ((t >> 2) & 0x3_ffff) as u32, t & 0b11)
+}
+
+/// The semantic Web service endpoint plus its SWS-proxy, deployed on one
+/// node.
+pub struct SwsProxyActor {
+    peer: PeerId,
+    directory: Directory,
+    disco: DiscoveryService,
+    ontology: Ontology,
+    semantics: HashMap<String, OperationSemantics>,
+    bindings: HashMap<GroupId, PeerId>,
+    pending: HashMap<u64, Pending>,
+    queries: HashMap<QueryId, u64>,
+    next_request: u64,
+    config: ProxyConfig,
+    stats: ProxyStats,
+    monitor: QosMonitor,
+}
+
+impl SwsProxyActor {
+    /// Creates a proxy serving `service`, whose WSDL-S annotations are
+    /// resolved against `ontology` once, up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an annotation does not resolve — a deployment that
+    /// publishes dangling semantics is a configuration bug caught at build
+    /// time by [`WhisperNet`](crate::WhisperNet), which validates first.
+    pub fn new(
+        peer: PeerId,
+        service: &ServiceDescription,
+        ontology: Ontology,
+        directory: Directory,
+        config: ProxyConfig,
+    ) -> Self {
+        let semantics = service
+            .operations()
+            .map(|op| {
+                let sem = op
+                    .resolve(&ontology)
+                    .expect("service annotations must resolve against the deployment ontology");
+                (op.name.clone(), sem)
+            })
+            .collect();
+        SwsProxyActor {
+            peer,
+            disco: DiscoveryService::new(peer, config.strategy),
+            directory,
+            ontology,
+            semantics,
+            bindings: HashMap::new(),
+            pending: HashMap::new(),
+            queries: HashMap::new(),
+            next_request: 0,
+            config,
+            stats: ProxyStats::default(),
+            monitor: QosMonitor::default(),
+        }
+    }
+
+    /// Registers the peers this proxy may flood-query.
+    pub fn add_known_peer(&mut self, peer: PeerId) {
+        self.disco.add_known_peer(peer);
+    }
+
+    /// Counters for experiments.
+    pub fn stats(&self) -> ProxyStats {
+        self.stats
+    }
+
+    /// The observed-QoS measurements backing [`SelectionPolicy::Adaptive`].
+    pub fn qos_monitor(&self) -> &QosMonitor {
+        &self.monitor
+    }
+
+    /// This proxy's peer id.
+    pub fn peer_id(&self) -> PeerId {
+        self.peer
+    }
+
+    /// The group each operation is currently bound to (via its coordinator
+    /// peer), for inspection in tests.
+    pub fn binding_of(&self, group: GroupId) -> Option<PeerId> {
+        self.bindings.get(&group).copied()
+    }
+
+    fn send_to_peer(&self, ctx: &mut Context<'_, WhisperMsg>, to: PeerId, msg: WhisperMsg) {
+        crate::routing::send_routed(&self.directory, self.peer, ctx, to, msg);
+    }
+
+    fn reply_fault(
+        &mut self,
+        ctx: &mut Context<'_, WhisperMsg>,
+        request_id: u64,
+        code: FaultCode,
+        reason: String,
+    ) {
+        let Some(p) = self.pending.remove(&request_id) else {
+            return;
+        };
+        if let Some(g) = p.group {
+            let measured_from = p.forwarded_at.unwrap_or(p.started_at);
+            self.monitor
+                .record_response(g, ctx.now().since(measured_from), true);
+        }
+        self.stats.faults_generated += 1;
+        self.stats.responses_forwarded += 1;
+        let envelope = Envelope::fault(Fault::new(code, reason)).to_xml_string();
+        ctx.send(
+            p.client_node,
+            WhisperMsg::SoapResponse { request_id: p.client_request_id, envelope },
+        );
+    }
+
+    /// Entry point: a SOAP request arrived from a client.
+    fn handle_soap_request(
+        &mut self,
+        ctx: &mut Context<'_, WhisperMsg>,
+        client_node: NodeId,
+        client_request_id: u64,
+        envelope: String,
+    ) {
+        let operation = match Envelope::parse(&envelope) {
+            Ok(env) => match env.body_payload() {
+                Some(p) => p.name.clone(),
+                None => {
+                    self.stats.faults_generated += 1;
+                    self.stats.responses_forwarded += 1;
+                    let fault = Envelope::fault(Fault::new(
+                        FaultCode::Sender,
+                        "request body is empty",
+                    ))
+                    .to_xml_string();
+                    ctx.send(
+                        client_node,
+                        WhisperMsg::SoapResponse { request_id: client_request_id, envelope: fault },
+                    );
+                    return;
+                }
+            },
+            Err(e) => {
+                self.stats.faults_generated += 1;
+                self.stats.responses_forwarded += 1;
+                let fault =
+                    Envelope::fault(Fault::new(FaultCode::Sender, format!("bad envelope: {e}")))
+                        .to_xml_string();
+                ctx.send(
+                    client_node,
+                    WhisperMsg::SoapResponse { request_id: client_request_id, envelope: fault },
+                );
+                return;
+            }
+        };
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.pending.insert(
+            request_id,
+            Pending {
+                client_node,
+                client_request_id,
+                operation: operation.clone(),
+                envelope,
+                attempts: 0,
+                state: PendingState::AwaitGroups(0),
+                candidates: Vec::new(),
+                gathered: Vec::new(),
+                gathering: false,
+                failed_groups: Vec::new(),
+                dead_peers: Vec::new(),
+                group: None,
+                started_at: ctx.now(),
+                forwarded_at: None,
+            },
+        );
+        if !self.semantics.contains_key(&operation) {
+            self.reply_fault(
+                ctx,
+                request_id,
+                FaultCode::Sender,
+                format!("operation {operation:?} is not offered by this service"),
+            );
+            return;
+        }
+        self.advance_from_group_search(ctx, request_id);
+    }
+
+    /// Finds a group for the request: local cache first, then the network.
+    fn advance_from_group_search(&mut self, ctx: &mut Context<'_, WhisperMsg>, request_id: u64) {
+        let Some(p) = self.pending.get(&request_id) else { return };
+        let operation = p.operation.clone();
+        let failed = p.failed_groups.clone();
+        let sem = self.semantics[&operation].clone();
+        let now = ctx.now();
+        let local = self.disco.local_lookup(&AdvFilter::of_kind(AdvKind::Semantic), now);
+        let candidates: Vec<SemanticAdv> = local
+            .iter()
+            .filter_map(Advertisement::as_semantic)
+            .filter(|a| !failed.contains(&a.group))
+            .cloned()
+            .collect();
+        if let Some(idx) = matchmaker::select_candidate(
+            &self.ontology,
+            &sem,
+            &candidates,
+            self.config.policy,
+            ctx.rng(),
+            &self.monitor,
+        ) {
+            let group = candidates[idx].group;
+            self.bind_or_find_members(ctx, request_id, group);
+            return;
+        }
+        // Nothing usable locally: go to the network.
+        let (qid, sends) =
+            self.disco.remote_query(AdvFilter::of_kind(AdvKind::Semantic), now);
+        self.stats.discoveries += 1;
+        self.queries.insert(qid, request_id);
+        for s in sends {
+            self.send_to_peer(ctx, s.to, WhisperMsg::P2p(s.msg));
+        }
+        if let Some(p) = self.pending.get_mut(&request_id) {
+            p.attempts += 1;
+            p.state = PendingState::AwaitGroups(qid);
+            let attempts = p.attempts;
+            ctx.set_timer(self.config.request_timeout, token(request_id, attempts, PURPOSE_TIMEOUT));
+        }
+    }
+
+    /// With a group chosen: bind to a member (cached binding, cached peer
+    /// advertisements, or a member-discovery query).
+    fn bind_or_find_members(
+        &mut self,
+        ctx: &mut Context<'_, WhisperMsg>,
+        request_id: u64,
+        group: GroupId,
+    ) {
+        let now = ctx.now();
+        if let Some(p) = self.pending.get_mut(&request_id) {
+            p.group = Some(group);
+        }
+        if let Some(&bound) = self.bindings.get(&group) {
+            self.forward_to_peer(ctx, request_id, bound, group);
+            return;
+        }
+        let dead = self
+            .pending
+            .get(&request_id)
+            .map(|p| p.dead_peers.clone())
+            .unwrap_or_default();
+        let mut filter = AdvFilter::of_kind(AdvKind::Peer);
+        filter.group = Some(group);
+        let members: Vec<PeerId> = self
+            .disco
+            .local_lookup(&filter, now)
+            .iter()
+            .filter_map(|a| match a {
+                Advertisement::Peer(p) => Some(p.peer),
+                _ => None,
+            })
+            .filter(|m| !dead.contains(m))
+            .collect();
+        if !members.is_empty() {
+            if let Some(p) = self.pending.get_mut(&request_id) {
+                let mut sorted = members;
+                sorted.sort();
+                p.candidates = sorted;
+                // the Bully winner is the highest id: try it first
+                let target = *p.candidates.last().expect("non-empty");
+                p.candidates.pop();
+                self.forward_to_peer(ctx, request_id, target, group);
+            }
+            return;
+        }
+        // No member knowledge: query the network for the group's peers.
+        let (qid, sends) = self.disco.remote_query(filter, now);
+        self.stats.discoveries += 1;
+        self.queries.insert(qid, request_id);
+        for s in sends {
+            self.send_to_peer(ctx, s.to, WhisperMsg::P2p(s.msg));
+        }
+        if let Some(p) = self.pending.get_mut(&request_id) {
+            p.attempts += 1;
+            p.state = PendingState::AwaitMembers(qid, group);
+            let attempts = p.attempts;
+            ctx.set_timer(self.config.request_timeout, token(request_id, attempts, PURPOSE_TIMEOUT));
+        }
+    }
+
+    fn forward_to_peer(
+        &mut self,
+        ctx: &mut Context<'_, WhisperMsg>,
+        request_id: u64,
+        target: PeerId,
+        group: GroupId,
+    ) {
+        let Some(attempts_so_far) = self.pending.get(&request_id).map(|p| p.attempts) else {
+            return;
+        };
+        if attempts_so_far >= self.config.max_attempts {
+            self.reply_fault(
+                ctx,
+                request_id,
+                FaultCode::Receiver,
+                "no live b-peer could process the request".to_string(),
+            );
+            return;
+        }
+        let p = self.pending.get_mut(&request_id).expect("checked above");
+        p.attempts += 1;
+        p.state = PendingState::AwaitResponse(target);
+        p.forwarded_at = Some(ctx.now());
+        let attempts = p.attempts;
+        let envelope = p.envelope.clone();
+        self.bindings.insert(group, target);
+        self.send_to_peer(
+            ctx,
+            target,
+            WhisperMsg::PeerRequest { request_id, reply_to: self.peer, delegated: false, envelope },
+        );
+        ctx.set_timer(self.config.request_timeout, token(request_id, attempts, PURPOSE_TIMEOUT));
+    }
+
+    fn handle_discovery_results(
+        &mut self,
+        ctx: &mut Context<'_, WhisperMsg>,
+        query: QueryId,
+        advs: Vec<Advertisement>,
+    ) {
+        let Some(&request_id) = self.queries.get(&query) else { return };
+        let Some(p) = self.pending.get(&request_id) else {
+            self.queries.remove(&query);
+            return;
+        };
+        match p.state.clone() {
+            PendingState::AwaitGroups(q) if q == query => {
+                // Flood discovery returns one response per peer; collect
+                // them over a short gather window so selection sees the
+                // whole network, then decide once the window closes.
+                let arm_timer = {
+                    let p = self.pending.get_mut(&request_id).expect("checked above");
+                    p.gathered
+                        .extend(advs.iter().filter_map(Advertisement::as_semantic).cloned());
+                    let arm = !p.gathering && !p.gathered.is_empty();
+                    if arm {
+                        p.gathering = true;
+                    }
+                    arm
+                };
+                if arm_timer {
+                    let attempts = self.pending[&request_id].attempts;
+                    ctx.set_timer(
+                        self.config.gather_window,
+                        token(request_id, attempts, PURPOSE_GATHER),
+                    );
+                }
+            }
+            PendingState::AwaitMembers(q, group) if q == query => {
+                self.queries.remove(&query);
+                let dead = self
+                    .pending
+                    .get(&request_id)
+                    .map(|p| p.dead_peers.clone())
+                    .unwrap_or_default();
+                let mut members: Vec<PeerId> = advs
+                    .iter()
+                    .filter_map(|a| match a {
+                        Advertisement::Peer(pa) if pa.group == Some(group) => Some(pa.peer),
+                        _ => None,
+                    })
+                    .filter(|m| !dead.contains(m))
+                    .collect();
+                members.sort();
+                members.dedup();
+                if members.is_empty() {
+                    self.queries.insert(query, request_id);
+                    return;
+                }
+                if let Some(p) = self.pending.get_mut(&request_id) {
+                    p.candidates = members;
+                    let target = *p.candidates.last().expect("non-empty");
+                    p.candidates.pop();
+                    self.forward_to_peer(ctx, request_id, target, group);
+                }
+            }
+            _ => {
+                self.queries.remove(&query);
+            }
+        }
+    }
+
+    fn handle_redirect(
+        &mut self,
+        ctx: &mut Context<'_, WhisperMsg>,
+        request_id: u64,
+        coordinator: Option<PeerId>,
+    ) {
+        let (old_target, group) = match self.pending.get(&request_id) {
+            Some(p) => match p.state.clone() {
+                PendingState::AwaitResponse(t) => (t, p.group),
+                _ => return,
+            },
+            None => return,
+        };
+        match (coordinator, group) {
+            (Some(c), Some(g)) if c != old_target => {
+                self.stats.redirects_followed += 1;
+                self.forward_to_peer(ctx, request_id, c, g);
+            }
+            (_, Some(g)) => {
+                // No coordinator yet (election in flight) or a self-loop:
+                // back off and retry.
+                let p = self.pending.get_mut(&request_id).expect("checked above");
+                p.state = PendingState::Backoff(g);
+                let attempts = p.attempts;
+                ctx.set_timer(self.config.retry_backoff, token(request_id, attempts, PURPOSE_BACKOFF));
+            }
+            (_, None) => {
+                self.reply_fault(
+                    ctx,
+                    request_id,
+                    FaultCode::Receiver,
+                    "binding lost during redirect".to_string(),
+                );
+            }
+        }
+    }
+
+    fn handle_timeout(&mut self, ctx: &mut Context<'_, WhisperMsg>, request_id: u64, attempt: u32) {
+        let Some(p) = self.pending.get(&request_id) else { return };
+        if p.attempts != attempt {
+            return; // stale timer from an earlier attempt
+        }
+        if p.attempts >= self.config.max_attempts {
+            self.reply_fault(
+                ctx,
+                request_id,
+                FaultCode::Receiver,
+                "request timed out after exhausting all b-peers".to_string(),
+            );
+            return;
+        }
+        match p.state.clone() {
+            PendingState::AwaitGroups(_) => {
+                // discovery produced nothing in time
+                self.reply_fault(
+                    ctx,
+                    request_id,
+                    FaultCode::Receiver,
+                    "no semantic peer group matches the request".to_string(),
+                );
+            }
+            PendingState::AwaitMembers(_, group) => {
+                // No untried member answered: every member of this group is
+                // dead as far as this request is concerned. Exclude the
+                // group and search for an alternative.
+                if let Some(p) = self.pending.get_mut(&request_id) {
+                    p.failed_groups.push(group);
+                }
+                self.advance_from_group_search(ctx, request_id);
+            }
+            PendingState::AwaitResponse(dead) => {
+                // The bound peer is unresponsive: re-bind. Try the next
+                // cached member; when none are left, re-discover members
+                // (a new coordinator may have been elected meanwhile).
+                self.stats.rebinds += 1;
+                let group = self.pending.get(&request_id).and_then(|p| p.group);
+                if let Some(p) = self.pending.get_mut(&request_id) {
+                    p.dead_peers.push(dead);
+                }
+                if let Some(g) = group {
+                    self.bindings.remove(&g);
+                    let next = self
+                        .pending
+                        .get_mut(&request_id)
+                        .and_then(|p| {
+                            while let Some(c) = p.candidates.pop() {
+                                if !p.dead_peers.contains(&c) {
+                                    return Some(c);
+                                }
+                            }
+                            None
+                        });
+                    match next {
+                        Some(next_target) => {
+                            self.forward_to_peer(ctx, request_id, next_target, g)
+                        }
+                        // Consult the caches / the network for members we
+                        // have not tried yet; a new coordinator may exist.
+                        None => self.bind_or_find_members(ctx, request_id, g),
+                    }
+                } else {
+                    self.advance_from_group_search(ctx, request_id);
+                }
+            }
+            PendingState::Backoff(_) => {}
+        }
+    }
+
+    fn handle_gather_fired(&mut self, ctx: &mut Context<'_, WhisperMsg>, request_id: u64) {
+        let Some(p) = self.pending.get_mut(&request_id) else { return };
+        let PendingState::AwaitGroups(query) = p.state else { return };
+        p.gathering = false;
+        let failed = p.failed_groups.clone();
+        let candidates: Vec<SemanticAdv> = std::mem::take(&mut p.gathered)
+            .into_iter()
+            .filter(|a| !failed.contains(&a.group))
+            .collect();
+        let operation = p.operation.clone();
+        let sem = self.semantics[&operation].clone();
+        match matchmaker::select_candidate(
+            &self.ontology,
+            &sem,
+            &candidates,
+            self.config.policy,
+            ctx.rng(),
+            &self.monitor,
+        ) {
+            Some(idx) => {
+                self.queries.remove(&query);
+                let group = candidates[idx].group;
+                self.bind_or_find_members(ctx, request_id, group);
+            }
+            None => {
+                // keep waiting for more responses; the request timeout
+                // faults if nothing acceptable ever shows up
+            }
+        }
+    }
+
+    fn handle_backoff_fired(&mut self, ctx: &mut Context<'_, WhisperMsg>, request_id: u64) {
+        let Some(p) = self.pending.get(&request_id) else { return };
+        if let PendingState::Backoff(group) = p.state.clone() {
+            self.bindings.remove(&group);
+            self.bind_or_find_members(ctx, request_id, group);
+        }
+    }
+}
+
+impl Actor<WhisperMsg> for SwsProxyActor {
+    fn on_message(&mut self, ctx: &mut Context<'_, WhisperMsg>, from: NodeId, msg: WhisperMsg) {
+        let Some((from, msg)) =
+            crate::routing::unwrap_or_forward(&self.directory, self.peer, ctx, from, msg)
+        else {
+            return;
+        };
+        match msg {
+            WhisperMsg::SoapRequest { request_id, envelope } => {
+                self.handle_soap_request(ctx, from, request_id, envelope);
+            }
+            WhisperMsg::P2p(m) => {
+                let from_peer = self.directory.peer_of(from).unwrap_or(self.peer);
+                let (sends, events) = self.disco.handle_message(from_peer, m, ctx.now());
+                for s in sends {
+                    self.send_to_peer(ctx, s.to, WhisperMsg::P2p(s.msg));
+                }
+                for ev in events {
+                    let whisper_p2p::DiscoveryEvent::Results { query, advs } = ev;
+                    self.handle_discovery_results(ctx, query, advs);
+                }
+            }
+            WhisperMsg::PeerResponse { request_id, envelope } => {
+                if let Some(p) = self.pending.remove(&request_id) {
+                    self.stats.responses_forwarded += 1;
+                    if let Some(g) = p.group {
+                        let fault =
+                            Envelope::parse(&envelope).map(|e| e.is_fault()).unwrap_or(true);
+                        let measured_from = p.forwarded_at.unwrap_or(p.started_at);
+                        self.monitor
+                            .record_response(g, ctx.now().since(measured_from), fault);
+                    }
+                    ctx.send(
+                        p.client_node,
+                        WhisperMsg::SoapResponse {
+                            request_id: p.client_request_id,
+                            envelope,
+                        },
+                    );
+                }
+            }
+            WhisperMsg::PeerRedirect { request_id, coordinator } => {
+                self.handle_redirect(ctx, request_id, coordinator);
+            }
+            // Proxies ignore election traffic and stray SOAP responses.
+            WhisperMsg::Election { .. }
+            | WhisperMsg::SoapResponse { .. }
+            | WhisperMsg::PeerRequest { .. }
+            | WhisperMsg::Relayed { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, WhisperMsg>, t: u64) {
+        let (request_id, attempt, purpose) = untoken(t);
+        match purpose {
+            PURPOSE_TIMEOUT => self.handle_timeout(ctx, request_id, attempt),
+            PURPOSE_BACKOFF => self.handle_backoff_fired(ctx, request_id),
+            PURPOSE_GATHER => self.handle_gather_fired(ctx, request_id),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_round_trip() {
+        for (rid, att, purpose) in [(0u64, 0u32, PURPOSE_TIMEOUT), (17, 9, PURPOSE_BACKOFF), (1 << 30, 200_000, PURPOSE_TIMEOUT)] {
+            let t = token(rid, att, purpose);
+            let (r, a, p) = untoken(t);
+            assert_eq!((r, a, p), (rid, att & 0x3_ffff, purpose));
+        }
+    }
+
+    #[test]
+    fn proxy_construction_resolves_semantics() {
+        let svc = whisper_wsdl::samples::student_management();
+        let onto = whisper_ontology::samples::university_ontology();
+        let proxy = SwsProxyActor::new(
+            PeerId::new(0),
+            &svc,
+            onto,
+            Directory::default(),
+            ProxyConfig::default(),
+        );
+        assert_eq!(proxy.semantics.len(), 2);
+        assert!(proxy.semantics.contains_key("StudentInformation"));
+        assert_eq!(proxy.stats(), ProxyStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "must resolve")]
+    fn dangling_annotations_panic_at_construction() {
+        let svc = whisper_wsdl::samples::student_management();
+        // wrong ontology: b2b doesn't define the university concepts
+        let onto = whisper_ontology::samples::b2b_ontology();
+        let _ = SwsProxyActor::new(
+            PeerId::new(0),
+            &svc,
+            onto,
+            Directory::default(),
+            ProxyConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! QoS-aware selection policies and observed-QoS bookkeeping (the paper's
+//! section 2.4: "this demands management of QoS metrics for peers").
+//!
+//! Advertisements carry *claimed* QoS; the proxy additionally *measures*
+//! what each group actually delivers. [`SelectionPolicy::Adaptive`] prefers
+//! the measurements once enough samples exist, so a group that oversells
+//! itself loses traffic to an honestly better one.
+
+use std::collections::HashMap;
+use whisper_p2p::GroupId;
+use whisper_simnet::SimDuration;
+
+/// How the SWS-proxy chooses among semantically acceptable b-peer groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// Highest semantic match score; ties broken by advertised QoS utility.
+    /// The default and the policy the paper's section 2.4 sketches.
+    #[default]
+    SemanticThenQos,
+    /// Advertised QoS utility only (among semantically acceptable
+    /// candidates).
+    QosOnly,
+    /// Observed QoS once enough measurements exist, advertised QoS before
+    /// that — the adaptive extension of section 2.4's metric management.
+    Adaptive,
+    /// Uniformly random among acceptable candidates — the baseline the
+    /// QoS-selection experiment compares against.
+    Random,
+    /// First acceptable candidate in advertisement order (JXTA's naive
+    /// "first hit" behaviour).
+    FirstFound,
+}
+
+/// Per-group measurements accumulated by the proxy.
+#[derive(Debug, Clone, Copy, Default)]
+struct GroupObservation {
+    /// Exponentially weighted moving average of response latency (µs).
+    ewma_latency_us: f64,
+    /// Total responses observed.
+    responses: u64,
+    /// Responses that were faults.
+    faults: u64,
+}
+
+/// Observed-QoS bookkeeping for the groups a proxy has used.
+///
+/// # Examples
+///
+/// ```
+/// use whisper::QosMonitor;
+/// use whisper_p2p::GroupId;
+/// use whisper_simnet::SimDuration;
+///
+/// let mut m = QosMonitor::new(3);
+/// let g = GroupId::new(1);
+/// assert!(m.observed_utility(g).is_none()); // too few samples
+/// for _ in 0..3 {
+///     m.record_response(g, SimDuration::from_millis(2), false);
+/// }
+/// assert!(m.observed_utility(g).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct QosMonitor {
+    observations: HashMap<GroupId, GroupObservation>,
+    /// Samples required before observations outrank advertisements.
+    min_samples: u64,
+    /// EWMA smoothing factor for latency.
+    alpha: f64,
+}
+
+impl QosMonitor {
+    /// Creates a monitor that trusts its measurements after `min_samples`
+    /// responses per group.
+    pub fn new(min_samples: u64) -> Self {
+        QosMonitor { observations: HashMap::new(), min_samples, alpha: 0.3 }
+    }
+
+    /// Records one response from `group`: its latency and whether it was a
+    /// fault.
+    pub fn record_response(&mut self, group: GroupId, latency: SimDuration, fault: bool) {
+        let o = self.observations.entry(group).or_default();
+        let l = latency.as_micros() as f64;
+        o.ewma_latency_us = if o.responses == 0 {
+            l
+        } else {
+            self.alpha * l + (1.0 - self.alpha) * o.ewma_latency_us
+        };
+        o.responses += 1;
+        if fault {
+            o.faults += 1;
+        }
+    }
+
+    /// Number of responses observed from `group`.
+    pub fn sample_count(&self, group: GroupId) -> u64 {
+        self.observations.get(&group).map(|o| o.responses).unwrap_or(0)
+    }
+
+    /// Observed fraction of non-fault responses, once any sample exists.
+    pub fn observed_reliability(&self, group: GroupId) -> Option<f64> {
+        let o = self.observations.get(&group)?;
+        if o.responses == 0 {
+            return None;
+        }
+        Some(1.0 - o.faults as f64 / o.responses as f64)
+    }
+
+    /// A utility comparable to
+    /// [`QosSpec::utility`](whisper_p2p::QosSpec::utility) (minus the cost
+    /// term, which is not observable), computed from measurements; `None`
+    /// until `min_samples` responses arrived.
+    pub fn observed_utility(&self, group: GroupId) -> Option<f64> {
+        let o = self.observations.get(&group)?;
+        if o.responses < self.min_samples {
+            return None;
+        }
+        let reliability = 1.0 - o.faults as f64 / o.responses as f64;
+        let speed = 5.0 / (1.0 + o.ewma_latency_us / 1_000.0);
+        Some(reliability * 10.0 + speed)
+    }
+}
+
+impl Default for QosMonitor {
+    /// Trusts measurements after 5 samples.
+    fn default() -> Self {
+        QosMonitor::new(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_semantic_then_qos() {
+        assert_eq!(SelectionPolicy::default(), SelectionPolicy::SemanticThenQos);
+    }
+
+    #[test]
+    fn utility_needs_min_samples() {
+        let mut m = QosMonitor::new(3);
+        let g = GroupId::new(1);
+        m.record_response(g, SimDuration::from_millis(1), false);
+        m.record_response(g, SimDuration::from_millis(1), false);
+        assert_eq!(m.observed_utility(g), None);
+        assert_eq!(m.sample_count(g), 2);
+        m.record_response(g, SimDuration::from_millis(1), false);
+        assert!(m.observed_utility(g).is_some());
+    }
+
+    #[test]
+    fn faults_reduce_utility_latency_reduces_utility() {
+        let mut fast = QosMonitor::new(1);
+        let mut slow = QosMonitor::new(1);
+        let mut flaky = QosMonitor::new(1);
+        let g = GroupId::new(1);
+        for _ in 0..10 {
+            fast.record_response(g, SimDuration::from_micros(300), false);
+            slow.record_response(g, SimDuration::from_millis(20), false);
+            flaky.record_response(g, SimDuration::from_micros(300), true);
+        }
+        let (f, s, fl) = (
+            fast.observed_utility(g).expect("samples"),
+            slow.observed_utility(g).expect("samples"),
+            flaky.observed_utility(g).expect("samples"),
+        );
+        assert!(f > s, "fast {f} should beat slow {s}");
+        assert!(f > fl, "reliable {f} should beat flaky {fl}");
+        assert!(s > fl, "reliability dominates speed: {s} vs {fl}");
+    }
+
+    #[test]
+    fn ewma_tracks_recent_latency() {
+        let mut m = QosMonitor::new(1);
+        let g = GroupId::new(1);
+        for _ in 0..20 {
+            m.record_response(g, SimDuration::from_millis(1), false);
+        }
+        let before = m.observed_utility(g).expect("samples");
+        for _ in 0..20 {
+            m.record_response(g, SimDuration::from_millis(50), false);
+        }
+        let after = m.observed_utility(g).expect("samples");
+        assert!(after < before, "degradation must show: {after} vs {before}");
+    }
+
+    #[test]
+    fn reliability_accessor() {
+        let mut m = QosMonitor::new(1);
+        let g = GroupId::new(2);
+        assert_eq!(m.observed_reliability(g), None);
+        m.record_response(g, SimDuration::from_millis(1), false);
+        m.record_response(g, SimDuration::from_millis(1), true);
+        assert_eq!(m.observed_reliability(g), Some(0.5));
+    }
+}

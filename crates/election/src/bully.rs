@@ -1,0 +1,407 @@
+//! The Bully election algorithm (Garcia-Molina 1982).
+
+use crate::msg::{ElectionEvent, ElectionMsg, Output, TimerRequest};
+use crate::ElectionProtocol;
+use std::collections::BTreeSet;
+use whisper_p2p::PeerId;
+use whisper_simnet::{SimDuration, SimTime};
+
+/// Timeouts of the Bully algorithm.
+///
+/// `answer_timeout` bounds how long an initiator waits for an `Answer`
+/// from a higher peer before declaring victory; `coordinator_timeout`
+/// bounds how long a suppressed initiator waits for the eventual
+/// `Coordinator` announcement before re-starting the election. These two
+/// timeouts are exactly the "considerably high" re-election delay the paper
+/// blames for multi-second worst-case RTTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BullyConfig {
+    /// Wait for `Answer` after sending `Election`.
+    pub answer_timeout: SimDuration,
+    /// Wait for `Coordinator` after receiving an `Answer`.
+    pub coordinator_timeout: SimDuration,
+    /// Suppress fresh elections for this long after one concluded (and a
+    /// coordinator is known). Without it, stray in-flight `Election`
+    /// messages re-trigger full elections at every idle node and a
+    /// simultaneous boot turns into a message storm; JXTA-era deployments
+    /// rate-limited elections the same way.
+    pub cooldown: SimDuration,
+}
+
+impl Default for BullyConfig {
+    /// JXTA-era defaults: 1 s answer wait, 2 s coordinator wait.
+    fn default() -> Self {
+        BullyConfig {
+            answer_timeout: SimDuration::from_secs(1),
+            coordinator_timeout: SimDuration::from_secs(2),
+            cooldown: SimDuration::from_millis(500),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    AwaitingAnswers,
+    AwaitingCoordinator,
+}
+
+const KIND_ANSWER_WAIT: u64 = 0;
+const KIND_COORD_WAIT: u64 = 1;
+
+fn encode_token(epoch: u64, kind: u64) -> u64 {
+    epoch << 1 | kind
+}
+
+fn decode_token(token: u64) -> (u64, u64) {
+    (token >> 1, token & 1)
+}
+
+/// Per-peer state of the Bully algorithm.
+///
+/// The peer with the highest [`PeerId`] among live members always wins; any
+/// peer that suspects the coordinator starts an election. See the crate
+/// docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct BullyNode {
+    me: PeerId,
+    members: BTreeSet<PeerId>,
+    coordinator: Option<PeerId>,
+    phase: Phase,
+    /// Incremented whenever outstanding timers become stale.
+    epoch: u64,
+    config: BullyConfig,
+    /// Statistics: how many elections this node started.
+    elections_started: u64,
+    /// When the last election this node observed concluded.
+    last_concluded: Option<SimTime>,
+}
+
+impl BullyNode {
+    /// Creates a node for `me` within `members` (which should include
+    /// `me`; it is inserted if missing).
+    pub fn new(me: PeerId, members: impl IntoIterator<Item = PeerId>, config: BullyConfig) -> Self {
+        let mut members: BTreeSet<PeerId> = members.into_iter().collect();
+        members.insert(me);
+        BullyNode {
+            me,
+            members,
+            coordinator: None,
+            phase: Phase::Idle,
+            epoch: 0,
+            config,
+            elections_started: 0,
+            last_concluded: None,
+        }
+    }
+
+    /// Current group membership, in id order.
+    pub fn members(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// How many elections this node has initiated.
+    pub fn elections_started(&self) -> u64 {
+        self.elections_started
+    }
+
+    /// Whether this node currently believes it is the coordinator.
+    pub fn is_coordinator(&self) -> bool {
+        self.coordinator == Some(self.me)
+    }
+
+    fn higher_members(&self) -> Vec<PeerId> {
+        self.members.iter().copied().filter(|&p| p > self.me).collect()
+    }
+
+    fn other_members(&self) -> Vec<PeerId> {
+        self.members.iter().copied().filter(|&p| p != self.me).collect()
+    }
+
+    fn declare_victory(&mut self, now: SimTime) -> Output {
+        self.coordinator = Some(self.me);
+        self.phase = Phase::Idle;
+        self.epoch += 1;
+        self.last_concluded = Some(now);
+        Output {
+            sends: self
+                .other_members()
+                .into_iter()
+                .map(|p| (p, ElectionMsg::Coordinator { from: self.me }))
+                .collect(),
+            timers: Vec::new(),
+            events: vec![ElectionEvent::CoordinatorElected(self.me)],
+        }
+    }
+}
+
+impl ElectionProtocol for BullyNode {
+    fn me(&self) -> PeerId {
+        self.me
+    }
+
+    fn coordinator(&self) -> Option<PeerId> {
+        self.coordinator
+    }
+
+    fn start_election(&mut self, now: SimTime) -> Output {
+        if self.phase != Phase::Idle {
+            // an election is already in flight; let it finish
+            return Output::none();
+        }
+        if let (Some(concluded), Some(_)) = (self.last_concluded, self.coordinator) {
+            if concluded <= now && now.since(concluded) < self.config.cooldown {
+                // an election just settled on a coordinator; don't storm
+                return Output::none();
+            }
+        }
+        self.elections_started += 1;
+        let higher = self.higher_members();
+        if higher.is_empty() {
+            return self.declare_victory(now);
+        }
+        self.phase = Phase::AwaitingAnswers;
+        self.epoch += 1;
+        Output {
+            sends: higher
+                .into_iter()
+                .map(|p| (p, ElectionMsg::Election { from: self.me }))
+                .collect(),
+            timers: vec![TimerRequest {
+                token: encode_token(self.epoch, KIND_ANSWER_WAIT),
+                delay: self.config.answer_timeout,
+            }],
+            events: Vec::new(),
+        }
+    }
+
+    fn on_message(&mut self, from: PeerId, msg: ElectionMsg, now: SimTime) -> Output {
+        match msg {
+            ElectionMsg::Election { from: initiator } => {
+                debug_assert_eq!(from, initiator);
+                let mut out = Output::none();
+                if initiator < self.me {
+                    // bully the lower peer, then make sure an election that
+                    // includes us is running (rate-limited by the cooldown)
+                    out.sends.push((initiator, ElectionMsg::Answer { from: self.me }));
+                    if self.coordinator == Some(self.me) {
+                        // re-assert instead of re-electing
+                        out.sends.push((initiator, ElectionMsg::Coordinator { from: self.me }));
+                    } else {
+                        out.merge(self.start_election(now));
+                    }
+                }
+                out
+            }
+            ElectionMsg::Answer { .. } => {
+                if self.phase == Phase::AwaitingAnswers {
+                    self.phase = Phase::AwaitingCoordinator;
+                    self.epoch += 1;
+                    Output {
+                        sends: Vec::new(),
+                        timers: vec![TimerRequest {
+                            token: encode_token(self.epoch, KIND_COORD_WAIT),
+                            delay: self.config.coordinator_timeout,
+                        }],
+                        events: Vec::new(),
+                    }
+                } else {
+                    Output::none()
+                }
+            }
+            ElectionMsg::Coordinator { from: coord } => {
+                self.coordinator = Some(coord);
+                self.phase = Phase::Idle;
+                self.epoch += 1;
+                self.last_concluded = Some(now);
+                Output {
+                    sends: Vec::new(),
+                    timers: Vec::new(),
+                    events: vec![ElectionEvent::CoordinatorElected(coord)],
+                }
+            }
+            // Ring messages are not ours; ignore gracefully.
+            ElectionMsg::RingElection { .. } | ElectionMsg::RingCoordinator { .. } => {
+                Output::none()
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, now: SimTime) -> Output {
+        let (epoch, kind) = decode_token(token);
+        if epoch != self.epoch {
+            return Output::none(); // stale timer
+        }
+        match (kind, self.phase) {
+            (KIND_ANSWER_WAIT, Phase::AwaitingAnswers) => {
+                // nobody higher answered: we win
+                self.declare_victory(now)
+            }
+            (KIND_COORD_WAIT, Phase::AwaitingCoordinator) => {
+                // the higher peer that answered died before announcing;
+                // clear the stale conclusion so the retry is not suppressed
+                self.phase = Phase::Idle;
+                self.epoch += 1;
+                self.last_concluded = None;
+                self.start_election(now)
+            }
+            _ => Output::none(),
+        }
+    }
+
+    fn set_members(&mut self, members: &[PeerId]) {
+        self.members = members.iter().copied().collect();
+        self.members.insert(self.me);
+    }
+
+    fn remove_member(&mut self, peer: PeerId) {
+        if peer != self.me {
+            self.members.remove(&peer);
+            if self.coordinator == Some(peer) {
+                self.coordinator = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn ids(ns: &[u64]) -> Vec<PeerId> {
+        ns.iter().map(|&n| PeerId::new(n)).collect()
+    }
+
+    fn node(me: u64, members: &[u64]) -> BullyNode {
+        BullyNode::new(PeerId::new(me), ids(members), BullyConfig::default())
+    }
+
+    #[test]
+    fn highest_wins_immediately() {
+        let mut n = node(3, &[1, 2, 3]);
+        let out = n.start_election(t0());
+        assert_eq!(out.sends.len(), 2);
+        assert!(out
+            .sends
+            .iter()
+            .all(|(_, m)| matches!(m, ElectionMsg::Coordinator { from } if *from == PeerId::new(3))));
+        assert!(n.is_coordinator());
+        assert_eq!(n.elections_started(), 1);
+    }
+
+    #[test]
+    fn lower_peer_queries_higher_and_wins_on_silence() {
+        let mut n = node(1, &[1, 2, 3]);
+        let out = n.start_election(t0());
+        // elections go to 2 and 3 only
+        assert_eq!(out.sends.len(), 2);
+        assert!(out.sends.iter().all(|(to, m)| {
+            *to > PeerId::new(1) && matches!(m, ElectionMsg::Election { .. })
+        }));
+        assert_eq!(out.timers.len(), 1);
+        // silence: the answer timer fires
+        let out2 = n.on_timer(out.timers[0].token, t0());
+        assert!(n.is_coordinator());
+        assert_eq!(out2.events, vec![ElectionEvent::CoordinatorElected(PeerId::new(1))]);
+        // Coordinator goes to everyone else
+        assert_eq!(out2.sends.len(), 2);
+    }
+
+    #[test]
+    fn answer_suppresses_then_coordinator_arrives() {
+        let mut n = node(1, &[1, 2, 3]);
+        let out = n.start_election(t0());
+        let answer_token = out.timers[0].token;
+        let out = n.on_message(PeerId::new(3), ElectionMsg::Answer { from: PeerId::new(3) }, t0());
+        assert_eq!(out.timers.len(), 1);
+        let coord_token = out.timers[0].token;
+        // stale answer timer is ignored
+        assert_eq!(n.on_timer(answer_token, t0()), Output::none());
+        // the higher peer announces
+        let out = n.on_message(PeerId::new(3), ElectionMsg::Coordinator { from: PeerId::new(3) }, t0());
+        assert_eq!(out.events, vec![ElectionEvent::CoordinatorElected(PeerId::new(3))]);
+        assert_eq!(n.coordinator(), Some(PeerId::new(3)));
+        // stale coordinator timer is ignored
+        assert_eq!(n.on_timer(coord_token, t0()), Output::none());
+    }
+
+    #[test]
+    fn coordinator_silence_restarts_election() {
+        let mut n = node(1, &[1, 2]);
+        let _ = n.start_election(t0());
+        let out = n.on_message(PeerId::new(2), ElectionMsg::Answer { from: PeerId::new(2) }, t0());
+        let coord_token = out.timers[0].token;
+        // peer 2 never announces; the coordinator-wait timer fires
+        let out = n.on_timer(coord_token, t0());
+        // a fresh election to peer 2 starts
+        assert_eq!(out.sends.len(), 1);
+        assert!(matches!(out.sends[0].1, ElectionMsg::Election { .. }));
+        assert_eq!(n.elections_started(), 2);
+    }
+
+    #[test]
+    fn election_from_lower_peer_is_bullied() {
+        let mut n = node(2, &[1, 2, 3]);
+        let out = n.on_message(PeerId::new(1), ElectionMsg::Election { from: PeerId::new(1) }, t0());
+        // answers the lower peer AND forwards the election upward
+        assert!(out
+            .sends
+            .iter()
+            .any(|(to, m)| *to == PeerId::new(1) && matches!(m, ElectionMsg::Answer { .. })));
+        assert!(out
+            .sends
+            .iter()
+            .any(|(to, m)| *to == PeerId::new(3) && matches!(m, ElectionMsg::Election { .. })));
+    }
+
+    #[test]
+    fn duplicate_start_while_electing_is_noop() {
+        let mut n = node(1, &[1, 2]);
+        let first = n.start_election(t0());
+        assert!(!first.sends.is_empty());
+        assert_eq!(n.start_election(t0()), Output::none());
+        assert_eq!(n.elections_started(), 1);
+    }
+
+    #[test]
+    fn membership_updates_affect_victory() {
+        let mut n = node(2, &[1, 2, 3]);
+        n.remove_member(PeerId::new(3));
+        let out = n.start_election(t0());
+        // 2 is now the highest: immediate victory, announcement to 1 only
+        assert!(n.is_coordinator());
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.sends[0].0, PeerId::new(1));
+    }
+
+    #[test]
+    fn removing_dead_coordinator_clears_belief() {
+        let mut n = node(1, &[1, 2]);
+        let _ = n.on_message(PeerId::new(2), ElectionMsg::Coordinator { from: PeerId::new(2) }, t0());
+        assert_eq!(n.coordinator(), Some(PeerId::new(2)));
+        n.remove_member(PeerId::new(2));
+        assert_eq!(n.coordinator(), None);
+    }
+
+    #[test]
+    fn set_members_always_includes_self() {
+        let mut n = node(5, &[5]);
+        n.set_members(&ids(&[1, 2]));
+        assert_eq!(n.members().collect::<Vec<_>>(), ids(&[1, 2, 5]));
+    }
+
+    #[test]
+    fn ring_messages_ignored() {
+        let mut n = node(1, &[1, 2]);
+        let out = n.on_message(
+            PeerId::new(2),
+            ElectionMsg::RingCoordinator { origin: PeerId::new(2), coordinator: PeerId::new(2) },
+            t0(),
+        );
+        assert_eq!(out, Output::none());
+    }
+}

@@ -1,0 +1,87 @@
+//! # whisper-election
+//!
+//! Coordinator election for b-peer groups.
+//!
+//! The paper's b-peers "implement the Bully algorithm to provide a
+//! fundamental mechanism to enable a good fault-tolerance" (section 4.2):
+//! within each semantic b-peer group all replicas are active, the group
+//! coordinator processes requests, and when it fails a new coordinator is
+//! elected and used "immediately with little impact on response time".
+//!
+//! This crate provides two election protocols behind one interface:
+//!
+//! * [`BullyNode`] — the classic Bully algorithm (Garcia-Molina 1982):
+//!   the highest-id live peer wins; detection of a dead coordinator
+//!   triggers `Election` messages to higher ids, `Answer` suppresses
+//!   self-promotion, `Coordinator` announces victory.
+//! * [`RingNode`] — a Chang–Roberts-style ring election used as the
+//!   baseline in the election-cost ablation.
+//!
+//! Both are *sans-io* state machines: every call returns an [`Output`]
+//! listing messages to send, timers to arm and events to surface, and the
+//! hosting actor performs the IO. The state machines are therefore directly
+//! testable and run identically on the simulator and the threaded runtime.
+//!
+//! # Examples
+//!
+//! A three-peer group where the highest peer wins instantly:
+//!
+//! ```
+//! use whisper_election::{BullyConfig, BullyNode, ElectionEvent, ElectionProtocol};
+//! use whisper_p2p::PeerId;
+//!
+//! use whisper_simnet::SimTime;
+//!
+//! let members = [PeerId::new(1), PeerId::new(2), PeerId::new(3)];
+//! let mut top = BullyNode::new(PeerId::new(3), members, BullyConfig::default());
+//! let out = top.start_election(SimTime::ZERO);
+//! // The highest id declares victory immediately: one Coordinator message
+//! // to each other member.
+//! assert_eq!(out.sends.len(), 2);
+//! assert_eq!(out.events, vec![ElectionEvent::CoordinatorElected(PeerId::new(3))]);
+//! assert_eq!(top.coordinator(), Some(PeerId::new(3)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bully;
+mod msg;
+mod ring;
+
+pub use bully::{BullyConfig, BullyNode};
+pub use msg::{ElectionEvent, ElectionMsg, Output, TimerRequest};
+pub use ring::RingNode;
+
+use whisper_p2p::PeerId;
+use whisper_simnet::SimTime;
+
+/// Common interface of the election protocols, letting the benchmark
+/// harness swap Bully for the ring baseline.
+///
+/// Calls carry the current time so implementations can rate-limit
+/// (see [`BullyConfig::cooldown`]); state machines never read a clock
+/// themselves.
+pub trait ElectionProtocol {
+    /// This node's peer id.
+    fn me(&self) -> PeerId;
+
+    /// The coordinator this node currently believes in.
+    fn coordinator(&self) -> Option<PeerId>;
+
+    /// Begins an election (e.g. after the failure detector suspected the
+    /// coordinator).
+    fn start_election(&mut self, now: SimTime) -> Output;
+
+    /// Feeds an incoming election message.
+    fn on_message(&mut self, from: PeerId, msg: ElectionMsg, now: SimTime) -> Output;
+
+    /// Feeds a timer armed by an earlier [`Output::timers`] entry.
+    fn on_timer(&mut self, token: u64, now: SimTime) -> Output;
+
+    /// Replaces the group membership (the node's own id must be included).
+    fn set_members(&mut self, members: &[PeerId]);
+
+    /// Removes a peer from the membership (declared dead).
+    fn remove_member(&mut self, peer: PeerId);
+}

@@ -1,0 +1,138 @@
+//! Election wire messages, timer requests and surfaced events.
+
+use whisper_p2p::PeerId;
+use whisper_simnet::SimDuration;
+
+/// A message of either election protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElectionMsg {
+    /// Bully: "I am holding an election" — sent to higher-id peers.
+    Election {
+        /// The initiating peer.
+        from: PeerId,
+    },
+    /// Bully: "I am alive and outrank you; stand down."
+    Answer {
+        /// The answering (higher-id) peer.
+        from: PeerId,
+    },
+    /// Bully: victory announcement.
+    Coordinator {
+        /// The new coordinator.
+        from: PeerId,
+    },
+    /// Ring: the election token accumulating candidate ids.
+    RingElection {
+        /// The peer that started this circulation.
+        origin: PeerId,
+        /// Ids collected so far.
+        candidates: Vec<PeerId>,
+    },
+    /// Ring: the result announcement circulating once around the ring.
+    RingCoordinator {
+        /// The peer announcing the result.
+        origin: PeerId,
+        /// The elected coordinator.
+        coordinator: PeerId,
+    },
+}
+
+impl ElectionMsg {
+    /// Approximate serialized size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            ElectionMsg::Election { .. }
+            | ElectionMsg::Answer { .. }
+            | ElectionMsg::Coordinator { .. } => 128,
+            ElectionMsg::RingElection { candidates, .. } => 128 + candidates.len() * 24,
+            ElectionMsg::RingCoordinator { .. } => 144,
+        }
+    }
+
+    /// Metric label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ElectionMsg::Election { .. } => "election",
+            ElectionMsg::Answer { .. } => "election-answer",
+            ElectionMsg::Coordinator { .. } => "coordinator",
+            ElectionMsg::RingElection { .. } => "ring-election",
+            ElectionMsg::RingCoordinator { .. } => "ring-coordinator",
+        }
+    }
+}
+
+/// A timer the hosting actor must arm on behalf of the state machine.
+///
+/// The token must be passed back verbatim via
+/// [`ElectionProtocol::on_timer`](crate::ElectionProtocol::on_timer);
+/// superseded timers are ignored internally, so the host never needs to
+/// cancel anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerRequest {
+    /// Opaque token encoding the protocol phase and its epoch.
+    pub token: u64,
+    /// Delay after which the timer should fire.
+    pub delay: SimDuration,
+}
+
+/// An event surfaced to the hosting actor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElectionEvent {
+    /// A coordinator was agreed on (possibly this node itself).
+    CoordinatorElected(PeerId),
+}
+
+/// Everything an election call wants the host to do.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Output {
+    /// Messages to transmit.
+    pub sends: Vec<(PeerId, ElectionMsg)>,
+    /// Timers to arm.
+    pub timers: Vec<TimerRequest>,
+    /// Events to surface.
+    pub events: Vec<ElectionEvent>,
+}
+
+impl Output {
+    /// An empty output.
+    pub fn none() -> Self {
+        Output::default()
+    }
+
+    /// Merges another output into this one, preserving order.
+    pub fn merge(&mut self, other: Output) {
+        self.sends.extend(other.sends);
+        self.timers.extend(other.timers);
+        self.events.extend(other.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_kinds() {
+        let e = ElectionMsg::Election { from: PeerId::new(1) };
+        assert_eq!(e.kind(), "election");
+        let ring = ElectionMsg::RingElection {
+            origin: PeerId::new(1),
+            candidates: vec![PeerId::new(1), PeerId::new(2)],
+        };
+        assert!(ring.wire_size() > e.wire_size());
+        assert_eq!(ring.kind(), "ring-election");
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Output::none();
+        a.sends.push((PeerId::new(1), ElectionMsg::Answer { from: PeerId::new(2) }));
+        let mut b = Output::none();
+        b.events.push(ElectionEvent::CoordinatorElected(PeerId::new(2)));
+        b.timers.push(TimerRequest { token: 9, delay: SimDuration::from_millis(1) });
+        a.merge(b);
+        assert_eq!(a.sends.len(), 1);
+        assert_eq!(a.timers.len(), 1);
+        assert_eq!(a.events.len(), 1);
+    }
+}

@@ -1,0 +1,254 @@
+//! A Chang–Roberts-style ring election, the ablation baseline.
+//!
+//! Members are arranged in a logical ring in ascending id order. The
+//! election token circulates once collecting candidate ids; the initiator
+//! then announces `max(candidates)` with a second circulation. Message cost
+//! is Θ(2n) per election regardless of who initiates — contrast with
+//! Bully's O(n²) worst case but O(n) best case when the highest peer
+//! detects the failure.
+
+use crate::msg::{ElectionEvent, ElectionMsg, Output};
+use crate::ElectionProtocol;
+use std::collections::BTreeSet;
+use whisper_p2p::PeerId;
+use whisper_simnet::SimTime;
+
+/// Per-peer state of the ring election.
+#[derive(Debug, Clone)]
+pub struct RingNode {
+    me: PeerId,
+    members: BTreeSet<PeerId>,
+    coordinator: Option<PeerId>,
+    electing: bool,
+}
+
+impl RingNode {
+    /// Creates a node for `me` within `members` (self inserted if missing).
+    pub fn new(me: PeerId, members: impl IntoIterator<Item = PeerId>) -> Self {
+        let mut members: BTreeSet<PeerId> = members.into_iter().collect();
+        members.insert(me);
+        RingNode { me, members, coordinator: None, electing: false }
+    }
+
+    /// The next member after `self.me` in ascending-id ring order.
+    fn successor(&self) -> Option<PeerId> {
+        self.members
+            .iter()
+            .copied()
+            .find(|&p| p > self.me)
+            .or_else(|| self.members.iter().copied().find(|&p| p != self.me))
+    }
+
+    /// Whether this node believes it is the coordinator.
+    pub fn is_coordinator(&self) -> bool {
+        self.coordinator == Some(self.me)
+    }
+}
+
+impl ElectionProtocol for RingNode {
+    fn me(&self) -> PeerId {
+        self.me
+    }
+
+    fn coordinator(&self) -> Option<PeerId> {
+        self.coordinator
+    }
+
+    fn start_election(&mut self, _now: SimTime) -> Output {
+        if self.electing {
+            return Output::none();
+        }
+        let Some(succ) = self.successor() else {
+            // alone in the ring
+            self.coordinator = Some(self.me);
+            return Output {
+                events: vec![ElectionEvent::CoordinatorElected(self.me)],
+                ..Output::none()
+            };
+        };
+        self.electing = true;
+        Output {
+            sends: vec![(
+                succ,
+                ElectionMsg::RingElection { origin: self.me, candidates: vec![self.me] },
+            )],
+            ..Output::none()
+        }
+    }
+
+    fn on_message(&mut self, _from: PeerId, msg: ElectionMsg, _now: SimTime) -> Output {
+        match msg {
+            ElectionMsg::RingElection { origin, mut candidates } => {
+                let Some(succ) = self.successor() else {
+                    return Output::none();
+                };
+                if origin == self.me {
+                    // the token came home: decide and announce
+                    let coordinator =
+                        candidates.iter().copied().max().unwrap_or(self.me);
+                    self.coordinator = Some(coordinator);
+                    self.electing = false;
+                    return Output {
+                        sends: vec![(
+                            succ,
+                            ElectionMsg::RingCoordinator { origin: self.me, coordinator },
+                        )],
+                        timers: Vec::new(),
+                        events: vec![ElectionEvent::CoordinatorElected(coordinator)],
+                    };
+                }
+                candidates.push(self.me);
+                Output {
+                    sends: vec![(succ, ElectionMsg::RingElection { origin, candidates })],
+                    ..Output::none()
+                }
+            }
+            ElectionMsg::RingCoordinator { origin, coordinator } => {
+                if origin == self.me {
+                    // announcement completed the circle
+                    return Output::none();
+                }
+                self.coordinator = Some(coordinator);
+                self.electing = false;
+                let mut out = Output {
+                    events: vec![ElectionEvent::CoordinatorElected(coordinator)],
+                    ..Output::none()
+                };
+                if let Some(succ) = self.successor() {
+                    out.sends.push((
+                        succ,
+                        ElectionMsg::RingCoordinator { origin, coordinator },
+                    ));
+                }
+                out
+            }
+            // Bully messages are not ours; ignore gracefully.
+            _ => Output::none(),
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, _now: SimTime) -> Output {
+        Output::none()
+    }
+
+    fn set_members(&mut self, members: &[PeerId]) {
+        self.members = members.iter().copied().collect();
+        self.members.insert(self.me);
+    }
+
+    fn remove_member(&mut self, peer: PeerId) {
+        if peer != self.me {
+            self.members.remove(&peer);
+            if self.coordinator == Some(peer) {
+                self.coordinator = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn ring(ids: &[u64]) -> HashMap<PeerId, RingNode> {
+        let members: Vec<PeerId> = ids.iter().map(|&n| PeerId::new(n)).collect();
+        members
+            .iter()
+            .map(|&m| (m, RingNode::new(m, members.clone())))
+            .collect()
+    }
+
+    /// Runs messages to fixpoint, returning the total message count.
+    fn pump(nodes: &mut HashMap<PeerId, RingNode>, mut inbox: Vec<(PeerId, PeerId, ElectionMsg)>) -> usize {
+        let mut count = inbox.len();
+        while let Some((from, to, msg)) = inbox.pop() {
+            let out = nodes.get_mut(&to).expect("member").on_message(from, msg, SimTime::ZERO);
+            for (dest, m) in out.sends {
+                count += 1;
+                inbox.push((to, dest, m));
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn ring_elects_the_maximum() {
+        let mut nodes = ring(&[1, 2, 3, 4]);
+        let initiator = PeerId::new(2);
+        let out = nodes.get_mut(&initiator).unwrap().start_election(SimTime::ZERO);
+        let inbox: Vec<_> = out
+            .sends
+            .into_iter()
+            .map(|(to, m)| (initiator, to, m))
+            .collect();
+        pump(&mut nodes, inbox);
+        for (_, n) in nodes {
+            assert_eq!(n.coordinator(), Some(PeerId::new(4)));
+        }
+    }
+
+    #[test]
+    fn ring_cost_is_about_two_n() {
+        let mut nodes = ring(&[1, 2, 3, 4, 5, 6]);
+        let initiator = PeerId::new(1);
+        let out = nodes.get_mut(&initiator).unwrap().start_election(SimTime::ZERO);
+        let inbox: Vec<_> = out
+            .sends
+            .into_iter()
+            .map(|(to, m)| (initiator, to, m))
+            .collect();
+        let total = pump(&mut nodes, inbox);
+        // n election hops + n announcement hops
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn successor_wraps_around() {
+        let nodes = ring(&[1, 5, 9]);
+        assert_eq!(nodes[&PeerId::new(9)].successor(), Some(PeerId::new(1)));
+        assert_eq!(nodes[&PeerId::new(1)].successor(), Some(PeerId::new(5)));
+    }
+
+    #[test]
+    fn singleton_ring_self_elects() {
+        let mut n = RingNode::new(PeerId::new(7), []);
+        let out = n.start_election(SimTime::ZERO);
+        assert!(out.sends.is_empty());
+        assert_eq!(out.events, vec![ElectionEvent::CoordinatorElected(PeerId::new(7))]);
+        assert!(n.is_coordinator());
+    }
+
+    #[test]
+    fn election_with_removed_member_skips_it() {
+        let mut nodes = ring(&[1, 2, 3]);
+        // every node learns that 3 died
+        for n in nodes.values_mut() {
+            n.remove_member(PeerId::new(3));
+        }
+        nodes.remove(&PeerId::new(3));
+        let initiator = PeerId::new(1);
+        let out = nodes.get_mut(&initiator).unwrap().start_election(SimTime::ZERO);
+        let inbox: Vec<_> = out
+            .sends
+            .into_iter()
+            .map(|(to, m)| (initiator, to, m))
+            .collect();
+        pump(&mut nodes, inbox);
+        for (_, n) in nodes {
+            assert_eq!(n.coordinator(), Some(PeerId::new(2)));
+        }
+    }
+
+    #[test]
+    fn duplicate_start_is_noop_and_bully_msgs_ignored() {
+        let mut n = RingNode::new(PeerId::new(1), [PeerId::new(2)]);
+        let first = n.start_election(SimTime::ZERO);
+        assert_eq!(first.sends.len(), 1);
+        assert_eq!(n.start_election(SimTime::ZERO), Output::none());
+        assert_eq!(
+            n.on_message(PeerId::new(2), ElectionMsg::Answer { from: PeerId::new(2) }, SimTime::ZERO),
+            Output::none()
+        );
+    }
+}

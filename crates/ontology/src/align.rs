@@ -1,0 +1,263 @@
+//! Ontology alignment: importing foreign vocabularies and asserting
+//! concept equivalences.
+//!
+//! The paper's central integration problem is *semantic heterogeneity*
+//! (§2.1): autonomous organizations describe the same things with
+//! different vocabularies. Alignment solves it in two steps:
+//!
+//! 1. [`Ontology::import`] copies a foreign ontology's classes into this
+//!    one, preserving their namespace, so concepts from both vocabularies
+//!    can be referenced by qualified name;
+//! 2. [`Ontology::add_equivalence`] asserts `owl:equivalentClass` between
+//!    concepts. Subsumption reasoning and degree-of-match computation treat
+//!    equivalent classes as one concept, so an advertisement annotated in
+//!    organization B's vocabulary matches a request annotated in
+//!    organization A's.
+//!
+//! Equivalences are maintained as a union–find over class ids; the
+//! reasoning routines in [`reason`](crate) canonicalize through it.
+
+use crate::model::{ClassId, Ontology};
+use crate::OntologyError;
+
+/// A union–find over class ids representing `owl:equivalentClass`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct Equivalences {
+    /// parent pointer per class id; `usize::MAX` sentinel = singleton root.
+    parent: Vec<u32>,
+}
+
+impl Equivalences {
+    fn ensure(&mut self, n: usize) {
+        while self.parent.len() < n {
+            self.parent.push(self.parent.len() as u32);
+        }
+    }
+
+    pub(crate) fn find(&self, mut x: u32) -> u32 {
+        if x as usize >= self.parent.len() {
+            return x; // singleton never unioned
+        }
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32, n: usize) {
+        self.ensure(n);
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+
+    pub(crate) fn same(&self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Whether no equivalence has ever been asserted (fast-path check).
+    pub(crate) fn is_trivial(&self) -> bool {
+        self.parent.iter().enumerate().all(|(i, &p)| p == i as u32)
+    }
+
+    /// All ids in `0..n` equivalent to `x` (including `x`).
+    pub(crate) fn set_of(&self, x: u32, n: usize) -> Vec<u32> {
+        let root = self.find(x);
+        (0..n as u32).filter(|&y| self.find(y) == root).collect()
+    }
+
+    /// Every non-singleton pair `(a, b)` with `a < b`, for serialization.
+    pub(crate) fn pairs(&self, n: usize) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                if self.same(a, b) {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Ontology {
+    /// Copies every class of `other` into this ontology, preserving its
+    /// namespace, together with the subclass edges among the copied
+    /// classes. Returns the id mapping in `other`'s id order.
+    ///
+    /// Properties and individuals are not imported — alignment concerns the
+    /// concept hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// [`OntologyError::DuplicateClass`] if a foreign qualified name is
+    /// already present.
+    pub fn import(&mut self, other: &Ontology) -> Result<Vec<ClassId>, OntologyError> {
+        // Reject collisions up front so a failed import leaves no partial
+        // state behind.
+        for id in other.class_ids() {
+            let q = other.class_qname(id).expect("id from iterator");
+            if self.class_by_qname(&q).is_some() {
+                return Err(OntologyError::DuplicateClass(q.to_clark()));
+            }
+        }
+        let mut mapping = Vec::with_capacity(other.class_count());
+        for id in other.class_ids() {
+            let q = other.class_qname(id).expect("id from iterator");
+            let new_id = self.add_foreign_class(
+                q.ns().expect("foreign classes are namespaced"),
+                q.local(),
+            )?;
+            if let Some(l) = other.label(id) {
+                self.set_label(new_id, l)?;
+            }
+            mapping.push(new_id);
+        }
+        for id in other.class_ids() {
+            let sub = mapping[id.index()];
+            for &p in other.parents(id) {
+                self.add_subclass_edge(sub, mapping[p.index()])?;
+            }
+        }
+        Ok(mapping)
+    }
+
+    /// Asserts `owl:equivalentClass` between `a` and `b`: the two concepts
+    /// (and everything already equivalent to either) become one concept for
+    /// subsumption and matching.
+    ///
+    /// # Errors
+    ///
+    /// [`OntologyError::InvalidClassId`] for foreign ids.
+    pub fn add_equivalence(&mut self, a: ClassId, b: ClassId) -> Result<(), OntologyError> {
+        self.check_class(a)?;
+        self.check_class(b)?;
+        let n = self.class_count();
+        self.equivalences_mut().union(a.0, b.0, n);
+        Ok(())
+    }
+
+    /// Whether `a` and `b` are the same concept under equivalence.
+    pub fn is_equivalent(&self, a: ClassId, b: ClassId) -> bool {
+        a == b || self.equivalences().same(a.0, b.0)
+    }
+
+    /// All classes equivalent to `c`, including itself.
+    pub fn equivalence_set(&self, c: ClassId) -> Vec<ClassId> {
+        self.equivalences()
+            .set_of(c.0, self.class_count())
+            .into_iter()
+            .map(ClassId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatchDegree;
+    use whisper_xml::QName;
+
+    fn uni_a() -> Ontology {
+        let mut o = Ontology::new("urn:org-a");
+        let person = o.add_class("Person", &[]).unwrap();
+        let student = o.add_class("Student", &[person]).unwrap();
+        o.add_class("GradStudent", &[student]).unwrap();
+        o
+    }
+
+    fn uni_b() -> Ontology {
+        let mut o = Ontology::new("urn:org-b");
+        let pessoa = o.add_class("Pessoa", &[]).unwrap();
+        let estudante = o.add_class("Estudante", &[pessoa]).unwrap();
+        o.add_class("Doutorando", &[estudante]).unwrap();
+        o.set_label(estudante, "aluno").unwrap();
+        o
+    }
+
+    #[test]
+    fn import_preserves_namespaces_and_hierarchy() {
+        let mut a = uni_a();
+        let before = a.class_count();
+        let mapping = a.import(&uni_b()).unwrap();
+        assert_eq!(a.class_count(), before + 3);
+        assert_eq!(mapping.len(), 3);
+        let estudante = a.class_by_qname(&QName::with_ns("urn:org-b", "Estudante")).unwrap();
+        let pessoa = a.class_by_qname(&QName::with_ns("urn:org-b", "Pessoa")).unwrap();
+        assert!(a.is_subclass_of(estudante, pessoa));
+        assert_eq!(a.label(estudante), Some("aluno"));
+        // native lookup still works
+        assert!(a.class_by_qname(&QName::with_ns("urn:org-a", "Student")).is_some());
+        // imported classes do NOT subsume native ones without alignment
+        let student = a.class_by_name("Student").unwrap();
+        assert!(!a.is_subclass_of(estudante, student));
+    }
+
+    #[test]
+    fn import_rejects_collisions_without_partial_state() {
+        let mut a = uni_a();
+        let mut clash = Ontology::new("urn:org-a"); // same namespace!
+        clash.add_class("Student", &[]).unwrap();
+        let before = a.class_count();
+        assert!(matches!(a.import(&clash), Err(OntologyError::DuplicateClass(_))));
+        assert_eq!(a.class_count(), before);
+    }
+
+    #[test]
+    fn equivalence_merges_concepts_for_subsumption() {
+        let mut a = uni_a();
+        a.import(&uni_b()).unwrap();
+        let student = a.class_by_name("Student").unwrap();
+        let estudante = a.class_by_qname(&QName::with_ns("urn:org-b", "Estudante")).unwrap();
+        let doutorando = a.class_by_qname(&QName::with_ns("urn:org-b", "Doutorando")).unwrap();
+        let person = a.class_by_name("Person").unwrap();
+
+        a.add_equivalence(student, estudante).unwrap();
+        assert!(a.is_equivalent(student, estudante));
+        assert!(!a.is_equivalent(student, person));
+        assert_eq!(a.equivalence_set(student).len(), 2);
+
+        // a Doutorando is now a Student (via the equivalence bridge)...
+        assert!(a.is_subclass_of(doutorando, student));
+        // ...and a Person (crossing vocabularies twice)
+        assert!(a.is_subclass_of(doutorando, person));
+        // the reverse is still false
+        assert!(!a.is_subclass_of(person, doutorando));
+    }
+
+    #[test]
+    fn equivalence_makes_matches_exact_across_vocabularies() {
+        let mut a = uni_a();
+        a.import(&uni_b()).unwrap();
+        let student = a.class_by_name("Student").unwrap();
+        let estudante = a.class_by_qname(&QName::with_ns("urn:org-b", "Estudante")).unwrap();
+        let doutorando = a.class_by_qname(&QName::with_ns("urn:org-b", "Doutorando")).unwrap();
+
+        assert_eq!(a.match_concepts(student, estudante), MatchDegree::Fail);
+        a.add_equivalence(student, estudante).unwrap();
+        assert_eq!(a.match_concepts(student, estudante), MatchDegree::Exact);
+        assert_eq!(a.match_concepts(student, doutorando), MatchDegree::Subsume);
+        assert_eq!(a.match_concepts(doutorando, student), MatchDegree::PlugIn);
+    }
+
+    #[test]
+    fn equivalence_is_transitive_via_union() {
+        let mut o = Ontology::new("urn:t");
+        let a = o.add_class("A", &[]).unwrap();
+        let b = o.add_class("B", &[]).unwrap();
+        let c = o.add_class("C", &[]).unwrap();
+        o.add_equivalence(a, b).unwrap();
+        o.add_equivalence(b, c).unwrap();
+        assert!(o.is_equivalent(a, c));
+        assert_eq!(o.equivalence_set(b).len(), 3);
+        assert_eq!(o.match_concepts(a, c), MatchDegree::Exact);
+    }
+
+    #[test]
+    fn foreign_ids_rejected() {
+        let mut o = Ontology::new("urn:t");
+        let a = o.add_class("A", &[]).unwrap();
+        assert!(o.add_equivalence(a, ClassId(99)).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for ontology construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while building or deserializing an [`Ontology`].
+///
+/// [`Ontology`]: crate::Ontology
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OntologyError {
+    /// A class with this name already exists in the ontology.
+    DuplicateClass(String),
+    /// A property with this name already exists in the ontology.
+    DuplicateProperty(String),
+    /// An individual with this name already exists in the ontology.
+    DuplicateIndividual(String),
+    /// A referenced class name is not defined.
+    UnknownClass(String),
+    /// A referenced class id does not belong to this ontology.
+    InvalidClassId(usize),
+    /// Adding this subclass edge would create a cycle in the hierarchy.
+    CyclicHierarchy {
+        /// The subclass end of the offending edge.
+        sub: String,
+        /// The superclass end of the offending edge.
+        sup: String,
+    },
+    /// The XML document is not a valid ontology serialization.
+    MalformedDocument(String),
+}
+
+impl fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OntologyError::DuplicateClass(n) => write!(f, "duplicate class {n:?}"),
+            OntologyError::DuplicateProperty(n) => write!(f, "duplicate property {n:?}"),
+            OntologyError::DuplicateIndividual(n) => write!(f, "duplicate individual {n:?}"),
+            OntologyError::UnknownClass(n) => write!(f, "unknown class {n:?}"),
+            OntologyError::InvalidClassId(i) => write!(f, "class id {i} is out of range"),
+            OntologyError::CyclicHierarchy { sub, sup } => {
+                write!(f, "subclass edge {sub:?} -> {sup:?} would create a cycle")
+            }
+            OntologyError::MalformedDocument(why) => {
+                write!(f, "malformed ontology document: {why}")
+            }
+        }
+    }
+}
+
+impl Error for OntologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OntologyError::CyclicHierarchy { sub: "A".into(), sup: "B".into() };
+        assert!(e.to_string().contains("cycle"));
+        assert!(OntologyError::UnknownClass("X".into()).to_string().contains("X"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<OntologyError>();
+    }
+}

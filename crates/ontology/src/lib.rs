@@ -1,0 +1,55 @@
+//! # whisper-ontology
+//!
+//! An OWL-Lite-flavoured ontology model with subsumption reasoning and the
+//! concept-matching machinery that Whisper uses for semantic integration of
+//! Web services and peer-to-peer advertisements.
+//!
+//! The paper annotates WSDL operations and JXTA advertisements with
+//! *ontological concepts* and matches them during discovery. This crate
+//! provides:
+//!
+//! * [`Ontology`] — named classes arranged in a multiple-inheritance DAG,
+//!   object/datatype properties with domain and range, and individuals;
+//! * subsumption reasoning ([`Ontology::is_subclass_of`],
+//!   [`Ontology::ancestors`], [`Ontology::lca`], ...);
+//! * degree-of-match computation ([`MatchDegree`], [`Ontology::match_concepts`])
+//!   following the classic Exact / PlugIn / Subsume / Fail scale;
+//! * a graded similarity measure ([`Ontology::similarity`]) used for ranking
+//!   and for the discovery-quality experiment;
+//! * XML (de)serialization compatible with the rest of the Whisper stack;
+//! * the paper's running-example **university ontology**
+//!   ([`samples::university_ontology`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use whisper_ontology::{MatchDegree, Ontology};
+//!
+//! # fn main() -> Result<(), whisper_ontology::OntologyError> {
+//! let mut onto = Ontology::new("http://example.org/uni");
+//! let person = onto.add_class("Person", &[])?;
+//! let student = onto.add_class("Student", &[person])?;
+//! let grad = onto.add_class("GraduateStudent", &[student])?;
+//!
+//! assert!(onto.is_subclass_of(grad, person));
+//! assert_eq!(onto.match_concepts(student, student), MatchDegree::Exact);
+//! assert_eq!(onto.match_concepts(student, grad), MatchDegree::Subsume);
+//! assert_eq!(onto.match_concepts(grad, student), MatchDegree::PlugIn);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod align;
+mod error;
+mod matching;
+mod model;
+mod reason;
+pub mod samples;
+mod xml;
+
+pub use error::OntologyError;
+pub use matching::{MatchDegree, MatchReport};
+pub use model::{ClassId, Individual, IndividualId, Ontology, Property, PropertyId, PropertyKind};

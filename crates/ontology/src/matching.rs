@@ -1,0 +1,227 @@
+//! Degree-of-match computation and graded concept similarity.
+//!
+//! Whisper's discovery compares the concepts annotating a Web-service
+//! operation against the concepts carried by semantic peer-group
+//! advertisements. The classic four-degree scale (Paolucci et al., adopted by
+//! METEOR-S, which the paper builds on) orders candidate matches.
+
+use crate::model::{ClassId, Ontology};
+use std::fmt;
+
+/// How well an advertised concept matches a requested concept.
+///
+/// Ordered from best to worst, so `max`/sorting picks the strongest match:
+/// `Exact > Subsume > PlugIn > Fail`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MatchDegree {
+    /// No subsumption relation between the concepts.
+    Fail,
+    /// The advertised concept is a strict *superclass* of the request: the
+    /// provider is more general and can plug in for the request.
+    PlugIn,
+    /// The advertised concept is a strict *subclass* of the request: the
+    /// request subsumes the advertisement (provider is more specific).
+    Subsume,
+    /// The concepts are identical.
+    Exact,
+}
+
+impl MatchDegree {
+    /// Whether the degree counts as a successful match.
+    pub fn is_match(self) -> bool {
+        self != MatchDegree::Fail
+    }
+
+    /// A numeric score in `[0, 1]` used when aggregating multi-concept
+    /// matches: Exact=1.0, Subsume=2/3, PlugIn=1/3, Fail=0.
+    pub fn score(self) -> f64 {
+        match self {
+            MatchDegree::Exact => 1.0,
+            MatchDegree::Subsume => 2.0 / 3.0,
+            MatchDegree::PlugIn => 1.0 / 3.0,
+            MatchDegree::Fail => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for MatchDegree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MatchDegree::Exact => "exact",
+            MatchDegree::Subsume => "subsume",
+            MatchDegree::PlugIn => "plug-in",
+            MatchDegree::Fail => "fail",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The outcome of matching a list of requested concepts against a list of
+/// advertised concepts (e.g. all inputs of an operation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchReport {
+    /// Per-pair degrees, one entry per requested concept.
+    pub degrees: Vec<MatchDegree>,
+    /// The weakest degree — the overall verdict (a chain is as strong as its
+    /// weakest link).
+    pub overall: MatchDegree,
+    /// Mean numeric score across pairs, for ranking equal verdicts.
+    pub score: f64,
+}
+
+impl Ontology {
+    /// Degree of match of an advertised concept against a requested concept.
+    ///
+    /// See [`MatchDegree`] for the scale. Both ids must belong to this
+    /// ontology; foreign ids yield [`MatchDegree::Fail`].
+    pub fn match_concepts(&self, requested: ClassId, advertised: ClassId) -> MatchDegree {
+        if self.check_class(requested).is_err() || self.check_class(advertised).is_err() {
+            return MatchDegree::Fail;
+        }
+        if self.is_equivalent(requested, advertised) {
+            MatchDegree::Exact
+        } else if self.is_subclass_of(advertised, requested) {
+            MatchDegree::Subsume
+        } else if self.is_subclass_of(requested, advertised) {
+            MatchDegree::PlugIn
+        } else {
+            MatchDegree::Fail
+        }
+    }
+
+    /// Matches parallel lists of concepts (requested vs advertised).
+    ///
+    /// Lists of different lengths fail outright: the operation signatures are
+    /// structurally incompatible.
+    pub fn match_concept_lists(&self, requested: &[ClassId], advertised: &[ClassId]) -> MatchReport {
+        if requested.len() != advertised.len() {
+            return MatchReport {
+                degrees: vec![MatchDegree::Fail; requested.len().max(1)],
+                overall: MatchDegree::Fail,
+                score: 0.0,
+            };
+        }
+        if requested.is_empty() {
+            return MatchReport {
+                degrees: Vec::new(),
+                overall: MatchDegree::Exact,
+                score: 1.0,
+            };
+        }
+        let degrees: Vec<MatchDegree> = requested
+            .iter()
+            .zip(advertised)
+            .map(|(&r, &a)| self.match_concepts(r, a))
+            .collect();
+        let overall = degrees.iter().copied().min().unwrap_or(MatchDegree::Fail);
+        let score = degrees.iter().map(|d| d.score()).sum::<f64>() / degrees.len() as f64;
+        MatchReport { degrees, overall, score }
+    }
+
+    /// Wu–Palmer-style similarity of two concepts in `[0, 1]`:
+    /// `2·depth(lca) / (depth(a) + depth(b))`, and `1.0` for identical
+    /// concepts. Returns `0.0` when the concepts share no ancestor.
+    pub fn similarity(&self, a: ClassId, b: ClassId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let Some(l) = self.lca(a, b) else { return 0.0 };
+        let da = self.depth(a) as f64;
+        let db = self.depth(b) as f64;
+        let dl = self.depth(l) as f64;
+        if da + db == 0.0 {
+            // both are roots and distinct, but lca existed => impossible;
+            // defensive zero.
+            return 0.0;
+        }
+        (2.0 * dl / (da + db)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uni() -> (Ontology, ClassId, ClassId, ClassId, ClassId) {
+        let mut o = Ontology::new("urn:u");
+        let person = o.add_class("Person", &[]).unwrap();
+        let student = o.add_class("Student", &[person]).unwrap();
+        let grad = o.add_class("Grad", &[student]).unwrap();
+        let course = o.add_class("Course", &[]).unwrap();
+        (o, person, student, grad, course)
+    }
+
+    #[test]
+    fn degree_ordering_is_useful_for_max() {
+        assert!(MatchDegree::Exact > MatchDegree::Subsume);
+        assert!(MatchDegree::Subsume > MatchDegree::PlugIn);
+        assert!(MatchDegree::PlugIn > MatchDegree::Fail);
+        assert!(MatchDegree::Exact.is_match());
+        assert!(!MatchDegree::Fail.is_match());
+    }
+
+    #[test]
+    fn pairwise_degrees() {
+        let (o, person, student, grad, course) = uni();
+        assert_eq!(o.match_concepts(student, student), MatchDegree::Exact);
+        // advertised grad is more specific than requested student
+        assert_eq!(o.match_concepts(student, grad), MatchDegree::Subsume);
+        // advertised person is more general than requested student
+        assert_eq!(o.match_concepts(student, person), MatchDegree::PlugIn);
+        assert_eq!(o.match_concepts(student, course), MatchDegree::Fail);
+    }
+
+    #[test]
+    fn foreign_ids_fail() {
+        let (o, _, student, _, _) = uni();
+        assert_eq!(o.match_concepts(student, ClassId(99)), MatchDegree::Fail);
+        assert_eq!(o.match_concepts(ClassId(99), student), MatchDegree::Fail);
+    }
+
+    #[test]
+    fn list_match_takes_weakest_link() {
+        let (o, person, student, grad, course) = uni();
+        let r = o.match_concept_lists(&[student, student], &[student, grad]);
+        assert_eq!(r.overall, MatchDegree::Subsume);
+        assert_eq!(r.degrees, vec![MatchDegree::Exact, MatchDegree::Subsume]);
+        assert!(r.score > MatchDegree::Subsume.score());
+
+        let r = o.match_concept_lists(&[student, person], &[student, course]);
+        assert_eq!(r.overall, MatchDegree::Fail);
+    }
+
+    #[test]
+    fn list_length_mismatch_fails() {
+        let (o, _, student, grad, _) = uni();
+        let r = o.match_concept_lists(&[student], &[student, grad]);
+        assert_eq!(r.overall, MatchDegree::Fail);
+    }
+
+    #[test]
+    fn empty_lists_match_exactly() {
+        let (o, ..) = uni();
+        let r = o.match_concept_lists(&[], &[]);
+        assert_eq!(r.overall, MatchDegree::Exact);
+        assert_eq!(r.score, 1.0);
+    }
+
+    #[test]
+    fn similarity_properties() {
+        let (o, person, student, grad, course) = uni();
+        assert_eq!(o.similarity(grad, grad), 1.0);
+        assert_eq!(o.similarity(student, course), 0.0);
+        let sib = o.similarity(student, grad);
+        let far = o.similarity(person, grad);
+        assert!(sib > far, "closer concepts more similar: {sib} vs {far}");
+        assert!((0.0..=1.0).contains(&sib));
+        // symmetric
+        assert_eq!(o.similarity(student, grad), o.similarity(grad, student));
+    }
+
+    #[test]
+    fn scores_are_monotone_in_degree() {
+        assert!(MatchDegree::Exact.score() > MatchDegree::Subsume.score());
+        assert!(MatchDegree::Subsume.score() > MatchDegree::PlugIn.score());
+        assert!(MatchDegree::PlugIn.score() > MatchDegree::Fail.score());
+    }
+}

@@ -1,0 +1,473 @@
+//! The ontology data model: classes, properties and individuals.
+
+use crate::OntologyError;
+use std::collections::HashMap;
+use whisper_xml::QName;
+
+/// Identifier of a class within one [`Ontology`]. Cheap to copy and compare;
+/// only meaningful together with the ontology that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub(crate) u32);
+
+impl ClassId {
+    /// The position of this class in definition order (the order of
+    /// [`Ontology::class_ids`]).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a property within one [`Ontology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PropertyId(pub(crate) u32);
+
+/// Identifier of an individual within one [`Ontology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndividualId(pub(crate) u32);
+
+/// Whether a property relates individuals to individuals or to literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropertyKind {
+    /// `owl:ObjectProperty` — range is a class.
+    Object,
+    /// `owl:DatatypeProperty` — range is a literal datatype name.
+    Datatype,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Class {
+    pub name: String,
+    /// Namespace override for imported (foreign-vocabulary) classes;
+    /// `None` means the ontology's own URI.
+    pub ns: Option<String>,
+    pub parents: Vec<ClassId>,
+    pub children: Vec<ClassId>,
+    pub label: Option<String>,
+}
+
+/// A property definition: name, kind, domain class and range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Property {
+    /// Local name of the property.
+    pub name: String,
+    /// Object vs datatype property.
+    pub kind: PropertyKind,
+    /// Domain class.
+    pub domain: ClassId,
+    /// Range: a class for object properties (`Ok`), a datatype name such as
+    /// `"xsd:string"` for datatype properties (`Err`).
+    pub range: Result<ClassId, String>,
+}
+
+/// A named individual with its asserted types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Individual {
+    /// Local name of the individual.
+    pub name: String,
+    /// Classes the individual is asserted to belong to.
+    pub types: Vec<ClassId>,
+}
+
+/// An ontology: a base URI plus classes, properties and individuals.
+///
+/// Classes form a directed acyclic graph under `subClassOf`; cycles are
+/// rejected at insertion time so all reasoning can assume a DAG.
+///
+/// # Examples
+///
+/// ```
+/// use whisper_ontology::Ontology;
+///
+/// # fn main() -> Result<(), whisper_ontology::OntologyError> {
+/// let mut o = Ontology::new("urn:example");
+/// let thing = o.add_class("Record", &[])?;
+/// let info = o.add_class("StudentInfo", &[thing])?;
+/// assert_eq!(o.class_name(info), Some("StudentInfo"));
+/// assert_eq!(o.class_by_name("StudentInfo"), Some(info));
+/// assert!(o.is_subclass_of(info, thing));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Ontology {
+    uri: String,
+    pub(crate) classes: Vec<Class>,
+    class_index: HashMap<String, ClassId>,
+    /// (namespace, local) index for imported classes.
+    foreign_index: HashMap<(String, String), ClassId>,
+    properties: Vec<Property>,
+    property_index: HashMap<String, PropertyId>,
+    individuals: Vec<Individual>,
+    individual_index: HashMap<String, IndividualId>,
+    /// `owl:equivalentClass` assertions (see the `align` module).
+    pub(crate) equivalences: crate::align::Equivalences,
+}
+
+impl Ontology {
+    /// Creates an empty ontology with the given base URI.
+    pub fn new(uri: impl Into<String>) -> Self {
+        Ontology { uri: uri.into(), ..Ontology::default() }
+    }
+
+    /// The base URI of this ontology (used as the namespace of its concepts).
+    pub fn uri(&self) -> &str {
+        &self.uri
+    }
+
+    /// Number of classes defined.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of properties defined.
+    pub fn property_count(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// Number of individuals defined.
+    pub fn individual_count(&self) -> usize {
+        self.individuals.len()
+    }
+
+    /// Adds a class with the given direct superclasses.
+    ///
+    /// # Errors
+    ///
+    /// * [`OntologyError::DuplicateClass`] if the name is taken.
+    /// * [`OntologyError::InvalidClassId`] if a parent id is foreign.
+    pub fn add_class(&mut self, name: &str, parents: &[ClassId]) -> Result<ClassId, OntologyError> {
+        if self.class_index.contains_key(name) {
+            return Err(OntologyError::DuplicateClass(name.to_string()));
+        }
+        for p in parents {
+            self.check_class(*p)?;
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(Class {
+            name: name.to_string(),
+            ns: None,
+            parents: parents.to_vec(),
+            children: Vec::new(),
+            label: None,
+        });
+        for p in parents {
+            self.classes[p.0 as usize].children.push(id);
+        }
+        self.class_index.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Adds a class from a foreign vocabulary, keyed by `(ns, local)`.
+    /// Used by [`Ontology::import`]; a `ns` equal to the ontology URI is
+    /// treated as a native class.
+    pub(crate) fn add_foreign_class(
+        &mut self,
+        ns: &str,
+        local: &str,
+    ) -> Result<ClassId, OntologyError> {
+        if ns == self.uri {
+            return self.add_class(local, &[]);
+        }
+        let key = (ns.to_string(), local.to_string());
+        if self.foreign_index.contains_key(&key) {
+            return Err(OntologyError::DuplicateClass(format!("{{{ns}}}{local}")));
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(Class {
+            name: local.to_string(),
+            ns: Some(ns.to_string()),
+            parents: Vec::new(),
+            children: Vec::new(),
+            label: None,
+        });
+        self.foreign_index.insert(key, id);
+        Ok(id)
+    }
+
+    /// Adds a `subClassOf` edge between two existing classes.
+    ///
+    /// # Errors
+    ///
+    /// * [`OntologyError::InvalidClassId`] for foreign ids.
+    /// * [`OntologyError::CyclicHierarchy`] if `sup` is already a descendant
+    ///   of `sub` (the edge would create a cycle). Adding an edge that is
+    ///   already present is a no-op.
+    pub fn add_subclass_edge(&mut self, sub: ClassId, sup: ClassId) -> Result<(), OntologyError> {
+        self.check_class(sub)?;
+        self.check_class(sup)?;
+        if sub == sup || self.is_subclass_of(sup, sub) {
+            return Err(OntologyError::CyclicHierarchy {
+                sub: self.classes[sub.0 as usize].name.clone(),
+                sup: self.classes[sup.0 as usize].name.clone(),
+            });
+        }
+        if self.classes[sub.0 as usize].parents.contains(&sup) {
+            return Ok(());
+        }
+        self.classes[sub.0 as usize].parents.push(sup);
+        self.classes[sup.0 as usize].children.push(sub);
+        Ok(())
+    }
+
+    /// Attaches a human-readable label to a class.
+    pub fn set_label(&mut self, class: ClassId, label: impl Into<String>) -> Result<(), OntologyError> {
+        self.check_class(class)?;
+        self.classes[class.0 as usize].label = Some(label.into());
+        Ok(())
+    }
+
+    /// The label of a class, if one was set.
+    pub fn label(&self, class: ClassId) -> Option<&str> {
+        self.classes.get(class.0 as usize)?.label.as_deref()
+    }
+
+    /// Adds a property definition.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate names and foreign class ids are rejected.
+    pub fn add_property(
+        &mut self,
+        name: &str,
+        kind: PropertyKind,
+        domain: ClassId,
+        range: Result<ClassId, String>,
+    ) -> Result<PropertyId, OntologyError> {
+        if self.property_index.contains_key(name) {
+            return Err(OntologyError::DuplicateProperty(name.to_string()));
+        }
+        self.check_class(domain)?;
+        if let Ok(r) = range {
+            self.check_class(r)?;
+        }
+        let id = PropertyId(self.properties.len() as u32);
+        self.properties.push(Property {
+            name: name.to_string(),
+            kind,
+            domain,
+            range,
+        });
+        self.property_index.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Adds a named individual with its asserted types.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate names and foreign class ids are rejected.
+    pub fn add_individual(
+        &mut self,
+        name: &str,
+        types: &[ClassId],
+    ) -> Result<IndividualId, OntologyError> {
+        if self.individual_index.contains_key(name) {
+            return Err(OntologyError::DuplicateIndividual(name.to_string()));
+        }
+        for t in types {
+            self.check_class(*t)?;
+        }
+        let id = IndividualId(self.individuals.len() as u32);
+        self.individuals.push(Individual { name: name.to_string(), types: types.to_vec() });
+        self.individual_index.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks up a class id by local name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.class_index.get(name).copied()
+    }
+
+    /// Looks up a class id by qualified name: the ontology's own URI finds
+    /// native classes, an imported vocabulary's URI finds its classes.
+    pub fn class_by_qname(&self, qname: &QName) -> Option<ClassId> {
+        match qname.ns() {
+            Some(ns) if ns == self.uri() => self.class_by_name(qname.local()),
+            Some(ns) => self
+                .foreign_index
+                .get(&(ns.to_string(), qname.local().to_string()))
+                .copied(),
+            None => None,
+        }
+    }
+
+    /// The local name of a class.
+    pub fn class_name(&self, id: ClassId) -> Option<&str> {
+        self.classes.get(id.0 as usize).map(|c| c.name.as_str())
+    }
+
+    /// The qualified name of a class: its vocabulary's namespace (the
+    /// ontology URI for native classes) plus its local name.
+    pub fn class_qname(&self, id: ClassId) -> Option<QName> {
+        let c = self.classes.get(id.0 as usize)?;
+        let ns = c.ns.clone().unwrap_or_else(|| self.uri.clone());
+        Some(QName::with_ns(ns, c.name.clone()))
+    }
+
+    /// Direct superclasses of a class.
+    pub fn parents(&self, id: ClassId) -> &[ClassId] {
+        self.classes
+            .get(id.0 as usize)
+            .map(|c| c.parents.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Direct subclasses of a class.
+    pub fn children(&self, id: ClassId) -> &[ClassId] {
+        self.classes
+            .get(id.0 as usize)
+            .map(|c| c.children.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over all class ids.
+    pub fn class_ids(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.classes.len() as u32).map(ClassId)
+    }
+
+    /// Looks up a property by name.
+    pub fn property_by_name(&self, name: &str) -> Option<(PropertyId, &Property)> {
+        let id = *self.property_index.get(name)?;
+        Some((id, &self.properties[id.0 as usize]))
+    }
+
+    /// Iterates over all properties.
+    pub fn properties(&self) -> impl Iterator<Item = &Property> {
+        self.properties.iter()
+    }
+
+    /// Looks up an individual by name.
+    pub fn individual_by_name(&self, name: &str) -> Option<(IndividualId, &Individual)> {
+        let id = *self.individual_index.get(name)?;
+        Some((id, &self.individuals[id.0 as usize]))
+    }
+
+    /// Iterates over all individuals.
+    pub fn individuals(&self) -> impl Iterator<Item = &Individual> {
+        self.individuals.iter()
+    }
+
+    /// Whether the individual is an instance of `class`, directly or via
+    /// subsumption.
+    pub fn is_instance_of(&self, ind: IndividualId, class: ClassId) -> bool {
+        let Some(i) = self.individuals.get(ind.0 as usize) else {
+            return false;
+        };
+        i.types.iter().any(|t| *t == class || self.is_subclass_of(*t, class))
+    }
+
+    pub(crate) fn equivalences(&self) -> &crate::align::Equivalences {
+        &self.equivalences
+    }
+
+    pub(crate) fn equivalences_mut(&mut self) -> &mut crate::align::Equivalences {
+        &mut self.equivalences
+    }
+
+    pub(crate) fn check_class(&self, id: ClassId) -> Result<(), OntologyError> {
+        if (id.0 as usize) < self.classes.len() {
+            Ok(())
+        } else {
+            Err(OntologyError::InvalidClassId(id.0 as usize))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup_classes() {
+        let mut o = Ontology::new("urn:t");
+        let a = o.add_class("A", &[]).unwrap();
+        let b = o.add_class("B", &[a]).unwrap();
+        assert_eq!(o.class_count(), 2);
+        assert_eq!(o.class_by_name("B"), Some(b));
+        assert_eq!(o.parents(b), &[a]);
+        assert_eq!(o.children(a), &[b]);
+        assert_eq!(o.class_qname(a).unwrap().to_clark(), "{urn:t}A");
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut o = Ontology::new("urn:t");
+        o.add_class("A", &[]).unwrap();
+        assert_eq!(
+            o.add_class("A", &[]),
+            Err(OntologyError::DuplicateClass("A".into()))
+        );
+    }
+
+    #[test]
+    fn foreign_parent_rejected() {
+        let mut o = Ontology::new("urn:t");
+        assert!(matches!(
+            o.add_class("A", &[ClassId(9)]),
+            Err(OntologyError::InvalidClassId(9))
+        ));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut o = Ontology::new("urn:t");
+        let a = o.add_class("A", &[]).unwrap();
+        let b = o.add_class("B", &[a]).unwrap();
+        let c = o.add_class("C", &[b]).unwrap();
+        assert!(matches!(
+            o.add_subclass_edge(a, c),
+            Err(OntologyError::CyclicHierarchy { .. })
+        ));
+        assert!(matches!(
+            o.add_subclass_edge(a, a),
+            Err(OntologyError::CyclicHierarchy { .. })
+        ));
+    }
+
+    #[test]
+    fn redundant_edge_is_noop() {
+        let mut o = Ontology::new("urn:t");
+        let a = o.add_class("A", &[]).unwrap();
+        let b = o.add_class("B", &[a]).unwrap();
+        o.add_subclass_edge(b, a).unwrap();
+        assert_eq!(o.parents(b).len(), 1);
+    }
+
+    #[test]
+    fn properties_and_individuals() {
+        let mut o = Ontology::new("urn:t");
+        let student = o.add_class("Student", &[]).unwrap();
+        let info = o.add_class("StudentInfo", &[]).unwrap();
+        o.add_property("hasInfo", PropertyKind::Object, student, Ok(info))
+            .unwrap();
+        o.add_property("hasId", PropertyKind::Datatype, student, Err("xsd:string".into()))
+            .unwrap();
+        assert_eq!(o.property_count(), 2);
+        let (_, p) = o.property_by_name("hasId").unwrap();
+        assert_eq!(p.range, Err("xsd:string".to_string()));
+
+        let grad = o.add_class("Grad", &[student]).unwrap();
+        let alice = o.add_individual("alice", &[grad]).unwrap();
+        assert!(o.is_instance_of(alice, student));
+        assert!(o.is_instance_of(alice, grad));
+        assert!(!o.is_instance_of(alice, info));
+    }
+
+    #[test]
+    fn qname_lookup_requires_matching_namespace() {
+        let mut o = Ontology::new("urn:t");
+        let a = o.add_class("A", &[]).unwrap();
+        assert_eq!(o.class_by_qname(&QName::with_ns("urn:t", "A")), Some(a));
+        assert_eq!(o.class_by_qname(&QName::with_ns("urn:other", "A")), None);
+        assert_eq!(o.class_by_qname(&QName::new("A")), None);
+    }
+
+    #[test]
+    fn labels() {
+        let mut o = Ontology::new("urn:t");
+        let a = o.add_class("A", &[]).unwrap();
+        assert_eq!(o.label(a), None);
+        o.set_label(a, "a thing").unwrap();
+        assert_eq!(o.label(a), Some("a thing"));
+    }
+}

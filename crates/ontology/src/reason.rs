@@ -1,0 +1,208 @@
+//! Subsumption reasoning over the class DAG.
+
+use crate::model::{ClassId, Ontology};
+use std::collections::{HashSet, VecDeque};
+
+impl Ontology {
+    /// Whether `sub` is a (strict or reflexive) subclass of `sup`.
+    ///
+    /// Every class is considered a subclass of itself, matching the
+    /// reflexivity of `rdfs:subClassOf`, and `owl:equivalentClass`
+    /// assertions merge concepts: the walk crosses equivalence bridges in
+    /// both vocabularies (see the crate's alignment support).
+    pub fn is_subclass_of(&self, sub: ClassId, sup: ClassId) -> bool {
+        if sub == sup || self.is_equivalent(sub, sup) {
+            return true;
+        }
+        let has_equivalences = !self.equivalences().is_trivial();
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([sub]);
+        seen.insert(sub);
+        while let Some(c) = queue.pop_front() {
+            // expand through the equivalence set before walking up
+            let members: Vec<ClassId> = if has_equivalences {
+                self.equivalence_set(c)
+            } else {
+                vec![c]
+            };
+            for m in members {
+                if m == sup || self.is_equivalent(m, sup) {
+                    return true;
+                }
+                for &p in self.parents(m) {
+                    if p == sup || self.is_equivalent(p, sup) {
+                        return true;
+                    }
+                    if seen.insert(p) {
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// All strict ancestors of `class` (excluding itself), breadth-first.
+    pub fn ancestors(&self, class: ClassId) -> Vec<ClassId> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        let mut queue = VecDeque::from([class]);
+        while let Some(c) = queue.pop_front() {
+            for &p in self.parents(c) {
+                if seen.insert(p) {
+                    out.push(p);
+                    queue.push_back(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// All strict descendants of `class` (excluding itself), breadth-first.
+    pub fn descendants(&self, class: ClassId) -> Vec<ClassId> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        let mut queue = VecDeque::from([class]);
+        while let Some(c) = queue.pop_front() {
+            for &ch in self.children(c) {
+                if seen.insert(ch) {
+                    out.push(ch);
+                    queue.push_back(ch);
+                }
+            }
+        }
+        out
+    }
+
+    /// Depth of a class: length of the longest parent chain to a root
+    /// (a class with no parents). Roots have depth 0.
+    pub fn depth(&self, class: ClassId) -> usize {
+        self.parents(class)
+            .iter()
+            .map(|&p| self.depth(p) + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Distance (number of edges) of the shortest upward path from `sub`
+    /// to `sup`, or `None` when `sup` does not subsume `sub`.
+    pub fn up_distance(&self, sub: ClassId, sup: ClassId) -> Option<usize> {
+        if sub == sup {
+            return Some(0);
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([(sub, 0usize)]);
+        while let Some((c, d)) = queue.pop_front() {
+            for &p in self.parents(c) {
+                if p == sup {
+                    return Some(d + 1);
+                }
+                if seen.insert(p) {
+                    queue.push_back((p, d + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// A lowest common ancestor of two classes: a common subsumer of both
+    /// with maximal depth. Returns `None` only when the classes share no
+    /// ancestor at all (disjoint roots).
+    pub fn lca(&self, a: ClassId, b: ClassId) -> Option<ClassId> {
+        let mut a_up: HashSet<ClassId> = HashSet::from([a]);
+        a_up.extend(self.ancestors(a));
+        std::iter::once(b)
+            .chain(self.ancestors(b))
+            .filter(|c| a_up.contains(c))
+            .max_by_key(|&c| self.depth(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the diamond:
+    /// ```text
+    ///        Thing
+    ///       /     \
+    ///   Person   Record
+    ///      |    \   |
+    ///  Student   Staff(Person,Record)
+    ///      |
+    ///  Grad
+    /// ```
+    fn diamond() -> (Ontology, [ClassId; 6]) {
+        let mut o = Ontology::new("urn:d");
+        let thing = o.add_class("Thing", &[]).unwrap();
+        let person = o.add_class("Person", &[thing]).unwrap();
+        let record = o.add_class("Record", &[thing]).unwrap();
+        let student = o.add_class("Student", &[person]).unwrap();
+        let staff = o.add_class("Staff", &[person, record]).unwrap();
+        let grad = o.add_class("Grad", &[student]).unwrap();
+        (o, [thing, person, record, student, staff, grad])
+    }
+
+    #[test]
+    fn subsumption_transitive_and_reflexive() {
+        let (o, [thing, person, record, student, _, grad]) = diamond();
+        assert!(o.is_subclass_of(grad, grad));
+        assert!(o.is_subclass_of(grad, student));
+        assert!(o.is_subclass_of(grad, person));
+        assert!(o.is_subclass_of(grad, thing));
+        assert!(!o.is_subclass_of(grad, record));
+        assert!(!o.is_subclass_of(person, student));
+    }
+
+    #[test]
+    fn multiple_inheritance_subsumes_both_parents() {
+        let (o, [thing, person, record, _, staff, _]) = diamond();
+        assert!(o.is_subclass_of(staff, person));
+        assert!(o.is_subclass_of(staff, record));
+        assert!(o.is_subclass_of(staff, thing));
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let (o, [thing, person, _, student, _, grad]) = diamond();
+        let anc = o.ancestors(grad);
+        assert_eq!(anc, vec![student, person, thing]);
+        let desc = o.descendants(person);
+        assert!(desc.contains(&student) && desc.contains(&grad));
+        assert!(o.descendants(grad).is_empty());
+        assert!(o.ancestors(thing).is_empty());
+    }
+
+    #[test]
+    fn depth_and_up_distance() {
+        let (o, [thing, person, _, student, staff, grad]) = diamond();
+        assert_eq!(o.depth(thing), 0);
+        assert_eq!(o.depth(person), 1);
+        assert_eq!(o.depth(grad), 3);
+        assert_eq!(o.depth(staff), 2);
+        assert_eq!(o.up_distance(grad, thing), Some(3));
+        assert_eq!(o.up_distance(grad, grad), Some(0));
+        assert_eq!(o.up_distance(person, grad), None);
+        assert_eq!(o.up_distance(grad, student), Some(1));
+    }
+
+    #[test]
+    fn lca_picks_deepest_common_subsumer() {
+        let (o, [thing, person, record, student, staff, grad]) = diamond();
+        assert_eq!(o.lca(grad, staff), Some(person));
+        assert_eq!(o.lca(student, staff), Some(person));
+        assert_eq!(o.lca(record, student), Some(thing));
+        // one subsumes the other: the subsumer is the LCA
+        assert_eq!(o.lca(grad, person), Some(person));
+        assert_eq!(o.lca(person, grad), Some(person));
+        assert_eq!(o.lca(grad, grad), Some(grad));
+    }
+
+    #[test]
+    fn lca_none_for_disjoint_roots() {
+        let mut o = Ontology::new("urn:t");
+        let a = o.add_class("A", &[]).unwrap();
+        let b = o.add_class("B", &[]).unwrap();
+        assert_eq!(o.lca(a, b), None);
+    }
+}

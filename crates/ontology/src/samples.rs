@@ -1,0 +1,244 @@
+//! Ready-made ontologies used by the paper's running example, the examples
+//! and the benchmark workloads.
+
+use crate::model::{ClassId, Ontology, PropertyKind};
+use crate::OntologyError;
+
+/// Namespace URI of the university ontology — the `sm:` namespace in the
+/// paper's WSDL-S listing.
+pub const UNIVERSITY_NS: &str = "http://uma.pt/ontologies/university";
+
+/// Builds the university ontology behind the paper's `StudentManagement`
+/// running example (section 3.1): student records, identifiers and the
+/// `StudentInformation` action concept, with enough structure (sub- and
+/// super-concepts) for non-trivial Subsume/PlugIn matches.
+///
+/// # Examples
+///
+/// ```
+/// let o = whisper_ontology::samples::university_ontology();
+/// let sid = o.class_by_name("StudentID").unwrap();
+/// let ident = o.class_by_name("Identifier").unwrap();
+/// assert!(o.is_subclass_of(sid, ident));
+/// ```
+pub fn university_ontology() -> Ontology {
+    build_university().expect("static ontology is well-formed")
+}
+
+fn build_university() -> Result<Ontology, OntologyError> {
+    let mut o = Ontology::new(UNIVERSITY_NS);
+    // Top concepts
+    let entity = o.add_class("Entity", &[])?;
+    let person = o.add_class("Person", &[entity])?;
+    let document = o.add_class("Document", &[entity])?;
+    let action = o.add_class("Action", &[entity])?;
+    let identifier = o.add_class("Identifier", &[entity])?;
+
+    // People
+    let student = o.add_class("Student", &[person])?;
+    o.add_class("GraduateStudent", &[student])?;
+    o.add_class("UndergraduateStudent", &[student])?;
+    let staff = o.add_class("Staff", &[person])?;
+    o.add_class("Professor", &[staff])?;
+
+    // Identifiers
+    let sid = o.add_class("StudentID", &[identifier])?;
+    o.add_class("StaffID", &[identifier])?;
+    o.add_class("NationalID", &[identifier])?;
+
+    // Records / documents
+    let record = o.add_class("Record", &[document])?;
+    let info = o.add_class("StudentInfo", &[record])?;
+    o.add_class("StudentTranscript", &[info])?;
+    o.add_class("StudentContactInfo", &[info])?;
+    let staff_rec = o.add_class("StaffRecord", &[record])?;
+    o.add_class("PayrollRecord", &[staff_rec])?;
+    let enrollment = o.add_class("Enrollment", &[record])?;
+
+    // Academic structure
+    let course = o.add_class("Course", &[entity])?;
+    o.add_class("GraduateCourse", &[course])?;
+    let degree = o.add_class("Degree", &[entity])?;
+    o.add_class("MastersDegree", &[degree])?;
+
+    // Actions (functional semantics of operations)
+    let retrieval = o.add_class("InformationRetrieval", &[action])?;
+    let si = o.add_class("StudentInformation", &[retrieval])?;
+    o.add_class("StudentTranscriptRetrieval", &[si])?;
+    o.add_class("StaffInformation", &[retrieval])?;
+    let update = o.add_class("InformationUpdate", &[action])?;
+    o.add_class("EnrollmentUpdate", &[update])?;
+
+    // Properties
+    o.add_property("hasIdentifier", PropertyKind::Object, person, Ok(identifier))?;
+    o.add_property("describes", PropertyKind::Object, record, Ok(person))?;
+    o.add_property("enrolledIn", PropertyKind::Object, student, Ok(course))?;
+    o.add_property("idValue", PropertyKind::Datatype, sid, Err("xsd:string".into()))?;
+    o.add_property("gpa", PropertyKind::Datatype, info, Err("xsd:decimal".into()))?;
+
+    // A couple of individuals used by examples/tests.
+    o.add_individual("databases101", &[course])?;
+    let _ = enrollment;
+    Ok(o)
+}
+
+/// Namespace URI of the B2B commerce ontology used by the insurance-claim and
+/// supply-chain examples.
+pub const B2B_NS: &str = "http://uma.pt/ontologies/b2b";
+
+/// Builds a business-to-business ontology covering the application domains
+/// the paper's introduction motivates: insurance claim processing, bank loan
+/// management and healthcare/supply-chain document flows.
+pub fn b2b_ontology() -> Ontology {
+    build_b2b().expect("static ontology is well-formed")
+}
+
+fn build_b2b() -> Result<Ontology, OntologyError> {
+    let mut o = Ontology::new(B2B_NS);
+    let entity = o.add_class("Entity", &[])?;
+    let document = o.add_class("BusinessDocument", &[entity])?;
+    let action = o.add_class("BusinessAction", &[entity])?;
+    let party = o.add_class("Party", &[entity])?;
+    let identifier = o.add_class("Identifier", &[entity])?;
+
+    // Parties
+    o.add_class("Customer", &[party])?;
+    o.add_class("Supplier", &[party])?;
+    o.add_class("Insurer", &[party])?;
+
+    // Documents
+    let claim = o.add_class("Claim", &[document])?;
+    o.add_class("InsuranceClaim", &[claim])?;
+    o.add_class("HealthClaim", &[claim])?;
+    let order = o.add_class("Order", &[document])?;
+    o.add_class("PurchaseOrder", &[order])?;
+    o.add_class("OrderStatus", &[document])?;
+    let loan = o.add_class("LoanApplication", &[document])?;
+    o.add_class("MortgageApplication", &[loan])?;
+    o.add_class("Invoice", &[document])?;
+    o.add_class("ShippingNotice", &[document])?;
+    let decision = o.add_class("Decision", &[document])?;
+    o.add_class("ClaimDecision", &[decision])?;
+    o.add_class("LoanDecision", &[decision])?;
+
+    // Identifiers
+    o.add_class("ClaimNumber", &[identifier])?;
+    o.add_class("OrderNumber", &[identifier])?;
+    o.add_class("PolicyNumber", &[identifier])?;
+
+    // Actions
+    let processing = o.add_class("DocumentProcessing", &[action])?;
+    o.add_class("ClaimProcessing", &[processing])?;
+    o.add_class("LoanProcessing", &[processing])?;
+    o.add_class("OrderProcessing", &[processing])?;
+    let tracking = o.add_class("Tracking", &[action])?;
+    o.add_class("OrderTracking", &[tracking])?;
+    o.add_class("ShipmentTracking", &[tracking])?;
+
+    o.add_property("submittedBy", PropertyKind::Object, document, Ok(party))?;
+    o.add_property("amount", PropertyKind::Datatype, claim, Err("xsd:decimal".into()))?;
+    Ok(o)
+}
+
+/// Builds a synthetic ontology shaped like a `fanout`-ary tree of the given
+/// `depth` (plus a single root), used by benchmark workloads that need
+/// ontologies of controlled size. Class names are `C_<level>_<index>`.
+///
+/// The total class count is `1 + fanout + fanout^2 + ... + fanout^depth`.
+///
+/// # Panics
+///
+/// Panics if the requested tree exceeds one million classes — benchmark
+/// misconfiguration rather than a legitimate workload.
+pub fn synthetic_tree(fanout: usize, depth: usize) -> (Ontology, Vec<ClassId>) {
+    let mut total = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= fanout;
+        total += level;
+    }
+    assert!(total <= 1_000_000, "synthetic ontology too large: {total} classes");
+
+    let mut o = Ontology::new("urn:whisper:synthetic");
+    let root = o.add_class("C_0_0", &[]).expect("fresh ontology");
+    let mut all = vec![root];
+    let mut frontier = vec![root];
+    for lvl in 1..=depth {
+        let mut next = Vec::with_capacity(frontier.len() * fanout);
+        for (pi, &parent) in frontier.iter().enumerate() {
+            for f in 0..fanout {
+                let name = format!("C_{lvl}_{}", pi * fanout + f);
+                let id = o.add_class(&name, &[parent]).expect("unique names");
+                next.push(id);
+            }
+        }
+        all.extend(&next);
+        frontier = next;
+    }
+    (o, all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatchDegree;
+
+    #[test]
+    fn university_ontology_structure() {
+        let o = university_ontology();
+        assert!(o.class_count() >= 25, "got {}", o.class_count());
+        let grad = o.class_by_name("GraduateStudent").unwrap();
+        let person = o.class_by_name("Person").unwrap();
+        assert!(o.is_subclass_of(grad, person));
+        let si = o.class_by_name("StudentInformation").unwrap();
+        let action = o.class_by_name("Action").unwrap();
+        assert!(o.is_subclass_of(si, action));
+    }
+
+    #[test]
+    fn paper_scenario_concepts_exist() {
+        // The WSDL-S listing in section 3.1 references these concepts.
+        let o = university_ontology();
+        for c in ["StudentID", "StudentInfo", "StudentInformation"] {
+            assert!(o.class_by_name(c).is_some(), "missing concept {c}");
+        }
+    }
+
+    #[test]
+    fn data_warehouse_peer_can_subsume_db_peer() {
+        // Section 4.1: a peer returning data-warehouse records substitutes
+        // for the operational-database peer because the concepts subsume.
+        let o = university_ontology();
+        let info = o.class_by_name("StudentInfo").unwrap();
+        let transcript = o.class_by_name("StudentTranscript").unwrap();
+        assert_eq!(o.match_concepts(info, transcript), MatchDegree::Subsume);
+    }
+
+    #[test]
+    fn b2b_ontology_structure() {
+        let o = b2b_ontology();
+        assert!(o.class_count() >= 25);
+        let ins = o.class_by_name("InsuranceClaim").unwrap();
+        let doc = o.class_by_name("BusinessDocument").unwrap();
+        assert!(o.is_subclass_of(ins, doc));
+    }
+
+    #[test]
+    fn synthetic_tree_counts() {
+        let (o, all) = synthetic_tree(3, 3);
+        assert_eq!(o.class_count(), 1 + 3 + 9 + 27);
+        assert_eq!(all.len(), o.class_count());
+        // every non-root has exactly one parent
+        let root = all[0];
+        for &c in &all[1..] {
+            assert_eq!(o.parents(c).len(), 1);
+            assert!(o.is_subclass_of(c, root));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn synthetic_tree_guards_size() {
+        let _ = synthetic_tree(100, 4);
+    }
+}

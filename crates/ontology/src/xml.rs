@@ -1,0 +1,310 @@
+//! XML (de)serialization of ontologies.
+//!
+//! The format is a compact OWL-inspired dialect that round-trips the model
+//! exactly; it is what Whisper nodes exchange when synchronizing ontologies:
+//!
+//! ```xml
+//! <Ontology uri="http://example.org/uni">
+//!   <Class name="Student" subClassOf="Person" label="a student"/>
+//!   <ObjectProperty name="hasInfo" domain="Student" range="StudentInfo"/>
+//!   <DatatypeProperty name="hasId" domain="Student" range="xsd:string"/>
+//!   <Individual name="alice" type="Student"/>
+//! </Ontology>
+//! ```
+
+use crate::model::{ClassId, Ontology, PropertyKind};
+use crate::OntologyError;
+use whisper_xml::{Element, QName};
+
+impl Ontology {
+    /// Textual reference to a class: the local name for native classes,
+    /// Clark notation for imported ones (which may share local names).
+    fn class_ref(&self, id: ClassId) -> String {
+        let q = self.class_qname(id).expect("valid id");
+        if q.ns() == Some(self.uri()) {
+            q.local().to_string()
+        } else {
+            q.to_clark()
+        }
+    }
+
+    /// Resolves a textual reference produced by [`Ontology::class_ref`].
+    fn resolve_ref(&self, r: &str) -> Option<ClassId> {
+        if r.starts_with('{') {
+            self.class_by_qname(&QName::from_clark(r)?)
+        } else {
+            self.class_by_name(r)
+        }
+    }
+
+    /// Serializes the ontology to its XML exchange form.
+    pub fn to_xml(&self) -> Element {
+        let mut root = Element::new("Ontology");
+        root.set_attr("uri", self.uri());
+        for id in self.class_ids() {
+            let mut c = Element::new("Class");
+            c.set_attr("name", self.class_name(id).expect("class id from iterator"));
+            let q = self.class_qname(id).expect("class id from iterator");
+            if q.ns() != Some(self.uri()) {
+                c.set_attr("ns", q.ns().expect("foreign classes are namespaced"));
+            }
+            let parents: Vec<String> = self
+                .parents(id)
+                .iter()
+                .map(|&p| self.class_ref(p))
+                .collect();
+            if !parents.is_empty() {
+                c.set_attr("subClassOf", parents.join(" "));
+            }
+            if let Some(l) = self.label(id) {
+                c.set_attr("label", l);
+            }
+            root.push_child(c);
+        }
+        for (a, b) in self.equivalences.pairs(self.class_count()) {
+            let mut e = Element::new("EquivalentClasses");
+            e.set_attr("a", self.class_ref(ClassId(a)));
+            e.set_attr("b", self.class_ref(ClassId(b)));
+            root.push_child(e);
+        }
+        for p in self.properties() {
+            let tag = match p.kind {
+                PropertyKind::Object => "ObjectProperty",
+                PropertyKind::Datatype => "DatatypeProperty",
+            };
+            let mut e = Element::new(tag);
+            e.set_attr("name", &p.name);
+            if let Some(d) = self.class_name(p.domain) {
+                e.set_attr("domain", d);
+            }
+            match &p.range {
+                Ok(c) => {
+                    if let Some(r) = self.class_name(*c) {
+                        e.set_attr("range", r);
+                    }
+                }
+                Err(dt) => {
+                    e.set_attr("range", dt);
+                }
+            }
+            root.push_child(e);
+        }
+        for i in self.individuals() {
+            let mut e = Element::new("Individual");
+            e.set_attr("name", &i.name);
+            let types: Vec<&str> = i
+                .types
+                .iter()
+                .filter_map(|t| self.class_name(*t))
+                .collect();
+            if !types.is_empty() {
+                e.set_attr("type", types.join(" "));
+            }
+            root.push_child(e);
+        }
+        root
+    }
+
+    /// Parses an ontology from its XML exchange form.
+    ///
+    /// Classes may be declared in any order; forward references in
+    /// `subClassOf` are resolved in a second pass.
+    ///
+    /// # Errors
+    ///
+    /// [`OntologyError::MalformedDocument`] for structural problems,
+    /// [`OntologyError::UnknownClass`] for dangling references, and the
+    /// usual construction errors (duplicates, cycles).
+    pub fn from_xml(root: &Element) -> Result<Self, OntologyError> {
+        if root.name != "Ontology" {
+            return Err(OntologyError::MalformedDocument(format!(
+                "expected <Ontology>, found <{}>",
+                root.name
+            )));
+        }
+        let uri = root
+            .attr("uri")
+            .ok_or_else(|| OntologyError::MalformedDocument("missing uri attribute".into()))?;
+        let mut onto = Ontology::new(uri);
+
+        // Pass 1: declare all classes (imported ones carry a `ns`).
+        let mut ids_in_order = Vec::new();
+        for c in root.children_named("Class") {
+            let name = c.attr("name").ok_or_else(|| {
+                OntologyError::MalformedDocument("Class missing name attribute".into())
+            })?;
+            let id = match c.attr("ns") {
+                Some(ns) => onto.add_foreign_class(ns, name)?,
+                None => onto.add_class(name, &[])?,
+            };
+            if let Some(l) = c.attr("label") {
+                onto.set_label(id, l)?;
+            }
+            ids_in_order.push(id);
+        }
+        // Pass 2: wire subclass edges.
+        for (c, &sub) in root.children_named("Class").zip(&ids_in_order) {
+            if let Some(parents) = c.attr("subClassOf") {
+                for p in parents.split_whitespace() {
+                    let sup = onto
+                        .resolve_ref(p)
+                        .ok_or_else(|| OntologyError::UnknownClass(p.to_string()))?;
+                    onto.add_subclass_edge(sub, sup)?;
+                }
+            }
+        }
+        // Equivalences.
+        for e in root.children_named("EquivalentClasses") {
+            let get = |attr: &str| -> Result<ClassId, OntologyError> {
+                let r = e.attr(attr).ok_or_else(|| {
+                    OntologyError::MalformedDocument("EquivalentClasses missing class ref".into())
+                })?;
+                onto.resolve_ref(r).ok_or_else(|| OntologyError::UnknownClass(r.to_string()))
+            };
+            onto.add_equivalence(get("a")?, get("b")?)?;
+        }
+        // Properties.
+        for e in root.child_elements() {
+            let kind = match e.name.as_str() {
+                "ObjectProperty" => PropertyKind::Object,
+                "DatatypeProperty" => PropertyKind::Datatype,
+                _ => continue,
+            };
+            let name = e.attr("name").ok_or_else(|| {
+                OntologyError::MalformedDocument("property missing name".into())
+            })?;
+            let domain_name = e.attr("domain").ok_or_else(|| {
+                OntologyError::MalformedDocument(format!("property {name} missing domain"))
+            })?;
+            let domain = onto
+                .class_by_name(domain_name)
+                .ok_or_else(|| OntologyError::UnknownClass(domain_name.to_string()))?;
+            let range_s = e.attr("range").ok_or_else(|| {
+                OntologyError::MalformedDocument(format!("property {name} missing range"))
+            })?;
+            let range = match kind {
+                PropertyKind::Object => Ok(onto
+                    .class_by_name(range_s)
+                    .ok_or_else(|| OntologyError::UnknownClass(range_s.to_string()))?),
+                PropertyKind::Datatype => Err(range_s.to_string()),
+            };
+            onto.add_property(name, kind, domain, range)?;
+        }
+        // Individuals.
+        for e in root.children_named("Individual") {
+            let name = e.attr("name").ok_or_else(|| {
+                OntologyError::MalformedDocument("Individual missing name".into())
+            })?;
+            let mut types = Vec::new();
+            if let Some(ts) = e.attr("type") {
+                for t in ts.split_whitespace() {
+                    types.push(
+                        onto.class_by_name(t)
+                            .ok_or_else(|| OntologyError::UnknownClass(t.to_string()))?,
+                    );
+                }
+            }
+            onto.add_individual(name, &types)?;
+        }
+        Ok(onto)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::university_ontology;
+    use whisper_xml::parse;
+
+    #[test]
+    fn round_trip_university_ontology() {
+        let onto = university_ontology();
+        let xml = onto.to_xml().to_xml();
+        let reparsed = Ontology::from_xml(&parse(&xml).unwrap()).unwrap();
+        assert_eq!(onto, reparsed);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let xml = r#"<Ontology uri="urn:t">
+            <Class name="B" subClassOf="A"/>
+            <Class name="A"/>
+        </Ontology>"#;
+        let onto = Ontology::from_xml(&parse(xml).unwrap()).unwrap();
+        let a = onto.class_by_name("A").unwrap();
+        let b = onto.class_by_name("B").unwrap();
+        assert!(onto.is_subclass_of(b, a));
+    }
+
+    #[test]
+    fn dangling_reference_rejected() {
+        let xml = r#"<Ontology uri="urn:t"><Class name="B" subClassOf="Nope"/></Ontology>"#;
+        let err = Ontology::from_xml(&parse(xml).unwrap()).unwrap_err();
+        assert_eq!(err, OntologyError::UnknownClass("Nope".into()));
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let err = Ontology::from_xml(&parse("<Other/>").unwrap()).unwrap_err();
+        assert!(matches!(err, OntologyError::MalformedDocument(_)));
+    }
+
+    #[test]
+    fn missing_uri_rejected() {
+        let err = Ontology::from_xml(&parse("<Ontology/>").unwrap()).unwrap_err();
+        assert!(matches!(err, OntologyError::MalformedDocument(_)));
+    }
+
+    #[test]
+    fn properties_and_individuals_round_trip() {
+        let xml = r#"<Ontology uri="urn:t">
+            <Class name="Student"/>
+            <Class name="Info"/>
+            <ObjectProperty name="hasInfo" domain="Student" range="Info"/>
+            <DatatypeProperty name="hasId" domain="Student" range="xsd:int"/>
+            <Individual name="alice" type="Student"/>
+        </Ontology>"#;
+        let onto = Ontology::from_xml(&parse(xml).unwrap()).unwrap();
+        assert_eq!(onto.property_count(), 2);
+        assert_eq!(onto.individual_count(), 1);
+        let again = Ontology::from_xml(&parse(&onto.to_xml().to_xml()).unwrap()).unwrap();
+        assert_eq!(onto, again);
+    }
+
+    #[test]
+    fn aligned_ontology_round_trips() {
+        let mut a = Ontology::new("urn:org-a");
+        let person = a.add_class("Person", &[]).unwrap();
+        let student = a.add_class("Student", &[person]).unwrap();
+        let mut b = Ontology::new("urn:org-b");
+        let pessoa = b.add_class("Pessoa", &[]).unwrap();
+        b.add_class("Estudante", &[pessoa]).unwrap();
+        let mapping = a.import(&b).unwrap();
+        a.add_equivalence(student, mapping[1]).unwrap();
+
+        let text = a.to_xml().to_xml();
+        let back = Ontology::from_xml(&parse(&text).unwrap()).unwrap();
+        assert_eq!(a, back);
+        // equivalence semantics survived
+        let s2 = back.class_by_name("Student").unwrap();
+        let e2 = back
+            .class_by_qname(&whisper_xml::QName::with_ns("urn:org-b", "Estudante"))
+            .unwrap();
+        assert!(back.is_equivalent(s2, e2));
+    }
+
+    #[test]
+    fn foreign_local_name_collision_round_trips() {
+        // both vocabularies define "Student"; Clark refs disambiguate
+        let mut a = Ontology::new("urn:org-a");
+        let s_a = a.add_class("Student", &[]).unwrap();
+        let mut b = Ontology::new("urn:org-b");
+        let s_b0 = b.add_class("Student", &[]).unwrap();
+        b.add_class("Grad", &[s_b0]).unwrap();
+        let mapping = a.import(&b).unwrap();
+        a.add_equivalence(s_a, mapping[0]).unwrap();
+        let text = a.to_xml().to_xml();
+        let back = Ontology::from_xml(&parse(&text).unwrap()).unwrap();
+        assert_eq!(a, back);
+    }
+}

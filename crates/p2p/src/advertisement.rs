@@ -1,0 +1,517 @@
+//! Advertisements: XML metadata documents describing network resources.
+//!
+//! "All resources in JXTA networks are represented by a metadata XML
+//! document called an advertisement" (paper, section 4.3). Whisper adds a
+//! new advertisement type — the *semantic advertisement* — that describes a
+//! b-peer group by the ontological concepts of the functionality it
+//! implements, so discovery can match on semantics instead of syntax.
+
+use crate::{GroupId, P2pError, PeerId, PipeId};
+use whisper_xml::{Element, QName};
+
+/// The advertisement taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdvKind {
+    /// Describes a peer (its id and symbolic name).
+    Peer,
+    /// Describes a plain peer group.
+    Group,
+    /// Describes a *semantic* b-peer group: a group plus the concepts of the
+    /// service it implements.
+    Semantic,
+    /// Describes a pipe: a named channel bound to the peer that currently
+    /// receives on it.
+    Pipe,
+}
+
+impl AdvKind {
+    /// The XML element name for this kind.
+    pub fn tag(self) -> &'static str {
+        match self {
+            AdvKind::Peer => "PeerAdvertisement",
+            AdvKind::Group => "PeerGroupAdvertisement",
+            AdvKind::Semantic => "SemanticAdvertisement",
+            AdvKind::Pipe => "PipeAdvertisement",
+        }
+    }
+}
+
+/// Advertisement for a single peer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeerAdv {
+    /// The advertised peer.
+    pub peer: PeerId,
+    /// Symbolic peer name.
+    pub name: String,
+    /// The b-peer group this peer belongs to, if any. Proxies use it to
+    /// enumerate the members of a discovered semantic group.
+    pub group: Option<GroupId>,
+}
+
+/// Advertisement for a pipe: JXTA's unidirectional channel abstraction.
+/// Whisper's SWS-proxy↔coordinator binding is pipe resolution — the paper's
+/// "time to make a new binding" is the cost of re-resolving a pipe after
+/// its owner died.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipeAdv {
+    /// The advertised pipe.
+    pub pipe: PipeId,
+    /// Symbolic pipe name (what senders resolve).
+    pub name: String,
+    /// The peer bound to the receiving end.
+    pub owner: PeerId,
+}
+
+/// Advertisement for a plain (non-semantic) peer group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupAdv {
+    /// The advertised group.
+    pub group: GroupId,
+    /// Symbolic group name.
+    pub name: String,
+}
+
+/// Quality-of-service metadata carried by semantic advertisements
+/// (the paper's section 2.4 extension).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosSpec {
+    /// Expected request-processing latency in microseconds.
+    pub latency_us: u64,
+    /// Fraction of requests expected to succeed, in `[0, 1]`.
+    pub reliability: f64,
+    /// Abstract invocation cost (lower is better).
+    pub cost: f64,
+}
+
+impl QosSpec {
+    /// A single scalar utility used for ranking: higher is better.
+    ///
+    /// Reliability dominates, latency matters strongly at the
+    /// low-millisecond scale (where service-selection decisions live),
+    /// cost breaks ties: `10·reliability + 5/(1 + latency_ms) − cost/2`.
+    pub fn utility(&self) -> f64 {
+        let speed = 5.0 / (1.0 + self.latency_us as f64 / 1_000.0);
+        self.reliability * 10.0 + speed - self.cost / 2.0
+    }
+}
+
+/// Whisper's semantic advertisement: a b-peer group described by the
+/// ontological concepts of the service it implements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemanticAdv {
+    /// The b-peer group being advertised.
+    pub group: GroupId,
+    /// Symbolic group name (the *syntactic* identity — what plain JXTA
+    /// discovery would match on).
+    pub name: String,
+    /// Functional semantics: the action concept.
+    pub action: QName,
+    /// Data semantics of the inputs, in signature order.
+    pub inputs: Vec<QName>,
+    /// Data semantics of the outputs, in signature order.
+    pub outputs: Vec<QName>,
+    /// Optional QoS claims for ranking.
+    pub qos: Option<QosSpec>,
+}
+
+/// Any advertisement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Advertisement {
+    /// A peer advertisement.
+    Peer(PeerAdv),
+    /// A plain group advertisement.
+    Group(GroupAdv),
+    /// A semantic b-peer-group advertisement.
+    Semantic(SemanticAdv),
+    /// A pipe advertisement.
+    Pipe(PipeAdv),
+}
+
+impl Advertisement {
+    /// This advertisement's kind.
+    pub fn kind(&self) -> AdvKind {
+        match self {
+            Advertisement::Peer(_) => AdvKind::Peer,
+            Advertisement::Group(_) => AdvKind::Group,
+            Advertisement::Semantic(_) => AdvKind::Semantic,
+            Advertisement::Pipe(_) => AdvKind::Pipe,
+        }
+    }
+
+    /// The symbolic name.
+    pub fn name(&self) -> &str {
+        match self {
+            Advertisement::Peer(a) => &a.name,
+            Advertisement::Group(a) => &a.name,
+            Advertisement::Semantic(a) => &a.name,
+            Advertisement::Pipe(a) => &a.name,
+        }
+    }
+
+    /// A stable identity used for cache replacement: kind + advertised id.
+    /// Re-publishing a resource replaces its previous advertisement.
+    pub fn identity(&self) -> (AdvKind, u64) {
+        match self {
+            Advertisement::Peer(a) => (AdvKind::Peer, a.peer.value()),
+            Advertisement::Group(a) => (AdvKind::Group, a.group.value()),
+            Advertisement::Semantic(a) => (AdvKind::Semantic, a.group.value()),
+            Advertisement::Pipe(a) => (AdvKind::Pipe, a.pipe.value()),
+        }
+    }
+
+    /// The semantic payload, if this is a semantic advertisement.
+    pub fn as_semantic(&self) -> Option<&SemanticAdv> {
+        match self {
+            Advertisement::Semantic(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The pipe payload, if this is a pipe advertisement.
+    pub fn as_pipe(&self) -> Option<&PipeAdv> {
+        match self {
+            Advertisement::Pipe(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Serializes to the XML metadata document.
+    pub fn to_element(&self) -> Element {
+        match self {
+            Advertisement::Peer(a) => {
+                let mut e = Element::new(AdvKind::Peer.tag());
+                e.set_attr("id", a.peer.to_string());
+                e.set_attr("name", &a.name);
+                if let Some(g) = a.group {
+                    e.set_attr("group", g.to_string());
+                }
+                e
+            }
+            Advertisement::Group(a) => {
+                let mut e = Element::new(AdvKind::Group.tag());
+                e.set_attr("id", a.group.to_string());
+                e.set_attr("name", &a.name);
+                e
+            }
+            Advertisement::Pipe(a) => {
+                let mut e = Element::new(AdvKind::Pipe.tag());
+                e.set_attr("id", a.pipe.to_string());
+                e.set_attr("name", &a.name);
+                e.set_attr("owner", a.owner.to_string());
+                e
+            }
+            Advertisement::Semantic(a) => {
+                let mut e = Element::new(AdvKind::Semantic.tag());
+                e.set_attr("id", a.group.to_string());
+                e.set_attr("name", &a.name);
+                e.push_child(Element::with_text("action", a.action.to_clark()));
+                for i in &a.inputs {
+                    e.push_child(Element::with_text("input", i.to_clark()));
+                }
+                for o in &a.outputs {
+                    e.push_child(Element::with_text("output", o.to_clark()));
+                }
+                if let Some(q) = &a.qos {
+                    let mut qe = Element::new("qos");
+                    qe.set_attr("latencyUs", q.latency_us.to_string());
+                    qe.set_attr("reliability", q.reliability.to_string());
+                    qe.set_attr("cost", q.cost.to_string());
+                    e.push_child(qe);
+                }
+                e
+            }
+        }
+    }
+
+    /// Serializes to document text (what actually travels in discovery
+    /// responses).
+    pub fn to_xml_string(&self) -> String {
+        self.to_element().to_xml()
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.to_xml_string().len()
+    }
+
+    /// Parses an advertisement document.
+    ///
+    /// # Errors
+    ///
+    /// [`P2pError`] for XML problems, unknown kinds or missing structure.
+    pub fn parse(text: &str) -> Result<Self, P2pError> {
+        Self::from_element(&whisper_xml::parse(text)?)
+    }
+
+    /// Interprets a parsed element tree as an advertisement.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Advertisement::parse`], minus XML errors.
+    pub fn from_element(e: &Element) -> Result<Self, P2pError> {
+        let attr = |name: &str| {
+            e.attr(name).map(str::to_string).ok_or_else(|| {
+                P2pError::MalformedAdvertisement(format!("missing {name:?} on <{}>", e.name))
+            })
+        };
+        let concept = |el: &Element| -> Result<QName, P2pError> {
+            QName::from_clark(&el.text()).ok_or_else(|| {
+                P2pError::MalformedAdvertisement(format!("bad concept in <{}>", el.name))
+            })
+        };
+        match e.name.as_str() {
+            "PeerAdvertisement" => Ok(Advertisement::Peer(PeerAdv {
+                peer: attr("id")?.parse()?,
+                name: attr("name")?,
+                group: e.attr("group").map(str::parse).transpose()?,
+            })),
+            "PeerGroupAdvertisement" => Ok(Advertisement::Group(GroupAdv {
+                group: attr("id")?.parse()?,
+                name: attr("name")?,
+            })),
+            "PipeAdvertisement" => Ok(Advertisement::Pipe(PipeAdv {
+                pipe: attr("id")?.parse()?,
+                name: attr("name")?,
+                owner: attr("owner")?.parse()?,
+            })),
+            "SemanticAdvertisement" => {
+                let action_el = e.child("action").ok_or_else(|| {
+                    P2pError::MalformedAdvertisement("missing <action>".into())
+                })?;
+                let qos = match e.child("qos") {
+                    Some(q) => {
+                        let num = |a: &str| -> Result<f64, P2pError> {
+                            q.attr(a)
+                                .and_then(|v| v.parse::<f64>().ok())
+                                .ok_or_else(|| {
+                                    P2pError::MalformedAdvertisement(format!(
+                                        "bad qos attribute {a:?}"
+                                    ))
+                                })
+                        };
+                        Some(QosSpec {
+                            latency_us: num("latencyUs")? as u64,
+                            reliability: num("reliability")?,
+                            cost: num("cost")?,
+                        })
+                    }
+                    None => None,
+                };
+                Ok(Advertisement::Semantic(SemanticAdv {
+                    group: attr("id")?.parse()?,
+                    name: attr("name")?,
+                    action: concept(action_el)?,
+                    inputs: e
+                        .children_named("input")
+                        .map(concept)
+                        .collect::<Result<_, _>>()?,
+                    outputs: e
+                        .children_named("output")
+                        .map(concept)
+                        .collect::<Result<_, _>>()?,
+                    qos,
+                }))
+            }
+            other => Err(P2pError::UnknownAdvKind(other.to_string())),
+        }
+    }
+}
+
+/// A predicate over advertisements used by discovery queries.
+///
+/// Mirrors JXTA's `getLocalAdvertisements(type, attribute, value)`: an
+/// optional kind plus optional attribute constraints. All present
+/// constraints must hold.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdvFilter {
+    /// Restrict to one advertisement kind.
+    pub kind: Option<AdvKind>,
+    /// Exact match on the symbolic name (syntactic discovery).
+    pub name: Option<String>,
+    /// Exact match on the action concept of semantic advertisements
+    /// (the paper's `"action", sws.get_sem_action()` lookup).
+    pub action: Option<QName>,
+    /// Restrict to one advertised group id.
+    pub group: Option<GroupId>,
+}
+
+impl AdvFilter {
+    /// Matches everything.
+    pub fn any() -> Self {
+        AdvFilter::default()
+    }
+
+    /// All advertisements of `kind`.
+    pub fn of_kind(kind: AdvKind) -> Self {
+        AdvFilter { kind: Some(kind), ..AdvFilter::default() }
+    }
+
+    /// Semantic advertisements whose action equals `action` exactly.
+    pub fn semantic_action(action: QName) -> Self {
+        AdvFilter {
+            kind: Some(AdvKind::Semantic),
+            action: Some(action),
+            ..AdvFilter::default()
+        }
+    }
+
+    /// Advertisements with this exact symbolic name.
+    pub fn named(name: impl Into<String>) -> Self {
+        AdvFilter { name: Some(name.into()), ..AdvFilter::default() }
+    }
+
+    /// Whether `adv` satisfies every present constraint.
+    pub fn matches(&self, adv: &Advertisement) -> bool {
+        if let Some(k) = self.kind {
+            if adv.kind() != k {
+                return false;
+            }
+        }
+        if let Some(n) = &self.name {
+            if adv.name() != n {
+                return false;
+            }
+        }
+        if let Some(a) = &self.action {
+            match adv.as_semantic() {
+                Some(s) if &s.action == a => {}
+                _ => return false,
+            }
+        }
+        if let Some(g) = self.group {
+            let gid = match adv {
+                Advertisement::Group(x) => Some(x.group),
+                Advertisement::Semantic(x) => Some(x.group),
+                Advertisement::Peer(x) => x.group,
+                Advertisement::Pipe(_) => None,
+            };
+            if gid != Some(g) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn semantic() -> Advertisement {
+        Advertisement::Semantic(SemanticAdv {
+            group: GroupId::new(3),
+            name: "StudentInfoGroup".into(),
+            action: QName::with_ns("urn:uni", "StudentInformation"),
+            inputs: vec![QName::with_ns("urn:uni", "StudentID")],
+            outputs: vec![QName::with_ns("urn:uni", "StudentInfo")],
+            qos: Some(QosSpec { latency_us: 800, reliability: 0.99, cost: 1.5 }),
+        })
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        let advs = [
+            Advertisement::Pipe(PipeAdv {
+                pipe: PipeId::new(5),
+                name: "student-info-pipe".into(),
+                owner: PeerId::new(3),
+            }),
+            Advertisement::Peer(PeerAdv { peer: PeerId::new(1), name: "b-peer A".into(), group: Some(GroupId::new(7)) }),
+            Advertisement::Group(GroupAdv { group: GroupId::new(2), name: "plain".into() }),
+            semantic(),
+        ];
+        for adv in advs {
+            let text = adv.to_xml_string();
+            let back = Advertisement::parse(&text).unwrap();
+            assert_eq!(adv, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn identity_replaces_by_resource() {
+        let a = semantic();
+        let mut b = semantic();
+        if let Advertisement::Semantic(s) = &mut b {
+            s.qos = None; // updated advertisement for the same group
+        }
+        assert_eq!(a.identity(), b.identity());
+        assert_ne!(
+            a.identity(),
+            Advertisement::Group(GroupAdv { group: GroupId::new(3), name: "x".into() }).identity()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_documents() {
+        assert!(matches!(
+            Advertisement::parse("<Mystery/>"),
+            Err(P2pError::UnknownAdvKind(_))
+        ));
+        assert!(matches!(
+            Advertisement::parse("<PeerAdvertisement name=\"x\"/>"),
+            Err(P2pError::MalformedAdvertisement(_))
+        ));
+        assert!(matches!(
+            Advertisement::parse("<PeerAdvertisement id=\"bogus\" name=\"x\"/>"),
+            Err(P2pError::BadId(_))
+        ));
+        assert!(matches!(
+            Advertisement::parse("<SemanticAdvertisement id=\"urn:whisper:group:1\" name=\"g\"/>"),
+            Err(P2pError::MalformedAdvertisement(_))
+        ));
+    }
+
+    #[test]
+    fn qos_is_optional() {
+        let mut s = semantic();
+        if let Advertisement::Semantic(sem) = &mut s {
+            sem.qos = None;
+        }
+        let back = Advertisement::parse(&s.to_xml_string()).unwrap();
+        assert_eq!(back.as_semantic().unwrap().qos, None);
+    }
+
+    #[test]
+    fn filters_constrain_conjunctively() {
+        let adv = semantic();
+        assert!(AdvFilter::any().matches(&adv));
+        assert!(AdvFilter::of_kind(AdvKind::Semantic).matches(&adv));
+        assert!(!AdvFilter::of_kind(AdvKind::Peer).matches(&adv));
+        assert!(AdvFilter::named("StudentInfoGroup").matches(&adv));
+        assert!(!AdvFilter::named("Other").matches(&adv));
+        assert!(
+            AdvFilter::semantic_action(QName::with_ns("urn:uni", "StudentInformation"))
+                .matches(&adv)
+        );
+        assert!(!AdvFilter::semantic_action(QName::with_ns("urn:uni", "Other")).matches(&adv));
+        let mut f = AdvFilter::of_kind(AdvKind::Semantic);
+        f.group = Some(GroupId::new(3));
+        assert!(f.matches(&adv));
+        f.group = Some(GroupId::new(4));
+        assert!(!f.matches(&adv));
+        // action filter never matches non-semantic advs
+        let peer = Advertisement::Peer(PeerAdv { peer: PeerId::new(1), name: "p".into(), group: None });
+        assert!(!AdvFilter::semantic_action(QName::new("x")).matches(&peer));
+        // group filter never matches peer advs
+        let mut g = AdvFilter::any();
+        g.group = Some(GroupId::new(1));
+        assert!(!g.matches(&peer));
+    }
+
+    #[test]
+    fn qos_utility_prefers_reliable_then_fast_then_cheap() {
+        let base = QosSpec { latency_us: 1_000, reliability: 0.9, cost: 1.0 };
+        let more_reliable = QosSpec { reliability: 0.99, ..base };
+        let faster = QosSpec { latency_us: 100, ..base };
+        let cheaper = QosSpec { cost: 0.1, ..base };
+        assert!(more_reliable.utility() > base.utility());
+        assert!(faster.utility() > base.utility());
+        assert!(cheaper.utility() > base.utility());
+    }
+
+    #[test]
+    fn wire_size_is_plausible() {
+        let s = semantic();
+        assert!(s.wire_size() > 100 && s.wire_size() < 2048, "{}", s.wire_size());
+    }
+}

@@ -1,0 +1,139 @@
+//! The local advertisement cache with lifetimes and expiry.
+
+use crate::advertisement::{AdvFilter, AdvKind, Advertisement};
+use whisper_simnet::SimTime;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    adv: Advertisement,
+    expires: SimTime,
+}
+
+/// A peer's local store of advertisements, mirroring JXTA's local discovery
+/// cache: entries carry lifetimes, re-publication replaces the entry for the
+/// same resource, and lookups never return expired entries.
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryCache {
+    entries: Vec<Entry>,
+}
+
+impl DiscoveryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        DiscoveryCache::default()
+    }
+
+    /// Inserts (or replaces, keyed by [`Advertisement::identity`]) an
+    /// advertisement valid until `expires`.
+    pub fn insert(&mut self, adv: Advertisement, expires: SimTime) {
+        let id = adv.identity();
+        if let Some(e) = self.entries.iter_mut().find(|e| e.adv.identity() == id) {
+            e.adv = adv;
+            e.expires = expires;
+        } else {
+            self.entries.push(Entry { adv, expires });
+        }
+    }
+
+    /// All live advertisements matching `filter` at time `now`.
+    pub fn lookup(&self, filter: &AdvFilter, now: SimTime) -> Vec<&Advertisement> {
+        self.entries
+            .iter()
+            .filter(|e| e.expires > now && filter.matches(&e.adv))
+            .map(|e| &e.adv)
+            .collect()
+    }
+
+    /// Like [`DiscoveryCache::lookup`] but cloning, for handing advs to a
+    /// response message.
+    pub fn lookup_owned(&self, filter: &AdvFilter, now: SimTime) -> Vec<Advertisement> {
+        self.lookup(filter, now).into_iter().cloned().collect()
+    }
+
+    /// Drops expired entries and returns how many were removed.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.expires > now);
+        before - self.entries.len()
+    }
+
+    /// Number of entries currently stored, including not-yet-collected
+    /// expired ones.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Count of live entries of one kind at `now`.
+    pub fn live_count(&self, kind: AdvKind, now: SimTime) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.expires > now && e.adv.kind() == kind)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advertisement::{GroupAdv, PeerAdv};
+    use crate::{GroupId, PeerId};
+
+    fn peer_adv(n: u64) -> Advertisement {
+        Advertisement::Peer(PeerAdv { peer: PeerId::new(n), name: format!("peer{n}"), group: None })
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn insert_lookup_expire() {
+        let mut c = DiscoveryCache::new();
+        assert!(c.is_empty());
+        c.insert(peer_adv(1), t(100));
+        c.insert(peer_adv(2), t(200));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(&AdvFilter::any(), t(50)).len(), 2);
+        // at t=150 the first has expired
+        assert_eq!(c.lookup(&AdvFilter::any(), t(150)).len(), 1);
+        // expiry exactly at the deadline counts as expired
+        assert_eq!(c.lookup(&AdvFilter::any(), t(200)).len(), 0);
+        assert_eq!(c.expire(t(150)), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn republish_replaces_same_resource() {
+        let mut c = DiscoveryCache::new();
+        c.insert(peer_adv(1), t(100));
+        // refresh with a longer lifetime and a new name
+        c.insert(
+            Advertisement::Peer(PeerAdv { peer: PeerId::new(1), name: "renamed".into(), group: None }),
+            t(500),
+        );
+        assert_eq!(c.len(), 1);
+        let got = c.lookup(&AdvFilter::any(), t(400));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name(), "renamed");
+    }
+
+    #[test]
+    fn filtered_lookup_and_live_count() {
+        let mut c = DiscoveryCache::new();
+        c.insert(peer_adv(1), t(100));
+        c.insert(
+            Advertisement::Group(GroupAdv { group: GroupId::new(9), name: "g".into() }),
+            t(100),
+        );
+        assert_eq!(c.lookup(&AdvFilter::of_kind(AdvKind::Peer), t(0)).len(), 1);
+        assert_eq!(c.lookup(&AdvFilter::named("g"), t(0)).len(), 1);
+        assert_eq!(c.live_count(AdvKind::Group, t(0)), 1);
+        assert_eq!(c.live_count(AdvKind::Group, t(100)), 0);
+        assert_eq!(c.lookup_owned(&AdvFilter::any(), t(0)).len(), 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the P2P substrate.
+
+use std::error::Error;
+use std::fmt;
+use whisper_xml::XmlError;
+
+/// An error produced by advertisement parsing or discovery bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum P2pError {
+    /// An id string does not follow the `urn:whisper:...` scheme.
+    BadId(String),
+    /// An advertisement document was not well-formed XML.
+    Xml(XmlError),
+    /// An advertisement document is missing required structure.
+    MalformedAdvertisement(String),
+    /// An advertisement kind tag was not recognized.
+    UnknownAdvKind(String),
+}
+
+impl fmt::Display for P2pError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            P2pError::BadId(s) => write!(f, "malformed identifier {s:?}"),
+            P2pError::Xml(e) => write!(f, "invalid XML: {e}"),
+            P2pError::MalformedAdvertisement(why) => {
+                write!(f, "malformed advertisement: {why}")
+            }
+            P2pError::UnknownAdvKind(k) => write!(f, "unknown advertisement kind {k:?}"),
+        }
+    }
+}
+
+impl Error for P2pError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            P2pError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XmlError> for P2pError {
+    fn from(e: XmlError) -> Self {
+        P2pError::Xml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(P2pError::BadId("x".into()).to_string().contains("x"));
+        assert!(P2pError::UnknownAdvKind("Blob".into()).to_string().contains("Blob"));
+        assert!(P2pError::MalformedAdvertisement("no id".into())
+            .to_string()
+            .contains("no id"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Heartbeat-based failure detection within b-peer groups.
+
+use crate::PeerId;
+use std::collections::BTreeMap;
+use whisper_simnet::{SimDuration, SimTime};
+
+/// Tracks last-heard-from times for a set of peers and declares the ones
+/// that have been silent longer than the timeout as *suspected*.
+///
+/// B-peers broadcast [`P2pMessage::Heartbeat`](crate::P2pMessage::Heartbeat)
+/// every period; the detector is purely passive bookkeeping, so it works the
+/// same on the simulator and the threaded runtime.
+///
+/// # Examples
+///
+/// ```
+/// use whisper_p2p::{FailureDetector, PeerId};
+/// use whisper_simnet::{SimDuration, SimTime};
+///
+/// let mut fd = FailureDetector::new(SimDuration::from_millis(300));
+/// let p = PeerId::new(1);
+/// fd.record(p, SimTime::from_micros(0));
+/// assert!(fd.suspected(SimTime::from_micros(100_000)).is_empty());
+/// assert_eq!(fd.suspected(SimTime::from_micros(400_000)), vec![p]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    timeout: SimDuration,
+    last_seen: BTreeMap<PeerId, SimTime>,
+}
+
+impl FailureDetector {
+    /// Creates a detector that suspects peers silent for longer than
+    /// `timeout`.
+    pub fn new(timeout: SimDuration) -> Self {
+        FailureDetector { timeout, last_seen: BTreeMap::new() }
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+
+    /// Records a sign of life from `peer` at `now` (heartbeat or any other
+    /// message — all traffic proves liveness).
+    pub fn record(&mut self, peer: PeerId, now: SimTime) {
+        let e = self.last_seen.entry(peer).or_insert(now);
+        if *e < now {
+            *e = now;
+        }
+    }
+
+    /// Stops monitoring `peer` (it left the group or was replaced).
+    pub fn forget(&mut self, peer: PeerId) {
+        self.last_seen.remove(&peer);
+    }
+
+    /// Whether `peer` is currently monitored.
+    pub fn is_monitored(&self, peer: PeerId) -> bool {
+        self.last_seen.contains_key(&peer)
+    }
+
+    /// Peers silent for longer than the timeout at `now`, in id order.
+    /// A last-seen timestamp at or after `now` counts as alive.
+    pub fn suspected(&self, now: SimTime) -> Vec<PeerId> {
+        self.last_seen
+            .iter()
+            .filter(|(_, &seen)| seen < now && now.since(seen) > self.timeout)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Peers considered alive at `now`, in id order.
+    pub fn alive(&self, now: SimTime) -> Vec<PeerId> {
+        self.last_seen
+            .iter()
+            .filter(|(_, &seen)| seen >= now || now.since(seen) <= self.timeout)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Number of monitored peers.
+    pub fn monitored_count(&self) -> usize {
+        self.last_seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_micros(ms * 1000)
+    }
+
+    fn fd() -> FailureDetector {
+        FailureDetector::new(SimDuration::from_millis(100))
+    }
+
+    #[test]
+    fn fresh_peer_is_alive_then_suspected() {
+        let mut d = fd();
+        d.record(PeerId::new(1), t(0));
+        assert_eq!(d.alive(t(50)), vec![PeerId::new(1)]);
+        assert!(d.suspected(t(50)).is_empty());
+        // exactly at the timeout boundary still alive
+        assert!(d.suspected(t(100)).is_empty());
+        assert_eq!(d.suspected(t(101)), vec![PeerId::new(1)]);
+        assert!(d.alive(t(101)).is_empty());
+    }
+
+    #[test]
+    fn heartbeat_refreshes() {
+        let mut d = fd();
+        let p = PeerId::new(1);
+        d.record(p, t(0));
+        d.record(p, t(90));
+        assert!(d.suspected(t(150)).is_empty());
+        // stale updates never move the clock backwards
+        d.record(p, t(10));
+        assert!(d.suspected(t(150)).is_empty());
+        assert_eq!(d.suspected(t(191)), vec![p]);
+    }
+
+    #[test]
+    fn forget_and_monitoring() {
+        let mut d = fd();
+        d.record(PeerId::new(1), t(0));
+        d.record(PeerId::new(2), t(0));
+        assert_eq!(d.monitored_count(), 2);
+        assert!(d.is_monitored(PeerId::new(1)));
+        d.forget(PeerId::new(1));
+        assert!(!d.is_monitored(PeerId::new(1)));
+        assert_eq!(d.suspected(t(500)), vec![PeerId::new(2)]);
+    }
+
+    #[test]
+    fn multiple_peers_sorted_by_id() {
+        let mut d = fd();
+        d.record(PeerId::new(3), t(0));
+        d.record(PeerId::new(1), t(0));
+        d.record(PeerId::new(2), t(200));
+        let s = d.suspected(t(150));
+        assert_eq!(s, vec![PeerId::new(1), PeerId::new(3)]);
+    }
+
+    #[test]
+    fn future_timestamps_do_not_panic() {
+        let mut d = fd();
+        d.record(PeerId::new(1), t(1000));
+        // now earlier than last-seen (can happen with clamped clocks)
+        assert!(d.suspected(t(0)).is_empty());
+        assert_eq!(d.alive(t(0)), vec![PeerId::new(1)]);
+    }
+}

@@ -1,0 +1,108 @@
+//! URN-like identifiers for peers and peer groups.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Identifier of a peer, unique within a Whisper deployment.
+///
+/// Rendered as `urn:whisper:peer:<n>` on the wire, mirroring JXTA's
+/// `urn:jxta:uuid-...` ids without the UUID baggage.
+///
+/// # Examples
+///
+/// ```
+/// use whisper_p2p::PeerId;
+///
+/// let p = PeerId::new(7);
+/// assert_eq!(p.to_string(), "urn:whisper:peer:7");
+/// assert_eq!("urn:whisper:peer:7".parse::<PeerId>().unwrap(), p);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeerId(u64);
+
+/// Identifier of a peer group.
+///
+/// Rendered as `urn:whisper:group:<n>` on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(u64);
+
+macro_rules! impl_id {
+    ($ty:ident, $prefix:literal) => {
+        impl $ty {
+            /// Creates an id from its numeric value.
+            pub const fn new(v: u64) -> Self {
+                $ty(v)
+            }
+
+            /// The numeric value.
+            pub const fn value(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl FromStr for $ty {
+            type Err = crate::P2pError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                let n = s
+                    .strip_prefix($prefix)
+                    .and_then(|rest| rest.parse::<u64>().ok())
+                    .ok_or_else(|| crate::P2pError::BadId(s.to_string()))?;
+                Ok($ty(n))
+            }
+        }
+    };
+}
+
+/// Identifier of a pipe — a named unidirectional communication channel in
+/// the JXTA model. Rendered as `urn:whisper:pipe:<n>` on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PipeId(u64);
+
+impl_id!(PeerId, "urn:whisper:peer:");
+impl_id!(GroupId, "urn:whisper:group:");
+impl_id!(PipeId, "urn:whisper:pipe:");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_round_trip() {
+        for n in [0u64, 1, 42, u64::MAX] {
+            let p = PeerId::new(n);
+            assert_eq!(p.to_string().parse::<PeerId>().unwrap(), p);
+            let g = GroupId::new(n);
+            assert_eq!(g.to_string().parse::<GroupId>().unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("peer:1".parse::<PeerId>().is_err());
+        assert!("urn:whisper:peer:".parse::<PeerId>().is_err());
+        assert!("urn:whisper:peer:abc".parse::<PeerId>().is_err());
+        // group prefix is not a peer prefix
+        assert!("urn:whisper:group:3".parse::<PeerId>().is_err());
+    }
+
+    #[test]
+    fn pipe_ids_round_trip() {
+        let p = PipeId::new(11);
+        assert_eq!(p.to_string(), "urn:whisper:pipe:11");
+        assert_eq!("urn:whisper:pipe:11".parse::<PipeId>().unwrap(), p);
+        assert!("urn:whisper:peer:11".parse::<PipeId>().is_err());
+    }
+
+    #[test]
+    fn ordering_follows_value() {
+        assert!(PeerId::new(1) < PeerId::new(2));
+        assert_eq!(PeerId::new(9).value(), 9);
+    }
+}

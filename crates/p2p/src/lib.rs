@@ -1,0 +1,48 @@
+//! # whisper-p2p
+//!
+//! A JXTA-style peer-to-peer substrate: peers, peer groups, XML
+//! advertisements, discovery and failure detection.
+//!
+//! The paper builds Whisper on JXTA 2.3. This crate reimplements the parts
+//! of JXTA that Whisper exercises:
+//!
+//! * **Identifiers** — [`PeerId`], [`GroupId`]: URN-like ids for peers and
+//!   peer groups.
+//! * **Advertisements** — every resource is described by an XML metadata
+//!   document ([`Advertisement`]): peer advertisements, peer-group
+//!   advertisements and Whisper's *semantic advertisements*
+//!   ([`SemanticAdv`]) that extend group advertisements with ontological
+//!   concepts for action/inputs/outputs (section 4.3 of the paper) plus QoS
+//!   metadata (section 2.4).
+//! * **Discovery** — [`DiscoveryService`]: a sans-io state machine
+//!   implementing local-cache lookup plus remote queries via flooding or a
+//!   rendezvous peer, with advertisement lifetimes and expiry.
+//! * **Failure detection** — [`FailureDetector`]: heartbeat bookkeeping used
+//!   by b-peer groups to notice dead coordinators.
+//!
+//! Protocol messages are plain data ([`P2pMessage`]); hosting actors wrap
+//! them in their own wire type and pass incoming ones back into the state
+//! machines. This keeps the substrate transport-agnostic: the same code runs
+//! on the deterministic simulator and the threaded runtime of
+//! `whisper-simnet`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod advertisement;
+mod cache;
+mod discovery;
+mod error;
+mod heartbeat;
+mod id;
+
+pub use advertisement::{
+    AdvFilter, AdvKind, Advertisement, GroupAdv, PeerAdv, PipeAdv, QosSpec, SemanticAdv,
+};
+pub use cache::DiscoveryCache;
+pub use discovery::{
+    DiscoveryEvent, DiscoveryService, DiscoveryStrategy, P2pMessage, QueryId, Send as P2pSend,
+};
+pub use error::P2pError;
+pub use heartbeat::FailureDetector;
+pub use id::{GroupId, PeerId, PipeId};

@@ -1,0 +1,126 @@
+//! Fault injection: scheduled crashes, restarts and partitions.
+
+use crate::engine::NodeId;
+use crate::time::SimTime;
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultAction {
+    /// Crash-stop a node: it stops receiving messages and timers.
+    Crash(NodeId),
+    /// Restart a crashed node; its `on_restart` hook runs.
+    Restart(NodeId),
+    /// Block traffic between two nodes in both directions.
+    Block(NodeId, NodeId),
+    /// Unblock traffic between two nodes.
+    Unblock(NodeId, NodeId),
+}
+
+/// A schedule of faults to inject into a [`SimNet`] run.
+///
+/// Build the plan up front, then install it with [`SimNet::apply_faults`];
+/// the engine executes each action at its virtual time. This keeps
+/// experiments declarative and reproducible.
+///
+/// [`SimNet`]: crate::SimNet
+/// [`SimNet::apply_faults`]: crate::SimNet::apply_faults
+///
+/// # Examples
+///
+/// ```
+/// use whisper_simnet::{FaultPlan, SimTime};
+/// # use whisper_simnet::{SimNet, Actor, Context, NodeId, Wire};
+/// # #[derive(Clone, Debug)] struct M;
+/// # impl Wire for M { fn wire_size(&self) -> usize { 1 } }
+/// # struct A; impl Actor<M> for A {
+/// #   fn on_message(&mut self, _: &mut Context<'_, M>, _: NodeId, _: M) {}
+/// # }
+/// # let mut net = SimNet::<M>::new(1);
+/// # let coordinator = net.add_node(A);
+/// let mut plan = FaultPlan::new();
+/// plan.crash_at(coordinator, SimTime::from_micros(2_000_000));
+/// plan.restart_at(coordinator, SimTime::from_micros(5_000_000));
+/// net.apply_faults(&plan);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    pub(crate) actions: Vec<(SimTime, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crash `node` at time `at`.
+    pub fn crash_at(&mut self, node: NodeId, at: SimTime) -> &mut Self {
+        self.actions.push((at, FaultAction::Crash(node)));
+        self
+    }
+
+    /// Restart `node` at time `at`.
+    pub fn restart_at(&mut self, node: NodeId, at: SimTime) -> &mut Self {
+        self.actions.push((at, FaultAction::Restart(node)));
+        self
+    }
+
+    /// Block all traffic between `a` and `b` starting at `at`.
+    pub fn block_at(&mut self, a: NodeId, b: NodeId, at: SimTime) -> &mut Self {
+        self.actions.push((at, FaultAction::Block(a, b)));
+        self
+    }
+
+    /// Unblock traffic between `a` and `b` at `at`.
+    pub fn unblock_at(&mut self, a: NodeId, b: NodeId, at: SimTime) -> &mut Self {
+        self.actions.push((at, FaultAction::Unblock(a, b)));
+        self
+    }
+
+    /// Partition the nodes into two sides from `from` until `until`:
+    /// every cross-side pair is blocked, then unblocked.
+    pub fn partition_between(
+        &mut self,
+        side_a: &[NodeId],
+        side_b: &[NodeId],
+        from: SimTime,
+        until: SimTime,
+    ) -> &mut Self {
+        for &a in side_a {
+            for &b in side_b {
+                self.block_at(a, b, from);
+                self.unblock_at(a, b, until);
+            }
+        }
+        self
+    }
+
+    /// Number of scheduled actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builders_accumulate() {
+        let n0 = NodeId(0);
+        let n1 = NodeId(1);
+        let n2 = NodeId(2);
+        let mut p = FaultPlan::new();
+        assert!(p.is_empty());
+        p.crash_at(n0, SimTime::from_micros(10))
+            .restart_at(n0, SimTime::from_micros(20));
+        p.partition_between(&[n0], &[n1, n2], SimTime::from_micros(5), SimTime::from_micros(50));
+        assert_eq!(p.len(), 2 + 4);
+        assert!(matches!(p.actions[0].1, FaultAction::Crash(_)));
+    }
+}

@@ -1,0 +1,165 @@
+//! Link models: how long a message takes between two nodes, and whether it
+//! is lost.
+
+use crate::engine::NodeId;
+use crate::time::SimDuration;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Computes the one-way latency of a message and its loss fate.
+///
+/// Implementations must be deterministic given the provided RNG (the engine
+/// passes its seeded RNG in), so whole runs replay identically.
+pub trait LinkModel: Send {
+    /// One-way delay for `size` bytes from `from` to `to`.
+    fn latency(&self, from: NodeId, to: NodeId, size: usize, rng: &mut SmallRng) -> SimDuration;
+
+    /// Whether this message is lost in transit. Default: never.
+    fn is_lost(&self, _from: NodeId, _to: NodeId, _rng: &mut SmallRng) -> bool {
+        false
+    }
+}
+
+/// Zero-latency, lossless link — useful in unit tests where only ordering
+/// and counting matter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectLink;
+
+impl LinkModel for PerfectLink {
+    fn latency(&self, _: NodeId, _: NodeId, _: usize, _: &mut SmallRng) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+/// A switched full-duplex LAN calibrated to the paper's testbed:
+/// 100 Mbit/s Ethernet with sub-millisecond propagation.
+///
+/// One-way latency = `propagation + size / bandwidth + jitter`, where jitter
+/// is uniform in `[0, max_jitter]`. With the default parameters a ~1 KiB
+/// SOAP message sees ≈ 0.25 ms one-way, i.e. ≈ 0.5 ms RTT — the average the
+/// paper reports for steady state.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchedLan {
+    /// Fixed propagation + switching delay.
+    pub propagation: SimDuration,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bps: u64,
+    /// Upper bound of uniform jitter added per message.
+    pub max_jitter: SimDuration,
+    /// Independent per-message loss probability.
+    pub loss_probability: f64,
+}
+
+impl SwitchedLan {
+    /// The paper's testbed: 100 Mbit/s, ~0.15 ms switch+stack latency,
+    /// 0.1 ms max jitter, lossless.
+    pub fn paper_testbed() -> Self {
+        SwitchedLan {
+            propagation: SimDuration::from_micros(150),
+            bandwidth_bps: 100_000_000 / 8,
+            max_jitter: SimDuration::from_micros(100),
+            loss_probability: 0.0,
+        }
+    }
+
+    /// A lossy variant of the testbed for fault-injection experiments.
+    pub fn lossy(loss_probability: f64) -> Self {
+        SwitchedLan { loss_probability, ..SwitchedLan::paper_testbed() }
+    }
+}
+
+impl Default for SwitchedLan {
+    fn default() -> Self {
+        SwitchedLan::paper_testbed()
+    }
+}
+
+impl LinkModel for SwitchedLan {
+    fn latency(&self, from: NodeId, to: NodeId, size: usize, rng: &mut SmallRng) -> SimDuration {
+        if from == to {
+            // loopback: negligible but non-zero so ordering is sensible
+            return SimDuration::from_micros(5);
+        }
+        let serialization_us = (size as u64).saturating_mul(1_000_000) / self.bandwidth_bps.max(1);
+        let jitter_us = if self.max_jitter.as_micros() == 0 {
+            0
+        } else {
+            rng.gen_range(0..=self.max_jitter.as_micros())
+        };
+        self.propagation + SimDuration::from_micros(serialization_us + jitter_us)
+    }
+
+    fn is_lost(&self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> bool {
+        if from == to || self.loss_probability <= 0.0 {
+            return false;
+        }
+        rng.gen_bool(self.loss_probability.min(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn perfect_link_is_instant_and_lossless() {
+        let mut r = rng();
+        let l = PerfectLink;
+        assert_eq!(
+            l.latency(NodeId(0), NodeId(1), 10_000, &mut r),
+            SimDuration::ZERO
+        );
+        assert!(!l.is_lost(NodeId(0), NodeId(1), &mut r));
+    }
+
+    #[test]
+    fn lan_latency_close_to_half_millisecond_rtt_for_soap_sizes() {
+        // calibration check: 1 KiB message, one-way in [150, 350] us
+        let mut r = rng();
+        let lan = SwitchedLan::paper_testbed();
+        let d = lan.latency(NodeId(0), NodeId(1), 1024, &mut r);
+        assert!(
+            (150..=350).contains(&d.as_micros()),
+            "one-way latency {d} outside calibration band"
+        );
+    }
+
+    #[test]
+    fn bigger_messages_take_longer_on_average() {
+        let lan = SwitchedLan {
+            max_jitter: SimDuration::ZERO,
+            ..SwitchedLan::paper_testbed()
+        };
+        let mut r = rng();
+        let small = lan.latency(NodeId(0), NodeId(1), 100, &mut r);
+        let big = lan.latency(NodeId(0), NodeId(1), 1_000_000, &mut r);
+        assert!(big > small);
+        // 1 MB at 100 Mbit/s is 80 ms of serialization
+        assert!(big.as_micros() > 79_000, "{big}");
+    }
+
+    #[test]
+    fn loopback_is_fast_and_lossless() {
+        let lan = SwitchedLan::lossy(1.0);
+        let mut r = rng();
+        assert!(lan.latency(NodeId(3), NodeId(3), 1 << 20, &mut r).as_micros() < 50);
+        assert!(!lan.is_lost(NodeId(3), NodeId(3), &mut r));
+    }
+
+    #[test]
+    fn loss_probability_respected() {
+        let lan = SwitchedLan::lossy(0.5);
+        let mut r = rng();
+        let lost = (0..1000)
+            .filter(|_| lan.is_lost(NodeId(0), NodeId(1), &mut r))
+            .count();
+        assert!((350..650).contains(&lost), "lost {lost}/1000");
+        let lossless = SwitchedLan::paper_testbed();
+        assert!(!(0..100).any(|_| lossless.is_lost(NodeId(0), NodeId(1), &mut r)));
+    }
+}

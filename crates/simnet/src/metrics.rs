@@ -1,0 +1,228 @@
+//! Run metrics: message/byte counters and latency histograms.
+
+use crate::time::SimDuration;
+use std::collections::BTreeMap;
+
+/// A simple exact histogram of duration samples.
+///
+/// Stores every sample (experiments here are small enough), giving exact
+/// percentiles for the RTT analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d.as_micros());
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        Some(SimDuration::from_micros((sum / self.samples.len() as u128) as u64))
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<SimDuration> {
+        self.samples.iter().min().map(|&s| SimDuration::from_micros(s))
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.samples.iter().max().map(|&s| SimDuration::from_micros(s))
+    }
+
+    /// Exact percentile via nearest-rank (`p` in `[0, 100]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<SimDuration> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let idx = rank.saturating_sub(1).min(self.samples.len() - 1);
+        Some(SimDuration::from_micros(self.samples[idx]))
+    }
+
+    /// All samples, unsorted, for external analysis.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+}
+
+/// Counters accumulated by the engine over one run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    sent: u64,
+    delivered: u64,
+    dropped_lost: u64,
+    dropped_down: u64,
+    dropped_partition: u64,
+    bytes_sent: u64,
+    by_kind: BTreeMap<&'static str, u64>,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics::default()
+    }
+
+    pub(crate) fn on_send(&mut self, kind: &'static str, bytes: usize) {
+        self.sent += 1;
+        self.bytes_sent += bytes as u64;
+        *self.by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    pub(crate) fn on_deliver(&mut self) {
+        self.delivered += 1;
+    }
+
+    pub(crate) fn on_lost(&mut self) {
+        self.dropped_lost += 1;
+    }
+
+    pub(crate) fn on_drop_down(&mut self) {
+        self.dropped_down += 1;
+    }
+
+    pub(crate) fn on_drop_partition(&mut self) {
+        self.dropped_partition += 1;
+    }
+
+    /// Total messages handed to the network (the paper's Figure 4 metric).
+    pub fn messages_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages that reached a live node.
+    pub fn messages_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped by the loss model.
+    pub fn messages_lost(&self) -> u64 {
+        self.dropped_lost
+    }
+
+    /// Messages dropped because the destination was crashed.
+    pub fn messages_to_down_nodes(&self) -> u64 {
+        self.dropped_down
+    }
+
+    /// Messages dropped by a network partition.
+    pub fn messages_partitioned(&self) -> u64 {
+        self.dropped_partition
+    }
+
+    /// Total bytes handed to the network.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Messages sent, broken down by [`Wire::kind`].
+    ///
+    /// [`Wire::kind`]: crate::Wire::kind
+    pub fn sent_by_kind(&self) -> &BTreeMap<&'static str, u64> {
+        &self.by_kind
+    }
+
+    /// Count for one kind (0 when never seen).
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Resets all counters (used between experiment phases so setup traffic
+    /// doesn't pollute measurements).
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(50.0), None);
+        for us in [10u64, 20, 30, 40, 50] {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), Some(SimDuration::from_micros(30)));
+        assert_eq!(h.min(), Some(SimDuration::from_micros(10)));
+        assert_eq!(h.max(), Some(SimDuration::from_micros(50)));
+        assert_eq!(h.percentile(50.0), Some(SimDuration::from_micros(30)));
+        assert_eq!(h.percentile(100.0), Some(SimDuration::from_micros(50)));
+        assert_eq!(h.percentile(0.0), Some(SimDuration::from_micros(10)));
+        assert_eq!(h.percentile(90.0), Some(SimDuration::from_micros(50)));
+    }
+
+    #[test]
+    fn histogram_percentile_after_more_records() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(5));
+        assert_eq!(h.percentile(50.0), Some(SimDuration::from_micros(5)));
+        h.record(SimDuration::from_micros(1));
+        // re-sorts after new data
+        assert_eq!(h.percentile(0.0), Some(SimDuration::from_micros(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn histogram_rejects_bad_percentile() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::ZERO);
+        let _ = h.percentile(101.0);
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let mut m = Metrics::new();
+        m.on_send("election", 100);
+        m.on_send("election", 50);
+        m.on_send("heartbeat", 10);
+        m.on_deliver();
+        m.on_lost();
+        m.on_drop_down();
+        m.on_drop_partition();
+        assert_eq!(m.messages_sent(), 3);
+        assert_eq!(m.bytes_sent(), 160);
+        assert_eq!(m.sent_of_kind("election"), 2);
+        assert_eq!(m.sent_of_kind("heartbeat"), 1);
+        assert_eq!(m.sent_of_kind("nope"), 0);
+        assert_eq!(m.messages_delivered(), 1);
+        assert_eq!(m.messages_lost(), 1);
+        assert_eq!(m.messages_to_down_nodes(), 1);
+        assert_eq!(m.messages_partitioned(), 1);
+        m.reset();
+        assert_eq!(m.messages_sent(), 0);
+        assert!(m.sent_by_kind().is_empty());
+    }
+}

@@ -1,0 +1,415 @@
+//! Real-time execution of [`Actor`]s over OS threads and channels.
+//!
+//! [`ThreadNet`] runs each actor on its own thread, connected by unbounded
+//! crossbeam channels; timers are real-time deadlines. This gives wall-clock
+//! numbers for Criterion benches from exactly the protocol code that the
+//! deterministic [`SimNet`](crate::SimNet) exercises in tests.
+//!
+//! Fault injection and link modelling are intentionally absent here: the
+//! threaded transport exists to measure real in-process messaging cost, not
+//! to emulate the LAN.
+
+use crate::engine::{Actor, Context, NodeId, Op, TimerId};
+use crate::metrics::Metrics;
+use crate::time::SimTime;
+use crate::Wire;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+enum Ctl<M> {
+    Msg(NodeId, M),
+    Stop,
+}
+
+struct PendingTimer {
+    deadline: Instant,
+    id: TimerId,
+    token: u64,
+}
+
+impl PartialEq for PendingTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.id == other.id
+    }
+}
+impl Eq for PendingTimer {}
+impl PartialOrd for PendingTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // invert: BinaryHeap is a max-heap, we want the earliest deadline
+        other.deadline.cmp(&self.deadline)
+    }
+}
+
+struct Shared<M> {
+    senders: Vec<Sender<Ctl<M>>>,
+    metrics: Arc<Mutex<Metrics>>,
+    epoch: Instant,
+}
+
+impl<M> Clone for Shared<M> {
+    fn clone(&self) -> Self {
+        Shared {
+            senders: self.senders.clone(),
+            metrics: Arc::clone(&self.metrics),
+            epoch: self.epoch,
+        }
+    }
+}
+
+trait Spawnable<M: Wire>: Send {
+    fn spawn(
+        self: Box<Self>,
+        id: NodeId,
+        rx: Receiver<Ctl<M>>,
+        shared: Shared<M>,
+    ) -> JoinHandle<Box<dyn Any + Send>>;
+}
+
+struct Holder<A>(A);
+
+impl<M: Wire, A: Actor<M> + Any + Send + 'static> Spawnable<M> for Holder<A> {
+    fn spawn(
+        self: Box<Self>,
+        id: NodeId,
+        rx: Receiver<Ctl<M>>,
+        shared: Shared<M>,
+    ) -> JoinHandle<Box<dyn Any + Send>> {
+        std::thread::spawn(move || {
+            let mut actor = self.0;
+            run_node(&mut actor, id, rx, shared);
+            Box::new(actor) as Box<dyn Any + Send>
+        })
+    }
+}
+
+fn run_node<M: Wire>(
+    actor: &mut dyn Actor<M>,
+    id: NodeId,
+    rx: Receiver<Ctl<M>>,
+    shared: Shared<M>,
+) {
+    let mut rng = SmallRng::seed_from_u64(0x5157_0000 + id.index() as u64);
+    let mut next_timer: u64 = 0;
+    let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
+    let mut cancelled: HashSet<TimerId> = HashSet::new();
+
+    enum Hook<M> {
+        Start,
+        Message(NodeId, M),
+        Timer(u64),
+    }
+
+    let run_hook = |actor: &mut dyn Actor<M>,
+                        hook: Hook<M>,
+                        rng: &mut SmallRng,
+                        next_timer: &mut u64,
+                        timers: &mut BinaryHeap<PendingTimer>,
+                        cancelled: &mut HashSet<TimerId>| {
+        let now = SimTime::from_micros(shared.epoch.elapsed().as_micros() as u64);
+        let mut ctx = Context::detached(now, id, next_timer, rng);
+        match hook {
+            Hook::Start => actor.on_start(&mut ctx),
+            Hook::Message(from, m) => actor.on_message(&mut ctx, from, m),
+            Hook::Timer(token) => actor.on_timer(&mut ctx, token),
+        }
+        let ops = ctx.take_ops();
+        let now_i = Instant::now();
+        for op in ops {
+            match op {
+                Op::Send { to, msg } => {
+                    shared.metrics.lock().on_send(msg.kind(), msg.wire_size());
+                    if let Some(tx) = shared.senders.get(to.index()) {
+                        if tx.send(Ctl::Msg(id, msg)).is_ok() {
+                            shared.metrics.lock().on_deliver();
+                        }
+                    }
+                }
+                Op::SetTimer { id: tid, delay, token } => {
+                    timers.push(PendingTimer {
+                        deadline: now_i + Duration::from_micros(delay.as_micros()),
+                        id: tid,
+                        token,
+                    });
+                }
+                Op::CancelTimer(tid) => {
+                    cancelled.insert(tid);
+                }
+            }
+        }
+    };
+
+    run_hook(actor, Hook::Start, &mut rng, &mut next_timer, &mut timers, &mut cancelled);
+    loop {
+        // Fire all due timers.
+        loop {
+            let due = match timers.peek() {
+                Some(t) if t.deadline <= Instant::now() => timers.pop().expect("peeked"),
+                _ => break,
+            };
+            if !cancelled.remove(&due.id) {
+                run_hook(
+                    actor,
+                    Hook::Timer(due.token),
+                    &mut rng,
+                    &mut next_timer,
+                    &mut timers,
+                    &mut cancelled,
+                );
+            }
+        }
+        let timeout = timers
+            .peek()
+            .map(|t| t.deadline.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(Ctl::Msg(from, m)) => run_hook(
+                actor,
+                Hook::Message(from, m),
+                &mut rng,
+                &mut next_timer,
+                &mut timers,
+                &mut cancelled,
+            ),
+            Ok(Ctl::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+}
+
+/// Collects actors before spawning threads.
+///
+/// Node ids are assigned in registration order, matching
+/// [`SimNet::add_node`](crate::SimNet::add_node), so the same wiring code
+/// can target either runtime.
+pub struct ThreadNetBuilder<M: Wire> {
+    actors: Vec<Box<dyn Spawnable<M>>>,
+}
+
+impl<M: Wire> Default for ThreadNetBuilder<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Wire> ThreadNetBuilder<M> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ThreadNetBuilder { actors: Vec::new() }
+    }
+
+    /// Registers an actor and returns its future node id.
+    pub fn add_node(&mut self, actor: impl Actor<M> + Any + 'static) -> NodeId {
+        let id = NodeId(self.actors.len() as u32);
+        self.actors.push(Box::new(Holder(actor)));
+        id
+    }
+
+    /// Spawns every registered actor on its own thread and returns the
+    /// running network. Each actor's `on_start` runs before its first
+    /// message is processed.
+    pub fn start(self) -> ThreadNet<M> {
+        let metrics = Arc::new(Mutex::new(Metrics::new()));
+        let mut senders = Vec::with_capacity(self.actors.len());
+        let mut receivers = Vec::with_capacity(self.actors.len());
+        for _ in 0..self.actors.len() {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Shared {
+            senders: senders.clone(),
+            metrics: Arc::clone(&metrics),
+            epoch: Instant::now(),
+        };
+        let handles = self
+            .actors
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(i, (a, rx))| a.spawn(NodeId(i as u32), rx, shared.clone()))
+            .collect();
+        ThreadNet { senders, handles, metrics }
+    }
+}
+
+/// A running real-time network of actors.
+///
+/// # Examples
+///
+/// ```
+/// use whisper_simnet::threadnet::ThreadNetBuilder;
+/// use whisper_simnet::{Actor, Context, NodeId, Wire};
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+///
+/// #[derive(Clone, Debug)]
+/// struct Hit;
+/// impl Wire for Hit { fn wire_size(&self) -> usize { 8 } }
+///
+/// struct Counter(Arc<AtomicU32>);
+/// impl Actor<Hit> for Counter {
+///     fn on_message(&mut self, _: &mut Context<'_, Hit>, _: NodeId, _: Hit) {
+///         self.0.fetch_add(1, Ordering::SeqCst);
+///     }
+/// }
+///
+/// let hits = Arc::new(AtomicU32::new(0));
+/// let mut b = ThreadNetBuilder::new();
+/// let counter = b.add_node(Counter(hits.clone()));
+/// let net = b.start();
+/// net.inject(counter, counter, Hit);
+/// let actors = net.shutdown();
+/// assert_eq!(hits.load(Ordering::SeqCst), 1);
+/// assert_eq!(actors.len(), 1);
+/// ```
+pub struct ThreadNet<M: Wire> {
+    senders: Vec<Sender<Ctl<M>>>,
+    handles: Vec<JoinHandle<Box<dyn Any + Send>>>,
+    metrics: Arc<Mutex<Metrics>>,
+}
+
+impl<M: Wire> ThreadNet<M> {
+    /// Sends `msg` to `to` as if it came from `from`.
+    pub fn inject(&self, from: NodeId, to: NodeId, msg: M) {
+        self.metrics.lock().on_send(msg.kind(), msg.wire_size());
+        if let Some(tx) = self.senders.get(to.index()) {
+            if tx.send(Ctl::Msg(from, msg)).is_ok() {
+                self.metrics.lock().on_deliver();
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// A snapshot of the metrics so far.
+    pub fn metrics_snapshot(&self) -> Metrics {
+        self.metrics.lock().clone()
+    }
+
+    /// Stops all node threads, draining queued messages first (the stop
+    /// marker queues behind them), and returns each actor in node order for
+    /// inspection via `Box<dyn Any>`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any node thread.
+    pub fn shutdown(self) -> Vec<Box<dyn Any + Send>> {
+        for tx in &self.senders {
+            let _ = tx.send(Ctl::Stop);
+        }
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[derive(Clone, Debug)]
+    enum M {
+        Ping(u32),
+    }
+    impl Wire for M {
+        fn wire_size(&self) -> usize {
+            16
+        }
+        fn kind(&self) -> &'static str {
+            "ping"
+        }
+    }
+
+    struct Echo {
+        bounces: Arc<AtomicU32>,
+    }
+    impl Actor<M> for Echo {
+        fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, M::Ping(n): M) {
+            self.bounces.fetch_add(1, Ordering::SeqCst);
+            if n > 0 {
+                ctx.send(from, M::Ping(n - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_over_threads() {
+        let a_hits = Arc::new(AtomicU32::new(0));
+        let b_hits = Arc::new(AtomicU32::new(0));
+        let mut b = ThreadNetBuilder::new();
+        let na = b.add_node(Echo { bounces: a_hits.clone() });
+        let nb = b.add_node(Echo { bounces: b_hits.clone() });
+        let net = b.start();
+        net.inject(na, nb, M::Ping(9));
+        // 10 messages bounce; wait for them to drain
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while a_hits.load(Ordering::SeqCst) + b_hits.load(Ordering::SeqCst) < 10 {
+            assert!(Instant::now() < deadline, "ping-pong did not complete");
+            std::thread::yield_now();
+        }
+        let m = net.metrics_snapshot();
+        net.shutdown();
+        assert_eq!(a_hits.load(Ordering::SeqCst) + b_hits.load(Ordering::SeqCst), 10);
+        assert_eq!(m.sent_of_kind("ping"), 10);
+    }
+
+    #[test]
+    fn timers_fire_in_real_time() {
+        struct Beeper {
+            beeps: Arc<AtomicU32>,
+        }
+        impl Actor<M> for Beeper {
+            fn on_start(&mut self, ctx: &mut Context<'_, M>) {
+                ctx.set_timer(SimDuration::from_millis(5), 7);
+                ctx.set_timer(SimDuration::from_millis(10), 7);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, M>, _: NodeId, _: M) {}
+            fn on_timer(&mut self, _: &mut Context<'_, M>, token: u64) {
+                assert_eq!(token, 7);
+                self.beeps.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let beeps = Arc::new(AtomicU32::new(0));
+        let mut b = ThreadNetBuilder::new();
+        b.add_node(Beeper { beeps: beeps.clone() });
+        let net = b.start();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while beeps.load(Ordering::SeqCst) < 2 {
+            assert!(Instant::now() < deadline, "timers did not fire");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        net.shutdown();
+        assert_eq!(beeps.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn shutdown_returns_actors_in_order() {
+        let mut b = ThreadNetBuilder::new();
+        let h1 = Arc::new(AtomicU32::new(0));
+        let h2 = Arc::new(AtomicU32::new(0));
+        b.add_node(Echo { bounces: h1 });
+        b.add_node(Echo { bounces: h2 });
+        let net = b.start();
+        let actors = net.shutdown();
+        assert_eq!(actors.len(), 2);
+        assert!(actors[0].downcast_ref::<Echo>().is_some());
+    }
+}

@@ -1,0 +1,346 @@
+//! SOAP envelopes: header blocks and body payloads.
+
+use crate::fault::Fault;
+use crate::{SoapError, SOAP_ENVELOPE_NS};
+use whisper_xml::{parse, Element};
+
+/// A header block: an application element plus SOAP processing attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderBlock {
+    /// The header content.
+    pub content: Element,
+    /// Whether the receiver must understand this block to process the
+    /// message ([`Envelope::validate_must_understand`]).
+    pub must_understand: bool,
+    /// The SOAP 1.2 `role` this block targets (`None` = ultimate
+    /// receiver). Intermediaries such as Whisper relays only process blocks
+    /// addressed to [`ROLE_NEXT`].
+    pub role: Option<String>,
+}
+
+/// The SOAP 1.2 role every node on a message path plays.
+pub const ROLE_NEXT: &str = "http://www.w3.org/2003/05/soap-envelope/role/next";
+
+impl HeaderBlock {
+    /// Creates an optional (non-`mustUnderstand`) header block targeting
+    /// the ultimate receiver.
+    pub fn new(content: Element) -> Self {
+        HeaderBlock { content, must_understand: false, role: None }
+    }
+
+    /// Marks the block as `mustUnderstand`.
+    pub fn required(mut self) -> Self {
+        self.must_understand = true;
+        self
+    }
+
+    /// Targets the block at a SOAP role (e.g. [`ROLE_NEXT`]).
+    pub fn for_role(mut self, role: impl Into<String>) -> Self {
+        self.role = Some(role.into());
+        self
+    }
+}
+
+/// A SOAP envelope: optional header blocks plus exactly one body, which is
+/// either an application payload or a [`Fault`].
+///
+/// # Examples
+///
+/// ```
+/// use whisper_soap::{Envelope, Fault, FaultCode};
+/// use whisper_xml::Element;
+///
+/// let fault = Envelope::fault(Fault::new(FaultCode::Receiver, "down"));
+/// assert!(fault.is_fault());
+///
+/// let ok = Envelope::request(Element::with_text("Ping", "1"));
+/// assert!(!ok.is_fault());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Header blocks in document order.
+    pub headers: Vec<HeaderBlock>,
+    body: Body,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Body {
+    Payload(Element),
+    Fault(Fault),
+    Empty,
+}
+
+impl Envelope {
+    /// Creates a request/response envelope carrying `payload`.
+    pub fn request(payload: Element) -> Self {
+        Envelope { headers: Vec::new(), body: Body::Payload(payload) }
+    }
+
+    /// Creates a fault envelope.
+    pub fn fault(fault: Fault) -> Self {
+        Envelope { headers: Vec::new(), body: Body::Fault(fault) }
+    }
+
+    /// Creates an envelope with an empty body (one-way acknowledgements).
+    pub fn empty() -> Self {
+        Envelope { headers: Vec::new(), body: Body::Empty }
+    }
+
+    /// Adds a header block, returning `self` for chaining.
+    pub fn with_header(mut self, block: HeaderBlock) -> Self {
+        self.headers.push(block);
+        self
+    }
+
+    /// Whether the body carries a fault.
+    pub fn is_fault(&self) -> bool {
+        matches!(self.body, Body::Fault(_))
+    }
+
+    /// The body payload, unless this is a fault or empty envelope.
+    pub fn body_payload(&self) -> Option<&Element> {
+        match &self.body {
+            Body::Payload(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The fault, if the body carries one.
+    pub fn as_fault(&self) -> Option<&Fault> {
+        match &self.body {
+            Body::Fault(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Checks every `mustUnderstand` header block against the set of
+    /// understood header names.
+    ///
+    /// # Errors
+    ///
+    /// [`SoapError::MustUnderstand`] naming the first block the receiver
+    /// does not understand.
+    pub fn validate_must_understand(&self, understood: &[&str]) -> Result<(), SoapError> {
+        for h in &self.headers {
+            if h.must_understand && !understood.contains(&h.content.name.as_str()) {
+                return Err(SoapError::MustUnderstand(h.content.name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the envelope as an XML element tree.
+    pub fn to_element(&self) -> Element {
+        let mut env = Element::with_ns("Envelope", SOAP_ENVELOPE_NS);
+        env.prefix = Some("soap".to_string());
+        env.declare_ns("soap", SOAP_ENVELOPE_NS);
+
+        if !self.headers.is_empty() {
+            let mut header = Element::with_ns("Header", SOAP_ENVELOPE_NS);
+            header.prefix = Some("soap".to_string());
+            for h in &self.headers {
+                let mut c = h.content.clone();
+                if h.must_understand {
+                    c.set_attr("mustUnderstand", "true");
+                }
+                if let Some(role) = &h.role {
+                    c.set_attr("role", role.clone());
+                }
+                header.push_child(c);
+            }
+            env.push_child(header);
+        }
+
+        let mut body = Element::with_ns("Body", SOAP_ENVELOPE_NS);
+        body.prefix = Some("soap".to_string());
+        match &self.body {
+            Body::Payload(p) => {
+                body.push_child(p.clone());
+            }
+            Body::Fault(f) => {
+                let mut fe = f.to_element();
+                fe.prefix = Some("soap".to_string());
+                body.push_child(fe);
+            }
+            Body::Empty => {}
+        }
+        env.push_child(body);
+        env
+    }
+
+    /// Serializes to wire text.
+    pub fn to_xml_string(&self) -> String {
+        self.to_element().to_xml()
+    }
+
+    /// Approximate size of the serialized envelope in bytes, used by the
+    /// simulator's bandwidth model without re-serializing.
+    pub fn wire_size(&self) -> usize {
+        self.to_xml_string().len()
+    }
+
+    /// Parses an envelope from wire text.
+    ///
+    /// # Errors
+    ///
+    /// * [`SoapError::Xml`] for malformed XML.
+    /// * [`SoapError::NotAnEnvelope`] when the root is not a SOAP envelope.
+    /// * [`SoapError::MissingBody`] when no `Body` child exists.
+    /// * [`SoapError::MalformedFault`] when a fault body is invalid.
+    pub fn parse(text: &str) -> Result<Self, SoapError> {
+        let root = parse(text)?;
+        Self::from_element(&root)
+    }
+
+    /// Interprets an already-parsed element tree as an envelope.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Envelope::parse`], minus XML errors.
+    pub fn from_element(root: &Element) -> Result<Self, SoapError> {
+        if root.name != "Envelope" || root.ns.as_deref() != Some(SOAP_ENVELOPE_NS) {
+            return Err(SoapError::NotAnEnvelope(root.qname().to_clark()));
+        }
+        let mut headers = Vec::new();
+        if let Some(h) = root.child_ns(SOAP_ENVELOPE_NS, "Header") {
+            for c in h.child_elements() {
+                let must = c
+                    .attr("mustUnderstand")
+                    .map(|v| v == "true" || v == "1")
+                    .unwrap_or(false);
+                let role = c.attr("role").map(str::to_string);
+                let mut content = c.clone();
+                content.attrs.retain(|a| a.name != "mustUnderstand" && a.name != "role");
+                headers.push(HeaderBlock { content, must_understand: must, role });
+            }
+        }
+        let body_el = root
+            .child_ns(SOAP_ENVELOPE_NS, "Body")
+            .ok_or(SoapError::MissingBody)?;
+        let body = match body_el.child_elements().next() {
+            None => Body::Empty,
+            Some(first)
+                if first.name == "Fault" && first.ns.as_deref() == Some(SOAP_ENVELOPE_NS) =>
+            {
+                Body::Fault(Fault::from_element(first)?)
+            }
+            Some(first) => Body::Payload(first.clone()),
+        };
+        Ok(Envelope { headers, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultCode;
+
+    fn payload() -> Element {
+        let mut p = Element::new("StudentInformation");
+        p.push_child(Element::with_text("StudentID", "u1"));
+        p
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let env = Envelope::request(payload());
+        let back = Envelope::parse(&env.to_xml_string()).unwrap();
+        assert_eq!(back.body_payload().unwrap().name, "StudentInformation");
+        assert_eq!(
+            back.body_payload().unwrap().child("StudentID").unwrap().text(),
+            "u1"
+        );
+        assert!(!back.is_fault());
+        assert!(back.as_fault().is_none());
+    }
+
+    #[test]
+    fn fault_round_trip() {
+        let env = Envelope::fault(Fault::new(FaultCode::Receiver, "no coordinator"));
+        let back = Envelope::parse(&env.to_xml_string()).unwrap();
+        assert!(back.is_fault());
+        assert_eq!(back.as_fault().unwrap().code, FaultCode::Receiver);
+        assert!(back.body_payload().is_none());
+    }
+
+    #[test]
+    fn empty_body_round_trip() {
+        let env = Envelope::empty();
+        let back = Envelope::parse(&env.to_xml_string()).unwrap();
+        assert!(back.body_payload().is_none());
+        assert!(!back.is_fault());
+    }
+
+    #[test]
+    fn headers_round_trip_with_must_understand() {
+        let env = Envelope::request(payload())
+            .with_header(HeaderBlock::new(Element::with_text("TraceId", "t-9")))
+            .with_header(HeaderBlock::new(Element::with_text("Security", "tok")).required());
+        let back = Envelope::parse(&env.to_xml_string()).unwrap();
+        assert_eq!(back.headers.len(), 2);
+        assert!(!back.headers[0].must_understand);
+        assert!(back.headers[1].must_understand);
+        assert_eq!(back.headers[1].content.text(), "tok");
+    }
+
+    #[test]
+    fn header_roles_round_trip() {
+        let env = Envelope::request(payload()).with_header(
+            HeaderBlock::new(Element::with_text("HopTrace", "r1")).for_role(ROLE_NEXT),
+        );
+        let back = Envelope::parse(&env.to_xml_string()).unwrap();
+        assert_eq!(back.headers[0].role.as_deref(), Some(ROLE_NEXT));
+        // role attribute is processing metadata, not content
+        assert_eq!(back.headers[0].content.attr("role"), None);
+    }
+
+    #[test]
+    fn must_understand_validation() {
+        let env = Envelope::request(payload())
+            .with_header(HeaderBlock::new(Element::new("Security")).required());
+        assert!(env.validate_must_understand(&["Security"]).is_ok());
+        assert_eq!(
+            env.validate_must_understand(&["Other"]),
+            Err(SoapError::MustUnderstand("Security".into()))
+        );
+        // optional headers never trip validation
+        let env2 = Envelope::request(payload())
+            .with_header(HeaderBlock::new(Element::new("Trace")));
+        assert!(env2.validate_must_understand(&[]).is_ok());
+    }
+
+    #[test]
+    fn non_envelope_rejected() {
+        assert!(matches!(
+            Envelope::parse("<NotSoap/>"),
+            Err(SoapError::NotAnEnvelope(_))
+        ));
+        // right local name, wrong namespace
+        assert!(matches!(
+            Envelope::parse("<Envelope xmlns=\"urn:other\"><Body/></Envelope>"),
+            Err(SoapError::NotAnEnvelope(_))
+        ));
+    }
+
+    #[test]
+    fn missing_body_rejected() {
+        let text = format!("<soap:Envelope xmlns:soap=\"{SOAP_ENVELOPE_NS}\"/>");
+        assert_eq!(Envelope::parse(&text), Err(SoapError::MissingBody));
+    }
+
+    #[test]
+    fn app_element_named_fault_is_payload_not_fault() {
+        // A body element locally named Fault but outside the soap namespace
+        // is application data.
+        let env = Envelope::request(Element::with_text("Fault", "geological"));
+        let back = Envelope::parse(&env.to_xml_string()).unwrap();
+        assert!(!back.is_fault());
+        assert_eq!(back.body_payload().unwrap().text(), "geological");
+    }
+
+    #[test]
+    fn wire_size_tracks_serialization() {
+        let env = Envelope::request(payload());
+        assert_eq!(env.wire_size(), env.to_xml_string().len());
+    }
+}

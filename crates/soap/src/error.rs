@@ -1,0 +1,65 @@
+//! Error type for SOAP envelope processing.
+
+use std::error::Error;
+use std::fmt;
+use whisper_xml::XmlError;
+
+/// An error produced while parsing or validating a SOAP envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SoapError {
+    /// The document was not well-formed XML.
+    Xml(XmlError),
+    /// The root element is not `Envelope` in the SOAP envelope namespace.
+    NotAnEnvelope(String),
+    /// The envelope has no `Body` child.
+    MissingBody,
+    /// A `Fault` element is structurally invalid.
+    MalformedFault(String),
+    /// The header carries a `mustUnderstand` block the receiver doesn't know.
+    MustUnderstand(String),
+}
+
+impl fmt::Display for SoapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoapError::Xml(e) => write!(f, "invalid XML: {e}"),
+            SoapError::NotAnEnvelope(found) => {
+                write!(f, "expected soap Envelope, found {found:?}")
+            }
+            SoapError::MissingBody => write!(f, "envelope has no Body"),
+            SoapError::MalformedFault(why) => write!(f, "malformed fault: {why}"),
+            SoapError::MustUnderstand(role) => {
+                write!(f, "header block for {role:?} must be understood")
+            }
+        }
+    }
+}
+
+impl Error for SoapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SoapError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XmlError> for SoapError {
+    fn from(e: XmlError) -> Self {
+        SoapError::Xml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let xe = whisper_xml::parse("").unwrap_err();
+        let e = SoapError::Xml(xe);
+        assert!(e.to_string().contains("invalid XML"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&SoapError::MissingBody).is_none());
+    }
+}

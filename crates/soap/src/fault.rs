@@ -1,0 +1,198 @@
+//! SOAP fault representation.
+
+use crate::{SoapError, SOAP_ENVELOPE_NS};
+use std::fmt;
+use whisper_xml::Element;
+
+/// The standard SOAP 1.2 fault code values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultCode {
+    /// The message was malformed according to the envelope schema.
+    Sender,
+    /// The message could not be processed for reasons attributable to the
+    /// receiving node — the code Whisper's proxies emit when every b-peer of
+    /// a semantic group is unreachable.
+    Receiver,
+    /// A header block with `mustUnderstand="true"` was not understood.
+    MustUnderstand,
+    /// The encoding of the message is unsupported.
+    DataEncodingUnknown,
+    /// Version mismatch between envelope namespaces.
+    VersionMismatch,
+}
+
+impl FaultCode {
+    /// The lexical value used on the wire (e.g. `soap:Receiver`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultCode::Sender => "Sender",
+            FaultCode::Receiver => "Receiver",
+            FaultCode::MustUnderstand => "MustUnderstand",
+            FaultCode::DataEncodingUnknown => "DataEncodingUnknown",
+            FaultCode::VersionMismatch => "VersionMismatch",
+        }
+    }
+
+    /// Parses a wire value, accepting an optional prefix.
+    pub fn from_wire(s: &str) -> Option<Self> {
+        let local = s.rsplit(':').next().unwrap_or(s);
+        Some(match local {
+            "Sender" => FaultCode::Sender,
+            "Receiver" => FaultCode::Receiver,
+            "MustUnderstand" => FaultCode::MustUnderstand,
+            "DataEncodingUnknown" => FaultCode::DataEncodingUnknown,
+            "VersionMismatch" => FaultCode::VersionMismatch,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for FaultCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A SOAP fault: code, human-readable reason and optional detail payload.
+///
+/// # Examples
+///
+/// ```
+/// use whisper_soap::{Fault, FaultCode};
+///
+/// let f = Fault::new(FaultCode::Receiver, "no live b-peer in group");
+/// let e = f.to_element();
+/// let back = Fault::from_element(&e).unwrap();
+/// assert_eq!(back.code, FaultCode::Receiver);
+/// assert_eq!(back.reason, "no live b-peer in group");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// Machine-readable classification.
+    pub code: FaultCode,
+    /// Human-readable explanation.
+    pub reason: String,
+    /// Optional application-specific detail payload.
+    pub detail: Option<Element>,
+}
+
+impl Fault {
+    /// Creates a fault with no detail.
+    pub fn new(code: FaultCode, reason: impl Into<String>) -> Self {
+        Fault { code, reason: reason.into(), detail: None }
+    }
+
+    /// Attaches a detail element, returning the fault for chaining.
+    pub fn with_detail(mut self, detail: Element) -> Self {
+        self.detail = Some(detail);
+        self
+    }
+
+    /// Renders the fault as the `<Fault>` element placed in a SOAP body.
+    pub fn to_element(&self) -> Element {
+        let mut fault = Element::with_ns("Fault", SOAP_ENVELOPE_NS);
+        let mut code = Element::with_ns("Code", SOAP_ENVELOPE_NS);
+        code.push_child(Element::with_text("Value", format!("soap:{}", self.code)));
+        let mut reason = Element::with_ns("Reason", SOAP_ENVELOPE_NS);
+        reason.push_child(Element::with_text("Text", self.reason.clone()));
+        fault.push_child(code);
+        fault.push_child(reason);
+        if let Some(d) = &self.detail {
+            let mut detail = Element::with_ns("Detail", SOAP_ENVELOPE_NS);
+            detail.push_child(d.clone());
+            fault.push_child(detail);
+        }
+        fault
+    }
+
+    /// Parses a `<Fault>` element.
+    ///
+    /// # Errors
+    ///
+    /// [`SoapError::MalformedFault`] when the mandatory `Code/Value` or
+    /// `Reason/Text` structure is missing or carries an unknown code.
+    pub fn from_element(e: &Element) -> Result<Self, SoapError> {
+        let value = e
+            .child("Code")
+            .and_then(|c| c.child("Value"))
+            .map(|v| v.text())
+            .ok_or_else(|| SoapError::MalformedFault("missing Code/Value".into()))?;
+        let code = FaultCode::from_wire(value.trim())
+            .ok_or_else(|| SoapError::MalformedFault(format!("unknown fault code {value:?}")))?;
+        let reason = e
+            .child("Reason")
+            .and_then(|r| r.child("Text"))
+            .map(|t| t.text())
+            .ok_or_else(|| SoapError::MalformedFault("missing Reason/Text".into()))?;
+        let detail = e
+            .child("Detail")
+            .and_then(|d| d.child_elements().next())
+            .cloned();
+        Ok(Fault { code, reason, detail })
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "soap fault [{}]: {}", self.code, self.reason)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_without_detail() {
+        let f = Fault::new(FaultCode::Sender, "bad request");
+        assert_eq!(Fault::from_element(&f.to_element()).unwrap(), f);
+    }
+
+    #[test]
+    fn round_trip_with_detail() {
+        let detail = Element::with_text("RetryAfter", "1500");
+        let f = Fault::new(FaultCode::Receiver, "all peers down").with_detail(detail.clone());
+        let back = Fault::from_element(&f.to_element()).unwrap();
+        assert_eq!(back.detail, Some(detail));
+    }
+
+    #[test]
+    fn all_codes_round_trip_via_wire_form() {
+        for c in [
+            FaultCode::Sender,
+            FaultCode::Receiver,
+            FaultCode::MustUnderstand,
+            FaultCode::DataEncodingUnknown,
+            FaultCode::VersionMismatch,
+        ] {
+            assert_eq!(FaultCode::from_wire(&format!("soap:{c}")), Some(c));
+            assert_eq!(FaultCode::from_wire(c.as_str()), Some(c));
+        }
+        assert_eq!(FaultCode::from_wire("soap:Nope"), None);
+    }
+
+    #[test]
+    fn missing_parts_rejected() {
+        let empty = Element::new("Fault");
+        assert!(matches!(
+            Fault::from_element(&empty),
+            Err(SoapError::MalformedFault(_))
+        ));
+
+        let mut code_only = Element::new("Fault");
+        let mut code = Element::new("Code");
+        code.push_child(Element::with_text("Value", "soap:Sender"));
+        code_only.push_child(code);
+        assert!(matches!(
+            Fault::from_element(&code_only),
+            Err(SoapError::MalformedFault(_))
+        ));
+    }
+
+    #[test]
+    fn display_mentions_code_and_reason() {
+        let f = Fault::new(FaultCode::Receiver, "offline");
+        let s = f.to_string();
+        assert!(s.contains("Receiver") && s.contains("offline"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for WSDL processing.
+
+use std::error::Error;
+use std::fmt;
+use whisper_xml::XmlError;
+
+/// An error produced while parsing a WSDL-S document or resolving its
+/// semantic annotations against an ontology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WsdlError {
+    /// The document was not well-formed XML.
+    Xml(XmlError),
+    /// The root element is not `<definitions>`.
+    NotDefinitions(String),
+    /// A mandatory attribute is missing from the named element.
+    MissingAttribute {
+        /// Element the attribute belongs to.
+        element: String,
+        /// The attribute that was expected.
+        attribute: String,
+    },
+    /// A concept reference uses a namespace prefix that is not declared.
+    UndeclaredPrefix(String),
+    /// A concept reference does not resolve to a class in the ontology.
+    UnknownConcept(String),
+    /// An operation was looked up that the description does not define.
+    UnknownOperation(String),
+}
+
+impl fmt::Display for WsdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WsdlError::Xml(e) => write!(f, "invalid XML: {e}"),
+            WsdlError::NotDefinitions(found) => {
+                write!(f, "expected <definitions>, found <{found}>")
+            }
+            WsdlError::MissingAttribute { element, attribute } => {
+                write!(f, "<{element}> is missing the {attribute:?} attribute")
+            }
+            WsdlError::UndeclaredPrefix(p) => write!(f, "undeclared concept prefix {p:?}"),
+            WsdlError::UnknownConcept(c) => write!(f, "concept {c} not found in ontology"),
+            WsdlError::UnknownOperation(o) => write!(f, "operation {o:?} not defined"),
+        }
+    }
+}
+
+impl Error for WsdlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WsdlError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XmlError> for WsdlError {
+    fn from(e: XmlError) -> Self {
+        WsdlError::Xml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(WsdlError::NotDefinitions("x".into()).to_string().contains("definitions"));
+        let e = WsdlError::MissingAttribute { element: "operation".into(), attribute: "name".into() };
+        assert!(e.to_string().contains("operation") && e.to_string().contains("name"));
+        assert!(WsdlError::UnknownConcept("{u}C".into()).to_string().contains("{u}C"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # whisper-wsdl
+//!
+//! WSDL service descriptions with WSDL-S semantic annotations — the
+//! "semantic Web service" half of Whisper's integration story.
+//!
+//! A [`ServiceDescription`] models the `<definitions>` document of the
+//! paper's section 3.1: interfaces containing operations whose *action*,
+//! *inputs* and *outputs* are annotated with ontological concepts (qualified
+//! names pointing into a [`whisper_ontology::Ontology`]). The crate offers:
+//!
+//! * an owned model ([`ServiceDescription`], [`Interface`], [`Operation`],
+//!   [`MessagePart`]);
+//! * WSDL-S XML parsing and printing that round-trips the model;
+//! * semantic resolution ([`Operation::resolve`]) from concept QNames to
+//!   [`ClassId`]s, producing the [`OperationSemantics`] consumed by the
+//!   matchmaker in `whisper` core;
+//! * the paper's running example, [`samples::student_management`].
+//!
+//! [`ClassId`]: whisper_ontology::ClassId
+//!
+//! # Examples
+//!
+//! ```
+//! use whisper_wsdl::samples::student_management;
+//! use whisper_ontology::samples::university_ontology;
+//!
+//! let service = student_management();
+//! let onto = university_ontology();
+//! let op = &service.interfaces[0].operations[0];
+//! assert_eq!(op.name, "StudentInformation");
+//!
+//! let sem = op.resolve(&onto).unwrap();
+//! assert_eq!(sem.inputs.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod model;
+pub mod samples;
+mod xml;
+
+pub use error::WsdlError;
+pub use model::{Endpoint, Interface, MessagePart, Operation, OperationSemantics, ServiceDescription};
+
+/// Namespace URI for WSDL-S annotation attributes (as used by METEOR-S).
+pub const WSDLS_NS: &str = "http://www.ibm.com/xmlns/WebServices/WSSemantics";

@@ -1,0 +1,310 @@
+//! The WSDL-S service description model.
+
+use crate::WsdlError;
+use whisper_ontology::{ClassId, Ontology};
+use whisper_xml::QName;
+
+/// One message part of an operation: a label, a syntactic element name and
+/// an ontological concept annotation (the WSDL-S `modelReference`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessagePart {
+    /// The `messageLabel` attribute (e.g. `"ID"`).
+    pub label: String,
+    /// The concept annotating this part, as a qualified name into an
+    /// ontology (the paper's `element="sm:StudentID"`).
+    pub concept: QName,
+}
+
+impl MessagePart {
+    /// Creates a part.
+    pub fn new(label: impl Into<String>, concept: QName) -> Self {
+        MessagePart { label: label.into(), concept }
+    }
+}
+
+/// An operation with WSDL-S functional and data semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name (syntactic).
+    pub name: String,
+    /// Functional semantics: the action concept
+    /// (`<action element="sm:StudentInformation"/>`).
+    pub action: QName,
+    /// Input parts in signature order.
+    pub inputs: Vec<MessagePart>,
+    /// Output parts in signature order.
+    pub outputs: Vec<MessagePart>,
+}
+
+impl Operation {
+    /// Creates an operation with the given action concept and no parts.
+    pub fn new(name: impl Into<String>, action: QName) -> Self {
+        Operation { name: name.into(), action, inputs: Vec::new(), outputs: Vec::new() }
+    }
+
+    /// Adds an input part, returning `self` for chaining.
+    pub fn with_input(mut self, label: impl Into<String>, concept: QName) -> Self {
+        self.inputs.push(MessagePart::new(label, concept));
+        self
+    }
+
+    /// Adds an output part, returning `self` for chaining.
+    pub fn with_output(mut self, label: impl Into<String>, concept: QName) -> Self {
+        self.outputs.push(MessagePart::new(label, concept));
+        self
+    }
+
+    /// Resolves every concept annotation against `ontology`.
+    ///
+    /// # Errors
+    ///
+    /// [`WsdlError::UnknownConcept`] naming the first annotation whose
+    /// namespace or local name is not defined by the ontology.
+    pub fn resolve(&self, ontology: &Ontology) -> Result<OperationSemantics, WsdlError> {
+        let resolve_one = |q: &QName| {
+            ontology
+                .class_by_qname(q)
+                .ok_or_else(|| WsdlError::UnknownConcept(q.to_clark()))
+        };
+        Ok(OperationSemantics {
+            operation: self.name.clone(),
+            action: resolve_one(&self.action)?,
+            inputs: self.inputs.iter().map(|p| resolve_one(&p.concept)).collect::<Result<_, _>>()?,
+            outputs: self
+                .outputs
+                .iter()
+                .map(|p| resolve_one(&p.concept))
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// The fully resolved semantics of one operation: what the SWS-proxy hands
+/// to the matchmaker when it searches for a semantic peer group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationSemantics {
+    /// Name of the operation these semantics describe.
+    pub operation: String,
+    /// Resolved action concept.
+    pub action: ClassId,
+    /// Resolved input concepts in signature order.
+    pub inputs: Vec<ClassId>,
+    /// Resolved output concepts in signature order.
+    pub outputs: Vec<ClassId>,
+}
+
+/// A deployed endpoint of a service: where an interface can be invoked.
+///
+/// Mirrors WSDL 2.0's `<service><endpoint …/></service>` section. Whisper
+/// uses it to record which node exposes the SWS-proxy for a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endpoint {
+    /// Endpoint name.
+    pub name: String,
+    /// Name of the interface served at this endpoint.
+    pub interface: String,
+    /// Transport address (URI).
+    pub address: String,
+}
+
+impl Endpoint {
+    /// Creates an endpoint.
+    pub fn new(
+        name: impl Into<String>,
+        interface: impl Into<String>,
+        address: impl Into<String>,
+    ) -> Self {
+        Endpoint { name: name.into(), interface: interface.into(), address: address.into() }
+    }
+}
+
+/// A WSDL interface: a named set of operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interface {
+    /// Interface name.
+    pub name: String,
+    /// Operations in declaration order.
+    pub operations: Vec<Operation>,
+}
+
+impl Interface {
+    /// Creates an empty interface.
+    pub fn new(name: impl Into<String>) -> Self {
+        Interface { name: name.into(), operations: Vec::new() }
+    }
+
+    /// Adds an operation, returning `self` for chaining.
+    pub fn with_operation(mut self, op: Operation) -> Self {
+        self.operations.push(op);
+        self
+    }
+}
+
+/// A WSDL-S `<definitions>` document.
+///
+/// # Examples
+///
+/// ```
+/// use whisper_wsdl::{Interface, Operation, ServiceDescription};
+/// use whisper_xml::QName;
+///
+/// let ns = "http://uma.pt/ontologies/university";
+/// let svc = ServiceDescription::new("StudentManagement", "urn:svc")
+///     .with_interface(
+///         Interface::new("StudentManagementUMA").with_operation(
+///             Operation::new("StudentInformation", QName::with_ns(ns, "StudentInformation"))
+///                 .with_input("ID", QName::with_ns(ns, "StudentID"))
+///                 .with_output("student", QName::with_ns(ns, "StudentInfo")),
+///         ),
+///     );
+/// assert!(svc.operation("StudentInformation").is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDescription {
+    /// Service name (the `name` attribute of `<definitions>`).
+    pub name: String,
+    /// Target namespace of the definitions document.
+    pub target_namespace: String,
+    /// Interfaces in declaration order.
+    pub interfaces: Vec<Interface>,
+    /// Deployed endpoints in declaration order.
+    pub endpoints: Vec<Endpoint>,
+}
+
+impl ServiceDescription {
+    /// Creates an empty description.
+    pub fn new(name: impl Into<String>, target_namespace: impl Into<String>) -> Self {
+        ServiceDescription {
+            name: name.into(),
+            target_namespace: target_namespace.into(),
+            interfaces: Vec::new(),
+            endpoints: Vec::new(),
+        }
+    }
+
+    /// Adds an interface, returning `self` for chaining.
+    pub fn with_interface(mut self, iface: Interface) -> Self {
+        self.interfaces.push(iface);
+        self
+    }
+
+    /// Adds a deployed endpoint, returning `self` for chaining.
+    pub fn with_endpoint(mut self, endpoint: Endpoint) -> Self {
+        self.endpoints.push(endpoint);
+        self
+    }
+
+    /// The endpoints serving `interface`.
+    pub fn endpoints_of<'a>(&'a self, interface: &'a str) -> impl Iterator<Item = &'a Endpoint> {
+        self.endpoints.iter().filter(move |e| e.interface == interface)
+    }
+
+    /// Finds an operation by name across all interfaces.
+    ///
+    /// # Errors
+    ///
+    /// [`WsdlError::UnknownOperation`] when no interface defines it.
+    pub fn operation(&self, name: &str) -> Result<&Operation, WsdlError> {
+        self.interfaces
+            .iter()
+            .flat_map(|i| i.operations.iter())
+            .find(|o| o.name == name)
+            .ok_or_else(|| WsdlError::UnknownOperation(name.to_string()))
+    }
+
+    /// Iterates over all operations of all interfaces.
+    pub fn operations(&self) -> impl Iterator<Item = &Operation> {
+        self.interfaces.iter().flat_map(|i| i.operations.iter())
+    }
+
+    /// Resolves the semantics of every operation against an ontology.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first annotation that does not resolve; a service whose
+    /// annotations dangle should not be published.
+    pub fn resolve_all(&self, ontology: &Ontology) -> Result<Vec<OperationSemantics>, WsdlError> {
+        self.operations().map(|o| o.resolve(ontology)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whisper_ontology::samples::{university_ontology, UNIVERSITY_NS};
+
+    fn sample() -> ServiceDescription {
+        ServiceDescription::new("StudentManagement", "urn:uma:students").with_interface(
+            Interface::new("StudentManagementUMA").with_operation(
+                Operation::new(
+                    "StudentInformation",
+                    QName::with_ns(UNIVERSITY_NS, "StudentInformation"),
+                )
+                .with_input("ID", QName::with_ns(UNIVERSITY_NS, "StudentID"))
+                .with_output("student", QName::with_ns(UNIVERSITY_NS, "StudentInfo")),
+            ),
+        )
+    }
+
+    #[test]
+    fn endpoints_attach_to_interfaces() {
+        let svc = sample().with_endpoint(Endpoint::new(
+            "primary",
+            "StudentManagementUMA",
+            "whisper://proxy-1/students",
+        ));
+        assert_eq!(svc.endpoints.len(), 1);
+        assert_eq!(svc.endpoints_of("StudentManagementUMA").count(), 1);
+        assert_eq!(svc.endpoints_of("Other").count(), 0);
+        assert_eq!(
+            svc.endpoints_of("StudentManagementUMA").next().expect("present").address,
+            "whisper://proxy-1/students"
+        );
+    }
+
+    #[test]
+    fn operation_lookup() {
+        let svc = sample();
+        assert!(svc.operation("StudentInformation").is_ok());
+        assert_eq!(
+            svc.operation("Nope"),
+            Err(WsdlError::UnknownOperation("Nope".into()))
+        );
+        assert_eq!(svc.operations().count(), 1);
+    }
+
+    #[test]
+    fn semantics_resolve_against_university_ontology() {
+        let svc = sample();
+        let onto = university_ontology();
+        let sem = svc.operation("StudentInformation").unwrap().resolve(&onto).unwrap();
+        assert_eq!(sem.operation, "StudentInformation");
+        assert_eq!(onto.class_name(sem.action), Some("StudentInformation"));
+        assert_eq!(sem.inputs.len(), 1);
+        assert_eq!(onto.class_name(sem.inputs[0]), Some("StudentID"));
+        assert_eq!(onto.class_name(sem.outputs[0]), Some("StudentInfo"));
+    }
+
+    #[test]
+    fn unknown_concept_fails_resolution() {
+        let svc = ServiceDescription::new("S", "urn:s").with_interface(
+            Interface::new("I").with_operation(Operation::new(
+                "op",
+                QName::with_ns(UNIVERSITY_NS, "NoSuchConcept"),
+            )),
+        );
+        let err = svc.resolve_all(&university_ontology()).unwrap_err();
+        assert!(matches!(err, WsdlError::UnknownConcept(_)));
+    }
+
+    #[test]
+    fn wrong_namespace_fails_resolution() {
+        let svc = ServiceDescription::new("S", "urn:s").with_interface(
+            Interface::new("I").with_operation(Operation::new(
+                "op",
+                QName::with_ns("urn:other", "StudentInformation"),
+            )),
+        );
+        assert!(svc.resolve_all(&university_ontology()).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Ready-made service descriptions used by examples and benchmarks.
+
+use crate::model::{Interface, Operation, ServiceDescription};
+use whisper_ontology::samples::{B2B_NS, UNIVERSITY_NS};
+use whisper_xml::QName;
+
+/// The paper's running example: the `StudentManagement` service whose
+/// `StudentInformation` operation takes a `StudentID` and returns a
+/// `StudentInfo` record (section 3.1).
+pub fn student_management() -> ServiceDescription {
+    let q = |local: &str| QName::with_ns(UNIVERSITY_NS, local);
+    ServiceDescription::new("StudentManagement", "urn:uma:students").with_interface(
+        Interface::new("StudentManagementUMA")
+            .with_operation(
+                Operation::new("StudentInformation", q("StudentInformation"))
+                    .with_input("ID", q("StudentID"))
+                    .with_output("student", q("StudentInfo")),
+            )
+            .with_operation(
+                Operation::new("StudentTranscript", q("StudentTranscriptRetrieval"))
+                    .with_input("ID", q("StudentID"))
+                    .with_output("transcript", q("StudentTranscript")),
+            ),
+    )
+}
+
+/// An insurance-claim processing service, one of the B2B workloads the
+/// paper's introduction motivates ("insurance claim processing").
+pub fn claim_processing() -> ServiceDescription {
+    let q = |local: &str| QName::with_ns(B2B_NS, local);
+    ServiceDescription::new("ClaimManagement", "urn:acme:claims").with_interface(
+        Interface::new("ClaimProcessingPort").with_operation(
+            Operation::new("ProcessClaim", q("ClaimProcessing"))
+                .with_input("claim", q("InsuranceClaim"))
+                .with_output("decision", q("ClaimDecision")),
+        ),
+    )
+}
+
+/// An order-tracking service for the supply-chain example.
+pub fn order_tracking() -> ServiceDescription {
+    let q = |local: &str| QName::with_ns(B2B_NS, local);
+    ServiceDescription::new("OrderManagement", "urn:acme:orders").with_interface(
+        Interface::new("OrderTrackingPort")
+            .with_operation(
+                Operation::new("TrackOrder", q("OrderTracking"))
+                    .with_input("order", q("OrderNumber"))
+                    .with_output("status", q("OrderStatus")),
+            )
+            .with_operation(
+                Operation::new("ProcessOrder", q("OrderProcessing"))
+                    .with_input("order", q("PurchaseOrder"))
+                    .with_output("invoice", q("Invoice")),
+            ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whisper_ontology::samples::{b2b_ontology, university_ontology};
+
+    #[test]
+    fn samples_resolve_against_their_ontologies() {
+        assert_eq!(
+            student_management().resolve_all(&university_ontology()).unwrap().len(),
+            2
+        );
+        assert_eq!(claim_processing().resolve_all(&b2b_ontology()).unwrap().len(), 1);
+        assert_eq!(order_tracking().resolve_all(&b2b_ontology()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn samples_round_trip_through_xml() {
+        for svc in [student_management(), claim_processing(), order_tracking()] {
+            let back = ServiceDescription::parse(&svc.to_xml_string()).unwrap();
+            assert_eq!(svc, back);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! WSDL-S XML parsing and printing.
+//!
+//! The wire form follows the paper's listing (section 3.1):
+//!
+//! ```xml
+//! <definitions name="StudentManagement" targetNamespace="urn:uma:students"
+//!              xmlns:sm="http://uma.pt/ontologies/university">
+//!   <interface name="StudentManagementUMA">
+//!     <operation name="StudentInformation">
+//!       <action element="sm:StudentInformation"/>
+//!       <input messageLabel="ID" element="sm:StudentID"/>
+//!       <output messageLabel="student" element="sm:StudentInfo"/>
+//!     </operation>
+//!   </interface>
+//! </definitions>
+//! ```
+//!
+//! Concept references in `element` attributes are prefixed QNames resolved
+//! against the namespace declarations in scope.
+
+use crate::model::{Endpoint, Interface, MessagePart, Operation, ServiceDescription};
+use crate::WsdlError;
+use std::collections::HashMap;
+use whisper_xml::{parse, Element, QName};
+
+/// Namespace prefix environment accumulated while walking the document.
+#[derive(Clone, Default)]
+struct NsEnv {
+    bindings: HashMap<String, String>,
+}
+
+impl NsEnv {
+    fn extended_with(&self, e: &Element) -> NsEnv {
+        let mut env = self.clone();
+        for a in &e.attrs {
+            if a.prefix.is_none() && a.name == "xmlns" {
+                env.bindings.insert(String::new(), a.value.clone());
+            } else if a.prefix.as_deref() == Some("xmlns") {
+                env.bindings.insert(a.name.clone(), a.value.clone());
+            }
+        }
+        env
+    }
+
+    fn resolve_qname(&self, raw: &str) -> Result<QName, WsdlError> {
+        match raw.split_once(':') {
+            Some((prefix, local)) => {
+                let ns = self
+                    .bindings
+                    .get(prefix)
+                    .ok_or_else(|| WsdlError::UndeclaredPrefix(prefix.to_string()))?;
+                Ok(QName::with_ns(ns.clone(), local))
+            }
+            None => Ok(QName::new(raw)),
+        }
+    }
+}
+
+fn require_attr(e: &Element, attr: &str) -> Result<String, WsdlError> {
+    e.attr(attr).map(str::to_string).ok_or_else(|| WsdlError::MissingAttribute {
+        element: e.name.clone(),
+        attribute: attr.to_string(),
+    })
+}
+
+impl ServiceDescription {
+    /// Parses a WSDL-S `<definitions>` document from text.
+    ///
+    /// # Errors
+    ///
+    /// XML errors, a non-`definitions` root, missing mandatory attributes,
+    /// or undeclared concept prefixes.
+    pub fn parse(text: &str) -> Result<Self, WsdlError> {
+        Self::from_element(&parse(text)?)
+    }
+
+    /// Interprets a parsed element tree as a service description.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServiceDescription::parse`], minus XML errors.
+    pub fn from_element(root: &Element) -> Result<Self, WsdlError> {
+        if root.name != "definitions" {
+            return Err(WsdlError::NotDefinitions(root.name.clone()));
+        }
+        let env = NsEnv::default().extended_with(root);
+        let name = require_attr(root, "name")?;
+        let target_namespace = root.attr("targetNamespace").unwrap_or_default().to_string();
+
+        let mut interfaces = Vec::new();
+        for ie in root.children_named("interface") {
+            let ienv = env.extended_with(ie);
+            let mut iface = Interface::new(require_attr(ie, "name")?);
+            for oe in ie.children_named("operation") {
+                let oenv = ienv.extended_with(oe);
+                let oname = require_attr(oe, "name")?;
+                let action_el = oe.child("action").ok_or_else(|| WsdlError::MissingAttribute {
+                    element: format!("operation {oname}"),
+                    attribute: "action".to_string(),
+                })?;
+                let action = oenv
+                    .extended_with(action_el)
+                    .resolve_qname(&require_attr(action_el, "element")?)?;
+                let mut op = Operation::new(oname, action);
+                for part in oe.children_named("input") {
+                    op.inputs.push(parse_part(part, &oenv)?);
+                }
+                for part in oe.children_named("output") {
+                    op.outputs.push(parse_part(part, &oenv)?);
+                }
+                iface.operations.push(op);
+            }
+            interfaces.push(iface);
+        }
+        let mut endpoints = Vec::new();
+        for se in root.children_named("service") {
+            for ee in se.children_named("endpoint") {
+                endpoints.push(Endpoint {
+                    name: require_attr(ee, "name")?,
+                    interface: require_attr(ee, "interface")?,
+                    address: require_attr(ee, "address")?,
+                });
+            }
+        }
+        Ok(ServiceDescription { name, target_namespace, interfaces, endpoints })
+    }
+
+    /// Renders the description back to its XML form.
+    ///
+    /// Concept namespaces are assigned the prefixes `c0`, `c1`, ... declared
+    /// on the root element.
+    pub fn to_element(&self) -> Element {
+        // Collect distinct concept namespaces in first-use order.
+        let mut ns_order: Vec<String> = Vec::new();
+        let add_ns = |q: &QName, ns_order: &mut Vec<String>| {
+            if let Some(ns) = q.ns() {
+                if !ns_order.iter().any(|u| u == ns) {
+                    ns_order.push(ns.to_string());
+                }
+            }
+        };
+        for op in self.operations() {
+            add_ns(&op.action, &mut ns_order);
+            for p in op.inputs.iter().chain(&op.outputs) {
+                add_ns(&p.concept, &mut ns_order);
+            }
+        }
+        let prefix_of = |q: &QName| -> String {
+            match q.ns() {
+                Some(ns) => {
+                    let i = ns_order.iter().position(|u| u == ns).expect("collected above");
+                    format!("c{i}:{}", q.local())
+                }
+                None => q.local().to_string(),
+            }
+        };
+
+        let mut root = Element::new("definitions");
+        root.set_attr("name", &self.name);
+        if !self.target_namespace.is_empty() {
+            root.set_attr("targetNamespace", &self.target_namespace);
+        }
+        for (i, ns) in ns_order.iter().enumerate() {
+            root.declare_ns(&format!("c{i}"), ns.clone());
+        }
+        for iface in &self.interfaces {
+            let mut ie = Element::new("interface");
+            ie.set_attr("name", &iface.name);
+            for op in &iface.operations {
+                let mut oe = Element::new("operation");
+                oe.set_attr("name", &op.name);
+                let mut ae = Element::new("action");
+                ae.set_attr("element", prefix_of(&op.action));
+                oe.push_child(ae);
+                for p in &op.inputs {
+                    oe.push_child(part_element("input", p, &prefix_of));
+                }
+                for p in &op.outputs {
+                    oe.push_child(part_element("output", p, &prefix_of));
+                }
+                ie.push_child(oe);
+            }
+            root.push_child(ie);
+        }
+        if !self.endpoints.is_empty() {
+            let mut se = Element::new("service");
+            se.set_attr("name", &self.name);
+            for ep in &self.endpoints {
+                let mut ee = Element::new("endpoint");
+                ee.set_attr("name", &ep.name);
+                ee.set_attr("interface", &ep.interface);
+                ee.set_attr("address", &ep.address);
+                se.push_child(ee);
+            }
+            root.push_child(se);
+        }
+        root
+    }
+
+    /// Serializes to document text.
+    pub fn to_xml_string(&self) -> String {
+        self.to_element().to_xml()
+    }
+}
+
+fn parse_part(e: &Element, env: &NsEnv) -> Result<MessagePart, WsdlError> {
+    let env = env.extended_with(e);
+    let label = require_attr(e, "messageLabel")?;
+    let concept = env.resolve_qname(&require_attr(e, "element")?)?;
+    Ok(MessagePart { label, concept })
+}
+
+fn part_element(tag: &str, p: &MessagePart, prefix_of: &impl Fn(&QName) -> String) -> Element {
+    let mut e = Element::new(tag);
+    e.set_attr("messageLabel", &p.label);
+    e.set_attr("element", prefix_of(&p.concept));
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::student_management;
+    use whisper_ontology::samples::UNIVERSITY_NS;
+
+    /// The verbatim document shape from the paper's section 3.1 listing.
+    const PAPER_WSDL: &str = r#"<?xml version="1.0" encoding="utf-8"?>
+<definitions name="StudentManagement" targetNamespace="urn:uma:students"
+             xmlns:sm="http://uma.pt/ontologies/university">
+  <interface name="StudentManagementUMA">
+    <operation name="StudentInformation">
+      <action element="sm:StudentInformation"/>
+      <input messageLabel="ID" element="sm:StudentID"/>
+      <output messageLabel="student" element="sm:StudentInfo"/>
+    </operation>
+  </interface>
+</definitions>"#;
+
+    #[test]
+    fn parses_the_paper_listing() {
+        let svc = ServiceDescription::parse(PAPER_WSDL).unwrap();
+        assert_eq!(svc.name, "StudentManagement");
+        assert_eq!(svc.target_namespace, "urn:uma:students");
+        let op = svc.operation("StudentInformation").unwrap();
+        assert_eq!(op.action, QName::with_ns(UNIVERSITY_NS, "StudentInformation"));
+        assert_eq!(op.inputs[0].label, "ID");
+        assert_eq!(op.inputs[0].concept, QName::with_ns(UNIVERSITY_NS, "StudentID"));
+        assert_eq!(op.outputs[0].concept, QName::with_ns(UNIVERSITY_NS, "StudentInfo"));
+    }
+
+    #[test]
+    fn round_trip_preserves_model() {
+        let svc = student_management();
+        let text = svc.to_xml_string();
+        let back = ServiceDescription::parse(&text).unwrap();
+        assert_eq!(svc, back);
+    }
+
+    #[test]
+    fn endpoints_round_trip() {
+        let svc = student_management().with_endpoint(crate::Endpoint::new(
+            "primary",
+            "StudentManagementUMA",
+            "whisper://proxy-1/students",
+        ));
+        let back = ServiceDescription::parse(&svc.to_xml_string()).unwrap();
+        assert_eq!(svc, back);
+        assert!(svc.to_xml_string().contains("<service"));
+    }
+
+    #[test]
+    fn prefix_declared_on_nested_element_resolves() {
+        let text = r#"<definitions name="S">
+            <interface name="I">
+              <operation name="op" xmlns:x="urn:x">
+                <action element="x:Act"/>
+              </operation>
+            </interface>
+        </definitions>"#;
+        let svc = ServiceDescription::parse(text).unwrap();
+        assert_eq!(
+            svc.operation("op").unwrap().action,
+            QName::with_ns("urn:x", "Act")
+        );
+    }
+
+    #[test]
+    fn undeclared_concept_prefix_rejected() {
+        let text = r#"<definitions name="S"><interface name="I">
+            <operation name="op"><action element="nope:Act"/></operation>
+        </interface></definitions>"#;
+        assert_eq!(
+            ServiceDescription::parse(text),
+            Err(WsdlError::UndeclaredPrefix("nope".into()))
+        );
+    }
+
+    #[test]
+    fn missing_bits_rejected() {
+        assert!(matches!(
+            ServiceDescription::parse("<notdefs/>"),
+            Err(WsdlError::NotDefinitions(_))
+        ));
+        assert!(matches!(
+            ServiceDescription::parse("<definitions/>"),
+            Err(WsdlError::MissingAttribute { .. })
+        ));
+        // operation without action
+        let text = r#"<definitions name="S"><interface name="I">
+            <operation name="op"/>
+        </interface></definitions>"#;
+        assert!(matches!(
+            ServiceDescription::parse(text),
+            Err(WsdlError::MissingAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn unprefixed_concept_is_plain_name() {
+        let text = r#"<definitions name="S"><interface name="I">
+            <operation name="op"><action element="Act"/></operation>
+        </interface></definitions>"#;
+        let svc = ServiceDescription::parse(text).unwrap();
+        assert_eq!(svc.operation("op").unwrap().action, QName::new("Act"));
+    }
+
+    #[test]
+    fn multiple_concept_namespaces_get_distinct_prefixes() {
+        let svc = ServiceDescription::new("S", "urn:s").with_interface(
+            Interface::new("I").with_operation(
+                Operation::new("op", QName::with_ns("urn:a", "Act"))
+                    .with_input("in", QName::with_ns("urn:b", "In")),
+            ),
+        );
+        let text = svc.to_xml_string();
+        let back = ServiceDescription::parse(&text).unwrap();
+        assert_eq!(svc, back);
+        assert!(text.contains("urn:a") && text.contains("urn:b"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Escaping and entity handling for XML character data and attributes.
+
+/// Escapes character data for use as element text.
+///
+/// Replaces `&`, `<` and `>` with the corresponding predefined entities.
+/// `>` is escaped as well (although only `]]>` strictly requires it) so the
+/// output is safe in every context.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(whisper_xml::escape_text("a < b & c"), "a &lt; b &amp; c");
+/// ```
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a string for use inside a double-quoted attribute value.
+///
+/// In addition to the text escapes, `"` becomes `&quot;` and newlines/tabs
+/// are escaped numerically so they survive attribute-value normalization.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(whisper_xml::escape_attr(r#"say "hi""#), "say &quot;hi&quot;");
+/// ```
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolves a single entity body (the part between `&` and `;`).
+///
+/// Supports the five predefined entities and decimal/hexadecimal character
+/// references. Returns `None` when the entity is unknown or malformed.
+pub(crate) fn resolve_entity(body: &str) -> Option<char> {
+    match body {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ => {
+            let rest = body.strip_prefix('#')?;
+            let code = if let Some(hex) = rest.strip_prefix('x').or_else(|| rest.strip_prefix('X'))
+            {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                rest.parse::<u32>().ok()?
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+/// Replaces entity references in `s` with the characters they denote.
+///
+/// Unknown entities are left verbatim (including the `&`/`;`), which makes
+/// the function total; the parser performs strict resolution itself.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(whisper_xml::unescape("a &lt; b &amp; &#65;"), "a < b & A");
+/// ```
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        match after.find(';') {
+            Some(semi) => {
+                let body = &after[..semi];
+                match resolve_entity(body) {
+                    Some(c) => {
+                        out.push(c);
+                        rest = &after[semi + 1..];
+                    }
+                    None => {
+                        out.push('&');
+                        rest = after;
+                    }
+                }
+            }
+            None => {
+                out.push('&');
+                rest = after;
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escape_round_trip() {
+        let original = "x < y && z > \"w\"";
+        assert_eq!(unescape(&escape_text(original)), original);
+    }
+
+    #[test]
+    fn attr_escape_round_trip() {
+        let original = "line1\nline2\t\"quoted\" & <tag>";
+        assert_eq!(unescape(&escape_attr(original)), original);
+    }
+
+    #[test]
+    fn numeric_entities_decimal_and_hex() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;"), "ABc");
+    }
+
+    #[test]
+    fn unknown_entity_left_verbatim() {
+        assert_eq!(unescape("&nbsp; &x"), "&nbsp; &x");
+    }
+
+    #[test]
+    fn resolve_rejects_surrogate_code_points() {
+        assert_eq!(resolve_entity("#xD800"), None);
+        assert_eq!(resolve_entity("#55296"), None);
+    }
+
+    #[test]
+    fn resolve_handles_unicode() {
+        assert_eq!(resolve_entity("#x1F600"), char::from_u32(0x1F600));
+    }
+
+    #[test]
+    fn empty_input_is_identity() {
+        assert_eq!(escape_text(""), "");
+        assert_eq!(escape_attr(""), "");
+        assert_eq!(unescape(""), "");
+    }
+}

@@ -1,0 +1,168 @@
+//! Qualified names (`prefix:local` pairs resolved against a namespace URI).
+
+use std::fmt;
+
+/// A qualified XML name: an optional namespace URI plus a local name.
+///
+/// `QName` is the unit of comparison used by the semantic layers: two
+/// elements are "the same" when their namespace URI and local name agree,
+/// independent of the prefix a particular document happened to choose.
+///
+/// # Examples
+///
+/// ```
+/// use whisper_xml::QName;
+///
+/// let a = QName::with_ns("http://example.org/uni", "StudentInformation");
+/// let b = QName::with_ns("http://example.org/uni", "StudentInformation");
+/// assert_eq!(a, b);
+/// assert_eq!(a.local(), "StudentInformation");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct QName {
+    ns: Option<String>,
+    local: String,
+}
+
+impl QName {
+    /// Creates a name in no namespace.
+    pub fn new(local: impl Into<String>) -> Self {
+        QName { ns: None, local: local.into() }
+    }
+
+    /// Creates a name in the namespace `ns`.
+    pub fn with_ns(ns: impl Into<String>, local: impl Into<String>) -> Self {
+        QName { ns: Some(ns.into()), local: local.into() }
+    }
+
+    /// The namespace URI, if any.
+    pub fn ns(&self) -> Option<&str> {
+        self.ns.as_deref()
+    }
+
+    /// The local part of the name.
+    pub fn local(&self) -> &str {
+        &self.local
+    }
+
+    /// Renders the name in Clark notation, `{uri}local`, commonly used for
+    /// unambiguous textual representation of qualified names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use whisper_xml::QName;
+    /// let q = QName::with_ns("urn:x", "op");
+    /// assert_eq!(q.to_clark(), "{urn:x}op");
+    /// assert_eq!(QName::new("op").to_clark(), "op");
+    /// ```
+    pub fn to_clark(&self) -> String {
+        match &self.ns {
+            Some(ns) => format!("{{{ns}}}{}", self.local),
+            None => self.local.clone(),
+        }
+    }
+
+    /// Parses Clark notation produced by [`QName::to_clark`].
+    ///
+    /// Returns `None` when the input starts with `{` but has no closing `}`.
+    pub fn from_clark(s: &str) -> Option<Self> {
+        if let Some(rest) = s.strip_prefix('{') {
+            let end = rest.find('}')?;
+            Some(QName::with_ns(&rest[..end], &rest[end + 1..]))
+        } else {
+            Some(QName::new(s))
+        }
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_clark())
+    }
+}
+
+impl From<&str> for QName {
+    /// Converts from Clark notation, treating a malformed `{...` prefix as a
+    /// plain local name.
+    fn from(s: &str) -> Self {
+        QName::from_clark(s).unwrap_or_else(|| QName::new(s))
+    }
+}
+
+/// Splits a raw lexical name into `(prefix, local)`.
+///
+/// `"a:b"` becomes `(Some("a"), "b")`; `"b"` becomes `(None, "b")`.
+pub(crate) fn split_prefixed(raw: &str) -> (Option<&str>, &str) {
+    match raw.split_once(':') {
+        Some((p, l)) => (Some(p), l),
+        None => (None, raw),
+    }
+}
+
+/// Returns true when `name` is a lexically valid XML name for our subset:
+/// non-empty, starts with a letter or `_`, continues with letters, digits,
+/// `.`, `-`, `_`. (Colons are handled by the prefix splitter before this
+/// check.)
+pub(crate) fn is_valid_ncname(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_alphanumeric() || matches!(c, '.' | '-' | '_'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clark_round_trip() {
+        for q in [
+            QName::new("plain"),
+            QName::with_ns("http://x", "local"),
+            QName::with_ns("", "emptyns"),
+        ] {
+            assert_eq!(QName::from_clark(&q.to_clark()), Some(q));
+        }
+    }
+
+    #[test]
+    fn from_clark_rejects_unclosed_brace() {
+        assert_eq!(QName::from_clark("{urn:x-local"), None);
+    }
+
+    #[test]
+    fn equality_ignores_nothing_but_prefix() {
+        // Prefixes are not part of QName at all: two names from documents
+        // using different prefixes for the same URI compare equal.
+        let a = QName::with_ns("urn:u", "n");
+        let b = QName::with_ns("urn:u", "n");
+        let c = QName::with_ns("urn:v", "n");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, QName::new("n"));
+    }
+
+    #[test]
+    fn split_prefixed_works() {
+        assert_eq!(split_prefixed("soap:Envelope"), (Some("soap"), "Envelope"));
+        assert_eq!(split_prefixed("Envelope"), (None, "Envelope"));
+    }
+
+    #[test]
+    fn ncname_validation() {
+        assert!(is_valid_ncname("Envelope"));
+        assert!(is_valid_ncname("_x-1.y"));
+        assert!(!is_valid_ncname(""));
+        assert!(!is_valid_ncname("1abc"));
+        assert!(!is_valid_ncname("a b"));
+        assert!(!is_valid_ncname("-a"));
+    }
+
+    #[test]
+    fn display_uses_clark() {
+        assert_eq!(QName::with_ns("u", "l").to_string(), "{u}l");
+    }
+}

@@ -1,0 +1,199 @@
+//! Serialization of the document model back to XML text.
+
+use crate::document::{Element, Node};
+use crate::escape::{escape_attr, escape_text};
+use std::fmt::Write as _;
+
+impl Element {
+    /// Serializes this element (and its subtree) to compact XML.
+    ///
+    /// The output parses back to an equal tree (modulo namespace-resolution
+    /// fields, which the parser recomputes from the declarations that are
+    /// stored as attributes).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::with_capacity(self.subtree_size() * 16);
+        write_element(&mut out, self, None);
+        out
+    }
+
+    /// Serializes with two-space indentation for human consumption.
+    ///
+    /// Elements whose content is pure text are kept on one line; mixed
+    /// content is emitted compactly to avoid changing its meaning.
+    pub fn to_pretty_xml(&self) -> String {
+        let mut out = String::with_capacity(self.subtree_size() * 20);
+        write_element(&mut out, self, Some(0));
+        out.push('\n');
+        out
+    }
+}
+
+fn write_open_tag(out: &mut String, e: &Element, close: bool) {
+    out.push('<');
+    out.push_str(&e.raw_name());
+    for a in &e.attrs {
+        let _ = write!(out, " {}=\"{}\"", a.raw_name(), escape_attr(&a.value));
+    }
+    // If the element carries a namespace but no prefix and no explicit
+    // default-namespace declaration among its attributes, emit one so the
+    // serialized form resolves identically.
+    if e.prefix.is_none() {
+        if let Some(ns) = &e.ns {
+            let has_default_decl = e
+                .attrs
+                .iter()
+                .any(|a| a.prefix.is_none() && a.name == "xmlns");
+            if !has_default_decl {
+                let _ = write!(out, " xmlns=\"{}\"", escape_attr(ns));
+            }
+        }
+    }
+    out.push_str(if close { "/>" } else { ">" });
+}
+
+fn write_element(out: &mut String, e: &Element, indent: Option<usize>) {
+    if let Some(level) = indent {
+        for _ in 0..level {
+            out.push_str("  ");
+        }
+    }
+    if e.children.is_empty() {
+        write_open_tag(out, e, true);
+        return;
+    }
+    write_open_tag(out, e, false);
+
+    let text_only = e.children.iter().all(|n| matches!(n, Node::Text(_) | Node::CData(_)));
+    let child_indent = match indent {
+        Some(level) if !text_only => Some(level + 1),
+        _ => None,
+    };
+
+    for n in &e.children {
+        if child_indent.is_some() {
+            out.push('\n');
+        }
+        match n {
+            Node::Element(c) => write_element(out, c, child_indent),
+            Node::Text(t) => {
+                indent_if(out, child_indent);
+                out.push_str(&escape_text(t));
+            }
+            Node::CData(t) => {
+                indent_if(out, child_indent);
+                out.push_str("<![CDATA[");
+                out.push_str(t);
+                out.push_str("]]>");
+            }
+            Node::Comment(c) => {
+                indent_if(out, child_indent);
+                out.push_str("<!--");
+                out.push_str(c);
+                out.push_str("-->");
+            }
+            Node::ProcessingInstruction { target, data } => {
+                indent_if(out, child_indent);
+                out.push_str("<?");
+                out.push_str(target);
+                if !data.is_empty() {
+                    out.push(' ');
+                    out.push_str(data);
+                }
+                out.push_str("?>");
+            }
+        }
+    }
+    if let Some(level) = indent {
+        if !text_only {
+            out.push('\n');
+            for _ in 0..level {
+                out.push_str("  ");
+            }
+        }
+    }
+    out.push_str("</");
+    out.push_str(&e.raw_name());
+    out.push('>');
+}
+
+fn indent_if(out: &mut String, indent: Option<usize>) {
+    if let Some(level) = indent {
+        for _ in 0..level {
+            out.push_str("  ");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, Element};
+
+    fn round_trip(src: &str) {
+        let parsed = parse(src).expect("first parse");
+        let printed = parsed.to_xml();
+        let reparsed = parse(&printed).expect("reparse");
+        assert_eq!(parsed, reparsed, "round trip changed tree for {src:?}");
+    }
+
+    #[test]
+    fn round_trips_basic_documents() {
+        round_trip("<a/>");
+        round_trip(r#"<a k="v &amp; w"><b>text &lt; here</b><c/></a>"#);
+        round_trip(r#"<root xmlns="urn:d" xmlns:p="urn:p"><p:x p:a="1"/></root>"#);
+        round_trip("<a><![CDATA[<keep> &amp;]]></a>");
+        round_trip("<a><!-- c --><?pi data?></a>");
+        round_trip("<a> mixed <b/> content </a>");
+    }
+
+    #[test]
+    fn synthesized_namespace_gets_declared() {
+        let e = Element::with_ns("adv", "urn:jxta");
+        let printed = e.to_xml();
+        assert!(printed.contains("xmlns=\"urn:jxta\""), "{printed}");
+        let back = parse(&printed).unwrap();
+        assert_eq!(back.ns.as_deref(), Some("urn:jxta"));
+    }
+
+    #[test]
+    fn explicit_declaration_not_duplicated() {
+        let mut e = Element::with_ns("adv", "urn:jxta");
+        e.declare_ns("", "urn:jxta");
+        let printed = e.to_xml();
+        assert_eq!(printed.matches("xmlns=").count(), 1, "{printed}");
+    }
+
+    #[test]
+    fn pretty_print_is_reparseable_for_element_content() {
+        let src = r#"<a><b><c>deep</c></b><d/></a>"#;
+        let parsed = parse(src).unwrap();
+        let pretty = parsed.to_pretty_xml();
+        assert!(pretty.contains("\n  "));
+        let reparsed = parse(&pretty).unwrap();
+        // same elements and text, ignoring the inserted whitespace nodes
+        assert_eq!(
+            reparsed.descendant("c").map(|c| c.text()),
+            Some("deep".into())
+        );
+    }
+
+    #[test]
+    fn pretty_print_keeps_text_only_content_inline() {
+        let parsed = parse("<a><b>hello</b></a>").unwrap();
+        let pretty = parsed.to_pretty_xml();
+        assert!(pretty.contains("<b>hello</b>"), "{pretty}");
+    }
+
+    #[test]
+    fn attr_special_chars_survive() {
+        let mut e = Element::new("e");
+        e.set_attr("k", "a<b>\"c\"&d\ne");
+        let back = parse(&e.to_xml()).unwrap();
+        assert_eq!(back.attr("k"), Some("a<b>\"c\"&d\ne"));
+    }
+
+    #[test]
+    fn display_matches_to_xml() {
+        let e = Element::with_text("x", "y");
+        assert_eq!(format!("{e}"), e.to_xml());
+    }
+}

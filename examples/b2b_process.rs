@@ -1,0 +1,124 @@
+//! A composed B2B *process* with QoS prediction — Cardoso's workflow-QoS
+//! model (the basis of the paper's §2.4) applied to a live deployment.
+//!
+//! A registrar's audit process runs two service invocations in sequence:
+//! fetch a student's information, then fetch the transcript. Each step is
+//! served by its own semantic b-peer group with a different service time.
+//! The example measures each step's QoS, *predicts* the process QoS with
+//! the sequential reduction rule, then executes the whole process many
+//! times and compares prediction with measurement.
+//!
+//! Run with: `cargo run --example b2b_process`
+
+use whisper::composition::QosExpr;
+use whisper::{DeploymentConfig, GroupSpec, ServiceBackend, StudentRegistry, WhisperNet};
+use whisper_p2p::QosSpec;
+use whisper_simnet::{SimDuration, SimTime};
+use whisper_xml::Element;
+
+fn request(op: &str, id: &str) -> Element {
+    let mut p = Element::new(op);
+    p.push_child(Element::with_text("StudentID", id));
+    p
+}
+
+fn main() {
+    let service = whisper_wsdl::samples::student_management();
+    let info_op = service.operation("StudentInformation").expect("op").clone();
+    let transcript_op = service.operation("StudentTranscript").expect("op").clone();
+    let mk = || -> Vec<Box<dyn ServiceBackend>> {
+        vec![
+            Box::new(StudentRegistry::operational_db().with_sample_data()),
+            Box::new(StudentRegistry::operational_db().with_sample_data()),
+        ]
+    };
+    let mut info_group = GroupSpec::from_operation("InfoGroup", &info_op, mk());
+    info_group.processing_time = Some(SimDuration::from_millis(2));
+    let mut transcript_group = GroupSpec::from_operation("TranscriptGroup", &transcript_op, mk());
+    transcript_group.processing_time = Some(SimDuration::from_millis(5));
+
+    let cfg = DeploymentConfig {
+        seed: 77,
+        service,
+        groups: vec![info_group, transcript_group],
+        ..DeploymentConfig::default()
+    };
+    let mut net = WhisperNet::build(cfg).expect("valid deployment");
+    net.run_for(SimDuration::from_secs(3));
+    let client = net.client_ids()[0];
+
+    // --- Step 1: measure each step in isolation (warm bindings first) ---
+    let measure_step = |net: &mut WhisperNet, op: &str, samples: usize| -> SimDuration {
+        let mut total_us = 0u64;
+        for i in 0..samples + 1 {
+            let start = net.now();
+            net.submit_request(client, request(op, &format!("u100{}", i % 10)));
+            net.run_for(SimDuration::from_secs(1));
+            let elapsed = net.now().since(start);
+            let _ = elapsed; // the run window, not the RTT
+            let outcomes = net.client_outcomes(client);
+            let last = outcomes.last().expect("submitted");
+            assert!(!last.fault, "step {op} failed");
+            let rtt = last
+                .completed_at
+                .expect("completed within the window")
+                .since(last.sent_at);
+            if i > 0 {
+                // drop the cold-start sample
+                total_us += rtt.as_micros();
+            }
+        }
+        SimDuration::from_micros(total_us / samples as u64)
+    };
+    let info_rtt = measure_step(&mut net, "StudentInformation", 10);
+    let transcript_rtt = measure_step(&mut net, "StudentTranscript", 10);
+    println!("measured step QoS: StudentInformation {info_rtt}, StudentTranscript {transcript_rtt}");
+
+    // --- Step 2: predict the sequential process with the reduction rule ---
+    let step = |latency: SimDuration| {
+        QosExpr::task(QosSpec { latency_us: latency.as_micros(), reliability: 1.0, cost: 1.0 })
+    };
+    let process = QosExpr::seq(vec![step(info_rtt), step(transcript_rtt)]);
+    let predicted = process.aggregate();
+    println!(
+        "predicted process QoS: {:.3} ms latency, {} invocations",
+        predicted.latency_us as f64 / 1000.0,
+        process.task_count()
+    );
+
+    // --- Step 3: run the composed process end to end, many times ---
+    let runs = 25u64;
+    let mut total_us = 0u64;
+    for i in 0..runs {
+        let started: SimTime = net.now();
+        let id = format!("u100{}", i % 10);
+        net.submit_request(client, request("StudentInformation", &id));
+        net.run_for(SimDuration::from_millis(500));
+        net.submit_request(client, request("StudentTranscript", &id));
+        net.run_for(SimDuration::from_millis(500));
+        let outcomes = net.client_outcomes(client);
+        let pair = &outcomes[outcomes.len() - 2..];
+        assert!(pair.iter().all(|o| !o.fault && o.completed_at.is_some()));
+        // process latency = the two service times, excluding think gaps
+        let process_us: u64 = pair
+            .iter()
+            .map(|o| o.completed_at.expect("completed").since(o.sent_at).as_micros())
+            .sum();
+        total_us += process_us;
+        let _ = started;
+    }
+    let measured = SimDuration::from_micros(total_us / runs);
+    println!(
+        "measured process QoS over {runs} runs: {:.3} ms",
+        measured.as_millis_f64()
+    );
+
+    let err = (measured.as_micros() as f64 - predicted.latency_us as f64).abs()
+        / predicted.latency_us as f64;
+    println!("prediction error: {:.1}%", err * 100.0);
+    assert!(
+        err < 0.15,
+        "composition model should predict the live process within 15% (got {:.1}%)",
+        err * 100.0
+    );
+}

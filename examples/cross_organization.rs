@@ -1,0 +1,119 @@
+//! Cross-organization B2B integration — the heart of the paper's
+//! "semantic heterogeneity" story (§2.1): two autonomous organizations
+//! describe the *same* capability with *different* vocabularies, and
+//! ontology alignment lets Whisper match them anyway.
+//!
+//! Organization A (the university) publishes the `StudentManagement`
+//! service annotated with its own ontology. Organization B (a partner
+//! institution) runs the b-peers, advertising in *its* vocabulary
+//! (`Matricula`, `FichaDoAluno`, ...). Without alignment the proxy finds no
+//! semantic match and must fault; after importing B's ontology and
+//! asserting `owl:equivalentClass` bridges, the same request is served
+//! transparently.
+//!
+//! Run with: `cargo run --example cross_organization`
+
+use whisper::{DeploymentConfig, GroupSpec, ServiceBackend, StudentRegistry, WhisperNet};
+use whisper_ontology::samples::{university_ontology, UNIVERSITY_NS};
+use whisper_ontology::Ontology;
+use whisper_simnet::SimDuration;
+use whisper_soap::Envelope;
+use whisper_xml::QName;
+
+/// Organization B's namespace.
+const PARTNER_NS: &str = "http://parceiro.example/ontologia";
+
+/// Organization B's own vocabulary for the same domain.
+fn partner_ontology() -> Ontology {
+    let mut o = Ontology::new(PARTNER_NS);
+    let entidade = o.add_class("Entidade", &[]).expect("fresh ontology");
+    let acao = o.add_class("Acao", &[entidade]).expect("fresh ontology");
+    o.add_class("ConsultaDeAluno", &[acao]).expect("fresh ontology");
+    let id = o.add_class("Identificador", &[entidade]).expect("fresh ontology");
+    o.add_class("Matricula", &[id]).expect("fresh ontology");
+    let doc = o.add_class("Documento", &[entidade]).expect("fresh ontology");
+    o.add_class("FichaDoAluno", &[doc]).expect("fresh ontology");
+    o
+}
+
+/// Imports B's vocabulary into A's ontology and asserts the bridges.
+fn aligned_ontology() -> Ontology {
+    let mut onto = university_ontology();
+    onto.import(&partner_ontology()).expect("no namespace collisions");
+    let bridge = |onto: &mut Ontology, a: &str, b: &str| {
+        let ca = onto
+            .class_by_qname(&QName::with_ns(UNIVERSITY_NS, a))
+            .expect("university concept");
+        let cb = onto
+            .class_by_qname(&QName::with_ns(PARTNER_NS, b))
+            .expect("partner concept");
+        onto.add_equivalence(ca, cb).expect("valid ids");
+    };
+    bridge(&mut onto, "StudentInformation", "ConsultaDeAluno");
+    bridge(&mut onto, "StudentID", "Matricula");
+    bridge(&mut onto, "StudentInfo", "FichaDoAluno");
+    onto
+}
+
+/// The partner's b-peer group, advertising in ITS vocabulary.
+fn partner_group() -> GroupSpec {
+    let q = |l: &str| QName::with_ns(PARTNER_NS, l);
+    let backends: Vec<Box<dyn ServiceBackend>> = vec![
+        Box::new(StudentRegistry::operational_db().with_sample_data()),
+        Box::new(StudentRegistry::data_warehouse().with_sample_data()),
+    ];
+    GroupSpec {
+        name: "GrupoConsultaAlunos".into(),
+        action: q("ConsultaDeAluno"),
+        inputs: vec![q("Matricula")],
+        outputs: vec![q("FichaDoAluno")],
+        qos: None,
+        processing_time: None,
+        backends,
+    }
+}
+
+fn run_once(ontology: Ontology, label: &str) -> (u64, u64) {
+    let mut cfg = DeploymentConfig {
+        seed: 12,
+        ontology,
+        groups: vec![partner_group()],
+        ..DeploymentConfig::default()
+    };
+    cfg.proxy.request_timeout = SimDuration::from_millis(800);
+    let mut net = WhisperNet::build(cfg).expect("valid deployment");
+    net.run_for(SimDuration::from_secs(3));
+    let client = net.client_ids()[0];
+    net.submit_student_request(client, "u1008");
+    net.run_for(SimDuration::from_secs(5));
+    let stats = net.client_stats(client);
+    let response = net.client_last_response(client).expect("resolved");
+    let parsed = Envelope::parse(&response).expect("soap");
+    match parsed.body_payload() {
+        Some(p) => println!(
+            "{label}: served — {}",
+            p.child("Name").map(|n| n.text()).unwrap_or_default()
+        ),
+        None => println!(
+            "{label}: FAULT — {}",
+            parsed.as_fault().map(|f| f.reason.clone()).unwrap_or_default()
+        ),
+    }
+    (stats.completed, stats.faults)
+}
+
+fn main() {
+    // Attempt 1: no alignment. The partner's advertisement uses concepts
+    // the university ontology has never heard of — nothing matches.
+    println!("--- without ontology alignment ---");
+    let (completed, faults) = run_once(university_ontology(), "request");
+    assert_eq!((completed, faults), (1, 1), "must fault without alignment");
+
+    // Attempt 2: import + equivalence bridges. Same deployment, same
+    // advertisement, same request — now it matches Exactly.
+    println!("\n--- with ontology alignment ---");
+    let (completed, faults) = run_once(aligned_ontology(), "request");
+    assert_eq!((completed, faults), (1, 0), "alignment must mask the heterogeneity");
+
+    println!("\nsemantic heterogeneity bridged: same request, same peers, zero faults");
+}

@@ -1,0 +1,108 @@
+//! Insurance-claim processing — one of the B2B workloads the paper's
+//! introduction motivates ("it is not advisable for an insurance company to
+//! delay a customer's insurance claim processing due to a Web service
+//! failure").
+//!
+//! Deploys TWO semantically equivalent b-peer groups with different QoS
+//! claims and shows QoS-aware selection (the paper's section 2.4
+//! extension): the proxy picks the group advertising better
+//! latency/reliability, and still fails over when that whole group dies.
+//!
+//! Run with: `cargo run --example insurance_claim`
+
+use whisper::{
+    ClaimProcessor, DeploymentConfig, GroupSpec, SelectionPolicy, ServiceBackend, WhisperNet,
+};
+use whisper_p2p::QosSpec;
+use whisper_simnet::SimDuration;
+use whisper_soap::Envelope;
+use whisper_xml::Element;
+
+fn claim(number: &str, amount: &str) -> Element {
+    let mut c = Element::new("ProcessClaim");
+    let mut inner = Element::new("InsuranceClaim");
+    inner.push_child(Element::with_text("ClaimNumber", number));
+    inner.push_child(Element::with_text("Amount", amount));
+    c.push_child(inner);
+    c
+}
+
+fn main() {
+    let service = whisper_wsdl::samples::claim_processing();
+    let op = service.operation("ProcessClaim").expect("operation exists");
+
+    let backends = |n: usize| -> Vec<Box<dyn ServiceBackend>> {
+        (0..n).map(|_| Box::new(ClaimProcessor::new(1_000.0)) as Box<dyn ServiceBackend>).collect()
+    };
+
+    // A slow-but-cheap group and a fast premium group.
+    let mut standard = GroupSpec::from_operation("StandardClaims", op, backends(2));
+    standard.qos = Some(QosSpec { latency_us: 5_000, reliability: 0.95, cost: 1.0 });
+    let mut premium = GroupSpec::from_operation("PremiumClaims", op, backends(2));
+    premium.qos = Some(QosSpec { latency_us: 500, reliability: 0.999, cost: 1.0 });
+
+    let mut cfg = DeploymentConfig {
+        seed: 3,
+        service,
+        ontology: whisper_ontology::samples::b2b_ontology(),
+        groups: vec![standard, premium],
+        ..DeploymentConfig::default()
+    };
+    cfg.proxy.policy = SelectionPolicy::SemanticThenQos;
+
+    let mut net = WhisperNet::build(cfg).expect("valid deployment");
+    net.run_for(SimDuration::from_secs(2));
+
+    let client = net.client_ids()[0];
+    let premium_group = 1;
+
+    // Both groups match semantically; QoS breaks the tie toward premium.
+    net.submit_request(client, claim("c-100", "250.00"));
+    net.run_for(SimDuration::from_secs(1));
+    let premium_handled: u64 = net
+        .group_nodes(premium_group)
+        .iter()
+        .map(|&n| net.bpeer(n).requests_handled())
+        .sum();
+    println!("decision: {}", decision(&net, client));
+    println!("premium group handled {premium_handled} request(s) — QoS selection");
+    assert_eq!(premium_handled, 1);
+
+    // A claim above the limit is rejected — an application-level decision,
+    // not a fault.
+    net.submit_request(client, claim("c-101", "50000.00"));
+    net.run_for(SimDuration::from_secs(1));
+    println!("big claim: {}", decision(&net, client));
+
+    // Kill the whole premium group: the proxy re-discovers and the
+    // standard group takes over.
+    for &n in &net.group_nodes(premium_group).to_vec() {
+        net.crash_node(n);
+    }
+    println!("\npremium group crashed; resubmitting...");
+    net.submit_request(client, claim("c-102", "99.00"));
+    net.run_for(SimDuration::from_secs(15));
+    println!("decision after group failover: {}", decision(&net, client));
+
+    let stats = net.client_stats(client);
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.faults, 0);
+    println!(
+        "\n{} claims processed, 0 faults; proxy stats: {:?}",
+        stats.completed,
+        net.proxy_stats()
+    );
+}
+
+fn decision(net: &WhisperNet, client: whisper_simnet::NodeId) -> String {
+    let envelope = net.client_last_response(client).expect("got a response");
+    let parsed = Envelope::parse(&envelope).expect("well-formed");
+    match parsed.body_payload() {
+        Some(p) => format!(
+            "claim {} -> {}",
+            p.child("ClaimNumber").map(|c| c.text()).unwrap_or_default(),
+            p.child("Decision").map(|c| c.text()).unwrap_or_default()
+        ),
+        None => format!("FAULT: {}", parsed.as_fault().map(|f| f.to_string()).unwrap_or_default()),
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: deploy the paper's StudentManagement scenario, issue one
+//! request, then kill the coordinator and watch Whisper fail over.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use whisper::WhisperNet;
+use whisper_simnet::SimDuration;
+
+fn main() {
+    // One semantic Web service backed by a group of three b-peers
+    // (operational DB, data warehouse, operational DB), plus one client.
+    let mut net = WhisperNet::student_scenario(3, 42);
+
+    // Let the group publish advertisements and elect a coordinator.
+    net.run_for(SimDuration::from_secs(2));
+    println!(
+        "coordinator after startup: {:?}",
+        net.coordinator_of(0).expect("group elected a coordinator")
+    );
+
+    // A normal request.
+    let client = net.client_ids()[0];
+    net.submit_student_request(client, "u1004");
+    net.run_for(SimDuration::from_secs(2));
+    println!("--- first response ---");
+    println!("{}", net.client_last_response(client).expect("response arrived"));
+
+    // Crash the coordinator mid-flight and send another request: the proxy
+    // re-binds to the newly elected coordinator, transparently.
+    let victim = net.crash_coordinator(0).expect("there was a coordinator");
+    println!("\ncrashed coordinator {victim}; sending another request...");
+    net.submit_student_request(client, "u1007");
+    net.run_for(SimDuration::from_secs(10));
+    println!("--- response after failover ---");
+    println!("{}", net.client_last_response(client).expect("failover response"));
+    println!(
+        "\nnew coordinator: {:?}",
+        net.coordinator_of(0).expect("group re-elected")
+    );
+
+    let stats = net.client_stats(client);
+    println!(
+        "\nclient: {} sent, {} completed, {} faults; proxy: {:?}",
+        stats.sent,
+        stats.completed,
+        stats.faults,
+        net.proxy_stats()
+    );
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.faults, 0);
+}

@@ -1,0 +1,89 @@
+//! The paper's full running scenario (sections 3 and 4.1): the
+//! `StudentManagement` semantic Web service, annotated per WSDL-S, backed
+//! by a b-peer group mixing an *operational database* replica and a *data
+//! warehouse* replica.
+//!
+//! Demonstrates the failure mode the paper narrates: "if the operational
+//! database is unavailable, a semantically equivalent peer can
+//! automatically and transparently handle the service request by retrieving
+//! the same information from a data warehouse". Here the database goes
+//! down *without* the peer crashing — the coordinator delegates to the
+//! warehouse replica.
+//!
+//! Run with: `cargo run --example student_information`
+
+use whisper::{DeploymentConfig, GroupSpec, ServiceBackend, StudentRegistry, WhisperNet};
+use whisper_simnet::SimDuration;
+use whisper_soap::Envelope;
+
+fn main() {
+    // Show the WSDL-S document of the service, as in the paper's listing.
+    let service = whisper_wsdl::samples::student_management();
+    println!("--- WSDL-S description ---");
+    println!("{}", service.to_element().to_pretty_xml());
+
+    // Group of two: peer 1 = warehouse, peer 2 = operational DB.
+    // (Peer ids are assigned in backend order; the Bully winner is the
+    // highest id, so the operational DB coordinates at first.)
+    let op = service.operation("StudentInformation").expect("operation exists");
+    let backends: Vec<Box<dyn ServiceBackend>> = vec![
+        Box::new(StudentRegistry::data_warehouse().with_sample_data()),
+        Box::new(StudentRegistry::operational_db().with_sample_data()),
+    ];
+    let cfg = DeploymentConfig {
+        seed: 7,
+        groups: vec![GroupSpec::from_operation("StudentInfoGroup", op, backends)],
+        ..DeploymentConfig::default()
+    };
+    let mut net = WhisperNet::build(cfg).expect("valid deployment");
+    net.run_for(SimDuration::from_secs(2));
+
+    let client = net.client_ids()[0];
+    let db_node = net.group_nodes(0)[1];
+    println!(
+        "coordinator: {:?} (backend: {})",
+        net.coordinator_of(0),
+        net.bpeer(db_node).backend_label()
+    );
+
+    // Normal operation: the operational DB answers.
+    net.submit_student_request(client, "u1001");
+    net.run_for(SimDuration::from_secs(1));
+    print_source(&net, client, "with the database up");
+
+    // Take the database offline (the *peer* stays up — only its backing
+    // store fails). The coordinator transparently delegates to the
+    // semantically equivalent warehouse peer.
+    net.bpeer_mut(db_node)
+        .backend_mut()
+        .downcast_mut::<StudentRegistry>()
+        .expect("this peer runs a student registry")
+        .set_available(false);
+    net.submit_student_request(client, "u1002");
+    net.run_for(SimDuration::from_secs(1));
+    print_source(&net, client, "with the database down (delegated)");
+
+    // Bring it back.
+    net.bpeer_mut(db_node)
+        .backend_mut()
+        .downcast_mut::<StudentRegistry>()
+        .expect("this peer runs a student registry")
+        .set_available(true);
+    net.submit_student_request(client, "u1003");
+    net.run_for(SimDuration::from_secs(1));
+    print_source(&net, client, "after recovery");
+
+    let stats = net.client_stats(client);
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.faults, 0);
+    println!("\nall {} requests served without a fault", stats.completed);
+}
+
+fn print_source(net: &WhisperNet, client: whisper_simnet::NodeId, when: &str) {
+    let envelope = net.client_last_response(client).expect("got a response");
+    let parsed = Envelope::parse(&envelope).expect("well-formed response");
+    let payload = parsed.body_payload().expect("not a fault");
+    let source = payload.child("Source").map(|s| s.text()).unwrap_or_default();
+    let name = payload.child("Name").map(|s| s.text()).unwrap_or_default();
+    println!("{when}: {name} served from [{source}]");
+}

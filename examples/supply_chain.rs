@@ -1,0 +1,91 @@
+//! Supply-chain order tracking over a **rendezvous** discovery topology,
+//! with a scripted outage: the coordinator fails mid-run and recovers
+//! later, while a closed-loop client keeps ordering.
+//!
+//! Demonstrates the deployment variant where peers publish to and query a
+//! dedicated rendezvous peer (JXTA's rendezvous protocol) instead of
+//! flooding, plus declarative fault plans.
+//!
+//! Run with: `cargo run --example supply_chain`
+
+use whisper::{
+    ClientConfigTemplate, DeploymentConfig, GroupSpec, OrderTracker, ServiceBackend, WhisperNet,
+    Workload,
+};
+use whisper_simnet::{FaultPlan, SimDuration, SimTime};
+use whisper_xml::Element;
+
+fn track(order: &str) -> Element {
+    let mut t = Element::new("TrackOrder");
+    t.push_child(Element::with_text("OrderNumber", order));
+    t
+}
+
+fn main() {
+    let service = whisper_wsdl::samples::order_tracking();
+    let op = service.operation("TrackOrder").expect("operation exists").clone();
+    let backends: Vec<Box<dyn ServiceBackend>> = (0..3)
+        .map(|_| Box::new(OrderTracker::with_sample_orders()) as Box<dyn ServiceBackend>)
+        .collect();
+
+    let client_tpl = ClientConfigTemplate {
+        workload: Workload::Closed { think: SimDuration::from_millis(200) },
+        payloads: vec![track("po-77"), track("po-78"), track("po-79")],
+        total: Some(60),
+        timeout: SimDuration::from_secs(25),
+        warmup: SimDuration::from_secs(2),
+    };
+
+    let cfg = DeploymentConfig {
+        seed: 21,
+        service,
+        ontology: whisper_ontology::samples::b2b_ontology(),
+        groups: vec![GroupSpec::from_operation("OrderTrackingGroup", &op, backends)],
+        use_rendezvous: true,
+        clients: vec![client_tpl],
+        ..DeploymentConfig::default()
+    };
+    let mut net = WhisperNet::build(cfg).expect("valid deployment");
+    println!(
+        "deployed with rendezvous at {:?}",
+        net.rendezvous_node().expect("rendezvous configured")
+    );
+
+    // Script an outage: the (initial) coordinator — the highest peer of the
+    // group — dies at t=6 s and recovers at t=12 s.
+    let coordinator_node = *net.group_nodes(0).last().expect("non-empty group");
+    let mut plan = FaultPlan::new();
+    plan.crash_at(coordinator_node, SimTime::from_micros(6_000_000));
+    plan.restart_at(coordinator_node, SimTime::from_micros(12_000_000));
+    net.apply_faults(&plan);
+
+    net.run_for(SimDuration::from_secs(40));
+
+    let client = net.client_ids()[0];
+    let stats = net.client_stats(client);
+    println!(
+        "closed-loop client: {} sent, {} completed, {} faults, {} timeouts",
+        stats.sent, stats.completed, stats.faults, stats.timeouts
+    );
+    println!(
+        "rtt: mean {:?}, p99 {:?}, max {:?}",
+        stats.rtt.mean(),
+        stats.rtt.clone().percentile(99.0),
+        stats.rtt.max()
+    );
+    println!("proxy: {:?}", net.proxy_stats());
+    println!(
+        "final coordinator: {:?} (recovered node is up: {})",
+        net.coordinator_of(0),
+        net.is_up(coordinator_node)
+    );
+
+    // The outage must be masked: every resolved request succeeded.
+    assert_eq!(stats.faults, 0, "outage was not masked");
+    assert!(stats.completed >= 50, "too few requests completed: {}", stats.completed);
+    // The recovered highest-id peer bullied its way back to coordinator.
+    assert_eq!(
+        net.coordinator_of(0).map(|p| net.directory().node_of(p)),
+        Some(Some(coordinator_node))
+    );
+}

@@ -1,0 +1,286 @@
+//! Fault-injection integration tests: coordinator crashes, restarts,
+//! cascading failures, backend outages and partitions — the behaviours
+//! Whisper exists to mask.
+
+use whisper::{StudentRegistry, WhisperNet};
+use whisper_simnet::{FaultPlan, SimDuration, SimTime};
+use whisper_soap::Envelope;
+
+#[test]
+fn coordinator_crash_is_masked_for_the_next_request() {
+    let mut net = WhisperNet::student_scenario(3, 200);
+    net.run_for(SimDuration::from_secs(3));
+    let client = net.client_ids()[0];
+    net.submit_student_request(client, "u1000");
+    net.run_for(SimDuration::from_secs(1));
+
+    let victim = net.crash_coordinator(0).expect("had a coordinator");
+    net.submit_student_request(client, "u1001");
+    net.run_for(SimDuration::from_secs(15));
+
+    let s = net.client_stats(client);
+    assert_eq!(s.completed, 2, "{s:?}");
+    assert_eq!(s.faults, 0);
+    let new_coord = net.coordinator_of(0).expect("re-elected");
+    assert_ne!(new_coord, victim);
+    assert!(net.proxy_stats().rebinds >= 1, "{:?}", net.proxy_stats());
+}
+
+#[test]
+fn cascading_coordinator_failures_until_one_replica_left() {
+    let mut net = WhisperNet::student_scenario(4, 201);
+    net.run_for(SimDuration::from_secs(3));
+    let client = net.client_ids()[0];
+    net.submit_student_request(client, "u1000");
+    net.run_for(SimDuration::from_secs(1));
+
+    // kill coordinators one after another; each time the service recovers
+    for round in 0..3 {
+        net.crash_coordinator(0).expect("coordinator exists");
+        net.submit_student_request(client, &format!("u100{}", round + 1));
+        net.run_for(SimDuration::from_secs(20));
+        let s = net.client_stats(client);
+        assert_eq!(s.completed as usize, round + 2, "round {round}: {s:?}");
+        assert_eq!(s.faults, 0, "round {round}");
+    }
+    // one lone survivor coordinates itself
+    let up: Vec<_> = net
+        .group_nodes(0)
+        .iter()
+        .copied()
+        .filter(|&n| net.is_up(n))
+        .collect();
+    assert_eq!(up.len(), 1);
+    assert!(net.bpeer(up[0]).is_coordinator());
+}
+
+#[test]
+fn restarted_highest_peer_reclaims_coordination() {
+    let mut net = WhisperNet::student_scenario(3, 202);
+    net.run_for(SimDuration::from_secs(3));
+    let original = net.coordinator_of(0).expect("elected");
+    let original_node = net.directory().node_of(original).expect("routable");
+
+    net.crash_node(original_node);
+    net.run_for(SimDuration::from_secs(10));
+    let interim = net.coordinator_of(0).expect("re-elected");
+    assert_ne!(interim, original);
+
+    net.restart_node(original_node);
+    net.run_for(SimDuration::from_secs(10));
+    // the bully reclaims its group
+    assert_eq!(net.coordinator_of(0), Some(original));
+    // and still serves requests
+    let client = net.client_ids()[0];
+    net.submit_student_request(client, "u1009");
+    net.run_for(SimDuration::from_secs(5));
+    let s = net.client_stats(client);
+    assert_eq!(s.completed, 1);
+    assert_eq!(s.faults, 0);
+}
+
+#[test]
+fn backend_outage_delegates_to_equivalent_replica() {
+    // Peer 2 (operational DB, the coordinator) stays up but its database
+    // dies; the warehouse replica answers instead. Section 4.1's scenario.
+    let mut net = WhisperNet::student_scenario(2, 203);
+    net.run_for(SimDuration::from_secs(3));
+    let client = net.client_ids()[0];
+
+    // index 1 hosts the data-warehouse replica in student_scenario;
+    // index 0 is operational-db... the coordinator is the highest peer,
+    // which is the warehouse here (2 peers: db=1, warehouse=2).
+    let coord = net.coordinator_of(0).expect("elected");
+    let coord_node = net.directory().node_of(coord).expect("routable");
+    net.bpeer_mut(coord_node)
+        .backend_mut()
+        .downcast_mut::<StudentRegistry>()
+        .expect("student registry")
+        .set_available(false);
+
+    net.submit_student_request(client, "u1004");
+    net.run_for(SimDuration::from_secs(5));
+    let s = net.client_stats(client);
+    assert_eq!(s.completed, 1, "{s:?}");
+    assert_eq!(s.faults, 0, "outage must be masked by delegation");
+    let resp = net.client_last_response(client).expect("response");
+    let env = Envelope::parse(&resp).expect("soap");
+    let source = env
+        .body_payload()
+        .expect("ok")
+        .child("Source")
+        .expect("provenance")
+        .text();
+    assert_ne!(
+        source,
+        net.bpeer(coord_node).backend_label(),
+        "the answer must come from the delegate"
+    );
+}
+
+#[test]
+fn whole_group_down_yields_fault_then_recovers_after_restart() {
+    let mut net = WhisperNet::student_scenario(2, 204);
+    net.run_for(SimDuration::from_secs(3));
+    let client = net.client_ids()[0];
+    net.submit_student_request(client, "u1000");
+    net.run_for(SimDuration::from_secs(1));
+
+    let nodes: Vec<_> = net.group_nodes(0).to_vec();
+    for &n in &nodes {
+        net.crash_node(n);
+    }
+    net.submit_student_request(client, "u1001");
+    net.run_for(SimDuration::from_secs(40));
+    let s = net.client_stats(client);
+    assert_eq!(s.completed, 2);
+    assert_eq!(s.faults, 1, "total outage must surface as a soap fault: {s:?}");
+
+    for &n in &nodes {
+        net.restart_node(n);
+    }
+    net.run_for(SimDuration::from_secs(5));
+    net.submit_student_request(client, "u1002");
+    net.run_for(SimDuration::from_secs(10));
+    let s = net.client_stats(client);
+    assert_eq!(s.completed, 3);
+    assert_eq!(s.faults, 1, "after restart the service works again: {s:?}");
+}
+
+#[test]
+fn scripted_outage_with_fault_plan_is_fully_masked() {
+    let mut net = WhisperNet::student_scenario(3, 205);
+    let coordinator_node = *net.group_nodes(0).last().expect("non-empty");
+    let mut plan = FaultPlan::new();
+    plan.crash_at(coordinator_node, SimTime::from_micros(5_000_000));
+    plan.restart_at(coordinator_node, SimTime::from_micros(9_000_000));
+    plan.crash_at(coordinator_node, SimTime::from_micros(15_000_000));
+    plan.restart_at(coordinator_node, SimTime::from_micros(19_000_000));
+    net.apply_faults(&plan);
+
+    net.run_for(SimDuration::from_secs(3));
+    let client = net.client_ids()[0];
+    let mut submitted = 0u64;
+    for i in 0..22 {
+        net.submit_student_request(client, &format!("u100{}", i % 10));
+        submitted += 1;
+        net.run_for(SimDuration::from_secs(1));
+    }
+    net.run_for(SimDuration::from_secs(20));
+    let s = net.client_stats(client);
+    assert_eq!(s.completed, submitted, "{s:?}");
+    assert_eq!(s.faults, 0, "two crash/restart cycles fully masked: {s:?}");
+}
+
+#[test]
+fn partition_between_proxy_and_group_heals() {
+    let mut net = WhisperNet::student_scenario(2, 206);
+    net.run_for(SimDuration::from_secs(3));
+    let client = net.client_ids()[0];
+    net.submit_student_request(client, "u1000");
+    net.run_for(SimDuration::from_secs(1));
+
+    // cut the proxy off from every b-peer for 5 seconds
+    let proxy = net.proxy_node();
+    let peers: Vec<_> = net.group_nodes(0).to_vec();
+    let now = net.now();
+    let mut plan = FaultPlan::new();
+    plan.partition_between(&[proxy], &peers, now, now + SimDuration::from_secs(5));
+    net.apply_faults(&plan);
+
+    net.submit_student_request(client, "u1001");
+    net.run_for(SimDuration::from_secs(40));
+    let s = net.client_stats(client);
+    // the request either survived the partition via retries or faulted;
+    // either way the system stays live and the *next* request succeeds
+    assert_eq!(s.completed, 2, "{s:?}");
+    net.submit_student_request(client, "u1002");
+    net.run_for(SimDuration::from_secs(10));
+    let s = net.client_stats(client);
+    assert_eq!(s.completed, 3);
+    assert!(s.faults <= 1);
+}
+
+#[test]
+fn election_traffic_stays_quiet_without_failures() {
+    let mut net = WhisperNet::student_scenario(5, 207);
+    net.run_for(SimDuration::from_secs(3));
+    net.reset_metrics();
+    net.run_for(SimDuration::from_secs(30));
+    let m = net.metrics();
+    assert_eq!(
+        m.sent_of_kind("election"),
+        0,
+        "no elections without failures"
+    );
+    assert_eq!(m.sent_of_kind("coordinator"), 0);
+    assert!(m.sent_of_kind("heartbeat") > 0);
+}
+
+#[test]
+fn every_member_converges_on_the_same_coordinator_after_churn() {
+    let mut net = WhisperNet::student_scenario(5, 208);
+    net.run_for(SimDuration::from_secs(3));
+    // churn: crash two highest, restart one
+    let n5 = net.group_nodes(0)[4];
+    let n4 = net.group_nodes(0)[3];
+    net.crash_node(n5);
+    net.run_for(SimDuration::from_secs(8));
+    net.crash_node(n4);
+    net.run_for(SimDuration::from_secs(8));
+    net.restart_node(n5);
+    net.run_for(SimDuration::from_secs(8));
+
+    let beliefs: Vec<_> = net
+        .group_nodes(0)
+        .iter()
+        .filter(|&&n| net.is_up(n))
+        .map(|&n| net.bpeer(n).coordinator())
+        .collect();
+    assert!(
+        beliefs.iter().all(|b| *b == beliefs[0] && b.is_some()),
+        "divergent coordinator beliefs: {beliefs:?}"
+    );
+    // the restarted highest peer rules again
+    assert_eq!(
+        net.coordinator_of(0),
+        net.directory().peer_of(n5),
+        "highest live peer must coordinate"
+    );
+}
+
+#[test]
+fn bpeers_joining_at_runtime_raise_availability() {
+    // Start with a single replica — the fragile baseline.
+    let mut net = WhisperNet::student_scenario(1, 210);
+    net.run_for(SimDuration::from_secs(3));
+    let client = net.client_ids()[0];
+    net.submit_student_request(client, "u1000");
+    net.run_for(SimDuration::from_secs(2));
+    assert_eq!(net.client_stats(client).completed, 1);
+
+    // Two more replicas join the running group (paper §4.2: "dynamically
+    // increasing the level of availability").
+    let n2 = net.add_bpeer(0, Box::new(StudentRegistry::data_warehouse().with_sample_data()));
+    let n3 = net.add_bpeer(0, Box::new(StudentRegistry::operational_db().with_sample_data()));
+    net.run_for(SimDuration::from_secs(5));
+
+    // The newest (highest) peer bullied its way to coordinator, and every
+    // member converged on it, including the original.
+    let coord = net.coordinator_of(0).expect("coordinator exists");
+    assert_eq!(net.directory().node_of(coord), Some(n3));
+    for &n in net.group_nodes(0) {
+        assert_eq!(net.bpeer(n).coordinator(), Some(coord), "node {n} disagrees");
+        assert_eq!(net.bpeer(n).members().len(), 3, "node {n} membership");
+    }
+
+    // The original lone replica can now die without an outage.
+    let original = net.group_nodes(0)[0];
+    net.crash_node(original);
+    net.submit_student_request(client, "u1001");
+    net.run_for(SimDuration::from_secs(15));
+    let s = net.client_stats(client);
+    assert_eq!(s.completed, 2, "{s:?}");
+    assert_eq!(s.faults, 0, "join must have raised availability: {s:?}");
+    let _ = n2;
+}
