@@ -27,7 +27,9 @@ fn bench_bully(c: &mut Criterion) {
         b.iter(|| {
             black_box(node.on_message(
                 PeerId::new(16),
-                ElectionMsg::Coordinator { from: PeerId::new(16) },
+                ElectionMsg::Coordinator {
+                    from: PeerId::new(16),
+                },
                 SimTime::ZERO,
             ))
         })
@@ -41,9 +43,7 @@ fn bench_ring(c: &mut Criterion) {
             origin: PeerId::new(1),
             candidates: members(7),
         };
-        b.iter(|| {
-            black_box(node.on_message(PeerId::new(7), token.clone(), SimTime::ZERO))
-        })
+        b.iter(|| black_box(node.on_message(PeerId::new(7), token.clone(), SimTime::ZERO)))
     });
 }
 

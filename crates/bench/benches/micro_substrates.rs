@@ -24,7 +24,9 @@ fn bench_xml(c: &mut Criterion) {
         b.iter(|| parse(black_box(&text)).expect("well-formed"))
     });
     let tree = parse(&text).expect("well-formed");
-    c.bench_function("xml/serialize_soap_envelope", |b| b.iter(|| black_box(&tree).to_xml()));
+    c.bench_function("xml/serialize_soap_envelope", |b| {
+        b.iter(|| black_box(&tree).to_xml())
+    });
 }
 
 fn bench_soap(c: &mut Criterion) {

@@ -35,7 +35,12 @@ impl Actor<Ball> for Paddle {
         if msg.bounces_left == 0 {
             self.completed.fetch_add(1, Ordering::SeqCst);
         } else {
-            ctx.send(from, Ball { bounces_left: msg.bounces_left - 1 });
+            ctx.send(
+                from,
+                Ball {
+                    bounces_left: msg.bounces_left - 1,
+                },
+            );
         }
     }
 }
@@ -43,8 +48,12 @@ impl Actor<Ball> for Paddle {
 fn bench_threadnet_rtt(c: &mut Criterion) {
     let completed = Arc::new(AtomicU64::new(0));
     let mut b = ThreadNetBuilder::new();
-    let a = b.add_node(Paddle { completed: completed.clone() });
-    let z = b.add_node(Paddle { completed: completed.clone() });
+    let a = b.add_node(Paddle {
+        completed: completed.clone(),
+    });
+    let z = b.add_node(Paddle {
+        completed: completed.clone(),
+    });
     let net = b.start();
 
     // Each measured iteration = 100 hops (50 round trips) across two real

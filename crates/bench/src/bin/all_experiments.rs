@@ -4,10 +4,15 @@ use whisper_bench::experiments::*;
 
 fn main() {
     println!("=== E1 / Figure 4 ===\n");
-    let rows = fig4::run_sweep(&[2, 3, 4, 5, 6, 8, 9, 12, 16, 20, 24], fig4::Fig4Params::default());
+    let rows = fig4::run_sweep(
+        &[2, 3, 4, 5, 6, 8, 9, 12, 16, 20, 24],
+        fig4::Fig4Params::default(),
+    );
     fig4::table(&rows).print();
-    let pts: Vec<(f64, f64)> =
-        rows.iter().map(|r| (r.bpeers as f64, r.steady_msgs as f64)).collect();
+    let pts: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.bpeers as f64, r.steady_msgs as f64))
+        .collect();
     println!("linearity R² = {:.5}\n", fig4::linear_r2(&pts));
     let _ = fig4::table(&rows).save_csv();
 
@@ -36,7 +41,10 @@ fn main() {
     println!();
 
     println!("=== E5 / availability ===\n");
-    let rows = availability::run_sweep(&[1, 2, 3, 5, 7], availability::AvailabilityParams::default());
+    let rows = availability::run_sweep(
+        &[1, 2, 3, 5, 7],
+        availability::AvailabilityParams::default(),
+    );
     let t = availability::table(&rows);
     t.print();
     let _ = t.save_csv();

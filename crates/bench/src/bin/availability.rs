@@ -1,6 +1,7 @@
 //! Availability under churn: redundancy masks replica failures.
 
 use whisper_bench::experiments::availability::{self, AvailabilityParams};
+use whisper_bench::obs;
 
 fn main() {
     let params = AvailabilityParams::default();
@@ -11,11 +12,32 @@ fn main() {
         params.horizon.as_secs_f64(),
         params.rps
     );
-    let rows = availability::run_sweep(&[1, 2, 3, 5, 7], params);
+    let counts = [1usize, 2, 3, 5, 7];
+    let mut rows = Vec::new();
+    let mut traced = None;
+    for &k in &counts {
+        let (row, rec) = availability::run_point_traced(k, params);
+        if k == 3 {
+            traced = Some(rec);
+        }
+        rows.push(row);
+    }
     let t = availability::table(&rows);
     t.print();
     if let Ok(p) = t.save_csv() {
         println!("csv: {}", p.display());
+    }
+
+    if let Some(rec) = traced {
+        println!("\nWhere the 3-replica run spent its time (span phases)\n");
+        let phases = obs::phase_table(&rec, "availability_phases");
+        phases.print();
+        if let Ok(p) = phases.save_csv() {
+            println!("csv: {}", p.display());
+        }
+        if let Ok(p) = obs::save_jsonl(&rec, "availability") {
+            println!("jsonl: {}", p.display());
+        }
     }
 
     println!("\nDynamic growth: replicas joining a churning single-replica service\n");

@@ -1,20 +1,45 @@
 //! Regenerates **Figure 4**: messages exchanged vs. number of b-peers.
 
 use whisper_bench::experiments::fig4::{self, Fig4Params};
+use whisper_bench::obs;
 
 fn main() {
     let sizes = [2, 3, 4, 5, 6, 8, 9, 12, 16, 20, 24];
     println!("Figure 4: messages exchanged as the number of b-peers increases");
     println!("(startup 2 s, steady window 60 s, 20 requests; deterministic seed)\n");
-    let rows = fig4::run_sweep(&sizes, Fig4Params::default());
+    let params = Fig4Params::default();
+    let mut rows = Vec::new();
+    let mut traced = None;
+    for &n in &sizes {
+        let (row, rec) = fig4::run_point_traced(n, params);
+        if n == 5 {
+            traced = Some(rec);
+        }
+        rows.push(row);
+    }
     let t = fig4::table(&rows);
     t.print();
     let points: Vec<(f64, f64)> = rows
         .iter()
         .map(|r| (r.bpeers as f64, r.steady_msgs as f64))
         .collect();
-    println!("\nlinearity of steady-state growth: R² = {:.5}", fig4::linear_r2(&points));
+    println!(
+        "\nlinearity of steady-state growth: R² = {:.5}",
+        fig4::linear_r2(&points)
+    );
     if let Ok(p) = t.save_csv() {
         println!("csv: {}", p.display());
+    }
+
+    if let Some(rec) = traced {
+        println!("\nRequest-phase spans at 5 b-peers\n");
+        let phases = obs::phase_table(&rec, "fig4_phases");
+        phases.print();
+        if let Ok(p) = phases.save_csv() {
+            println!("csv: {}", p.display());
+        }
+        if let Ok(p) = obs::save_jsonl(&rec, "fig4_messages") {
+            println!("jsonl: {}", p.display());
+        }
     }
 }

@@ -3,6 +3,7 @@
 //! split into election and re-binding components.
 
 use whisper_bench::experiments::rtt;
+use whisper_bench::obs;
 
 fn main() {
     println!("RTT analysis (paper §5)\n");
@@ -10,5 +11,16 @@ fn main() {
     t.print();
     if let Ok(p) = t.save_csv() {
         println!("csv: {}", p.display());
+    }
+
+    println!("\nFailover anatomy as spans (coordinator crash, 5 b-peers)\n");
+    let (_, rec) = rtt::failover_traced(5, 11);
+    let phases = obs::phase_table(&rec, "rtt_failover_phases");
+    phases.print();
+    if let Ok(p) = phases.save_csv() {
+        println!("csv: {}", p.display());
+    }
+    if let Ok(p) = obs::save_jsonl(&rec, "rtt_failover") {
+        println!("jsonl: {}", p.display());
     }
 }

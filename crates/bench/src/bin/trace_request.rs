@@ -1,59 +1,64 @@
-//! Prints the message-by-message trace of one Whisper request — first a
-//! cold request (semantic discovery + member discovery + binding), then a
-//! warm one (the 4-message steady-state path).
+//! Prints one Whisper request as a per-request span tree (a flame view in
+//! text) — first a cold request, whose critical path is
+//! `proxy.discover → proxy.members → proxy.bind → proxy.invoke →
+//! backend.execute`, then a warm one riding the cached binding — followed
+//! by a per-phase time summary and the network's message counters.
 
 use whisper::WhisperNet;
-use whisper_simnet::{NodeId, SimDuration, TraceOutcome};
+use whisper_obs::Recorder;
+use whisper_simnet::{NodeId, SimDuration};
 
-fn role(net: &WhisperNet, node: NodeId) -> String {
-    if node == net.proxy_node() {
-        return "proxy".to_string();
-    }
-    if net.client_ids().contains(&node) {
-        return "client".to_string();
-    }
-    if net.rendezvous_node() == Some(node) {
-        return "rendezvous".to_string();
-    }
-    match net.directory().peer_of(node) {
-        Some(p) => format!("b-peer {}", p.value()),
-        None => node.to_string(),
-    }
-}
-
-fn dump(net: &WhisperNet, title: &str) {
-    println!("--- {title} ---");
-    let base = net.trace().first().map(|e| e.sent_at).unwrap_or_default();
-    for e in net.trace() {
-        let fate = match e.outcome {
-            TraceOutcome::Delivered => String::new(),
-            other => format!("  [{other:?}]"),
-        };
-        println!(
-            "{:>9.3} ms  {:>10} -> {:<10}  {:<20} {:>5} B{fate}",
-            (e.sent_at.as_micros() - base.as_micros()) as f64 / 1000.0,
-            role(net, e.from),
-            role(net, e.to),
-            e.kind,
-            e.bytes,
-        );
-    }
-    println!();
+fn request_of(rec: &Recorder, client: NodeId, id: u64) -> Option<whisper_obs::RequestId> {
+    let label = format!("client{} #{id}", client.index());
+    rec.requests()
+        .into_iter()
+        .find(|r| r.label == label)
+        .map(|r| r.id)
 }
 
 fn main() {
     let mut net = WhisperNet::student_scenario(3, 42);
+    let rec = net.enable_obs();
     net.run_for(SimDuration::from_secs(3));
     let client = net.client_ids()[0];
 
-    net.enable_trace();
-    net.submit_student_request(client, "u1004");
+    let cold = net.submit_student_request(client, "u1004");
     net.run_for(SimDuration::from_secs(1));
-    // hide steady heartbeats for readability? keep them: they ARE the traffic
-    dump(&net, "cold request (discovery + bind + execute)");
+    let warm = net.submit_student_request(client, "u1007");
+    net.run_for(SimDuration::from_secs(1));
 
-    net.sim().clear_trace();
-    net.submit_student_request(client, "u1007");
-    net.run_for(SimDuration::from_secs(1));
-    dump(&net, "warm request (bound: 4 messages + heartbeats)");
+    println!("--- cold request (discovery + bind + execute) ---");
+    match request_of(&rec, client, cold) {
+        Some(req) => print!("{}", rec.render_request(req)),
+        None => println!("  (not traced)"),
+    }
+    println!();
+    println!("--- warm request (cached binding) ---");
+    match request_of(&rec, client, warm) {
+        Some(req) => print!("{}", rec.render_request(req)),
+        None => println!("  (not traced)"),
+    }
+
+    println!();
+    println!("--- where the time went (all spans) ---");
+    println!(
+        "{:<22} {:>6} {:>14} {:>14}",
+        "phase", "count", "total", "mean"
+    );
+    for (name, count, total, mean) in rec.phase_summary() {
+        println!(
+            "{name:<22} {count:>6} {:>14} {:>14}",
+            total.to_string(),
+            mean.to_string()
+        );
+    }
+
+    println!();
+    println!("--- network counters ---");
+    let export = rec.export();
+    for (name, value) in &export.counters {
+        if name.starts_with("net.") {
+            println!("{name:<28} {value:>8}");
+        }
+    }
 }

@@ -12,8 +12,8 @@ use crate::Table;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use whisper::{
-    ClientConfigTemplate, DeploymentConfig, GroupSpec, ServiceBackend, StudentRegistry,
-    WhisperNet, Workload,
+    ClientConfigTemplate, DeploymentConfig, GroupSpec, ServiceBackend, StudentRegistry, WhisperNet,
+    Workload,
 };
 use whisper_simnet::{FaultPlan, SimDuration, SimTime};
 use whisper_xml::Element;
@@ -99,8 +99,21 @@ fn churn_plan(
 
 /// Measures one replica count.
 pub fn run_point(replicas: usize, params: AvailabilityParams) -> AvailabilityRow {
+    run_point_traced(replicas, params).0
+}
+
+/// [`run_point`] with a [`whisper_obs::Recorder`] attached, exposing the
+/// per-request span trees and phase timings behind the availability number
+/// (how much of the unavailability is re-binding vs. election vs. timeout).
+pub fn run_point_traced(
+    replicas: usize,
+    params: AvailabilityParams,
+) -> (AvailabilityRow, whisper_obs::Recorder) {
     let service = whisper_wsdl::samples::student_management();
-    let op = service.operation("StudentInformation").expect("sample op").clone();
+    let op = service
+        .operation("StudentInformation")
+        .expect("sample op")
+        .clone();
     let backends: Vec<Box<dyn ServiceBackend>> = (0..replicas)
         .map(|_| Box::new(StudentRegistry::operational_db().with_sample_data()) as _)
         .collect();
@@ -113,7 +126,10 @@ pub fn run_point(replicas: usize, params: AvailabilityParams) -> AvailabilityRow
         service,
         groups: vec![GroupSpec::from_operation("StudentInfoGroup", &op, backends)],
         clients: vec![ClientConfigTemplate {
-            workload: Workload::Open { interval, poisson: true },
+            workload: Workload::Open {
+                interval,
+                poisson: true,
+            },
             payloads: vec![payload],
             total: Some(total),
             timeout: params.timeout,
@@ -122,6 +138,7 @@ pub fn run_point(replicas: usize, params: AvailabilityParams) -> AvailabilityRow
         ..DeploymentConfig::default()
     };
     let mut net = WhisperNet::build(cfg).expect("valid deployment");
+    let rec = net.enable_obs();
 
     let mut rng = SmallRng::seed_from_u64(params.seed ^ 0xfau64);
     let plan = churn_plan(net.group_nodes(0), params, &mut rng);
@@ -129,19 +146,25 @@ pub fn run_point(replicas: usize, params: AvailabilityParams) -> AvailabilityRow
 
     net.run_for(params.horizon + params.timeout + SimDuration::from_secs(5));
     let stats = net.client_stats(net.client_ids()[0]);
-    AvailabilityRow {
-        replicas,
-        resolved: stats.completed + stats.timeouts,
-        availability: stats.availability().unwrap_or(0.0),
-        faults: stats.faults,
-        timeouts: stats.timeouts,
-        mean_rtt: stats.rtt.mean(),
-    }
+    (
+        AvailabilityRow {
+            replicas,
+            resolved: stats.completed + stats.timeouts,
+            availability: stats.availability().unwrap_or(0.0),
+            faults: stats.faults,
+            timeouts: stats.timeouts,
+            mean_rtt: stats.rtt.mean(),
+        },
+        rec,
+    )
 }
 
 /// Sweeps replica counts.
 pub fn run_sweep(replica_counts: &[usize], params: AvailabilityParams) -> Vec<AvailabilityRow> {
-    replica_counts.iter().map(|&k| run_point(k, params)).collect()
+    replica_counts
+        .iter()
+        .map(|&k| run_point(k, params))
+        .collect()
 }
 
 /// One window of the dynamic-growth run.
@@ -163,9 +186,13 @@ pub struct GrowthRow {
 /// Availability is reported per window.
 pub fn run_growth(params: AvailabilityParams) -> Vec<GrowthRow> {
     let service = whisper_wsdl::samples::student_management();
-    let op = service.operation("StudentInformation").expect("sample op").clone();
-    let backends: Vec<Box<dyn ServiceBackend>> =
-        vec![Box::new(StudentRegistry::operational_db().with_sample_data())];
+    let op = service
+        .operation("StudentInformation")
+        .expect("sample op")
+        .clone();
+    let backends: Vec<Box<dyn ServiceBackend>> = vec![Box::new(
+        StudentRegistry::operational_db().with_sample_data(),
+    )];
     let mut payload = Element::new("StudentInformation");
     payload.push_child(Element::with_text("StudentID", "u1005"));
     let interval = SimDuration::from_micros((1_000_000.0 / params.rps) as u64);
@@ -175,7 +202,10 @@ pub fn run_growth(params: AvailabilityParams) -> Vec<GrowthRow> {
         service,
         groups: vec![GroupSpec::from_operation("StudentInfoGroup", &op, backends)],
         clients: vec![ClientConfigTemplate {
-            workload: Workload::Open { interval, poisson: true },
+            workload: Workload::Open {
+                interval,
+                poisson: true,
+            },
             payloads: vec![payload],
             total: Some(total),
             timeout: params.timeout,
@@ -199,9 +229,15 @@ pub fn run_growth(params: AvailabilityParams) -> Vec<GrowthRow> {
 
     let window = SimDuration::from_micros(params.horizon.as_micros() / 3);
     net.run_for(window);
-    net.add_bpeer(0, Box::new(StudentRegistry::data_warehouse().with_sample_data()));
+    net.add_bpeer(
+        0,
+        Box::new(StudentRegistry::data_warehouse().with_sample_data()),
+    );
     net.run_for(window);
-    net.add_bpeer(0, Box::new(StudentRegistry::operational_db().with_sample_data()));
+    net.add_bpeer(
+        0,
+        Box::new(StudentRegistry::operational_db().with_sample_data()),
+    );
     net.run_for(window + params.timeout + SimDuration::from_secs(5));
 
     // Per-window availability from the request log.
@@ -226,7 +262,11 @@ pub fn run_growth(params: AvailabilityParams) -> Vec<GrowthRow> {
         rows.push(GrowthRow {
             window: w,
             replicas: w + 1,
-            availability: if resolved == 0 { 0.0 } else { good as f64 / resolved as f64 },
+            availability: if resolved == 0 {
+                0.0
+            } else {
+                good as f64 / resolved as f64
+            },
             resolved,
         });
     }
@@ -254,7 +294,14 @@ pub fn growth_table(rows: &[GrowthRow]) -> Table {
 pub fn table(rows: &[AvailabilityRow]) -> Table {
     let mut t = Table::new(
         "availability",
-        &["replicas", "resolved", "availability", "faults", "timeouts", "mean rtt ms"],
+        &[
+            "replicas",
+            "resolved",
+            "availability",
+            "faults",
+            "timeouts",
+            "mean rtt ms",
+        ],
     );
     for r in rows {
         t.row([
@@ -301,7 +348,11 @@ mod tests {
             redundant.availability
         );
         // an unreplicated service under this churn is visibly degraded
-        assert!(solo.availability < 0.97, "baseline suspiciously high: {:.3}", solo.availability);
+        assert!(
+            solo.availability < 0.97,
+            "baseline suspiciously high: {:.3}",
+            solo.availability
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! advertisement and a single point of load.
 
 use crate::Table;
-use whisper::{ServiceBackend, StudentRegistry, WhisperNet};
 use whisper::{DeploymentConfig, GroupSpec};
+use whisper::{ServiceBackend, StudentRegistry, WhisperNet};
 use whisper_simnet::SimDuration;
 
 /// One measured configuration.
@@ -35,7 +35,10 @@ pub struct CostRow {
 /// Builds a deployment with `groups` groups of `peers_per_group` b-peers.
 fn deployment(groups: usize, peers_per_group: usize, rendezvous: bool, seed: u64) -> WhisperNet {
     let service = whisper_wsdl::samples::student_management();
-    let op = service.operation("StudentInformation").expect("sample op").clone();
+    let op = service
+        .operation("StudentInformation")
+        .expect("sample op")
+        .clone();
     let specs: Vec<GroupSpec> = (0..groups)
         .map(|gi| {
             let backends: Vec<Box<dyn ServiceBackend>> = (0..peers_per_group)
@@ -101,7 +104,14 @@ pub fn run_sweep(group_counts: &[usize], peers_per_group: usize, seed: u64) -> V
 pub fn table(rows: &[CostRow]) -> Table {
     let mut t = Table::new(
         "discovery_cost",
-        &["b-peers", "strategy", "publish", "queries", "responses", "total"],
+        &[
+            "b-peers",
+            "strategy",
+            "publish",
+            "queries",
+            "responses",
+            "total",
+        ],
     );
     for r in rows {
         t.row([
@@ -137,7 +147,11 @@ mod tests {
             small_rdv.query_msgs, big_rdv.query_msgs,
             "rendezvous query cost should not depend on network size"
         );
-        assert!(big_rdv.query_msgs <= 2, "one query per phase: {}", big_rdv.query_msgs);
+        assert!(
+            big_rdv.query_msgs <= 2,
+            "one query per phase: {}",
+            big_rdv.query_msgs
+        );
     }
 
     #[test]

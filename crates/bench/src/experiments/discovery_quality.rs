@@ -80,7 +80,11 @@ pub fn generate_corpus(params: CorpusParams) -> Vec<LabeledAdv> {
     let wrong_outputs = ["StaffRecord", "PayrollRecord", "Record"];
 
     let other_names = [
-        "UniRecords", "CampusDirectory", "RegistryService", "PeopleFinder", "AcademicLookup",
+        "UniRecords",
+        "CampusDirectory",
+        "RegistryService",
+        "PeopleFinder",
+        "AcademicLookup",
     ];
 
     for i in 0..params.size {
@@ -95,8 +99,16 @@ pub fn generate_corpus(params: CorpusParams) -> Vec<LabeledAdv> {
             // at least the action is wrong; data concepts may even be right
             (
                 wrong_actions[rng.gen_range(0..wrong_actions.len())],
-                if rng.gen_bool(0.5) { "StudentID" } else { wrong_inputs[rng.gen_range(0..wrong_inputs.len())] },
-                if rng.gen_bool(0.3) { "StudentInfo" } else { wrong_outputs[rng.gen_range(0..wrong_outputs.len())] },
+                if rng.gen_bool(0.5) {
+                    "StudentID"
+                } else {
+                    wrong_inputs[rng.gen_range(0..wrong_inputs.len())]
+                },
+                if rng.gen_bool(0.3) {
+                    "StudentInfo"
+                } else {
+                    wrong_outputs[rng.gen_range(0..wrong_outputs.len())]
+                },
             )
         };
         let popular = if relevant {
@@ -149,8 +161,16 @@ fn score(retrieved: &[bool], truth: &[bool]) -> QualityRow {
         .count();
     let retrieved_n = retrieved.iter().filter(|&&r| r).count();
     let relevant_n = truth.iter().filter(|&&t| t).count();
-    let precision = if retrieved_n == 0 { 0.0 } else { tp as f64 / retrieved_n as f64 };
-    let recall = if relevant_n == 0 { 0.0 } else { tp as f64 / relevant_n as f64 };
+    let precision = if retrieved_n == 0 {
+        0.0
+    } else {
+        tp as f64 / retrieved_n as f64
+    };
+    let recall = if relevant_n == 0 {
+        0.0
+    } else {
+        tp as f64 / relevant_n as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
@@ -192,9 +212,20 @@ pub fn run(params: CorpusParams) -> (QualityRow, QualityRow) {
 pub fn table(syntactic: QualityRow, semantic: QualityRow) -> Table {
     let mut t = Table::new(
         "discovery_quality",
-        &["matcher", "retrieved", "tp", "relevant", "precision", "recall", "F1"],
+        &[
+            "matcher",
+            "retrieved",
+            "tp",
+            "relevant",
+            "precision",
+            "recall",
+            "F1",
+        ],
     );
-    for (name, r) in [("syntactic (name)", syntactic), ("semantic (concepts)", semantic)] {
+    for (name, r) in [
+        ("syntactic (name)", syntactic),
+        ("semantic (concepts)", semantic),
+    ] {
         t.row([
             name.to_string(),
             r.retrieved.to_string(),
@@ -228,8 +259,16 @@ mod tests {
             syn.recall
         );
         // the paper's diagnosis: "high recall and low precision"
-        assert!(syn.recall > 0.7, "syntactic recall {:.3} should be high", syn.recall);
-        assert!(syn.precision < 0.7, "syntactic precision {:.3} should be low", syn.precision);
+        assert!(
+            syn.recall > 0.7,
+            "syntactic recall {:.3} should be high",
+            syn.recall
+        );
+        assert!(
+            syn.precision < 0.7,
+            "syntactic precision {:.3} should be low",
+            syn.precision
+        );
         // ground truth aligns with concepts, so the semantic matcher is
         // exact by construction
         assert!((sem.precision - 1.0).abs() < 1e-9);
@@ -246,7 +285,10 @@ mod tests {
             b.iter().filter(|l| l.relevant).count()
         );
         let relevant = a.iter().filter(|l| l.relevant).count() as f64 / a.len() as f64;
-        assert!((0.15..0.45).contains(&relevant), "relevant fraction {relevant}");
+        assert!(
+            (0.15..0.45).contains(&relevant),
+            "relevant fraction {relevant}"
+        );
     }
 
     #[test]

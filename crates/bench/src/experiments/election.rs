@@ -13,9 +13,7 @@
 //! * **Ring baseline**: Chang–Roberts-style circulation, Θ(2n) messages.
 
 use crate::Table;
-use whisper_election::{
-    BullyConfig, BullyNode, ElectionMsg, ElectionProtocol, RingNode,
-};
+use whisper_election::{BullyConfig, BullyNode, ElectionMsg, ElectionProtocol, RingNode};
 use whisper_p2p::PeerId;
 use whisper_simnet::{Actor, Context, NodeId, SimDuration, SimNet, SimTime, Wire};
 
@@ -137,9 +135,11 @@ pub fn run_election(n_live: usize, variant: Variant, seed: u64) -> ElectionRow {
 
     for (i, &p) in live.iter().enumerate() {
         let mut proto: Box<dyn ElectionProtocol + Send> = match variant {
-            Variant::BullyStaleMembership => {
-                Box::new(BullyNode::new(p, all.iter().copied(), BullyConfig::default()))
-            }
+            Variant::BullyStaleMembership => Box::new(BullyNode::new(
+                p,
+                all.iter().copied(),
+                BullyConfig::default(),
+            )),
             Variant::BullyUpdatedMembership => {
                 let mut b = BullyNode::new(p, all.iter().copied(), BullyConfig::default());
                 b.remove_member(dead);
@@ -168,7 +168,9 @@ pub fn run_election(n_live: usize, variant: Variant, seed: u64) -> ElectionRow {
     let trigger_at = SimTime::from_micros(600_000);
     let unanimous = |net: &SimNet<WireMsg>| {
         (0..n_live).all(|i| {
-            net.node::<ElectionHost>(NodeId::from_index(i)).proto.coordinator()
+            net.node::<ElectionHost>(NodeId::from_index(i))
+                .proto
+                .coordinator()
                 == Some(expected_winner)
         })
     };
@@ -176,7 +178,11 @@ pub fn run_election(n_live: usize, variant: Variant, seed: u64) -> ElectionRow {
         if unanimous(&net) && net.now() >= trigger_at {
             break net.now();
         }
-        assert!(net.step(), "{}: quiesced without agreement", variant.label());
+        assert!(
+            net.step(),
+            "{}: quiesced without agreement",
+            variant.label()
+        );
         assert!(
             net.now() < SimTime::from_micros(120_000_000),
             "{}: election did not converge",
@@ -245,7 +251,11 @@ mod tests {
             fresh.time,
             stale.time
         );
-        assert!(fresh.time.as_millis_f64() < 100.0, "fresh election {}", fresh.time);
+        assert!(
+            fresh.time.as_millis_f64() < 100.0,
+            "fresh election {}",
+            fresh.time
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ pub fn profiles() -> Vec<Profile> {
 /// Builds the paper scenario with the profile's timeouts.
 fn deployment(profile: Profile, bpeers: usize, seed: u64) -> WhisperNet {
     let service = whisper_wsdl::samples::student_management();
-    let op = service.operation("StudentInformation").expect("sample op").clone();
+    let op = service
+        .operation("StudentInformation")
+        .expect("sample op")
+        .clone();
     let backends: Vec<Box<dyn ServiceBackend>> = (0..bpeers)
         .map(|i| -> Box<dyn ServiceBackend> {
             if i % 2 == 0 {
@@ -148,7 +151,10 @@ pub fn measure(profile: Profile, bpeers: usize, seed: u64) -> FailoverBreakdown 
 
 /// Runs the sweep.
 pub fn run_sweep(bpeers: usize, seed: u64) -> Vec<(Profile, FailoverBreakdown)> {
-    profiles().into_iter().map(|p| (p, measure(p, bpeers, seed))).collect()
+    profiles()
+        .into_iter()
+        .map(|p| (p, measure(p, bpeers, seed)))
+        .collect()
 }
 
 /// Renders the sweep.

@@ -57,7 +57,15 @@ impl Default for Fig4Params {
 
 /// Measures one group size.
 pub fn run_point(bpeers: usize, params: Fig4Params) -> Fig4Row {
+    run_point_traced(bpeers, params).0
+}
+
+/// [`run_point`] with a [`whisper_obs::Recorder`] attached: the same
+/// message counts, plus per-kind network counters and span trees for the
+/// phase-3 service requests.
+pub fn run_point_traced(bpeers: usize, params: Fig4Params) -> (Fig4Row, whisper_obs::Recorder) {
     let mut net = WhisperNet::student_scenario(bpeers, params.seed);
+    let rec = net.enable_obs();
 
     // Phase 1: startup (advertisement publication + boot election).
     net.run_for(SimDuration::from_secs(2));
@@ -81,15 +89,18 @@ pub fn run_point(bpeers: usize, params: Fig4Params) -> Fig4Row {
     // traffic to the requests.
     let request_msgs = phase3 - net.metrics().sent_of_kind("heartbeat");
 
-    Fig4Row {
-        bpeers,
-        startup_msgs,
-        steady_msgs,
-        steady_per_sec: steady_msgs as f64 / params.steady_window.as_secs_f64(),
-        heartbeats,
-        request_msgs,
-        total: startup_msgs + steady_msgs + phase3,
-    }
+    (
+        Fig4Row {
+            bpeers,
+            startup_msgs,
+            steady_msgs,
+            steady_per_sec: steady_msgs as f64 / params.steady_window.as_secs_f64(),
+            heartbeats,
+            request_msgs,
+            total: startup_msgs + steady_msgs + phase3,
+        },
+        rec,
+    )
 }
 
 /// Runs the full sweep.
@@ -172,7 +183,10 @@ mod tests {
             .map(|r| (r.bpeers as f64, r.steady_msgs as f64))
             .collect();
         let r2 = linear_r2(&points);
-        assert!(r2 > 0.98, "steady-state growth not linear: R²={r2}, {points:?}");
+        assert!(
+            r2 > 0.98,
+            "steady-state growth not linear: R²={r2}, {points:?}"
+        );
         // strictly increasing
         assert!(points.windows(2).all(|w| w[0].1 < w[1].1), "{points:?}");
     }

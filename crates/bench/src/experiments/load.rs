@@ -61,9 +61,13 @@ impl Default for LoadParams {
 /// Measures one (group size, offered rate) point.
 pub fn run_point(group_size: usize, offered_rps: f64, params: LoadParams) -> LoadRow {
     let service = whisper_wsdl::samples::student_management();
-    let op = service.operation("StudentInformation").expect("sample op").clone();
-    let backends: Vec<Box<dyn ServiceBackend>> =
-        (0..group_size).map(|_| Box::new(EchoBackend) as _).collect();
+    let op = service
+        .operation("StudentInformation")
+        .expect("sample op")
+        .clone();
+    let backends: Vec<Box<dyn ServiceBackend>> = (0..group_size)
+        .map(|_| Box::new(EchoBackend) as _)
+        .collect();
     let mut group = GroupSpec::from_operation("StudentInfoGroup", &op, backends);
     group.processing_time = Some(params.service_time);
 
@@ -77,7 +81,10 @@ pub fn run_point(group_size: usize, offered_rps: f64, params: LoadParams) -> Loa
         seed: params.seed,
         service,
         groups: vec![group],
-        bpeer: BPeerConfig { load_share: true, ..BPeerConfig::default() },
+        bpeer: BPeerConfig {
+            load_share: true,
+            ..BPeerConfig::default()
+        },
         clients: vec![ClientConfigTemplate {
             workload: Workload::Open {
                 interval: SimDuration::from_micros(interval_us),
@@ -96,7 +103,7 @@ pub fn run_point(group_size: usize, offered_rps: f64, params: LoadParams) -> Loa
 
     let stats = net.client_stats(net.client_ids()[0]);
     let good = stats.completed - stats.faults;
-    let mut rtt = stats.rtt.clone();
+    let rtt = stats.rtt.clone();
     LoadRow {
         group_size,
         offered_rps,
@@ -122,7 +129,14 @@ pub fn run_sweep(group_sizes: &[usize], rates: &[f64], params: LoadParams) -> Ve
 pub fn table(rows: &[LoadRow]) -> Table {
     let mut t = Table::new(
         "load_scalability",
-        &["replicas", "offered rps", "goodput rps", "mean ms", "p99 ms", "timeouts"],
+        &[
+            "replicas",
+            "offered rps",
+            "goodput rps",
+            "mean ms",
+            "p99 ms",
+            "timeouts",
+        ],
     );
     for r in rows {
         t.row([

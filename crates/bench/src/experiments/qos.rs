@@ -13,8 +13,8 @@
 
 use crate::Table;
 use whisper::{
-    ClientConfigTemplate, DeploymentConfig, EchoBackend, FlakyBackend, GroupSpec,
-    SelectionPolicy, ServiceBackend, WhisperNet, Workload,
+    ClientConfigTemplate, DeploymentConfig, EchoBackend, FlakyBackend, GroupSpec, SelectionPolicy,
+    ServiceBackend, WhisperNet, Workload,
 };
 use whisper_p2p::QosSpec;
 use whisper_simnet::SimDuration;
@@ -31,7 +31,10 @@ pub struct QosParams {
 
 impl Default for QosParams {
     fn default() -> Self {
-        QosParams { requests: 300, seed: 37 }
+        QosParams {
+            requests: 300,
+            seed: 37,
+        }
     }
 }
 
@@ -57,19 +60,31 @@ fn profiles() -> Vec<(&'static str, SimDuration, f64, QosSpec)> {
             "GoldGroup",
             SimDuration::from_micros(300),
             0.0,
-            QosSpec { latency_us: 300, reliability: 0.999, cost: 1.0 },
+            QosSpec {
+                latency_us: 300,
+                reliability: 0.999,
+                cost: 1.0,
+            },
         ),
         (
             "SilverGroup",
             SimDuration::from_millis(3),
             0.02,
-            QosSpec { latency_us: 3_000, reliability: 0.98, cost: 1.0 },
+            QosSpec {
+                latency_us: 3_000,
+                reliability: 0.98,
+                cost: 1.0,
+            },
         ),
         (
             "BronzeGroup",
             SimDuration::from_millis(10),
             0.08,
-            QosSpec { latency_us: 10_000, reliability: 0.92, cost: 1.0 },
+            QosSpec {
+                latency_us: 10_000,
+                reliability: 0.92,
+                cost: 1.0,
+            },
         ),
     ]
 }
@@ -77,7 +92,10 @@ fn profiles() -> Vec<(&'static str, SimDuration, f64, QosSpec)> {
 /// Runs the workload under one selection policy.
 pub fn run_policy(policy: SelectionPolicy, params: QosParams) -> QosRow {
     let service = whisper_wsdl::samples::student_management();
-    let op = service.operation("StudentInformation").expect("sample op").clone();
+    let op = service
+        .operation("StudentInformation")
+        .expect("sample op")
+        .clone();
 
     let mut groups = Vec::new();
     for (gi, (name, service_time, fail_p, qos)) in profiles().into_iter().enumerate() {
@@ -103,7 +121,9 @@ pub fn run_policy(policy: SelectionPolicy, params: QosParams) -> QosRow {
         service,
         groups,
         clients: vec![ClientConfigTemplate {
-            workload: Workload::Closed { think: SimDuration::from_millis(5) },
+            workload: Workload::Closed {
+                think: SimDuration::from_millis(5),
+            },
             payloads: vec![payload],
             total: Some(params.requests),
             timeout: SimDuration::from_secs(10),
@@ -114,9 +134,11 @@ pub fn run_policy(policy: SelectionPolicy, params: QosParams) -> QosRow {
     cfg.proxy.policy = policy;
 
     let mut net = WhisperNet::build(cfg).expect("valid deployment");
-    net.run_for(SimDuration::from_secs(2) + SimDuration::from_millis(40 * params.requests + 10_000));
+    net.run_for(
+        SimDuration::from_secs(2) + SimDuration::from_millis(40 * params.requests + 10_000),
+    );
     let stats = net.client_stats(net.client_ids()[0]);
-    let mut rtt = stats.rtt.clone();
+    let rtt = stats.rtt.clone();
     QosRow {
         policy,
         mean: rtt.mean(),
@@ -145,7 +167,10 @@ pub fn run_all_seeds(params: QosParams, seeds: &[u64]) -> Vec<QosRow> {
             .collect();
         let n = runs.len() as f64;
         let avg = |f: fn(&QosRow) -> Option<SimDuration>| {
-            let vals: Vec<f64> = runs.iter().filter_map(|r| f(r).map(|d| d.as_micros() as f64)).collect();
+            let vals: Vec<f64> = runs
+                .iter()
+                .filter_map(|r| f(r).map(|d| d.as_micros() as f64))
+                .collect();
             if vals.is_empty() {
                 None
             } else {
@@ -187,7 +212,10 @@ fn policy_label(p: SelectionPolicy) -> &'static str {
 /// soon as the measurements accumulate.
 pub fn run_lying_advertiser(policy: SelectionPolicy, params: QosParams) -> QosRow {
     let service = whisper_wsdl::samples::student_management();
-    let op = service.operation("StudentInformation").expect("sample op").clone();
+    let op = service
+        .operation("StudentInformation")
+        .expect("sample op")
+        .clone();
 
     let mk = |fail_p: f64, gi: u64| -> Vec<Box<dyn ServiceBackend>> {
         (0..2)
@@ -202,11 +230,19 @@ pub fn run_lying_advertiser(policy: SelectionPolicy, params: QosParams) -> QosRo
     };
     // claims 0.3 ms / 99.9%; delivers 20 ms / ~80%
     let mut boaster = GroupSpec::from_operation("BoasterGroup", &op, mk(0.2, 1));
-    boaster.qos = Some(QosSpec { latency_us: 300, reliability: 0.999, cost: 1.0 });
+    boaster.qos = Some(QosSpec {
+        latency_us: 300,
+        reliability: 0.999,
+        cost: 1.0,
+    });
     boaster.processing_time = Some(SimDuration::from_millis(20));
     // claims 3 ms / 97%; delivers exactly that
     let mut honest = GroupSpec::from_operation("HonestGroup", &op, mk(0.02, 2));
-    honest.qos = Some(QosSpec { latency_us: 3_000, reliability: 0.97, cost: 1.0 });
+    honest.qos = Some(QosSpec {
+        latency_us: 3_000,
+        reliability: 0.97,
+        cost: 1.0,
+    });
     honest.processing_time = Some(SimDuration::from_millis(3));
 
     let mut payload = Element::new("StudentInformation");
@@ -216,7 +252,9 @@ pub fn run_lying_advertiser(policy: SelectionPolicy, params: QosParams) -> QosRo
         service,
         groups: vec![boaster, honest],
         clients: vec![ClientConfigTemplate {
-            workload: Workload::Closed { think: SimDuration::from_millis(5) },
+            workload: Workload::Closed {
+                think: SimDuration::from_millis(5),
+            },
             payloads: vec![payload],
             total: Some(params.requests),
             timeout: SimDuration::from_secs(10),
@@ -226,9 +264,11 @@ pub fn run_lying_advertiser(policy: SelectionPolicy, params: QosParams) -> QosRo
     };
     cfg.proxy.policy = policy;
     let mut net = WhisperNet::build(cfg).expect("valid deployment");
-    net.run_for(SimDuration::from_secs(2) + SimDuration::from_millis(60 * params.requests + 10_000));
+    net.run_for(
+        SimDuration::from_secs(2) + SimDuration::from_millis(60 * params.requests + 10_000),
+    );
     let stats = net.client_stats(net.client_ids()[0]);
-    let mut rtt = stats.rtt.clone();
+    let rtt = stats.rtt.clone();
     QosRow {
         policy,
         mean: rtt.mean(),
@@ -284,7 +324,10 @@ mod tests {
 
     #[test]
     fn qos_aware_selection_beats_random() {
-        let params = QosParams { requests: 120, seed: 5 };
+        let params = QosParams {
+            requests: 120,
+            seed: 5,
+        };
         let qos = run_policy(SelectionPolicy::QosOnly, params);
         let random = run_policy(SelectionPolicy::Random, params);
         let qm = qos.mean.expect("completions").as_millis_f64();
@@ -306,19 +349,21 @@ mod tests {
 
     #[test]
     fn all_policies_complete_the_workload() {
-        let params = QosParams { requests: 50, seed: 9 };
+        let params = QosParams {
+            requests: 50,
+            seed: 9,
+        };
         for row in run_all(params) {
-            assert_eq!(
-                row.completed, 50,
-                "{:?} lost requests: {row:?}",
-                row.policy
-            );
+            assert_eq!(row.completed, 50, "{:?} lost requests: {row:?}", row.policy);
         }
     }
 
     #[test]
     fn adaptive_selection_abandons_the_lying_advertiser() {
-        let params = QosParams { requests: 150, seed: 3 };
+        let params = QosParams {
+            requests: 150,
+            seed: 3,
+        };
         let advertised = run_lying_advertiser(SelectionPolicy::QosOnly, params);
         let adaptive = run_lying_advertiser(SelectionPolicy::Adaptive, params);
         let am = advertised.mean.expect("completions").as_millis_f64();

@@ -13,8 +13,8 @@
 
 use crate::Table;
 use whisper::{
-    ClientConfigTemplate, DeploymentConfig, GroupSpec, ServiceBackend, StudentRegistry,
-    WhisperNet, Workload,
+    ClientConfigTemplate, DeploymentConfig, GroupSpec, ServiceBackend, StudentRegistry, WhisperNet,
+    Workload,
 };
 use whisper_simnet::{SimDuration, SimTime};
 use whisper_xml::Element;
@@ -39,7 +39,10 @@ pub struct RelayRow {
 
 fn deployment(firewalled: bool, bpeers: usize, seed: u64) -> WhisperNet {
     let service = whisper_wsdl::samples::student_management();
-    let op = service.operation("StudentInformation").expect("sample op").clone();
+    let op = service
+        .operation("StudentInformation")
+        .expect("sample op")
+        .clone();
     let backends: Vec<Box<dyn ServiceBackend>> = (0..bpeers)
         .map(|_| Box::new(StudentRegistry::operational_db().with_sample_data()) as _)
         .collect();
@@ -52,7 +55,9 @@ fn deployment(firewalled: bool, bpeers: usize, seed: u64) -> WhisperNet {
         use_rendezvous: true,
         firewall_bpeers: firewalled,
         clients: vec![ClientConfigTemplate {
-            workload: Workload::Closed { think: SimDuration::from_millis(20) },
+            workload: Workload::Closed {
+                think: SimDuration::from_millis(20),
+            },
             payloads: vec![payload],
             total: Some(100),
             timeout: SimDuration::from_secs(20),
@@ -70,7 +75,7 @@ pub fn run_point(firewalled: bool, seed: u64) -> RelayRow {
     net.reset_metrics();
     net.run_for(SimDuration::from_secs(20));
     let stats = net.client_stats(net.client_ids()[0]);
-    let mut rtt = stats.rtt.clone();
+    let rtt = stats.rtt.clone();
     RelayRow {
         firewalled,
         completed: stats.completed,
@@ -90,11 +95,23 @@ pub fn run_both(seed: u64) -> (RelayRow, RelayRow) {
 pub fn table(direct: &RelayRow, relayed: &RelayRow) -> Table {
     let mut t = Table::new(
         "relay_overhead",
-        &["topology", "completed", "faults", "p50 ms", "messages", "leaked"],
+        &[
+            "topology",
+            "completed",
+            "faults",
+            "p50 ms",
+            "messages",
+            "leaked",
+        ],
     );
     for r in [direct, relayed] {
         t.row([
-            if r.firewalled { "firewalled (via relay)" } else { "direct" }.to_string(),
+            if r.firewalled {
+                "firewalled (via relay)"
+            } else {
+                "direct"
+            }
+            .to_string(),
             r.completed.to_string(),
             r.faults.to_string(),
             crate::table::ms_opt(r.p50),
@@ -144,7 +161,10 @@ mod tests {
         net.crash_coordinator(0).expect("coordinator exists");
         net.run_for(SimDuration::from_secs(40));
         let stats = net.client_stats(client);
-        assert_eq!(stats.faults, 0, "failover behind NAT must be masked: {stats:?}");
+        assert_eq!(
+            stats.faults, 0,
+            "failover behind NAT must be masked: {stats:?}"
+        );
         assert!(stats.completed >= 90, "workload should finish: {stats:?}");
         assert_eq!(net.metrics().messages_partitioned(), 0);
     }

@@ -18,12 +18,10 @@
 
 use crate::Table;
 use whisper::{
-    ClientConfigTemplate, DeploymentConfig, GroupSpec, ServiceBackend, StudentRegistry,
-    WhisperNet, Workload,
+    ClientConfigTemplate, DeploymentConfig, GroupSpec, ServiceBackend, StudentRegistry, WhisperNet,
+    Workload,
 };
-use whisper_simnet::{
-    Actor, Context, Histogram, NodeId, SimDuration, SimNet, SimTime, Wire,
-};
+use whisper_simnet::{Actor, Context, Histogram, NodeId, SimDuration, SimNet, SimTime, Wire};
 use whisper_xml::Element;
 
 /// Raw ping message for the network-RTT measurement.
@@ -62,7 +60,14 @@ struct Prober {
 
 impl Actor<Ping> for Prober {
     fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
-        ctx.send(self.target, Ping { sent_at: ctx.now(), size: self.size, reply: false });
+        ctx.send(
+            self.target,
+            Ping {
+                sent_at: ctx.now(),
+                size: self.size,
+                reply: false,
+            },
+        );
     }
     fn on_message(&mut self, ctx: &mut Context<'_, Ping>, _from: NodeId, msg: Ping) {
         if msg.reply {
@@ -75,7 +80,14 @@ impl Actor<Ping> for Prober {
         }
     }
     fn on_timer(&mut self, ctx: &mut Context<'_, Ping>, _token: u64) {
-        ctx.send(self.target, Ping { sent_at: ctx.now(), size: self.size, reply: false });
+        ctx.send(
+            self.target,
+            Ping {
+                sent_at: ctx.now(),
+                size: self.size,
+                reply: false,
+            },
+        );
     }
 }
 
@@ -97,7 +109,10 @@ pub fn network_rtt(probes: usize, size: usize, seed: u64) -> Histogram {
 /// The service-level RTT distribution of a closed-loop client.
 pub fn service_rtt(requests: u64, bpeers: usize, seed: u64) -> Histogram {
     let service = whisper_wsdl::samples::student_management();
-    let op = service.operation("StudentInformation").expect("sample op").clone();
+    let op = service
+        .operation("StudentInformation")
+        .expect("sample op")
+        .clone();
     let backends: Vec<Box<dyn ServiceBackend>> = (0..bpeers)
         .map(|_| Box::new(StudentRegistry::operational_db().with_sample_data()) as _)
         .collect();
@@ -108,7 +123,9 @@ pub fn service_rtt(requests: u64, bpeers: usize, seed: u64) -> Histogram {
         service,
         groups: vec![GroupSpec::from_operation("StudentInfoGroup", &op, backends)],
         clients: vec![ClientConfigTemplate {
-            workload: Workload::Closed { think: SimDuration::from_millis(20) },
+            workload: Workload::Closed {
+                think: SimDuration::from_millis(20),
+            },
             payloads: vec![payload],
             total: Some(requests),
             timeout: SimDuration::from_secs(20),
@@ -138,7 +155,15 @@ pub struct FailoverBreakdown {
 /// Crashes the coordinator with a request in flight and measures the
 /// recovery timeline.
 pub fn failover_breakdown(bpeers: usize, seed: u64) -> FailoverBreakdown {
+    failover_traced(bpeers, seed).0
+}
+
+/// [`failover_breakdown`] with a [`whisper_obs::Recorder`] attached, so the
+/// recovery timeline can also be read as a span tree (election spans, the
+/// proxy's re-discovery, the retried invoke).
+pub fn failover_traced(bpeers: usize, seed: u64) -> (FailoverBreakdown, whisper_obs::Recorder) {
     let mut net = WhisperNet::student_scenario(bpeers, seed);
+    let rec = net.enable_obs();
     net.run_for(SimDuration::from_secs(3));
     let client = net.client_ids()[0];
 
@@ -185,20 +210,30 @@ pub fn failover_breakdown(bpeers: usize, seed: u64) -> FailoverBreakdown {
         );
     };
 
-    FailoverBreakdown {
-        detect_and_elect: elected_at.since(crash_at),
-        rebind: answered_at.since(elected_at),
-        total: answered_at.since(crash_at),
-    }
+    (
+        FailoverBreakdown {
+            detect_and_elect: elected_at.since(crash_at),
+            rebind: answered_at.since(elected_at),
+            total: answered_at.since(crash_at),
+        },
+        rec,
+    )
 }
 
 /// Renders the full RTT analysis.
 pub fn table(probes: usize, requests: u64, bpeers: usize, seed: u64) -> Table {
     let mut t = Table::new(
         "rtt_analysis",
-        &["measurement", "min ms", "mean ms", "p95 ms", "p99 ms", "max ms"],
+        &[
+            "measurement",
+            "min ms",
+            "mean ms",
+            "p95 ms",
+            "p99 ms",
+            "max ms",
+        ],
     );
-    let mut push_hist = |name: &str, mut h: Histogram| {
+    let mut push_hist = |name: &str, h: Histogram| {
         t.row([
             name.to_string(),
             crate::table::ms_opt(h.min()),
@@ -209,7 +244,10 @@ pub fn table(probes: usize, requests: u64, bpeers: usize, seed: u64) -> Table {
         ]);
     };
     push_hist("network ping (1 KiB)", network_rtt(probes, 1024, seed));
-    push_hist("service request (steady)", service_rtt(requests, bpeers, seed));
+    push_hist(
+        "service request (steady)",
+        service_rtt(requests, bpeers, seed),
+    );
 
     let f = failover_breakdown(bpeers, seed);
     let ms = crate::table::ms;
@@ -246,7 +284,7 @@ mod tests {
 
     #[test]
     fn network_rtt_matches_paper_half_millisecond() {
-        let mut h = network_rtt(100, 1024, 7);
+        let h = network_rtt(100, 1024, 7);
         assert_eq!(h.count(), 100);
         let mean = h.mean().expect("samples").as_millis_f64();
         assert!(
@@ -258,7 +296,7 @@ mod tests {
 
     #[test]
     fn steady_service_rtt_is_low_single_digit_ms() {
-        let mut h = service_rtt(30, 3, 5);
+        let h = service_rtt(30, 3, 5);
         assert_eq!(h.count(), 30);
         // The first (cold) request pays discovery + the gather window; the
         // steady state is the median.
@@ -276,7 +314,11 @@ mod tests {
             "worst-case RTT {} should be in seconds",
             f.total
         );
-        assert!(f.total.as_secs_f64() < 30.0, "failover unreasonably slow: {}", f.total);
+        assert!(
+            f.total.as_secs_f64() < 30.0,
+            "failover unreasonably slow: {}",
+            f.total
+        );
         // both components the paper blames are non-trivial
         assert!(f.detect_and_elect.as_millis_f64() > 100.0);
         assert!(f.rebind.as_millis_f64() > 0.0);

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod obs;
 mod table;
 
 pub use table::Table;

@@ -106,12 +106,20 @@ pub struct StudentRegistry {
 impl StudentRegistry {
     /// An empty operational-database registry.
     pub fn operational_db() -> Self {
-        StudentRegistry { source: "operational-db", students: BTreeMap::new(), available: true }
+        StudentRegistry {
+            source: "operational-db",
+            students: BTreeMap::new(),
+            available: true,
+        }
     }
 
     /// An empty data-warehouse registry.
     pub fn data_warehouse() -> Self {
-        StudentRegistry { source: "data-warehouse", students: BTreeMap::new(), available: true }
+        StudentRegistry {
+            source: "data-warehouse",
+            students: BTreeMap::new(),
+            available: true,
+        }
     }
 
     /// Loads the sample student body used by examples and benchmarks
@@ -124,7 +132,12 @@ impl StudentRegistry {
                 StudentRecord {
                     id,
                     name: format!("Student Number {i}"),
-                    program: if i % 2 == 0 { "Informatics" } else { "Mathematics" }.to_string(),
+                    program: if i % 2 == 0 {
+                        "Informatics"
+                    } else {
+                        "Mathematics"
+                    }
+                    .to_string(),
                     gpa: 2.0 + (i as f64) * 0.2,
                 },
             );
@@ -162,9 +175,7 @@ impl ServiceBackend for StudentRegistry {
         let id = payload
             .descendant("StudentID")
             .map(|e| e.text())
-            .or_else(|| {
-                (payload.name == "StudentID").then(|| payload.text())
-            })
+            .or_else(|| (payload.name == "StudentID").then(|| payload.text()))
             .ok_or_else(|| BackendError::BadRequest("missing <StudentID>".into()))?;
         let rec = self
             .students
@@ -212,7 +223,10 @@ pub struct ClaimProcessor {
 impl ClaimProcessor {
     /// A processor approving claims below `approval_limit`.
     pub fn new(approval_limit: f64) -> Self {
-        ClaimProcessor { approval_limit, processed: 0 }
+        ClaimProcessor {
+            approval_limit,
+            processed: 0,
+        }
     }
 
     /// How many claims this replica has processed.
@@ -240,7 +254,11 @@ impl ServiceBackend for ClaimProcessor {
         out.push_child(Element::with_text("ClaimNumber", number));
         out.push_child(Element::with_text(
             "Decision",
-            if amount < self.approval_limit { "approved" } else { "rejected" },
+            if amount < self.approval_limit {
+                "approved"
+            } else {
+                "rejected"
+            },
         ));
         Ok(out)
     }
@@ -379,7 +397,9 @@ mod tests {
     fn registry_answers_information_requests() {
         let mut db = StudentRegistry::operational_db().with_sample_data();
         assert_eq!(db.len(), 10);
-        let out = db.handle("StudentInformation", &student_req("u1003")).unwrap();
+        let out = db
+            .handle("StudentInformation", &student_req("u1003"))
+            .unwrap();
         assert_eq!(out.name, "StudentInfo");
         assert_eq!(out.child("Name").unwrap().text(), "Student Number 3");
         assert_eq!(out.child("Source").unwrap().text(), "operational-db");
@@ -388,7 +408,9 @@ mod tests {
     #[test]
     fn warehouse_same_semantics_different_provenance() {
         let mut wh = StudentRegistry::data_warehouse().with_sample_data();
-        let out = wh.handle("StudentInformation", &student_req("u1003")).unwrap();
+        let out = wh
+            .handle("StudentInformation", &student_req("u1003"))
+            .unwrap();
         assert_eq!(out.name, "StudentInfo");
         assert_eq!(out.child("Source").unwrap().text(), "data-warehouse");
         assert_eq!(wh.label(), "data-warehouse");
@@ -397,9 +419,17 @@ mod tests {
     #[test]
     fn transcript_operation() {
         let mut db = StudentRegistry::operational_db().with_sample_data();
-        let out = db.handle("StudentTranscript", &student_req("u1000")).unwrap();
+        let out = db
+            .handle("StudentTranscript", &student_req("u1000"))
+            .unwrap();
         assert_eq!(out.name, "StudentTranscript");
-        assert_eq!(out.child("Courses").unwrap().children_named("Course").count(), 2);
+        assert_eq!(
+            out.child("Courses")
+                .unwrap()
+                .children_named("Course")
+                .count(),
+            2
+        );
     }
 
     #[test]
@@ -423,7 +453,9 @@ mod tests {
             Err(BackendError::Unavailable(_))
         ));
         db.set_available(true);
-        assert!(db.handle("StudentInformation", &student_req("u1000")).is_ok());
+        assert!(db
+            .handle("StudentInformation", &student_req("u1000"))
+            .is_ok());
     }
 
     #[test]

@@ -11,7 +11,9 @@
 use crate::backend::{BackendError, ServiceBackend};
 use crate::directory::Directory;
 use crate::msg::WhisperMsg;
+use crate::trace;
 use whisper_election::{BullyConfig, BullyNode, ElectionMsg, ElectionProtocol, Output};
+use whisper_obs::{Recorder, SpanId};
 use whisper_p2p::{
     Advertisement, DiscoveryService, DiscoveryStrategy, FailureDetector, GroupId, P2pMessage,
     PeerAdv, PeerId, PipeId, SemanticAdv,
@@ -97,11 +99,14 @@ pub struct BPeerActor {
     name: String,
     /// Server model: the instant the replica becomes free again.
     busy_until: whisper_simnet::SimTime,
-    /// Deferred responses keyed by stash id (token payload).
-    stash: std::collections::HashMap<u64, (PeerId, WhisperMsg)>,
+    /// Deferred responses keyed by stash id (token payload); the span is
+    /// the request's still-open `backend.execute`, closed when the
+    /// response finally leaves.
+    stash: std::collections::HashMap<u64, (PeerId, WhisperMsg, Option<SpanId>)>,
     next_stash: u64,
     /// Round-robin cursor for load sharing.
     rr_cursor: usize,
+    obs: Option<Recorder>,
 }
 
 impl BPeerActor {
@@ -134,7 +139,17 @@ impl BPeerActor {
             stash: std::collections::HashMap::new(),
             next_stash: 0,
             rr_cursor: 0,
+            obs: None,
         }
+    }
+
+    /// Installs an observability recorder into this b-peer, its discovery
+    /// service, and its election protocol. Requests it executes get
+    /// `backend.execute` spans correlated back to the proxy's trace.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.disco.set_recorder(rec.clone());
+        self.election.set_recorder(rec.clone());
+        self.obs = Some(rec);
     }
 
     /// This peer's id.
@@ -219,7 +234,14 @@ impl BPeerActor {
 
     fn route_election_output(&mut self, ctx: &mut Context<'_, WhisperMsg>, out: Output) {
         for (to, msg) in out.sends {
-            self.send_to_peer(ctx, to, WhisperMsg::Election { group: self.group, msg });
+            self.send_to_peer(
+                ctx,
+                to,
+                WhisperMsg::Election {
+                    group: self.group,
+                    msg,
+                },
+            );
         }
         for t in out.timers {
             ctx.set_timer(t.delay, ELECTION_TOKEN_BASE | t.token);
@@ -264,12 +286,21 @@ impl BPeerActor {
         match self.election.coordinator() {
             Some(c) if c == self.peer => {
                 // coordinator beacons every member
-                self.members.iter().copied().filter(|&p| p != self.peer).collect()
+                self.members
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != self.peer)
+                    .collect()
             }
             Some(c) => vec![c],
             // no coordinator known (election in flight): beacon everyone so
             // liveness information keeps flowing
-            None => self.members.iter().copied().filter(|&p| p != self.peer).collect(),
+            None => self
+                .members
+                .iter()
+                .copied()
+                .filter(|&p| p != self.peer)
+                .collect(),
         }
     }
 
@@ -329,10 +360,24 @@ impl BPeerActor {
             // paper: "the b-peer found may not be the coordinator" — point
             // the proxy at the peer we believe is coordinating.
             let coordinator = self.election.coordinator().filter(|&c| c != self.peer);
+            if let Some(rec) = &self.obs {
+                if let Some(req) = rec.lookup(trace::NS_PEER, trace::peer_key(reply_to, request_id))
+                {
+                    let s = rec.instant("bpeer.redirect", req, ctx.now());
+                    rec.set_attr(s, "peer", self.peer.value());
+                    if let Some(c) = coordinator {
+                        rec.set_attr(s, "coordinator", c.value());
+                    }
+                }
+                rec.incr("bpeer.redirects", 1);
+            }
             self.send_to_peer(
                 ctx,
                 reply_to,
-                WhisperMsg::PeerRedirect { request_id, coordinator },
+                WhisperMsg::PeerRedirect {
+                    request_id,
+                    coordinator,
+                },
             );
             return;
         }
@@ -347,10 +392,16 @@ impl BPeerActor {
                 let target = pool[self.rr_cursor % pool.len()];
                 self.rr_cursor += 1;
                 if target != self.peer {
+                    self.obs_delegate(ctx.now(), reply_to, request_id, target);
                     self.send_to_peer(
                         ctx,
                         target,
-                        WhisperMsg::PeerRequest { request_id, reply_to, delegated: true, envelope },
+                        WhisperMsg::PeerRequest {
+                            request_id,
+                            reply_to,
+                            delegated: true,
+                            envelope,
+                        },
                     );
                     return;
                 }
@@ -358,34 +409,83 @@ impl BPeerActor {
         }
         // Probe the backend by executing; on unavailability, try to
         // delegate to a semantically equivalent member.
+        let exec_span = self.obs.as_ref().and_then(|rec| {
+            let req = rec.lookup(trace::NS_PEER, trace::peer_key(reply_to, request_id))?;
+            let s = rec.start_span("backend.execute", req, ctx.now());
+            rec.set_attr(s, "peer", self.peer.value());
+            rec.set_attr(s, "backend", self.backend.label().to_string());
+            if delegated {
+                rec.set_attr(s, "delegated", 1u64);
+            }
+            rec.incr("bpeer.executed", 1);
+            Some(s)
+        });
         let response = self.execute(&envelope);
         let unavailable = Envelope::parse(&response)
             .ok()
-            .and_then(|e| e.as_fault().map(|f| f.reason.contains("backend unavailable")))
+            .and_then(|e| {
+                e.as_fault()
+                    .map(|f| f.reason.contains("backend unavailable"))
+            })
             .unwrap_or(false);
         if unavailable && !delegated {
             if let Some(delegate) = self.delegate_target(ctx.now()) {
+                if let (Some(rec), Some(s)) = (&self.obs, exec_span) {
+                    rec.set_attr(s, "outcome", "unavailable");
+                    rec.end_span(s, ctx.now());
+                }
+                self.obs_delegate(ctx.now(), reply_to, request_id, delegate);
                 self.send_to_peer(
                     ctx,
                     delegate,
-                    WhisperMsg::PeerRequest { request_id, reply_to, delegated: true, envelope },
+                    WhisperMsg::PeerRequest {
+                        request_id,
+                        reply_to,
+                        delegated: true,
+                        envelope,
+                    },
                 );
                 return;
             }
         }
-        let msg = WhisperMsg::PeerResponse { request_id, envelope: response };
+        let msg = WhisperMsg::PeerResponse {
+            request_id,
+            envelope: response,
+        };
         if self.config.processing_time == SimDuration::ZERO {
+            if let (Some(rec), Some(s)) = (&self.obs, exec_span) {
+                rec.end_span(s, ctx.now());
+            }
             self.send_to_peer(ctx, reply_to, msg);
         } else {
             // Serve like a single-threaded server: requests queue behind the
-            // one in progress.
+            // one in progress. The execute span stays open until the
+            // response leaves, so it measures queueing + service time.
             let now = ctx.now();
             let start = self.busy_until.max(now);
             self.busy_until = start + self.config.processing_time;
             let stash_id = self.next_stash;
             self.next_stash += 1;
-            self.stash.insert(stash_id, (reply_to, msg));
+            self.stash.insert(stash_id, (reply_to, msg, exec_span));
             ctx.set_timer(self.busy_until.since(now), RESPONSE_TOKEN_BASE | stash_id);
+        }
+    }
+
+    /// Marks a hand-off of a request to another member on its trace.
+    fn obs_delegate(
+        &self,
+        now: whisper_simnet::SimTime,
+        reply_to: PeerId,
+        request_id: u64,
+        target: PeerId,
+    ) {
+        if let Some(rec) = &self.obs {
+            if let Some(req) = rec.lookup(trace::NS_PEER, trace::peer_key(reply_to, request_id)) {
+                let s = rec.instant("bpeer.delegate", req, now);
+                rec.set_attr(s, "from", self.peer.value());
+                rec.set_attr(s, "to", target.value());
+            }
+            rec.incr("bpeer.delegated", 1);
         }
     }
 }
@@ -413,11 +513,11 @@ impl Actor<WhisperMsg> for BPeerActor {
         // A recovered peer rejoins: re-publish, re-elect (it may be the
         // rightful highest-id coordinator), restart beacons.
         self.fd = FailureDetector::new(self.config.failure_timeout);
-        self.election = BullyNode::new(
-            self.peer,
-            self.members.iter().copied(),
-            self.config.bully,
-        );
+        self.election = BullyNode::new(self.peer, self.members.iter().copied(), self.config.bully);
+        // the fresh BullyNode must observe through the same recorder
+        if let Some(rec) = &self.obs {
+            self.election.set_recorder(rec.clone());
+        }
         self.on_start(ctx);
     }
 
@@ -438,7 +538,11 @@ impl Actor<WhisperMsg> for BPeerActor {
                     P2pMessage::Heartbeat { from, .. } => *from,
                     _ => self.directory.peer_of(from).unwrap_or(self.peer),
                 };
-                if let P2pMessage::Heartbeat { from: hb_from, group } = &m {
+                if let P2pMessage::Heartbeat {
+                    from: hb_from,
+                    group,
+                } = &m
+                {
                     if *group == self.group {
                         self.note_member(*hb_from, ctx.now());
                     }
@@ -465,7 +569,12 @@ impl Actor<WhisperMsg> for BPeerActor {
                 let out = self.election.on_message(from_peer, msg, ctx.now());
                 self.route_election_output(ctx, out);
             }
-            WhisperMsg::PeerRequest { request_id, reply_to, delegated, envelope } => {
+            WhisperMsg::PeerRequest {
+                request_id,
+                reply_to,
+                delegated,
+                envelope,
+            } => {
                 self.handle_peer_request(ctx, request_id, reply_to, delegated, envelope);
             }
             // B-peers neither originate SOAP traffic nor receive responses;
@@ -480,12 +589,18 @@ impl Actor<WhisperMsg> for BPeerActor {
 
     fn on_timer(&mut self, ctx: &mut Context<'_, WhisperMsg>, token: u64) {
         if token & ELECTION_TOKEN_BASE != 0 {
-            let out = self.election.on_timer(token & !ELECTION_TOKEN_BASE, ctx.now());
+            let out = self
+                .election
+                .on_timer(token & !ELECTION_TOKEN_BASE, ctx.now());
             self.route_election_output(ctx, out);
             return;
         }
         if token & RESPONSE_TOKEN_BASE != 0 {
-            if let Some((reply_to, msg)) = self.stash.remove(&(token & !RESPONSE_TOKEN_BASE)) {
+            if let Some((reply_to, msg, span)) = self.stash.remove(&(token & !RESPONSE_TOKEN_BASE))
+            {
+                if let (Some(rec), Some(s)) = (&self.obs, span) {
+                    rec.end_span(s, ctx.now());
+                }
                 self.send_to_peer(ctx, reply_to, msg);
             }
             return;
@@ -593,9 +708,13 @@ mod tests {
         assert_eq!(p.heartbeat_targets(), vec![PeerId::new(1), PeerId::new(2)]);
 
         let mut member = peer_actor(1, &[1, 2, 3]);
-        let _ = member
-            .election
-            .on_message(PeerId::new(3), ElectionMsg::Coordinator { from: PeerId::new(3) }, whisper_simnet::SimTime::ZERO);
+        let _ = member.election.on_message(
+            PeerId::new(3),
+            ElectionMsg::Coordinator {
+                from: PeerId::new(3),
+            },
+            whisper_simnet::SimTime::ZERO,
+        );
         // member beacons only the coordinator
         assert_eq!(member.heartbeat_targets(), vec![PeerId::new(3)]);
     }

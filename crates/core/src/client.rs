@@ -1,6 +1,8 @@
 //! Workload clients: the B2B applications invoking the Web service.
 
 use crate::msg::WhisperMsg;
+use crate::trace;
+use whisper_obs::Recorder;
 use whisper_simnet::{Actor, Context, Histogram, NodeId, SimDuration, SimTime};
 use whisper_soap::Envelope;
 use whisper_xml::Element;
@@ -139,6 +141,8 @@ pub struct ClientActor {
     outcomes: Vec<RequestOutcome>,
     stats: ClientStats,
     last_response: Option<String>,
+    obs: Option<Recorder>,
+    my_id: Option<NodeId>,
 }
 
 impl ClientActor {
@@ -151,7 +155,15 @@ impl ClientActor {
             outcomes: Vec::new(),
             stats: ClientStats::default(),
             last_response: None,
+            obs: None,
+            my_id: None,
         }
+    }
+
+    /// Installs an observability recorder: every request becomes a traced
+    /// request with a `client.request` root span.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = Some(rec);
     }
 
     /// Aggregated counters.
@@ -182,6 +194,12 @@ impl ClientActor {
             timed_out: false,
         });
         self.stats.sent += 1;
+        if let (Some(rec), Some(me)) = (&self.obs, self.my_id) {
+            let req = rec.begin_request(format!("client{} #{id}", me.index()), now);
+            rec.start_span("client.request", req, now);
+            rec.bind(trace::NS_SOAP, trace::soap_key(me, id), req);
+            rec.incr("client.sent", 1);
+        }
         id
     }
 
@@ -213,11 +231,18 @@ impl ClientActor {
         if !self.quota_left() || self.config.payloads.is_empty() {
             return;
         }
-        let payload = self.config.payloads[self.payload_cursor % self.config.payloads.len()].clone();
+        let payload =
+            self.config.payloads[self.payload_cursor % self.config.payloads.len()].clone();
         self.payload_cursor += 1;
         let id = self.register_manual(ctx.now());
         let envelope = Envelope::request(payload).to_xml_string();
-        ctx.send(self.config.proxy_node, WhisperMsg::SoapRequest { request_id: id, envelope });
+        ctx.send(
+            self.config.proxy_node,
+            WhisperMsg::SoapRequest {
+                request_id: id,
+                envelope,
+            },
+        );
         ctx.set_timer(self.config.timeout, req_token(id));
         if let Workload::Open { .. } = self.config.workload {
             let next = self.interval(ctx);
@@ -234,26 +259,52 @@ impl ClientActor {
         }
         outcome.completed_at = Some(now);
         self.last_response = Some(envelope.to_string());
-        let fault = Envelope::parse(envelope).map(|e| e.is_fault()).unwrap_or(true);
+        let fault = Envelope::parse(envelope)
+            .map(|e| e.is_fault())
+            .unwrap_or(true);
         outcome.fault = fault;
         self.stats.completed += 1;
+        let sent_at = outcome.sent_at;
         if fault {
             self.stats.faults += 1;
         } else {
-            self.stats.rtt.record(now.since(outcome.sent_at));
+            self.stats.rtt.record(now.since(sent_at));
+        }
+        if let (Some(rec), Some(me)) = (&self.obs, self.my_id) {
+            let key = trace::soap_key(me, id);
+            if let Some(req) = rec.lookup(trace::NS_SOAP, key) {
+                rec.end_named(req, "client.request", now);
+                rec.unbind(trace::NS_SOAP, key);
+            }
+            rec.incr(
+                if fault {
+                    "client.faults"
+                } else {
+                    "client.completed"
+                },
+                1,
+            );
+            if !fault {
+                rec.record_duration("client.rtt", now.since(sent_at));
+            }
         }
     }
 }
 
 impl Actor<WhisperMsg> for ClientActor {
     fn on_start(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
+        self.my_id = Some(ctx.id());
         if !matches!(self.config.workload, Workload::Manual) {
             ctx.set_timer(self.config.warmup, TOKEN_SEND);
         }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, WhisperMsg>, _from: NodeId, msg: WhisperMsg) {
-        if let WhisperMsg::SoapResponse { request_id, envelope } = msg {
+        if let WhisperMsg::SoapResponse {
+            request_id,
+            envelope,
+        } = msg
+        {
             self.complete(request_id, ctx.now(), &envelope);
             if let Workload::Closed { .. } = self.config.workload {
                 if self.quota_left() {
@@ -273,6 +324,14 @@ impl Actor<WhisperMsg> for ClientActor {
                     if o.completed_at.is_none() && !o.timed_out {
                         o.timed_out = true;
                         self.stats.timeouts += 1;
+                        if let (Some(rec), Some(me)) = (&self.obs, self.my_id) {
+                            let key = trace::soap_key(me, id);
+                            if let Some(req) = rec.lookup(trace::NS_SOAP, key) {
+                                rec.end_named(req, "client.request", ctx.now());
+                                rec.unbind(trace::NS_SOAP, key);
+                            }
+                            rec.incr("client.timeouts", 1);
+                        }
                         // keep a closed loop alive after a loss
                         if let Workload::Closed { .. } = self.config.workload {
                             if self.quota_left() {
@@ -310,7 +369,10 @@ mod tests {
         assert_eq!(s.rtt.count(), 1);
         assert_eq!(s.in_flight(), 0);
         assert_eq!(s.availability(), Some(1.0));
-        assert_eq!(c.outcomes()[0].completed_at, Some(SimTime::from_micros(700)));
+        assert_eq!(
+            c.outcomes()[0].completed_at,
+            Some(SimTime::from_micros(700))
+        );
     }
 
     #[test]

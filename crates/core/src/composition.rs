@@ -93,8 +93,14 @@ impl QosExpr {
     /// Panics unless `0 ≤ again < 1` (a loop that never exits has no
     /// finite QoS).
     pub fn repeat(body: QosExpr, again: f64) -> Self {
-        assert!((0.0..1.0).contains(&again), "loop probability {again} not in [0, 1)");
-        QosExpr::Loop { body: Box::new(body), again }
+        assert!(
+            (0.0..1.0).contains(&again),
+            "loop probability {again} not in [0, 1)"
+        );
+        QosExpr::Loop {
+            body: Box::new(body),
+            again,
+        }
     }
 
     /// Reduces the expression to a single expected [`QosSpec`].
@@ -102,7 +108,11 @@ impl QosExpr {
         match self {
             QosExpr::Task(q) => *q,
             QosExpr::Seq(steps) => steps.iter().map(QosExpr::aggregate).fold(
-                QosSpec { latency_us: 0, reliability: 1.0, cost: 0.0 },
+                QosSpec {
+                    latency_us: 0,
+                    reliability: 1.0,
+                    cost: 0.0,
+                },
                 |acc, q| QosSpec {
                     latency_us: acc.latency_us + q.latency_us,
                     reliability: acc.reliability * q.reliability,
@@ -110,7 +120,11 @@ impl QosExpr {
                 },
             ),
             QosExpr::Par(branches) => branches.iter().map(QosExpr::aggregate).fold(
-                QosSpec { latency_us: 0, reliability: 1.0, cost: 0.0 },
+                QosSpec {
+                    latency_us: 0,
+                    reliability: 1.0,
+                    cost: 0.0,
+                },
                 |acc, q| QosSpec {
                     latency_us: acc.latency_us.max(q.latency_us),
                     reliability: acc.reliability * q.reliability,
@@ -120,7 +134,11 @@ impl QosExpr {
             QosExpr::Cond(branches) => {
                 let total_p: f64 = branches.iter().map(|(p, _)| p.max(0.0)).sum();
                 if total_p <= 0.0 || branches.is_empty() {
-                    return QosSpec { latency_us: 0, reliability: 1.0, cost: 0.0 };
+                    return QosSpec {
+                        latency_us: 0,
+                        reliability: 1.0,
+                        cost: 0.0,
+                    };
                 }
                 let mut latency = 0.0;
                 let mut reliability = 0.0;
@@ -132,7 +150,11 @@ impl QosExpr {
                     reliability += w * q.reliability;
                     cost += w * q.cost;
                 }
-                QosSpec { latency_us: latency.round() as u64, reliability, cost }
+                QosSpec {
+                    latency_us: latency.round() as u64,
+                    reliability,
+                    cost,
+                }
             }
             QosExpr::Loop { body, again } => {
                 let q = body.aggregate();
@@ -164,7 +186,11 @@ mod tests {
     use super::*;
 
     fn t(ms: u64, rel: f64, cost: f64) -> QosExpr {
-        QosExpr::task(QosSpec { latency_us: ms * 1000, reliability: rel, cost })
+        QosExpr::task(QosSpec {
+            latency_us: ms * 1000,
+            reliability: rel,
+            cost,
+        })
     }
 
     #[test]
@@ -241,15 +267,27 @@ mod tests {
     fn empty_compositions_are_identities() {
         assert_eq!(
             QosExpr::seq(vec![]).aggregate(),
-            QosSpec { latency_us: 0, reliability: 1.0, cost: 0.0 }
+            QosSpec {
+                latency_us: 0,
+                reliability: 1.0,
+                cost: 0.0
+            }
         );
         assert_eq!(
             QosExpr::par(vec![]).aggregate(),
-            QosSpec { latency_us: 0, reliability: 1.0, cost: 0.0 }
+            QosSpec {
+                latency_us: 0,
+                reliability: 1.0,
+                cost: 0.0
+            }
         );
         assert_eq!(
             QosExpr::cond(vec![]).aggregate(),
-            QosSpec { latency_us: 0, reliability: 1.0, cost: 0.0 }
+            QosSpec {
+                latency_us: 0,
+                reliability: 1.0,
+                cost: 0.0
+            }
         );
     }
 }

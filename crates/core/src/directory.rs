@@ -66,8 +66,14 @@ impl Directory {
         }
         for (dest, relay) in routes {
             assert!(dest != relay, "peer {dest} cannot relay itself");
-            assert!(inner.peer_to_node.contains_key(&dest), "unknown routed peer {dest}");
-            assert!(inner.peer_to_node.contains_key(&relay), "unknown relay {relay}");
+            assert!(
+                inner.peer_to_node.contains_key(&dest),
+                "unknown routed peer {dest}"
+            );
+            assert!(
+                inner.peer_to_node.contains_key(&relay),
+                "unknown relay {relay}"
+            );
             inner.routes.insert(dest, relay);
         }
         for relay in inner.routes.values() {
@@ -76,7 +82,9 @@ impl Directory {
                 "relay {relay} is itself behind a relay"
             );
         }
-        Directory { inner: Arc::new(RwLock::new(inner)) }
+        Directory {
+            inner: Arc::new(RwLock::new(inner)),
+        }
     }
 
     /// Registers a peer that joined at runtime (JXTA networks "are
@@ -107,7 +115,12 @@ impl Directory {
 
     /// The relay fronting `peer`, when it is firewalled.
     pub fn relay_of(&self, peer: PeerId) -> Option<PeerId> {
-        self.inner.read().expect("directory lock poisoned").routes.get(&peer).copied()
+        self.inner
+            .read()
+            .expect("directory lock poisoned")
+            .routes
+            .get(&peer)
+            .copied()
     }
 
     /// The node hosting `peer`.
@@ -132,7 +145,11 @@ impl Directory {
 
     /// Number of registered peers.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("directory lock poisoned").peer_to_node.len()
+        self.inner
+            .read()
+            .expect("directory lock poisoned")
+            .peer_to_node
+            .len()
     }
 
     /// Whether the directory is empty.
@@ -198,7 +215,11 @@ mod tests {
     fn relay_routes_resolve() {
         let p = |n| PeerId::new(n);
         let d = Directory::with_routes(
-            [(p(1), NodeId::from_index(0)), (p(2), NodeId::from_index(1)), (p(3), NodeId::from_index(2))],
+            [
+                (p(1), NodeId::from_index(0)),
+                (p(2), NodeId::from_index(1)),
+                (p(3), NodeId::from_index(2)),
+            ],
             [(p(1), p(3))],
         );
         assert_eq!(d.relay_of(p(1)), Some(p(3)));
@@ -218,7 +239,11 @@ mod tests {
     fn chained_relays_rejected() {
         let p = |n| PeerId::new(n);
         let _ = Directory::with_routes(
-            [(p(1), NodeId::from_index(0)), (p(2), NodeId::from_index(1)), (p(3), NodeId::from_index(2))],
+            [
+                (p(1), NodeId::from_index(0)),
+                (p(2), NodeId::from_index(1)),
+                (p(3), NodeId::from_index(2)),
+            ],
             [(p(1), p(2)), (p(2), p(3))],
         );
     }

@@ -4,20 +4,20 @@
 //! Node layout (insertion order is the directory order):
 //! `[rendezvous?] [b-peers, group by group] [proxy] [clients...]`.
 
+use crate::backend::{ServiceBackend, StudentRegistry};
 use crate::bpeer::{BPeerActor, BPeerConfig};
 use crate::client::{ClientActor, ClientConfig, ClientStats};
 use crate::directory::Directory;
 use crate::msg::WhisperMsg;
 use crate::proxy::{ProxyConfig, ProxyStats, SwsProxyActor};
-use crate::backend::{ServiceBackend, StudentRegistry};
 use crate::WhisperError;
+use whisper_obs::Recorder;
 use whisper_ontology::Ontology;
 use whisper_p2p::{
     DiscoveryService, DiscoveryStrategy, GroupId, P2pMessage, PeerId, QosSpec, SemanticAdv,
 };
 use whisper_simnet::{
-    Actor, Context, FaultPlan, Metrics, NodeId, SimDuration, SimNet, SimTime,
-    SwitchedLan,
+    Actor, Context, FaultPlan, Metrics, NodeId, SimDuration, SimNet, SimTime, SwitchedLan,
 };
 use whisper_soap::Envelope;
 use whisper_wsdl::{Operation, ServiceDescription};
@@ -153,6 +153,7 @@ struct RendezvousActor {
     peer: PeerId,
     directory: Directory,
     disco: DiscoveryService,
+    obs: Option<Recorder>,
 }
 
 impl Actor<WhisperMsg> for RendezvousActor {
@@ -168,9 +169,21 @@ impl Actor<WhisperMsg> for RendezvousActor {
                 P2pMessage::Heartbeat { from, .. } => *from,
                 _ => self.peer,
             };
+            if let (Some(rec), P2pMessage::Query { id, .. }) = (&self.obs, &m) {
+                if let Some(req) = rec.lookup(crate::trace::NS_QUERY, *id) {
+                    rec.instant("rendezvous.lookup", req, ctx.now());
+                }
+                rec.incr("rendezvous.queries", 1);
+            }
             let (sends, _) = self.disco.handle_message(origin, m, ctx.now());
             for s in sends {
-                crate::routing::send_routed(&self.directory, self.peer, ctx, s.to, WhisperMsg::P2p(s.msg));
+                crate::routing::send_routed(
+                    &self.directory,
+                    self.peer,
+                    ctx,
+                    s.to,
+                    WhisperMsg::P2p(s.msg),
+                );
             }
         }
     }
@@ -191,6 +204,7 @@ pub struct WhisperNet {
     strategy: DiscoveryStrategy,
     bpeer_cfg: BPeerConfig,
     next_node_index: usize,
+    obs: Option<Recorder>,
 }
 
 impl WhisperNet {
@@ -203,7 +217,9 @@ impl WhisperNet {
     /// annotations).
     pub fn build(cfg: DeploymentConfig) -> Result<Self, WhisperError> {
         if cfg.groups.is_empty() {
-            return Err(WhisperError::BadDeployment("no b-peer groups configured".into()));
+            return Err(WhisperError::BadDeployment(
+                "no b-peer groups configured".into(),
+            ));
         }
         if cfg.groups.iter().any(|g| g.backends.is_empty()) {
             return Err(WhisperError::BadDeployment("a group has no b-peers".into()));
@@ -281,6 +297,7 @@ impl WhisperNet {
                 peer: rdv_peer,
                 directory: directory.clone(),
                 disco: DiscoveryService::new(rdv_peer, DiscoveryStrategy::Rendezvous(rdv_peer)),
+                obs: None,
             });
             debug_assert_eq!(added, NodeId::from_index(r));
         }
@@ -393,7 +410,45 @@ impl WhisperNet {
             strategy,
             bpeer_cfg: cfg.bpeer,
             next_node_index: next_node,
+            obs: None,
         })
+    }
+
+    /// Installs a shared observability [`Recorder`] into every actor of
+    /// the deployment (proxy, b-peers, clients, rendezvous) plus the
+    /// engine's network hook, and returns a handle to it. Idempotent:
+    /// repeated calls return the same recorder.
+    pub fn enable_obs(&mut self) -> Recorder {
+        if let Some(rec) = &self.obs {
+            return rec.clone();
+        }
+        let rec = Recorder::new();
+        self.net.set_net_hook(Box::new(rec.clone()));
+        self.net
+            .node_mut::<SwsProxyActor>(self.proxy_node)
+            .set_recorder(rec.clone());
+        let bpeers: Vec<NodeId> = self.group_nodes.iter().flatten().copied().collect();
+        for n in bpeers {
+            self.net.node_mut::<BPeerActor>(n).set_recorder(rec.clone());
+        }
+        let clients = self.client_nodes.clone();
+        for c in clients {
+            self.net
+                .node_mut::<ClientActor>(c)
+                .set_recorder(rec.clone());
+        }
+        if let Some(r) = self.rendezvous_node {
+            let rv = self.net.node_mut::<RendezvousActor>(r);
+            rv.disco.set_recorder(rec.clone());
+            rv.obs = Some(rec.clone());
+        }
+        self.obs = Some(rec.clone());
+        rec
+    }
+
+    /// The installed recorder, when [`WhisperNet::enable_obs`] has run.
+    pub fn recorder(&self) -> Option<Recorder> {
+        self.obs.clone()
     }
 
     /// Adds a b-peer to group `gi` **at runtime** — the paper's §4.2:
@@ -411,7 +466,10 @@ impl WhisperNet {
         let group = self.group_ids[gi];
         let adv = self.group_advs[gi].clone();
         let peer = PeerId::new(
-            self.directory.max_peer().map(|p| p.value() + 1).unwrap_or(1),
+            self.directory
+                .max_peer()
+                .map(|p| p.value() + 1)
+                .unwrap_or(1),
         );
         let node = NodeId::from_index(self.next_node_index);
         self.next_node_index += 1;
@@ -435,6 +493,11 @@ impl WhisperNet {
         );
         let added = self.net.add_node(actor);
         debug_assert_eq!(added, node);
+        if let Some(rec) = &self.obs {
+            self.net
+                .node_mut::<BPeerActor>(added)
+                .set_recorder(rec.clone());
+        }
         self.group_nodes[gi].push(added);
         // the proxy may flood-query the newcomer too
         self.net
@@ -454,7 +517,9 @@ impl WhisperNet {
     pub fn student_scenario(n_bpeers: usize, seed: u64) -> WhisperNet {
         assert!(n_bpeers > 0, "need at least one b-peer");
         let service = whisper_wsdl::samples::student_management();
-        let op = service.operation("StudentInformation").expect("sample operation");
+        let op = service
+            .operation("StudentInformation")
+            .expect("sample operation");
         let backends: Vec<Box<dyn ServiceBackend>> = (0..n_bpeers)
             .map(|i| -> Box<dyn ServiceBackend> {
                 if i % 2 == 0 {
@@ -590,7 +655,10 @@ impl WhisperNet {
 
     /// The most recent response envelope a client received.
     pub fn client_last_response(&self, client: NodeId) -> Option<String> {
-        self.net.node::<ClientActor>(client).last_response().map(str::to_string)
+        self.net
+            .node::<ClientActor>(client)
+            .last_response()
+            .map(str::to_string)
     }
 
     /// Whether a node is currently up.
@@ -634,10 +702,30 @@ impl WhisperNet {
     /// Panics when `client` is not a client node.
     pub fn submit_request(&mut self, client: NodeId, payload: Element) -> u64 {
         let now = self.net.now();
-        let id = self.net.node_mut::<ClientActor>(client).register_manual(now);
+        let id = self
+            .net
+            .node_mut::<ClientActor>(client)
+            .register_manual(now);
+        // The client begins the trace itself once started; cover the
+        // window before its `on_start` ran (injection at t=0).
+        if let Some(rec) = &self.obs {
+            let key = crate::trace::soap_key(client, id);
+            if rec.lookup(crate::trace::NS_SOAP, key).is_none() {
+                let req = rec.begin_request(format!("client{} #{id}", client.index()), now);
+                rec.start_span("client.request", req, now);
+                rec.bind(crate::trace::NS_SOAP, key, req);
+                rec.incr("client.sent", 1);
+            }
+        }
         let envelope = Envelope::request(payload).to_xml_string();
-        self.net
-            .inject(client, self.proxy_node, WhisperMsg::SoapRequest { request_id: id, envelope });
+        self.net.inject(
+            client,
+            self.proxy_node,
+            WhisperMsg::SoapRequest {
+                request_id: id,
+                envelope,
+            },
+        );
         id
     }
 
@@ -677,6 +765,57 @@ mod tests {
         for &n in net.group_nodes(0) {
             assert_eq!(net.bpeer(n).coordinator(), Some(PeerId::new(3)));
         }
+    }
+
+    #[test]
+    fn traced_request_produces_a_full_span_tree() {
+        let mut net = WhisperNet::student_scenario(3, 11);
+        let rec = net.enable_obs();
+        net.run_for(SimDuration::from_secs(3));
+        let client = net.client_ids()[0];
+        net.submit_student_request(client, "u1004");
+        net.run_for(SimDuration::from_secs(3));
+
+        let req = rec
+            .requests()
+            .into_iter()
+            .find(|r| r.label.starts_with("client"))
+            .expect("the manual request is traced")
+            .id;
+        let spans = rec.spans_of(req);
+        let find = |name: &str| spans.iter().find(|s| s.name == name);
+        let root = find("client.request").expect("root span");
+        let proxy = find("proxy.request").expect("proxy span");
+        let invoke = find("proxy.invoke").expect("invoke span");
+        let exec = find("backend.execute").expect("execute span");
+        assert!(find("proxy.bind").is_some());
+        assert!(find("proxy.discover").is_some(), "cold request discovers");
+        // causal nesting across nodes
+        assert_eq!(proxy.parent, Some(root.id));
+        assert_eq!(exec.parent, Some(invoke.id));
+        // every span of the request closed, children inside parents
+        for s in &spans {
+            let end = s.end.expect("span closed");
+            assert!(s.start <= end);
+            if let Some(pid) = s.parent {
+                let parent = spans.iter().find(|p| p.id == pid).unwrap();
+                assert!(parent.start <= s.start && end <= parent.end.unwrap());
+            }
+        }
+        // network hook counted traffic; export round-trips losslessly
+        let export = rec.export();
+        let counter = |name: &str| {
+            export
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        assert!(counter("net.sent.heartbeat") > 0);
+        assert!(counter("net.sent.peer-request") > 0);
+        let parsed = whisper_obs::Export::parse_jsonl(&export.to_jsonl()).expect("parses");
+        assert_eq!(parsed, export);
     }
 
     #[test]

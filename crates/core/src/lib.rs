@@ -53,10 +53,10 @@
 #![warn(missing_docs)]
 
 mod backend;
-mod directory;
 mod bpeer;
 mod client;
 pub mod composition;
+mod directory;
 mod error;
 mod harness;
 pub mod matchmaker;
@@ -64,6 +64,7 @@ mod msg;
 mod proxy;
 mod qos;
 mod routing;
+pub mod trace;
 
 pub use backend::{
     BackendError, ClaimProcessor, EchoBackend, FlakyBackend, OrderTracker, ServiceBackend,
@@ -71,8 +72,8 @@ pub use backend::{
 };
 pub use bpeer::{BPeerActor, BPeerConfig};
 pub use client::{ClientActor, ClientConfig, ClientStats, RequestOutcome, Workload};
-pub use error::WhisperError;
 pub use directory::Directory;
+pub use error::WhisperError;
 pub use harness::{ClientConfigTemplate, DeploymentConfig, GroupSpec, WhisperNet};
 pub use msg::WhisperMsg;
 pub use proxy::{ProxyConfig, ProxyStats, SwsProxyActor};

@@ -89,7 +89,12 @@ pub fn match_semantic_adv(
     let (inputs, in_score) = list_degree(&request.inputs, &adv.inputs);
     let (outputs, out_score) = list_degree(&request.outputs, &adv.outputs);
     let score = (action.score() + in_score + out_score) / 3.0;
-    MatchOutcome { action, inputs, outputs, score }
+    MatchOutcome {
+        action,
+        inputs,
+        outputs,
+        score,
+    }
 }
 
 /// Filters `candidates` to the acceptable ones and picks one according to
@@ -114,8 +119,12 @@ pub fn select_candidate(
     if acceptable.is_empty() {
         return None;
     }
-    let qos_utility =
-        |i: usize| candidates[i].qos.map(|q| q.utility()).unwrap_or(f64::NEG_INFINITY);
+    let qos_utility = |i: usize| {
+        candidates[i]
+            .qos
+            .map(|q| q.utility())
+            .unwrap_or(f64::NEG_INFINITY)
+    };
     match policy {
         SelectionPolicy::FirstFound => Some(acceptable[0].0),
         SelectionPolicy::Random => {
@@ -278,37 +287,80 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let exact = adv(0, "StudentInformation", "StudentID", "StudentInfo");
         let mut exact_good_qos = adv(1, "StudentInformation", "StudentID", "StudentInfo");
-        exact_good_qos.qos = Some(QosSpec { latency_us: 100, reliability: 0.999, cost: 0.1 });
+        exact_good_qos.qos = Some(QosSpec {
+            latency_us: 100,
+            reliability: 0.999,
+            cost: 0.1,
+        });
         let weaker = adv(2, "StudentInformation", "Identifier", "StudentInfo");
         let bad = adv(3, "EnrollmentUpdate", "StudentID", "StudentInfo");
-        let candidates = vec![bad.clone(), weaker.clone(), exact.clone(), exact_good_qos.clone()];
+        let candidates = vec![
+            bad.clone(),
+            weaker.clone(),
+            exact.clone(),
+            exact_good_qos.clone(),
+        ];
 
         let req = request();
         // FirstFound skips the unacceptable candidate
         assert_eq!(
-            select_candidate(&onto, &req, &candidates, SelectionPolicy::FirstFound, &mut rng, &QosMonitor::default()),
+            select_candidate(
+                &onto,
+                &req,
+                &candidates,
+                SelectionPolicy::FirstFound,
+                &mut rng,
+                &QosMonitor::default()
+            ),
             Some(1)
         );
         // SemanticThenQos: both exact advs outscore `weaker`; QoS breaks the tie
         assert_eq!(
-            select_candidate(&onto, &req, &candidates, SelectionPolicy::SemanticThenQos, &mut rng, &QosMonitor::default()),
+            select_candidate(
+                &onto,
+                &req,
+                &candidates,
+                SelectionPolicy::SemanticThenQos,
+                &mut rng,
+                &QosMonitor::default()
+            ),
             Some(3)
         );
         // QosOnly picks the only candidate with QoS claims
         assert_eq!(
-            select_candidate(&onto, &req, &candidates, SelectionPolicy::QosOnly, &mut rng, &QosMonitor::default()),
+            select_candidate(
+                &onto,
+                &req,
+                &candidates,
+                SelectionPolicy::QosOnly,
+                &mut rng,
+                &QosMonitor::default()
+            ),
             Some(3)
         );
         // Random picks an acceptable one
         for _ in 0..20 {
-            let pick =
-                select_candidate(&onto, &req, &candidates, SelectionPolicy::Random, &mut rng, &QosMonitor::default())
-                    .unwrap();
+            let pick = select_candidate(
+                &onto,
+                &req,
+                &candidates,
+                SelectionPolicy::Random,
+                &mut rng,
+                &QosMonitor::default(),
+            )
+            .unwrap();
             assert_ne!(pick, 0, "random must never pick the unacceptable candidate");
         }
         // nothing acceptable -> None
         assert_eq!(
-            select_candidate(&onto, &req, &[bad], SelectionPolicy::SemanticThenQos, &mut rng, &QosMonitor::default()),
+            select_candidate(
+                &onto,
+                &req,
+                &[bad],
+                SelectionPolicy::SemanticThenQos,
+                &mut rng,
+                &QosMonitor::default()
+            ),
             None
         );
     }
@@ -329,26 +381,56 @@ mod tests {
         let onto = university_ontology();
         let mut rng = SmallRng::seed_from_u64(7);
         let mut boaster = adv(0, "StudentInformation", "StudentID", "StudentInfo");
-        boaster.qos = Some(QosSpec { latency_us: 100, reliability: 0.999, cost: 0.1 });
+        boaster.qos = Some(QosSpec {
+            latency_us: 100,
+            reliability: 0.999,
+            cost: 0.1,
+        });
         let mut honest = adv(1, "StudentInformation", "StudentID", "StudentInfo");
-        honest.qos = Some(QosSpec { latency_us: 2_000, reliability: 0.95, cost: 1.0 });
+        honest.qos = Some(QosSpec {
+            latency_us: 2_000,
+            reliability: 0.95,
+            cost: 1.0,
+        });
         let candidates = vec![boaster.clone(), honest.clone()];
         let req = request();
 
         // Cold: the boaster's claims win.
         let cold = QosMonitor::new(3);
         assert_eq!(
-            select_candidate(&onto, &req, &candidates, SelectionPolicy::Adaptive, &mut rng, &cold),
+            select_candidate(
+                &onto,
+                &req,
+                &candidates,
+                SelectionPolicy::Adaptive,
+                &mut rng,
+                &cold
+            ),
             Some(0)
         );
         // Warm: measurements show the boaster is slow and flaky.
         let mut warm = QosMonitor::new(3);
         for _ in 0..5 {
-            warm.record_response(boaster.group, whisper_simnet::SimDuration::from_millis(50), true);
-            warm.record_response(honest.group, whisper_simnet::SimDuration::from_millis(1), false);
+            warm.record_response(
+                boaster.group,
+                whisper_simnet::SimDuration::from_millis(50),
+                true,
+            );
+            warm.record_response(
+                honest.group,
+                whisper_simnet::SimDuration::from_millis(1),
+                false,
+            );
         }
         assert_eq!(
-            select_candidate(&onto, &req, &candidates, SelectionPolicy::Adaptive, &mut rng, &warm),
+            select_candidate(
+                &onto,
+                &req,
+                &candidates,
+                SelectionPolicy::Adaptive,
+                &mut rng,
+                &warm
+            ),
             Some(1)
         );
     }

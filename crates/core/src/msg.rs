@@ -116,19 +116,31 @@ mod tests {
         assert_eq!(q.kind(), "discovery-query");
         let e = WhisperMsg::Election {
             group: GroupId::new(1),
-            msg: ElectionMsg::Election { from: PeerId::new(1) },
+            msg: ElectionMsg::Election {
+                from: PeerId::new(1),
+            },
         };
         assert_eq!(e.kind(), "election");
         assert_eq!(
-            WhisperMsg::PeerRedirect { request_id: 1, coordinator: None }.kind(),
+            WhisperMsg::PeerRedirect {
+                request_id: 1,
+                coordinator: None
+            }
+            .kind(),
             "peer-redirect"
         );
     }
 
     #[test]
     fn soap_wire_size_tracks_envelope_length() {
-        let small = WhisperMsg::SoapRequest { request_id: 1, envelope: "x".repeat(10) };
-        let big = WhisperMsg::SoapRequest { request_id: 1, envelope: "x".repeat(1000) };
+        let small = WhisperMsg::SoapRequest {
+            request_id: 1,
+            envelope: "x".repeat(10),
+        };
+        let big = WhisperMsg::SoapRequest {
+            request_id: 1,
+            envelope: "x".repeat(1000),
+        };
         assert!(big.wire_size() > small.wire_size());
         assert_eq!(big.wire_size(), 128 + 1000);
     }

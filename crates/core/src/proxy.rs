@@ -23,7 +23,9 @@ use crate::directory::Directory;
 use crate::matchmaker;
 use crate::msg::WhisperMsg;
 use crate::qos::{QosMonitor, SelectionPolicy};
+use crate::trace;
 use std::collections::HashMap;
+use whisper_obs::{Recorder, RequestId};
 use whisper_ontology::Ontology;
 use whisper_p2p::{
     AdvFilter, AdvKind, Advertisement, DiscoveryService, DiscoveryStrategy, GroupId, PeerId,
@@ -138,6 +140,9 @@ struct Pending {
     /// use this, not `started_at`, so discovery cost (a proxy concern)
     /// does not pollute the *group's* observed latency.
     forwarded_at: Option<SimTime>,
+    /// The traced request this pending entry belongs to, when a recorder
+    /// is installed.
+    obs_req: Option<RequestId>,
 }
 
 /// Purpose bits of proxy timer tokens.
@@ -168,6 +173,7 @@ pub struct SwsProxyActor {
     config: ProxyConfig,
     stats: ProxyStats,
     monitor: QosMonitor,
+    obs: Option<Recorder>,
 }
 
 impl SwsProxyActor {
@@ -208,12 +214,45 @@ impl SwsProxyActor {
             config,
             stats: ProxyStats::default(),
             monitor: QosMonitor::default(),
+            obs: None,
         }
     }
 
     /// Registers the peers this proxy may flood-query.
     pub fn add_known_peer(&mut self, peer: PeerId) {
         self.disco.add_known_peer(peer);
+    }
+
+    /// Installs an observability recorder; the proxy then records
+    /// `proxy.request` / `proxy.discover` / `proxy.members` / `proxy.bind`
+    /// / `proxy.invoke` spans for every request it serves, and installs
+    /// the recorder into its discovery service too.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.disco.set_recorder(rec.clone());
+        self.obs = Some(rec);
+    }
+
+    /// The recorder handle and traced-request id of a pending request.
+    fn obs_of(&self, request_id: u64) -> Option<(Recorder, RequestId)> {
+        let rec = self.obs.as_ref()?.clone();
+        let req = self.pending.get(&request_id)?.obs_req?;
+        Some((rec, req))
+    }
+
+    /// Closes every proxy-owned span of a finished request and retires its
+    /// wire-id correlation. B-peer-owned spans (e.g. `backend.execute`) are
+    /// deliberately left alone: an open one truthfully reports a b-peer
+    /// that never finished.
+    fn obs_finish(&self, rec: &Recorder, req: RequestId, request_id: u64, now: SimTime) {
+        for name in [
+            "proxy.invoke",
+            "proxy.members",
+            "proxy.discover",
+            "proxy.request",
+        ] {
+            rec.end_named(req, name, now);
+        }
+        rec.unbind(trace::NS_PEER, trace::peer_key(self.peer, request_id));
     }
 
     /// Counters for experiments.
@@ -256,12 +295,19 @@ impl SwsProxyActor {
             self.monitor
                 .record_response(g, ctx.now().since(measured_from), true);
         }
+        if let (Some(rec), Some(req)) = (&self.obs, p.obs_req) {
+            rec.incr("proxy.faults", 1);
+            self.obs_finish(rec, req, request_id, ctx.now());
+        }
         self.stats.faults_generated += 1;
         self.stats.responses_forwarded += 1;
         let envelope = Envelope::fault(Fault::new(code, reason)).to_xml_string();
         ctx.send(
             p.client_node,
-            WhisperMsg::SoapResponse { request_id: p.client_request_id, envelope },
+            WhisperMsg::SoapResponse {
+                request_id: p.client_request_id,
+                envelope,
+            },
         );
     }
 
@@ -279,14 +325,15 @@ impl SwsProxyActor {
                 None => {
                     self.stats.faults_generated += 1;
                     self.stats.responses_forwarded += 1;
-                    let fault = Envelope::fault(Fault::new(
-                        FaultCode::Sender,
-                        "request body is empty",
-                    ))
-                    .to_xml_string();
+                    let fault =
+                        Envelope::fault(Fault::new(FaultCode::Sender, "request body is empty"))
+                            .to_xml_string();
                     ctx.send(
                         client_node,
-                        WhisperMsg::SoapResponse { request_id: client_request_id, envelope: fault },
+                        WhisperMsg::SoapResponse {
+                            request_id: client_request_id,
+                            envelope: fault,
+                        },
                     );
                     return;
                 }
@@ -299,13 +346,32 @@ impl SwsProxyActor {
                         .to_xml_string();
                 ctx.send(
                     client_node,
-                    WhisperMsg::SoapResponse { request_id: client_request_id, envelope: fault },
+                    WhisperMsg::SoapResponse {
+                        request_id: client_request_id,
+                        envelope: fault,
+                    },
                 );
                 return;
             }
         };
         let request_id = self.next_request;
         self.next_request += 1;
+        let obs_req = self.obs.as_ref().map(|rec| {
+            let now = ctx.now();
+            // Join the client's trace when it announced itself; otherwise
+            // (untraced client) the request is born here.
+            let req = rec
+                .lookup(
+                    trace::NS_SOAP,
+                    trace::soap_key(client_node, client_request_id),
+                )
+                .unwrap_or_else(|| rec.begin_request(format!("proxy {operation}"), now));
+            let span = rec.start_span("proxy.request", req, now);
+            rec.set_attr(span, "operation", operation.clone());
+            rec.bind(trace::NS_PEER, trace::peer_key(self.peer, request_id), req);
+            rec.incr("proxy.requests", 1);
+            req
+        });
         self.pending.insert(
             request_id,
             Pending {
@@ -323,6 +389,7 @@ impl SwsProxyActor {
                 group: None,
                 started_at: ctx.now(),
                 forwarded_at: None,
+                obs_req,
             },
         );
         if !self.semantics.contains_key(&operation) {
@@ -339,12 +406,16 @@ impl SwsProxyActor {
 
     /// Finds a group for the request: local cache first, then the network.
     fn advance_from_group_search(&mut self, ctx: &mut Context<'_, WhisperMsg>, request_id: u64) {
-        let Some(p) = self.pending.get(&request_id) else { return };
+        let Some(p) = self.pending.get(&request_id) else {
+            return;
+        };
         let operation = p.operation.clone();
         let failed = p.failed_groups.clone();
         let sem = self.semantics[&operation].clone();
         let now = ctx.now();
-        let local = self.disco.local_lookup(&AdvFilter::of_kind(AdvKind::Semantic), now);
+        let local = self
+            .disco
+            .local_lookup(&AdvFilter::of_kind(AdvKind::Semantic), now);
         let candidates: Vec<SemanticAdv> = local
             .iter()
             .filter_map(Advertisement::as_semantic)
@@ -364,10 +435,18 @@ impl SwsProxyActor {
             return;
         }
         // Nothing usable locally: go to the network.
-        let (qid, sends) =
-            self.disco.remote_query(AdvFilter::of_kind(AdvKind::Semantic), now);
+        let (qid, sends) = self
+            .disco
+            .remote_query(AdvFilter::of_kind(AdvKind::Semantic), now);
         self.stats.discoveries += 1;
         self.queries.insert(qid, request_id);
+        if let Some((rec, req)) = self.obs_of(request_id) {
+            // a re-discovery after a failed group supersedes the old span
+            rec.end_named(req, "proxy.discover", now);
+            let span = rec.start_span("proxy.discover", req, now);
+            rec.set_attr(span, "query", qid);
+            rec.bind(trace::NS_QUERY, qid, req);
+        }
         for s in sends {
             self.send_to_peer(ctx, s.to, WhisperMsg::P2p(s.msg));
         }
@@ -375,7 +454,10 @@ impl SwsProxyActor {
             p.attempts += 1;
             p.state = PendingState::AwaitGroups(qid);
             let attempts = p.attempts;
-            ctx.set_timer(self.config.request_timeout, token(request_id, attempts, PURPOSE_TIMEOUT));
+            ctx.set_timer(
+                self.config.request_timeout,
+                token(request_id, attempts, PURPOSE_TIMEOUT),
+            );
         }
     }
 
@@ -428,6 +510,13 @@ impl SwsProxyActor {
         let (qid, sends) = self.disco.remote_query(filter, now);
         self.stats.discoveries += 1;
         self.queries.insert(qid, request_id);
+        if let Some((rec, req)) = self.obs_of(request_id) {
+            rec.end_named(req, "proxy.members", now);
+            let span = rec.start_span("proxy.members", req, now);
+            rec.set_attr(span, "group", group.value());
+            rec.set_attr(span, "query", qid);
+            rec.bind(trace::NS_QUERY, qid, req);
+        }
         for s in sends {
             self.send_to_peer(ctx, s.to, WhisperMsg::P2p(s.msg));
         }
@@ -435,7 +524,10 @@ impl SwsProxyActor {
             p.attempts += 1;
             p.state = PendingState::AwaitMembers(qid, group);
             let attempts = p.attempts;
-            ctx.set_timer(self.config.request_timeout, token(request_id, attempts, PURPOSE_TIMEOUT));
+            ctx.set_timer(
+                self.config.request_timeout,
+                token(request_id, attempts, PURPOSE_TIMEOUT),
+            );
         }
     }
 
@@ -465,12 +557,30 @@ impl SwsProxyActor {
         let attempts = p.attempts;
         let envelope = p.envelope.clone();
         self.bindings.insert(group, target);
+        if let Some((rec, req)) = self.obs_of(request_id) {
+            let now = ctx.now();
+            // a retry closes the previous attempt's invoke span first
+            rec.end_named(req, "proxy.invoke", now);
+            let bind = rec.instant("proxy.bind", req, now);
+            rec.set_attr(bind, "peer", target.value());
+            rec.set_attr(bind, "attempt", attempts as u64);
+            let invoke = rec.start_span("proxy.invoke", req, now);
+            rec.set_attr(invoke, "peer", target.value());
+        }
         self.send_to_peer(
             ctx,
             target,
-            WhisperMsg::PeerRequest { request_id, reply_to: self.peer, delegated: false, envelope },
+            WhisperMsg::PeerRequest {
+                request_id,
+                reply_to: self.peer,
+                delegated: false,
+                envelope,
+            },
         );
-        ctx.set_timer(self.config.request_timeout, token(request_id, attempts, PURPOSE_TIMEOUT));
+        ctx.set_timer(
+            self.config.request_timeout,
+            token(request_id, attempts, PURPOSE_TIMEOUT),
+        );
     }
 
     fn handle_discovery_results(
@@ -479,7 +589,9 @@ impl SwsProxyActor {
         query: QueryId,
         advs: Vec<Advertisement>,
     ) {
-        let Some(&request_id) = self.queries.get(&query) else { return };
+        let Some(&request_id) = self.queries.get(&query) else {
+            return;
+        };
         let Some(p) = self.pending.get(&request_id) else {
             self.queries.remove(&query);
             return;
@@ -528,6 +640,10 @@ impl SwsProxyActor {
                     self.queries.insert(query, request_id);
                     return;
                 }
+                if let Some((rec, req)) = self.obs_of(request_id) {
+                    rec.end_named(req, "proxy.members", ctx.now());
+                    rec.unbind(trace::NS_QUERY, query);
+                }
                 if let Some(p) = self.pending.get_mut(&request_id) {
                     p.candidates = members;
                     let target = *p.candidates.last().expect("non-empty");
@@ -554,6 +670,15 @@ impl SwsProxyActor {
             },
             None => return,
         };
+        if let Some((rec, req)) = self.obs_of(request_id) {
+            let redirect = rec.instant("proxy.redirect", req, ctx.now());
+            rec.set_attr(redirect, "from", old_target.value());
+            if let Some(c) = coordinator {
+                rec.set_attr(redirect, "coordinator", c.value());
+            }
+            rec.end_named(req, "proxy.invoke", ctx.now());
+            rec.incr("proxy.redirects", 1);
+        }
         match (coordinator, group) {
             (Some(c), Some(g)) if c != old_target => {
                 self.stats.redirects_followed += 1;
@@ -565,7 +690,10 @@ impl SwsProxyActor {
                 let p = self.pending.get_mut(&request_id).expect("checked above");
                 p.state = PendingState::Backoff(g);
                 let attempts = p.attempts;
-                ctx.set_timer(self.config.retry_backoff, token(request_id, attempts, PURPOSE_BACKOFF));
+                ctx.set_timer(
+                    self.config.retry_backoff,
+                    token(request_id, attempts, PURPOSE_BACKOFF),
+                );
             }
             (_, None) => {
                 self.reply_fault(
@@ -579,7 +707,9 @@ impl SwsProxyActor {
     }
 
     fn handle_timeout(&mut self, ctx: &mut Context<'_, WhisperMsg>, request_id: u64, attempt: u32) {
-        let Some(p) = self.pending.get(&request_id) else { return };
+        let Some(p) = self.pending.get(&request_id) else {
+            return;
+        };
         if p.attempts != attempt {
             return; // stale timer from an earlier attempt
         }
@@ -606,6 +736,9 @@ impl SwsProxyActor {
                 // No untried member answered: every member of this group is
                 // dead as far as this request is concerned. Exclude the
                 // group and search for an alternative.
+                if let Some((rec, req)) = self.obs_of(request_id) {
+                    rec.end_named(req, "proxy.members", ctx.now());
+                }
                 if let Some(p) = self.pending.get_mut(&request_id) {
                     p.failed_groups.push(group);
                 }
@@ -616,27 +749,26 @@ impl SwsProxyActor {
                 // cached member; when none are left, re-discover members
                 // (a new coordinator may have been elected meanwhile).
                 self.stats.rebinds += 1;
+                if let Some((rec, req)) = self.obs_of(request_id) {
+                    rec.end_named(req, "proxy.invoke", ctx.now());
+                    rec.incr("proxy.rebinds", 1);
+                }
                 let group = self.pending.get(&request_id).and_then(|p| p.group);
                 if let Some(p) = self.pending.get_mut(&request_id) {
                     p.dead_peers.push(dead);
                 }
                 if let Some(g) = group {
                     self.bindings.remove(&g);
-                    let next = self
-                        .pending
-                        .get_mut(&request_id)
-                        .and_then(|p| {
-                            while let Some(c) = p.candidates.pop() {
-                                if !p.dead_peers.contains(&c) {
-                                    return Some(c);
-                                }
+                    let next = self.pending.get_mut(&request_id).and_then(|p| {
+                        while let Some(c) = p.candidates.pop() {
+                            if !p.dead_peers.contains(&c) {
+                                return Some(c);
                             }
-                            None
-                        });
-                    match next {
-                        Some(next_target) => {
-                            self.forward_to_peer(ctx, request_id, next_target, g)
                         }
+                        None
+                    });
+                    match next {
+                        Some(next_target) => self.forward_to_peer(ctx, request_id, next_target, g),
                         // Consult the caches / the network for members we
                         // have not tried yet; a new coordinator may exist.
                         None => self.bind_or_find_members(ctx, request_id, g),
@@ -650,8 +782,12 @@ impl SwsProxyActor {
     }
 
     fn handle_gather_fired(&mut self, ctx: &mut Context<'_, WhisperMsg>, request_id: u64) {
-        let Some(p) = self.pending.get_mut(&request_id) else { return };
-        let PendingState::AwaitGroups(query) = p.state else { return };
+        let Some(p) = self.pending.get_mut(&request_id) else {
+            return;
+        };
+        let PendingState::AwaitGroups(query) = p.state else {
+            return;
+        };
         p.gathering = false;
         let failed = p.failed_groups.clone();
         let candidates: Vec<SemanticAdv> = std::mem::take(&mut p.gathered)
@@ -671,6 +807,10 @@ impl SwsProxyActor {
             Some(idx) => {
                 self.queries.remove(&query);
                 let group = candidates[idx].group;
+                if let Some((rec, req)) = self.obs_of(request_id) {
+                    rec.end_named(req, "proxy.discover", ctx.now());
+                    rec.unbind(trace::NS_QUERY, query);
+                }
                 self.bind_or_find_members(ctx, request_id, group);
             }
             None => {
@@ -681,7 +821,9 @@ impl SwsProxyActor {
     }
 
     fn handle_backoff_fired(&mut self, ctx: &mut Context<'_, WhisperMsg>, request_id: u64) {
-        let Some(p) = self.pending.get(&request_id) else { return };
+        let Some(p) = self.pending.get(&request_id) else {
+            return;
+        };
         if let PendingState::Backoff(group) = p.state.clone() {
             self.bindings.remove(&group);
             self.bind_or_find_members(ctx, request_id, group);
@@ -697,7 +839,10 @@ impl Actor<WhisperMsg> for SwsProxyActor {
             return;
         };
         match msg {
-            WhisperMsg::SoapRequest { request_id, envelope } => {
+            WhisperMsg::SoapRequest {
+                request_id,
+                envelope,
+            } => {
                 self.handle_soap_request(ctx, from, request_id, envelope);
             }
             WhisperMsg::P2p(m) => {
@@ -711,15 +856,27 @@ impl Actor<WhisperMsg> for SwsProxyActor {
                     self.handle_discovery_results(ctx, query, advs);
                 }
             }
-            WhisperMsg::PeerResponse { request_id, envelope } => {
+            WhisperMsg::PeerResponse {
+                request_id,
+                envelope,
+            } => {
                 if let Some(p) = self.pending.remove(&request_id) {
                     self.stats.responses_forwarded += 1;
                     if let Some(g) = p.group {
-                        let fault =
-                            Envelope::parse(&envelope).map(|e| e.is_fault()).unwrap_or(true);
+                        let fault = Envelope::parse(&envelope)
+                            .map(|e| e.is_fault())
+                            .unwrap_or(true);
                         let measured_from = p.forwarded_at.unwrap_or(p.started_at);
                         self.monitor
                             .record_response(g, ctx.now().since(measured_from), fault);
+                    }
+                    if let (Some(rec), Some(req)) = (&self.obs, p.obs_req) {
+                        let now = ctx.now();
+                        if let Some(f) = p.forwarded_at {
+                            rec.record_duration("proxy.invoke", now.since(f));
+                        }
+                        rec.record_duration("proxy.request", now.since(p.started_at));
+                        self.obs_finish(rec, req, request_id, now);
                     }
                     ctx.send(
                         p.client_node,
@@ -730,7 +887,10 @@ impl Actor<WhisperMsg> for SwsProxyActor {
                     );
                 }
             }
-            WhisperMsg::PeerRedirect { request_id, coordinator } => {
+            WhisperMsg::PeerRedirect {
+                request_id,
+                coordinator,
+            } => {
                 self.handle_redirect(ctx, request_id, coordinator);
             }
             // Proxies ignore election traffic and stray SOAP responses.
@@ -758,7 +918,11 @@ mod tests {
 
     #[test]
     fn token_round_trip() {
-        for (rid, att, purpose) in [(0u64, 0u32, PURPOSE_TIMEOUT), (17, 9, PURPOSE_BACKOFF), (1 << 30, 200_000, PURPOSE_TIMEOUT)] {
+        for (rid, att, purpose) in [
+            (0u64, 0u32, PURPOSE_TIMEOUT),
+            (17, 9, PURPOSE_BACKOFF),
+            (1 << 30, 200_000, PURPOSE_TIMEOUT),
+        ] {
             let t = token(rid, att, purpose);
             let (r, a, p) = untoken(t);
             assert_eq!((r, a, p), (rid, att & 0x3_ffff, purpose));

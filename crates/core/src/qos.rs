@@ -72,7 +72,11 @@ impl QosMonitor {
     /// Creates a monitor that trusts its measurements after `min_samples`
     /// responses per group.
     pub fn new(min_samples: u64) -> Self {
-        QosMonitor { observations: HashMap::new(), min_samples, alpha: 0.3 }
+        QosMonitor {
+            observations: HashMap::new(),
+            min_samples,
+            alpha: 0.3,
+        }
     }
 
     /// Records one response from `group`: its latency and whether it was a
@@ -93,7 +97,10 @@ impl QosMonitor {
 
     /// Number of responses observed from `group`.
     pub fn sample_count(&self, group: GroupId) -> u64 {
-        self.observations.get(&group).map(|o| o.responses).unwrap_or(0)
+        self.observations
+            .get(&group)
+            .map(|o| o.responses)
+            .unwrap_or(0)
     }
 
     /// Observed fraction of non-fault responses, once any sample exists.

@@ -38,7 +38,11 @@ pub(crate) fn send_routed(
             if let Some(node) = directory.node_of(relay) {
                 ctx.send(
                     node,
-                    WhisperMsg::Relayed { dest: to, origin: me, inner: Box::new(msg) },
+                    WhisperMsg::Relayed {
+                        dest: to,
+                        origin: me,
+                        inner: Box::new(msg),
+                    },
                 );
             }
         }
@@ -66,7 +70,14 @@ pub(crate) fn forward_relayed(
         _ => dest,
     };
     if let Some(node) = directory.node_of(next) {
-        ctx.send(node, WhisperMsg::Relayed { dest, origin, inner });
+        ctx.send(
+            node,
+            WhisperMsg::Relayed {
+                dest,
+                origin,
+                inner,
+            },
+        );
     }
 }
 
@@ -81,7 +92,11 @@ pub(crate) fn unwrap_or_forward(
     msg: WhisperMsg,
 ) -> Option<(whisper_simnet::NodeId, WhisperMsg)> {
     match msg {
-        WhisperMsg::Relayed { dest, origin, inner } => {
+        WhisperMsg::Relayed {
+            dest,
+            origin,
+            inner,
+        } => {
             if dest == me {
                 let effective_from = directory.node_of(origin).unwrap_or(from);
                 Some((effective_from, *inner))

@@ -1,0 +1,52 @@
+//! Correlation-key conventions tying wire-protocol ids back to traced
+//! requests (see [`whisper_obs::Recorder::bind`]).
+//!
+//! Each hop of a Whisper request speaks its own id space: clients tag SOAP
+//! requests with client-local ids, the proxy tags peer requests with its
+//! own counter, and discovery queries carry query ids. The recorder's
+//! correlation table maps each of those back to the originating
+//! [`whisper_obs::RequestId`]; these helpers fix the namespaces and key
+//! encodings so every crate agrees on them.
+
+use whisper_p2p::PeerId;
+use whisper_simnet::NodeId;
+
+/// Correlation namespace for client SOAP request ids, keyed by
+/// [`soap_key`].
+pub const NS_SOAP: &str = "soap";
+
+/// Correlation namespace for proxy→b-peer request ids, keyed by
+/// [`peer_key`].
+pub const NS_PEER: &str = "peer";
+
+/// Correlation namespace for discovery query ids, keyed by the raw
+/// query id.
+pub const NS_QUERY: &str = "query";
+
+/// Key for [`NS_SOAP`]: the client node disambiguates client-local
+/// request ids.
+pub fn soap_key(client: NodeId, request_id: u64) -> u64 {
+    ((client.index() as u64) << 32) | (request_id & 0xffff_ffff)
+}
+
+/// Key for [`NS_PEER`]: the requesting proxy's peer id disambiguates its
+/// local request ids. Delegated requests keep the original `reply_to` and
+/// `request_id`, so the key survives load-sharing hops.
+pub fn peer_key(reply_to: PeerId, request_id: u64) -> u64 {
+    (reply_to.value() << 32) | (request_id & 0xffff_ffff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_do_not_collide_across_origins() {
+        let a = soap_key(NodeId::from_index(1), 7);
+        let b = soap_key(NodeId::from_index(2), 7);
+        assert_ne!(a, b);
+        let c = peer_key(PeerId::new(4), 1);
+        let d = peer_key(PeerId::new(5), 1);
+        assert_ne!(c, d);
+    }
+}

@@ -3,6 +3,7 @@
 use crate::msg::{ElectionEvent, ElectionMsg, Output, TimerRequest};
 use crate::ElectionProtocol;
 use std::collections::BTreeSet;
+use whisper_obs::{Recorder, RequestId, SpanId};
 use whisper_p2p::PeerId;
 use whisper_simnet::{SimDuration, SimTime};
 
@@ -75,6 +76,11 @@ pub struct BullyNode {
     elections_started: u64,
     /// When the last election this node observed concluded.
     last_concluded: Option<SimTime>,
+    /// Optional observability recorder; `None` costs nothing.
+    obs: Option<Recorder>,
+    /// The election run currently traced by this node, if any:
+    /// `(pseudo-request, span, start)`. One run may cover several retries.
+    obs_run: Option<(RequestId, SpanId, SimTime)>,
 }
 
 impl BullyNode {
@@ -92,6 +98,41 @@ impl BullyNode {
             config,
             elections_started: 0,
             last_concluded: None,
+            obs: None,
+            obs_run: None,
+        }
+    }
+
+    /// Installs an observability recorder. Elections this node initiates
+    /// are traced as `election.run` spans under a pseudo-request, and
+    /// election counters/durations land in the recorder's registry.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = Some(rec);
+    }
+
+    /// Opens (or continues) the traced election run for this node.
+    fn obs_begin(&mut self, now: SimTime) {
+        if let Some(rec) = &self.obs {
+            rec.incr("election.started", 1);
+            if self.obs_run.is_none() {
+                let req = rec.begin_request(format!("election by {}", self.me), now);
+                let span = rec.start_span("election.run", req, now);
+                rec.set_attr(span, "initiator", self.me.value());
+                rec.set_attr(span, "epoch", self.epoch + 1);
+                self.obs_run = Some((req, span, now));
+            }
+        }
+    }
+
+    /// Closes the traced run (if any) with the elected coordinator.
+    fn obs_conclude(&mut self, winner: PeerId, now: SimTime) {
+        if let Some(rec) = &self.obs {
+            rec.incr("election.concluded", 1);
+            if let Some((_, span, started)) = self.obs_run.take() {
+                rec.set_attr(span, "winner", winner.value());
+                rec.end_span(span, now);
+                rec.record_duration("election.duration", now.since(started));
+            }
         }
     }
 
@@ -111,14 +152,23 @@ impl BullyNode {
     }
 
     fn higher_members(&self) -> Vec<PeerId> {
-        self.members.iter().copied().filter(|&p| p > self.me).collect()
+        self.members
+            .iter()
+            .copied()
+            .filter(|&p| p > self.me)
+            .collect()
     }
 
     fn other_members(&self) -> Vec<PeerId> {
-        self.members.iter().copied().filter(|&p| p != self.me).collect()
+        self.members
+            .iter()
+            .copied()
+            .filter(|&p| p != self.me)
+            .collect()
     }
 
     fn declare_victory(&mut self, now: SimTime) -> Output {
+        self.obs_conclude(self.me, now);
         self.coordinator = Some(self.me);
         self.phase = Phase::Idle;
         self.epoch += 1;
@@ -156,6 +206,7 @@ impl ElectionProtocol for BullyNode {
             }
         }
         self.elections_started += 1;
+        self.obs_begin(now);
         let higher = self.higher_members();
         if higher.is_empty() {
             return self.declare_victory(now);
@@ -183,10 +234,12 @@ impl ElectionProtocol for BullyNode {
                 if initiator < self.me {
                     // bully the lower peer, then make sure an election that
                     // includes us is running (rate-limited by the cooldown)
-                    out.sends.push((initiator, ElectionMsg::Answer { from: self.me }));
+                    out.sends
+                        .push((initiator, ElectionMsg::Answer { from: self.me }));
                     if self.coordinator == Some(self.me) {
                         // re-assert instead of re-electing
-                        out.sends.push((initiator, ElectionMsg::Coordinator { from: self.me }));
+                        out.sends
+                            .push((initiator, ElectionMsg::Coordinator { from: self.me }));
                     } else {
                         out.merge(self.start_election(now));
                     }
@@ -210,6 +263,7 @@ impl ElectionProtocol for BullyNode {
                 }
             }
             ElectionMsg::Coordinator { from: coord } => {
+                self.obs_conclude(coord, now);
                 self.coordinator = Some(coord);
                 self.phase = Phase::Idle;
                 self.epoch += 1;
@@ -285,10 +339,9 @@ mod tests {
         let mut n = node(3, &[1, 2, 3]);
         let out = n.start_election(t0());
         assert_eq!(out.sends.len(), 2);
-        assert!(out
-            .sends
-            .iter()
-            .all(|(_, m)| matches!(m, ElectionMsg::Coordinator { from } if *from == PeerId::new(3))));
+        assert!(out.sends.iter().all(
+            |(_, m)| matches!(m, ElectionMsg::Coordinator { from } if *from == PeerId::new(3))
+        ));
         assert!(n.is_coordinator());
         assert_eq!(n.elections_started(), 1);
     }
@@ -299,14 +352,18 @@ mod tests {
         let out = n.start_election(t0());
         // elections go to 2 and 3 only
         assert_eq!(out.sends.len(), 2);
-        assert!(out.sends.iter().all(|(to, m)| {
-            *to > PeerId::new(1) && matches!(m, ElectionMsg::Election { .. })
-        }));
+        assert!(out
+            .sends
+            .iter()
+            .all(|(to, m)| { *to > PeerId::new(1) && matches!(m, ElectionMsg::Election { .. }) }));
         assert_eq!(out.timers.len(), 1);
         // silence: the answer timer fires
         let out2 = n.on_timer(out.timers[0].token, t0());
         assert!(n.is_coordinator());
-        assert_eq!(out2.events, vec![ElectionEvent::CoordinatorElected(PeerId::new(1))]);
+        assert_eq!(
+            out2.events,
+            vec![ElectionEvent::CoordinatorElected(PeerId::new(1))]
+        );
         // Coordinator goes to everyone else
         assert_eq!(out2.sends.len(), 2);
     }
@@ -316,14 +373,29 @@ mod tests {
         let mut n = node(1, &[1, 2, 3]);
         let out = n.start_election(t0());
         let answer_token = out.timers[0].token;
-        let out = n.on_message(PeerId::new(3), ElectionMsg::Answer { from: PeerId::new(3) }, t0());
+        let out = n.on_message(
+            PeerId::new(3),
+            ElectionMsg::Answer {
+                from: PeerId::new(3),
+            },
+            t0(),
+        );
         assert_eq!(out.timers.len(), 1);
         let coord_token = out.timers[0].token;
         // stale answer timer is ignored
         assert_eq!(n.on_timer(answer_token, t0()), Output::none());
         // the higher peer announces
-        let out = n.on_message(PeerId::new(3), ElectionMsg::Coordinator { from: PeerId::new(3) }, t0());
-        assert_eq!(out.events, vec![ElectionEvent::CoordinatorElected(PeerId::new(3))]);
+        let out = n.on_message(
+            PeerId::new(3),
+            ElectionMsg::Coordinator {
+                from: PeerId::new(3),
+            },
+            t0(),
+        );
+        assert_eq!(
+            out.events,
+            vec![ElectionEvent::CoordinatorElected(PeerId::new(3))]
+        );
         assert_eq!(n.coordinator(), Some(PeerId::new(3)));
         // stale coordinator timer is ignored
         assert_eq!(n.on_timer(coord_token, t0()), Output::none());
@@ -333,7 +405,13 @@ mod tests {
     fn coordinator_silence_restarts_election() {
         let mut n = node(1, &[1, 2]);
         let _ = n.start_election(t0());
-        let out = n.on_message(PeerId::new(2), ElectionMsg::Answer { from: PeerId::new(2) }, t0());
+        let out = n.on_message(
+            PeerId::new(2),
+            ElectionMsg::Answer {
+                from: PeerId::new(2),
+            },
+            t0(),
+        );
         let coord_token = out.timers[0].token;
         // peer 2 never announces; the coordinator-wait timer fires
         let out = n.on_timer(coord_token, t0());
@@ -346,7 +424,13 @@ mod tests {
     #[test]
     fn election_from_lower_peer_is_bullied() {
         let mut n = node(2, &[1, 2, 3]);
-        let out = n.on_message(PeerId::new(1), ElectionMsg::Election { from: PeerId::new(1) }, t0());
+        let out = n.on_message(
+            PeerId::new(1),
+            ElectionMsg::Election {
+                from: PeerId::new(1),
+            },
+            t0(),
+        );
         // answers the lower peer AND forwards the election upward
         assert!(out
             .sends
@@ -381,7 +465,13 @@ mod tests {
     #[test]
     fn removing_dead_coordinator_clears_belief() {
         let mut n = node(1, &[1, 2]);
-        let _ = n.on_message(PeerId::new(2), ElectionMsg::Coordinator { from: PeerId::new(2) }, t0());
+        let _ = n.on_message(
+            PeerId::new(2),
+            ElectionMsg::Coordinator {
+                from: PeerId::new(2),
+            },
+            t0(),
+        );
         assert_eq!(n.coordinator(), Some(PeerId::new(2)));
         n.remove_member(PeerId::new(2));
         assert_eq!(n.coordinator(), None);
@@ -395,11 +485,35 @@ mod tests {
     }
 
     #[test]
+    fn recorder_traces_election_runs() {
+        let rec = Recorder::new();
+        let mut n = node(1, &[1, 2]);
+        n.set_recorder(rec.clone());
+        let out = n.start_election(t0());
+        assert_eq!(rec.open_span_count(), 1, "run open while awaiting answers");
+        let _ = n.on_timer(out.timers[0].token, SimTime::from_micros(1_000_000));
+        assert!(n.is_coordinator());
+        assert_eq!(rec.open_span_count(), 0);
+        assert_eq!(rec.counter("election.started"), 1);
+        assert_eq!(rec.counter("election.concluded"), 1);
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "election.run");
+        assert_eq!(spans[0].duration(), Some(SimDuration::from_secs(1)));
+        // the paper's re-election delay lands in the duration histogram
+        let h = rec.duration_histogram("election.duration").unwrap();
+        assert_eq!(h.max(), Some(SimDuration::from_secs(1)));
+    }
+
+    #[test]
     fn ring_messages_ignored() {
         let mut n = node(1, &[1, 2]);
         let out = n.on_message(
             PeerId::new(2),
-            ElectionMsg::RingCoordinator { origin: PeerId::new(2), coordinator: PeerId::new(2) },
+            ElectionMsg::RingCoordinator {
+                origin: PeerId::new(2),
+                coordinator: PeerId::new(2),
+            },
             t0(),
         );
         assert_eq!(out, Output::none());

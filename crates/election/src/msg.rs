@@ -113,7 +113,9 @@ mod tests {
 
     #[test]
     fn sizes_and_kinds() {
-        let e = ElectionMsg::Election { from: PeerId::new(1) };
+        let e = ElectionMsg::Election {
+            from: PeerId::new(1),
+        };
         assert_eq!(e.kind(), "election");
         let ring = ElectionMsg::RingElection {
             origin: PeerId::new(1),
@@ -126,10 +128,19 @@ mod tests {
     #[test]
     fn merge_concatenates() {
         let mut a = Output::none();
-        a.sends.push((PeerId::new(1), ElectionMsg::Answer { from: PeerId::new(2) }));
+        a.sends.push((
+            PeerId::new(1),
+            ElectionMsg::Answer {
+                from: PeerId::new(2),
+            },
+        ));
         let mut b = Output::none();
-        b.events.push(ElectionEvent::CoordinatorElected(PeerId::new(2)));
-        b.timers.push(TimerRequest { token: 9, delay: SimDuration::from_millis(1) });
+        b.events
+            .push(ElectionEvent::CoordinatorElected(PeerId::new(2)));
+        b.timers.push(TimerRequest {
+            token: 9,
+            delay: SimDuration::from_millis(1),
+        });
         a.merge(b);
         assert_eq!(a.sends.len(), 1);
         assert_eq!(a.timers.len(), 1);

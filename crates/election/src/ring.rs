@@ -27,7 +27,12 @@ impl RingNode {
     pub fn new(me: PeerId, members: impl IntoIterator<Item = PeerId>) -> Self {
         let mut members: BTreeSet<PeerId> = members.into_iter().collect();
         members.insert(me);
-        RingNode { me, members, coordinator: None, electing: false }
+        RingNode {
+            me,
+            members,
+            coordinator: None,
+            electing: false,
+        }
     }
 
     /// The next member after `self.me` in ascending-id ring order.
@@ -70,7 +75,10 @@ impl ElectionProtocol for RingNode {
         Output {
             sends: vec![(
                 succ,
-                ElectionMsg::RingElection { origin: self.me, candidates: vec![self.me] },
+                ElectionMsg::RingElection {
+                    origin: self.me,
+                    candidates: vec![self.me],
+                },
             )],
             ..Output::none()
         }
@@ -78,20 +86,25 @@ impl ElectionProtocol for RingNode {
 
     fn on_message(&mut self, _from: PeerId, msg: ElectionMsg, _now: SimTime) -> Output {
         match msg {
-            ElectionMsg::RingElection { origin, mut candidates } => {
+            ElectionMsg::RingElection {
+                origin,
+                mut candidates,
+            } => {
                 let Some(succ) = self.successor() else {
                     return Output::none();
                 };
                 if origin == self.me {
                     // the token came home: decide and announce
-                    let coordinator =
-                        candidates.iter().copied().max().unwrap_or(self.me);
+                    let coordinator = candidates.iter().copied().max().unwrap_or(self.me);
                     self.coordinator = Some(coordinator);
                     self.electing = false;
                     return Output {
                         sends: vec![(
                             succ,
-                            ElectionMsg::RingCoordinator { origin: self.me, coordinator },
+                            ElectionMsg::RingCoordinator {
+                                origin: self.me,
+                                coordinator,
+                            },
                         )],
                         timers: Vec::new(),
                         events: vec![ElectionEvent::CoordinatorElected(coordinator)],
@@ -103,7 +116,10 @@ impl ElectionProtocol for RingNode {
                     ..Output::none()
                 }
             }
-            ElectionMsg::RingCoordinator { origin, coordinator } => {
+            ElectionMsg::RingCoordinator {
+                origin,
+                coordinator,
+            } => {
                 if origin == self.me {
                     // announcement completed the circle
                     return Output::none();
@@ -117,7 +133,10 @@ impl ElectionProtocol for RingNode {
                 if let Some(succ) = self.successor() {
                     out.sends.push((
                         succ,
-                        ElectionMsg::RingCoordinator { origin, coordinator },
+                        ElectionMsg::RingCoordinator {
+                            origin,
+                            coordinator,
+                        },
                     ));
                 }
                 out
@@ -160,10 +179,16 @@ mod tests {
     }
 
     /// Runs messages to fixpoint, returning the total message count.
-    fn pump(nodes: &mut HashMap<PeerId, RingNode>, mut inbox: Vec<(PeerId, PeerId, ElectionMsg)>) -> usize {
+    fn pump(
+        nodes: &mut HashMap<PeerId, RingNode>,
+        mut inbox: Vec<(PeerId, PeerId, ElectionMsg)>,
+    ) -> usize {
         let mut count = inbox.len();
         while let Some((from, to, msg)) = inbox.pop() {
-            let out = nodes.get_mut(&to).expect("member").on_message(from, msg, SimTime::ZERO);
+            let out = nodes
+                .get_mut(&to)
+                .expect("member")
+                .on_message(from, msg, SimTime::ZERO);
             for (dest, m) in out.sends {
                 count += 1;
                 inbox.push((to, dest, m));
@@ -176,7 +201,10 @@ mod tests {
     fn ring_elects_the_maximum() {
         let mut nodes = ring(&[1, 2, 3, 4]);
         let initiator = PeerId::new(2);
-        let out = nodes.get_mut(&initiator).unwrap().start_election(SimTime::ZERO);
+        let out = nodes
+            .get_mut(&initiator)
+            .unwrap()
+            .start_election(SimTime::ZERO);
         let inbox: Vec<_> = out
             .sends
             .into_iter()
@@ -192,7 +220,10 @@ mod tests {
     fn ring_cost_is_about_two_n() {
         let mut nodes = ring(&[1, 2, 3, 4, 5, 6]);
         let initiator = PeerId::new(1);
-        let out = nodes.get_mut(&initiator).unwrap().start_election(SimTime::ZERO);
+        let out = nodes
+            .get_mut(&initiator)
+            .unwrap()
+            .start_election(SimTime::ZERO);
         let inbox: Vec<_> = out
             .sends
             .into_iter()
@@ -215,7 +246,10 @@ mod tests {
         let mut n = RingNode::new(PeerId::new(7), []);
         let out = n.start_election(SimTime::ZERO);
         assert!(out.sends.is_empty());
-        assert_eq!(out.events, vec![ElectionEvent::CoordinatorElected(PeerId::new(7))]);
+        assert_eq!(
+            out.events,
+            vec![ElectionEvent::CoordinatorElected(PeerId::new(7))]
+        );
         assert!(n.is_coordinator());
     }
 
@@ -228,7 +262,10 @@ mod tests {
         }
         nodes.remove(&PeerId::new(3));
         let initiator = PeerId::new(1);
-        let out = nodes.get_mut(&initiator).unwrap().start_election(SimTime::ZERO);
+        let out = nodes
+            .get_mut(&initiator)
+            .unwrap()
+            .start_election(SimTime::ZERO);
         let inbox: Vec<_> = out
             .sends
             .into_iter()
@@ -247,7 +284,13 @@ mod tests {
         assert_eq!(first.sends.len(), 1);
         assert_eq!(n.start_election(SimTime::ZERO), Output::none());
         assert_eq!(
-            n.on_message(PeerId::new(2), ElectionMsg::Answer { from: PeerId::new(2) }, SimTime::ZERO),
+            n.on_message(
+                PeerId::new(2),
+                ElectionMsg::Answer {
+                    from: PeerId::new(2)
+                },
+                SimTime::ZERO
+            ),
             Output::none()
         );
     }

@@ -1,0 +1,453 @@
+//! A serialisable snapshot of a [`Recorder`](crate::Recorder), plus the
+//! JSONL wire format it round-trips through.
+//!
+//! Each JSONL line is one self-describing object: a `request`, `span`,
+//! `counter`, `gauge`, or `hist`. Field order is stable, numbers are
+//! integers (sim-time is integer microseconds), and parsing the emitted
+//! text yields an [`Export`] equal to the original — the format is
+//! lossless over the export data model.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, Value};
+use crate::{AttrValue, Inner};
+
+/// One traced request, as exported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportRequest {
+    /// Request id (dense, creation order).
+    pub id: u32,
+    /// Human-readable label given to `begin_request`.
+    pub label: String,
+    /// Sim-time the request began, in microseconds.
+    pub start_us: u64,
+}
+
+/// A span attribute value, as exported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExportAttr {
+    /// An unsigned integer attribute.
+    U64(u64),
+    /// A string attribute.
+    Str(String),
+}
+
+/// One span, as exported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportSpan {
+    /// Span id (dense, start order).
+    pub id: u32,
+    /// Owning request id.
+    pub request: u32,
+    /// Parent span id, or `None` for a request root.
+    pub parent: Option<u32>,
+    /// Span name, e.g. `proxy.invoke`.
+    pub name: String,
+    /// Start instant in sim-microseconds.
+    pub start_us: u64,
+    /// End instant in sim-microseconds; `None` when still open at export.
+    pub end_us: Option<u64>,
+    /// Attributes in insertion order.
+    pub attrs: Vec<(String, ExportAttr)>,
+}
+
+/// One named duration histogram, as exported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportHist {
+    /// Histogram name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of samples in microseconds.
+    pub sum_us: u64,
+    /// Exact smallest sample in microseconds.
+    pub min_us: u64,
+    /// Exact largest sample in microseconds.
+    pub max_us: u64,
+    /// Sparse `(bucket representative µs, count)` pairs, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Everything a [`Recorder`](crate::Recorder) captured, as plain data.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Export {
+    /// Requests in creation order.
+    pub requests: Vec<ExportRequest>,
+    /// Spans in start order.
+    pub spans: Vec<ExportSpan>,
+    /// Named counters (includes `net.sent.*` / `net.dropped.*` /
+    /// `net.bytes_sent` when the recorder was installed as a net hook).
+    pub counters: Vec<(String, u64)>,
+    /// Named gauges.
+    pub gauges: Vec<(String, i64)>,
+    /// Named duration histograms.
+    pub hists: Vec<ExportHist>,
+}
+
+pub(crate) fn snapshot(inner: &Inner) -> Export {
+    let requests = inner
+        .requests
+        .iter()
+        .map(|r| ExportRequest {
+            id: r.id.0,
+            label: r.label.to_string(),
+            start_us: r.started.as_micros(),
+        })
+        .collect();
+
+    let spans = inner
+        .spans
+        .iter()
+        .map(|s| ExportSpan {
+            id: s.id.0,
+            request: s.request.0,
+            parent: s.parent.map(|p| p.0),
+            name: s.name.to_string(),
+            start_us: s.start.as_micros(),
+            end_us: s.end.map(|e| e.as_micros()),
+            attrs: s
+                .attrs
+                .iter()
+                .map(|(k, v)| {
+                    let v = match v {
+                        AttrValue::U64(n) => ExportAttr::U64(*n),
+                        AttrValue::Str(s) => ExportAttr::Str(s.to_string()),
+                    };
+                    (k.to_string(), v)
+                })
+                .collect(),
+        })
+        .collect();
+
+    let mut counters: BTreeMap<String, u64> = inner
+        .counters
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect();
+    for (kind, n) in &inner.net_sent {
+        *counters.entry(format!("net.sent.{kind}")).or_insert(0) += n;
+    }
+    for (kind, n) in &inner.net_dropped {
+        *counters.entry(format!("net.dropped.{kind}")).or_insert(0) += n;
+    }
+    if inner.net_bytes > 0 || !inner.net_sent.is_empty() {
+        *counters.entry("net.bytes_sent".to_string()).or_insert(0) += inner.net_bytes;
+    }
+
+    let hists = inner
+        .durations
+        .iter()
+        .filter(|(_, h)| h.count() > 0)
+        .map(|(name, h)| ExportHist {
+            name: name.to_string(),
+            count: h.count() as u64,
+            sum_us: h.sum_micros(),
+            min_us: h.min().expect("non-empty").as_micros(),
+            max_us: h.max().expect("non-empty").as_micros(),
+            buckets: h.bucket_counts(),
+        })
+        .collect();
+
+    Export {
+        requests,
+        spans,
+        counters: counters.into_iter().collect(),
+        gauges: inner
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect(),
+        hists,
+    }
+}
+
+impl Export {
+    /// Serialises to JSON-lines text (one object per line, stable order).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.requests {
+            out.push_str("{\"type\":\"request\",\"id\":");
+            out.push_str(&r.id.to_string());
+            out.push_str(",\"label\":");
+            json::write_str(&mut out, &r.label);
+            out.push_str(",\"start_us\":");
+            out.push_str(&r.start_us.to_string());
+            out.push_str("}\n");
+        }
+        for s in &self.spans {
+            out.push_str("{\"type\":\"span\",\"id\":");
+            out.push_str(&s.id.to_string());
+            out.push_str(",\"request\":");
+            out.push_str(&s.request.to_string());
+            out.push_str(",\"parent\":");
+            match s.parent {
+                Some(p) => out.push_str(&p.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"name\":");
+            json::write_str(&mut out, &s.name);
+            out.push_str(",\"start_us\":");
+            out.push_str(&s.start_us.to_string());
+            out.push_str(",\"end_us\":");
+            match s.end_us {
+                Some(e) => out.push_str(&e.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"attrs\":[");
+            for (i, (k, v)) in s.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                json::write_str(&mut out, k);
+                out.push(',');
+                match v {
+                    ExportAttr::U64(n) => out.push_str(&n.to_string()),
+                    ExportAttr::Str(s) => json::write_str(&mut out, s),
+                }
+                out.push(']');
+            }
+            out.push_str("]}\n");
+        }
+        for (name, value) in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            json::write_str(&mut out, name);
+            out.push_str(",\"value\":");
+            out.push_str(&value.to_string());
+            out.push_str("}\n");
+        }
+        for (name, value) in &self.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            json::write_str(&mut out, name);
+            out.push_str(",\"value\":");
+            out.push_str(&value.to_string());
+            out.push_str("}\n");
+        }
+        for h in &self.hists {
+            out.push_str("{\"type\":\"hist\",\"name\":");
+            json::write_str(&mut out, &h.name);
+            out.push_str(",\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum_us\":");
+            out.push_str(&h.sum_us.to_string());
+            out.push_str(",\"min_us\":");
+            out.push_str(&h.min_us.to_string());
+            out.push_str(",\"max_us\":");
+            out.push_str(&h.max_us.to_string());
+            out.push_str(",\"buckets\":[");
+            for (i, (rep, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                out.push_str(&rep.to_string());
+                out.push(',');
+                out.push_str(&n.to_string());
+                out.push(']');
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+
+    /// Parses JSONL text produced by [`Export::to_jsonl`].
+    ///
+    /// Returns an error naming the offending line when the text is not
+    /// valid export JSONL. `parse_jsonl(x.to_jsonl()) == x` for every
+    /// export `x`.
+    pub fn parse_jsonl(text: &str) -> Result<Export, String> {
+        let mut export = Export::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let err = |what: &str| format!("line {}: {what}", lineno + 1);
+            let kind = v
+                .get("type")
+                .and_then(Value::as_str)
+                .ok_or_else(|| err("missing \"type\""))?;
+            match kind {
+                "request" => export.requests.push(ExportRequest {
+                    id: field_u64(&v, "id").ok_or_else(|| err("bad request"))? as u32,
+                    label: v
+                        .get("label")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| err("bad request"))?
+                        .to_string(),
+                    start_us: field_u64(&v, "start_us").ok_or_else(|| err("bad request"))?,
+                }),
+                "span" => {
+                    let parent = match v.get("parent") {
+                        Some(Value::Null) => None,
+                        Some(p) => Some(p.as_u64().ok_or_else(|| err("bad parent"))? as u32),
+                        None => return Err(err("bad span")),
+                    };
+                    let end_us = match v.get("end_us") {
+                        Some(Value::Null) => None,
+                        Some(e) => Some(e.as_u64().ok_or_else(|| err("bad end_us"))?),
+                        None => return Err(err("bad span")),
+                    };
+                    let attrs = v
+                        .get("attrs")
+                        .and_then(Value::as_arr)
+                        .ok_or_else(|| err("bad span"))?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair.as_arr()?;
+                            let key = pair.first()?.as_str()?.to_string();
+                            let value = match pair.get(1)? {
+                                Value::Str(s) => ExportAttr::Str(s.clone()),
+                                other => ExportAttr::U64(other.as_u64()?),
+                            };
+                            Some((key, value))
+                        })
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or_else(|| err("bad attrs"))?;
+                    export.spans.push(ExportSpan {
+                        id: field_u64(&v, "id").ok_or_else(|| err("bad span"))? as u32,
+                        request: field_u64(&v, "request").ok_or_else(|| err("bad span"))? as u32,
+                        parent,
+                        name: v
+                            .get("name")
+                            .and_then(Value::as_str)
+                            .ok_or_else(|| err("bad span"))?
+                            .to_string(),
+                        start_us: field_u64(&v, "start_us").ok_or_else(|| err("bad span"))?,
+                        end_us,
+                        attrs,
+                    });
+                }
+                "counter" => export.counters.push((
+                    v.get("name")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| err("bad counter"))?
+                        .to_string(),
+                    field_u64(&v, "value").ok_or_else(|| err("bad counter"))?,
+                )),
+                "gauge" => export.gauges.push((
+                    v.get("name")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| err("bad gauge"))?
+                        .to_string(),
+                    v.get("value")
+                        .and_then(Value::as_i64)
+                        .ok_or_else(|| err("bad gauge"))?,
+                )),
+                "hist" => {
+                    let buckets = v
+                        .get("buckets")
+                        .and_then(Value::as_arr)
+                        .ok_or_else(|| err("bad hist"))?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair.as_arr()?;
+                            Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+                        })
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or_else(|| err("bad hist buckets"))?;
+                    export.hists.push(ExportHist {
+                        name: v
+                            .get("name")
+                            .and_then(Value::as_str)
+                            .ok_or_else(|| err("bad hist"))?
+                            .to_string(),
+                        count: field_u64(&v, "count").ok_or_else(|| err("bad hist"))?,
+                        sum_us: field_u64(&v, "sum_us").ok_or_else(|| err("bad hist"))?,
+                        min_us: field_u64(&v, "min_us").ok_or_else(|| err("bad hist"))?,
+                        max_us: field_u64(&v, "max_us").ok_or_else(|| err("bad hist"))?,
+                        buckets,
+                    });
+                }
+                other => return Err(err(&format!("unknown type {other:?}"))),
+            }
+        }
+        Ok(export)
+    }
+}
+
+fn field_u64(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(Value::as_u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use whisper_simnet::{SimDuration, SimTime};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn rich_recorder() -> Recorder {
+        let rec = Recorder::new();
+        let req = rec.begin_request("cold \"u1004\"", t(1_000));
+        let root = rec.start_span("client.request", req, t(1_000));
+        let bind = rec.start_span("proxy.bind", req, t(1_200));
+        rec.set_attr(bind, "peer", 3u64);
+        rec.set_attr(bind, "note", "retry\nafter λ");
+        rec.end_span(bind, t(1_450));
+        let open = rec.start_span("proxy.invoke", req, t(1_500));
+        let _ = open; // left open on purpose: export must represent it
+        rec.end_span(root, t(2_000));
+        rec.incr("discovery.queries", 4);
+        rec.set_gauge("bpeers.alive", -2);
+        rec.record_duration("rtt", SimDuration::from_micros(812));
+        rec.record_duration("rtt", SimDuration::from_micros(90_000));
+        rec
+    }
+
+    #[test]
+    fn jsonl_round_trips_losslessly() {
+        let export = rich_recorder().export();
+        let text = export.to_jsonl();
+        let parsed = Export::parse_jsonl(&text).expect("parse back");
+        assert_eq!(parsed, export);
+        // and the round-tripped export serialises identically
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn empty_export_round_trips() {
+        let export = Recorder::new().export();
+        assert_eq!(Export::parse_jsonl(&export.to_jsonl()).unwrap(), export);
+        assert_eq!(Export::parse_jsonl("\n\n").unwrap(), Export::default());
+    }
+
+    #[test]
+    fn open_spans_export_null_end() {
+        let export = rich_recorder().export();
+        let invoke = export
+            .spans
+            .iter()
+            .find(|s| s.name == "proxy.invoke")
+            .unwrap();
+        assert_eq!(invoke.end_us, None);
+        let text = export.to_jsonl();
+        assert!(text.contains("\"end_us\":null"));
+    }
+
+    #[test]
+    fn hist_export_is_exact_where_it_claims_to_be() {
+        let export = rich_recorder().export();
+        let rtt = export.hists.iter().find(|h| h.name == "rtt").unwrap();
+        assert_eq!(rtt.count, 2);
+        assert_eq!(rtt.sum_us, 90_812);
+        assert_eq!(rtt.min_us, 812);
+        assert_eq!(rtt.max_us, 90_000);
+        assert_eq!(rtt.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn parse_reports_offending_line() {
+        let err = Export::parse_jsonl(
+            "{\"type\":\"request\",\"id\":0,\"label\":\"x\",\"start_us\":1}\nnot json\n",
+        )
+        .unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = Export::parse_jsonl("{\"type\":\"mystery\"}").unwrap_err();
+        assert!(err.contains("unknown type"), "{err}");
+    }
+}

@@ -1,0 +1,611 @@
+//! Request-scoped causal tracing, span timing, and a bounded-memory
+//! metrics registry for the Whisper stack.
+//!
+//! The paper's headline numbers — Table 2 availability, Figure 4 message
+//! counts, the 18.43 s failover RTT decomposition — are all explanations
+//! of *where time and messages go*. This crate provides the substrate for
+//! those explanations:
+//!
+//! * **Causal trace** — a [`RequestId`] is minted when a request is born
+//!   (at the client) and followed across every node it touches. Wire
+//!   protocols carry their own ids (SOAP request ids, peer request ids,
+//!   discovery query ids), so the [`Recorder`] keeps a namespaced
+//!   *correlation* table mapping `(namespace, wire id)` pairs back to the
+//!   originating [`RequestId`].
+//! * **Spans** — named intervals in sim-time, organised as a tree per
+//!   request. Spans may start and end in different actors on different
+//!   nodes: the recorder keeps a per-request stack of open spans, so a
+//!   span opened while another is open becomes its child, even across
+//!   node boundaries (the simulator is causally ordered, which makes this
+//!   sound).
+//! * **Metrics registry** — named counters, gauges, and bounded-memory
+//!   log-bucketed duration histograms (reusing
+//!   [`whisper_simnet::Histogram`]).
+//! * **Export** — structured JSONL ([`Recorder::to_jsonl`], lossless
+//!   round-trip via [`export::Export::parse_jsonl`]) and a span-tree
+//!   pretty-printer ([`Recorder::render_request`]) that turns a request
+//!   into a flame view.
+//!
+//! The recorder is cheap to clone (a shared handle) and every method takes
+//! `&self`, so one instance can be installed into every actor of a
+//! deployment plus the engine's [`whisper_simnet::NetHook`].
+//!
+//! # Example
+//!
+//! ```
+//! use whisper_obs::Recorder;
+//! use whisper_simnet::SimTime;
+//!
+//! let rec = Recorder::new();
+//! let t0 = SimTime::from_micros(100);
+//! let req = rec.begin_request("demo", t0);
+//! let root = rec.start_span("client.request", req, t0);
+//! let child = rec.start_span("proxy.request", req, SimTime::from_micros(150));
+//! rec.end_span(child, SimTime::from_micros(400));
+//! rec.end_span(root, SimTime::from_micros(500));
+//! assert_eq!(rec.spans_of(req).len(), 2);
+//! println!("{}", rec.render_request(req));
+//! ```
+
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+use whisper_simnet::{Histogram, NetHook, NodeId, SimDuration, SimTime, TraceOutcome};
+
+pub mod export;
+mod json;
+mod render;
+
+pub use export::Export;
+
+/// Identity of one end-to-end request (or other traced activity, such as
+/// an election run), minted by [`Recorder::begin_request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(u32);
+
+impl RequestId {
+    /// Numeric value, e.g. for use as a wire tag.
+    pub fn value(&self) -> u64 {
+        self.0 as u64
+    }
+}
+
+/// Identity of one span within a [`Recorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    /// Sentinel returned once the span capacity is exhausted; all
+    /// operations on it are no-ops.
+    const DROPPED: SpanId = SpanId(u32::MAX);
+
+    /// Whether this span was dropped by the capacity bound.
+    pub fn is_dropped(&self) -> bool {
+        *self == SpanId::DROPPED
+    }
+}
+
+/// A span attribute value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    U64(u64),
+    Str(Cow<'static, str>),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<&'static str> for AttrValue {
+    fn from(v: &'static str) -> Self {
+        AttrValue::Str(Cow::Borrowed(v))
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(Cow::Owned(v))
+    }
+}
+
+/// One recorded span: a named sim-time interval within a request.
+#[derive(Debug, Clone)]
+pub struct Span {
+    pub id: SpanId,
+    pub request: RequestId,
+    pub parent: Option<SpanId>,
+    pub name: Cow<'static, str>,
+    pub start: SimTime,
+    /// `None` while the span is still open.
+    pub end: Option<SimTime>,
+    pub attrs: Vec<(Cow<'static, str>, AttrValue)>,
+}
+
+impl Span {
+    /// Duration, for closed spans.
+    pub fn duration(&self) -> Option<SimDuration> {
+        self.end.map(|e| e.since(self.start))
+    }
+}
+
+/// One traced request.
+#[derive(Debug, Clone)]
+pub struct RequestInfo {
+    pub id: RequestId,
+    pub label: Cow<'static, str>,
+    pub started: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    requests: Vec<RequestInfo>,
+    spans: Vec<Span>,
+    /// Per-request stack of open spans; the top is the parent of the next
+    /// span started for that request.
+    open: HashMap<RequestId, Vec<SpanId>>,
+    correlations: HashMap<(&'static str, u64), RequestId>,
+    counters: BTreeMap<Cow<'static, str>, u64>,
+    gauges: BTreeMap<Cow<'static, str>, i64>,
+    durations: BTreeMap<Cow<'static, str>, Histogram>,
+    net_sent: BTreeMap<&'static str, u64>,
+    net_dropped: BTreeMap<&'static str, u64>,
+    net_bytes: u64,
+    span_capacity: usize,
+    dropped_spans: u64,
+}
+
+/// Default bound on recorded spans; beyond it new spans are counted but
+/// not stored, so a long experiment cannot grow memory without bound.
+pub const DEFAULT_SPAN_CAPACITY: usize = 262_144;
+
+/// The shared observability recorder. Clone freely: clones share state.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder with [`DEFAULT_SPAN_CAPACITY`].
+    pub fn new() -> Self {
+        Recorder::with_span_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// Creates a recorder that stores at most `capacity` spans; further
+    /// spans are dropped (and counted in [`Recorder::dropped_spans`]).
+    pub fn with_span_capacity(capacity: usize) -> Self {
+        let inner = Inner {
+            span_capacity: capacity,
+            ..Inner::default()
+        };
+        Recorder {
+            inner: Arc::new(Mutex::new(inner)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    // ---- requests & correlation -------------------------------------
+
+    /// Registers a new traced request and returns its id.
+    pub fn begin_request(&self, label: impl Into<Cow<'static, str>>, now: SimTime) -> RequestId {
+        let mut inner = self.lock();
+        let id = RequestId(inner.requests.len() as u32);
+        inner.requests.push(RequestInfo {
+            id,
+            label: label.into(),
+            started: now,
+        });
+        id
+    }
+
+    /// All requests seen so far, in creation order.
+    pub fn requests(&self) -> Vec<RequestInfo> {
+        self.lock().requests.clone()
+    }
+
+    /// Maps a wire-protocol id (scoped by `namespace`) to a request, so a
+    /// later hop can recover the causal request from its own protocol ids.
+    pub fn bind(&self, namespace: &'static str, key: u64, req: RequestId) {
+        self.lock().correlations.insert((namespace, key), req);
+    }
+
+    /// Resolves a wire-protocol id bound with [`Recorder::bind`].
+    pub fn lookup(&self, namespace: &'static str, key: u64) -> Option<RequestId> {
+        self.lock().correlations.get(&(namespace, key)).copied()
+    }
+
+    /// Drops a correlation (when the wire id is retired).
+    pub fn unbind(&self, namespace: &'static str, key: u64) {
+        self.lock().correlations.remove(&(namespace, key));
+    }
+
+    // ---- spans -------------------------------------------------------
+
+    /// Opens a span. Its parent is the request's innermost open span.
+    pub fn start_span(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        req: RequestId,
+        now: SimTime,
+    ) -> SpanId {
+        let mut inner = self.lock();
+        if inner.spans.len() >= inner.span_capacity {
+            inner.dropped_spans += 1;
+            return SpanId::DROPPED;
+        }
+        let id = SpanId(inner.spans.len() as u32);
+        let parent = inner.open.get(&req).and_then(|stack| stack.last().copied());
+        inner.spans.push(Span {
+            id,
+            request: req,
+            parent,
+            name: name.into(),
+            start: now,
+            end: None,
+            attrs: Vec::new(),
+        });
+        inner.open.entry(req).or_default().push(id);
+        id
+    }
+
+    /// Opens a span and returns a handle that closes it.
+    pub fn span(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        req: RequestId,
+        now: SimTime,
+    ) -> SpanHandle {
+        SpanHandle {
+            recorder: self.clone(),
+            id: self.start_span(name, req, now),
+        }
+    }
+
+    /// Records a zero-duration marker span.
+    pub fn instant(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        req: RequestId,
+        now: SimTime,
+    ) -> SpanId {
+        let id = self.start_span(name, req, now);
+        self.end_span(id, now);
+        id
+    }
+
+    /// Closes a span. Closing an already-closed or dropped span is a no-op.
+    pub fn end_span(&self, id: SpanId, now: SimTime) {
+        if id.is_dropped() {
+            return;
+        }
+        let mut inner = self.lock();
+        let Some(span) = inner.spans.get_mut(id.0 as usize) else {
+            return;
+        };
+        if span.end.is_some() {
+            return;
+        }
+        span.end = Some(now);
+        let req = span.request;
+        if let Some(stack) = inner.open.get_mut(&req) {
+            if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+                stack.remove(pos);
+            }
+            if stack.is_empty() {
+                inner.open.remove(&req);
+            }
+        }
+    }
+
+    /// Closes the request's innermost open span with the given name.
+    /// Returns `false` when no such span is open (e.g. it was dropped by
+    /// the capacity bound).
+    pub fn end_named(&self, req: RequestId, name: &str, now: SimTime) -> bool {
+        let id = {
+            let inner = self.lock();
+            let Some(stack) = inner.open.get(&req) else {
+                return false;
+            };
+            stack
+                .iter()
+                .rev()
+                .copied()
+                .find(|&s| inner.spans[s.0 as usize].name == name)
+        };
+        match id {
+            Some(id) => {
+                self.end_span(id, now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Attaches an attribute to a span (no-op on dropped spans).
+    pub fn set_attr(
+        &self,
+        id: SpanId,
+        key: impl Into<Cow<'static, str>>,
+        value: impl Into<AttrValue>,
+    ) {
+        if id.is_dropped() {
+            return;
+        }
+        let mut inner = self.lock();
+        if let Some(span) = inner.spans.get_mut(id.0 as usize) {
+            span.attrs.push((key.into(), value.into()));
+        }
+    }
+
+    /// All spans, in start order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.lock().spans.clone()
+    }
+
+    /// The spans of one request, in start order.
+    pub fn spans_of(&self, req: RequestId) -> Vec<Span> {
+        self.lock()
+            .spans
+            .iter()
+            .filter(|s| s.request == req)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of spans currently open across all requests.
+    pub fn open_span_count(&self) -> usize {
+        self.lock().open.values().map(Vec::len).sum()
+    }
+
+    /// Spans discarded by the capacity bound.
+    pub fn dropped_spans(&self) -> u64 {
+        self.lock().dropped_spans
+    }
+
+    // ---- metrics registry -------------------------------------------
+
+    /// Adds `delta` to a named counter.
+    pub fn incr(&self, name: impl Into<Cow<'static, str>>, delta: u64) {
+        *self.lock().counters.entry(name.into()).or_insert(0) += delta;
+    }
+
+    /// Reads a counter (0 when never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a named gauge.
+    pub fn set_gauge(&self, name: impl Into<Cow<'static, str>>, value: i64) {
+        self.lock().gauges.insert(name.into(), value);
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Records a duration sample into a named bounded histogram.
+    pub fn record_duration(&self, name: impl Into<Cow<'static, str>>, d: SimDuration) {
+        self.lock()
+            .durations
+            .entry(name.into())
+            .or_default()
+            .record(d);
+    }
+
+    /// Snapshot of a named duration histogram.
+    pub fn duration_histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().durations.get(name).cloned()
+    }
+
+    // ---- export & rendering -----------------------------------------
+
+    /// Snapshot of everything recorded, as a serialisable [`Export`].
+    pub fn export(&self) -> Export {
+        export::snapshot(&self.lock())
+    }
+
+    /// Everything recorded, as JSON-lines text.
+    pub fn to_jsonl(&self) -> String {
+        self.export().to_jsonl()
+    }
+
+    /// Pretty-prints one request's span tree with exact sim-durations.
+    pub fn render_request(&self, req: RequestId) -> String {
+        render::render_request(&self.lock(), req)
+    }
+
+    /// Per-span-name totals: `(name, count, total, mean)` over closed
+    /// spans, sorted by total descending.
+    pub fn phase_summary(&self) -> Vec<(String, u64, SimDuration, SimDuration)> {
+        render::phase_summary(&self.lock())
+    }
+}
+
+/// A handle to an open span; call [`SpanHandle::end`] to close it.
+#[derive(Debug, Clone)]
+pub struct SpanHandle {
+    recorder: Recorder,
+    id: SpanId,
+}
+
+impl SpanHandle {
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    pub fn set_attr(&self, key: impl Into<Cow<'static, str>>, value: impl Into<AttrValue>) {
+        self.recorder.set_attr(self.id, key, value);
+    }
+
+    pub fn end(self, now: SimTime) {
+        self.recorder.end_span(self.id, now);
+    }
+}
+
+/// Installing a [`Recorder`] as the engine's [`NetHook`] counts every
+/// message the network carries, by kind and outcome.
+impl NetHook for Recorder {
+    fn on_send(
+        &mut self,
+        _now: SimTime,
+        _from: NodeId,
+        _to: NodeId,
+        kind: &'static str,
+        bytes: usize,
+    ) {
+        let mut inner = self.lock();
+        *inner.net_sent.entry(kind).or_insert(0) += 1;
+        inner.net_bytes += bytes as u64;
+    }
+
+    fn on_drop(
+        &mut self,
+        _now: SimTime,
+        _from: NodeId,
+        _to: NodeId,
+        kind: &'static str,
+        _reason: TraceOutcome,
+    ) {
+        *self.lock().net_dropped.entry(kind).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn spans_nest_via_per_request_stack() {
+        let rec = Recorder::new();
+        let a = rec.begin_request("a", t(0));
+        let b = rec.begin_request("b", t(0));
+        let ra = rec.start_span("root", a, t(0));
+        let rb = rec.start_span("root", b, t(5));
+        let ca = rec.start_span("child", a, t(10));
+        // request b's stack is independent of request a's
+        let cb = rec.start_span("child", b, t(12));
+        rec.end_span(ca, t(20));
+        rec.end_span(cb, t(22));
+        rec.end_span(ra, t(30));
+        rec.end_span(rb, t(32));
+        let spans = rec.spans();
+        let get = |id: SpanId| spans.iter().find(|s| s.id == id).unwrap();
+        assert_eq!(get(ca).parent, Some(ra));
+        assert_eq!(get(cb).parent, Some(rb));
+        assert_eq!(get(ra).parent, None);
+        assert_eq!(get(ca).duration(), Some(SimDuration::from_micros(10)));
+        assert_eq!(rec.open_span_count(), 0);
+    }
+
+    #[test]
+    fn end_named_closes_innermost_match() {
+        let rec = Recorder::new();
+        let req = rec.begin_request("r", t(0));
+        let outer = rec.start_span("invoke", req, t(0));
+        let inner = rec.start_span("invoke", req, t(5));
+        assert!(rec.end_named(req, "invoke", t(9)));
+        let spans = rec.spans();
+        assert_eq!(
+            spans.iter().find(|s| s.id == inner).unwrap().end,
+            Some(t(9))
+        );
+        assert_eq!(spans.iter().find(|s| s.id == outer).unwrap().end, None);
+        assert!(!rec.end_named(req, "missing", t(10)));
+    }
+
+    #[test]
+    fn correlation_binds_and_unbinds() {
+        let rec = Recorder::new();
+        let req = rec.begin_request("r", t(0));
+        rec.bind("soap", 7, req);
+        assert_eq!(rec.lookup("soap", 7), Some(req));
+        assert_eq!(rec.lookup("peer", 7), None, "namespaces are distinct");
+        rec.unbind("soap", 7);
+        assert_eq!(rec.lookup("soap", 7), None);
+    }
+
+    #[test]
+    fn span_capacity_bounds_memory() {
+        let rec = Recorder::with_span_capacity(2);
+        let req = rec.begin_request("r", t(0));
+        let a = rec.start_span("a", req, t(0));
+        let b = rec.start_span("b", req, t(1));
+        let c = rec.start_span("c", req, t(2));
+        assert!(!a.is_dropped() && !b.is_dropped());
+        assert!(c.is_dropped());
+        rec.end_span(c, t(3)); // no-op, must not panic
+        rec.set_attr(c, "k", 1u64);
+        assert_eq!(rec.dropped_spans(), 1);
+        assert_eq!(rec.spans().len(), 2);
+    }
+
+    #[test]
+    fn double_end_is_ignored() {
+        let rec = Recorder::new();
+        let req = rec.begin_request("r", t(0));
+        let s = rec.start_span("s", req, t(0));
+        rec.end_span(s, t(5));
+        rec.end_span(s, t(99));
+        assert_eq!(rec.spans()[0].end, Some(t(5)));
+    }
+
+    #[test]
+    fn metrics_registry_counts_and_measures() {
+        let rec = Recorder::new();
+        rec.incr("queries", 2);
+        rec.incr("queries", 1);
+        assert_eq!(rec.counter("queries"), 3);
+        assert_eq!(rec.counter("absent"), 0);
+        rec.set_gauge("depth", -4);
+        assert_eq!(rec.gauge("depth"), Some(-4));
+        rec.record_duration("rtt", SimDuration::from_micros(500));
+        rec.record_duration("rtt", SimDuration::from_micros(700));
+        let h = rec.duration_histogram("rtt").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), Some(SimDuration::from_micros(600)));
+    }
+
+    #[test]
+    fn net_hook_counts_by_kind() {
+        let mut rec = Recorder::new();
+        let n = NodeId::from_index(0);
+        NetHook::on_send(&mut rec, t(0), n, n, "ping", 64);
+        NetHook::on_send(&mut rec, t(1), n, n, "ping", 64);
+        NetHook::on_drop(&mut rec, t(2), n, n, "ping", TraceOutcome::Lost);
+        let export = rec.export();
+        let get = |name: &str| {
+            export
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+        };
+        assert_eq!(get("net.sent.ping"), Some(2));
+        assert_eq!(get("net.dropped.ping"), Some(1));
+        assert_eq!(get("net.bytes_sent"), Some(128));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let rec = Recorder::new();
+        let clone = rec.clone();
+        clone.incr("x", 1);
+        assert_eq!(rec.counter("x"), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Terminal rendering: per-request span trees (a flame view in text) and
+//! cross-request phase summaries.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use whisper_simnet::SimDuration;
+
+use crate::{AttrValue, Inner, RequestId, Span};
+
+/// Column where durations start; names/branches are padded up to it.
+const DURATION_COL: usize = 46;
+
+pub(crate) fn render_request(inner: &Inner, req: RequestId) -> String {
+    let mut out = String::new();
+    match inner.requests.get(req.0 as usize) {
+        Some(info) => {
+            let _ = writeln!(
+                out,
+                "request #{} \"{}\"  started at {}",
+                info.id.0, info.label, info.started
+            );
+        }
+        None => {
+            let _ = writeln!(out, "request #{} (unknown)", req.0);
+            return out;
+        }
+    }
+
+    let spans: Vec<&Span> = inner.spans.iter().filter(|s| s.request == req).collect();
+    if spans.is_empty() {
+        out.push_str("  (no spans recorded)\n");
+        return out;
+    }
+
+    // children in start order (spans are stored in start order already)
+    let mut children: BTreeMap<Option<u32>, Vec<&Span>> = BTreeMap::new();
+    for s in &spans {
+        children.entry(s.parent.map(|p| p.0)).or_default().push(s);
+    }
+    let roots = children.get(&None).cloned().unwrap_or_default();
+    let n = roots.len();
+    for (i, root) in roots.into_iter().enumerate() {
+        render_span(&mut out, &children, root, "", i + 1 == n);
+    }
+    out
+}
+
+fn render_span(
+    out: &mut String,
+    children: &BTreeMap<Option<u32>, Vec<&Span>>,
+    span: &Span,
+    prefix: &str,
+    last: bool,
+) {
+    let branch = if last { "└─ " } else { "├─ " };
+    let mut line = format!("{prefix}{branch}{}", span.name);
+    let width = line.chars().count();
+    if width < DURATION_COL {
+        line.push_str(&" ".repeat(DURATION_COL - width));
+    } else {
+        line.push(' ');
+    }
+    match span.duration() {
+        Some(d) => {
+            let _ = write!(line, "{:>12}", d.to_string());
+        }
+        None => {
+            let _ = write!(line, "{:>12}", "(open)");
+        }
+    }
+    if !span.attrs.is_empty() {
+        line.push_str("  {");
+        for (i, (k, v)) in span.attrs.iter().enumerate() {
+            if i > 0 {
+                line.push_str(", ");
+            }
+            match v {
+                AttrValue::U64(n) => {
+                    let _ = write!(line, "{k}={n}");
+                }
+                AttrValue::Str(s) => {
+                    let _ = write!(line, "{k}={s}");
+                }
+            }
+        }
+        line.push('}');
+    }
+    out.push_str(&line);
+    out.push('\n');
+
+    let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+    if let Some(kids) = children.get(&Some(span.id.0)) {
+        let n = kids.len();
+        for (i, kid) in kids.iter().enumerate() {
+            render_span(out, children, kid, &child_prefix, i + 1 == n);
+        }
+    }
+}
+
+pub(crate) fn phase_summary(inner: &Inner) -> Vec<(String, u64, SimDuration, SimDuration)> {
+    let mut totals: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for span in &inner.spans {
+        if let Some(d) = span.duration() {
+            let entry = totals.entry(span.name.as_ref()).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += d.as_micros();
+        }
+    }
+    let mut rows: Vec<(String, u64, SimDuration, SimDuration)> = totals
+        .into_iter()
+        .map(|(name, (count, total_us))| {
+            (
+                name.to_string(),
+                count,
+                SimDuration::from_micros(total_us),
+                SimDuration::from_micros(total_us / count),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Recorder;
+    use whisper_simnet::{SimDuration, SimTime};
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn renders_a_nested_tree_with_durations() {
+        let rec = Recorder::new();
+        let req = rec.begin_request("u1004 cold", t(3_000_000));
+        let root = rec.start_span("client.request", req, t(3_000_000));
+        let disc = rec.start_span("proxy.discover", req, t(3_001_000));
+        rec.end_span(disc, t(3_051_000));
+        let invoke = rec.start_span("proxy.invoke", req, t(3_052_000));
+        let exec = rec.start_span("backend.execute", req, t(3_053_000));
+        rec.end_span(exec, t(3_093_000));
+        rec.end_span(invoke, t(3_095_000));
+        rec.end_span(root, t(3_100_000));
+
+        let text = rec.render_request(req);
+        assert!(text.contains("request #0 \"u1004 cold\""), "{text}");
+        assert!(text.contains("client.request"), "{text}");
+        // nesting: backend.execute sits two levels deep
+        let exec_line = text
+            .lines()
+            .find(|l| l.contains("backend.execute"))
+            .unwrap();
+        assert!(exec_line.starts_with("      └─ "), "{exec_line:?}");
+        assert!(exec_line.contains("40.000ms"), "{exec_line:?}");
+        // open spans are labelled
+        let req2 = rec.begin_request("pending", t(0));
+        rec.start_span("client.request", req2, t(0));
+        assert!(rec.render_request(req2).contains("(open)"));
+    }
+
+    #[test]
+    fn unknown_and_empty_requests_render_gracefully() {
+        let rec = Recorder::new();
+        assert!(rec.render_request(crate::RequestId(9)).contains("unknown"));
+        let req = rec.begin_request("empty", t(0));
+        assert!(rec.render_request(req).contains("no spans"));
+    }
+
+    #[test]
+    fn phase_summary_aggregates_closed_spans() {
+        let rec = Recorder::new();
+        for i in 0..3u64 {
+            let req = rec.begin_request("r", t(i * 1000));
+            let s = rec.start_span("proxy.invoke", req, t(i * 1000));
+            rec.end_span(s, t(i * 1000 + 200));
+        }
+        let req = rec.begin_request("open", t(0));
+        rec.start_span("proxy.invoke", req, t(0)); // open: excluded
+        let short = rec.start_span("proxy.bind", req, t(10));
+        rec.end_span(short, t(15));
+
+        let rows = rec.phase_summary();
+        assert_eq!(rows[0].0, "proxy.invoke");
+        assert_eq!(rows[0].1, 3);
+        assert_eq!(rows[0].2, SimDuration::from_micros(600));
+        assert_eq!(rows[0].3, SimDuration::from_micros(200));
+        assert_eq!(rows[1].0, "proxy.bind");
+    }
+}

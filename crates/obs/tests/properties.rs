@@ -1,0 +1,126 @@
+//! Property tests of the recorder's structural invariants: every span the
+//! driver opens can be closed, closed children always nest inside their
+//! parents in sim-time, and the JSONL export round-trips losslessly for
+//! arbitrary interleavings of requests, spans, instants and metrics.
+
+use proptest::prelude::*;
+use whisper_obs::{Export, Recorder, RequestId, SpanId};
+use whisper_simnet::{SimDuration, SimTime};
+
+const NAMES: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
+
+/// Replays a random op script against a fresh recorder, mirroring the
+/// open-span stacks on the test side, then closes everything LIFO.
+/// Returns the recorder with `open_span_count() == 0` expected.
+fn drive(script: &[(u8, u8, u16)]) -> Recorder {
+    let rec = Recorder::new();
+    let mut now = SimTime::ZERO;
+    let mut requests: Vec<(RequestId, Vec<SpanId>)> = Vec::new();
+    for &(op, sel, dt) in script {
+        now += SimDuration::from_micros(dt as u64 + 1);
+        let name = NAMES[sel as usize % NAMES.len()];
+        match op % 6 {
+            0 => {
+                let req = rec.begin_request(format!("req #{}", requests.len()), now);
+                let root = rec.start_span(name, req, now);
+                requests.push((req, vec![root]));
+            }
+            1 | 2 => {
+                if !requests.is_empty() {
+                    let i = sel as usize % requests.len();
+                    let (req, stack) = &mut requests[i];
+                    let s = rec.start_span(name, *req, now);
+                    rec.set_attr(s, "sel", sel as u64);
+                    stack.push(s);
+                }
+            }
+            3 => {
+                if !requests.is_empty() {
+                    let i = sel as usize % requests.len();
+                    let (_, stack) = &mut requests[i];
+                    // keep the root open until the final sweep so later ops
+                    // on this request still nest under it
+                    if stack.len() > 1 {
+                        if let Some(s) = stack.pop() {
+                            rec.end_span(s, now);
+                        }
+                    }
+                }
+            }
+            4 => {
+                if !requests.is_empty() {
+                    let i = sel as usize % requests.len();
+                    rec.instant(name, requests[i].0, now);
+                }
+            }
+            _ => {
+                rec.incr(name, dt as u64 + 1);
+                rec.set_gauge(name, sel as i64 - 2);
+                rec.record_duration(name, SimDuration::from_micros(dt as u64 + 1));
+            }
+        }
+    }
+    for (_, stack) in &mut requests {
+        while let Some(s) = stack.pop() {
+            now += SimDuration::from_micros(1);
+            rec.end_span(s, now);
+        }
+    }
+    rec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After the closing sweep no span is left open, and every recorded
+    /// span has `start <= end`.
+    #[test]
+    fn every_span_closes(
+        script in proptest::collection::vec((0u8..6, any::<u8>(), 0u16..2_000), 1..40),
+    ) {
+        let rec = drive(&script);
+        prop_assert_eq!(rec.open_span_count(), 0);
+        for s in rec.spans() {
+            let end = s.end;
+            prop_assert!(end.is_some(), "span {:?} never closed", s.name);
+            prop_assert!(end.unwrap() >= s.start, "span {:?} ends before it starts", s.name);
+        }
+    }
+
+    /// Every child span lies within its parent's sim-time interval and
+    /// belongs to the same request as its parent.
+    #[test]
+    fn children_nest_inside_parents(
+        script in proptest::collection::vec((0u8..6, any::<u8>(), 0u16..2_000), 1..40),
+    ) {
+        let rec = drive(&script);
+        let spans = rec.spans();
+        for child in &spans {
+            let Some(pid) = child.parent else { continue };
+            let parent = spans.iter().find(|s| s.id == pid);
+            prop_assert!(parent.is_some(), "dangling parent id for {:?}", child.name);
+            let parent = parent.unwrap();
+            prop_assert_eq!(parent.request, child.request);
+            prop_assert!(parent.start <= child.start);
+            prop_assert!(
+                child.end.unwrap() <= parent.end.unwrap(),
+                "child {:?} outlives parent {:?}",
+                child.name,
+                parent.name
+            );
+        }
+    }
+
+    /// The JSONL export parses back to an identical export, whatever the
+    /// mix of requests, spans, attributes, counters, gauges and histograms.
+    #[test]
+    fn jsonl_round_trips_losslessly(
+        script in proptest::collection::vec((0u8..6, any::<u8>(), 0u16..2_000), 1..40),
+    ) {
+        let rec = drive(&script);
+        let export = rec.export();
+        let parsed = Export::parse_jsonl(&export.to_jsonl());
+        prop_assert!(parsed.is_ok(), "export did not parse: {:?}", parsed.err());
+        prop_assert_eq!(parsed.unwrap(), export);
+    }
+}

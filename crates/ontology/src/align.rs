@@ -105,10 +105,8 @@ impl Ontology {
         let mut mapping = Vec::with_capacity(other.class_count());
         for id in other.class_ids() {
             let q = other.class_qname(id).expect("id from iterator");
-            let new_id = self.add_foreign_class(
-                q.ns().expect("foreign classes are namespaced"),
-                q.local(),
-            )?;
+            let new_id =
+                self.add_foreign_class(q.ns().expect("foreign classes are namespaced"), q.local())?;
             if let Some(l) = other.label(id) {
                 self.set_label(new_id, l)?;
             }
@@ -183,12 +181,18 @@ mod tests {
         let mapping = a.import(&uni_b()).unwrap();
         assert_eq!(a.class_count(), before + 3);
         assert_eq!(mapping.len(), 3);
-        let estudante = a.class_by_qname(&QName::with_ns("urn:org-b", "Estudante")).unwrap();
-        let pessoa = a.class_by_qname(&QName::with_ns("urn:org-b", "Pessoa")).unwrap();
+        let estudante = a
+            .class_by_qname(&QName::with_ns("urn:org-b", "Estudante"))
+            .unwrap();
+        let pessoa = a
+            .class_by_qname(&QName::with_ns("urn:org-b", "Pessoa"))
+            .unwrap();
         assert!(a.is_subclass_of(estudante, pessoa));
         assert_eq!(a.label(estudante), Some("aluno"));
         // native lookup still works
-        assert!(a.class_by_qname(&QName::with_ns("urn:org-a", "Student")).is_some());
+        assert!(a
+            .class_by_qname(&QName::with_ns("urn:org-a", "Student"))
+            .is_some());
         // imported classes do NOT subsume native ones without alignment
         let student = a.class_by_name("Student").unwrap();
         assert!(!a.is_subclass_of(estudante, student));
@@ -200,7 +204,10 @@ mod tests {
         let mut clash = Ontology::new("urn:org-a"); // same namespace!
         clash.add_class("Student", &[]).unwrap();
         let before = a.class_count();
-        assert!(matches!(a.import(&clash), Err(OntologyError::DuplicateClass(_))));
+        assert!(matches!(
+            a.import(&clash),
+            Err(OntologyError::DuplicateClass(_))
+        ));
         assert_eq!(a.class_count(), before);
     }
 
@@ -209,8 +216,12 @@ mod tests {
         let mut a = uni_a();
         a.import(&uni_b()).unwrap();
         let student = a.class_by_name("Student").unwrap();
-        let estudante = a.class_by_qname(&QName::with_ns("urn:org-b", "Estudante")).unwrap();
-        let doutorando = a.class_by_qname(&QName::with_ns("urn:org-b", "Doutorando")).unwrap();
+        let estudante = a
+            .class_by_qname(&QName::with_ns("urn:org-b", "Estudante"))
+            .unwrap();
+        let doutorando = a
+            .class_by_qname(&QName::with_ns("urn:org-b", "Doutorando"))
+            .unwrap();
         let person = a.class_by_name("Person").unwrap();
 
         a.add_equivalence(student, estudante).unwrap();
@@ -231,8 +242,12 @@ mod tests {
         let mut a = uni_a();
         a.import(&uni_b()).unwrap();
         let student = a.class_by_name("Student").unwrap();
-        let estudante = a.class_by_qname(&QName::with_ns("urn:org-b", "Estudante")).unwrap();
-        let doutorando = a.class_by_qname(&QName::with_ns("urn:org-b", "Doutorando")).unwrap();
+        let estudante = a
+            .class_by_qname(&QName::with_ns("urn:org-b", "Estudante"))
+            .unwrap();
+        let doutorando = a
+            .class_by_qname(&QName::with_ns("urn:org-b", "Doutorando"))
+            .unwrap();
 
         assert_eq!(a.match_concepts(student, estudante), MatchDegree::Fail);
         a.add_equivalence(student, estudante).unwrap();

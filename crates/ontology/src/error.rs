@@ -55,9 +55,14 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = OntologyError::CyclicHierarchy { sub: "A".into(), sup: "B".into() };
+        let e = OntologyError::CyclicHierarchy {
+            sub: "A".into(),
+            sup: "B".into(),
+        };
         assert!(e.to_string().contains("cycle"));
-        assert!(OntologyError::UnknownClass("X".into()).to_string().contains("X"));
+        assert!(OntologyError::UnknownClass("X".into())
+            .to_string()
+            .contains("X"));
     }
 
     #[test]

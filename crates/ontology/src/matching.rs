@@ -93,7 +93,11 @@ impl Ontology {
     ///
     /// Lists of different lengths fail outright: the operation signatures are
     /// structurally incompatible.
-    pub fn match_concept_lists(&self, requested: &[ClassId], advertised: &[ClassId]) -> MatchReport {
+    pub fn match_concept_lists(
+        &self,
+        requested: &[ClassId],
+        advertised: &[ClassId],
+    ) -> MatchReport {
         if requested.len() != advertised.len() {
             return MatchReport {
                 degrees: vec![MatchDegree::Fail; requested.len().max(1)],
@@ -115,7 +119,11 @@ impl Ontology {
             .collect();
         let overall = degrees.iter().copied().min().unwrap_or(MatchDegree::Fail);
         let score = degrees.iter().map(|d| d.score()).sum::<f64>() / degrees.len() as f64;
-        MatchReport { degrees, overall, score }
+        MatchReport {
+            degrees,
+            overall,
+            score,
+        }
     }
 
     /// Wu–Palmer-style similarity of two concepts in `[0, 1]`:

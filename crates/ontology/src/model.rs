@@ -106,7 +106,10 @@ pub struct Ontology {
 impl Ontology {
     /// Creates an empty ontology with the given base URI.
     pub fn new(uri: impl Into<String>) -> Self {
-        Ontology { uri: uri.into(), ..Ontology::default() }
+        Ontology {
+            uri: uri.into(),
+            ..Ontology::default()
+        }
     }
 
     /// The base URI of this ontology (used as the namespace of its concepts).
@@ -210,7 +213,11 @@ impl Ontology {
     }
 
     /// Attaches a human-readable label to a class.
-    pub fn set_label(&mut self, class: ClassId, label: impl Into<String>) -> Result<(), OntologyError> {
+    pub fn set_label(
+        &mut self,
+        class: ClassId,
+        label: impl Into<String>,
+    ) -> Result<(), OntologyError> {
         self.check_class(class)?;
         self.classes[class.0 as usize].label = Some(label.into());
         Ok(())
@@ -268,7 +275,10 @@ impl Ontology {
             self.check_class(*t)?;
         }
         let id = IndividualId(self.individuals.len() as u32);
-        self.individuals.push(Individual { name: name.to_string(), types: types.to_vec() });
+        self.individuals.push(Individual {
+            name: name.to_string(),
+            types: types.to_vec(),
+        });
         self.individual_index.insert(name.to_string(), id);
         Ok(id)
     }
@@ -353,7 +363,9 @@ impl Ontology {
         let Some(i) = self.individuals.get(ind.0 as usize) else {
             return false;
         };
-        i.types.iter().any(|t| *t == class || self.is_subclass_of(*t, class))
+        i.types
+            .iter()
+            .any(|t| *t == class || self.is_subclass_of(*t, class))
     }
 
     pub(crate) fn equivalences(&self) -> &crate::align::Equivalences {
@@ -440,8 +452,13 @@ mod tests {
         let info = o.add_class("StudentInfo", &[]).unwrap();
         o.add_property("hasInfo", PropertyKind::Object, student, Ok(info))
             .unwrap();
-        o.add_property("hasId", PropertyKind::Datatype, student, Err("xsd:string".into()))
-            .unwrap();
+        o.add_property(
+            "hasId",
+            PropertyKind::Datatype,
+            student,
+            Err("xsd:string".into()),
+        )
+        .unwrap();
         assert_eq!(o.property_count(), 2);
         let (_, p) = o.property_by_name("hasId").unwrap();
         assert_eq!(p.range, Err("xsd:string".to_string()));

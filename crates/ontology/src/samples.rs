@@ -70,11 +70,26 @@ fn build_university() -> Result<Ontology, OntologyError> {
     o.add_class("EnrollmentUpdate", &[update])?;
 
     // Properties
-    o.add_property("hasIdentifier", PropertyKind::Object, person, Ok(identifier))?;
+    o.add_property(
+        "hasIdentifier",
+        PropertyKind::Object,
+        person,
+        Ok(identifier),
+    )?;
     o.add_property("describes", PropertyKind::Object, record, Ok(person))?;
     o.add_property("enrolledIn", PropertyKind::Object, student, Ok(course))?;
-    o.add_property("idValue", PropertyKind::Datatype, sid, Err("xsd:string".into()))?;
-    o.add_property("gpa", PropertyKind::Datatype, info, Err("xsd:decimal".into()))?;
+    o.add_property(
+        "idValue",
+        PropertyKind::Datatype,
+        sid,
+        Err("xsd:string".into()),
+    )?;
+    o.add_property(
+        "gpa",
+        PropertyKind::Datatype,
+        info,
+        Err("xsd:decimal".into()),
+    )?;
 
     // A couple of individuals used by examples/tests.
     o.add_individual("databases101", &[course])?;
@@ -136,7 +151,12 @@ fn build_b2b() -> Result<Ontology, OntologyError> {
     o.add_class("ShipmentTracking", &[tracking])?;
 
     o.add_property("submittedBy", PropertyKind::Object, document, Ok(party))?;
-    o.add_property("amount", PropertyKind::Datatype, claim, Err("xsd:decimal".into()))?;
+    o.add_property(
+        "amount",
+        PropertyKind::Datatype,
+        claim,
+        Err("xsd:decimal".into()),
+    )?;
     Ok(o)
 }
 
@@ -157,7 +177,10 @@ pub fn synthetic_tree(fanout: usize, depth: usize) -> (Ontology, Vec<ClassId>) {
         level *= fanout;
         total += level;
     }
-    assert!(total <= 1_000_000, "synthetic ontology too large: {total} classes");
+    assert!(
+        total <= 1_000_000,
+        "synthetic ontology too large: {total} classes"
+    );
 
     let mut o = Ontology::new("urn:whisper:synthetic");
     let root = o.add_class("C_0_0", &[]).expect("fresh ontology");

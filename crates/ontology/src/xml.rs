@@ -92,11 +92,7 @@ impl Ontology {
         for i in self.individuals() {
             let mut e = Element::new("Individual");
             e.set_attr("name", &i.name);
-            let types: Vec<&str> = i
-                .types
-                .iter()
-                .filter_map(|t| self.class_name(*t))
-                .collect();
+            let types: Vec<&str> = i.types.iter().filter_map(|t| self.class_name(*t)).collect();
             if !types.is_empty() {
                 e.set_attr("type", types.join(" "));
             }
@@ -159,7 +155,8 @@ impl Ontology {
                 let r = e.attr(attr).ok_or_else(|| {
                     OntologyError::MalformedDocument("EquivalentClasses missing class ref".into())
                 })?;
-                onto.resolve_ref(r).ok_or_else(|| OntologyError::UnknownClass(r.to_string()))
+                onto.resolve_ref(r)
+                    .ok_or_else(|| OntologyError::UnknownClass(r.to_string()))
             };
             onto.add_equivalence(get("a")?, get("b")?)?;
         }
@@ -170,9 +167,9 @@ impl Ontology {
                 "DatatypeProperty" => PropertyKind::Datatype,
                 _ => continue,
             };
-            let name = e.attr("name").ok_or_else(|| {
-                OntologyError::MalformedDocument("property missing name".into())
-            })?;
+            let name = e
+                .attr("name")
+                .ok_or_else(|| OntologyError::MalformedDocument("property missing name".into()))?;
             let domain_name = e.attr("domain").ok_or_else(|| {
                 OntologyError::MalformedDocument(format!("property {name} missing domain"))
             })?;

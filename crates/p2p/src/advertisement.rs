@@ -275,9 +275,9 @@ impl Advertisement {
                 owner: attr("owner")?.parse()?,
             })),
             "SemanticAdvertisement" => {
-                let action_el = e.child("action").ok_or_else(|| {
-                    P2pError::MalformedAdvertisement("missing <action>".into())
-                })?;
+                let action_el = e
+                    .child("action")
+                    .ok_or_else(|| P2pError::MalformedAdvertisement("missing <action>".into()))?;
                 let qos = match e.child("qos") {
                     Some(q) => {
                         let num = |a: &str| -> Result<f64, P2pError> {
@@ -343,7 +343,10 @@ impl AdvFilter {
 
     /// All advertisements of `kind`.
     pub fn of_kind(kind: AdvKind) -> Self {
-        AdvFilter { kind: Some(kind), ..AdvFilter::default() }
+        AdvFilter {
+            kind: Some(kind),
+            ..AdvFilter::default()
+        }
     }
 
     /// Semantic advertisements whose action equals `action` exactly.
@@ -357,7 +360,10 @@ impl AdvFilter {
 
     /// Advertisements with this exact symbolic name.
     pub fn named(name: impl Into<String>) -> Self {
-        AdvFilter { name: Some(name.into()), ..AdvFilter::default() }
+        AdvFilter {
+            name: Some(name.into()),
+            ..AdvFilter::default()
+        }
     }
 
     /// Whether `adv` satisfies every present constraint.
@@ -404,7 +410,11 @@ mod tests {
             action: QName::with_ns("urn:uni", "StudentInformation"),
             inputs: vec![QName::with_ns("urn:uni", "StudentID")],
             outputs: vec![QName::with_ns("urn:uni", "StudentInfo")],
-            qos: Some(QosSpec { latency_us: 800, reliability: 0.99, cost: 1.5 }),
+            qos: Some(QosSpec {
+                latency_us: 800,
+                reliability: 0.99,
+                cost: 1.5,
+            }),
         })
     }
 
@@ -416,8 +426,15 @@ mod tests {
                 name: "student-info-pipe".into(),
                 owner: PeerId::new(3),
             }),
-            Advertisement::Peer(PeerAdv { peer: PeerId::new(1), name: "b-peer A".into(), group: Some(GroupId::new(7)) }),
-            Advertisement::Group(GroupAdv { group: GroupId::new(2), name: "plain".into() }),
+            Advertisement::Peer(PeerAdv {
+                peer: PeerId::new(1),
+                name: "b-peer A".into(),
+                group: Some(GroupId::new(7)),
+            }),
+            Advertisement::Group(GroupAdv {
+                group: GroupId::new(2),
+                name: "plain".into(),
+            }),
             semantic(),
         ];
         for adv in advs {
@@ -437,7 +454,11 @@ mod tests {
         assert_eq!(a.identity(), b.identity());
         assert_ne!(
             a.identity(),
-            Advertisement::Group(GroupAdv { group: GroupId::new(3), name: "x".into() }).identity()
+            Advertisement::Group(GroupAdv {
+                group: GroupId::new(3),
+                name: "x".into()
+            })
+            .identity()
         );
     }
 
@@ -490,7 +511,11 @@ mod tests {
         f.group = Some(GroupId::new(4));
         assert!(!f.matches(&adv));
         // action filter never matches non-semantic advs
-        let peer = Advertisement::Peer(PeerAdv { peer: PeerId::new(1), name: "p".into(), group: None });
+        let peer = Advertisement::Peer(PeerAdv {
+            peer: PeerId::new(1),
+            name: "p".into(),
+            group: None,
+        });
         assert!(!AdvFilter::semantic_action(QName::new("x")).matches(&peer));
         // group filter never matches peer advs
         let mut g = AdvFilter::any();
@@ -500,9 +525,19 @@ mod tests {
 
     #[test]
     fn qos_utility_prefers_reliable_then_fast_then_cheap() {
-        let base = QosSpec { latency_us: 1_000, reliability: 0.9, cost: 1.0 };
-        let more_reliable = QosSpec { reliability: 0.99, ..base };
-        let faster = QosSpec { latency_us: 100, ..base };
+        let base = QosSpec {
+            latency_us: 1_000,
+            reliability: 0.9,
+            cost: 1.0,
+        };
+        let more_reliable = QosSpec {
+            reliability: 0.99,
+            ..base
+        };
+        let faster = QosSpec {
+            latency_us: 100,
+            ..base
+        };
         let cheaper = QosSpec { cost: 0.1, ..base };
         assert!(more_reliable.utility() > base.utility());
         assert!(faster.utility() > base.utility());
@@ -512,6 +547,10 @@ mod tests {
     #[test]
     fn wire_size_is_plausible() {
         let s = semantic();
-        assert!(s.wire_size() > 100 && s.wire_size() < 2048, "{}", s.wire_size());
+        assert!(
+            s.wire_size() > 100 && s.wire_size() < 2048,
+            "{}",
+            s.wire_size()
+        );
     }
 }

@@ -84,7 +84,11 @@ mod tests {
     use crate::{GroupId, PeerId};
 
     fn peer_adv(n: u64) -> Advertisement {
-        Advertisement::Peer(PeerAdv { peer: PeerId::new(n), name: format!("peer{n}"), group: None })
+        Advertisement::Peer(PeerAdv {
+            peer: PeerId::new(n),
+            name: format!("peer{n}"),
+            group: None,
+        })
     }
 
     fn t(us: u64) -> SimTime {
@@ -113,7 +117,11 @@ mod tests {
         c.insert(peer_adv(1), t(100));
         // refresh with a longer lifetime and a new name
         c.insert(
-            Advertisement::Peer(PeerAdv { peer: PeerId::new(1), name: "renamed".into(), group: None }),
+            Advertisement::Peer(PeerAdv {
+                peer: PeerId::new(1),
+                name: "renamed".into(),
+                group: None,
+            }),
             t(500),
         );
         assert_eq!(c.len(), 1);
@@ -127,7 +135,10 @@ mod tests {
         let mut c = DiscoveryCache::new();
         c.insert(peer_adv(1), t(100));
         c.insert(
-            Advertisement::Group(GroupAdv { group: GroupId::new(9), name: "g".into() }),
+            Advertisement::Group(GroupAdv {
+                group: GroupId::new(9),
+                name: "g".into(),
+            }),
             t(100),
         );
         assert_eq!(c.lookup(&AdvFilter::of_kind(AdvKind::Peer), t(0)).len(), 1);

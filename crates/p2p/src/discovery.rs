@@ -14,6 +14,7 @@
 use crate::advertisement::{AdvFilter, Advertisement, PipeAdv};
 use crate::{AdvKind, DiscoveryCache, GroupId, PeerId, PipeId};
 use std::collections::BTreeSet;
+use whisper_obs::Recorder;
 use whisper_simnet::{SimDuration, SimTime};
 
 /// Correlates queries with their responses.
@@ -140,6 +141,8 @@ pub struct DiscoveryService {
     next_query: u64,
     /// Lifetime applied to advertisements learned from responses.
     pub learned_lifetime: SimDuration,
+    /// Optional observability recorder; `None` costs nothing.
+    obs: Option<Recorder>,
 }
 
 impl DiscoveryService {
@@ -152,6 +155,20 @@ impl DiscoveryService {
             known: BTreeSet::new(),
             next_query: 0,
             learned_lifetime: SimDuration::from_secs(120),
+            obs: None,
+        }
+    }
+
+    /// Installs an observability recorder: discovery activity is counted
+    /// as `discovery.queries` / `discovery.answered` /
+    /// `discovery.responses` / `discovery.publishes`.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = Some(rec);
+    }
+
+    fn obs_incr(&self, name: &'static str) {
+        if let Some(rec) = &self.obs {
+            rec.incr(name, 1);
         }
     }
 
@@ -196,10 +213,14 @@ impl DiscoveryService {
         lifetime: SimDuration,
         now: SimTime,
     ) -> Vec<Send> {
+        self.obs_incr("discovery.publishes");
         self.cache.insert(adv.clone(), now + lifetime);
         match self.strategy {
             DiscoveryStrategy::Rendezvous(r) if r != self.me => {
-                vec![Send { to: r, msg: P2pMessage::Publish { adv, lifetime } }]
+                vec![Send {
+                    to: r,
+                    msg: P2pMessage::Publish { adv, lifetime },
+                }]
             }
             _ => Vec::new(),
         }
@@ -214,11 +235,16 @@ impl DiscoveryService {
     /// strategy. Returns the query id (to correlate the eventual
     /// [`DiscoveryEvent::Results`]) and the messages to transmit.
     pub fn remote_query(&mut self, filter: AdvFilter, _now: SimTime) -> (QueryId, Vec<Send>) {
+        self.obs_incr("discovery.queries");
         let id = self.next_query;
         self.next_query += 1;
         let msg = |to: PeerId| Send {
             to,
-            msg: P2pMessage::Query { id, filter: filter.clone(), origin: self.me },
+            msg: P2pMessage::Query {
+                id,
+                filter: filter.clone(),
+                origin: self.me,
+            },
         };
         let sends = match self.strategy {
             DiscoveryStrategy::Flood => self.known.iter().map(|&p| msg(p)).collect(),
@@ -241,16 +267,24 @@ impl DiscoveryService {
     ) -> (Vec<Send>, Vec<DiscoveryEvent>) {
         match msg {
             P2pMessage::Query { id, filter, origin } => {
+                self.obs_incr("discovery.answered");
                 let advs = self.cache.lookup_owned(&filter, now);
-                let reply = Send { to: origin, msg: P2pMessage::Response { id, advs } };
+                let reply = Send {
+                    to: origin,
+                    msg: P2pMessage::Response { id, advs },
+                };
                 (vec![reply], Vec::new())
             }
             P2pMessage::Response { id, advs } => {
+                self.obs_incr("discovery.responses");
                 // Cache what we learned, like JXTA's discovery listener.
                 for adv in &advs {
                     self.cache.insert(adv.clone(), now + self.learned_lifetime);
                 }
-                (Vec::new(), vec![DiscoveryEvent::Results { query: id, advs }])
+                (
+                    Vec::new(),
+                    vec![DiscoveryEvent::Results { query: id, advs }],
+                )
             }
             P2pMessage::Publish { adv, lifetime } => {
                 let _ = from;
@@ -276,7 +310,11 @@ impl DiscoveryService {
         lifetime: SimDuration,
         now: SimTime,
     ) -> Vec<Send> {
-        let adv = Advertisement::Pipe(PipeAdv { pipe, name: name.into(), owner: self.me });
+        let adv = Advertisement::Pipe(PipeAdv {
+            pipe,
+            name: name.into(),
+            owner: self.me,
+        });
         self.publish(adv, lifetime, now)
     }
 
@@ -307,7 +345,11 @@ mod tests {
     }
 
     fn padv(n: u64) -> Advertisement {
-        Advertisement::Peer(PeerAdv { peer: PeerId::new(n), name: format!("p{n}"), group: None })
+        Advertisement::Peer(PeerAdv {
+            peer: PeerId::new(n),
+            name: format!("p{n}"),
+            group: None,
+        })
     }
 
     fn sem(group: u64, action: &str) -> Advertisement {
@@ -357,7 +399,9 @@ mod tests {
     fn rendezvous_itself_publishes_and_queries_locally() {
         let rdv = PeerId::new(9);
         let mut d = DiscoveryService::new(rdv, DiscoveryStrategy::Rendezvous(rdv));
-        assert!(d.publish(padv(9), SimDuration::from_secs(10), t(0)).is_empty());
+        assert!(d
+            .publish(padv(9), SimDuration::from_secs(10), t(0))
+            .is_empty());
         let (_, sends) = d.remote_query(AdvFilter::any(), t(0));
         assert!(sends.is_empty());
     }
@@ -366,7 +410,11 @@ mod tests {
     fn query_answered_from_cache_and_results_learned() {
         let now = t(0);
         let mut responder = DiscoveryService::new(PeerId::new(2), DiscoveryStrategy::Flood);
-        responder.publish(sem(1, "StudentInformation"), SimDuration::from_secs(60), now);
+        responder.publish(
+            sem(1, "StudentInformation"),
+            SimDuration::from_secs(60),
+            now,
+        );
         responder.publish(sem(2, "Other"), SimDuration::from_secs(60), now);
 
         let mut asker = DiscoveryService::new(PeerId::new(1), DiscoveryStrategy::Flood);
@@ -375,8 +423,7 @@ mod tests {
         let (qid, sends) = asker.remote_query(filter, now);
 
         // deliver to responder
-        let (replies, evs) =
-            responder.handle_message(PeerId::new(1), sends[0].msg.clone(), now);
+        let (replies, evs) = responder.handle_message(PeerId::new(1), sends[0].msg.clone(), now);
         assert!(evs.is_empty());
         assert_eq!(replies.len(), 1);
         assert_eq!(replies[0].to, PeerId::new(1));
@@ -405,7 +452,13 @@ mod tests {
         let (qid, sends) = asker.remote_query(AdvFilter::named("nothing"), now);
         let (replies, _) = responder.handle_message(PeerId::new(1), sends[0].msg.clone(), now);
         let (_, evs) = asker.handle_message(PeerId::new(2), replies[0].msg.clone(), now);
-        assert_eq!(evs, vec![DiscoveryEvent::Results { query: qid, advs: vec![] }]);
+        assert_eq!(
+            evs,
+            vec![DiscoveryEvent::Results {
+                query: qid,
+                advs: vec![]
+            }]
+        );
     }
 
     #[test]
@@ -423,7 +476,10 @@ mod tests {
         let mut d = DiscoveryService::new(PeerId::new(0), DiscoveryStrategy::Flood);
         let (out, evs) = d.handle_message(
             PeerId::new(1),
-            P2pMessage::Heartbeat { group: GroupId::new(1), from: PeerId::new(1) },
+            P2pMessage::Heartbeat {
+                group: GroupId::new(1),
+                from: PeerId::new(1),
+            },
             t(0),
         );
         assert!(out.is_empty() && evs.is_empty());
@@ -431,13 +487,24 @@ mod tests {
 
     #[test]
     fn message_sizes_and_kinds() {
-        let q = P2pMessage::Query { id: 0, filter: AdvFilter::any(), origin: PeerId::new(0) };
-        let r = P2pMessage::Response { id: 0, advs: vec![sem(1, "A"), sem(2, "B")] };
+        let q = P2pMessage::Query {
+            id: 0,
+            filter: AdvFilter::any(),
+            origin: PeerId::new(0),
+        };
+        let r = P2pMessage::Response {
+            id: 0,
+            advs: vec![sem(1, "A"), sem(2, "B")],
+        };
         assert_eq!(q.kind(), "discovery-query");
         assert_eq!(r.kind(), "discovery-response");
         assert!(r.wire_size() > q.wire_size());
         assert_eq!(
-            P2pMessage::Heartbeat { group: GroupId::new(1), from: PeerId::new(0) }.kind(),
+            P2pMessage::Heartbeat {
+                group: GroupId::new(1),
+                from: PeerId::new(0)
+            }
+            .kind(),
             "heartbeat"
         );
     }
@@ -474,14 +541,42 @@ mod tests {
         });
         let (out, _) = d.handle_message(
             PeerId::new(7),
-            P2pMessage::Publish { adv: learned, lifetime: SimDuration::from_secs(30) },
+            P2pMessage::Publish {
+                adv: learned,
+                lifetime: SimDuration::from_secs(30),
+            },
             t(31_000_000),
         );
         assert!(out.is_empty());
         assert_eq!(
-            d.resolve_pipe("requests", t(31_000_001)).expect("rebound").owner,
+            d.resolve_pipe("requests", t(31_000_001))
+                .expect("rebound")
+                .owner,
             PeerId::new(7)
         );
+    }
+
+    #[test]
+    fn recorder_counts_discovery_activity() {
+        let rec = Recorder::new();
+        let mut d = DiscoveryService::new(PeerId::new(0), DiscoveryStrategy::Flood);
+        d.set_recorder(rec.clone());
+        d.add_known_peer(PeerId::new(1));
+        d.publish(padv(1), SimDuration::from_secs(10), t(0));
+        let (_, sends) = d.remote_query(AdvFilter::any(), t(0));
+        let _ = d.handle_message(
+            PeerId::new(1),
+            P2pMessage::Response {
+                id: 0,
+                advs: vec![],
+            },
+            t(0),
+        );
+        let _ = d.handle_message(PeerId::new(1), sends[0].msg.clone(), t(0));
+        assert_eq!(rec.counter("discovery.publishes"), 1);
+        assert_eq!(rec.counter("discovery.queries"), 1);
+        assert_eq!(rec.counter("discovery.responses"), 1);
+        assert_eq!(rec.counter("discovery.answered"), 1);
     }
 
     #[test]

@@ -52,7 +52,9 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(P2pError::BadId("x".into()).to_string().contains("x"));
-        assert!(P2pError::UnknownAdvKind("Blob".into()).to_string().contains("Blob"));
+        assert!(P2pError::UnknownAdvKind("Blob".into())
+            .to_string()
+            .contains("Blob"));
         assert!(P2pError::MalformedAdvertisement("no id".into())
             .to_string()
             .contains("no id"));

@@ -33,7 +33,10 @@ impl FailureDetector {
     /// Creates a detector that suspects peers silent for longer than
     /// `timeout`.
     pub fn new(timeout: SimDuration) -> Self {
-        FailureDetector { timeout, last_seen: BTreeMap::new() }
+        FailureDetector {
+            timeout,
+            last_seen: BTreeMap::new(),
+        }
     }
 
     /// The configured timeout.

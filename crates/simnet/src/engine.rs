@@ -112,8 +112,15 @@ impl<M, T: Actor<M> + Any> AnyActor<M> for T {
 }
 
 pub(crate) enum Op<M> {
-    Send { to: NodeId, msg: M },
-    SetTimer { id: TimerId, delay: SimDuration, token: u64 },
+    Send {
+        to: NodeId,
+        msg: M,
+    },
+    SetTimer {
+        id: TimerId,
+        delay: SimDuration,
+        token: u64,
+    },
     CancelTimer(TimerId),
 }
 
@@ -135,7 +142,13 @@ impl<'a, M> Context<'a, M> {
         next_timer: &'a mut u64,
         rng: &'a mut SmallRng,
     ) -> Self {
-        Context { now, id, next_timer, ops: Vec::new(), rng }
+        Context {
+            now,
+            id,
+            next_timer,
+            ops: Vec::new(),
+            rng,
+        }
     }
 
     /// Crate-internal: drains the buffered operations for interpretation by
@@ -207,6 +220,39 @@ pub struct SimNet<M: Wire> {
     events_processed: u64,
     /// Message log, populated when [`SimNet::enable_trace`] was called.
     trace: Option<Vec<TraceEvent>>,
+    /// Observability hook; `None` keeps the message hot path allocation-free.
+    hook: Option<Box<dyn NetHook>>,
+}
+
+/// Callbacks observing the message layer, installed with
+/// [`SimNet::set_net_hook`]. All methods default to no-ops so implementors
+/// subscribe only to what they need. When no hook is installed the engine
+/// pays a single branch per message.
+pub trait NetHook {
+    /// A message was handed to the network.
+    fn on_send(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        kind: &'static str,
+        bytes: usize,
+    ) {
+        let _ = (now, from, to, kind, bytes);
+    }
+
+    /// A message was dropped before delivery (`reason` is never
+    /// [`TraceOutcome::Delivered`]).
+    fn on_drop(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        kind: &'static str,
+        reason: TraceOutcome,
+    ) {
+        let _ = (now, from, to, kind, reason);
+    }
 }
 
 impl<M: Wire> SimNet<M> {
@@ -231,14 +277,31 @@ impl<M: Wire> SimNet<M> {
             event_limit: 100_000_000,
             events_processed: 0,
             trace: None,
+            hook: None,
         }
+    }
+
+    /// Installs an observability hook on the message layer. With no hook
+    /// installed (the default) the hot path is unchanged: one `None`
+    /// branch, no allocation.
+    pub fn set_net_hook(&mut self, hook: Box<dyn NetHook>) {
+        self.hook = Some(hook);
+    }
+
+    /// Removes the observability hook.
+    pub fn clear_net_hook(&mut self) {
+        self.hook = None;
     }
 
     /// Adds a node running `actor`; its `on_start` hook is scheduled at the
     /// current virtual time.
     pub fn add_node(&mut self, actor: impl Actor<M> + Any) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeSlot { actor: Box::new(actor), up: true, epoch: 0 });
+        self.nodes.push(NodeSlot {
+            actor: Box::new(actor),
+            up: true,
+            epoch: 0,
+        });
         self.queue.push(self.clock, EventKind::Start(id));
         id
     }
@@ -335,7 +398,8 @@ impl<M: Wire> SimNet<M> {
 
     /// Crashes a node at the current time (sugar over a one-entry plan).
     pub fn crash_now(&mut self, node: NodeId) {
-        self.queue.push(self.clock, EventKind::Fault(FaultAction::Crash(node)));
+        self.queue
+            .push(self.clock, EventKind::Fault(FaultAction::Crash(node)));
     }
 
     /// Restarts a node at the current time.
@@ -369,7 +433,12 @@ impl<M: Wire> SimNet<M> {
                     self.dispatch(id, Hook::Start);
                 }
             }
-            EventKind::Deliver { from, to, sent_at, msg } => {
+            EventKind::Deliver {
+                from,
+                to,
+                sent_at,
+                msg,
+            } => {
                 let up = self.nodes[to.index()].up;
                 if let Some(trace) = &mut self.trace {
                     trace.push(TraceEvent {
@@ -393,7 +462,12 @@ impl<M: Wire> SimNet<M> {
                     self.metrics.on_drop_down();
                 }
             }
-            EventKind::Timer { node, id, token, epoch } => {
+            EventKind::Timer {
+                node,
+                id,
+                token,
+                epoch,
+            } => {
                 if self.cancelled.remove(&id) {
                     return true;
                 }
@@ -479,11 +553,20 @@ impl<M: Wire> SimNet<M> {
         for op in ops {
             match op {
                 Op::Send { to, msg } => self.process_send(id, to, msg),
-                Op::SetTimer { id: tid, delay, token } => {
+                Op::SetTimer {
+                    id: tid,
+                    delay,
+                    token,
+                } => {
                     let epoch = self.nodes[id.index()].epoch;
                     self.queue.push(
                         self.clock + delay,
-                        EventKind::Timer { node: id, id: tid, token, epoch },
+                        EventKind::Timer {
+                            node: id,
+                            id: tid,
+                            token,
+                            epoch,
+                        },
                     );
                 }
                 Op::CancelTimer(tid) => {
@@ -496,6 +579,9 @@ impl<M: Wire> SimNet<M> {
     fn process_send(&mut self, from: NodeId, to: NodeId, msg: M) {
         let size = msg.wire_size();
         self.metrics.on_send(msg.kind(), size);
+        if let Some(h) = self.hook.as_mut() {
+            h.on_send(self.clock, from, to, msg.kind(), size);
+        }
         let record_drop = |trace: &mut Option<Vec<TraceEvent>>, outcome| {
             if let Some(t) = trace {
                 t.push(TraceEvent {
@@ -512,17 +598,28 @@ impl<M: Wire> SimNet<M> {
         if self.blocked.contains(&(from, to)) {
             record_drop(&mut self.trace, TraceOutcome::Partitioned);
             self.metrics.on_drop_partition();
+            if let Some(h) = self.hook.as_mut() {
+                h.on_drop(self.clock, from, to, msg.kind(), TraceOutcome::Partitioned);
+            }
             return;
         }
         if self.link.is_lost(from, to, &mut self.rng) {
             record_drop(&mut self.trace, TraceOutcome::Lost);
             self.metrics.on_lost();
+            if let Some(h) = self.hook.as_mut() {
+                h.on_drop(self.clock, from, to, msg.kind(), TraceOutcome::Lost);
+            }
             return;
         }
         let latency = self.link.latency(from, to, size, &mut self.rng);
         self.queue.push(
             self.clock + latency,
-            EventKind::Deliver { from, to, sent_at: self.clock, msg },
+            EventKind::Deliver {
+                from,
+                to,
+                sent_at: self.clock,
+                msg,
+            },
         );
     }
 }
@@ -609,7 +706,10 @@ mod tests {
     fn ping_pong_counts_messages() {
         let mut net = SimNet::new(1);
         let rec = net.add_node(Recorder::default());
-        let _drv = net.add_node(Driver { target: rec, pings: 5 });
+        let _drv = net.add_node(Driver {
+            target: rec,
+            pings: 5,
+        });
         net.run_until_quiescent();
         // Ping(5)..Ping(0): 6 messages total
         assert_eq!(net.metrics().messages_sent(), 6);
@@ -624,9 +724,17 @@ mod tests {
     fn time_advances_monotonically_with_latency() {
         let mut net = SimNet::new(2);
         let rec = net.add_node(Recorder::default());
-        let _drv = net.add_node(Driver { target: rec, pings: 4 });
+        let _drv = net.add_node(Driver {
+            target: rec,
+            pings: 4,
+        });
         net.run_until_quiescent();
-        let times: Vec<SimTime> = net.node::<Recorder>(rec).seen.iter().map(|(t, _)| *t).collect();
+        let times: Vec<SimTime> = net
+            .node::<Recorder>(rec)
+            .seen
+            .iter()
+            .map(|(t, _)| *t)
+            .collect();
         assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
         assert!(net.now() > SimTime::ZERO);
     }
@@ -636,7 +744,10 @@ mod tests {
         let run = |seed| {
             let mut net = SimNet::new(seed);
             let rec = net.add_node(Recorder::default());
-            let _ = net.add_node(Driver { target: rec, pings: 10 });
+            let _ = net.add_node(Driver {
+                target: rec,
+                pings: 10,
+            });
             net.run_until_quiescent();
             (net.now(), net.metrics().messages_sent())
         };

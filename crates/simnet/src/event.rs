@@ -76,7 +76,10 @@ pub(crate) struct EventQueue<M> {
 
 impl<M> EventQueue<M> {
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     pub fn push(&mut self, at: SimTime, kind: EventKind<M>) {
@@ -109,7 +112,12 @@ mod tests {
     use super::*;
 
     fn deliver(n: u32) -> EventKind<u32> {
-        EventKind::Deliver { from: NodeId(0), to: NodeId(0), sent_at: SimTime::ZERO, msg: n }
+        EventKind::Deliver {
+            from: NodeId(0),
+            to: NodeId(0),
+            sent_at: SimTime::ZERO,
+            msg: n,
+        }
     }
 
     #[test]
@@ -118,7 +126,9 @@ mod tests {
         q.push(SimTime::from_micros(30), deliver(3));
         q.push(SimTime::from_micros(10), deliver(1));
         q.push(SimTime::from_micros(20), deliver(2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.as_micros()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_micros())
+            .collect();
         assert_eq!(order, [10, 20, 30]);
     }
 

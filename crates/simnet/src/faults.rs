@@ -119,7 +119,12 @@ mod tests {
         assert!(p.is_empty());
         p.crash_at(n0, SimTime::from_micros(10))
             .restart_at(n0, SimTime::from_micros(20));
-        p.partition_between(&[n0], &[n1, n2], SimTime::from_micros(5), SimTime::from_micros(50));
+        p.partition_between(
+            &[n0],
+            &[n1, n2],
+            SimTime::from_micros(5),
+            SimTime::from_micros(50),
+        );
         assert_eq!(p.len(), 2 + 4);
         assert!(matches!(p.actions[0].1, FaultAction::Crash(_)));
     }

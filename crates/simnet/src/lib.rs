@@ -63,7 +63,7 @@ mod metrics;
 pub mod threadnet;
 mod time;
 
-pub use engine::{Actor, Context, NodeId, SimNet, TimerId, TraceEvent, TraceOutcome};
+pub use engine::{Actor, Context, NetHook, NodeId, SimNet, TimerId, TraceEvent, TraceOutcome};
 pub use faults::FaultPlan;
 pub use link::{LinkModel, PerfectLink, SwitchedLan};
 pub use metrics::{Histogram, Metrics};

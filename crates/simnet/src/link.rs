@@ -64,7 +64,10 @@ impl SwitchedLan {
 
     /// A lossy variant of the testbed for fault-injection experiments.
     pub fn lossy(loss_probability: f64) -> Self {
-        SwitchedLan { loss_probability, ..SwitchedLan::paper_testbed() }
+        SwitchedLan {
+            loss_probability,
+            ..SwitchedLan::paper_testbed()
+        }
     }
 }
 
@@ -147,7 +150,11 @@ mod tests {
     fn loopback_is_fast_and_lossless() {
         let lan = SwitchedLan::lossy(1.0);
         let mut r = rng();
-        assert!(lan.latency(NodeId(3), NodeId(3), 1 << 20, &mut r).as_micros() < 50);
+        assert!(
+            lan.latency(NodeId(3), NodeId(3), 1 << 20, &mut r)
+                .as_micros()
+                < 50
+        );
         assert!(!lan.is_lost(NodeId(3), NodeId(3), &mut r));
     }
 

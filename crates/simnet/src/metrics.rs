@@ -1,16 +1,55 @@
 //! Run metrics: message/byte counters and latency histograms.
 
 use crate::time::SimDuration;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
-/// A simple exact histogram of duration samples.
+/// Values below this are tracked in exact 1 µs buckets.
+const LINEAR_CUTOFF: u64 = 256;
+/// Sub-buckets per power of two above the linear cutoff (relative error
+/// is at most `1/SUB_BUCKETS`, i.e. ≤ 1.6%).
+const SUB_BUCKETS: u64 = 64;
+const SUB_SHIFT: u32 = 6; // log2(SUB_BUCKETS)
+const LINEAR_BITS: u32 = 8; // log2(LINEAR_CUTOFF)
+
+/// A bounded-memory log-bucketed histogram of duration samples.
 ///
-/// Stores every sample (experiments here are small enough), giving exact
-/// percentiles for the RTT analysis.
+/// Values under 256 µs land in exact 1 µs buckets; larger values use 64
+/// logarithmic sub-buckets per power of two (≤ 1.6% relative error).
+/// Buckets are stored sparsely, so memory is bounded by the number of
+/// *distinct* magnitudes (≤ ~3800 buckets total) instead of the number of
+/// samples — an unbounded run can no longer grow a `Vec` forever. The
+/// mean is exact (tracked as a running sum), and `min`/`max` are exact and
+/// anchor `percentile(0)`/`percentile(100)`.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
-    samples: Vec<u64>,
-    sorted: bool,
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Maps a value to its bucket id; monotone in `value`.
+fn bucket_of(value: u64) -> u32 {
+    if value < LINEAR_CUTOFF {
+        return value as u32;
+    }
+    let exp = 63 - value.leading_zeros(); // floor(log2), ≥ LINEAR_BITS
+    let sub = ((value - (1u64 << exp)) >> (exp - SUB_SHIFT)) as u32;
+    LINEAR_CUTOFF as u32 + (exp - LINEAR_BITS) * SUB_BUCKETS as u32 + sub
+}
+
+/// Midpoint of the bucket's value range (exact in the linear region).
+fn representative(bucket: u32) -> u64 {
+    if bucket < LINEAR_CUTOFF as u32 {
+        return bucket as u64;
+    }
+    let rest = bucket - LINEAR_CUTOFF as u32;
+    let exp = LINEAR_BITS + rest / SUB_BUCKETS as u32;
+    let sub = (rest % SUB_BUCKETS as u32) as u64;
+    let width = 1u64 << (exp - SUB_SHIFT);
+    (1u64 << exp) + sub * width + width / 2
 }
 
 impl Histogram {
@@ -21,56 +60,89 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, d: SimDuration) {
-        self.samples.push(d.as_micros());
-        self.sorted = false;
+        let us = d.as_micros();
+        if self.count == 0 {
+            self.min = us;
+            self.max = us;
+        } else {
+            self.min = self.min.min(us);
+            self.max = self.max.max(us);
+        }
+        self.count += 1;
+        self.sum += us as u128;
+        *self.buckets.entry(bucket_of(us)).or_insert(0) += 1;
     }
 
     /// Number of samples recorded.
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.count as usize
     }
 
-    /// Arithmetic mean, or `None` when empty.
+    /// Exact sum of all samples in microseconds, saturating at `u64::MAX`
+    /// (used by exporters alongside [`Histogram::bucket_counts`]).
+    pub fn sum_micros(&self) -> u64 {
+        u64::try_from(self.sum).unwrap_or(u64::MAX)
+    }
+
+    /// Exact arithmetic mean, or `None` when empty.
     pub fn mean(&self) -> Option<SimDuration> {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return None;
         }
-        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
-        Some(SimDuration::from_micros((sum / self.samples.len() as u128) as u64))
+        Some(SimDuration::from_micros(
+            (self.sum / self.count as u128) as u64,
+        ))
     }
 
-    /// Smallest sample.
+    /// Smallest sample (exact).
     pub fn min(&self) -> Option<SimDuration> {
-        self.samples.iter().min().map(|&s| SimDuration::from_micros(s))
+        (self.count > 0).then(|| SimDuration::from_micros(self.min))
     }
 
-    /// Largest sample.
+    /// Largest sample (exact).
     pub fn max(&self) -> Option<SimDuration> {
-        self.samples.iter().max().map(|&s| SimDuration::from_micros(s))
+        (self.count > 0).then(|| SimDuration::from_micros(self.max))
     }
 
-    /// Exact percentile via nearest-rank (`p` in `[0, 100]`).
+    /// Nearest-rank percentile (`p` in `[0, 100]`).
+    ///
+    /// The first and last ranks return the exact `min`/`max`; interior
+    /// ranks return their bucket's midpoint (exact below 256 µs, within
+    /// 1.6% above), clamped to `[min, max]`. Monotone in `p`.
     ///
     /// # Panics
     ///
     /// Panics when `p` is outside `[0, 100]`.
-    pub fn percentile(&mut self, p: f64) -> Option<SimDuration> {
+    pub fn percentile(&self, p: f64) -> Option<SimDuration> {
         assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return None;
         }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
+        let rank = (((p / 100.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == 1 {
+            return Some(SimDuration::from_micros(self.min));
         }
-        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        let idx = rank.saturating_sub(1).min(self.samples.len() - 1);
-        Some(SimDuration::from_micros(self.samples[idx]))
+        if rank == self.count {
+            return Some(SimDuration::from_micros(self.max));
+        }
+        let mut seen = 0u64;
+        for (&bucket, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let rep = representative(bucket).clamp(self.min, self.max);
+                return Some(SimDuration::from_micros(rep));
+            }
+        }
+        unreachable!("rank {rank} beyond recorded count {}", self.count)
     }
 
-    /// All samples, unsorted, for external analysis.
-    pub fn samples(&self) -> &[u64] {
-        &self.samples
+    /// Sparse `(bucket midpoint µs, sample count)` pairs in ascending
+    /// order, for export and external analysis.
+    pub fn bucket_counts(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .map(|(&b, &n)| (representative(b), n))
+            .collect()
     }
 }
 
@@ -83,7 +155,7 @@ pub struct Metrics {
     dropped_down: u64,
     dropped_partition: u64,
     bytes_sent: u64,
-    by_kind: BTreeMap<&'static str, u64>,
+    by_kind: BTreeMap<Cow<'static, str>, u64>,
 }
 
 impl Metrics {
@@ -91,10 +163,10 @@ impl Metrics {
         Metrics::default()
     }
 
-    pub(crate) fn on_send(&mut self, kind: &'static str, bytes: usize) {
+    pub(crate) fn on_send(&mut self, kind: impl Into<Cow<'static, str>>, bytes: usize) {
         self.sent += 1;
         self.bytes_sent += bytes as u64;
-        *self.by_kind.entry(kind).or_insert(0) += 1;
+        *self.by_kind.entry(kind.into()).or_insert(0) += 1;
     }
 
     pub(crate) fn on_deliver(&mut self) {
@@ -143,10 +215,11 @@ impl Metrics {
         self.bytes_sent
     }
 
-    /// Messages sent, broken down by [`Wire::kind`].
+    /// Messages sent, broken down by [`Wire::kind`]. Keys are `Cow` so
+    /// dynamically-named kinds can be counted alongside static ones.
     ///
     /// [`Wire::kind`]: crate::Wire::kind
-    pub fn sent_by_kind(&self) -> &BTreeMap<&'static str, u64> {
+    pub fn sent_by_kind(&self) -> &BTreeMap<Cow<'static, str>, u64> {
         &self.by_kind
     }
 
@@ -190,7 +263,6 @@ mod tests {
         h.record(SimDuration::from_micros(5));
         assert_eq!(h.percentile(50.0), Some(SimDuration::from_micros(5)));
         h.record(SimDuration::from_micros(1));
-        // re-sorts after new data
         assert_eq!(h.percentile(0.0), Some(SimDuration::from_micros(1)));
     }
 
@@ -200,6 +272,54 @@ mod tests {
         let mut h = Histogram::new();
         h.record(SimDuration::ZERO);
         let _ = h.percentile(101.0);
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_bounded_error() {
+        let mut prev_bucket = 0;
+        for v in (0..LINEAR_CUTOFF).chain((8..40).flat_map(|e| {
+            let base = 1u64 << e;
+            [
+                base,
+                base + 1,
+                base + base / 3,
+                base + base / 2,
+                2 * base - 1,
+            ]
+        })) {
+            let b = bucket_of(v);
+            assert!(b >= prev_bucket, "bucket_of must be monotone at {v}");
+            prev_bucket = b;
+            let rep = representative(b);
+            if v < LINEAR_CUTOFF {
+                assert_eq!(rep, v, "linear region must be exact");
+            } else {
+                let err = rep.abs_diff(v) as f64 / v as f64;
+                assert!(err <= 1.0 / SUB_BUCKETS as f64, "err {err} at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_memory_is_bounded() {
+        let mut h = Histogram::new();
+        for i in 0..100_000u64 {
+            h.record(SimDuration::from_micros(i % 10_000));
+        }
+        assert_eq!(h.count(), 100_000);
+        assert!(h.buckets.len() < 1000, "buckets: {}", h.buckets.len());
+    }
+
+    #[test]
+    fn percentiles_track_large_values_approximately() {
+        let mut h = Histogram::new();
+        for us in 1..=1000u64 {
+            h.record(SimDuration::from_micros(us * 1000)); // 1ms .. 1s
+        }
+        let p50 = h.percentile(50.0).unwrap().as_micros();
+        assert!((490_000..=510_000).contains(&p50), "p50={p50}");
+        assert_eq!(h.percentile(100.0).unwrap().as_micros(), 1_000_000);
+        assert_eq!(h.percentile(0.0).unwrap().as_micros(), 1000);
     }
 
     #[test]
@@ -224,5 +344,13 @@ mod tests {
         m.reset();
         assert_eq!(m.messages_sent(), 0);
         assert!(m.sent_by_kind().is_empty());
+    }
+
+    #[test]
+    fn dynamic_kind_names_are_counted() {
+        let mut m = Metrics::new();
+        m.on_send(format!("shard-{}", 3), 8);
+        m.on_send("shard-3", 8);
+        assert_eq!(m.sent_of_kind("shard-3"), 2);
     }
 }

@@ -112,11 +112,11 @@ fn run_node<M: Wire>(
     }
 
     let run_hook = |actor: &mut dyn Actor<M>,
-                        hook: Hook<M>,
-                        rng: &mut SmallRng,
-                        next_timer: &mut u64,
-                        timers: &mut BinaryHeap<PendingTimer>,
-                        cancelled: &mut HashSet<TimerId>| {
+                    hook: Hook<M>,
+                    rng: &mut SmallRng,
+                    next_timer: &mut u64,
+                    timers: &mut BinaryHeap<PendingTimer>,
+                    cancelled: &mut HashSet<TimerId>| {
         let now = SimTime::from_micros(shared.epoch.elapsed().as_micros() as u64);
         let mut ctx = Context::detached(now, id, next_timer, rng);
         match hook {
@@ -136,7 +136,11 @@ fn run_node<M: Wire>(
                         }
                     }
                 }
-                Op::SetTimer { id: tid, delay, token } => {
+                Op::SetTimer {
+                    id: tid,
+                    delay,
+                    token,
+                } => {
                     timers.push(PendingTimer {
                         deadline: now_i + Duration::from_micros(delay.as_micros()),
                         id: tid,
@@ -150,7 +154,14 @@ fn run_node<M: Wire>(
         }
     };
 
-    run_hook(actor, Hook::Start, &mut rng, &mut next_timer, &mut timers, &mut cancelled);
+    run_hook(
+        actor,
+        Hook::Start,
+        &mut rng,
+        &mut next_timer,
+        &mut timers,
+        &mut cancelled,
+    );
     loop {
         // Fire all due timers.
         loop {
@@ -240,7 +251,11 @@ impl<M: Wire> ThreadNetBuilder<M> {
             .enumerate()
             .map(|(i, (a, rx))| a.spawn(NodeId(i as u32), rx, shared.clone()))
             .collect();
-        ThreadNet { senders, handles, metrics }
+        ThreadNet {
+            senders,
+            handles,
+            metrics,
+        }
     }
 }
 
@@ -342,7 +357,8 @@ mod tests {
         bounces: Arc<AtomicU32>,
     }
     impl Actor<M> for Echo {
-        fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, M::Ping(n): M) {
+        fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M) {
+            let M::Ping(n) = msg;
             self.bounces.fetch_add(1, Ordering::SeqCst);
             if n > 0 {
                 ctx.send(from, M::Ping(n - 1));
@@ -355,8 +371,12 @@ mod tests {
         let a_hits = Arc::new(AtomicU32::new(0));
         let b_hits = Arc::new(AtomicU32::new(0));
         let mut b = ThreadNetBuilder::new();
-        let na = b.add_node(Echo { bounces: a_hits.clone() });
-        let nb = b.add_node(Echo { bounces: b_hits.clone() });
+        let na = b.add_node(Echo {
+            bounces: a_hits.clone(),
+        });
+        let nb = b.add_node(Echo {
+            bounces: b_hits.clone(),
+        });
         let net = b.start();
         net.inject(na, nb, M::Ping(9));
         // 10 messages bounce; wait for them to drain
@@ -367,7 +387,10 @@ mod tests {
         }
         let m = net.metrics_snapshot();
         net.shutdown();
-        assert_eq!(a_hits.load(Ordering::SeqCst) + b_hits.load(Ordering::SeqCst), 10);
+        assert_eq!(
+            a_hits.load(Ordering::SeqCst) + b_hits.load(Ordering::SeqCst),
+            10
+        );
         assert_eq!(m.sent_of_kind("ping"), 10);
     }
 
@@ -389,7 +412,9 @@ mod tests {
         }
         let beeps = Arc::new(AtomicU32::new(0));
         let mut b = ThreadNetBuilder::new();
-        b.add_node(Beeper { beeps: beeps.clone() });
+        b.add_node(Beeper {
+            beeps: beeps.clone(),
+        });
         let net = b.start();
         let deadline = Instant::now() + Duration::from_secs(5);
         while beeps.load(Ordering::SeqCst) < 2 {

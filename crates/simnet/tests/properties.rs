@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use whisper_simnet::{
-    Actor, Context, FaultPlan, NodeId, PerfectLink, SimDuration, SimNet, SimTime, SwitchedLan,
-    Wire,
+    Actor, Context, FaultPlan, NodeId, PerfectLink, SimDuration, SimNet, SimTime, SwitchedLan, Wire,
 };
 
 #[derive(Debug, Clone)]
@@ -34,7 +33,13 @@ impl Actor<Msg> for RingHopper {
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
         self.received_at.push(ctx.now());
         if msg.hops_left > 0 {
-            ctx.send(self.next, Msg { hops_left: msg.hops_left - 1, ..msg });
+            ctx.send(
+                self.next,
+                Msg {
+                    hops_left: msg.hops_left - 1,
+                    ..msg
+                },
+            );
         }
     }
 }
@@ -196,7 +201,13 @@ fn simnet_and_threadnet_agree_on_message_counts() {
         fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
             self.seen.fetch_add(1, Ordering::SeqCst);
             if msg.hops_left > 0 {
-                ctx.send(from, Msg { hops_left: msg.hops_left - 1, ..msg });
+                ctx.send(
+                    from,
+                    Msg {
+                        hops_left: msg.hops_left - 1,
+                        ..msg
+                    },
+                );
             }
         }
     }
@@ -206,27 +217,55 @@ fn simnet_and_threadnet_agree_on_message_counts() {
     // Simulated run.
     let sim_seen = Arc::new(AtomicU64::new(0));
     let mut sim: SimNet<Msg> = SimNet::new(3);
-    let a = sim.add_node(Bouncer { seen: sim_seen.clone() });
-    let b = sim.add_node(Bouncer { seen: sim_seen.clone() });
-    sim.inject(a, b, Msg { hops_left: HOPS, payload: 1 });
+    let a = sim.add_node(Bouncer {
+        seen: sim_seen.clone(),
+    });
+    let b = sim.add_node(Bouncer {
+        seen: sim_seen.clone(),
+    });
+    sim.inject(
+        a,
+        b,
+        Msg {
+            hops_left: HOPS,
+            payload: 1,
+        },
+    );
     sim.run_until_quiescent();
     let sim_sent = sim.metrics().messages_sent();
 
     // Threaded run of the identical actors.
     let thr_seen = Arc::new(AtomicU64::new(0));
     let mut builder = whisper_simnet::threadnet::ThreadNetBuilder::new();
-    let ta = builder.add_node(Bouncer { seen: thr_seen.clone() });
-    let tb = builder.add_node(Bouncer { seen: thr_seen.clone() });
+    let ta = builder.add_node(Bouncer {
+        seen: thr_seen.clone(),
+    });
+    let tb = builder.add_node(Bouncer {
+        seen: thr_seen.clone(),
+    });
     let net = builder.start();
-    net.inject(ta, tb, Msg { hops_left: HOPS, payload: 1 });
+    net.inject(
+        ta,
+        tb,
+        Msg {
+            hops_left: HOPS,
+            payload: 1,
+        },
+    );
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
     while thr_seen.load(Ordering::SeqCst) < (HOPS as u64 + 1) {
-        assert!(std::time::Instant::now() < deadline, "threadnet volley stalled");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "threadnet volley stalled"
+        );
         std::thread::yield_now();
     }
     let thr_sent = net.metrics_snapshot().messages_sent();
     net.shutdown();
 
-    assert_eq!(sim_seen.load(Ordering::SeqCst), thr_seen.load(Ordering::SeqCst));
+    assert_eq!(
+        sim_seen.load(Ordering::SeqCst),
+        thr_seen.load(Ordering::SeqCst)
+    );
     assert_eq!(sim_sent, thr_sent);
 }

@@ -25,7 +25,11 @@ impl HeaderBlock {
     /// Creates an optional (non-`mustUnderstand`) header block targeting
     /// the ultimate receiver.
     pub fn new(content: Element) -> Self {
-        HeaderBlock { content, must_understand: false, role: None }
+        HeaderBlock {
+            content,
+            must_understand: false,
+            role: None,
+        }
     }
 
     /// Marks the block as `mustUnderstand`.
@@ -73,17 +77,26 @@ enum Body {
 impl Envelope {
     /// Creates a request/response envelope carrying `payload`.
     pub fn request(payload: Element) -> Self {
-        Envelope { headers: Vec::new(), body: Body::Payload(payload) }
+        Envelope {
+            headers: Vec::new(),
+            body: Body::Payload(payload),
+        }
     }
 
     /// Creates a fault envelope.
     pub fn fault(fault: Fault) -> Self {
-        Envelope { headers: Vec::new(), body: Body::Fault(fault) }
+        Envelope {
+            headers: Vec::new(),
+            body: Body::Fault(fault),
+        }
     }
 
     /// Creates an envelope with an empty body (one-way acknowledgements).
     pub fn empty() -> Self {
-        Envelope { headers: Vec::new(), body: Body::Empty }
+        Envelope {
+            headers: Vec::new(),
+            body: Body::Empty,
+        }
     }
 
     /// Adds a header block, returning `self` for chaining.
@@ -210,8 +223,14 @@ impl Envelope {
                     .unwrap_or(false);
                 let role = c.attr("role").map(str::to_string);
                 let mut content = c.clone();
-                content.attrs.retain(|a| a.name != "mustUnderstand" && a.name != "role");
-                headers.push(HeaderBlock { content, must_understand: must, role });
+                content
+                    .attrs
+                    .retain(|a| a.name != "mustUnderstand" && a.name != "role");
+                headers.push(HeaderBlock {
+                    content,
+                    must_understand: must,
+                    role,
+                });
             }
         }
         let body_el = root
@@ -247,7 +266,11 @@ mod tests {
         let back = Envelope::parse(&env.to_xml_string()).unwrap();
         assert_eq!(back.body_payload().unwrap().name, "StudentInformation");
         assert_eq!(
-            back.body_payload().unwrap().child("StudentID").unwrap().text(),
+            back.body_payload()
+                .unwrap()
+                .child("StudentID")
+                .unwrap()
+                .text(),
             "u1"
         );
         assert!(!back.is_fault());
@@ -304,8 +327,8 @@ mod tests {
             Err(SoapError::MustUnderstand("Security".into()))
         );
         // optional headers never trip validation
-        let env2 = Envelope::request(payload())
-            .with_header(HeaderBlock::new(Element::new("Trace")));
+        let env2 =
+            Envelope::request(payload()).with_header(HeaderBlock::new(Element::new("Trace")));
         assert!(env2.validate_must_understand(&[]).is_ok());
     }
 

@@ -79,7 +79,11 @@ pub struct Fault {
 impl Fault {
     /// Creates a fault with no detail.
     pub fn new(code: FaultCode, reason: impl Into<String>) -> Self {
-        Fault { code, reason: reason.into(), detail: None }
+        Fault {
+            code,
+            reason: reason.into(),
+            detail: None,
+        }
     }
 
     /// Attaches a detail element, returning the fault for chaining.
@@ -128,7 +132,11 @@ impl Fault {
             .child("Detail")
             .and_then(|d| d.child_elements().next())
             .cloned();
-        Ok(Fault { code, reason, detail })
+        Ok(Fault {
+            code,
+            reason,
+            detail,
+        })
     }
 }
 

@@ -65,9 +65,16 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        assert!(WsdlError::NotDefinitions("x".into()).to_string().contains("definitions"));
-        let e = WsdlError::MissingAttribute { element: "operation".into(), attribute: "name".into() };
+        assert!(WsdlError::NotDefinitions("x".into())
+            .to_string()
+            .contains("definitions"));
+        let e = WsdlError::MissingAttribute {
+            element: "operation".into(),
+            attribute: "name".into(),
+        };
         assert!(e.to_string().contains("operation") && e.to_string().contains("name"));
-        assert!(WsdlError::UnknownConcept("{u}C".into()).to_string().contains("{u}C"));
+        assert!(WsdlError::UnknownConcept("{u}C".into())
+            .to_string()
+            .contains("{u}C"));
     }
 }

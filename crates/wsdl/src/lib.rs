@@ -42,7 +42,9 @@ pub mod samples;
 mod xml;
 
 pub use error::WsdlError;
-pub use model::{Endpoint, Interface, MessagePart, Operation, OperationSemantics, ServiceDescription};
+pub use model::{
+    Endpoint, Interface, MessagePart, Operation, OperationSemantics, ServiceDescription,
+};
 
 /// Namespace URI for WSDL-S annotation attributes (as used by METEOR-S).
 pub const WSDLS_NS: &str = "http://www.ibm.com/xmlns/WebServices/WSSemantics";

@@ -18,7 +18,10 @@ pub struct MessagePart {
 impl MessagePart {
     /// Creates a part.
     pub fn new(label: impl Into<String>, concept: QName) -> Self {
-        MessagePart { label: label.into(), concept }
+        MessagePart {
+            label: label.into(),
+            concept,
+        }
     }
 }
 
@@ -39,7 +42,12 @@ pub struct Operation {
 impl Operation {
     /// Creates an operation with the given action concept and no parts.
     pub fn new(name: impl Into<String>, action: QName) -> Self {
-        Operation { name: name.into(), action, inputs: Vec::new(), outputs: Vec::new() }
+        Operation {
+            name: name.into(),
+            action,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
     }
 
     /// Adds an input part, returning `self` for chaining.
@@ -69,7 +77,11 @@ impl Operation {
         Ok(OperationSemantics {
             operation: self.name.clone(),
             action: resolve_one(&self.action)?,
-            inputs: self.inputs.iter().map(|p| resolve_one(&p.concept)).collect::<Result<_, _>>()?,
+            inputs: self
+                .inputs
+                .iter()
+                .map(|p| resolve_one(&p.concept))
+                .collect::<Result<_, _>>()?,
             outputs: self
                 .outputs
                 .iter()
@@ -114,7 +126,11 @@ impl Endpoint {
         interface: impl Into<String>,
         address: impl Into<String>,
     ) -> Self {
-        Endpoint { name: name.into(), interface: interface.into(), address: address.into() }
+        Endpoint {
+            name: name.into(),
+            interface: interface.into(),
+            address: address.into(),
+        }
     }
 }
 
@@ -130,7 +146,10 @@ pub struct Interface {
 impl Interface {
     /// Creates an empty interface.
     pub fn new(name: impl Into<String>) -> Self {
-        Interface { name: name.into(), operations: Vec::new() }
+        Interface {
+            name: name.into(),
+            operations: Vec::new(),
+        }
     }
 
     /// Adds an operation, returning `self` for chaining.
@@ -196,7 +215,9 @@ impl ServiceDescription {
 
     /// The endpoints serving `interface`.
     pub fn endpoints_of<'a>(&'a self, interface: &'a str) -> impl Iterator<Item = &'a Endpoint> {
-        self.endpoints.iter().filter(move |e| e.interface == interface)
+        self.endpoints
+            .iter()
+            .filter(move |e| e.interface == interface)
     }
 
     /// Finds an operation by name across all interfaces.
@@ -257,7 +278,10 @@ mod tests {
         assert_eq!(svc.endpoints_of("StudentManagementUMA").count(), 1);
         assert_eq!(svc.endpoints_of("Other").count(), 0);
         assert_eq!(
-            svc.endpoints_of("StudentManagementUMA").next().expect("present").address,
+            svc.endpoints_of("StudentManagementUMA")
+                .next()
+                .expect("present")
+                .address,
             "whisper://proxy-1/students"
         );
     }
@@ -277,7 +301,11 @@ mod tests {
     fn semantics_resolve_against_university_ontology() {
         let svc = sample();
         let onto = university_ontology();
-        let sem = svc.operation("StudentInformation").unwrap().resolve(&onto).unwrap();
+        let sem = svc
+            .operation("StudentInformation")
+            .unwrap()
+            .resolve(&onto)
+            .unwrap();
         assert_eq!(sem.operation, "StudentInformation");
         assert_eq!(onto.class_name(sem.action), Some("StudentInformation"));
         assert_eq!(sem.inputs.len(), 1);

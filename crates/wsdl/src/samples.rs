@@ -63,11 +63,23 @@ mod tests {
     #[test]
     fn samples_resolve_against_their_ontologies() {
         assert_eq!(
-            student_management().resolve_all(&university_ontology()).unwrap().len(),
+            student_management()
+                .resolve_all(&university_ontology())
+                .unwrap()
+                .len(),
             2
         );
-        assert_eq!(claim_processing().resolve_all(&b2b_ontology()).unwrap().len(), 1);
-        assert_eq!(order_tracking().resolve_all(&b2b_ontology()).unwrap().len(), 2);
+        assert_eq!(
+            claim_processing()
+                .resolve_all(&b2b_ontology())
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            order_tracking().resolve_all(&b2b_ontology()).unwrap().len(),
+            2
+        );
     }
 
     #[test]

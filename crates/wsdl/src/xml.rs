@@ -57,10 +57,12 @@ impl NsEnv {
 }
 
 fn require_attr(e: &Element, attr: &str) -> Result<String, WsdlError> {
-    e.attr(attr).map(str::to_string).ok_or_else(|| WsdlError::MissingAttribute {
-        element: e.name.clone(),
-        attribute: attr.to_string(),
-    })
+    e.attr(attr)
+        .map(str::to_string)
+        .ok_or_else(|| WsdlError::MissingAttribute {
+            element: e.name.clone(),
+            attribute: attr.to_string(),
+        })
 }
 
 impl ServiceDescription {
@@ -94,10 +96,12 @@ impl ServiceDescription {
             for oe in ie.children_named("operation") {
                 let oenv = ienv.extended_with(oe);
                 let oname = require_attr(oe, "name")?;
-                let action_el = oe.child("action").ok_or_else(|| WsdlError::MissingAttribute {
-                    element: format!("operation {oname}"),
-                    attribute: "action".to_string(),
-                })?;
+                let action_el = oe
+                    .child("action")
+                    .ok_or_else(|| WsdlError::MissingAttribute {
+                        element: format!("operation {oname}"),
+                        attribute: "action".to_string(),
+                    })?;
                 let action = oenv
                     .extended_with(action_el)
                     .resolve_qname(&require_attr(action_el, "element")?)?;
@@ -122,7 +126,12 @@ impl ServiceDescription {
                 });
             }
         }
-        Ok(ServiceDescription { name, target_namespace, interfaces, endpoints })
+        Ok(ServiceDescription {
+            name,
+            target_namespace,
+            interfaces,
+            endpoints,
+        })
     }
 
     /// Renders the description back to its XML form.
@@ -148,7 +157,10 @@ impl ServiceDescription {
         let prefix_of = |q: &QName| -> String {
             match q.ns() {
                 Some(ns) => {
-                    let i = ns_order.iter().position(|u| u == ns).expect("collected above");
+                    let i = ns_order
+                        .iter()
+                        .position(|u| u == ns)
+                        .expect("collected above");
                     format!("c{i}:{}", q.local())
                 }
                 None => q.local().to_string(),
@@ -242,10 +254,19 @@ mod tests {
         assert_eq!(svc.name, "StudentManagement");
         assert_eq!(svc.target_namespace, "urn:uma:students");
         let op = svc.operation("StudentInformation").unwrap();
-        assert_eq!(op.action, QName::with_ns(UNIVERSITY_NS, "StudentInformation"));
+        assert_eq!(
+            op.action,
+            QName::with_ns(UNIVERSITY_NS, "StudentInformation")
+        );
         assert_eq!(op.inputs[0].label, "ID");
-        assert_eq!(op.inputs[0].concept, QName::with_ns(UNIVERSITY_NS, "StudentID"));
-        assert_eq!(op.outputs[0].concept, QName::with_ns(UNIVERSITY_NS, "StudentInfo"));
+        assert_eq!(
+            op.inputs[0].concept,
+            QName::with_ns(UNIVERSITY_NS, "StudentID")
+        );
+        assert_eq!(
+            op.outputs[0].concept,
+            QName::with_ns(UNIVERSITY_NS, "StudentInfo")
+        );
     }
 
     #[test]

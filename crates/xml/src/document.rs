@@ -67,13 +67,17 @@ pub struct Attribute {
 impl Attribute {
     /// Creates an unprefixed attribute in no namespace.
     pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
-        Attribute { prefix: None, name: name.into(), ns: None, value: value.into() }
+        Attribute {
+            prefix: None,
+            name: name.into(),
+            ns: None,
+            value: value.into(),
+        }
     }
 
     /// Whether this attribute is a namespace declaration.
     pub fn is_ns_decl(&self) -> bool {
-        self.name == "xmlns" && self.prefix.is_none()
-            || self.prefix.as_deref() == Some("xmlns")
+        self.name == "xmlns" && self.prefix.is_none() || self.prefix.as_deref() == Some("xmlns")
     }
 
     /// The lexical (possibly prefixed) name as written in a document.
@@ -153,13 +157,20 @@ pub struct Element {
 impl Element {
     /// Creates an element with the given local name, no namespace.
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), ..Element::default() }
+        Element {
+            name: name.into(),
+            ..Element::default()
+        }
     }
 
     /// Creates an element in a namespace (no prefix; serialized with a
     /// default-namespace declaration unless one is already in scope).
     pub fn with_ns(name: impl Into<String>, ns: impl Into<String>) -> Self {
-        Element { name: name.into(), ns: Some(ns.into()), ..Element::default() }
+        Element {
+            name: name.into(),
+            ns: Some(ns.into()),
+            ..Element::default()
+        }
     }
 
     /// Creates `name` containing a single text node.

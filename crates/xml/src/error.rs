@@ -56,7 +56,10 @@ impl fmt::Display for XmlError {
             ErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
             ErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
             ErrorKind::MismatchedTag { expected, found } => {
-                write!(f, "mismatched end tag: expected </{expected}>, found </{found}>")
+                write!(
+                    f,
+                    "mismatched end tag: expected </{expected}>, found </{found}>"
+                )
             }
             ErrorKind::BadEntity(e) => write!(f, "unknown or malformed entity reference &{e};"),
             ErrorKind::BadName(n) => write!(f, "invalid XML name {n:?}"),
@@ -94,7 +97,10 @@ mod tests {
     #[test]
     fn mismatched_tag_message_names_both_tags() {
         let e = XmlError::new(
-            ErrorKind::MismatchedTag { expected: "a".into(), found: "b".into() },
+            ErrorKind::MismatchedTag {
+                expected: "a".into(),
+                found: "b".into(),
+            },
             7,
         );
         let s = e.to_string();

@@ -27,12 +27,18 @@ pub struct QName {
 impl QName {
     /// Creates a name in no namespace.
     pub fn new(local: impl Into<String>) -> Self {
-        QName { ns: None, local: local.into() }
+        QName {
+            ns: None,
+            local: local.into(),
+        }
     }
 
     /// Creates a name in the namespace `ns`.
     pub fn with_ns(ns: impl Into<String>, local: impl Into<String>) -> Self {
-        QName { ns: Some(ns.into()), local: local.into() }
+        QName {
+            ns: Some(ns.into()),
+            local: local.into(),
+        }
     }
 
     /// The namespace URI, if any.

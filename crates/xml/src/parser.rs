@@ -39,7 +39,11 @@ pub fn parse_document(input: &str) -> Result<Document, XmlError> {
     if !p.eof() {
         return Err(p.err(ErrorKind::TrailingContent));
     }
-    Ok(Document { version, encoding, root })
+    Ok(Document {
+        version,
+        encoding,
+        root,
+    })
 }
 
 /// A lexical scope of namespace declarations, chained to its parent.
@@ -55,11 +59,17 @@ impl<'a> NsScope<'a> {
         let mut bindings = HashMap::new();
         bindings.insert("xml".to_string(), crate::XML_NS.to_string());
         bindings.insert("xmlns".to_string(), crate::XMLNS_NS.to_string());
-        NsScope { parent: None, bindings }
+        NsScope {
+            parent: None,
+            bindings,
+        }
     }
 
     fn child(&'a self) -> NsScope<'a> {
-        NsScope { parent: Some(self), bindings: HashMap::new() }
+        NsScope {
+            parent: Some(self),
+            bindings: HashMap::new(),
+        }
     }
 
     fn resolve(&self, prefix: &str) -> Option<&str> {
@@ -275,7 +285,10 @@ impl<'a> Parser<'a> {
         let body = &self.rest()[..semi];
         if body.len() > 12 {
             // entity bodies are tiny; a missing ';' shouldn't scan the file
-            return Err(XmlError::new(ErrorKind::BadEntity(body[..12].to_string()), start));
+            return Err(XmlError::new(
+                ErrorKind::BadEntity(body[..12].to_string()),
+                start,
+            ));
         }
         let c = resolve_entity(body)
             .ok_or_else(|| XmlError::new(ErrorKind::BadEntity(body.to_string()), start))?;
@@ -461,10 +474,8 @@ mod tests {
 
     #[test]
     fn resolves_default_and_prefixed_namespaces() {
-        let e = parse(
-            r#"<root xmlns="urn:d" xmlns:p="urn:p"><p:x p:a="1" b="2"/><y/></root>"#,
-        )
-        .unwrap();
+        let e = parse(r#"<root xmlns="urn:d" xmlns:p="urn:p"><p:x p:a="1" b="2"/><y/></root>"#)
+            .unwrap();
         assert_eq!(e.qname(), QName::with_ns("urn:d", "root"));
         let x = e.child("x").unwrap();
         assert_eq!(x.qname(), QName::with_ns("urn:p", "x"));

@@ -63,7 +63,10 @@ fn write_element(out: &mut String, e: &Element, indent: Option<usize>) {
     }
     write_open_tag(out, e, false);
 
-    let text_only = e.children.iter().all(|n| matches!(n, Node::Text(_) | Node::CData(_)));
+    let text_only = e
+        .children
+        .iter()
+        .all(|n| matches!(n, Node::Text(_) | Node::CData(_)));
     let child_indent = match indent {
         Some(level) if !text_only => Some(level + 1),
         _ => None,

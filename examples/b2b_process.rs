@@ -72,11 +72,17 @@ fn main() {
     };
     let info_rtt = measure_step(&mut net, "StudentInformation", 10);
     let transcript_rtt = measure_step(&mut net, "StudentTranscript", 10);
-    println!("measured step QoS: StudentInformation {info_rtt}, StudentTranscript {transcript_rtt}");
+    println!(
+        "measured step QoS: StudentInformation {info_rtt}, StudentTranscript {transcript_rtt}"
+    );
 
     // --- Step 2: predict the sequential process with the reduction rule ---
     let step = |latency: SimDuration| {
-        QosExpr::task(QosSpec { latency_us: latency.as_micros(), reliability: 1.0, cost: 1.0 })
+        QosExpr::task(QosSpec {
+            latency_us: latency.as_micros(),
+            reliability: 1.0,
+            cost: 1.0,
+        })
     };
     let process = QosExpr::seq(vec![step(info_rtt), step(transcript_rtt)]);
     let predicted = process.aggregate();
@@ -102,7 +108,12 @@ fn main() {
         // process latency = the two service times, excluding think gaps
         let process_us: u64 = pair
             .iter()
-            .map(|o| o.completed_at.expect("completed").since(o.sent_at).as_micros())
+            .map(|o| {
+                o.completed_at
+                    .expect("completed")
+                    .since(o.sent_at)
+                    .as_micros()
+            })
             .sum();
         total_us += process_us;
         let _ = started;

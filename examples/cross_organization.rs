@@ -28,10 +28,15 @@ fn partner_ontology() -> Ontology {
     let mut o = Ontology::new(PARTNER_NS);
     let entidade = o.add_class("Entidade", &[]).expect("fresh ontology");
     let acao = o.add_class("Acao", &[entidade]).expect("fresh ontology");
-    o.add_class("ConsultaDeAluno", &[acao]).expect("fresh ontology");
-    let id = o.add_class("Identificador", &[entidade]).expect("fresh ontology");
+    o.add_class("ConsultaDeAluno", &[acao])
+        .expect("fresh ontology");
+    let id = o
+        .add_class("Identificador", &[entidade])
+        .expect("fresh ontology");
     o.add_class("Matricula", &[id]).expect("fresh ontology");
-    let doc = o.add_class("Documento", &[entidade]).expect("fresh ontology");
+    let doc = o
+        .add_class("Documento", &[entidade])
+        .expect("fresh ontology");
     o.add_class("FichaDoAluno", &[doc]).expect("fresh ontology");
     o
 }
@@ -39,7 +44,8 @@ fn partner_ontology() -> Ontology {
 /// Imports B's vocabulary into A's ontology and asserts the bridges.
 fn aligned_ontology() -> Ontology {
     let mut onto = university_ontology();
-    onto.import(&partner_ontology()).expect("no namespace collisions");
+    onto.import(&partner_ontology())
+        .expect("no namespace collisions");
     let bridge = |onto: &mut Ontology, a: &str, b: &str| {
         let ca = onto
             .class_by_qname(&QName::with_ns(UNIVERSITY_NS, a))
@@ -96,7 +102,10 @@ fn run_once(ontology: Ontology, label: &str) -> (u64, u64) {
         ),
         None => println!(
             "{label}: FAULT — {}",
-            parsed.as_fault().map(|f| f.reason.clone()).unwrap_or_default()
+            parsed
+                .as_fault()
+                .map(|f| f.reason.clone())
+                .unwrap_or_default()
         ),
     }
     (stats.completed, stats.faults)
@@ -113,7 +122,11 @@ fn main() {
     // advertisement, same request — now it matches Exactly.
     println!("\n--- with ontology alignment ---");
     let (completed, faults) = run_once(aligned_ontology(), "request");
-    assert_eq!((completed, faults), (1, 0), "alignment must mask the heterogeneity");
+    assert_eq!(
+        (completed, faults),
+        (1, 0),
+        "alignment must mask the heterogeneity"
+    );
 
     println!("\nsemantic heterogeneity bridged: same request, same peers, zero faults");
 }

@@ -32,14 +32,24 @@ fn main() {
     let op = service.operation("ProcessClaim").expect("operation exists");
 
     let backends = |n: usize| -> Vec<Box<dyn ServiceBackend>> {
-        (0..n).map(|_| Box::new(ClaimProcessor::new(1_000.0)) as Box<dyn ServiceBackend>).collect()
+        (0..n)
+            .map(|_| Box::new(ClaimProcessor::new(1_000.0)) as Box<dyn ServiceBackend>)
+            .collect()
     };
 
     // A slow-but-cheap group and a fast premium group.
     let mut standard = GroupSpec::from_operation("StandardClaims", op, backends(2));
-    standard.qos = Some(QosSpec { latency_us: 5_000, reliability: 0.95, cost: 1.0 });
+    standard.qos = Some(QosSpec {
+        latency_us: 5_000,
+        reliability: 0.95,
+        cost: 1.0,
+    });
     let mut premium = GroupSpec::from_operation("PremiumClaims", op, backends(2));
-    premium.qos = Some(QosSpec { latency_us: 500, reliability: 0.999, cost: 1.0 });
+    premium.qos = Some(QosSpec {
+        latency_us: 500,
+        reliability: 0.999,
+        cost: 1.0,
+    });
 
     let mut cfg = DeploymentConfig {
         seed: 3,
@@ -103,6 +113,9 @@ fn decision(net: &WhisperNet, client: whisper_simnet::NodeId) -> String {
             p.child("ClaimNumber").map(|c| c.text()).unwrap_or_default(),
             p.child("Decision").map(|c| c.text()).unwrap_or_default()
         ),
-        None => format!("FAULT: {}", parsed.as_fault().map(|f| f.to_string()).unwrap_or_default()),
+        None => format!(
+            "FAULT: {}",
+            parsed.as_fault().map(|f| f.to_string()).unwrap_or_default()
+        ),
     }
 }

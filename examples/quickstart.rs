@@ -23,7 +23,10 @@ fn main() {
     net.submit_student_request(client, "u1004");
     net.run_for(SimDuration::from_secs(2));
     println!("--- first response ---");
-    println!("{}", net.client_last_response(client).expect("response arrived"));
+    println!(
+        "{}",
+        net.client_last_response(client).expect("response arrived")
+    );
 
     // Crash the coordinator mid-flight and send another request: the proxy
     // re-binds to the newly elected coordinator, transparently.
@@ -32,7 +35,10 @@ fn main() {
     net.submit_student_request(client, "u1007");
     net.run_for(SimDuration::from_secs(10));
     println!("--- response after failover ---");
-    println!("{}", net.client_last_response(client).expect("failover response"));
+    println!(
+        "{}",
+        net.client_last_response(client).expect("failover response")
+    );
     println!(
         "\nnew coordinator: {:?}",
         net.coordinator_of(0).expect("group re-elected")

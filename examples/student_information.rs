@@ -25,7 +25,9 @@ fn main() {
     // Group of two: peer 1 = warehouse, peer 2 = operational DB.
     // (Peer ids are assigned in backend order; the Bully winner is the
     // highest id, so the operational DB coordinates at first.)
-    let op = service.operation("StudentInformation").expect("operation exists");
+    let op = service
+        .operation("StudentInformation")
+        .expect("operation exists");
     let backends: Vec<Box<dyn ServiceBackend>> = vec![
         Box::new(StudentRegistry::data_warehouse().with_sample_data()),
         Box::new(StudentRegistry::operational_db().with_sample_data()),
@@ -83,7 +85,10 @@ fn print_source(net: &WhisperNet, client: whisper_simnet::NodeId, when: &str) {
     let envelope = net.client_last_response(client).expect("got a response");
     let parsed = Envelope::parse(&envelope).expect("well-formed response");
     let payload = parsed.body_payload().expect("not a fault");
-    let source = payload.child("Source").map(|s| s.text()).unwrap_or_default();
+    let source = payload
+        .child("Source")
+        .map(|s| s.text())
+        .unwrap_or_default();
     let name = payload.child("Name").map(|s| s.text()).unwrap_or_default();
     println!("{when}: {name} served from [{source}]");
 }

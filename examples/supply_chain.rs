@@ -23,13 +23,18 @@ fn track(order: &str) -> Element {
 
 fn main() {
     let service = whisper_wsdl::samples::order_tracking();
-    let op = service.operation("TrackOrder").expect("operation exists").clone();
+    let op = service
+        .operation("TrackOrder")
+        .expect("operation exists")
+        .clone();
     let backends: Vec<Box<dyn ServiceBackend>> = (0..3)
         .map(|_| Box::new(OrderTracker::with_sample_orders()) as Box<dyn ServiceBackend>)
         .collect();
 
     let client_tpl = ClientConfigTemplate {
-        workload: Workload::Closed { think: SimDuration::from_millis(200) },
+        workload: Workload::Closed {
+            think: SimDuration::from_millis(200),
+        },
         payloads: vec![track("po-77"), track("po-78"), track("po-79")],
         total: Some(60),
         timeout: SimDuration::from_secs(25),
@@ -40,7 +45,11 @@ fn main() {
         seed: 21,
         service,
         ontology: whisper_ontology::samples::b2b_ontology(),
-        groups: vec![GroupSpec::from_operation("OrderTrackingGroup", &op, backends)],
+        groups: vec![GroupSpec::from_operation(
+            "OrderTrackingGroup",
+            &op,
+            backends,
+        )],
         use_rendezvous: true,
         clients: vec![client_tpl],
         ..DeploymentConfig::default()
@@ -70,7 +79,7 @@ fn main() {
     println!(
         "rtt: mean {:?}, p99 {:?}, max {:?}",
         stats.rtt.mean(),
-        stats.rtt.clone().percentile(99.0),
+        stats.rtt.percentile(99.0),
         stats.rtt.max()
     );
     println!("proxy: {:?}", net.proxy_stats());
@@ -82,7 +91,11 @@ fn main() {
 
     // The outage must be masked: every resolved request succeeded.
     assert_eq!(stats.faults, 0, "outage was not masked");
-    assert!(stats.completed >= 50, "too few requests completed: {}", stats.completed);
+    assert!(
+        stats.completed >= 50,
+        "too few requests completed: {}",
+        stats.completed
+    );
     // The recovered highest-id peer bullied its way back to coordinator.
     assert_eq!(
         net.coordinator_of(0).map(|p| net.directory().node_of(p)),

@@ -134,7 +134,10 @@ fn whole_group_down_yields_fault_then_recovers_after_restart() {
     net.run_for(SimDuration::from_secs(40));
     let s = net.client_stats(client);
     assert_eq!(s.completed, 2);
-    assert_eq!(s.faults, 1, "total outage must surface as a soap fault: {s:?}");
+    assert_eq!(
+        s.faults, 1,
+        "total outage must surface as a soap fault: {s:?}"
+    );
 
     for &n in &nodes {
         net.restart_node(n);
@@ -261,8 +264,14 @@ fn bpeers_joining_at_runtime_raise_availability() {
 
     // Two more replicas join the running group (paper §4.2: "dynamically
     // increasing the level of availability").
-    let n2 = net.add_bpeer(0, Box::new(StudentRegistry::data_warehouse().with_sample_data()));
-    let n3 = net.add_bpeer(0, Box::new(StudentRegistry::operational_db().with_sample_data()));
+    let n2 = net.add_bpeer(
+        0,
+        Box::new(StudentRegistry::data_warehouse().with_sample_data()),
+    );
+    let n3 = net.add_bpeer(
+        0,
+        Box::new(StudentRegistry::operational_db().with_sample_data()),
+    );
     net.run_for(SimDuration::from_secs(5));
 
     // The newest (highest) peer bullied its way to coordinator, and every
@@ -270,7 +279,11 @@ fn bpeers_joining_at_runtime_raise_availability() {
     let coord = net.coordinator_of(0).expect("coordinator exists");
     assert_eq!(net.directory().node_of(coord), Some(n3));
     for &n in net.group_nodes(0) {
-        assert_eq!(net.bpeer(n).coordinator(), Some(coord), "node {n} disagrees");
+        assert_eq!(
+            net.bpeer(n).coordinator(),
+            Some(coord),
+            "node {n} disagrees"
+        );
         assert_eq!(net.bpeer(n).members().len(), 3, "node {n} membership");
     }
 

@@ -79,25 +79,28 @@ fn element_strategy() -> impl Strategy<Value = Element> {
 
 /// A random DAG ontology: class `i` gets parents drawn from `0..i`.
 fn ontology_strategy() -> impl Strategy<Value = Ontology> {
-    proptest::collection::vec(proptest::collection::vec(any::<prop::sample::Index>(), 0..3), 1..24)
-        .prop_map(|parent_picks| {
-            let mut o = Ontology::new("urn:prop");
-            for (i, picks) in parent_picks.iter().enumerate() {
-                let existing: Vec<_> = o.class_ids().collect();
-                let mut parents = Vec::new();
-                if i > 0 {
-                    for pick in picks {
-                        let p = existing[pick.index(existing.len())];
-                        if !parents.contains(&p) {
-                            parents.push(p);
-                        }
+    proptest::collection::vec(
+        proptest::collection::vec(any::<prop::sample::Index>(), 0..3),
+        1..24,
+    )
+    .prop_map(|parent_picks| {
+        let mut o = Ontology::new("urn:prop");
+        for (i, picks) in parent_picks.iter().enumerate() {
+            let existing: Vec<_> = o.class_ids().collect();
+            let mut parents = Vec::new();
+            if i > 0 {
+                for pick in picks {
+                    let p = existing[pick.index(existing.len())];
+                    if !parents.contains(&p) {
+                        parents.push(p);
                     }
                 }
-                o.add_class(&format!("C{i}"), &parents)
-                    .expect("fresh name, acyclic by construction");
             }
-            o
-        })
+            o.add_class(&format!("C{i}"), &parents)
+                .expect("fresh name, acyclic by construction");
+        }
+        o
+    })
 }
 
 // ---------- XML ----------
@@ -442,7 +445,9 @@ fn pump_ring(n: usize, dead: &[usize], initiator: usize) -> Vec<Option<PeerId>> 
         inbox.push(((to.value() - 1) as usize, all[initiator], msg));
     }
     for _ in 0..100_000 {
-        let Some((to, from, msg)) = inbox.pop() else { break };
+        let Some((to, from, msg)) = inbox.pop() else {
+            break;
+        };
         if dead.contains(&to) {
             continue;
         }

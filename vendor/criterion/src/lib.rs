@@ -1,0 +1,195 @@
+//! Offline drop-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! Implements a small-but-honest timing harness: each `Bencher::iter`
+//! auto-calibrates the iteration count until a sample takes at least a few
+//! milliseconds, then reports mean ns/iter to stdout. No statistics, plots,
+//! or baselines — just enough to run `cargo bench` offline and compare
+//! numbers across runs by eye.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target duration for one calibrated measurement batch.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _criterion: self }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub calibrates by time instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.into().id));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+#[derive(Default)]
+pub struct Bencher {
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+                self.measured = Some((iters, elapsed));
+                return;
+            }
+            iters = iters.saturating_mul(if elapsed.is_zero() {
+                16
+            } else {
+                (TARGET_SAMPLE.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            });
+        }
+    }
+
+    /// The closure runs `iters` iterations itself and reports the elapsed
+    /// wall time (used when setup must be excluded from the measurement).
+    pub fn iter_custom<F>(&mut self, mut f: F)
+    where
+        F: FnMut(u64) -> Duration,
+    {
+        let iters = 10;
+        let elapsed = f(iters);
+        self.measured = Some((iters, elapsed));
+    }
+
+    fn report(&self, id: &str) {
+        match self.measured {
+            Some((iters, elapsed)) => {
+                let ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+                println!("{id:<48} {ns:>12.1} ns/iter  ({iters} iters)");
+            }
+            None => println!("{id:<48} (no measurement)"),
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(2u64 + 2))
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

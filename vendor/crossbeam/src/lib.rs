@@ -1,0 +1,92 @@
+//! Offline drop-in for the subset of `crossbeam` this workspace uses:
+//! `channel::{unbounded, Sender, Receiver, RecvTimeoutError}`. Backed by
+//! `std::sync::mpsc`, which supports everything the thread-backed network
+//! substrate needs (cloneable senders, single consumer, recv with timeout).
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(inner)| SendError(inner))
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(5u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}
