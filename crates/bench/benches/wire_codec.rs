@@ -1,0 +1,76 @@
+//! Codec throughput for the two message shapes that dominate Whisper
+//! traffic: a ~1 KiB SOAP request (the paper's benchmark payload size) and
+//! a semantic b-peer-group advertisement publication.
+//!
+//! Encode and decode are measured separately — encode sits on every
+//! `ctx.send` hot path of the TCP transport, decode on every reader
+//! thread, so their per-message cost bounds the achievable RTT floor.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use whisper::WhisperMsg;
+use whisper_p2p::{Advertisement, GroupId, P2pMessage, SemanticAdv};
+use whisper_simnet::SimDuration;
+use whisper_soap::Envelope;
+use whisper_wire::{Decode, Encode};
+use whisper_xml::Element;
+
+/// A `SoapRequest` whose serialized envelope is at least 1 KiB, mirroring
+/// the request size benchmarked in the paper.
+fn soap_request_1kib() -> WhisperMsg {
+    let mut payload = Element::new("StudentInformation");
+    payload.push_child(Element::with_text("StudentID", "u1004"));
+    let mut envelope = Envelope::request(payload.clone()).to_xml_string();
+    while envelope.len() < 1024 {
+        payload.push_child(Element::with_text("Padding", "x".repeat(64)));
+        envelope = Envelope::request(payload.clone()).to_xml_string();
+    }
+    WhisperMsg::SoapRequest {
+        request_id: 7,
+        envelope,
+    }
+}
+
+/// A `Publish` carrying the student-scenario semantic advertisement, the
+/// message b-peers flood at startup and rendezvous peers cache.
+fn semantic_publish() -> WhisperMsg {
+    let service = whisper_wsdl::samples::student_management();
+    let op = service
+        .operation("StudentInformation")
+        .expect("sample operation");
+    let adv = Advertisement::Semantic(SemanticAdv {
+        group: GroupId::new(1),
+        name: "StudentInfoGroup".into(),
+        action: op.action.clone(),
+        inputs: op.inputs.iter().map(|p| p.concept.clone()).collect(),
+        outputs: op.outputs.iter().map(|p| p.concept.clone()).collect(),
+        qos: None,
+    });
+    WhisperMsg::P2p(P2pMessage::Publish {
+        adv,
+        lifetime: SimDuration::from_secs(600),
+    })
+}
+
+fn bench_codec(c: &mut Criterion, label: &str, msg: WhisperMsg) {
+    let bytes = msg.encode();
+    assert_eq!(
+        WhisperMsg::decode(&bytes).expect("self round-trip"),
+        msg,
+        "bench fixture must round-trip"
+    );
+    c.bench_function(&format!("wire_codec/encode/{label}"), |b| {
+        b.iter(|| black_box(&msg).encode())
+    });
+    c.bench_function(&format!("wire_codec/decode/{label}"), |b| {
+        b.iter(|| WhisperMsg::decode(black_box(&bytes)).unwrap())
+    });
+    println!("{label}: {} bytes on the wire", bytes.len());
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    bench_codec(c, "soap_request_1kib", soap_request_1kib());
+    bench_codec(c, "semantic_advertisement", semantic_publish());
+}
+
+criterion_group!(benches, bench_wire_codec);
+criterion_main!(benches);

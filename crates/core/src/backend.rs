@@ -68,7 +68,7 @@ impl dyn ServiceBackend {
         (self as &mut dyn Any).downcast_mut()
     }
 
-    /// Immutable variant of [`downcast_mut`](Self::downcast_mut).
+    /// Immutable variant of `downcast_mut`.
     pub fn downcast_ref<T: ServiceBackend>(&self) -> Option<&T> {
         (self as &dyn Any).downcast_ref()
     }

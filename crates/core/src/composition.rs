@@ -1,7 +1,7 @@
 //! Workflow QoS aggregation — Cardoso's QoS composition model.
 //!
 //! The paper's section 2.4 grounds peer selection in the author's earlier
-//! workflow-QoS work (citations [10] and [11]: "e-workflow composition" and
+//! workflow-QoS work (citations \[10\] and \[11\]: "e-workflow composition" and
 //! "Semantic Web Services and Web Process Composition"): a B2B *process*
 //! composes several service invocations, and its end-to-end QoS follows
 //! from the parts by reduction rules:

@@ -3,12 +3,15 @@
 use whisper_election::ElectionMsg;
 use whisper_p2p::{GroupId, P2pMessage, PeerId};
 use whisper_simnet::Wire;
+use whisper_wire::{Decode, Encode, Reader, WireError};
 
 /// Every message exchanged in a Whisper deployment.
 ///
 /// SOAP payloads travel as serialized XML text, exactly as they would over
-/// HTTP; the metrics layer therefore sees realistic wire sizes.
-#[derive(Debug, Clone)]
+/// HTTP; the metrics layer therefore sees realistic wire sizes: every
+/// variant's [`Wire::wire_size`] is exactly `self.encode().len()`, and the
+/// TCP transport ships those same bytes over real sockets.
+#[derive(Debug, Clone, PartialEq)]
 pub enum WhisperMsg {
     /// P2P substrate traffic (discovery, publication, heartbeats).
     P2p(P2pMessage),
@@ -75,16 +78,7 @@ pub enum WhisperMsg {
 
 impl Wire for WhisperMsg {
     fn wire_size(&self) -> usize {
-        match self {
-            WhisperMsg::P2p(m) => m.wire_size(),
-            WhisperMsg::Election { msg, .. } => msg.wire_size(),
-            WhisperMsg::SoapRequest { envelope, .. }
-            | WhisperMsg::SoapResponse { envelope, .. }
-            | WhisperMsg::PeerRequest { envelope, .. }
-            | WhisperMsg::PeerResponse { envelope, .. } => 128 + envelope.len(),
-            WhisperMsg::PeerRedirect { .. } => 160,
-            WhisperMsg::Relayed { inner, .. } => 64 + inner.wire_size(),
-        }
+        self.encoded_len()
     }
 
     fn kind(&self) -> &'static str {
@@ -97,6 +91,166 @@ impl Wire for WhisperMsg {
             WhisperMsg::PeerResponse { .. } => "peer-response",
             WhisperMsg::PeerRedirect { .. } => "peer-redirect",
             WhisperMsg::Relayed { .. } => "relayed",
+        }
+    }
+}
+
+impl Encode for WhisperMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            WhisperMsg::P2p(m) => {
+                out.push(0);
+                m.encode_into(out);
+            }
+            WhisperMsg::Election { group, msg } => {
+                out.push(1);
+                group.encode_into(out);
+                msg.encode_into(out);
+            }
+            WhisperMsg::SoapRequest {
+                request_id,
+                envelope,
+            } => {
+                out.push(2);
+                request_id.encode_into(out);
+                envelope.encode_into(out);
+            }
+            WhisperMsg::SoapResponse {
+                request_id,
+                envelope,
+            } => {
+                out.push(3);
+                request_id.encode_into(out);
+                envelope.encode_into(out);
+            }
+            WhisperMsg::PeerRequest {
+                request_id,
+                reply_to,
+                delegated,
+                envelope,
+            } => {
+                out.push(4);
+                request_id.encode_into(out);
+                reply_to.encode_into(out);
+                delegated.encode_into(out);
+                envelope.encode_into(out);
+            }
+            WhisperMsg::PeerResponse {
+                request_id,
+                envelope,
+            } => {
+                out.push(5);
+                request_id.encode_into(out);
+                envelope.encode_into(out);
+            }
+            WhisperMsg::Relayed {
+                dest,
+                origin,
+                inner,
+            } => {
+                out.push(6);
+                dest.encode_into(out);
+                origin.encode_into(out);
+                inner.encode_into(out);
+            }
+            WhisperMsg::PeerRedirect {
+                request_id,
+                coordinator,
+            } => {
+                out.push(7);
+                request_id.encode_into(out);
+                coordinator.encode_into(out);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            WhisperMsg::P2p(m) => m.encoded_len(),
+            WhisperMsg::Election { group, msg } => group.encoded_len() + msg.encoded_len(),
+            WhisperMsg::SoapRequest {
+                request_id,
+                envelope,
+            }
+            | WhisperMsg::SoapResponse {
+                request_id,
+                envelope,
+            }
+            | WhisperMsg::PeerResponse {
+                request_id,
+                envelope,
+            } => request_id.encoded_len() + envelope.encoded_len(),
+            WhisperMsg::PeerRequest {
+                request_id,
+                reply_to,
+                delegated,
+                envelope,
+            } => {
+                request_id.encoded_len()
+                    + reply_to.encoded_len()
+                    + delegated.encoded_len()
+                    + envelope.encoded_len()
+            }
+            WhisperMsg::Relayed {
+                dest,
+                origin,
+                inner,
+            } => dest.encoded_len() + origin.encoded_len() + inner.encoded_len(),
+            WhisperMsg::PeerRedirect {
+                request_id,
+                coordinator,
+            } => request_id.encoded_len() + coordinator.encoded_len(),
+        }
+    }
+}
+
+impl Decode for WhisperMsg {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(WhisperMsg::P2p(P2pMessage::decode_from(r)?)),
+            1 => Ok(WhisperMsg::Election {
+                group: GroupId::decode_from(r)?,
+                msg: ElectionMsg::decode_from(r)?,
+            }),
+            2 => Ok(WhisperMsg::SoapRequest {
+                request_id: u64::decode_from(r)?,
+                envelope: String::decode_from(r)?,
+            }),
+            3 => Ok(WhisperMsg::SoapResponse {
+                request_id: u64::decode_from(r)?,
+                envelope: String::decode_from(r)?,
+            }),
+            4 => Ok(WhisperMsg::PeerRequest {
+                request_id: u64::decode_from(r)?,
+                reply_to: PeerId::decode_from(r)?,
+                delegated: bool::decode_from(r)?,
+                envelope: String::decode_from(r)?,
+            }),
+            5 => Ok(WhisperMsg::PeerResponse {
+                request_id: u64::decode_from(r)?,
+                envelope: String::decode_from(r)?,
+            }),
+            6 => {
+                let dest = PeerId::decode_from(r)?;
+                let origin = PeerId::decode_from(r)?;
+                // The recursion is depth-guarded: a hostile frame that is
+                // just a chain of Relayed headers errors out instead of
+                // exhausting the decoder's stack.
+                let inner = r.nested(|r| WhisperMsg::decode_from(r))?;
+                Ok(WhisperMsg::Relayed {
+                    dest,
+                    origin,
+                    inner: Box::new(inner),
+                })
+            }
+            7 => Ok(WhisperMsg::PeerRedirect {
+                request_id: u64::decode_from(r)?,
+                coordinator: Option::decode_from(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "WhisperMsg",
+                tag,
+            }),
         }
     }
 }
@@ -142,6 +296,98 @@ mod tests {
             envelope: "x".repeat(1000),
         };
         assert!(big.wire_size() > small.wire_size());
-        assert_eq!(big.wire_size(), 128 + 1000);
+        assert_eq!(small.wire_size(), small.encode().len());
+        assert_eq!(big.wire_size(), big.encode().len());
+    }
+
+    /// One message per `WhisperMsg` variant, nontrivially populated.
+    fn one_of_each() -> Vec<WhisperMsg> {
+        vec![
+            WhisperMsg::P2p(P2pMessage::Query {
+                id: 77,
+                filter: AdvFilter::any(),
+                origin: PeerId::new(3),
+            }),
+            WhisperMsg::Election {
+                group: GroupId::new(4),
+                msg: ElectionMsg::RingElection {
+                    origin: PeerId::new(1),
+                    candidates: vec![PeerId::new(1), PeerId::new(2)],
+                },
+            },
+            WhisperMsg::SoapRequest {
+                request_id: 1,
+                envelope: "<e>req</e>".into(),
+            },
+            WhisperMsg::SoapResponse {
+                request_id: 1,
+                envelope: "<e>resp</e>".into(),
+            },
+            WhisperMsg::PeerRequest {
+                request_id: 2,
+                reply_to: PeerId::new(9),
+                delegated: true,
+                envelope: "<e/>".into(),
+            },
+            WhisperMsg::PeerResponse {
+                request_id: 2,
+                envelope: "<e/>".into(),
+            },
+            WhisperMsg::Relayed {
+                dest: PeerId::new(5),
+                origin: PeerId::new(6),
+                inner: Box::new(WhisperMsg::PeerResponse {
+                    request_id: 3,
+                    envelope: "<e/>".into(),
+                }),
+            },
+            WhisperMsg::PeerRedirect {
+                request_id: 4,
+                coordinator: Some(PeerId::new(8)),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_wire_size_is_exactly_encoded_len() {
+        let msgs = one_of_each();
+        assert_eq!(msgs.len(), 8, "update one_of_each when adding variants");
+        for m in msgs {
+            assert_eq!(m.wire_size(), m.encode().len(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for m in one_of_each() {
+            assert_eq!(WhisperMsg::decode(&m.encode()).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn relayed_nesting_is_depth_bounded() {
+        let mut m = WhisperMsg::PeerRedirect {
+            request_id: 0,
+            coordinator: None,
+        };
+        for _ in 0..whisper_wire::MAX_DEPTH {
+            m = WhisperMsg::Relayed {
+                dest: PeerId::new(1),
+                origin: PeerId::new(2),
+                inner: Box::new(m),
+            };
+        }
+        // MAX_DEPTH levels of relaying decode fine...
+        assert_eq!(WhisperMsg::decode(&m.encode()).unwrap(), m);
+        // ...one more is rejected with a typed error, not a stack overflow.
+        let deeper = WhisperMsg::Relayed {
+            dest: PeerId::new(1),
+            origin: PeerId::new(2),
+            inner: Box::new(m),
+        };
+        assert_eq!(
+            WhisperMsg::decode(&deeper.encode()),
+            Err(WireError::DepthExceeded(whisper_wire::MAX_DEPTH))
+        );
     }
 }

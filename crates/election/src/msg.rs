@@ -2,6 +2,7 @@
 
 use whisper_p2p::PeerId;
 use whisper_simnet::SimDuration;
+use whisper_wire::{Decode, Encode, Reader, WireError};
 
 /// A message of either election protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,15 +39,9 @@ pub enum ElectionMsg {
 }
 
 impl ElectionMsg {
-    /// Approximate serialized size in bytes.
+    /// Exact serialized size in bytes: `self.encode().len()`.
     pub fn wire_size(&self) -> usize {
-        match self {
-            ElectionMsg::Election { .. }
-            | ElectionMsg::Answer { .. }
-            | ElectionMsg::Coordinator { .. } => 128,
-            ElectionMsg::RingElection { candidates, .. } => 128 + candidates.len() * 24,
-            ElectionMsg::RingCoordinator { .. } => 144,
-        }
+        self.encoded_len()
     }
 
     /// Metric label.
@@ -57,6 +52,81 @@ impl ElectionMsg {
             ElectionMsg::Coordinator { .. } => "coordinator",
             ElectionMsg::RingElection { .. } => "ring-election",
             ElectionMsg::RingCoordinator { .. } => "ring-coordinator",
+        }
+    }
+}
+
+impl Encode for ElectionMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            ElectionMsg::Election { from } => {
+                out.push(0);
+                from.encode_into(out);
+            }
+            ElectionMsg::Answer { from } => {
+                out.push(1);
+                from.encode_into(out);
+            }
+            ElectionMsg::Coordinator { from } => {
+                out.push(2);
+                from.encode_into(out);
+            }
+            ElectionMsg::RingElection { origin, candidates } => {
+                out.push(3);
+                origin.encode_into(out);
+                candidates.encode_into(out);
+            }
+            ElectionMsg::RingCoordinator {
+                origin,
+                coordinator,
+            } => {
+                out.push(4);
+                origin.encode_into(out);
+                coordinator.encode_into(out);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ElectionMsg::Election { from }
+            | ElectionMsg::Answer { from }
+            | ElectionMsg::Coordinator { from } => from.encoded_len(),
+            ElectionMsg::RingElection { origin, candidates } => {
+                origin.encoded_len() + candidates.encoded_len()
+            }
+            ElectionMsg::RingCoordinator {
+                origin,
+                coordinator,
+            } => origin.encoded_len() + coordinator.encoded_len(),
+        }
+    }
+}
+
+impl Decode for ElectionMsg {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(ElectionMsg::Election {
+                from: PeerId::decode_from(r)?,
+            }),
+            1 => Ok(ElectionMsg::Answer {
+                from: PeerId::decode_from(r)?,
+            }),
+            2 => Ok(ElectionMsg::Coordinator {
+                from: PeerId::decode_from(r)?,
+            }),
+            3 => Ok(ElectionMsg::RingElection {
+                origin: PeerId::decode_from(r)?,
+                candidates: Vec::decode_from(r)?,
+            }),
+            4 => Ok(ElectionMsg::RingCoordinator {
+                origin: PeerId::decode_from(r)?,
+                coordinator: PeerId::decode_from(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "ElectionMsg",
+                tag,
+            }),
         }
     }
 }
@@ -123,6 +193,45 @@ mod tests {
         };
         assert!(ring.wire_size() > e.wire_size());
         assert_eq!(ring.kind(), "ring-election");
+    }
+
+    #[test]
+    fn wire_size_is_exact_and_messages_round_trip() {
+        let msgs = [
+            ElectionMsg::Election {
+                from: PeerId::new(1),
+            },
+            ElectionMsg::Answer {
+                from: PeerId::new(2),
+            },
+            ElectionMsg::Coordinator {
+                from: PeerId::new(u64::MAX),
+            },
+            ElectionMsg::RingElection {
+                origin: PeerId::new(1),
+                candidates: vec![PeerId::new(1), PeerId::new(200), PeerId::new(3)],
+            },
+            ElectionMsg::RingCoordinator {
+                origin: PeerId::new(1),
+                coordinator: PeerId::new(9),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(m.wire_size(), m.encode().len());
+            assert_eq!(ElectionMsg::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn truncated_election_bytes_error() {
+        let bytes = ElectionMsg::RingElection {
+            origin: PeerId::new(300),
+            candidates: vec![PeerId::new(1)],
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert!(ElectionMsg::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

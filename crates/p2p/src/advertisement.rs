@@ -7,6 +7,7 @@
 //! implements, so discovery can match on semantics instead of syntax.
 
 use crate::{GroupId, P2pError, PeerId, PipeId};
+use whisper_wire::{Decode, Encode, Reader, WireError};
 use whisper_xml::{Element, QName};
 
 /// The advertisement taxonomy.
@@ -229,9 +230,9 @@ impl Advertisement {
         self.to_element().to_xml()
     }
 
-    /// Approximate wire size in bytes.
+    /// Exact wire size in bytes: `self.encode().len()`.
     pub fn wire_size(&self) -> usize {
-        self.to_xml_string().len()
+        self.encoded_len()
     }
 
     /// Parses an advertisement document.
@@ -317,6 +318,56 @@ impl Advertisement {
     }
 }
 
+/// Advertisements travel as their XML document text, length-prefixed —
+/// faithful to JXTA, where "all resources … are represented by a metadata
+/// XML document". The byte count on the wire is therefore the size of the
+/// actual document, and decoding reuses [`Advertisement::parse`], whose
+/// round-trip is exact.
+impl Encode for Advertisement {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.to_xml_string().encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.to_xml_string().encoded_len()
+    }
+}
+
+impl Decode for Advertisement {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let text = r.string()?;
+        Advertisement::parse(&text).map_err(|e| WireError::Invalid(e.to_string()))
+    }
+}
+
+impl Encode for AdvKind {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            AdvKind::Peer => 0,
+            AdvKind::Group => 1,
+            AdvKind::Semantic => 2,
+            AdvKind::Pipe => 3,
+        });
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for AdvKind {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(AdvKind::Peer),
+            1 => Ok(AdvKind::Group),
+            2 => Ok(AdvKind::Semantic),
+            3 => Ok(AdvKind::Pipe),
+            tag => Err(WireError::BadTag {
+                what: "AdvKind",
+                tag,
+            }),
+        }
+    }
+}
+
 /// A predicate over advertisements used by discovery queries.
 ///
 /// Mirrors JXTA's `getLocalAdvertisements(type, attribute, value)`: an
@@ -396,6 +447,32 @@ impl AdvFilter {
             }
         }
         true
+    }
+}
+
+impl Encode for AdvFilter {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.kind.encode_into(out);
+        self.name.encode_into(out);
+        self.action.encode_into(out);
+        self.group.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.kind.encoded_len()
+            + self.name.encoded_len()
+            + self.action.encoded_len()
+            + self.group.encoded_len()
+    }
+}
+
+impl Decode for AdvFilter {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(AdvFilter {
+            kind: Option::decode_from(r)?,
+            name: Option::decode_from(r)?,
+            action: Option::decode_from(r)?,
+            group: Option::decode_from(r)?,
+        })
     }
 }
 
@@ -552,5 +629,54 @@ mod tests {
             "{}",
             s.wire_size()
         );
+    }
+
+    #[test]
+    fn wire_size_is_exact_encoded_len() {
+        let s = semantic();
+        assert_eq!(s.wire_size(), s.encode().len());
+    }
+
+    #[test]
+    fn advertisements_round_trip_through_bytes() {
+        let advs = [
+            semantic(),
+            Advertisement::Peer(PeerAdv {
+                peer: PeerId::new(1),
+                name: "b-peer <&\"> A".into(),
+                group: None,
+            }),
+        ];
+        for adv in advs {
+            assert_eq!(Advertisement::decode(&adv.encode()).unwrap(), adv);
+        }
+    }
+
+    #[test]
+    fn garbage_advertisement_bytes_are_invalid_not_panic() {
+        let bytes = "<Mystery/>".to_string().encode();
+        assert!(matches!(
+            Advertisement::decode(&bytes),
+            Err(whisper_wire::WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn filters_round_trip_through_bytes() {
+        let filters = [
+            AdvFilter::any(),
+            AdvFilter::of_kind(AdvKind::Pipe),
+            AdvFilter::semantic_action(QName::with_ns("urn:uni", "StudentInformation")),
+            AdvFilter {
+                kind: Some(AdvKind::Group),
+                name: Some("g".into()),
+                action: None,
+                group: Some(GroupId::new(9)),
+            },
+        ];
+        for f in filters {
+            assert_eq!(f.encoded_len(), f.encode().len());
+            assert_eq!(AdvFilter::decode(&f.encode()).unwrap(), f);
+        }
     }
 }

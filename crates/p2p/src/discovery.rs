@@ -16,6 +16,7 @@ use crate::{AdvKind, DiscoveryCache, GroupId, PeerId, PipeId};
 use std::collections::BTreeSet;
 use whisper_obs::Recorder;
 use whisper_simnet::{SimDuration, SimTime};
+use whisper_wire::{Decode, Encode, Reader, WireError};
 
 /// Correlates queries with their responses.
 pub type QueryId = u64;
@@ -56,16 +57,9 @@ pub enum P2pMessage {
 }
 
 impl P2pMessage {
-    /// Approximate serialized size in bytes (advertisements dominate).
+    /// Exact serialized size in bytes: `self.encode().len()`.
     pub fn wire_size(&self) -> usize {
-        match self {
-            P2pMessage::Query { .. } => 192,
-            P2pMessage::Response { advs, .. } => {
-                96 + advs.iter().map(Advertisement::wire_size).sum::<usize>()
-            }
-            P2pMessage::Publish { adv, .. } => 96 + adv.wire_size(),
-            P2pMessage::Heartbeat { .. } => 96,
-        }
+        self.encoded_len()
     }
 
     /// Metric label.
@@ -75,6 +69,73 @@ impl P2pMessage {
             P2pMessage::Response { .. } => "discovery-response",
             P2pMessage::Publish { .. } => "publish",
             P2pMessage::Heartbeat { .. } => "heartbeat",
+        }
+    }
+}
+
+impl Encode for P2pMessage {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            P2pMessage::Query { id, filter, origin } => {
+                out.push(0);
+                id.encode_into(out);
+                filter.encode_into(out);
+                origin.encode_into(out);
+            }
+            P2pMessage::Response { id, advs } => {
+                out.push(1);
+                id.encode_into(out);
+                advs.encode_into(out);
+            }
+            P2pMessage::Publish { adv, lifetime } => {
+                out.push(2);
+                adv.encode_into(out);
+                lifetime.encode_into(out);
+            }
+            P2pMessage::Heartbeat { group, from } => {
+                out.push(3);
+                group.encode_into(out);
+                from.encode_into(out);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            P2pMessage::Query { id, filter, origin } => {
+                id.encoded_len() + filter.encoded_len() + origin.encoded_len()
+            }
+            P2pMessage::Response { id, advs } => id.encoded_len() + advs.encoded_len(),
+            P2pMessage::Publish { adv, lifetime } => adv.encoded_len() + lifetime.encoded_len(),
+            P2pMessage::Heartbeat { group, from } => group.encoded_len() + from.encoded_len(),
+        }
+    }
+}
+
+impl Decode for P2pMessage {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(P2pMessage::Query {
+                id: QueryId::decode_from(r)?,
+                filter: AdvFilter::decode_from(r)?,
+                origin: PeerId::decode_from(r)?,
+            }),
+            1 => Ok(P2pMessage::Response {
+                id: QueryId::decode_from(r)?,
+                advs: Vec::decode_from(r)?,
+            }),
+            2 => Ok(P2pMessage::Publish {
+                adv: Advertisement::decode_from(r)?,
+                lifetime: SimDuration::decode_from(r)?,
+            }),
+            3 => Ok(P2pMessage::Heartbeat {
+                group: GroupId::decode_from(r)?,
+                from: PeerId::decode_from(r)?,
+            }),
+            tag => Err(WireError::BadTag {
+                what: "P2pMessage",
+                tag,
+            }),
         }
     }
 }

@@ -57,6 +57,23 @@ macro_rules! impl_id {
                 Ok($ty(n))
             }
         }
+
+        impl whisper_wire::Encode for $ty {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                self.0.encode_into(out);
+            }
+            fn encoded_len(&self) -> usize {
+                self.0.encoded_len()
+            }
+        }
+
+        impl whisper_wire::Decode for $ty {
+            fn decode_from(
+                r: &mut whisper_wire::Reader<'_>,
+            ) -> Result<Self, whisper_wire::WireError> {
+                Ok($ty(u64::decode_from(r)?))
+            }
+        }
     };
 }
 
@@ -72,6 +89,7 @@ impl_id!(PipeId, "urn:whisper:pipe:");
 #[cfg(test)]
 mod tests {
     use super::*;
+    use whisper_wire::{Decode, Encode};
 
     #[test]
     fn display_parse_round_trip() {
@@ -104,5 +122,17 @@ mod tests {
     fn ordering_follows_value() {
         assert!(PeerId::new(1) < PeerId::new(2));
         assert_eq!(PeerId::new(9).value(), 9);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        for n in [0u64, 127, 128, u64::MAX] {
+            let p = PeerId::new(n);
+            assert_eq!(PeerId::decode(&p.encode()).unwrap(), p);
+            let g = GroupId::new(n);
+            assert_eq!(GroupId::decode(&g.encode()).unwrap(), g);
+            let pi = PipeId::new(n);
+            assert_eq!(PipeId::decode(&pi.encode()).unwrap(), pi);
+        }
     }
 }

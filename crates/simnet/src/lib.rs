@@ -12,7 +12,9 @@
 //!
 //! The same actors can be run over OS threads and real channels with
 //! [`threadnet::ThreadNet`] to obtain wall-clock numbers for Criterion
-//! benches.
+//! benches, or over real TCP loopback sockets with [`tcpnet::TcpNet`],
+//! where every inter-node message is encoded to bytes
+//! (`whisper-wire`), framed, and parsed back on the receiving side.
 //!
 //! # Examples
 //!
@@ -60,6 +62,7 @@ mod event;
 mod faults;
 mod link;
 mod metrics;
+pub mod tcpnet;
 pub mod threadnet;
 mod time;
 
@@ -74,8 +77,12 @@ pub use time::{SimDuration, SimTime};
 /// `wire_size` feeds the bandwidth model; `kind` labels the message for the
 /// per-kind counters that experiments report.
 pub trait Wire: Clone + std::fmt::Debug + Send + 'static {
-    /// Serialized size in bytes (an estimate is fine; it drives the
-    /// serialization-delay term of the link model).
+    /// Serialized size in bytes; it drives the serialization-delay term of
+    /// the link model and the byte counters in [`Metrics`].
+    ///
+    /// Whisper message types implement this as exactly
+    /// `whisper_wire::Encode::encode(self).len()`, so the simulator's byte
+    /// accounting matches what the TCP transport actually puts on a socket.
     fn wire_size(&self) -> usize;
 
     /// A short static label for metrics, e.g. `"election"`, `"heartbeat"`.

@@ -5,6 +5,11 @@
 //! numbers for Criterion benches from exactly the protocol code that the
 //! deterministic [`SimNet`](crate::SimNet) exercises in tests.
 //!
+//! The node loop is transport-agnostic: outgoing sends go through the
+//! crate-internal `Outbound` trait, which [`ThreadNet`] backs with channels
+//! and [`tcpnet::TcpNet`](crate::tcpnet::TcpNet) backs with real TCP
+//! loopback sockets — the same actor objects run unmodified on either.
+//!
 //! Fault injection and link modelling are intentionally absent here: the
 //! threaded transport exists to measure real in-process messaging cost, not
 //! to emulate the LAN.
@@ -23,9 +28,35 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-enum Ctl<M> {
+pub(crate) enum Ctl<M> {
     Msg(NodeId, M),
     Stop,
+}
+
+/// How a node thread pushes a message toward another node.
+///
+/// `ThreadNet` sends over in-process channels; `TcpNet` encodes to bytes and
+/// writes a frame to the link's socket. The node loop (`run_node`) is
+/// oblivious to which one it is running on.
+pub(crate) trait Outbound<M>: Send + Sync {
+    fn send(&self, from: NodeId, to: NodeId, msg: M);
+}
+
+/// Channel-backed transport: delivery is a crossbeam send.
+pub(crate) struct ChannelOutbound<M> {
+    senders: Vec<Sender<Ctl<M>>>,
+    metrics: Arc<Mutex<Metrics>>,
+}
+
+impl<M: Wire> Outbound<M> for ChannelOutbound<M> {
+    fn send(&self, from: NodeId, to: NodeId, msg: M) {
+        self.metrics.lock().on_send(msg.kind(), msg.wire_size());
+        if let Some(tx) = self.senders.get(to.index()) {
+            if tx.send(Ctl::Msg(from, msg)).is_ok() {
+                self.metrics.lock().on_deliver();
+            }
+        }
+    }
 }
 
 struct PendingTimer {
@@ -52,23 +83,21 @@ impl Ord for PendingTimer {
     }
 }
 
-struct Shared<M> {
-    senders: Vec<Sender<Ctl<M>>>,
-    metrics: Arc<Mutex<Metrics>>,
-    epoch: Instant,
+pub(crate) struct Shared<M> {
+    pub(crate) outbound: Arc<dyn Outbound<M>>,
+    pub(crate) epoch: Instant,
 }
 
 impl<M> Clone for Shared<M> {
     fn clone(&self) -> Self {
         Shared {
-            senders: self.senders.clone(),
-            metrics: Arc::clone(&self.metrics),
+            outbound: Arc::clone(&self.outbound),
             epoch: self.epoch,
         }
     }
 }
 
-trait Spawnable<M: Wire>: Send {
+pub(crate) trait Spawnable<M: Wire>: Send {
     fn spawn(
         self: Box<Self>,
         id: NodeId,
@@ -77,7 +106,7 @@ trait Spawnable<M: Wire>: Send {
     ) -> JoinHandle<Box<dyn Any + Send>>;
 }
 
-struct Holder<A>(A);
+pub(crate) struct Holder<A>(pub(crate) A);
 
 impl<M: Wire, A: Actor<M> + Any + Send + 'static> Spawnable<M> for Holder<A> {
     fn spawn(
@@ -94,7 +123,7 @@ impl<M: Wire, A: Actor<M> + Any + Send + 'static> Spawnable<M> for Holder<A> {
     }
 }
 
-fn run_node<M: Wire>(
+pub(crate) fn run_node<M: Wire>(
     actor: &mut dyn Actor<M>,
     id: NodeId,
     rx: Receiver<Ctl<M>>,
@@ -129,12 +158,7 @@ fn run_node<M: Wire>(
         for op in ops {
             match op {
                 Op::Send { to, msg } => {
-                    shared.metrics.lock().on_send(msg.kind(), msg.wire_size());
-                    if let Some(tx) = shared.senders.get(to.index()) {
-                        if tx.send(Ctl::Msg(id, msg)).is_ok() {
-                            shared.metrics.lock().on_deliver();
-                        }
-                    }
+                    shared.outbound.send(id, to, msg);
                 }
                 Op::SetTimer {
                     id: tid,
@@ -239,9 +263,12 @@ impl<M: Wire> ThreadNetBuilder<M> {
             senders.push(tx);
             receivers.push(rx);
         }
-        let shared = Shared {
+        let outbound = ChannelOutbound {
             senders: senders.clone(),
             metrics: Arc::clone(&metrics),
+        };
+        let shared = Shared {
+            outbound: Arc::new(outbound) as Arc<dyn Outbound<M>>,
             epoch: Instant::now(),
         };
         let handles = self

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
+use whisper_wire::{Decode, Encode};
 
 /// A virtual instant, measured in microseconds since the start of the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -117,6 +118,36 @@ impl Sub for SimDuration {
     }
 }
 
+impl Encode for SimTime {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+impl Decode for SimTime {
+    fn decode_from(r: &mut whisper_wire::Reader<'_>) -> Result<Self, whisper_wire::WireError> {
+        Ok(SimTime(u64::decode_from(r)?))
+    }
+}
+
+impl Encode for SimDuration {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
+}
+
+impl Decode for SimDuration {
+    fn decode_from(r: &mut whisper_wire::Reader<'_>) -> Result<Self, whisper_wire::WireError> {
+        Ok(SimDuration(u64::decode_from(r)?))
+    }
+}
+
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.3}ms", self.as_millis_f64())
@@ -168,6 +199,17 @@ mod tests {
         assert_eq!(SimTime::from_micros(1_500).as_millis_f64(), 1.5);
         assert_eq!(SimTime::from_micros(1_500).to_string(), "1.500ms");
         assert_eq!(SimDuration::from_millis(500).as_secs_f64(), 0.5);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        for us in [0u64, 1, 250_000, u64::MAX] {
+            let d = SimDuration::from_micros(us);
+            assert_eq!(SimDuration::decode(&d.encode()).unwrap(), d);
+            assert_eq!(d.encoded_len(), d.encode().len());
+            let t = SimTime::from_micros(us);
+            assert_eq!(SimTime::decode(&t.encode()).unwrap(), t);
+        }
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Typed decode failures.
+
+use std::fmt;
+
+/// Why a decode (or frame write) failed.
+///
+/// Every malformed-input path returns one of these — decoding never
+/// panics, which is what lets the TCP transport feed raw socket bytes
+/// straight into [`Decode`](crate::Decode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    Truncated {
+        /// Bytes the value still needed.
+        needed: usize,
+        /// Bytes that were actually left.
+        available: usize,
+    },
+    /// A varint ran past 10 bytes or overflowed 64 bits.
+    VarintOverflow,
+    /// An enum tag byte matched no variant of the named type.
+    BadTag {
+        /// The type being decoded.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A declared length or count exceeds what the input can hold.
+    LengthOverflow(u64),
+    /// Relayed-message nesting exceeded [`MAX_DEPTH`](crate::MAX_DEPTH).
+    DepthExceeded(usize),
+    /// Bytes remained after a complete top-level decode.
+    TrailingBytes(usize),
+    /// The bytes parsed but failed domain validation (e.g. an
+    /// advertisement document that is well-formed XML of the wrong shape).
+    Invalid(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated input: needed {needed} bytes, {available} available"
+                )
+            }
+            WireError::VarintOverflow => write!(f, "varint overflows 64 bits"),
+            WireError::BadTag { what, tag } => write!(f, "unknown tag {tag:#04x} for {what}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::LengthOverflow(n) => write!(f, "declared length {n} exceeds input"),
+            WireError::DepthExceeded(d) => write!(f, "message nesting deeper than {d}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::Invalid(why) => write!(f, "invalid payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(WireError, &str)> = vec![
+            (
+                WireError::Truncated {
+                    needed: 4,
+                    available: 1,
+                },
+                "needed 4",
+            ),
+            (WireError::VarintOverflow, "varint"),
+            (WireError::BadTag { what: "X", tag: 9 }, "0x09"),
+            (WireError::BadUtf8, "UTF-8"),
+            (WireError::LengthOverflow(7), "7"),
+            (WireError::DepthExceeded(16), "16"),
+            (WireError::TrailingBytes(3), "3"),
+            (WireError::Invalid("no".into()), "no"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! A frame is `[u32 little-endian payload length][payload bytes]`. The
+//! prefix is fixed-width (not a varint) so a reader can always pull
+//! exactly four bytes to learn the payload size — the property the TCP
+//! transport's per-link reader threads rely on.
+
+use std::io::{self, Read, Write};
+
+/// Largest payload a frame may carry (16 MiB).
+///
+/// Nothing in Whisper comes close — the biggest legitimate messages are
+/// SOAP envelopes of a few KiB — so anything larger is treated as a
+/// corrupt or hostile stream rather than buffered into memory.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Writes one frame (length prefix + payload) and flushes.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidInput`] when the payload exceeds
+/// [`MAX_FRAME_LEN`]; otherwise any I/O error from the writer.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload {} exceeds MAX_FRAME_LEN {MAX_FRAME_LEN}",
+                payload.len()
+            ),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF before the first
+/// prefix byte) — how a transport distinguishes an orderly shutdown from
+/// a mid-frame disconnect.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::UnexpectedEof`] when the stream ends mid-prefix or
+/// mid-payload; [`io::ErrorKind::InvalidData`] when the prefix declares
+/// more than [`MAX_FRAME_LEN`] bytes; otherwise any I/O error from the
+/// reader.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame length prefix",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_LEN {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"first").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, b"third message").unwrap();
+
+        let mut r = Cursor::new(stream);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"third message");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_mid_prefix_and_mid_payload_are_errors() {
+        let mut full = Vec::new();
+        write_frame(&mut full, b"payload").unwrap();
+
+        let mut r = Cursor::new(&full[..2]);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+
+        let mut r = Cursor::new(&full[..6]);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversize_declared_length_is_invalid_data_not_allocation() {
+        let prefix = (u32::MAX).to_le_bytes();
+        let mut r = Cursor::new(prefix.to_vec());
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn oversize_payload_refused_at_write() {
+        let big = vec![0u8; MAX_FRAME_LEN + 1];
+        let mut sink = Vec::new();
+        assert_eq!(
+            write_frame(&mut sink, &big).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+        assert!(sink.is_empty());
+    }
+}

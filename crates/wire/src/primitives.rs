@@ -1,0 +1,298 @@
+//! [`Encode`]/[`Decode`] for the primitive building blocks: varints,
+//! strings, floats, options, sequences, and qualified XML names.
+
+use crate::error::WireError;
+use crate::reader::Reader;
+use crate::{Decode, Encode};
+use whisper_xml::QName;
+
+/// Appends `value` as an unsigned LEB128 varint (1–10 bytes).
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`write_varint`] emits for `value`.
+pub(crate) fn varint_len(value: u64) -> usize {
+    // ceil(bits / 7), with zero taking one byte.
+    let bits = 64 - value.max(1).leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+macro_rules! impl_varint {
+    ($($ty:ty),*) => {$(
+        impl Encode for $ty {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                write_varint(out, u64::from(*self));
+            }
+            fn encoded_len(&self) -> usize {
+                varint_len(u64::from(*self))
+            }
+        }
+        impl Decode for $ty {
+            fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                let v = r.varint()?;
+                <$ty>::try_from(v).map_err(|_| WireError::LengthOverflow(v))
+            }
+        }
+    )*};
+}
+
+impl_varint!(u8, u16, u32, u64);
+
+impl Encode for usize {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        write_varint(out, *self as u64);
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(*self as u64)
+    }
+}
+
+impl Decode for usize {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let v = r.varint()?;
+        usize::try_from(v).map_err(|_| WireError::LengthOverflow(v))
+    }
+}
+
+impl Encode for bool {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for bool {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { what: "bool", tag }),
+        }
+    }
+}
+
+impl Encode for f64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Decode for f64 {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.f64()
+    }
+}
+
+impl Encode for str {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
+    }
+}
+
+impl Encode for String {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.as_str().encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.as_str().encoded_len()
+    }
+}
+
+impl Decode for String {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.string()
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Encode::encoded_len)
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_from(r)?)),
+            tag => Err(WireError::BadTag {
+                what: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        for item in self {
+            item.encode_into(out);
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.iter().map(Encode::encoded_len).sum::<usize>()
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        // Every element costs at least one byte, so a count beyond the
+        // remaining input is a lie — reject it before allocating.
+        let count = r.length()?;
+        let mut items = Vec::with_capacity(count);
+        for _ in 0..count {
+            items.push(T::decode_from(r)?);
+        }
+        Ok(items)
+    }
+}
+
+/// A [`QName`] travels as a presence flag for the namespace, the
+/// namespace URI (when present), then the local part. Unlike Clark
+/// notation this round-trips namespaces containing `}`.
+impl Encode for QName {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self.ns() {
+            None => out.push(0),
+            Some(ns) => {
+                out.push(1);
+                ns.encode_into(out);
+            }
+        }
+        self.local().encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        let ns_len = match self.ns() {
+            None => 0,
+            Some(ns) => ns.encoded_len(),
+        };
+        1 + ns_len + self.local().encoded_len()
+    }
+}
+
+impl Decode for QName {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let ns = match r.u8()? {
+            0 => None,
+            1 => Some(r.string()?),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "QName namespace",
+                    tag,
+                })
+            }
+        };
+        let local = r.string()?;
+        Ok(match ns {
+            Some(ns) => QName::with_ns(ns, local),
+            None => QName::new(local),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.encode();
+        assert_eq!(
+            bytes.len(),
+            value.encoded_len(),
+            "encoded_len for {value:?}"
+        );
+        assert_eq!(T::decode(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn integers_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(u16::MAX);
+        round_trip(u32::MAX);
+        round_trip(0u64);
+        round_trip(u64::MAX);
+        round_trip(usize::MAX);
+    }
+
+    #[test]
+    fn narrow_integer_rejects_wide_value() {
+        let bytes = 300u64.encode();
+        assert_eq!(u8::decode(&bytes), Err(WireError::LengthOverflow(300)));
+    }
+
+    #[test]
+    fn varint_len_matches_emission() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, 1 << 35, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_including_specials() {
+        round_trip(0.0f64);
+        round_trip(-1.5f64);
+        round_trip(f64::MAX);
+        round_trip(f64::INFINITY);
+        let nan_bytes = f64::NAN.encode();
+        assert!(f64::decode(&nan_bytes).unwrap().is_nan());
+    }
+
+    #[test]
+    fn strings_and_options_round_trip() {
+        round_trip(String::new());
+        round_trip("héllo — ünïcode".to_string());
+        round_trip(None::<String>);
+        round_trip(Some("x".to_string()));
+        round_trip(vec!["a".to_string(), String::new(), "ccc".to_string()]);
+    }
+
+    #[test]
+    fn qname_round_trips_hostile_namespace() {
+        round_trip(QName::new("local"));
+        round_trip(QName::with_ns("http://example.org/ns", "op"));
+        // Clark notation would mangle this namespace; the codec must not.
+        round_trip(QName::with_ns("weird}ns{", "op"));
+    }
+
+    #[test]
+    fn vec_count_beyond_input_is_rejected() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1000);
+        buf.push(0);
+        assert!(matches!(
+            Vec::<u64>::decode(&buf),
+            Err(WireError::LengthOverflow(1000))
+        ));
+    }
+}

@@ -1,0 +1,210 @@
+//! Cursor over a byte slice with depth tracking for nested messages.
+
+use crate::error::WireError;
+
+/// Maximum nesting depth for recursive messages (relayed envelopes).
+///
+/// A hostile peer could otherwise send a frame whose payload is a chain
+/// of `Relayed` headers deep enough to blow the decoder's stack. Sixteen
+/// is far beyond any legitimate relay chain (the harness relays at most
+/// once, rendezvous → b-peer).
+pub const MAX_DEPTH: usize = 16;
+
+/// A decoding cursor over a borrowed byte slice.
+///
+/// All reads are bounds-checked and return [`WireError`] instead of
+/// panicking. Recursive decoders must wrap their recursion in
+/// [`Reader::nested`] so depth is bounded by [`MAX_DEPTH`].
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader {
+            buf,
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Errors with [`WireError::TrailingBytes`] unless the input is fully
+    /// consumed.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consumes exactly `n` bytes and returns them.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.remaining() {
+            return Err(WireError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            let chunk = u64::from(byte & 0x7F);
+            // The 10th byte may only carry the top bit of a u64.
+            if shift == 63 && chunk > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            value |= chunk << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::VarintOverflow);
+            }
+        }
+    }
+
+    /// Reads a varint that must fit in (and plausibly describe) the
+    /// remaining input, e.g. a byte length or element count.
+    pub fn length(&mut self) -> Result<usize, WireError> {
+        let n = self.varint()?;
+        if n > self.remaining() as u64 {
+            return Err(WireError::LengthOverflow(n));
+        }
+        Ok(n as usize)
+    }
+
+    /// Reads an IEEE 754 double from 8 little-endian bytes.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        let bytes: [u8; 8] = self.take(8)?.try_into().expect("take(8) returned 8 bytes");
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let len = self.length()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Runs `f` one nesting level deeper, erroring with
+    /// [`WireError::DepthExceeded`] past [`MAX_DEPTH`].
+    pub fn nested<T>(
+        &mut self,
+        f: impl FnOnce(&mut Reader<'a>) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(WireError::DepthExceeded(MAX_DEPTH));
+        }
+        self.depth += 1;
+        let result = f(self);
+        self.depth -= 1;
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_past_end_is_truncated() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(
+            r.take(3),
+            Err(WireError::Truncated {
+                needed: 3,
+                available: 2
+            })
+        );
+        // The failed read consumed nothing.
+        assert_eq!(r.take(2).unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            crate::primitives::write_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overflow() {
+        // 11 continuation bytes can never be a valid u64.
+        let buf = [0xFFu8; 11];
+        assert_eq!(Reader::new(&buf).varint(), Err(WireError::VarintOverflow));
+        // 10 bytes whose top chunk exceeds the single remaining bit.
+        let buf = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        assert_eq!(Reader::new(&buf).varint(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn length_guards_against_huge_declared_sizes() {
+        // Varint declares 2^40 bytes but only a handful follow.
+        let mut buf = Vec::new();
+        crate::primitives::write_varint(&mut buf, 1 << 40);
+        buf.extend_from_slice(b"abc");
+        assert_eq!(
+            Reader::new(&buf).length(),
+            Err(WireError::LengthOverflow(1 << 40))
+        );
+    }
+
+    #[test]
+    fn string_rejects_bad_utf8() {
+        let mut buf = Vec::new();
+        crate::primitives::write_varint(&mut buf, 2);
+        buf.extend_from_slice(&[0xC0, 0xAF]);
+        assert_eq!(Reader::new(&buf).string(), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn nested_bounds_depth() {
+        fn recurse(r: &mut Reader<'_>, levels: usize) -> Result<(), WireError> {
+            if levels == 0 {
+                return Ok(());
+            }
+            r.nested(|r| recurse(r, levels - 1))
+        }
+        let mut r = Reader::new(&[]);
+        assert!(recurse(&mut r, MAX_DEPTH).is_ok());
+        assert_eq!(
+            recurse(&mut r, MAX_DEPTH + 1),
+            Err(WireError::DepthExceeded(MAX_DEPTH))
+        );
+        // Depth unwinds after errors, so the reader is reusable.
+        assert!(recurse(&mut r, 1).is_ok());
+    }
+}

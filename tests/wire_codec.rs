@@ -1,0 +1,374 @@
+//! Property-based coverage of the whisper-wire codec: every message that
+//! crosses a link round-trips `decode(encode(m)) == m` for randomly
+//! generated trees (including nested `Relayed` envelopes), and corrupted
+//! byte streams — truncation, flipped length prefixes, garbage — return
+//! typed errors without ever panicking.
+
+use proptest::prelude::*;
+use whisper::WhisperMsg;
+use whisper_election::ElectionMsg;
+use whisper_p2p::GroupId;
+use whisper_p2p::{
+    AdvFilter, AdvKind, Advertisement, GroupAdv, P2pMessage, PeerAdv, PeerId, PipeAdv, PipeId,
+    QosSpec, SemanticAdv,
+};
+use whisper_simnet::SimDuration;
+use whisper_wire::{read_frame, write_frame, Decode, Encode, WireError};
+use whisper_xml::QName;
+
+// ---------- generators ----------
+
+/// XML-attribute-safe symbolic names (escaping itself is covered by the
+/// whisper-xml property tests; here the subject is the byte codec).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9 _.-]{0,11}"
+}
+
+fn qname_strategy() -> impl Strategy<Value = QName> {
+    (
+        proptest::option::of("[a-z][a-z:/.]{0,11}"),
+        "[A-Za-z_][A-Za-z0-9_.-]{0,8}",
+    )
+        .prop_map(|(ns, local)| match ns {
+            Some(ns) => QName::with_ns(ns, local),
+            None => QName::new(local),
+        })
+}
+
+fn peer_id_strategy() -> impl Strategy<Value = PeerId> {
+    (0u64..1 << 40).prop_map(PeerId::new)
+}
+
+fn group_id_strategy() -> impl Strategy<Value = GroupId> {
+    (0u64..1 << 40).prop_map(GroupId::new)
+}
+
+fn qos_strategy() -> impl Strategy<Value = QosSpec> {
+    // latency stays below 2^32: the XML attribute goes through an f64
+    // parse, which is exact only up to 2^53, and realistic latencies are
+    // microseconds anyway. Reliability/cost round-trip via shortest-repr
+    // formatting, so any finite value works.
+    (0u64..1 << 32, 0.0f64..=1.0, 0.0f64..100.0).prop_map(|(latency_us, reliability, cost)| {
+        QosSpec {
+            latency_us,
+            reliability,
+            cost,
+        }
+    })
+}
+
+fn advertisement_strategy() -> impl Strategy<Value = Advertisement> {
+    prop_oneof![
+        (
+            peer_id_strategy(),
+            name_strategy(),
+            proptest::option::of(group_id_strategy())
+        )
+            .prop_map(|(peer, name, group)| Advertisement::Peer(PeerAdv {
+                peer,
+                name,
+                group
+            })),
+        (group_id_strategy(), name_strategy())
+            .prop_map(|(group, name)| Advertisement::Group(GroupAdv { group, name })),
+        (
+            (0u64..1 << 40).prop_map(PipeId::new),
+            name_strategy(),
+            peer_id_strategy()
+        )
+            .prop_map(|(pipe, name, owner)| Advertisement::Pipe(PipeAdv {
+                pipe,
+                name,
+                owner
+            })),
+        (
+            group_id_strategy(),
+            name_strategy(),
+            qname_strategy(),
+            proptest::collection::vec(qname_strategy(), 0..4),
+            proptest::collection::vec(qname_strategy(), 0..4),
+            proptest::option::of(qos_strategy()),
+        )
+            .prop_map(|(group, name, action, inputs, outputs, qos)| {
+                Advertisement::Semantic(SemanticAdv {
+                    group,
+                    name,
+                    action,
+                    inputs,
+                    outputs,
+                    qos,
+                })
+            }),
+    ]
+}
+
+fn adv_kind_strategy() -> impl Strategy<Value = AdvKind> {
+    prop_oneof![
+        Just(AdvKind::Peer),
+        Just(AdvKind::Group),
+        Just(AdvKind::Semantic),
+        Just(AdvKind::Pipe),
+    ]
+}
+
+fn filter_strategy() -> impl Strategy<Value = AdvFilter> {
+    (
+        proptest::option::of(adv_kind_strategy()),
+        proptest::option::of(name_strategy()),
+        proptest::option::of(qname_strategy()),
+        proptest::option::of(group_id_strategy()),
+    )
+        .prop_map(|(kind, name, action, group)| AdvFilter {
+            kind,
+            name,
+            action,
+            group,
+        })
+}
+
+fn p2p_msg_strategy() -> impl Strategy<Value = P2pMessage> {
+    prop_oneof![
+        (0u64..1 << 48, filter_strategy(), peer_id_strategy())
+            .prop_map(|(id, filter, origin)| P2pMessage::Query { id, filter, origin }),
+        (
+            0u64..1 << 48,
+            proptest::collection::vec(advertisement_strategy(), 0..4)
+        )
+            .prop_map(|(id, advs)| P2pMessage::Response { id, advs }),
+        (advertisement_strategy(), 0u64..1 << 48).prop_map(|(adv, lifetime)| {
+            P2pMessage::Publish {
+                adv,
+                lifetime: SimDuration::from_micros(lifetime),
+            }
+        }),
+        (group_id_strategy(), peer_id_strategy())
+            .prop_map(|(group, from)| P2pMessage::Heartbeat { group, from }),
+    ]
+}
+
+fn election_msg_strategy() -> impl Strategy<Value = ElectionMsg> {
+    prop_oneof![
+        peer_id_strategy().prop_map(|from| ElectionMsg::Election { from }),
+        peer_id_strategy().prop_map(|from| ElectionMsg::Answer { from }),
+        peer_id_strategy().prop_map(|from| ElectionMsg::Coordinator { from }),
+        (
+            peer_id_strategy(),
+            proptest::collection::vec(peer_id_strategy(), 0..6)
+        )
+            .prop_map(|(origin, candidates)| ElectionMsg::RingElection { origin, candidates }),
+        (peer_id_strategy(), peer_id_strategy()).prop_map(|(origin, coordinator)| {
+            ElectionMsg::RingCoordinator {
+                origin,
+                coordinator,
+            }
+        }),
+    ]
+}
+
+fn envelope_strategy() -> impl Strategy<Value = String> {
+    // Envelopes travel as opaque length-prefixed text, so arbitrary
+    // content (including XML-hostile and non-ASCII characters) is fair.
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\u{0}'),
+            Just('é'),
+            Just('語'),
+        ],
+        0..64,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn whisper_leaf_strategy() -> impl Strategy<Value = WhisperMsg> {
+    prop_oneof![
+        p2p_msg_strategy().prop_map(WhisperMsg::P2p),
+        (group_id_strategy(), election_msg_strategy())
+            .prop_map(|(group, msg)| WhisperMsg::Election { group, msg }),
+        (0u64..1 << 48, envelope_strategy()).prop_map(|(request_id, envelope)| {
+            WhisperMsg::SoapRequest {
+                request_id,
+                envelope,
+            }
+        }),
+        (0u64..1 << 48, envelope_strategy()).prop_map(|(request_id, envelope)| {
+            WhisperMsg::SoapResponse {
+                request_id,
+                envelope,
+            }
+        }),
+        (
+            0u64..1 << 48,
+            peer_id_strategy(),
+            proptest::arbitrary::any::<bool>(),
+            envelope_strategy()
+        )
+            .prop_map(|(request_id, reply_to, delegated, envelope)| {
+                WhisperMsg::PeerRequest {
+                    request_id,
+                    reply_to,
+                    delegated,
+                    envelope,
+                }
+            }),
+        (0u64..1 << 48, envelope_strategy()).prop_map(|(request_id, envelope)| {
+            WhisperMsg::PeerResponse {
+                request_id,
+                envelope,
+            }
+        }),
+        (0u64..1 << 48, proptest::option::of(peer_id_strategy())).prop_map(
+            |(request_id, coordinator)| WhisperMsg::PeerRedirect {
+                request_id,
+                coordinator,
+            }
+        ),
+    ]
+}
+
+/// Full message trees: leaves plus up to four levels of `Relayed` nesting.
+fn whisper_msg_strategy() -> BoxedStrategy<WhisperMsg> {
+    whisper_leaf_strategy().prop_recursive(4, 16, 1, |inner| {
+        prop_oneof![
+            whisper_leaf_strategy().boxed(),
+            (peer_id_strategy(), peer_id_strategy(), inner)
+                .prop_map(|(dest, origin, m)| WhisperMsg::Relayed {
+                    dest,
+                    origin,
+                    inner: Box::new(m),
+                })
+                .boxed(),
+        ]
+    })
+}
+
+// ---------- round-trip properties ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn whisper_msg_round_trips(m in whisper_msg_strategy()) {
+        let bytes = m.encode();
+        prop_assert_eq!(bytes.len(), m.encoded_len());
+        prop_assert_eq!(WhisperMsg::decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn p2p_msg_round_trips(m in p2p_msg_strategy()) {
+        let bytes = m.encode();
+        prop_assert_eq!(bytes.len(), m.encoded_len());
+        prop_assert_eq!(P2pMessage::decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn election_msg_round_trips(m in election_msg_strategy()) {
+        let bytes = m.encode();
+        prop_assert_eq!(bytes.len(), m.encoded_len());
+        prop_assert_eq!(ElectionMsg::decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn advertisement_round_trips(adv in advertisement_strategy()) {
+        prop_assert_eq!(Advertisement::decode(&adv.encode()).unwrap(), adv);
+    }
+
+    // ---------- corruption properties: Err, never panic ----------
+
+    #[test]
+    fn truncation_never_panics(m in whisper_msg_strategy(), cut in 0usize..128) {
+        let bytes = m.encode();
+        prop_assume!(cut < bytes.len());
+        // A strict prefix can never decode to the same complete message.
+        if let Ok(decoded) = WhisperMsg::decode(&bytes[..cut]) {
+            prop_assert_ne!(decoded, m);
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(
+        m in whisper_msg_strategy(),
+        pos in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = m.encode();
+        let idx = pos % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        // Must return — Ok with a different message or a typed Err — but
+        // never panic or hang.
+        let _ = WhisperMsg::decode(&bytes);
+    }
+
+    #[test]
+    fn flipped_length_prefix_is_rejected(m in whisper_msg_strategy(), bit in 8u8..32) {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &m.encode()).unwrap();
+        // Flip a high bit of the u32 length prefix so it declares a huge
+        // or mismatched payload.
+        framed[usize::from(bit / 8)] ^= 1 << (bit % 8);
+        let mut cursor = std::io::Cursor::new(framed);
+        match read_frame(&mut cursor) {
+            // Length now exceeds the bytes present (or the cap): I/O error.
+            Err(_) => {}
+            Ok(None) => {}
+            Ok(Some(payload)) => {
+                // Shorter length than the real payload: frame reads, but
+                // the truncated payload must not silently decode to `m`.
+                if let Ok(decoded) = WhisperMsg::decode(&payload) {
+                    prop_assert_ne!(decoded, m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic(bytes in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..256)) {
+        let _ = WhisperMsg::decode(&bytes);
+        let _ = P2pMessage::decode(&bytes);
+        let _ = ElectionMsg::decode(&bytes);
+        let _ = Advertisement::decode(&bytes);
+        let _ = AdvFilter::decode(&bytes);
+    }
+}
+
+// ---------- deterministic corruption cases ----------
+
+#[test]
+fn deep_relay_chains_error_instead_of_overflowing() {
+    // Craft raw bytes for a Relayed chain far past MAX_DEPTH without
+    // building the (legitimately un-encodable) message first.
+    let mut bytes = Vec::new();
+    for _ in 0..10_000 {
+        bytes.push(6); // Relayed tag
+        1u64.encode_into(&mut bytes); // dest
+        2u64.encode_into(&mut bytes); // origin
+    }
+    bytes.push(7); // PeerRedirect tag
+    0u64.encode_into(&mut bytes);
+    bytes.push(0); // coordinator: None
+    assert_eq!(
+        WhisperMsg::decode(&bytes),
+        Err(WireError::DepthExceeded(whisper_wire::MAX_DEPTH))
+    );
+}
+
+#[test]
+fn truncated_frame_stream_is_an_io_error() {
+    let msg = WhisperMsg::SoapRequest {
+        request_id: 9,
+        envelope: "<e>hello</e>".into(),
+    };
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &msg.encode()).unwrap();
+    for cut in 1..framed.len() {
+        let mut cursor = std::io::Cursor::new(&framed[..cut]);
+        assert!(
+            read_frame(&mut cursor).is_err(),
+            "cut at {cut} should be an unexpected-EOF error"
+        );
+    }
+}
