@@ -1,7 +1,8 @@
 //! Microbenchmarks of the raw election state machines: cost per protocol
 //! step, independent of any transport.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use whisper_bench::{time_mean_us, BenchSummary};
 use whisper_election::{BullyConfig, BullyNode, ElectionMsg, ElectionProtocol, RingNode};
 use whisper_p2p::PeerId;
 use whisper_simnet::SimTime;
@@ -48,4 +49,38 @@ fn bench_ring(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_bully, bench_ring);
-criterion_main!(benches);
+
+/// Headline per-step costs for the machine-readable trajectory
+/// (`BENCH_PR3.json`).
+fn record_summary() {
+    let mut s = BenchSummary::new();
+    s.record(
+        "bench_election_micro",
+        "bully_start_16_us",
+        time_mean_us(10_000, || {
+            let mut node = BullyNode::new(PeerId::new(1), members(16), BullyConfig::default());
+            black_box(node.start_election(SimTime::ZERO));
+        }),
+    );
+    s.record(
+        "bench_election_micro",
+        "ring_token_forward_us",
+        time_mean_us(10_000, || {
+            let mut node = RingNode::new(PeerId::new(8), members(16));
+            let token = ElectionMsg::RingElection {
+                origin: PeerId::new(1),
+                candidates: members(7),
+            };
+            black_box(node.on_message(PeerId::new(7), token, SimTime::ZERO));
+        }),
+    );
+    match s.save_merged() {
+        Ok(p) => println!("bench summary: {}", p.display()),
+        Err(e) => eprintln!("bench summary not written: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    record_summary();
+}

@@ -3,8 +3,9 @@
 //! size. Guards against performance regressions in the simulator and the
 //! protocol stack (the counts themselves are asserted in unit tests).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use whisper_bench::experiments::fig4::{run_point, Fig4Params};
+use whisper_bench::{time_mean_us, BenchSummary};
 use whisper_simnet::SimDuration;
 
 fn bench_fig4(c: &mut Criterion) {
@@ -24,4 +25,30 @@ fn bench_fig4(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_fig4);
-criterion_main!(benches);
+
+/// Simulator wall-clock per Figure-4 point, for the machine-readable
+/// trajectory (`BENCH_PR3.json`).
+fn record_summary() {
+    let params = Fig4Params {
+        steady_window: SimDuration::from_secs(10),
+        requests: 5,
+        seed: 4,
+    };
+    let mut s = BenchSummary::new();
+    s.record(
+        "bench_fig4_sim",
+        "sim_point_9_bpeers_ms",
+        time_mean_us(5, || {
+            run_point(9, params);
+        }) / 1e3,
+    );
+    match s.save_merged() {
+        Ok(p) => println!("bench summary: {}", p.display()),
+        Err(e) => eprintln!("bench summary not written: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    record_summary();
+}

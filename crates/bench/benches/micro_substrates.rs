@@ -2,8 +2,9 @@
 //! reasoning and semantic matching. These dominate per-message CPU cost in
 //! the simulator and would dominate a real deployment's proxy.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 use whisper::matchmaker;
+use whisper_bench::{time_mean_us, BenchSummary};
 use whisper_ontology::samples::{university_ontology, UNIVERSITY_NS};
 use whisper_p2p::{Advertisement, GroupId, SemanticAdv};
 use whisper_soap::Envelope;
@@ -89,4 +90,52 @@ criterion_group!(
     bench_ontology,
     bench_matchmaker
 );
-criterion_main!(benches);
+
+/// Headline substrate costs for the machine-readable trajectory
+/// (`BENCH_PR3.json`).
+fn record_summary() {
+    let text = sample_soap_text();
+    let onto = university_ontology();
+    let request = student_management()
+        .operation("StudentInformation")
+        .expect("operation")
+        .resolve(&onto)
+        .expect("resolves");
+    let q = |l: &str| QName::with_ns(UNIVERSITY_NS, l);
+    let adv = SemanticAdv {
+        group: GroupId::new(1),
+        name: "g".into(),
+        action: q("StudentTranscriptRetrieval"),
+        inputs: vec![q("Identifier")],
+        outputs: vec![q("StudentTranscript")],
+        qos: None,
+    };
+    let mut s = BenchSummary::new();
+    s.record(
+        "bench_micro_substrates",
+        "soap_parse_us",
+        time_mean_us(10_000, || {
+            black_box(Envelope::parse(black_box(&text)).expect("valid envelope"));
+        }),
+    );
+    s.record(
+        "bench_micro_substrates",
+        "semantic_match_us",
+        time_mean_us(10_000, || {
+            black_box(matchmaker::match_semantic_adv(
+                &onto,
+                black_box(&request),
+                black_box(&adv),
+            ));
+        }),
+    );
+    match s.save_merged() {
+        Ok(p) => println!("bench summary: {}", p.display()),
+        Err(e) => eprintln!("bench summary not written: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    record_summary();
+}

@@ -6,8 +6,9 @@
 //! `ctx.send` hot path of the TCP transport, decode on every reader
 //! thread, so their per-message cost bounds the achievable RTT floor.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, Criterion};
 use whisper::WhisperMsg;
+use whisper_bench::{time_mean_us, BenchSummary};
 use whisper_p2p::{Advertisement, GroupId, P2pMessage, SemanticAdv};
 use whisper_simnet::SimDuration;
 use whisper_soap::Envelope;
@@ -73,4 +74,39 @@ fn bench_wire_codec(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_wire_codec);
-criterion_main!(benches);
+
+/// One headline number per codec direction for the machine-readable
+/// trajectory (`BENCH_PR3.json`), next to Criterion's full statistics.
+fn record_summary() {
+    let msg = soap_request_1kib();
+    let bytes = msg.encode();
+    let mut s = BenchSummary::new();
+    s.record(
+        "bench_wire_codec",
+        "soap_1kib_encode_us",
+        time_mean_us(20_000, || {
+            black_box(black_box(&msg).encode());
+        }),
+    );
+    s.record(
+        "bench_wire_codec",
+        "soap_1kib_decode_us",
+        time_mean_us(20_000, || {
+            black_box(WhisperMsg::decode(black_box(&bytes)).unwrap());
+        }),
+    );
+    s.record(
+        "bench_wire_codec",
+        "soap_1kib_wire_bytes",
+        bytes.len() as f64,
+    );
+    match s.save_merged() {
+        Ok(p) => println!("bench summary: {}", p.display()),
+        Err(e) => eprintln!("bench summary not written: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    record_summary();
+}

@@ -1,8 +1,13 @@
-//! Runs every experiment back to back (the full evaluation section).
+//! Runs every experiment back to back (the full evaluation section) and
+//! writes the machine-readable trajectory (`BENCH_PR3.json`) next to the
+//! CSVs.
 
 use whisper_bench::experiments::*;
+use whisper_bench::BenchSummary;
 
 fn main() {
+    let mut summary = BenchSummary::new();
+
     println!("=== E1 / Figure 4 ===\n");
     let rows = fig4::run_sweep(
         &[2, 3, 4, 5, 6, 8, 9, 12, 16, 20, 24],
@@ -14,12 +19,24 @@ fn main() {
         .map(|r| (r.bpeers as f64, r.steady_msgs as f64))
         .collect();
     println!("linearity R² = {:.5}\n", fig4::linear_r2(&pts));
+    summary.record("fig4", "linearity_r2", fig4::linear_r2(&pts));
+    summary.record("fig4", "points", pts.len() as f64);
     let _ = fig4::table(&rows).save_csv();
 
     println!("=== E2 / RTT analysis ===\n");
     let t = rtt::table(500, 300, 5, 11);
     t.print();
     let _ = t.save_csv();
+    let service = rtt::service_rtt(300, 5, 11);
+    if let Some(mean) = service.mean() {
+        summary.record("rtt", "service_mean_ms", mean.as_secs_f64() * 1e3);
+    }
+    let failover = rtt::failover_breakdown(5, 11);
+    summary.record(
+        "rtt",
+        "failover_total_ms",
+        failover.total.as_secs_f64() * 1e3,
+    );
     println!();
 
     println!("=== E3 / load scalability ===\n");
@@ -38,6 +55,9 @@ fn main() {
     let t = election::table(&rows);
     t.print();
     let _ = t.save_csv();
+    if let Some(worst) = rows.iter().map(|r| r.time).max() {
+        summary.record("election", "worst_ms", worst.as_secs_f64() * 1e3);
+    }
     println!();
 
     println!("=== E5 / availability ===\n");
@@ -48,6 +68,13 @@ fn main() {
     let t = availability::table(&rows);
     t.print();
     let _ = t.save_csv();
+    for row in &rows {
+        summary.record(
+            "availability",
+            &format!("replicas_{}", row.replicas),
+            row.availability,
+        );
+    }
     println!();
 
     println!("=== E5b / dynamic growth ===\n");
@@ -96,4 +123,21 @@ fn main() {
     let t = discovery_cost::table(&rows);
     t.print();
     let _ = t.save_csv();
+    println!();
+
+    println!("=== E12 / cluster health ledger ===\n");
+    let report = cluster_health::run(cluster_health::ClusterHealthParams::default());
+    cluster_health::table(&report).print();
+    println!();
+    cluster_health::summary_table(&report).print();
+    let _ = cluster_health::table(&report).save_csv();
+    let _ = cluster_health::summary_table(&report).save_csv();
+    for (stat, value) in cluster_health::summary_stats(&report) {
+        summary.record("cluster_health", &stat, value);
+    }
+
+    match summary.save_merged() {
+        Ok(p) => println!("\nbench summary: {}", p.display()),
+        Err(e) => eprintln!("\nbench summary not written: {e}"),
+    }
 }

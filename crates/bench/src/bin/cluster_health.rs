@@ -1,0 +1,54 @@
+//! Cluster health: the availability ledger watching injected coordinator
+//! kills, plus the machine-readable bench trajectory (`BENCH_PR3.json`).
+//!
+//! Runs the deterministic simnet deployment with the
+//! [`whisper_obs::AvailabilityLedger`] attached, kills the coordinator
+//! several times, and prints what the ledger recorded about each outage:
+//! detection latency, repair time (the online-measured failover window),
+//! and the recovered availability. The summary statistics are merged into
+//! `target/experiments/BENCH_PR3.json` and a copy of the trajectory file
+//! is written at the repository root.
+
+use whisper_bench::experiments::cluster_health::{self, ClusterHealthParams};
+use whisper_bench::BenchSummary;
+
+fn main() {
+    let params = ClusterHealthParams::default();
+    println!(
+        "Cluster health ledger: {} b-peers, {} coordinator kills, settle {:.0} s\n",
+        params.n_bpeers,
+        params.kills,
+        params.settle.as_secs_f64()
+    );
+    let report = cluster_health::run(params);
+
+    let t = cluster_health::table(&report);
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+    println!();
+
+    let t = cluster_health::summary_table(&report);
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+
+    let mut summary = BenchSummary::new();
+    for (stat, value) in cluster_health::summary_stats(&report) {
+        summary.record("cluster_health", &stat, value);
+    }
+    match summary.save_merged() {
+        Ok(p) => {
+            println!("\nbench summary: {}", p.display());
+            // Refresh the committed trajectory copy from the merged file.
+            if let Ok(text) = std::fs::read_to_string(&p) {
+                if std::fs::write("BENCH_PR3.json", &text).is_ok() {
+                    println!("trajectory: BENCH_PR3.json");
+                }
+            }
+        }
+        Err(e) => eprintln!("\nbench summary not written: {e}"),
+    }
+}

@@ -1,0 +1,245 @@
+//! `whisper-top` — top(1) for a live Whisper cluster.
+//!
+//! Boots a b-peer group + SWS-proxy on real TCP loopback sockets, then
+//! introspects it **in-band**: every refresh sends a
+//! [`whisper::WhisperMsg::ScopeRequest`] to each node over the same
+//! sockets the protocol uses and renders the [`NodeSnapshot`]s that come
+//! back — role, coordinator, election phase, per-peer heartbeat ages,
+//! queue depth and message counters — plus the availability ledger's
+//! per-service summary.
+//!
+//! ```text
+//! whisper-top [--peers N] [--interval MS] [--frames N] [--once]
+//! whisper-top --check-summary PATH
+//! ```
+//!
+//! `--once` prints a single frame and exits non-zero unless every node
+//! answered and all b-peers agree on a coordinator (the CI smoke check).
+//! `--check-summary` validates that a `BENCH_PR3.json` trajectory file
+//! parses, without booting anything.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use whisper_bench::{BenchSummary, ClusterTuning, Table, TcpCluster};
+use whisper_obs::NodeSnapshot;
+use whisper_simnet::{NodeId, SimDuration, SimTime};
+
+struct Options {
+    peers: usize,
+    interval: Duration,
+    frames: Option<u64>,
+    once: bool,
+    check_summary: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: whisper-top [--peers N] [--interval MS] [--frames N] [--once]\n\
+         \x20      whisper-top --check-summary PATH"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        peers: 5,
+        interval: Duration::from_millis(1000),
+        frames: None,
+        once: false,
+        check_summary: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--peers" => match value("--peers").parse() {
+                Ok(n) if n > 0 => opts.peers = n,
+                _ => usage(),
+            },
+            "--interval" => match value("--interval").parse() {
+                Ok(ms) => opts.interval = Duration::from_millis(ms),
+                Err(_) => usage(),
+            },
+            "--frames" => match value("--frames").parse() {
+                Ok(n) => opts.frames = Some(n),
+                Err(_) => usage(),
+            },
+            "--once" => opts.once = true,
+            "--check-summary" => opts.check_summary = Some(value("--check-summary")),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// Validates a trajectory file; the CI smoke test's second half.
+fn check_summary(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match BenchSummary::parse(&text) {
+        Ok(s) => {
+            println!("{path}: ok ({} experiments)", s.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: invalid bench summary: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.1}", us as f64 / 1e3)
+}
+
+/// One rendered frame: the per-node table from a fresh snapshot poll.
+fn frame_table(cluster: &TcpCluster, snaps: &[(NodeId, NodeSnapshot)]) -> Table {
+    let mut t = Table::new(
+        "whisper_top",
+        &[
+            "node",
+            "role",
+            "peer",
+            "coord",
+            "phase",
+            "hb_age_ms",
+            "queue",
+            "tx",
+            "tx_kb",
+            "rx",
+        ],
+    );
+    for (node, snap) in snaps {
+        let (coord, phase) = match &snap.election {
+            Some(e) => (
+                e.coordinator
+                    .map(|c| {
+                        if e.is_coordinator {
+                            format!("{c}*")
+                        } else {
+                            c.to_string()
+                        }
+                    })
+                    .unwrap_or_else(|| "?".into()),
+                e.phase.clone(),
+            ),
+            None => ("-".into(), "-".into()),
+        };
+        let worst_age = snap.heartbeat_ages_us.iter().map(|&(_, a)| a).max();
+        t.row(&[
+            node.index().to_string(),
+            snap.role.label().to_string(),
+            cluster.peer_of(*node).to_string(),
+            coord,
+            phase,
+            worst_age.map(fmt_ms).unwrap_or_else(|| "-".into()),
+            snap.queue_depth.to_string(),
+            snap.sent.messages_sent().to_string(),
+            format!("{:.1}", snap.sent.bytes_sent() as f64 / 1024.0),
+            snap.received.messages_sent().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Prints the availability ledger's per-service lines.
+fn print_ledger(cluster: &TcpCluster, now: SimTime) {
+    let ledger = cluster.ledger();
+    for service in ledger.services() {
+        if let Some(r) = ledger.service_report(service, now) {
+            println!(
+                "service {service}: {} coordinator={} availability={:.6} failures={} churn={}{}",
+                if r.up { "up" } else { "DOWN" },
+                r.coordinator
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "?".into()),
+                r.availability,
+                r.failures,
+                r.churn,
+                r.mttr
+                    .map(|d| format!(" mttr={:.1}ms", d.as_secs_f64() * 1e3))
+                    .unwrap_or_default(),
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    if let Some(path) = &opts.check_summary {
+        return check_summary(path);
+    }
+
+    eprintln!("booting {} b-peers + proxy on TCP loopback...", opts.peers);
+    let boot = Instant::now();
+    let cluster = match TcpCluster::start(opts.peers, ClusterTuning::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cluster failed to boot: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let expected = opts.peers + 1; // b-peers + proxy
+
+    // Give the boot election a chance before the first frame.
+    let settle = Instant::now() + Duration::from_secs(15);
+    loop {
+        let snaps = cluster.poll_snapshots(cluster.bpeer_nodes(), Duration::from_secs(2));
+        if snaps.len() == opts.peers && TcpCluster::agreed_coordinator(&snaps).is_some() {
+            break;
+        }
+        if Instant::now() >= settle {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let mut frames_left = if opts.once { Some(1) } else { opts.frames };
+    let healthy = loop {
+        let snaps = cluster.poll_all(Duration::from_secs(5));
+        let coord = TcpCluster::agreed_coordinator(&snaps);
+        let uptime = boot.elapsed();
+        println!(
+            "whisper-top · uptime {:.1}s · {}/{} nodes answering · coordinator: {}",
+            uptime.as_secs_f64(),
+            snaps.len(),
+            expected,
+            coord
+                .map(|c| format!("peer {c}"))
+                .unwrap_or_else(|| "NONE".into()),
+        );
+        frame_table(&cluster, &snaps).print();
+        let now = SimTime::ZERO + SimDuration::from_micros(boot.elapsed().as_micros() as u64);
+        print_ledger(&cluster, now);
+        let frame_healthy = snaps.len() == expected && coord.is_some();
+
+        if let Some(left) = &mut frames_left {
+            *left -= 1;
+            if *left == 0 {
+                break frame_healthy;
+            }
+        }
+        println!();
+        std::thread::sleep(opts.interval);
+    };
+    cluster.shutdown();
+
+    if healthy {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("unhealthy: missing snapshots or no agreed coordinator");
+        ExitCode::FAILURE
+    }
+}

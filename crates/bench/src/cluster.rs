@@ -1,0 +1,337 @@
+//! A live Whisper cluster over real TCP loopback sockets, plus the
+//! in-band introspection probe that `whisper-top`, the CI smoke test and
+//! the integration tests share.
+//!
+//! The layout mirrors the simulator harness and the threadnet benches:
+//! b-peer replicas on nodes `0..peers`, the SWS-proxy next, then one
+//! *probe* node — an actor that is **not** a peer (it stays out of the
+//! directory, like a client) and speaks only the scope protocol:
+//! it injects [`WhisperMsg::ScopeRequest`]s and collects the
+//! [`NodeSnapshot`]s that come back over the same sockets every other
+//! message uses. Introspection rides the message plane; there is no side
+//! channel.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use whisper::{
+    BPeerActor, BPeerConfig, Directory, ProxyConfig, ServiceBackend, StudentRegistry,
+    SwsProxyActor, WhisperMsg,
+};
+use whisper_election::BullyConfig;
+use whisper_obs::{AvailabilityLedger, NodeSnapshot};
+use whisper_p2p::{GroupId, PeerId, SemanticAdv};
+use whisper_simnet::tcpnet::{TcpNet, TcpNetBuilder};
+use whisper_simnet::{Actor, Context, MetricsSnapshot, NodeId, SimDuration};
+
+/// Tuning of a live cluster. The defaults are aggressive (50 ms
+/// heartbeats, 250 ms failure timeout, sub-second Bully waits) so smoke
+/// tests observe failure detection and re-election in about a second of
+/// wall clock instead of the paper's JXTA-era multi-second windows.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterTuning {
+    /// Heartbeat beacon period.
+    pub heartbeat_period: SimDuration,
+    /// Silence after which a peer is suspected dead.
+    pub failure_timeout: SimDuration,
+    /// Bully answer/coordinator waits (scaled off this value).
+    pub election_timeout: SimDuration,
+}
+
+impl Default for ClusterTuning {
+    fn default() -> Self {
+        ClusterTuning {
+            heartbeat_period: SimDuration::from_millis(50),
+            failure_timeout: SimDuration::from_millis(250),
+            election_timeout: SimDuration::from_millis(200),
+        }
+    }
+}
+
+/// Snapshots collected by the probe, keyed by scope request id.
+type SnapshotStore = Arc<Mutex<HashMap<u64, Vec<(NodeId, NodeSnapshot)>>>>;
+
+/// The measuring end of the scope protocol: collects every
+/// [`WhisperMsg::ScopeResponse`] it receives, keyed by request id.
+struct ScopeProbe {
+    store: SnapshotStore,
+}
+
+impl Actor<WhisperMsg> for ScopeProbe {
+    fn on_message(&mut self, _ctx: &mut Context<'_, WhisperMsg>, from: NodeId, msg: WhisperMsg) {
+        if let WhisperMsg::ScopeResponse {
+            request_id,
+            snapshot,
+        } = msg
+        {
+            self.store
+                .lock()
+                .expect("probe store poisoned")
+                .entry(request_id)
+                .or_default()
+                .push((from, *snapshot));
+        }
+    }
+}
+
+/// A running Whisper deployment on TCP loopback: one b-peer group, its
+/// SWS-proxy, and a scope probe, all exchanging length-prefixed encoded
+/// frames over real sockets.
+pub struct TcpCluster {
+    net: TcpNet<WhisperMsg>,
+    bpeer_nodes: Vec<NodeId>,
+    proxy_node: NodeId,
+    probe_node: NodeId,
+    store: SnapshotStore,
+    ledger: AvailabilityLedger,
+    next_scope_request: AtomicU64,
+}
+
+impl TcpCluster {
+    /// Boots `peers` b-peer replicas plus the proxy and the probe, wired
+    /// exactly like the simulator harness (peer ids are node index + 1),
+    /// with a shared [`AvailabilityLedger`] installed into every b-peer.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors while opening the loopback mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `peers` is zero.
+    pub fn start(peers: usize, tuning: ClusterTuning) -> std::io::Result<TcpCluster> {
+        assert!(peers > 0, "need at least one b-peer");
+        let service = whisper_wsdl::samples::student_management();
+        let op = service
+            .operation("StudentInformation")
+            .expect("sample operation");
+        let backends: Vec<Box<dyn ServiceBackend>> = (0..peers)
+            .map(|_| Box::new(StudentRegistry::operational_db().with_sample_data()) as _)
+            .collect();
+
+        let peer_of = |idx: usize| PeerId::new(idx as u64 + 1);
+        let proxy_idx = peers;
+        let mut pairs: Vec<(PeerId, NodeId)> = (0..peers)
+            .map(|i| (peer_of(i), NodeId::from_index(i)))
+            .collect();
+        pairs.push((peer_of(proxy_idx), NodeId::from_index(proxy_idx)));
+        let directory = Directory::with_routes(pairs, Vec::new());
+
+        let group = GroupId::new(1);
+        let members: Vec<PeerId> = (0..peers).map(peer_of).collect();
+        let adv = SemanticAdv {
+            group,
+            name: "StudentInfoGroup".into(),
+            action: op.action.clone(),
+            inputs: op.inputs.iter().map(|p| p.concept.clone()).collect(),
+            outputs: op.outputs.iter().map(|p| p.concept.clone()).collect(),
+            qos: None,
+        };
+        let bp_cfg = BPeerConfig {
+            heartbeat_period: tuning.heartbeat_period,
+            failure_timeout: tuning.failure_timeout,
+            bully: BullyConfig {
+                answer_timeout: tuning.election_timeout,
+                coordinator_timeout: tuning.election_timeout + tuning.election_timeout,
+                cooldown: tuning.election_timeout,
+            },
+            ..BPeerConfig::default()
+        };
+
+        let ledger = AvailabilityLedger::default();
+        let mut builder = TcpNetBuilder::new();
+        let mut bpeer_nodes = Vec::with_capacity(peers);
+        for (i, backend) in backends.into_iter().enumerate() {
+            let mut actor = BPeerActor::new(
+                peer_of(i),
+                group,
+                members.clone(),
+                adv.clone(),
+                backend,
+                directory.clone(),
+                bp_cfg.clone(),
+            );
+            actor.set_ledger(ledger.clone());
+            bpeer_nodes.push(builder.add_node(actor));
+        }
+
+        let mut proxy = SwsProxyActor::new(
+            peer_of(proxy_idx),
+            &service,
+            whisper_ontology::samples::university_ontology(),
+            directory.clone(),
+            ProxyConfig::default(),
+        );
+        for i in 0..peers {
+            proxy.add_known_peer(peer_of(i));
+        }
+        let proxy_node = builder.add_node(proxy);
+
+        let store: SnapshotStore = Arc::new(Mutex::new(HashMap::new()));
+        let probe_node = builder.add_node(ScopeProbe {
+            store: Arc::clone(&store),
+        });
+
+        let net = builder.start()?;
+        Ok(TcpCluster {
+            net,
+            bpeer_nodes,
+            proxy_node,
+            probe_node,
+            store,
+            ledger,
+            next_scope_request: AtomicU64::new(1),
+        })
+    }
+
+    /// The b-peer nodes, in peer-id order.
+    pub fn bpeer_nodes(&self) -> &[NodeId] {
+        &self.bpeer_nodes
+    }
+
+    /// The proxy node.
+    pub fn proxy_node(&self) -> NodeId {
+        self.proxy_node
+    }
+
+    /// The shared availability ledger the b-peers feed.
+    pub fn ledger(&self) -> &AvailabilityLedger {
+        &self.ledger
+    }
+
+    /// The peer id living on `node` (node index + 1 by construction).
+    pub fn peer_of(&self, node: NodeId) -> u64 {
+        node.index() as u64 + 1
+    }
+
+    /// Sends a [`WhisperMsg::ScopeRequest`] to every target and waits up
+    /// to `timeout` for the responses, returning whatever arrived (one
+    /// `(node, snapshot)` pair per answering target). Targets whose node
+    /// was killed simply never answer; the caller sees them missing.
+    pub fn poll_snapshots(
+        &self,
+        targets: &[NodeId],
+        timeout: Duration,
+    ) -> Vec<(NodeId, NodeSnapshot)> {
+        let request_id = self.next_scope_request.fetch_add(1, Ordering::SeqCst);
+        for &t in targets {
+            self.net
+                .inject(self.probe_node, t, WhisperMsg::ScopeRequest { request_id });
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let store = self.store.lock().expect("probe store poisoned");
+                if store.get(&request_id).map(Vec::len).unwrap_or(0) >= targets.len() {
+                    break;
+                }
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut got = self
+            .store
+            .lock()
+            .expect("probe store poisoned")
+            .remove(&request_id)
+            .unwrap_or_default();
+        got.sort_by_key(|(n, _)| n.index());
+        got
+    }
+
+    /// Convenience: snapshots of every node (b-peers + proxy).
+    pub fn poll_all(&self, timeout: Duration) -> Vec<(NodeId, NodeSnapshot)> {
+        let mut targets = self.bpeer_nodes.clone();
+        targets.push(self.proxy_node);
+        self.poll_snapshots(&targets, timeout)
+    }
+
+    /// The coordinator the live b-peers agree on, from a snapshot poll:
+    /// `Some(peer)` only when every answering b-peer names the same one.
+    pub fn agreed_coordinator(snapshots: &[(NodeId, NodeSnapshot)]) -> Option<u64> {
+        let mut coords = snapshots
+            .iter()
+            .filter_map(|(_, s)| s.election.as_ref())
+            .map(|e| e.coordinator);
+        let first = coords.next()??;
+        coords.all(|c| c == Some(first)).then_some(first)
+    }
+
+    /// Kills `node` as a crash (see
+    /// [`TcpNet::stop_node`](whisper_simnet::tcpnet::TcpNet::stop_node)).
+    pub fn kill(&self, node: NodeId) {
+        self.net.stop_node(node);
+    }
+
+    /// Transport metrics so far.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.net.metrics_snapshot()
+    }
+
+    /// Stops every thread and closes every socket.
+    pub fn shutdown(self) {
+        self.net.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Polls until `cond` holds or the deadline passes; asserts it held.
+    fn wait_for(what: &str, deadline: Duration, cond: impl Fn() -> bool) {
+        let end = Instant::now() + deadline;
+        while !cond() {
+            assert!(Instant::now() < end, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn cluster_boots_elects_and_answers_scope_requests() {
+        let cluster = TcpCluster::start(3, ClusterTuning::default()).expect("loopback sockets");
+        // Wait until the cluster agrees on a coordinator...
+        wait_for("a coordinator", Duration::from_secs(15), || {
+            let snaps = cluster.poll_snapshots(cluster.bpeer_nodes(), Duration::from_secs(2));
+            snaps.len() == 3 && TcpCluster::agreed_coordinator(&snaps).is_some()
+        });
+        // ...let a few beacon periods elapse so heartbeats flow...
+        std::thread::sleep(Duration::from_millis(300));
+        // ...then check the snapshot contents in detail.
+        let snaps = cluster.poll_all(Duration::from_secs(5));
+        assert_eq!(snaps.len(), 4, "all four nodes answer");
+        let coord = TcpCluster::agreed_coordinator(&snaps).expect("agreed");
+        assert_eq!(coord, 3, "the Bully winner is the highest peer id");
+        for (node, snap) in &snaps {
+            assert_eq!(snap.peer, cluster.peer_of(*node));
+            // everyone saw the probe's request arrive over the socket
+            assert!(
+                snap.received.sent_of_kind("scope-request") > 0,
+                "{node:?}: {snap:?}"
+            );
+        }
+        // b-peers have been chattering since boot (heartbeats, election)
+        for (node, snap) in snaps.iter().take(3) {
+            assert!(snap.sent.messages_sent() > 0, "{node:?}: {snap:?}");
+        }
+        let bpeer_snap = &snaps[0].1;
+        assert_eq!(bpeer_snap.role.label(), "b-peer");
+        assert!(
+            bpeer_snap.sent.sent_of_kind("heartbeat") > 0,
+            "b-peers beacon: {bpeer_snap:?}"
+        );
+        assert_eq!(
+            bpeer_snap.heartbeat_ages_us.len(),
+            2,
+            "a member monitors its two siblings"
+        );
+        let proxy_snap = &snaps.last().expect("proxy answered").1;
+        assert_eq!(proxy_snap.role.label(), "proxy");
+        assert!(proxy_snap.election.is_none(), "proxies do not elect");
+        cluster.shutdown();
+    }
+}

@@ -16,14 +16,25 @@
 //! | `discovery_quality` | §4.3 claim: semantic vs. syntactic discovery | [`experiments::discovery_quality`] |
 //! | `qos_selection` | §2.4 extension: QoS-aware peer selection | [`experiments::qos`] |
 //! | `discovery_cost` | ablation: flooding vs. rendezvous discovery | [`experiments::discovery_cost`] |
+//! | `cluster_health` | the availability ledger tracking coordinator kills | [`experiments::cluster_health`] |
 //!
 //! Run everything with `cargo run -p whisper-bench --bin all_experiments`.
+//! `all_experiments`, `cluster_health` and the Criterion-style benches
+//! additionally merge headline statistics into the machine-readable
+//! trajectory `target/experiments/BENCH_PR3.json` ([`BenchSummary`]).
+//!
+//! Beyond the experiments, [`TcpCluster`] + the `whisper-top` binary give
+//! a live TCP-loopback deployment with in-band scope introspection.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod experiments;
 pub mod obs;
+pub mod summary;
 mod table;
 
+pub use cluster::{ClusterTuning, TcpCluster};
+pub use summary::{time_mean_us, BenchSummary};
 pub use table::Table;

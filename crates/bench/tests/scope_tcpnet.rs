@@ -1,0 +1,105 @@
+//! End-to-end introspection over real sockets: a 5-peer TCP cluster is
+//! booted, its coordinator assassinated, and the availability ledger's
+//! online record is checked against the independently measured
+//! re-election window — the acceptance test for the whisper-scope plane.
+
+use std::time::{Duration, Instant};
+
+use whisper_bench::{ClusterTuning, TcpCluster};
+use whisper_simnet::{SimDuration, SimTime};
+
+/// Polls until `cond` yields `Some`, or panics at the deadline.
+fn wait_for<T>(what: &str, deadline: Duration, mut cond: impl FnMut() -> Option<T>) -> T {
+    let end = Instant::now() + deadline;
+    loop {
+        if let Some(v) = cond() {
+            return v;
+        }
+        assert!(Instant::now() < end, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn coordinator_kill_is_ledgered_with_measured_mttr() {
+    let tuning = ClusterTuning::default();
+    let boot = Instant::now();
+    let cluster = TcpCluster::start(5, tuning).expect("loopback sockets");
+    let survivors: Vec<_> = cluster.bpeer_nodes()[..4].to_vec();
+    let coordinator_node = cluster.bpeer_nodes()[4];
+
+    // Boot: all five agree on peer 5 (highest id wins the Bully round).
+    let coordinator = wait_for("boot election", Duration::from_secs(15), || {
+        let snaps = cluster.poll_snapshots(cluster.bpeer_nodes(), Duration::from_secs(2));
+        (snaps.len() == 5)
+            .then(|| TcpCluster::agreed_coordinator(&snaps))
+            .flatten()
+    });
+    assert_eq!(coordinator, 5);
+    // Let heartbeats flow so the outage can be backdated to a real beacon.
+    let hb_period = Duration::from_micros(tuning.heartbeat_period.as_micros());
+    std::thread::sleep(hb_period * 6);
+
+    // Kill the coordinator and measure the re-election window ourselves:
+    // kill → every survivor names the same new coordinator.
+    let killed_at = Instant::now();
+    cluster.kill(coordinator_node);
+    let new_coordinator = wait_for("re-election", Duration::from_secs(20), || {
+        let snaps = cluster.poll_snapshots(&survivors, Duration::from_secs(2));
+        (snaps.len() == 4)
+            .then(|| TcpCluster::agreed_coordinator(&snaps))
+            .flatten()
+            .filter(|&c| c != coordinator)
+    });
+    let measured_window = killed_at.elapsed();
+    assert_eq!(new_coordinator, 4, "next-highest survivor wins");
+
+    // The dead node no longer answers scope requests; the others do.
+    let snaps = cluster.poll_all(Duration::from_secs(2));
+    assert_eq!(snaps.len(), 5, "all nodes but the corpse answer");
+    assert!(snaps.iter().all(|(n, _)| *n != coordinator_node));
+
+    // What the ledger recorded, read at "now" (wall time since boot —
+    // tcpnet actors stamp SimTime from the same epoch).
+    let now = SimTime::ZERO + SimDuration::from_micros(boot.elapsed().as_micros() as u64);
+    let report = cluster
+        .ledger()
+        .service_report(1, now)
+        .expect("service timeline exists");
+    assert!(report.up, "service recovered");
+    assert_eq!(report.coordinator, Some(4));
+    assert_eq!(report.failures, 1, "exactly one outage: {report:?}");
+    assert_eq!(report.downtime_intervals.len(), 1);
+    let interval = report.downtime_intervals[0];
+    let mttr = interval.duration().expect("closed by the re-election");
+    assert_eq!(report.mttr, Some(mttr));
+    assert!(report.availability < 1.0);
+
+    // The outage starts at the coordinator's last heartbeat, so detection
+    // took at least the configured silence window.
+    assert!(
+        interval.detection_latency() >= tuning.failure_timeout,
+        "detection before the failure timeout: {interval:?}"
+    );
+
+    // MTTR (last heartbeat → new coordinator) must match the measured
+    // kill → agreement window. Backdating can stretch it by at most one
+    // heartbeat period; our observation of the agreement lags by polling
+    // jitter. Allow one period plus scheduling slack.
+    let mttr = Duration::from_micros(mttr.as_micros());
+    let tolerance = hb_period + Duration::from_millis(150);
+    let diff = mttr.abs_diff(measured_window);
+    assert!(
+        diff <= tolerance,
+        "ledger MTTR {mttr:?} vs measured window {measured_window:?} (diff {diff:?} > {tolerance:?})"
+    );
+
+    // The killed peer's own timeline went down and stayed down.
+    let peer = cluster
+        .ledger()
+        .peer_report(coordinator, now)
+        .expect("peer timeline exists");
+    assert!(!peer.up, "the corpse stays down: {peer:?}");
+
+    cluster.shutdown();
+}

@@ -13,12 +13,12 @@ use crate::directory::Directory;
 use crate::msg::WhisperMsg;
 use crate::trace;
 use whisper_election::{BullyConfig, BullyNode, ElectionMsg, ElectionProtocol, Output};
-use whisper_obs::{Recorder, SpanId};
+use whisper_obs::{AvailabilityLedger, ElectionView, NodeRole, NodeSnapshot, Recorder, SpanId};
 use whisper_p2p::{
     Advertisement, DiscoveryService, DiscoveryStrategy, FailureDetector, GroupId, P2pMessage,
     PeerAdv, PeerId, PipeId, SemanticAdv,
 };
-use whisper_simnet::{Actor, Context, NodeId, SimDuration};
+use whisper_simnet::{Actor, Context, Metrics, NodeId, SimDuration, SimTime, Wire};
 use whisper_soap::{Envelope, Fault, FaultCode};
 
 /// Timer tokens (election tokens live in the high half of the space).
@@ -107,6 +107,11 @@ pub struct BPeerActor {
     /// Round-robin cursor for load sharing.
     rr_cursor: usize,
     obs: Option<Recorder>,
+    /// Per-kind traffic counters for the introspection snapshot.
+    tx: Metrics,
+    rx: Metrics,
+    /// Online availability bookkeeping (shared across the deployment).
+    ledger: Option<AvailabilityLedger>,
 }
 
 impl BPeerActor {
@@ -140,6 +145,9 @@ impl BPeerActor {
             next_stash: 0,
             rr_cursor: 0,
             obs: None,
+            tx: Metrics::new(),
+            rx: Metrics::new(),
+            ledger: None,
         }
     }
 
@@ -204,7 +212,44 @@ impl BPeerActor {
         &self.members
     }
 
-    fn send_to_peer(&self, ctx: &mut Context<'_, WhisperMsg>, to: PeerId, msg: WhisperMsg) {
+    /// Installs the deployment-wide availability ledger. Every b-peer feeds
+    /// the same (cheaply cloneable) ledger: heartbeats extend uptime,
+    /// failure-detector suspicions open downtime intervals, elections close
+    /// the per-service ones.
+    pub fn set_ledger(&mut self, ledger: AvailabilityLedger) {
+        self.ledger = Some(ledger);
+    }
+
+    /// The introspection snapshot served to [`WhisperMsg::ScopeRequest`]:
+    /// role, election view, heartbeat ages, queue depth, traffic counters
+    /// and the obs registry dump.
+    pub fn scope_snapshot(&self, now: SimTime) -> NodeSnapshot {
+        let mut snap = NodeSnapshot::empty(NodeRole::BPeer, self.peer.value());
+        snap.group = Some(self.group.value());
+        snap.election = Some(ElectionView {
+            coordinator: self.election.coordinator().map(|p| p.value()),
+            is_coordinator: self.election.is_coordinator(),
+            term: self.election.epoch(),
+            elections_started: self.election.elections_started(),
+            phase: self.election.phase_name().to_string(),
+        });
+        snap.heartbeat_ages_us = self
+            .fd
+            .ages(now)
+            .into_iter()
+            .map(|(p, age)| (p.value(), age.as_micros()))
+            .collect();
+        snap.queue_depth = self.stash.len() as u64;
+        snap.sent = self.tx.snapshot();
+        snap.received = self.rx.snapshot();
+        if let Some(rec) = &self.obs {
+            snap.registry = rec.registry_dump();
+        }
+        snap
+    }
+
+    fn send_to_peer(&mut self, ctx: &mut Context<'_, WhisperMsg>, to: PeerId, msg: WhisperMsg) {
+        self.tx.on_send(msg.kind(), msg.wire_size());
         crate::routing::send_routed(&self.directory, self.peer, ctx, to, msg);
     }
 
@@ -248,6 +293,9 @@ impl BPeerActor {
         }
         for ev in out.events {
             let whisper_election::ElectionEvent::CoordinatorElected(winner) = ev;
+            if let Some(ledger) = &self.ledger {
+                ledger.coordinator_elected(self.group.value(), winner.value(), ctx.now());
+            }
             if winner == self.peer {
                 // A new coordinator re-binds the group's request pipe
                 // (JXTA input-pipe creation); senders re-resolve it — the
@@ -528,9 +576,13 @@ impl Actor<WhisperMsg> for BPeerActor {
         else {
             return;
         };
+        self.rx.on_send(msg.kind(), msg.wire_size());
         // Any traffic from a peer proves it is alive.
         if let Some(peer) = self.directory.peer_of(from) {
             self.fd.record(peer, ctx.now());
+            if let Some(ledger) = &self.ledger {
+                ledger.peer_heartbeat(peer.value(), ctx.now());
+            }
         }
         match msg {
             WhisperMsg::P2p(m) => {
@@ -547,6 +599,9 @@ impl Actor<WhisperMsg> for BPeerActor {
                         self.note_member(*hb_from, ctx.now());
                     }
                     self.fd.record(*hb_from, ctx.now());
+                    if let Some(ledger) = &self.ledger {
+                        ledger.peer_heartbeat(hb_from.value(), ctx.now());
+                    }
                 }
                 let (sends, _events) = self.disco.handle_message(from_peer, m, ctx.now());
                 for s in sends {
@@ -577,12 +632,28 @@ impl Actor<WhisperMsg> for BPeerActor {
             } => {
                 self.handle_peer_request(ctx, request_id, reply_to, delegated, envelope);
             }
+            WhisperMsg::ScopeRequest { request_id } => {
+                let reply = WhisperMsg::ScopeResponse {
+                    request_id,
+                    snapshot: Box::new(self.scope_snapshot(ctx.now())),
+                };
+                match self.directory.peer_of(from) {
+                    Some(peer) => self.send_to_peer(ctx, peer, reply),
+                    None => {
+                        // Probes (whisper-top) are not in the peer directory;
+                        // answer the node directly.
+                        self.tx.on_send(reply.kind(), reply.wire_size());
+                        ctx.send(from, reply);
+                    }
+                }
+            }
             // B-peers neither originate SOAP traffic nor receive responses;
             // nested relay envelopes are already unwrapped above.
             WhisperMsg::SoapRequest { .. }
             | WhisperMsg::SoapResponse { .. }
             | WhisperMsg::PeerResponse { .. }
             | WhisperMsg::PeerRedirect { .. }
+            | WhisperMsg::ScopeResponse { .. }
             | WhisperMsg::Relayed { .. } => {}
         }
     }
@@ -636,11 +707,29 @@ impl Actor<WhisperMsg> for BPeerActor {
                 ctx.set_timer(self.republish_period(), TOKEN_REPUBLISH);
             }
             TOKEN_FD_CHECK => {
-                let suspected = self.fd.suspected(ctx.now());
+                let now = ctx.now();
+                let suspected = self.fd.suspected(now);
+                if let Some(ledger) = &self.ledger {
+                    for &p in &suspected {
+                        let last_seen = self.fd.last_seen(p).unwrap_or(now);
+                        ledger.peer_down(p.value(), last_seen, now);
+                    }
+                }
                 if let Some(coord) = self.election.coordinator() {
                     if coord != self.peer && suspected.contains(&coord) {
-                        // the coordinator went silent: elect a new one
-                        let out = self.election.start_election(ctx.now());
+                        // the coordinator went silent: the service is down
+                        // from the coordinator's last sign of life until a
+                        // successor takes over — elect a new one.
+                        if let Some(ledger) = &self.ledger {
+                            let last_seen = self.fd.last_seen(coord).unwrap_or(now);
+                            ledger.coordinator_down(
+                                self.group.value(),
+                                coord.value(),
+                                last_seen,
+                                now,
+                            );
+                        }
+                        let out = self.election.start_election(now);
                         self.route_election_output(ctx, out);
                     }
                 }

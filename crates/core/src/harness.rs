@@ -11,13 +11,13 @@ use crate::directory::Directory;
 use crate::msg::WhisperMsg;
 use crate::proxy::{ProxyConfig, ProxyStats, SwsProxyActor};
 use crate::WhisperError;
-use whisper_obs::Recorder;
+use whisper_obs::{AvailabilityLedger, NodeRole, NodeSnapshot, Recorder};
 use whisper_ontology::Ontology;
 use whisper_p2p::{
     DiscoveryService, DiscoveryStrategy, GroupId, P2pMessage, PeerId, QosSpec, SemanticAdv,
 };
 use whisper_simnet::{
-    Actor, Context, FaultPlan, Metrics, NodeId, SimDuration, SimNet, SimTime, SwitchedLan,
+    Actor, Context, FaultPlan, Metrics, NodeId, SimDuration, SimNet, SimTime, SwitchedLan, Wire,
 };
 use whisper_soap::Envelope;
 use whisper_wsdl::{Operation, ServiceDescription};
@@ -154,15 +154,48 @@ struct RendezvousActor {
     directory: Directory,
     disco: DiscoveryService,
     obs: Option<Recorder>,
+    /// Per-kind traffic counters for the introspection snapshot.
+    tx: Metrics,
+    rx: Metrics,
+}
+
+impl RendezvousActor {
+    /// The introspection snapshot served to [`WhisperMsg::ScopeRequest`]:
+    /// cache size, traffic counters and the obs registry dump.
+    fn scope_snapshot(&self) -> NodeSnapshot {
+        let mut snap = NodeSnapshot::empty(NodeRole::Rendezvous, self.peer.value());
+        snap.queue_depth = self.disco.cache().len() as u64;
+        snap.sent = self.tx.snapshot();
+        snap.received = self.rx.snapshot();
+        if let Some(rec) = &self.obs {
+            snap.registry = rec.registry_dump();
+        }
+        snap
+    }
 }
 
 impl Actor<WhisperMsg> for RendezvousActor {
     fn on_message(&mut self, ctx: &mut Context<'_, WhisperMsg>, from: NodeId, msg: WhisperMsg) {
-        let Some((_from, msg)) =
+        let Some((from, msg)) =
             crate::routing::unwrap_or_forward(&self.directory, self.peer, ctx, from, msg)
         else {
             return;
         };
+        self.rx.on_send(msg.kind(), msg.wire_size());
+        if let WhisperMsg::ScopeRequest { request_id } = msg {
+            let reply = WhisperMsg::ScopeResponse {
+                request_id,
+                snapshot: Box::new(self.scope_snapshot()),
+            };
+            self.tx.on_send(reply.kind(), reply.wire_size());
+            match self.directory.peer_of(from) {
+                Some(peer) => {
+                    crate::routing::send_routed(&self.directory, self.peer, ctx, peer, reply)
+                }
+                None => ctx.send(from, reply),
+            }
+            return;
+        }
         if let WhisperMsg::P2p(m) = msg {
             let origin = match &m {
                 P2pMessage::Query { origin, .. } => *origin,
@@ -177,13 +210,9 @@ impl Actor<WhisperMsg> for RendezvousActor {
             }
             let (sends, _) = self.disco.handle_message(origin, m, ctx.now());
             for s in sends {
-                crate::routing::send_routed(
-                    &self.directory,
-                    self.peer,
-                    ctx,
-                    s.to,
-                    WhisperMsg::P2p(s.msg),
-                );
+                let msg = WhisperMsg::P2p(s.msg);
+                self.tx.on_send(msg.kind(), msg.wire_size());
+                crate::routing::send_routed(&self.directory, self.peer, ctx, s.to, msg);
             }
         }
     }
@@ -205,6 +234,7 @@ pub struct WhisperNet {
     bpeer_cfg: BPeerConfig,
     next_node_index: usize,
     obs: Option<Recorder>,
+    ledger: Option<AvailabilityLedger>,
 }
 
 impl WhisperNet {
@@ -298,6 +328,8 @@ impl WhisperNet {
                 directory: directory.clone(),
                 disco: DiscoveryService::new(rdv_peer, DiscoveryStrategy::Rendezvous(rdv_peer)),
                 obs: None,
+                tx: Metrics::new(),
+                rx: Metrics::new(),
             });
             debug_assert_eq!(added, NodeId::from_index(r));
         }
@@ -411,6 +443,7 @@ impl WhisperNet {
             bpeer_cfg: cfg.bpeer,
             next_node_index: next_node,
             obs: None,
+            ledger: None,
         })
     }
 
@@ -449,6 +482,52 @@ impl WhisperNet {
     /// The installed recorder, when [`WhisperNet::enable_obs`] has run.
     pub fn recorder(&self) -> Option<Recorder> {
         self.obs.clone()
+    }
+
+    /// Installs a shared [`AvailabilityLedger`] into every b-peer of the
+    /// deployment and returns a handle to it. Heartbeats extend uptime,
+    /// failure-detector suspicions open downtime intervals, and elections
+    /// close the per-service ones — so reports are available *online*,
+    /// while the deployment runs. Idempotent: repeated calls return the
+    /// same ledger.
+    pub fn enable_ledger(&mut self) -> AvailabilityLedger {
+        if let Some(ledger) = &self.ledger {
+            return ledger.clone();
+        }
+        let ledger = AvailabilityLedger::default();
+        let bpeers: Vec<NodeId> = self.group_nodes.iter().flatten().copied().collect();
+        for n in bpeers {
+            self.net
+                .node_mut::<BPeerActor>(n)
+                .set_ledger(ledger.clone());
+        }
+        self.ledger = Some(ledger.clone());
+        ledger
+    }
+
+    /// The installed ledger, when [`WhisperNet::enable_ledger`] has run.
+    pub fn ledger(&self) -> Option<AvailabilityLedger> {
+        self.ledger.clone()
+    }
+
+    /// The introspection snapshot of any non-client node, exactly as a
+    /// [`WhisperMsg::ScopeRequest`] over the wire would see it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is a client (clients serve no snapshot).
+    pub fn scope_snapshot(&self, node: NodeId) -> NodeSnapshot {
+        if node == self.proxy_node {
+            return self.net.node::<SwsProxyActor>(node).scope_snapshot();
+        }
+        if Some(node) == self.rendezvous_node {
+            return self.net.node::<RendezvousActor>(node).scope_snapshot();
+        }
+        assert!(
+            !self.client_nodes.contains(&node),
+            "clients serve no scope snapshot"
+        );
+        self.net.node::<BPeerActor>(node).scope_snapshot(self.now())
     }
 
     /// Adds a b-peer to group `gi` **at runtime** — the paper's §4.2:
@@ -497,6 +576,11 @@ impl WhisperNet {
             self.net
                 .node_mut::<BPeerActor>(added)
                 .set_recorder(rec.clone());
+        }
+        if let Some(ledger) = &self.ledger {
+            self.net
+                .node_mut::<BPeerActor>(added)
+                .set_ledger(ledger.clone());
         }
         self.group_nodes[gi].push(added);
         // the proxy may flood-query the newcomer too

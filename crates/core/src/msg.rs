@@ -1,6 +1,7 @@
 //! The Whisper wire protocol: everything that travels between nodes.
 
 use whisper_election::ElectionMsg;
+use whisper_obs::NodeSnapshot;
 use whisper_p2p::{GroupId, P2pMessage, PeerId};
 use whisper_simnet::Wire;
 use whisper_wire::{Decode, Encode, Reader, WireError};
@@ -74,6 +75,21 @@ pub enum WhisperMsg {
         /// The coordinator the b-peer currently believes in, if any.
         coordinator: Option<PeerId>,
     },
+    /// Introspection plane ("whisper-scope"): ask a node to describe
+    /// itself. Any proxy, b-peer, or rendezvous answers with a
+    /// [`WhisperMsg::ScopeResponse`] to the sender.
+    ScopeRequest {
+        /// Prober-chosen correlation id, echoed in the response.
+        request_id: u64,
+    },
+    /// Introspection plane: a node's self-description.
+    ScopeResponse {
+        /// Correlation id of the scope request.
+        request_id: u64,
+        /// The answering node's state at response time (boxed so the
+        /// rarely-sent introspection reply doesn't inflate every message).
+        snapshot: Box<NodeSnapshot>,
+    },
 }
 
 impl Wire for WhisperMsg {
@@ -91,6 +107,8 @@ impl Wire for WhisperMsg {
             WhisperMsg::PeerResponse { .. } => "peer-response",
             WhisperMsg::PeerRedirect { .. } => "peer-redirect",
             WhisperMsg::Relayed { .. } => "relayed",
+            WhisperMsg::ScopeRequest { .. } => "scope-request",
+            WhisperMsg::ScopeResponse { .. } => "scope-response",
         }
     }
 }
@@ -161,6 +179,18 @@ impl Encode for WhisperMsg {
                 request_id.encode_into(out);
                 coordinator.encode_into(out);
             }
+            WhisperMsg::ScopeRequest { request_id } => {
+                out.push(8);
+                request_id.encode_into(out);
+            }
+            WhisperMsg::ScopeResponse {
+                request_id,
+                snapshot,
+            } => {
+                out.push(9);
+                request_id.encode_into(out);
+                snapshot.encode_into(out);
+            }
         }
     }
 
@@ -200,6 +230,11 @@ impl Encode for WhisperMsg {
                 request_id,
                 coordinator,
             } => request_id.encoded_len() + coordinator.encoded_len(),
+            WhisperMsg::ScopeRequest { request_id } => request_id.encoded_len(),
+            WhisperMsg::ScopeResponse {
+                request_id,
+                snapshot,
+            } => request_id.encoded_len() + snapshot.encoded_len(),
         }
     }
 }
@@ -246,6 +281,13 @@ impl Decode for WhisperMsg {
             7 => Ok(WhisperMsg::PeerRedirect {
                 request_id: u64::decode_from(r)?,
                 coordinator: Option::decode_from(r)?,
+            }),
+            8 => Ok(WhisperMsg::ScopeRequest {
+                request_id: u64::decode_from(r)?,
+            }),
+            9 => Ok(WhisperMsg::ScopeResponse {
+                request_id: u64::decode_from(r)?,
+                snapshot: Box::new(NodeSnapshot::decode_from(r)?),
             }),
             tag => Err(WireError::BadTag {
                 what: "WhisperMsg",
@@ -345,13 +387,37 @@ mod tests {
                 request_id: 4,
                 coordinator: Some(PeerId::new(8)),
             },
+            WhisperMsg::ScopeRequest { request_id: 5 },
+            WhisperMsg::ScopeResponse {
+                request_id: 5,
+                snapshot: Box::new(sample_snapshot()),
+            },
         ]
+    }
+
+    /// A nontrivially populated snapshot exercising every field group.
+    fn sample_snapshot() -> NodeSnapshot {
+        use whisper_obs::{ElectionView, NodeRole};
+        let mut s = NodeSnapshot::empty(NodeRole::BPeer, 7);
+        s.group = Some(2);
+        s.election = Some(ElectionView {
+            coordinator: Some(9),
+            is_coordinator: false,
+            term: 3,
+            elections_started: 1,
+            phase: "idle".into(),
+        });
+        s.heartbeat_ages_us = vec![(6, 100), (9, 420)];
+        s.bindings = vec![(2, 9)];
+        s.queue_depth = 1;
+        s.registry.counters = vec![("requests.handled".into(), 4)];
+        s
     }
 
     #[test]
     fn every_variant_wire_size_is_exactly_encoded_len() {
         let msgs = one_of_each();
-        assert_eq!(msgs.len(), 8, "update one_of_each when adding variants");
+        assert_eq!(msgs.len(), 10, "update one_of_each when adding variants");
         for m in msgs {
             assert_eq!(m.wire_size(), m.encode().len(), "{m:?}");
         }

@@ -25,13 +25,13 @@ use crate::msg::WhisperMsg;
 use crate::qos::{QosMonitor, SelectionPolicy};
 use crate::trace;
 use std::collections::HashMap;
-use whisper_obs::{Recorder, RequestId};
+use whisper_obs::{NodeRole, NodeSnapshot, Recorder, RequestId};
 use whisper_ontology::Ontology;
 use whisper_p2p::{
     AdvFilter, AdvKind, Advertisement, DiscoveryService, DiscoveryStrategy, GroupId, PeerId,
     QueryId, SemanticAdv,
 };
-use whisper_simnet::{Actor, Context, NodeId, SimDuration, SimTime};
+use whisper_simnet::{Actor, Context, Metrics, NodeId, SimDuration, SimTime, Wire};
 use whisper_soap::{Envelope, Fault, FaultCode};
 use whisper_wsdl::{OperationSemantics, ServiceDescription};
 
@@ -174,6 +174,9 @@ pub struct SwsProxyActor {
     stats: ProxyStats,
     monitor: QosMonitor,
     obs: Option<Recorder>,
+    /// Per-kind traffic counters for the introspection snapshot.
+    tx: Metrics,
+    rx: Metrics,
 }
 
 impl SwsProxyActor {
@@ -215,6 +218,8 @@ impl SwsProxyActor {
             stats: ProxyStats::default(),
             monitor: QosMonitor::default(),
             obs: None,
+            tx: Metrics::new(),
+            rx: Metrics::new(),
         }
     }
 
@@ -276,8 +281,37 @@ impl SwsProxyActor {
         self.bindings.get(&group).copied()
     }
 
-    fn send_to_peer(&self, ctx: &mut Context<'_, WhisperMsg>, to: PeerId, msg: WhisperMsg) {
+    /// The introspection snapshot served to [`WhisperMsg::ScopeRequest`]:
+    /// cached group→coordinator bindings, in-flight request count, traffic
+    /// counters and the obs registry dump.
+    pub fn scope_snapshot(&self) -> NodeSnapshot {
+        let mut snap = NodeSnapshot::empty(NodeRole::Proxy, self.peer.value());
+        let mut bindings: Vec<(u64, u64)> = self
+            .bindings
+            .iter()
+            .map(|(g, p)| (g.value(), p.value()))
+            .collect();
+        bindings.sort_unstable();
+        snap.bindings = bindings;
+        snap.queue_depth = self.pending.len() as u64;
+        snap.sent = self.tx.snapshot();
+        snap.received = self.rx.snapshot();
+        if let Some(rec) = &self.obs {
+            snap.registry = rec.registry_dump();
+        }
+        snap
+    }
+
+    fn send_to_peer(&mut self, ctx: &mut Context<'_, WhisperMsg>, to: PeerId, msg: WhisperMsg) {
+        self.tx.on_send(msg.kind(), msg.wire_size());
         crate::routing::send_routed(&self.directory, self.peer, ctx, to, msg);
+    }
+
+    /// Sends straight to a node (clients and probes are not in the peer
+    /// directory), still counting the traffic.
+    fn send_direct(&mut self, ctx: &mut Context<'_, WhisperMsg>, to: NodeId, msg: WhisperMsg) {
+        self.tx.on_send(msg.kind(), msg.wire_size());
+        ctx.send(to, msg);
     }
 
     fn reply_fault(
@@ -302,7 +336,8 @@ impl SwsProxyActor {
         self.stats.faults_generated += 1;
         self.stats.responses_forwarded += 1;
         let envelope = Envelope::fault(Fault::new(code, reason)).to_xml_string();
-        ctx.send(
+        self.send_direct(
+            ctx,
             p.client_node,
             WhisperMsg::SoapResponse {
                 request_id: p.client_request_id,
@@ -328,7 +363,8 @@ impl SwsProxyActor {
                     let fault =
                         Envelope::fault(Fault::new(FaultCode::Sender, "request body is empty"))
                             .to_xml_string();
-                    ctx.send(
+                    self.send_direct(
+                        ctx,
                         client_node,
                         WhisperMsg::SoapResponse {
                             request_id: client_request_id,
@@ -344,7 +380,8 @@ impl SwsProxyActor {
                 let fault =
                     Envelope::fault(Fault::new(FaultCode::Sender, format!("bad envelope: {e}")))
                         .to_xml_string();
-                ctx.send(
+                self.send_direct(
+                    ctx,
                     client_node,
                     WhisperMsg::SoapResponse {
                         request_id: client_request_id,
@@ -838,6 +875,7 @@ impl Actor<WhisperMsg> for SwsProxyActor {
         else {
             return;
         };
+        self.rx.on_send(msg.kind(), msg.wire_size());
         match msg {
             WhisperMsg::SoapRequest {
                 request_id,
@@ -878,7 +916,8 @@ impl Actor<WhisperMsg> for SwsProxyActor {
                         rec.record_duration("proxy.request", now.since(p.started_at));
                         self.obs_finish(rec, req, request_id, now);
                     }
-                    ctx.send(
+                    self.send_direct(
+                        ctx,
                         p.client_node,
                         WhisperMsg::SoapResponse {
                             request_id: p.client_request_id,
@@ -893,10 +932,21 @@ impl Actor<WhisperMsg> for SwsProxyActor {
             } => {
                 self.handle_redirect(ctx, request_id, coordinator);
             }
+            WhisperMsg::ScopeRequest { request_id } => {
+                let reply = WhisperMsg::ScopeResponse {
+                    request_id,
+                    snapshot: Box::new(self.scope_snapshot()),
+                };
+                match self.directory.peer_of(from) {
+                    Some(peer) => self.send_to_peer(ctx, peer, reply),
+                    None => self.send_direct(ctx, from, reply),
+                }
+            }
             // Proxies ignore election traffic and stray SOAP responses.
             WhisperMsg::Election { .. }
             | WhisperMsg::SoapResponse { .. }
             | WhisperMsg::PeerRequest { .. }
+            | WhisperMsg::ScopeResponse { .. }
             | WhisperMsg::Relayed { .. } => {}
         }
     }

@@ -151,6 +151,23 @@ impl BullyNode {
         self.coordinator == Some(self.me)
     }
 
+    /// The election term: monotone, incremented on every state transition
+    /// (election start, retry, victory, coordinator announcement), so two
+    /// snapshots of the same node are ordered by it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The protocol phase as a static label, for introspection snapshots:
+    /// `idle`, `awaiting-answers`, or `awaiting-coordinator`.
+    pub fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Idle => "idle",
+            Phase::AwaitingAnswers => "awaiting-answers",
+            Phase::AwaitingCoordinator => "awaiting-coordinator",
+        }
+    }
+
     fn higher_members(&self) -> Vec<PeerId> {
         self.members
             .iter()

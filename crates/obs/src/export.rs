@@ -64,8 +64,11 @@ pub struct ExportHist {
     pub min_us: u64,
     /// Exact largest sample in microseconds.
     pub max_us: u64,
-    /// Sparse `(bucket representative µs, count)` pairs, ascending.
-    pub buckets: Vec<(u64, u64)>,
+    /// Sparse `(bucket lo µs, bucket hi µs, count)` triples, ascending,
+    /// where `[lo, hi)` is the half-open value range of each occupied
+    /// bucket — boundaries are explicit so downstream tooling never has
+    /// to re-derive the bucketing scheme from midpoints.
+    pub buckets: Vec<(u64, u64, u64)>,
 }
 
 /// Everything a [`Recorder`](crate::Recorder) captured, as plain data.
@@ -144,7 +147,7 @@ pub(crate) fn snapshot(inner: &Inner) -> Export {
             sum_us: h.sum_micros(),
             min_us: h.min().expect("non-empty").as_micros(),
             max_us: h.max().expect("non-empty").as_micros(),
-            buckets: h.bucket_counts(),
+            buckets: h.bucket_ranges(),
         })
         .collect();
 
@@ -235,12 +238,14 @@ impl Export {
             out.push_str(",\"max_us\":");
             out.push_str(&h.max_us.to_string());
             out.push_str(",\"buckets\":[");
-            for (i, (rep, n)) in h.buckets.iter().enumerate() {
+            for (i, (lo, hi, n)) in h.buckets.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
                 out.push('[');
-                out.push_str(&rep.to_string());
+                out.push_str(&lo.to_string());
+                out.push(',');
+                out.push_str(&hi.to_string());
                 out.push(',');
                 out.push_str(&n.to_string());
                 out.push(']');
@@ -341,9 +346,13 @@ impl Export {
                         .and_then(Value::as_arr)
                         .ok_or_else(|| err("bad hist"))?
                         .iter()
-                        .map(|pair| {
-                            let pair = pair.as_arr()?;
-                            Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+                        .map(|triple| {
+                            let triple = triple.as_arr()?;
+                            Some((
+                                triple.first()?.as_u64()?,
+                                triple.get(1)?.as_u64()?,
+                                triple.get(2)?.as_u64()?,
+                            ))
                         })
                         .collect::<Option<Vec<_>>>()
                         .ok_or_else(|| err("bad hist buckets"))?;
@@ -437,7 +446,20 @@ mod tests {
         assert_eq!(rtt.sum_us, 90_812);
         assert_eq!(rtt.min_us, 812);
         assert_eq!(rtt.max_us, 90_000);
-        assert_eq!(rtt.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 2);
+        assert_eq!(rtt.buckets.iter().map(|&(_, _, n)| n).sum::<u64>(), 2);
+        // Bucket bounds are explicit half-open ranges that cover the
+        // recorded samples.
+        for &(lo, hi, _) in &rtt.buckets {
+            assert!(lo < hi, "empty bucket range [{lo},{hi})");
+        }
+        assert!(rtt
+            .buckets
+            .iter()
+            .any(|&(lo, hi, _)| (lo..hi).contains(&812)));
+        assert!(rtt
+            .buckets
+            .iter()
+            .any(|&(lo, hi, _)| (lo..hi).contains(&90_000)));
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! Online availability ledger: liveness timelines, MTTF/MTTR, and
+//! coordinator churn, computed from heartbeats as they happen.
+//!
+//! The paper's availability table is post-hoc math over CSVs; the ledger
+//! reproduces it from a *live* run. Actors feed it two kinds of facts:
+//!
+//! * **peer liveness** — every heartbeat received marks the sender up;
+//!   when a failure detector declares a peer dead, the down stretch is
+//!   backdated to the peer's last proof of life (its final heartbeat), so
+//!   the recorded outage covers the silent window too, not just the time
+//!   after detection.
+//! * **service coordination** — a service (b-peer group) is *up* while
+//!   its members believe in a live coordinator. A suspected coordinator
+//!   opens a downtime interval at its last heartbeat; the next
+//!   `CoordinatorElected` closes it. The recorded MTTR is therefore
+//!   detection latency plus re-election time — the paper's failover
+//!   window — measured online.
+//!
+//! Memory is bounded: per timeline the ledger keeps running totals
+//! (exact) plus at most [`MAX_INTERVALS`] most-recent downtime intervals;
+//! older intervals fold into the aggregates and are counted in
+//! [`AvailabilityReport::dropped_intervals`]. Reports are cheap pure
+//! reads; the ledger itself is a cheap-to-clone shared handle, safe to
+//! hand to actors on different threads.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use whisper_simnet::{SimDuration, SimTime};
+
+/// Downtime intervals retained verbatim per timeline; older ones fold
+/// into the running totals.
+pub const MAX_INTERVALS: usize = 64;
+
+/// One outage: from last proof of life to recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DowntimeInterval {
+    /// Last time the failed party was provably alive (down stretches are
+    /// backdated to this point).
+    pub start: SimTime,
+    /// When a failure detector first declared it dead.
+    pub detected_at: SimTime,
+    /// When the outage ended (`None` while still ongoing).
+    pub end: Option<SimTime>,
+}
+
+impl DowntimeInterval {
+    /// Repair time for a closed interval: `end - start`.
+    pub fn duration(&self) -> Option<SimDuration> {
+        self.end.map(|e| e.since(self.start))
+    }
+
+    /// The part of the outage spent *noticing* the failure.
+    pub fn detection_latency(&self) -> SimDuration {
+        self.detected_at.since(self.start)
+    }
+}
+
+/// One up/down timeline (a peer's, or a service's).
+#[derive(Debug, Clone)]
+struct Timeline {
+    born: SimTime,
+    up: bool,
+    /// Start of the current up or down stretch.
+    current_since: SimTime,
+    /// Sum of *completed* up stretches.
+    closed_uptime_us: u64,
+    /// Sum of *completed* down stretches.
+    closed_downtime_us: u64,
+    /// Completed down stretches (= completed up stretches: every outage
+    /// ends one up stretch and every recovery ends one down stretch).
+    failures: u64,
+    intervals: Vec<DowntimeInterval>,
+    dropped_intervals: u64,
+    /// Coordinator currently believed in (services only).
+    coordinator: Option<u64>,
+    /// Distinct coordinator hand-overs (services only).
+    churn: u64,
+}
+
+impl Timeline {
+    fn new(now: SimTime) -> Self {
+        Timeline {
+            born: now,
+            up: true,
+            current_since: now,
+            closed_uptime_us: 0,
+            closed_downtime_us: 0,
+            failures: 0,
+            intervals: Vec::new(),
+            dropped_intervals: 0,
+            coordinator: None,
+            churn: 0,
+        }
+    }
+
+    fn go_down(&mut self, last_seen: SimTime, detected_at: SimTime) {
+        if !self.up {
+            return;
+        }
+        // The up stretch provably extends only to the last heartbeat.
+        let last_seen = last_seen.max(self.current_since);
+        self.closed_uptime_us += last_seen.since(self.current_since).as_micros();
+        self.up = false;
+        self.current_since = last_seen;
+        if self.intervals.len() == MAX_INTERVALS {
+            self.intervals.remove(0);
+            self.dropped_intervals += 1;
+        }
+        self.intervals.push(DowntimeInterval {
+            start: last_seen,
+            detected_at: detected_at.max(last_seen),
+            end: None,
+        });
+    }
+
+    fn go_up(&mut self, now: SimTime) {
+        if self.up {
+            return;
+        }
+        let now = now.max(self.current_since);
+        self.closed_downtime_us += now.since(self.current_since).as_micros();
+        self.failures += 1;
+        self.up = true;
+        self.current_since = now;
+        if let Some(open) = self.intervals.last_mut() {
+            if open.end.is_none() {
+                open.end = Some(now);
+            }
+        }
+    }
+
+    fn report(&self, now: SimTime, peer_or_coord: Option<u64>) -> AvailabilityReport {
+        let now = now.max(self.current_since);
+        let current = now.since(self.current_since).as_micros();
+        let (up_us, down_us) = if self.up {
+            (self.closed_uptime_us + current, self.closed_downtime_us)
+        } else {
+            (self.closed_uptime_us, self.closed_downtime_us + current)
+        };
+        let total = up_us + down_us;
+        AvailabilityReport {
+            born: self.born,
+            up: self.up,
+            uptime: SimDuration::from_micros(up_us),
+            downtime: SimDuration::from_micros(down_us),
+            availability: if total == 0 {
+                1.0
+            } else {
+                up_us as f64 / total as f64
+            },
+            mttf: (self.failures > 0)
+                .then(|| SimDuration::from_micros(self.closed_uptime_us / self.failures)),
+            mttr: (self.failures > 0)
+                .then(|| SimDuration::from_micros(self.closed_downtime_us / self.failures)),
+            failures: self.failures,
+            downtime_intervals: self.intervals.clone(),
+            dropped_intervals: self.dropped_intervals,
+            coordinator: peer_or_coord,
+            churn: self.churn,
+        }
+    }
+}
+
+/// A point-in-time availability summary for one peer or service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityReport {
+    /// First observation of this timeline.
+    pub born: SimTime,
+    /// Whether it is currently considered up.
+    pub up: bool,
+    /// Total observed uptime, including the current stretch.
+    pub uptime: SimDuration,
+    /// Total observed downtime, including the current stretch.
+    pub downtime: SimDuration,
+    /// `uptime / (uptime + downtime)`; 1.0 before anything has elapsed.
+    pub availability: f64,
+    /// Mean completed up stretch (mean time to failure), once a failure
+    /// has been observed.
+    pub mttf: Option<SimDuration>,
+    /// Mean completed down stretch (mean time to repair), once a repair
+    /// has been observed.
+    pub mttr: Option<SimDuration>,
+    /// Completed outages.
+    pub failures: u64,
+    /// Most recent downtime intervals (bounded by [`MAX_INTERVALS`]).
+    pub downtime_intervals: Vec<DowntimeInterval>,
+    /// Intervals folded into the aggregates after the cap was hit.
+    pub dropped_intervals: u64,
+    /// For services: the coordinator currently believed in.
+    pub coordinator: Option<u64>,
+    /// For services: distinct coordinator hand-overs observed.
+    pub churn: u64,
+}
+
+#[derive(Debug, Default)]
+struct LedgerInner {
+    peers: BTreeMap<u64, Timeline>,
+    services: BTreeMap<u64, Timeline>,
+}
+
+/// Shared, thread-safe availability ledger. Clones share state.
+#[derive(Debug, Clone, Default)]
+pub struct AvailabilityLedger {
+    inner: Arc<Mutex<LedgerInner>>,
+}
+
+impl AvailabilityLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        AvailabilityLedger::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, LedgerInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// A heartbeat (or any traffic) from `peer` arrived: it is provably
+    /// alive at `now`. Revives a peer previously declared down.
+    pub fn peer_heartbeat(&self, peer: u64, now: SimTime) {
+        let mut inner = self.lock();
+        let t = inner
+            .peers
+            .entry(peer)
+            .or_insert_with(|| Timeline::new(now));
+        t.go_up(now);
+    }
+
+    /// A failure detector declared `peer` dead: it was last heard from at
+    /// `last_seen` and the silence was noticed at `detected_at`. The down
+    /// stretch is backdated to `last_seen`. No-op if already down.
+    pub fn peer_down(&self, peer: u64, last_seen: SimTime, detected_at: SimTime) {
+        let mut inner = self.lock();
+        let t = inner
+            .peers
+            .entry(peer)
+            .or_insert_with(|| Timeline::new(last_seen));
+        t.go_down(last_seen, detected_at);
+    }
+
+    /// A coordinator was announced for `service`. Closes any open
+    /// downtime interval and counts a hand-over when the coordinator
+    /// actually changed (duplicate announcements from other members of
+    /// the same election are deduplicated).
+    pub fn coordinator_elected(&self, service: u64, coordinator: u64, now: SimTime) {
+        let mut inner = self.lock();
+        let t = inner
+            .services
+            .entry(service)
+            .or_insert_with(|| Timeline::new(now));
+        t.go_up(now);
+        if t.coordinator != Some(coordinator) {
+            if t.coordinator.is_some() {
+                t.churn += 1;
+            }
+            t.coordinator = Some(coordinator);
+        }
+    }
+
+    /// A member's failure detector suspected `service`'s current
+    /// coordinator. Opens a downtime interval backdated to the
+    /// coordinator's `last_seen`. Stale suspicions (of a coordinator the
+    /// service no longer believes in) and duplicate reports are no-ops.
+    pub fn coordinator_down(
+        &self,
+        service: u64,
+        coordinator: u64,
+        last_seen: SimTime,
+        detected_at: SimTime,
+    ) {
+        let mut inner = self.lock();
+        if let Some(t) = inner.services.get_mut(&service) {
+            if t.coordinator == Some(coordinator) {
+                t.go_down(last_seen, detected_at);
+            }
+        }
+    }
+
+    /// Availability summary for one service, evaluated at `now`.
+    pub fn service_report(&self, service: u64, now: SimTime) -> Option<AvailabilityReport> {
+        let inner = self.lock();
+        inner.services.get(&service).map(|t| {
+            let coord = t.up.then_some(t.coordinator).flatten();
+            t.report(now, coord)
+        })
+    }
+
+    /// Availability summary for one peer, evaluated at `now`.
+    pub fn peer_report(&self, peer: u64, now: SimTime) -> Option<AvailabilityReport> {
+        let inner = self.lock();
+        inner.peers.get(&peer).map(|t| t.report(now, None))
+    }
+
+    /// All services the ledger has seen, ascending.
+    pub fn services(&self) -> Vec<u64> {
+        self.lock().services.keys().copied().collect()
+    }
+
+    /// All peers the ledger has seen, ascending.
+    pub fn peers(&self) -> Vec<u64> {
+        self.lock().peers.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_micros(ms * 1000)
+    }
+
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn service_tracks_one_kill_and_reelection() {
+        let ledger = AvailabilityLedger::new();
+        ledger.coordinator_elected(1, 9, t(0));
+        // Coordinator 9 last beaconed at 100 ms; silence noticed at 250 ms;
+        // peer 8 took over at 400 ms.
+        ledger.coordinator_down(1, 9, t(100), t(250));
+        // A second member notices too — must not open another interval.
+        ledger.coordinator_down(1, 9, t(110), t(260));
+        ledger.coordinator_elected(1, 8, t(400));
+        ledger.coordinator_elected(1, 8, t(405)); // duplicate announcement
+
+        let r = ledger.service_report(1, t(1000)).unwrap();
+        assert_eq!(r.failures, 1);
+        assert_eq!(r.downtime_intervals.len(), 1);
+        let iv = r.downtime_intervals[0];
+        assert_eq!(iv.start, t(100));
+        assert_eq!(iv.detected_at, t(250));
+        assert_eq!(iv.end, Some(t(400)));
+        assert_eq!(iv.duration(), Some(d(300)));
+        assert_eq!(iv.detection_latency(), d(150));
+        assert_eq!(r.mttr, Some(d(300)));
+        assert_eq!(r.mttf, Some(d(100)));
+        assert_eq!(r.uptime, d(700)); // 100 before + 600 after
+        assert_eq!(r.downtime, d(300));
+        assert!((r.availability - 0.7).abs() < 1e-12);
+        assert_eq!(r.churn, 1);
+        assert_eq!(r.coordinator, Some(8));
+    }
+
+    #[test]
+    fn stale_suspicion_of_old_coordinator_is_ignored() {
+        let ledger = AvailabilityLedger::new();
+        ledger.coordinator_elected(1, 9, t(0));
+        ledger.coordinator_down(1, 9, t(50), t(80));
+        ledger.coordinator_elected(1, 8, t(100));
+        // A laggard still suspects the *old* coordinator: no new outage.
+        ledger.coordinator_down(1, 9, t(60), t(120));
+        let r = ledger.service_report(1, t(200)).unwrap();
+        assert!(r.up);
+        assert_eq!(r.failures, 1);
+    }
+
+    #[test]
+    fn peer_timeline_backdates_to_last_seen_and_revives() {
+        let ledger = AvailabilityLedger::new();
+        ledger.peer_heartbeat(5, t(0));
+        ledger.peer_heartbeat(5, t(40));
+        ledger.peer_down(5, t(40), t(130));
+        assert!(!ledger.peer_report(5, t(150)).unwrap().up);
+        ledger.peer_heartbeat(5, t(200));
+        let r = ledger.peer_report(5, t(300)).unwrap();
+        assert!(r.up);
+        assert_eq!(r.downtime, d(160)); // 40 → 200
+        assert_eq!(r.uptime, d(140)); // 0→40 plus 200→300
+        assert_eq!(r.mttr, Some(d(160)));
+    }
+
+    #[test]
+    fn availability_is_uptime_over_total() {
+        let ledger = AvailabilityLedger::new();
+        ledger.peer_heartbeat(1, t(0));
+        ledger.peer_down(1, t(100), t(150));
+        ledger.peer_heartbeat(1, t(300));
+        let r = ledger.peer_report(1, t(500)).unwrap();
+        let total = r.uptime.as_micros() + r.downtime.as_micros();
+        assert_eq!(total, 500_000);
+        assert!(
+            (r.availability - r.uptime.as_micros() as f64 / total as f64).abs() < 1e-9,
+            "availability must equal uptime/total"
+        );
+    }
+
+    #[test]
+    fn interval_memory_is_bounded() {
+        let ledger = AvailabilityLedger::new();
+        ledger.coordinator_elected(1, 1, t(0));
+        let mut clock = 0;
+        for k in 0..200u64 {
+            clock += 10;
+            ledger.coordinator_down(1, 1 + (k % 2), t(clock), t(clock + 1));
+            clock += 10;
+            ledger.coordinator_elected(1, 1 + ((k + 1) % 2), t(clock));
+        }
+        let r = ledger.service_report(1, t(clock + 1)).unwrap();
+        assert_eq!(r.downtime_intervals.len() as u64 + r.dropped_intervals, 200);
+        assert_eq!(r.downtime_intervals.len(), MAX_INTERVALS);
+        assert_eq!(r.failures, 200);
+        // Aggregates stay exact even after intervals are dropped.
+        assert_eq!(r.downtime, d(200 * 10));
+    }
+
+    #[test]
+    fn fresh_timeline_is_fully_available() {
+        let ledger = AvailabilityLedger::new();
+        ledger.peer_heartbeat(3, t(7));
+        let r = ledger.peer_report(3, t(7)).unwrap();
+        assert_eq!(r.availability, 1.0);
+        assert_eq!(r.mttr, None);
+        assert_eq!(r.mttf, None);
+        assert!(ledger.service_report(99, t(0)).is_none());
+    }
+}

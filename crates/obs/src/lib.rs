@@ -55,9 +55,13 @@ use whisper_simnet::{Histogram, NetHook, NodeId, SimDuration, SimTime, TraceOutc
 
 pub mod export;
 mod json;
+pub mod ledger;
 mod render;
+pub mod scope;
 
 pub use export::Export;
+pub use ledger::{AvailabilityLedger, AvailabilityReport, DowntimeInterval};
+pub use scope::{ElectionView, HistSummary, NodeRole, NodeSnapshot, RegistryDump};
 
 /// Identity of one end-to-end request (or other traced activity, such as
 /// an election run), minted by [`Recorder::begin_request`].

@@ -1,0 +1,467 @@
+//! Typed node snapshots for the in-band introspection plane
+//! ("whisper-scope").
+//!
+//! A [`NodeSnapshot`] is what a live node answers when asked "who are you,
+//! who do you think is coordinator, how healthy are your peers?". It is a
+//! plain-data value with a full wire codec, so introspection requests ride
+//! the same message plane as SOAP traffic and work identically over the
+//! deterministic simulator, threadnet, and real TCP sockets.
+//!
+//! Peers, groups, and pipes are identified by their raw `u64` values here:
+//! this crate sits below the p2p substrate in the dependency graph (the
+//! substrate depends on *it* for tracing), so it cannot name those types —
+//! and an introspection dump is exactly the place where opaque numeric ids
+//! are the honest representation.
+
+use std::borrow::Cow;
+use whisper_simnet::MetricsSnapshot;
+use whisper_wire::{Decode, Encode, Reader, WireError};
+
+/// What kind of actor answered the snapshot request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// The SWS-proxy (client-facing semantic gateway).
+    Proxy,
+    /// A b-peer inside a redundancy group.
+    BPeer,
+    /// A rendezvous super-peer (discovery hub).
+    Rendezvous,
+}
+
+impl NodeRole {
+    /// Short lowercase label for tables and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NodeRole::Proxy => "proxy",
+            NodeRole::BPeer => "b-peer",
+            NodeRole::Rendezvous => "rendezvous",
+        }
+    }
+}
+
+impl Encode for NodeRole {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            NodeRole::Proxy => 0,
+            NodeRole::BPeer => 1,
+            NodeRole::Rendezvous => 2,
+        });
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for NodeRole {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(NodeRole::Proxy),
+            1 => Ok(NodeRole::BPeer),
+            2 => Ok(NodeRole::Rendezvous),
+            tag => Err(WireError::BadTag {
+                what: "NodeRole",
+                tag,
+            }),
+        }
+    }
+}
+
+/// A b-peer's view of its group election at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ElectionView {
+    /// The peer currently believed to be coordinator, if any.
+    pub coordinator: Option<u64>,
+    /// Whether the answering node itself is that coordinator.
+    pub is_coordinator: bool,
+    /// The election term (monotone across elections and coordinator
+    /// announcements).
+    pub term: u64,
+    /// Elections this node has initiated.
+    pub elections_started: u64,
+    /// Protocol phase name (`idle`, `awaiting-answers`,
+    /// `awaiting-coordinator`).
+    pub phase: String,
+}
+
+impl Encode for ElectionView {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.coordinator.encode_into(out);
+        self.is_coordinator.encode_into(out);
+        self.term.encode_into(out);
+        self.elections_started.encode_into(out);
+        self.phase.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.coordinator.encoded_len()
+            + self.is_coordinator.encoded_len()
+            + self.term.encoded_len()
+            + self.elections_started.encoded_len()
+            + self.phase.encoded_len()
+    }
+}
+
+impl Decode for ElectionView {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ElectionView {
+            coordinator: Option::decode_from(r)?,
+            is_coordinator: bool::decode_from(r)?,
+            term: u64::decode_from(r)?,
+            elections_started: u64::decode_from(r)?,
+            phase: String::decode_from(r)?,
+        })
+    }
+}
+
+/// Aggregate summary of one named duration histogram (bounded: no
+/// per-bucket data crosses the wire in a snapshot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Histogram name in the registry.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of samples in microseconds.
+    pub sum_us: u64,
+    /// Smallest sample in microseconds.
+    pub min_us: u64,
+    /// Largest sample in microseconds.
+    pub max_us: u64,
+}
+
+impl Encode for HistSummary {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.name.encode_into(out);
+        self.count.encode_into(out);
+        self.sum_us.encode_into(out);
+        self.min_us.encode_into(out);
+        self.max_us.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.name.encoded_len()
+            + self.count.encoded_len()
+            + self.sum_us.encoded_len()
+            + self.min_us.encoded_len()
+            + self.max_us.encoded_len()
+    }
+}
+
+impl Decode for HistSummary {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(HistSummary {
+            name: String::decode_from(r)?,
+            count: u64::decode_from(r)?,
+            sum_us: u64::decode_from(r)?,
+            min_us: u64::decode_from(r)?,
+            max_us: u64::decode_from(r)?,
+        })
+    }
+}
+
+/// A dump of a node's obs metrics registry: counters, gauges, and
+/// duration-histogram summaries, each ascending by name.
+///
+/// Gauges are `i64`; they travel as their two's-complement bit pattern in
+/// a `u64` varint, which round-trips every value exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegistryDump {
+    /// Named counters.
+    pub counters: Vec<(String, u64)>,
+    /// Named gauges.
+    pub gauges: Vec<(String, i64)>,
+    /// Duration histogram summaries.
+    pub hists: Vec<HistSummary>,
+}
+
+impl Encode for RegistryDump {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.counters.encode_into(out);
+        let raw: Vec<(String, u64)> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), *v as u64))
+            .collect();
+        raw.encode_into(out);
+        self.hists.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        let raw: Vec<(String, u64)> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), *v as u64))
+            .collect();
+        self.counters.encoded_len() + raw.encoded_len() + self.hists.encoded_len()
+    }
+}
+
+impl Decode for RegistryDump {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let counters = Vec::decode_from(r)?;
+        let raw: Vec<(String, u64)> = Vec::decode_from(r)?;
+        let gauges = raw.into_iter().map(|(k, v)| (k, v as i64)).collect();
+        let hists = Vec::decode_from(r)?;
+        Ok(RegistryDump {
+            counters,
+            gauges,
+            hists,
+        })
+    }
+}
+
+/// Everything a node reveals about itself to the introspection plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    /// What kind of actor answered.
+    pub role: NodeRole,
+    /// The answering node's peer id (raw value).
+    pub peer: u64,
+    /// The b-peer group it belongs to, when it has one.
+    pub group: Option<u64>,
+    /// Election state, for actors that take part in one.
+    pub election: Option<ElectionView>,
+    /// `(peer, age µs)` since each monitored peer was last heard from, at
+    /// snapshot time, ascending by peer id.
+    pub heartbeat_ages_us: Vec<(u64, u64)>,
+    /// Cached `(group, coordinator)` pipe bindings (the proxy's re-binding
+    /// cache), ascending by group id.
+    pub bindings: Vec<(u64, u64)>,
+    /// In-flight work parked at this node: pending requests on the proxy,
+    /// stashed-while-busy requests on a b-peer.
+    pub queue_depth: u64,
+    /// Messages this node has sent, counted per kind with byte totals.
+    pub sent: MetricsSnapshot,
+    /// Messages this node has received, counted per kind with byte totals.
+    pub received: MetricsSnapshot,
+    /// Dump of the node's obs metrics registry (empty when tracing is not
+    /// enabled).
+    pub registry: RegistryDump,
+}
+
+impl NodeSnapshot {
+    /// A snapshot with everything empty, for building up field by field.
+    pub fn empty(role: NodeRole, peer: u64) -> Self {
+        NodeSnapshot {
+            role,
+            peer,
+            group: None,
+            election: None,
+            heartbeat_ages_us: Vec::new(),
+            bindings: Vec::new(),
+            queue_depth: 0,
+            sent: MetricsSnapshot::default(),
+            received: MetricsSnapshot::default(),
+            registry: RegistryDump::default(),
+        }
+    }
+
+    /// The coordinator this node currently believes in, if any.
+    pub fn coordinator(&self) -> Option<u64> {
+        self.election.as_ref().and_then(|e| e.coordinator)
+    }
+}
+
+impl Encode for NodeSnapshot {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.role.encode_into(out);
+        self.peer.encode_into(out);
+        self.group.encode_into(out);
+        self.election.encode_into(out);
+        self.heartbeat_ages_us.encode_into(out);
+        self.bindings.encode_into(out);
+        self.queue_depth.encode_into(out);
+        self.sent.encode_into(out);
+        self.received.encode_into(out);
+        self.registry.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.role.encoded_len()
+            + self.peer.encoded_len()
+            + self.group.encoded_len()
+            + self.election.encoded_len()
+            + self.heartbeat_ages_us.encoded_len()
+            + self.bindings.encoded_len()
+            + self.queue_depth.encoded_len()
+            + self.sent.encoded_len()
+            + self.received.encoded_len()
+            + self.registry.encoded_len()
+    }
+}
+
+impl Decode for NodeSnapshot {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NodeSnapshot {
+            role: NodeRole::decode_from(r)?,
+            peer: u64::decode_from(r)?,
+            group: Option::decode_from(r)?,
+            election: Option::decode_from(r)?,
+            heartbeat_ages_us: Vec::decode_from(r)?,
+            bindings: Vec::decode_from(r)?,
+            queue_depth: u64::decode_from(r)?,
+            sent: MetricsSnapshot::decode_from(r)?,
+            received: MetricsSnapshot::decode_from(r)?,
+            registry: RegistryDump::decode_from(r)?,
+        })
+    }
+}
+
+impl crate::Recorder {
+    /// Dumps the registry's counters (with net-hook counts merged in, as
+    /// in the JSONL export), gauges, and histogram summaries into a
+    /// wire-encodable [`RegistryDump`] for a [`NodeSnapshot`].
+    pub fn registry_dump(&self) -> RegistryDump {
+        let inner = self.lock();
+        let mut counters: Vec<(String, u64)> = inner
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone().into_owned(), v))
+            .collect();
+        for (kind, &n) in &inner.net_sent {
+            counters.push((format!("net.sent.{kind}"), n));
+        }
+        for (kind, &n) in &inner.net_dropped {
+            counters.push((format!("net.dropped.{kind}"), n));
+        }
+        if inner.net_bytes > 0 {
+            counters.push(("net.bytes_sent".into(), inner.net_bytes));
+        }
+        counters.sort();
+        let gauges = inner
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone().into_owned(), v))
+            .collect();
+        let hists = inner
+            .durations
+            .iter()
+            .map(|(k, h)| HistSummary {
+                name: match k {
+                    Cow::Borrowed(s) => (*s).to_string(),
+                    Cow::Owned(s) => s.clone(),
+                },
+                count: h.count() as u64,
+                sum_us: h.sum_micros(),
+                min_us: h.min().map(|d| d.as_micros()).unwrap_or(0),
+                max_us: h.max().map(|d| d.as_micros()).unwrap_or(0),
+            })
+            .collect();
+        RegistryDump {
+            counters,
+            gauges,
+            hists,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use whisper_simnet::SimDuration;
+
+    fn sample() -> NodeSnapshot {
+        NodeSnapshot {
+            role: NodeRole::BPeer,
+            peer: 7,
+            group: Some(2),
+            election: Some(ElectionView {
+                coordinator: Some(9),
+                is_coordinator: false,
+                term: 4,
+                elections_started: 1,
+                phase: "idle".into(),
+            }),
+            heartbeat_ages_us: vec![(6, 120), (9, 450)],
+            bindings: vec![(2, 9)],
+            queue_depth: 3,
+            sent: MetricsSnapshot {
+                sent: 10,
+                bytes_sent: 512,
+                by_kind: vec![("heartbeat".into(), 8), ("peer-response".into(), 2)],
+                ..Default::default()
+            },
+            received: MetricsSnapshot {
+                sent: 12,
+                bytes_sent: 640,
+                by_kind: vec![("heartbeat".into(), 12)],
+                ..Default::default()
+            },
+            registry: RegistryDump {
+                counters: vec![("requests.handled".into(), 5)],
+                gauges: vec![("queue.depth".into(), -3)],
+                hists: vec![HistSummary {
+                    name: "proxy.rtt".into(),
+                    count: 2,
+                    sum_us: 900,
+                    min_us: 400,
+                    max_us: 500,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let s = sample();
+        let bytes = s.encode();
+        assert_eq!(bytes.len(), s.encoded_len());
+        assert_eq!(NodeSnapshot::decode(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let s = NodeSnapshot::empty(NodeRole::Rendezvous, 1);
+        assert_eq!(NodeSnapshot::decode(&s.encode()).unwrap(), s);
+        assert_eq!(s.coordinator(), None);
+    }
+
+    #[test]
+    fn negative_gauges_survive_the_codec() {
+        let mut s = NodeSnapshot::empty(NodeRole::Proxy, 1);
+        s.registry.gauges = vec![("a".into(), i64::MIN), ("b".into(), -1), ("c".into(), 0)];
+        assert_eq!(NodeSnapshot::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn bad_role_tag_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] = 9;
+        assert_eq!(
+            NodeSnapshot::decode(&bytes),
+            Err(WireError::BadTag {
+                what: "NodeRole",
+                tag: 9
+            })
+        );
+    }
+
+    #[test]
+    fn registry_dump_merges_net_counters_like_the_export() {
+        let rec = Recorder::new();
+        rec.incr("requests.handled", 2);
+        rec.set_gauge("depth", -4);
+        rec.record_duration("rtt", SimDuration::from_micros(250));
+        {
+            use whisper_simnet::{NetHook, NodeId, SimTime};
+            let mut hook = rec.clone();
+            hook.on_send(
+                SimTime::ZERO,
+                NodeId::from_index(0),
+                NodeId::from_index(1),
+                "ping",
+                32,
+            );
+        }
+        let dump = rec.registry_dump();
+        let get = |name: &str| {
+            dump.counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|&(_, v)| v)
+        };
+        assert_eq!(get("requests.handled"), Some(2));
+        assert_eq!(get("net.sent.ping"), Some(1));
+        assert_eq!(get("net.bytes_sent"), Some(32));
+        assert_eq!(dump.gauges, vec![("depth".to_string(), -4)]);
+        assert_eq!(dump.hists.len(), 1);
+        assert_eq!(dump.hists[0].sum_us, 250);
+    }
+}

@@ -4,7 +4,7 @@
 //! arbitrary interleavings of requests, spans, instants and metrics.
 
 use proptest::prelude::*;
-use whisper_obs::{Export, Recorder, RequestId, SpanId};
+use whisper_obs::{AvailabilityLedger, Export, Recorder, RequestId, SpanId};
 use whisper_simnet::{SimDuration, SimTime};
 
 const NAMES: [&str; 5] = ["alpha", "beta", "gamma", "delta", "epsilon"];
@@ -122,5 +122,81 @@ proptest! {
         let parsed = Export::parse_jsonl(&export.to_jsonl());
         prop_assert!(parsed.is_ok(), "export did not parse: {:?}", parsed.err());
         prop_assert_eq!(parsed.unwrap(), export);
+    }
+}
+
+/// Microseconds after the epoch as a [`SimTime`].
+fn at(us: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_micros(us)
+}
+
+/// Replays a random up/down/election script against a fresh ledger,
+/// keeping time monotone, and returns the ledger plus the final clock.
+fn drive_ledger(script: &[(u8, u8, u16)]) -> (AvailabilityLedger, SimTime) {
+    const SERVICE: u64 = 1;
+    let ledger = AvailabilityLedger::new();
+    let mut now_us = 0u64;
+    for &(op, sel, dt) in script {
+        now_us += dt as u64 + 1;
+        let peer = u64::from(sel % 4) + 1;
+        // last proof of life a little before the detection
+        let last_seen = at(now_us - u64::from(dt / 2));
+        match op % 4 {
+            0 => ledger.peer_heartbeat(peer, at(now_us)),
+            1 => ledger.peer_down(peer, last_seen, at(now_us)),
+            2 => ledger.coordinator_elected(SERVICE, peer, at(now_us)),
+            _ => ledger.coordinator_down(SERVICE, peer, last_seen, at(now_us)),
+        }
+    }
+    (ledger, at(now_us + 17))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// For every peer and service timeline, whatever the event
+    /// interleaving: the reported availability is exactly
+    /// `uptime / (uptime + downtime)`, and the observed time splits
+    /// entirely into those two buckets (`uptime + downtime = now - born`).
+    #[test]
+    fn ledger_availability_is_uptime_over_total(
+        script in proptest::collection::vec((0u8..4, any::<u8>(), 0u16..2_000), 1..60),
+    ) {
+        let (ledger, now) = drive_ledger(&script);
+        let reports = ledger
+            .peers()
+            .into_iter()
+            .filter_map(|p| ledger.peer_report(p, now))
+            .chain(
+                ledger
+                    .services()
+                    .into_iter()
+                    .filter_map(|s| ledger.service_report(s, now)),
+            );
+        let mut saw_one = false;
+        for r in reports {
+            saw_one = true;
+            let up = r.uptime.as_micros();
+            let down = r.downtime.as_micros();
+            let total = up + down;
+            prop_assert_eq!(
+                total,
+                now.since(r.born).as_micros(),
+                "observed time must split into uptime + downtime"
+            );
+            let expected = if total == 0 { 1.0 } else { up as f64 / total as f64 };
+            prop_assert!(
+                (r.availability - expected).abs() < 1e-9,
+                "availability {} != uptime/total {}",
+                r.availability,
+                expected
+            );
+            // MTTR/MTTF are means of closed stretches, so they can never
+            // exceed the totals they average.
+            if let Some(mttr) = r.mttr {
+                prop_assert!(mttr.as_micros() * r.failures <= down);
+            }
+        }
+        prop_assert!(saw_one, "at least one timeline exists");
     }
 }

@@ -86,6 +86,29 @@ impl FailureDetector {
     pub fn monitored_count(&self) -> usize {
         self.last_seen.len()
     }
+
+    /// When `peer` was last heard from, if it is monitored.
+    pub fn last_seen(&self, peer: PeerId) -> Option<SimTime> {
+        self.last_seen.get(&peer).copied()
+    }
+
+    /// `(peer, silence)` for every monitored peer at `now`, in id order:
+    /// how long each has gone without a sign of life (zero for a last-seen
+    /// timestamp at or after `now`). This is the "heartbeat age" column of
+    /// an introspection snapshot.
+    pub fn ages(&self, now: SimTime) -> Vec<(PeerId, SimDuration)> {
+        self.last_seen
+            .iter()
+            .map(|(&p, &seen)| {
+                let silence = if seen >= now {
+                    SimDuration::ZERO
+                } else {
+                    now.since(seen)
+                };
+                (p, silence)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +177,22 @@ mod tests {
         // now earlier than last-seen (can happen with clamped clocks)
         assert!(d.suspected(t(0)).is_empty());
         assert_eq!(d.alive(t(0)), vec![PeerId::new(1)]);
+        assert_eq!(d.ages(t(0)), vec![(PeerId::new(1), SimDuration::ZERO)]);
+    }
+
+    #[test]
+    fn ages_and_last_seen_expose_the_heartbeat_view() {
+        let mut d = fd();
+        d.record(PeerId::new(2), t(10));
+        d.record(PeerId::new(1), t(40));
+        assert_eq!(d.last_seen(PeerId::new(2)), Some(t(10)));
+        assert_eq!(d.last_seen(PeerId::new(9)), None);
+        assert_eq!(
+            d.ages(t(50)),
+            vec![
+                (PeerId::new(1), SimDuration::from_millis(10)),
+                (PeerId::new(2), SimDuration::from_millis(40)),
+            ]
+        );
     }
 }

@@ -69,7 +69,7 @@ mod time;
 pub use engine::{Actor, Context, NetHook, NodeId, SimNet, TimerId, TraceEvent, TraceOutcome};
 pub use faults::FaultPlan;
 pub use link::{LinkModel, PerfectLink, SwitchedLan};
-pub use metrics::{Histogram, Metrics};
+pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use time::{SimDuration, SimTime};
 
 /// A message type that can travel over the simulated (or threaded) network.

@@ -3,6 +3,7 @@
 use crate::time::SimDuration;
 use std::borrow::Cow;
 use std::collections::BTreeMap;
+use whisper_wire::{Decode, Encode, Reader, WireError};
 
 /// Values below this are tracked in exact 1 µs buckets.
 const LINEAR_CUTOFF: u64 = 256;
@@ -50,6 +51,19 @@ fn representative(bucket: u32) -> u64 {
     let sub = (rest % SUB_BUCKETS as u32) as u64;
     let width = 1u64 << (exp - SUB_SHIFT);
     (1u64 << exp) + sub * width + width / 2
+}
+
+/// Half-open value range `[lo, hi)` covered by a bucket, in microseconds.
+fn bounds(bucket: u32) -> (u64, u64) {
+    if bucket < LINEAR_CUTOFF as u32 {
+        return (bucket as u64, bucket as u64 + 1);
+    }
+    let rest = bucket - LINEAR_CUTOFF as u32;
+    let exp = LINEAR_BITS + rest / SUB_BUCKETS as u32;
+    let sub = (rest % SUB_BUCKETS as u32) as u64;
+    let width = 1u64 << (exp - SUB_SHIFT);
+    let lo = (1u64 << exp) + sub * width;
+    (lo, lo + width)
 }
 
 impl Histogram {
@@ -144,6 +158,20 @@ impl Histogram {
             .map(|(&b, &n)| (representative(b), n))
             .collect()
     }
+
+    /// Sparse `(lo µs, hi µs, sample count)` triples in ascending order,
+    /// where `[lo, hi)` is the half-open value range of each occupied
+    /// bucket. Unlike [`Histogram::bucket_counts`] (midpoints only), this
+    /// lets exporters reconstruct bucket boundaries exactly.
+    pub fn bucket_ranges(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .map(|(&b, &n)| {
+                let (lo, hi) = bounds(b);
+                (lo, hi, n)
+            })
+            .collect()
+    }
 }
 
 /// Counters accumulated by the engine over one run.
@@ -159,17 +187,22 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    pub(crate) fn new() -> Self {
+    /// Creates a zeroed counter set. Public so actors can keep a private
+    /// per-node tally (e.g. for introspection snapshots) with the same
+    /// accounting rules as the engine-level registry.
+    pub fn new() -> Self {
         Metrics::default()
     }
 
-    pub(crate) fn on_send(&mut self, kind: impl Into<Cow<'static, str>>, bytes: usize) {
+    /// Counts one outgoing message of `kind` carrying `bytes` bytes.
+    pub fn on_send(&mut self, kind: impl Into<Cow<'static, str>>, bytes: usize) {
         self.sent += 1;
         self.bytes_sent += bytes as u64;
         *self.by_kind.entry(kind.into()).or_insert(0) += 1;
     }
 
-    pub(crate) fn on_deliver(&mut self) {
+    /// Counts one message that reached a live node.
+    pub fn on_deliver(&mut self) {
         self.delivered += 1;
     }
 
@@ -232,6 +265,112 @@ impl Metrics {
     /// doesn't pollute measurements).
     pub fn reset(&mut self) {
         *self = Metrics::default();
+    }
+
+    /// A plain-data copy of the counters, detached from the live registry.
+    ///
+    /// This is what introspection planes should ship over the wire: it is
+    /// `Encode`/`Decode`, owns its strings, and taking one does not hold the
+    /// registry lock any longer than a field-by-field copy.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            sent: self.sent,
+            delivered: self.delivered,
+            lost: self.dropped_lost,
+            to_down: self.dropped_down,
+            partitioned: self.dropped_partition,
+            bytes_sent: self.bytes_sent,
+            by_kind: self
+                .by_kind
+                .iter()
+                .map(|(k, &n)| (k.clone().into_owned(), n))
+                .collect(),
+        }
+    }
+}
+
+/// A detached, wire-encodable copy of [`Metrics`] counters.
+///
+/// Field order in `by_kind` is ascending by kind name (inherited from the
+/// registry's `BTreeMap`), which keeps the encoding canonical: two snapshots
+/// of equal counters encode to identical bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages that reached a live node.
+    pub delivered: u64,
+    /// Messages dropped by the loss model.
+    pub lost: u64,
+    /// Messages dropped because the destination was crashed.
+    pub to_down: u64,
+    /// Messages dropped by a network partition.
+    pub partitioned: u64,
+    /// Total bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Per-kind send counts, ascending by kind name.
+    pub by_kind: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Total messages handed to the network.
+    pub fn messages_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages that reached a live node.
+    pub fn messages_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total bytes handed to the network.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Count for one kind (0 when never seen).
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.by_kind
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    }
+}
+
+impl Encode for MetricsSnapshot {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.sent.encode_into(out);
+        self.delivered.encode_into(out);
+        self.lost.encode_into(out);
+        self.to_down.encode_into(out);
+        self.partitioned.encode_into(out);
+        self.bytes_sent.encode_into(out);
+        self.by_kind.encode_into(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.sent.encoded_len()
+            + self.delivered.encoded_len()
+            + self.lost.encoded_len()
+            + self.to_down.encoded_len()
+            + self.partitioned.encoded_len()
+            + self.bytes_sent.encoded_len()
+            + self.by_kind.encoded_len()
+    }
+}
+
+impl Decode for MetricsSnapshot {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(MetricsSnapshot {
+            sent: u64::decode_from(r)?,
+            delivered: u64::decode_from(r)?,
+            lost: u64::decode_from(r)?,
+            to_down: u64::decode_from(r)?,
+            partitioned: u64::decode_from(r)?,
+            bytes_sent: u64::decode_from(r)?,
+            by_kind: Vec::decode_from(r)?,
+        })
     }
 }
 

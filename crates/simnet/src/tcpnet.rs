@@ -19,9 +19,10 @@
 //! or fails to parse terminates that link's reader (the TCP analogue of a
 //! broken peer) without panicking the node.
 
-use crate::engine::{Actor, NodeId};
-use crate::metrics::Metrics;
+use crate::engine::{Actor, NetHook, NodeId};
+use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::threadnet::{Ctl, Holder, Outbound, Shared, Spawnable};
+use crate::time::SimTime;
 use crate::Wire;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
@@ -33,6 +34,9 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 use whisper_wire::{read_frame, write_frame, Decode, Encode};
 
+/// The shared, thread-safe form of an installed [`NetHook`].
+type SharedHook = Arc<Mutex<Box<dyn NetHook + Send>>>;
+
 /// TCP-backed transport: encode, frame, write to the link's socket.
 struct TcpOutbound<M> {
     n: usize,
@@ -41,12 +45,26 @@ struct TcpOutbound<M> {
     /// In-process channels for self-sends (no socket to ourselves).
     loopback: Vec<Sender<Ctl<M>>>,
     metrics: Arc<Mutex<Metrics>>,
+    hook: Option<SharedHook>,
+    /// Wall-clock origin shared with the node loops, so hook timestamps
+    /// line up with actor-visible [`SimTime`]s.
+    epoch: Instant,
+}
+
+impl<M> TcpOutbound<M> {
+    fn notify_hook(&self, from: NodeId, to: NodeId, kind: &'static str, bytes: usize) {
+        if let Some(hook) = &self.hook {
+            let now = SimTime::from_micros(self.epoch.elapsed().as_micros() as u64);
+            hook.lock().on_send(now, from, to, kind, bytes);
+        }
+    }
 }
 
 impl<M: Wire + Encode> Outbound<M> for TcpOutbound<M> {
     fn send(&self, from: NodeId, to: NodeId, msg: M) {
         if from == to {
             self.metrics.lock().on_send(msg.kind(), msg.wire_size());
+            self.notify_hook(from, to, msg.kind(), msg.wire_size());
             if let Some(tx) = self.loopback.get(to.index()) {
                 if tx.send(Ctl::Msg(from, msg)).is_ok() {
                     self.metrics.lock().on_deliver();
@@ -56,6 +74,7 @@ impl<M: Wire + Encode> Outbound<M> for TcpOutbound<M> {
         }
         let bytes = msg.encode();
         self.metrics.lock().on_send(msg.kind(), bytes.len());
+        self.notify_hook(from, to, msg.kind(), bytes.len());
         let idx = from.index() * self.n + to.index();
         if let Some(writer) = self.writers.get(idx).and_then(Option::as_ref) {
             // A write error means the peer's link is gone (e.g. during
@@ -97,6 +116,7 @@ fn connect_pair() -> io::Result<(TcpStream, TcpStream)> {
 /// so the same wiring code can target any of the three runtimes.
 pub struct TcpNetBuilder<M: Wire + Encode + Decode> {
     actors: Vec<Box<dyn Spawnable<M>>>,
+    hook: Option<Box<dyn NetHook + Send>>,
 }
 
 impl<M: Wire + Encode + Decode> Default for TcpNetBuilder<M> {
@@ -108,7 +128,21 @@ impl<M: Wire + Encode + Decode> Default for TcpNetBuilder<M> {
 impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
     /// Creates an empty builder.
     pub fn new() -> Self {
-        TcpNetBuilder { actors: Vec::new() }
+        TcpNetBuilder {
+            actors: Vec::new(),
+            hook: None,
+        }
+    }
+
+    /// Installs a network hook observing every send on the transport —
+    /// socket writes and loopback self-sends alike — with the same
+    /// callback the in-process engine uses, so per-kind message/byte
+    /// accounting (e.g. an obs recorder) works identically over TCP.
+    ///
+    /// The hook is shared across sender threads behind a mutex; keep its
+    /// callbacks cheap.
+    pub fn set_net_hook(&mut self, hook: Box<dyn NetHook + Send>) {
+        self.hook = Some(hook);
     }
 
     /// Registers an actor and returns its future node id.
@@ -182,15 +216,19 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
             }));
         }
 
+        let epoch = Instant::now();
+        let hook: Option<SharedHook> = self.hook.map(|h| Arc::new(Mutex::new(h)));
         let outbound = TcpOutbound {
             n,
             writers,
             loopback: senders.clone(),
             metrics: Arc::clone(&metrics),
+            hook: hook.clone(),
+            epoch,
         };
         let shared = Shared {
             outbound: Arc::new(outbound) as Arc<dyn Outbound<M>>,
-            epoch: Instant::now(),
+            epoch,
         };
         let handles = self
             .actors
@@ -205,6 +243,8 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
             reader_handles,
             reader_sockets,
             metrics,
+            hook,
+            epoch,
         })
     }
 }
@@ -257,6 +297,8 @@ pub struct TcpNet<M: Wire> {
     reader_handles: Vec<JoinHandle<()>>,
     reader_sockets: Vec<TcpStream>,
     metrics: Arc<Mutex<Metrics>>,
+    hook: Option<SharedHook>,
+    epoch: Instant,
 }
 
 impl<M: Wire> TcpNet<M> {
@@ -264,6 +306,11 @@ impl<M: Wire> TcpNet<M> {
     /// channel (driver injection, not a measured socket hop).
     pub fn inject(&self, from: NodeId, to: NodeId, msg: M) {
         self.metrics.lock().on_send(msg.kind(), msg.wire_size());
+        if let Some(hook) = &self.hook {
+            let now = SimTime::from_micros(self.epoch.elapsed().as_micros() as u64);
+            hook.lock()
+                .on_send(now, from, to, msg.kind(), msg.wire_size());
+        }
         if let Some(tx) = self.senders.get(to.index()) {
             if tx.send(Ctl::Msg(from, msg)).is_ok() {
                 self.metrics.lock().on_deliver();
@@ -276,9 +323,21 @@ impl<M: Wire> TcpNet<M> {
         self.senders.len()
     }
 
-    /// A snapshot of the metrics so far.
-    pub fn metrics_snapshot(&self) -> Metrics {
-        self.metrics.lock().clone()
+    /// A detached snapshot of the transport metrics so far (a plain-data
+    /// copy, not a clone of the live registry).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.lock().snapshot()
+    }
+
+    /// Kills one node, as a crash: its thread drains already-queued
+    /// messages and exits, its timers die with it, and traffic addressed
+    /// to it from then on is silently lost — exactly how a crashed peer
+    /// looks to the rest of the cluster. The node cannot be restarted;
+    /// [`TcpNet::shutdown`] still joins its thread cleanly.
+    pub fn stop_node(&self, node: NodeId) {
+        if let Some(tx) = self.senders.get(node.index()) {
+            let _ = tx.send(Ctl::Stop);
+        }
     }
 
     /// Stops all node threads (draining queued messages first), closes every

@@ -15,7 +15,7 @@
 //! to emulate the LAN.
 
 use crate::engine::{Actor, Context, NodeId, Op, TimerId};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::time::SimTime;
 use crate::Wire;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -338,9 +338,19 @@ impl<M: Wire> ThreadNet<M> {
         self.senders.len()
     }
 
-    /// A snapshot of the metrics so far.
-    pub fn metrics_snapshot(&self) -> Metrics {
-        self.metrics.lock().clone()
+    /// A detached snapshot of the transport metrics so far (a plain-data
+    /// copy, not a clone of the live registry).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.lock().snapshot()
+    }
+
+    /// Kills one node, as a crash: its thread drains already-queued
+    /// messages and exits. See
+    /// [`TcpNet::stop_node`](crate::tcpnet::TcpNet::stop_node).
+    pub fn stop_node(&self, node: NodeId) {
+        if let Some(tx) = self.senders.get(node.index()) {
+            let _ = tx.send(Ctl::Stop);
+        }
     }
 
     /// Stops all node threads, draining queued messages first (the stop

@@ -150,6 +150,25 @@ impl<T: Decode> Decode for Option<T> {
     }
 }
 
+/// Pairs concatenate their fields with no framing: sizes are already
+/// self-delimiting, and `Vec<(K, V)>` is how map-shaped data (counters,
+/// bindings, heartbeat ages) travels.
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode_from(r)?, B::decode_from(r)?))
+    }
+}
+
 impl<T: Encode> Encode for Vec<T> {
     fn encode_into(&self, out: &mut Vec<u8>) {
         write_varint(out, self.len() as u64);
@@ -283,6 +302,13 @@ mod tests {
         round_trip(QName::with_ns("http://example.org/ns", "op"));
         // Clark notation would mangle this namespace; the codec must not.
         round_trip(QName::with_ns("weird}ns{", "op"));
+    }
+
+    #[test]
+    fn pairs_round_trip() {
+        round_trip((7u64, "seven".to_string()));
+        round_trip(vec![(1u64, 2u64), (3, 4)]);
+        round_trip((None::<u32>, vec![(0u8, false)]));
     }
 
     #[test]

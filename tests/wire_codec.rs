@@ -7,12 +7,13 @@
 use proptest::prelude::*;
 use whisper::WhisperMsg;
 use whisper_election::ElectionMsg;
+use whisper_obs::{ElectionView, HistSummary, NodeRole, NodeSnapshot, RegistryDump};
 use whisper_p2p::GroupId;
 use whisper_p2p::{
     AdvFilter, AdvKind, Advertisement, GroupAdv, P2pMessage, PeerAdv, PeerId, PipeAdv, PipeId,
     QosSpec, SemanticAdv,
 };
-use whisper_simnet::SimDuration;
+use whisper_simnet::{MetricsSnapshot, SimDuration};
 use whisper_wire::{read_frame, write_frame, Decode, Encode, WireError};
 use whisper_xml::QName;
 
@@ -184,6 +185,125 @@ fn envelope_strategy() -> impl Strategy<Value = String> {
     .prop_map(|cs| cs.into_iter().collect())
 }
 
+fn pairs_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..1 << 40, 0u64..1 << 40), 0..6)
+}
+
+fn metrics_snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        (
+            0u64..1 << 40,
+            0u64..1 << 40,
+            0u64..1 << 40,
+            0u64..1 << 40,
+            0u64..1 << 40,
+            0u64..1 << 40,
+        ),
+        proptest::collection::vec((name_strategy(), 0u64..1 << 40), 0..4),
+    )
+        .prop_map(
+            |((sent, delivered, lost, to_down, partitioned, bytes_sent), by_kind)| {
+                MetricsSnapshot {
+                    sent,
+                    delivered,
+                    lost,
+                    to_down,
+                    partitioned,
+                    bytes_sent,
+                    by_kind,
+                }
+            },
+        )
+}
+
+fn registry_dump_strategy() -> impl Strategy<Value = RegistryDump> {
+    (
+        proptest::collection::vec((name_strategy(), 0u64..1 << 40), 0..4),
+        proptest::collection::vec((name_strategy(), -(1i64 << 40)..1 << 40), 0..4),
+        proptest::collection::vec(
+            (
+                name_strategy(),
+                0u64..1 << 40,
+                0u64..1 << 40,
+                0u64..1 << 40,
+                0u64..1 << 40,
+            )
+                .prop_map(|(name, count, sum_us, min_us, max_us)| HistSummary {
+                    name,
+                    count,
+                    sum_us,
+                    min_us,
+                    max_us,
+                }),
+            0..3,
+        ),
+    )
+        .prop_map(|(counters, gauges, hists)| RegistryDump {
+            counters,
+            gauges,
+            hists,
+        })
+}
+
+fn election_view_strategy() -> impl Strategy<Value = ElectionView> {
+    (
+        proptest::option::of(0u64..1 << 40),
+        proptest::arbitrary::any::<bool>(),
+        0u64..1 << 40,
+        0u64..1 << 40,
+        name_strategy(),
+    )
+        .prop_map(
+            |(coordinator, is_coordinator, term, elections_started, phase)| ElectionView {
+                coordinator,
+                is_coordinator,
+                term,
+                elections_started,
+                phase,
+            },
+        )
+}
+
+fn node_snapshot_strategy() -> impl Strategy<Value = NodeSnapshot> {
+    (
+        (
+            prop_oneof![
+                Just(NodeRole::Proxy),
+                Just(NodeRole::BPeer),
+                Just(NodeRole::Rendezvous)
+            ],
+            0u64..1 << 40,
+            proptest::option::of(0u64..1 << 40),
+            proptest::option::of(election_view_strategy()),
+        ),
+        (
+            pairs_strategy(),
+            pairs_strategy(),
+            0u64..1 << 40,
+            metrics_snapshot_strategy(),
+            metrics_snapshot_strategy(),
+            registry_dump_strategy(),
+        ),
+    )
+        .prop_map(
+            |(
+                (role, peer, group, election),
+                (heartbeat_ages_us, bindings, queue_depth, sent, received, registry),
+            )| NodeSnapshot {
+                role,
+                peer,
+                group,
+                election,
+                heartbeat_ages_us,
+                bindings,
+                queue_depth,
+                sent,
+                received,
+                registry,
+            },
+        )
+}
+
 fn whisper_leaf_strategy() -> impl Strategy<Value = WhisperMsg> {
     prop_oneof![
         p2p_msg_strategy().prop_map(WhisperMsg::P2p),
@@ -227,6 +347,13 @@ fn whisper_leaf_strategy() -> impl Strategy<Value = WhisperMsg> {
                 coordinator,
             }
         ),
+        (0u64..1 << 48).prop_map(|request_id| WhisperMsg::ScopeRequest { request_id }),
+        (0u64..1 << 48, node_snapshot_strategy()).prop_map(|(request_id, snapshot)| {
+            WhisperMsg::ScopeResponse {
+                request_id,
+                snapshot: Box::new(snapshot),
+            }
+        }),
     ]
 }
 
