@@ -1,0 +1,107 @@
+//! Microbenchmark of discovery-cache lookups over a populated cache: the
+//! owned (cloning) lookup the proxy used to run on every request, against
+//! the borrow-based zero-copy iterator it runs now.
+
+use criterion::{black_box, criterion_group, Criterion};
+use whisper_bench::{time_mean_us, BenchSummary};
+use whisper_ontology::samples::UNIVERSITY_NS;
+use whisper_p2p::{
+    AdvFilter, AdvKind, Advertisement, DiscoveryCache, GroupAdv, GroupId, PeerAdv, PeerId,
+    SemanticAdv,
+};
+use whisper_simnet::SimTime;
+use whisper_xml::QName;
+
+const N_ADS: u64 = 1_000;
+
+/// A cache with 1k advertisements: half peer advs, a quarter group advs, a
+/// quarter semantic advs — roughly the shape a rendezvous peer accretes.
+fn populated_cache() -> DiscoveryCache {
+    let q = |l: &str| QName::with_ns(UNIVERSITY_NS, l);
+    let mut cache = DiscoveryCache::new();
+    for i in 0..N_ADS {
+        let adv = match i % 4 {
+            0 | 1 => Advertisement::Peer(PeerAdv {
+                peer: PeerId::new(i),
+                name: format!("peer{i}"),
+                group: Some(GroupId::new(i % 16)),
+            }),
+            2 => Advertisement::Group(GroupAdv {
+                group: GroupId::new(i),
+                name: format!("group{i}"),
+            }),
+            _ => Advertisement::Semantic(SemanticAdv {
+                group: GroupId::new(i),
+                name: format!("sem{i}"),
+                action: q("StudentTranscriptRetrieval"),
+                inputs: vec![q("Identifier")],
+                outputs: vec![q("StudentTranscript")],
+                qos: None,
+            }),
+        };
+        // staggered lifetimes so expiry filtering does real work
+        cache.insert(adv, SimTime::from_micros(1_000 + i * 10));
+    }
+    cache
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let cache = populated_cache();
+    let filter = AdvFilter::of_kind(AdvKind::Semantic);
+    let now = SimTime::from_micros(500);
+    c.bench_function("discovery/lookup_owned", |b| {
+        b.iter(|| black_box(cache.lookup_owned(black_box(&filter), now)))
+    });
+    c.bench_function("discovery/lookup_borrowed", |b| {
+        b.iter(|| {
+            cache
+                .iter_live(black_box(&filter), now)
+                .map(|(a, _)| {
+                    black_box(a)
+                        .as_semantic()
+                        .map(|s| s.group.value())
+                        .unwrap_or(0)
+                })
+                .sum::<u64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_lookup);
+
+/// Machine-readable trajectory entries: the filtered semantic lookup over
+/// 1k advertisements, owned vs borrowed.
+fn record_summary() {
+    let cache = populated_cache();
+    let filter = AdvFilter::of_kind(AdvKind::Semantic);
+    let now = SimTime::from_micros(500);
+    let mut s = BenchSummary::new();
+    s.record(
+        "bench_discovery_lookup",
+        "lookup_owned_us",
+        time_mean_us(20_000, || {
+            black_box(cache.lookup_owned(black_box(&filter), now));
+        }),
+    );
+    s.record(
+        "bench_discovery_lookup",
+        "lookup_borrowed_us",
+        time_mean_us(20_000, || {
+            black_box(
+                cache
+                    .iter_live(black_box(&filter), now)
+                    .map(|(a, _)| a.as_semantic().map(|s| s.group.value()).unwrap_or(0))
+                    .sum::<u64>(),
+            );
+        }),
+    );
+    match s.save_merged() {
+        Ok(p) => println!("bench summary: {}", p.display()),
+        Err(e) => eprintln!("bench summary not written: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    record_summary();
+}

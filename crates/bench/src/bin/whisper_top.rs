@@ -11,12 +11,17 @@
 //! ```text
 //! whisper-top [--peers N] [--interval MS] [--frames N] [--once]
 //! whisper-top --check-summary PATH
+//! whisper-top --compare OLD.json NEW.json [--fail-on-regression PCT]
 //! ```
 //!
 //! `--once` prints a single frame and exits non-zero unless every node
 //! answered and all b-peers agree on a coordinator (the CI smoke check).
-//! `--check-summary` validates that a `BENCH_PR3.json` trajectory file
-//! parses, without booting anything.
+//! `--check-summary` validates that a `BENCH_PR4.json` trajectory file
+//! parses, without booting anything. `--compare` diffs two trajectory
+//! files stat by stat and prints a percent-change table; with
+//! `--fail-on-regression PCT` it exits non-zero if any shared statistic
+//! worsened by more than `PCT` percent (direction-aware: throughput-like
+//! stats such as availability count a *drop* as the regression).
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -31,12 +36,15 @@ struct Options {
     frames: Option<u64>,
     once: bool,
     check_summary: Option<String>,
+    compare: Option<(String, String)>,
+    fail_on_regression: Option<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: whisper-top [--peers N] [--interval MS] [--frames N] [--once]\n\
-         \x20      whisper-top --check-summary PATH"
+         \x20      whisper-top --check-summary PATH\n\
+         \x20      whisper-top --compare OLD.json NEW.json [--fail-on-regression PCT]"
     );
     std::process::exit(2);
 }
@@ -48,6 +56,8 @@ fn parse_args() -> Options {
         frames: None,
         once: false,
         check_summary: None,
+        compare: None,
+        fail_on_regression: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,6 +82,15 @@ fn parse_args() -> Options {
             },
             "--once" => opts.once = true,
             "--check-summary" => opts.check_summary = Some(value("--check-summary")),
+            "--compare" => {
+                let old = value("--compare");
+                let new = value("--compare");
+                opts.compare = Some((old, new));
+            }
+            "--fail-on-regression" => match value("--fail-on-regression").parse() {
+                Ok(pct) if pct >= 0.0 => opts.fail_on_regression = Some(pct),
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -97,6 +116,118 @@ fn check_summary(path: &str) -> ExitCode {
             eprintln!("{path}: invalid bench summary: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `true` for statistics where bigger is better; everything else in the
+/// trajectory is a latency/cost number where smaller wins.
+fn higher_is_better(stat: &str) -> bool {
+    ["availability", "r2", "mttf"]
+        .iter()
+        .any(|m| stat.contains(m))
+}
+
+/// Loads and parses one trajectory file, printing the failure.
+fn load_summary(path: &str) -> Option<BenchSummary> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return None;
+        }
+    };
+    match BenchSummary::parse(&text) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("{path}: invalid bench summary: {e}");
+            None
+        }
+    }
+}
+
+/// Diffs two trajectory files stat by stat: prints a percent-change table
+/// and, when `fail_pct` is set, exits non-zero if any shared statistic
+/// worsened by more than that many percent.
+fn compare_summaries(old_path: &str, new_path: &str, fail_pct: Option<f64>) -> ExitCode {
+    let (Some(old), Some(new)) = (load_summary(old_path), load_summary(new_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let mut t = Table::new(
+        "bench_compare",
+        &["experiment", "stat", "old", "new", "change_pct", "note"],
+    );
+    let mut worst: Option<(String, f64)> = None;
+    let mut missing = 0usize;
+    for exp in new.experiment_names() {
+        for (stat, new_v) in new.stats(exp) {
+            let Some(old_v) = old.get(exp, stat) else {
+                t.row(&[
+                    exp.to_string(),
+                    stat.to_string(),
+                    "-".into(),
+                    format!("{new_v:.4}"),
+                    "-".into(),
+                    "new".into(),
+                ]);
+                continue;
+            };
+            // Percent worsening, direction-aware: positive means worse.
+            let regression_pct = if old_v == 0.0 {
+                0.0
+            } else if higher_is_better(stat) {
+                (old_v - new_v) / old_v.abs() * 100.0
+            } else {
+                (new_v - old_v) / old_v.abs() * 100.0
+            };
+            let change_pct = if old_v == 0.0 {
+                0.0
+            } else {
+                (new_v - old_v) / old_v.abs() * 100.0
+            };
+            let over = fail_pct.is_some_and(|limit| regression_pct > limit);
+            t.row(&[
+                exp.to_string(),
+                stat.to_string(),
+                format!("{old_v:.4}"),
+                format!("{new_v:.4}"),
+                format!("{change_pct:+.1}"),
+                if over {
+                    "REGRESSION".into()
+                } else if regression_pct < -1.0 {
+                    "improved".into()
+                } else {
+                    String::new()
+                },
+            ]);
+            if worst.as_ref().is_none_or(|(_, w)| regression_pct > *w) {
+                worst = Some((format!("{exp}/{stat}"), regression_pct));
+            }
+        }
+    }
+    for exp in old.experiment_names() {
+        for (stat, _) in old.stats(exp) {
+            if new.get(exp, stat).is_none() {
+                missing += 1;
+                eprintln!(
+                    "warning: {exp}/{stat} present in {old_path} but missing from {new_path}"
+                );
+            }
+        }
+    }
+    t.print();
+    if let Some((name, pct)) = &worst {
+        println!("worst regression: {name} ({pct:+.1}%)");
+    }
+    if missing > 0 {
+        println!("{missing} stat(s) dropped from the new trajectory");
+    }
+    match (fail_pct, worst) {
+        (Some(limit), Some((name, pct))) if pct > limit => {
+            eprintln!("FAIL: {name} regressed {pct:+.1}% (> {limit}% allowed)");
+            ExitCode::FAILURE
+        }
+        _ => ExitCode::SUCCESS,
     }
 }
 
@@ -180,6 +311,9 @@ fn main() -> ExitCode {
     let opts = parse_args();
     if let Some(path) = &opts.check_summary {
         return check_summary(path);
+    }
+    if let Some((old, new)) = &opts.compare {
+        return compare_summaries(old, new, opts.fail_on_regression);
     }
 
     eprintln!("booting {} b-peers + proxy on TCP loopback...", opts.peers);

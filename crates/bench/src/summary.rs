@@ -1,5 +1,5 @@
 //! The machine-readable bench trajectory: a single JSON file
-//! (`BENCH_PR3.json`) mapping experiment → key statistics, written next to
+//! (`BENCH_PR4.json`) mapping experiment → key statistics, written next to
 //! the CSVs by `all_experiments` and `cluster_health` so successive runs
 //! can be diffed by tooling instead of eyeballed from tables.
 //!
@@ -82,6 +82,16 @@ impl BenchSummary {
     /// Experiment names, in insertion order.
     pub fn experiment_names(&self) -> impl Iterator<Item = &str> {
         self.experiments.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The `(stat, value)` pairs of one experiment, in insertion order
+    /// (empty if the experiment was never recorded).
+    pub fn stats(&self, experiment: &str) -> impl Iterator<Item = (&str, f64)> {
+        self.experiments
+            .iter()
+            .find(|(n, _)| n == experiment)
+            .into_iter()
+            .flat_map(|(_, stats)| stats.iter().map(|(k, v)| (k.as_str(), *v)))
     }
 
     /// Number of recorded experiments.
@@ -226,7 +236,7 @@ impl BenchSummary {
         fs::write(path, self.to_json())
     }
 
-    /// Writes the summary under `target/experiments/BENCH_PR3.json` (next
+    /// Writes the summary under `target/experiments/BENCH_PR4.json` (next
     /// to the experiment CSVs), merging into whatever an earlier run left
     /// there so the file accumulates the whole trajectory. Returns the
     /// path.
@@ -246,7 +256,7 @@ impl BenchSummary {
             .unwrap_or(manifest)
             .join("target")
             .join("experiments")
-            .join("BENCH_PR3.json");
+            .join("BENCH_PR4.json");
         let mut merged = fs::read_to_string(&path)
             .ok()
             .and_then(|s| BenchSummary::parse(&s).ok())

@@ -21,8 +21,10 @@
 
 use crate::qos::{QosMonitor, SelectionPolicy};
 use rand::Rng;
+use std::collections::HashMap;
 use whisper_ontology::{MatchDegree, Ontology};
-use whisper_p2p::SemanticAdv;
+use whisper_p2p::{GroupId, QosSpec, SemanticAdv};
+use whisper_simnet::SimTime;
 use whisper_wsdl::OperationSemantics;
 
 /// The result of matching one advertisement against one operation.
@@ -97,6 +99,131 @@ pub fn match_semantic_adv(
     }
 }
 
+/// A candidate that survived the acceptability filter, paired with its
+/// match outcome. Produced by [`rank_candidates`] and stored in the
+/// [`SemanticMatchCache`] so repeat requests skip ontology matching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedCandidate {
+    /// The acceptable advertisement.
+    pub adv: SemanticAdv,
+    /// Its match degrees and score against the operation.
+    pub outcome: MatchOutcome,
+}
+
+/// The per-candidate facts a selection policy consults; extracting them
+/// lets the cached and uncached paths share one picker (and therefore
+/// identical RNG consumption, which the equivalence property test relies
+/// on).
+struct CandidateView {
+    score: f64,
+    qos: Option<QosSpec>,
+    group: GroupId,
+}
+
+/// Picks among acceptable candidates (in ranking order) per `policy`.
+/// Returns an index into `views`.
+fn pick_from_views(
+    views: &[CandidateView],
+    policy: SelectionPolicy,
+    rng: &mut impl Rng,
+    monitor: &QosMonitor,
+) -> Option<usize> {
+    if views.is_empty() {
+        return None;
+    }
+    let qos_utility = |i: usize| {
+        views[i]
+            .qos
+            .map(|q| q.utility())
+            .unwrap_or(f64::NEG_INFINITY)
+    };
+    match policy {
+        SelectionPolicy::FirstFound => Some(0),
+        SelectionPolicy::Random => Some(rng.gen_range(0..views.len())),
+        SelectionPolicy::SemanticThenQos => views
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                a.score
+                    .partial_cmp(&b.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| {
+                        qos_utility(*ia)
+                            .partial_cmp(&qos_utility(*ib))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+            })
+            .map(|(i, _)| i),
+        SelectionPolicy::QosOnly => views
+            .iter()
+            .enumerate()
+            .max_by(|(ia, _), (ib, _)| {
+                qos_utility(*ia)
+                    .partial_cmp(&qos_utility(*ib))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i),
+        SelectionPolicy::Adaptive => {
+            // measured utility once warm, advertised claims while cold
+            let effective = |i: usize| {
+                monitor
+                    .observed_utility(views[i].group)
+                    .unwrap_or_else(|| qos_utility(i))
+            };
+            views
+                .iter()
+                .enumerate()
+                .max_by(|(ia, _), (ib, _)| {
+                    effective(*ia)
+                        .partial_cmp(&effective(*ib))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+        }
+    }
+}
+
+/// Runs the ontology matching pass over `candidates` (in iteration order)
+/// and keeps the acceptable ones. This is the expensive half of
+/// [`select_candidate`], split out so its result can be memoized.
+pub fn rank_candidates<'a>(
+    onto: &Ontology,
+    request: &OperationSemantics,
+    candidates: impl Iterator<Item = &'a SemanticAdv>,
+) -> Vec<RankedCandidate> {
+    candidates
+        .map(|adv| RankedCandidate {
+            outcome: match_semantic_adv(onto, request, adv),
+            adv: adv.clone(),
+        })
+        .filter(|r| r.outcome.is_acceptable())
+        .collect()
+}
+
+/// Applies the selection policy to an already-ranked candidate list (the
+/// cheap half of [`select_candidate`]). Returns an index into `ranked`.
+///
+/// `rng` is only consulted by [`SelectionPolicy::Random`]; `monitor` only
+/// by [`SelectionPolicy::Adaptive`]. Both halves consume the RNG exactly
+/// as [`select_candidate`] does, so a memoized ranked list yields the same
+/// pick the uncached path would.
+pub fn select_from_ranked(
+    ranked: &[RankedCandidate],
+    policy: SelectionPolicy,
+    rng: &mut impl Rng,
+    monitor: &QosMonitor,
+) -> Option<usize> {
+    let views: Vec<CandidateView> = ranked
+        .iter()
+        .map(|r| CandidateView {
+            score: r.outcome.score,
+            qos: r.adv.qos,
+            group: r.adv.group,
+        })
+        .collect();
+    pick_from_views(&views, policy, rng, monitor)
+}
+
 /// Filters `candidates` to the acceptable ones and picks one according to
 /// `policy`. Returns the index into `candidates`.
 ///
@@ -116,58 +243,115 @@ pub fn select_candidate(
         .map(|(i, adv)| (i, match_semantic_adv(onto, request, adv)))
         .filter(|(_, o)| o.is_acceptable())
         .collect();
-    if acceptable.is_empty() {
-        return None;
+    let views: Vec<CandidateView> = acceptable
+        .iter()
+        .map(|(i, o)| CandidateView {
+            score: o.score,
+            qos: candidates[*i].qos,
+            group: candidates[*i].group,
+        })
+        .collect();
+    pick_from_views(&views, policy, rng, monitor).map(|pos| acceptable[pos].0)
+}
+
+/// Memoized ranked candidate lists, keyed per operation on the discovery
+/// cache **epoch** and the request's failed-group set.
+///
+/// Invalidation covers exactly the ways a cached ranking can go stale:
+///
+/// * **epoch bump** — any insert/replace/expiry-sweep of the discovery
+///   cache changes the candidate pool; the stored epoch no longer matches.
+/// * **TTL expiry** — entries also record the earliest expiry among the
+///   advertisements they ranked (`valid_until`); pure time passage past it
+///   is a miss even though nothing mutated (an expired adv can only come
+///   back via re-publication, which bumps the epoch).
+/// * **group failure** — the failed-group set is part of the key, so a
+///   request that just excluded a group rebuilds rather than reusing a
+///   ranking that still contains it.
+///
+/// Memory is bounded: one entry per operation name, replaced in place.
+#[derive(Debug, Default)]
+pub struct SemanticMatchCache {
+    entries: HashMap<String, MemoEntry>,
+    hits: u64,
+    rebuilds: u64,
+}
+
+#[derive(Debug)]
+struct MemoEntry {
+    epoch: u64,
+    failed: Vec<GroupId>,
+    /// Entries are valid strictly before this instant: the earliest expiry
+    /// among the ranked advertisements (or +inf when the list is empty —
+    /// an unacceptable pool cannot become acceptable by expiring).
+    valid_until: SimTime,
+    ranked: Vec<RankedCandidate>,
+}
+
+/// Order-insensitive equality of two small failed-group sets (per-request
+/// lists never contain duplicates: a failed group is excluded from every
+/// later selection, so it cannot fail twice).
+fn same_group_set(a: &[GroupId], b: &[GroupId]) -> bool {
+    a.len() == b.len() && a.iter().all(|g| b.contains(g))
+}
+
+impl SemanticMatchCache {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        SemanticMatchCache::default()
     }
-    let qos_utility = |i: usize| {
-        candidates[i]
-            .qos
-            .map(|q| q.utility())
-            .unwrap_or(f64::NEG_INFINITY)
-    };
-    match policy {
-        SelectionPolicy::FirstFound => Some(acceptable[0].0),
-        SelectionPolicy::Random => {
-            let pick = rng.gen_range(0..acceptable.len());
-            Some(acceptable[pick].0)
+
+    /// Returns the memoized ranking for `operation`, rebuilding it via
+    /// `build` when absent or stale. `build` returns the ranked list plus
+    /// the earliest expiry among the advertisements it consulted.
+    ///
+    /// The boolean is `true` on a memo hit (no ontology matching ran).
+    pub fn get_or_build(
+        &mut self,
+        operation: &str,
+        epoch: u64,
+        failed: &[GroupId],
+        now: SimTime,
+        build: impl FnOnce() -> (Vec<RankedCandidate>, SimTime),
+    ) -> (&[RankedCandidate], bool) {
+        let fresh = self.entries.get(operation).is_some_and(|e| {
+            e.epoch == epoch && now < e.valid_until && same_group_set(&e.failed, failed)
+        });
+        if fresh {
+            self.hits += 1;
+            return (&self.entries[operation].ranked, true);
         }
-        SelectionPolicy::SemanticThenQos => acceptable
-            .iter()
-            .max_by(|(ia, a), (ib, b)| {
-                a.score
-                    .partial_cmp(&b.score)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| {
-                        qos_utility(*ia)
-                            .partial_cmp(&qos_utility(*ib))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-            })
-            .map(|(i, _)| *i),
-        SelectionPolicy::QosOnly => acceptable
-            .iter()
-            .max_by(|(ia, _), (ib, _)| {
-                qos_utility(*ia)
-                    .partial_cmp(&qos_utility(*ib))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|(i, _)| *i),
-        SelectionPolicy::Adaptive => {
-            // measured utility once warm, advertised claims while cold
-            let effective = |i: usize| {
-                monitor
-                    .observed_utility(candidates[i].group)
-                    .unwrap_or_else(|| qos_utility(i))
-            };
-            acceptable
-                .iter()
-                .max_by(|(ia, _), (ib, _)| {
-                    effective(*ia)
-                        .partial_cmp(&effective(*ib))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .map(|(i, _)| *i)
-        }
+        self.rebuilds += 1;
+        let (ranked, valid_until) = build();
+        let entry = self
+            .entries
+            .entry(operation.to_string())
+            .or_insert(MemoEntry {
+                epoch: 0,
+                failed: Vec::new(),
+                valid_until: SimTime::ZERO,
+                ranked: Vec::new(),
+            });
+        entry.epoch = epoch;
+        entry.failed = failed.to_vec();
+        entry.valid_until = valid_until;
+        entry.ranked = ranked;
+        (&entry.ranked, false)
+    }
+
+    /// Memo hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Full matching passes so far.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Drops every memoized ranking.
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 }
 

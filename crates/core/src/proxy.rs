@@ -173,6 +173,9 @@ pub struct SwsProxyActor {
     config: ProxyConfig,
     stats: ProxyStats,
     monitor: QosMonitor,
+    /// Memoized semantic-match rankings, keyed on the discovery cache
+    /// epoch: the warm request path skips ontology matching entirely.
+    memo: matchmaker::SemanticMatchCache,
     obs: Option<Recorder>,
     /// Per-kind traffic counters for the introspection snapshot.
     tx: Metrics,
@@ -217,6 +220,7 @@ impl SwsProxyActor {
             config,
             stats: ProxyStats::default(),
             monitor: QosMonitor::default(),
+            memo: matchmaker::SemanticMatchCache::new(),
             obs: None,
             tx: Metrics::new(),
             rx: Metrics::new(),
@@ -356,7 +360,7 @@ impl SwsProxyActor {
     ) {
         let operation = match Envelope::parse(&envelope) {
             Ok(env) => match env.body_payload() {
-                Some(p) => p.name.clone(),
+                Some(p) => p.name.to_string(),
                 None => {
                     self.stats.faults_generated += 1;
                     self.stats.responses_forwarded += 1;
@@ -442,32 +446,60 @@ impl SwsProxyActor {
     }
 
     /// Finds a group for the request: local cache first, then the network.
+    ///
+    /// The local pass is the proxy's hottest path and runs zero-copy: it
+    /// ranks candidates straight off borrowed cache entries, and the
+    /// ranking itself is memoized per operation on the discovery cache
+    /// epoch — a warm repeat request performs no cache clone and no
+    /// ontology matching at all.
     fn advance_from_group_search(&mut self, ctx: &mut Context<'_, WhisperMsg>, request_id: u64) {
-        let Some(p) = self.pending.get(&request_id) else {
-            return;
-        };
-        let operation = p.operation.clone();
-        let failed = p.failed_groups.clone();
-        let sem = self.semantics[&operation].clone();
         let now = ctx.now();
-        let local = self
-            .disco
-            .local_lookup(&AdvFilter::of_kind(AdvKind::Semantic), now);
-        let candidates: Vec<SemanticAdv> = local
-            .iter()
-            .filter_map(Advertisement::as_semantic)
-            .filter(|a| !failed.contains(&a.group))
-            .cloned()
-            .collect();
-        if let Some(idx) = matchmaker::select_candidate(
-            &self.ontology,
-            &sem,
-            &candidates,
-            self.config.policy,
-            ctx.rng(),
-            &self.monitor,
-        ) {
-            let group = candidates[idx].group;
+        let picked: Option<GroupId> = {
+            let Some(p) = self.pending.get(&request_id) else {
+                return;
+            };
+            let sem = &self.semantics[&p.operation];
+            let epoch = self.disco.cache_epoch();
+            let filter = AdvFilter::of_kind(AdvKind::Semantic);
+            let disco = &self.disco;
+            let ontology = &self.ontology;
+            let obs = self.obs.as_ref();
+            let failed = &p.failed_groups;
+            let (ranked, hit) = self
+                .memo
+                .get_or_build(&p.operation, epoch, failed, now, || {
+                    if let Some(rec) = obs {
+                        rec.incr("proxy.semantic_matches", 1);
+                    }
+                    // Track the earliest expiry among *consulted* entries (not
+                    // just acceptable ones): conservative, so TTL passage can
+                    // only cause a harmless rebuild, never a stale hit.
+                    let mut earliest = SimTime::from_micros(u64::MAX);
+                    let ranked = matchmaker::rank_candidates(
+                        ontology,
+                        sem,
+                        disco
+                            .local_lookup_iter(&filter, now)
+                            .map(|(a, expires)| {
+                                if expires < earliest {
+                                    earliest = expires;
+                                }
+                                a
+                            })
+                            .filter_map(Advertisement::as_semantic)
+                            .filter(|a| !failed.contains(&a.group)),
+                    );
+                    (ranked, earliest)
+                });
+            if hit {
+                if let Some(rec) = obs {
+                    rec.incr("proxy.memo_hits", 1);
+                }
+            }
+            matchmaker::select_from_ranked(ranked, self.config.policy, ctx.rng(), &self.monitor)
+                .map(|i| ranked[i].adv.group)
+        };
+        if let Some(group) = picked {
             self.bind_or_find_members(ctx, request_id, group);
             return;
         }
@@ -500,6 +532,10 @@ impl SwsProxyActor {
 
     /// With a group chosen: bind to a member (cached binding, cached peer
     /// advertisements, or a member-discovery query).
+    ///
+    /// Runs over a single mutable borrow of the pending entry: the member
+    /// scan filters borrowed cache entries against the borrowed dead-peer
+    /// list, with no re-fetches and no clones.
     fn bind_or_find_members(
         &mut self,
         ctx: &mut Context<'_, WhisperMsg>,
@@ -507,40 +543,40 @@ impl SwsProxyActor {
         group: GroupId,
     ) {
         let now = ctx.now();
-        if let Some(p) = self.pending.get_mut(&request_id) {
-            p.group = Some(group);
-        }
-        if let Some(&bound) = self.bindings.get(&group) {
-            self.forward_to_peer(ctx, request_id, bound, group);
-            return;
-        }
-        let dead = self
-            .pending
-            .get(&request_id)
-            .map(|p| p.dead_peers.clone())
-            .unwrap_or_default();
         let mut filter = AdvFilter::of_kind(AdvKind::Peer);
         filter.group = Some(group);
-        let members: Vec<PeerId> = self
-            .disco
-            .local_lookup(&filter, now)
-            .iter()
-            .filter_map(|a| match a {
-                Advertisement::Peer(p) => Some(p.peer),
-                _ => None,
-            })
-            .filter(|m| !dead.contains(m))
-            .collect();
-        if !members.is_empty() {
-            if let Some(p) = self.pending.get_mut(&request_id) {
-                let mut sorted = members;
-                sorted.sort();
-                p.candidates = sorted;
-                // the Bully winner is the highest id: try it first
-                let target = *p.candidates.last().expect("non-empty");
-                p.candidates.pop();
-                self.forward_to_peer(ctx, request_id, target, group);
+        let target: Option<PeerId> = {
+            let Some(p) = self.pending.get_mut(&request_id) else {
+                return;
+            };
+            p.group = Some(group);
+            if let Some(&bound) = self.bindings.get(&group) {
+                Some(bound)
+            } else {
+                let dead = &p.dead_peers;
+                let mut members: Vec<PeerId> = self
+                    .disco
+                    .local_lookup_iter(&filter, now)
+                    .filter_map(|(a, _)| match a {
+                        Advertisement::Peer(pa) => Some(pa.peer),
+                        _ => None,
+                    })
+                    .filter(|m| !dead.contains(m))
+                    .collect();
+                if members.is_empty() {
+                    None
+                } else {
+                    members.sort();
+                    p.candidates = members;
+                    // the Bully winner is the highest id: try it first
+                    let target = *p.candidates.last().expect("non-empty");
+                    p.candidates.pop();
+                    Some(target)
+                }
             }
+        };
+        if let Some(target) = target {
+            self.forward_to_peer(ctx, request_id, target, group);
             return;
         }
         // No member knowledge: query the network for the group's peers.
@@ -629,40 +665,27 @@ impl SwsProxyActor {
         let Some(&request_id) = self.queries.get(&query) else {
             return;
         };
-        let Some(p) = self.pending.get(&request_id) else {
+        let Some(p) = self.pending.get_mut(&request_id) else {
             self.queries.remove(&query);
             return;
         };
-        match p.state.clone() {
+        match p.state {
             PendingState::AwaitGroups(q) if q == query => {
                 // Flood discovery returns one response per peer; collect
                 // them over a short gather window so selection sees the
                 // whole network, then decide once the window closes.
-                let arm_timer = {
-                    let p = self.pending.get_mut(&request_id).expect("checked above");
-                    p.gathered
-                        .extend(advs.iter().filter_map(Advertisement::as_semantic).cloned());
-                    let arm = !p.gathering && !p.gathered.is_empty();
-                    if arm {
-                        p.gathering = true;
-                    }
-                    arm
-                };
-                if arm_timer {
-                    let attempts = self.pending[&request_id].attempts;
+                p.gathered
+                    .extend(advs.iter().filter_map(Advertisement::as_semantic).cloned());
+                if !p.gathering && !p.gathered.is_empty() {
+                    p.gathering = true;
                     ctx.set_timer(
                         self.config.gather_window,
-                        token(request_id, attempts, PURPOSE_GATHER),
+                        token(request_id, p.attempts, PURPOSE_GATHER),
                     );
                 }
             }
             PendingState::AwaitMembers(q, group) if q == query => {
-                self.queries.remove(&query);
-                let dead = self
-                    .pending
-                    .get(&request_id)
-                    .map(|p| p.dead_peers.clone())
-                    .unwrap_or_default();
+                let dead = &p.dead_peers;
                 let mut members: Vec<PeerId> = advs
                     .iter()
                     .filter_map(|a| match a {
@@ -674,19 +697,19 @@ impl SwsProxyActor {
                 members.sort();
                 members.dedup();
                 if members.is_empty() {
-                    self.queries.insert(query, request_id);
+                    // keep the query registered: a later response may
+                    // still carry live members
                     return;
                 }
-                if let Some((rec, req)) = self.obs_of(request_id) {
+                self.queries.remove(&query);
+                p.candidates = members;
+                let target = *p.candidates.last().expect("non-empty");
+                p.candidates.pop();
+                if let (Some(rec), Some(req)) = (&self.obs, p.obs_req) {
                     rec.end_named(req, "proxy.members", ctx.now());
                     rec.unbind(trace::NS_QUERY, query);
                 }
-                if let Some(p) = self.pending.get_mut(&request_id) {
-                    p.candidates = members;
-                    let target = *p.candidates.last().expect("non-empty");
-                    p.candidates.pop();
-                    self.forward_to_peer(ctx, request_id, target, group);
-                }
+                self.forward_to_peer(ctx, request_id, target, group);
             }
             _ => {
                 self.queries.remove(&query);
@@ -701,7 +724,7 @@ impl SwsProxyActor {
         coordinator: Option<PeerId>,
     ) {
         let (old_target, group) = match self.pending.get(&request_id) {
-            Some(p) => match p.state.clone() {
+            Some(p) => match p.state {
                 PendingState::AwaitResponse(t) => (t, p.group),
                 _ => return,
             },
@@ -759,7 +782,7 @@ impl SwsProxyActor {
             );
             return;
         }
-        match p.state.clone() {
+        match p.state {
             PendingState::AwaitGroups(_) => {
                 // discovery produced nothing in time
                 self.reply_fault(
@@ -819,49 +842,53 @@ impl SwsProxyActor {
     }
 
     fn handle_gather_fired(&mut self, ctx: &mut Context<'_, WhisperMsg>, request_id: u64) {
-        let Some(p) = self.pending.get_mut(&request_id) else {
+        let picked: Option<(QueryId, GroupId)> = {
+            let Some(p) = self.pending.get_mut(&request_id) else {
+                return;
+            };
+            let PendingState::AwaitGroups(query) = p.state else {
+                return;
+            };
+            p.gathering = false;
+            let failed = &p.failed_groups;
+            let candidates: Vec<SemanticAdv> = std::mem::take(&mut p.gathered)
+                .into_iter()
+                .filter(|a| !failed.contains(&a.group))
+                .collect();
+            let sem = &self.semantics[&p.operation];
+            // Gathered network candidates are one-shot per query — a full
+            // matching pass, never memoized.
+            if let Some(rec) = self.obs.as_ref() {
+                rec.incr("proxy.semantic_matches", 1);
+            }
+            matchmaker::select_candidate(
+                &self.ontology,
+                sem,
+                &candidates,
+                self.config.policy,
+                ctx.rng(),
+                &self.monitor,
+            )
+            .map(|idx| (query, candidates[idx].group))
+        };
+        let Some((query, group)) = picked else {
+            // keep waiting for more responses; the request timeout faults
+            // if nothing acceptable ever shows up
             return;
         };
-        let PendingState::AwaitGroups(query) = p.state else {
-            return;
-        };
-        p.gathering = false;
-        let failed = p.failed_groups.clone();
-        let candidates: Vec<SemanticAdv> = std::mem::take(&mut p.gathered)
-            .into_iter()
-            .filter(|a| !failed.contains(&a.group))
-            .collect();
-        let operation = p.operation.clone();
-        let sem = self.semantics[&operation].clone();
-        match matchmaker::select_candidate(
-            &self.ontology,
-            &sem,
-            &candidates,
-            self.config.policy,
-            ctx.rng(),
-            &self.monitor,
-        ) {
-            Some(idx) => {
-                self.queries.remove(&query);
-                let group = candidates[idx].group;
-                if let Some((rec, req)) = self.obs_of(request_id) {
-                    rec.end_named(req, "proxy.discover", ctx.now());
-                    rec.unbind(trace::NS_QUERY, query);
-                }
-                self.bind_or_find_members(ctx, request_id, group);
-            }
-            None => {
-                // keep waiting for more responses; the request timeout
-                // faults if nothing acceptable ever shows up
-            }
+        self.queries.remove(&query);
+        if let Some((rec, req)) = self.obs_of(request_id) {
+            rec.end_named(req, "proxy.discover", ctx.now());
+            rec.unbind(trace::NS_QUERY, query);
         }
+        self.bind_or_find_members(ctx, request_id, group);
     }
 
     fn handle_backoff_fired(&mut self, ctx: &mut Context<'_, WhisperMsg>, request_id: u64) {
         let Some(p) = self.pending.get(&request_id) else {
             return;
         };
-        if let PendingState::Backoff(group) = p.state.clone() {
+        if let PendingState::Backoff(group) = p.state {
             self.bindings.remove(&group);
             self.bind_or_find_members(ctx, request_id, group);
         }

@@ -12,15 +12,33 @@ struct Entry {
 /// A peer's local store of advertisements, mirroring JXTA's local discovery
 /// cache: entries carry lifetimes, re-publication replaces the entry for the
 /// same resource, and lookups never return expired entries.
+///
+/// The cache maintains an **epoch counter** bumped on every mutation that
+/// can change lookup results (insert/replace, or an [`expire`] sweep that
+/// removed something). Callers that derive data from lookups — e.g. the
+/// proxy's semantic-match memo — key their derived state on
+/// [`DiscoveryCache::epoch`] and rebuild when it moves. Pure time-based
+/// expiry does *not* bump the epoch (nothing mutates), so epoch-keyed
+/// consumers must additionally track the earliest expiry among the entries
+/// they saw.
+///
+/// [`expire`]: DiscoveryCache::expire
 #[derive(Debug, Clone, Default)]
 pub struct DiscoveryCache {
     entries: Vec<Entry>,
+    epoch: u64,
 }
 
 impl DiscoveryCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         DiscoveryCache::default()
+    }
+
+    /// The mutation epoch: bumped on every insert/replace and on every
+    /// [`DiscoveryCache::expire`] sweep that removed at least one entry.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Inserts (or replaces, keyed by [`Advertisement::identity`]) an
@@ -33,6 +51,7 @@ impl DiscoveryCache {
         } else {
             self.entries.push(Entry { adv, expires });
         }
+        self.epoch += 1;
     }
 
     /// All live advertisements matching `filter` at time `now`.
@@ -44,17 +63,36 @@ impl DiscoveryCache {
             .collect()
     }
 
+    /// Borrowing iterator over live advertisements matching `filter` at
+    /// `now`, yielding each advertisement with its expiry time. The
+    /// zero-copy path: no `Vec` is built and nothing is cloned.
+    pub fn iter_live<'a>(
+        &'a self,
+        filter: &'a AdvFilter,
+        now: SimTime,
+    ) -> impl Iterator<Item = (&'a Advertisement, SimTime)> + 'a {
+        self.entries
+            .iter()
+            .filter(move |e| e.expires > now && filter.matches(&e.adv))
+            .map(|e| (&e.adv, e.expires))
+    }
+
     /// Like [`DiscoveryCache::lookup`] but cloning, for handing advs to a
     /// response message.
     pub fn lookup_owned(&self, filter: &AdvFilter, now: SimTime) -> Vec<Advertisement> {
         self.lookup(filter, now).into_iter().cloned().collect()
     }
 
-    /// Drops expired entries and returns how many were removed.
+    /// Drops expired entries and returns how many were removed. Bumps the
+    /// epoch only when something was actually removed.
     pub fn expire(&mut self, now: SimTime) -> usize {
         let before = self.entries.len();
         self.entries.retain(|e| e.expires > now);
-        before - self.entries.len()
+        let removed = before - self.entries.len();
+        if removed > 0 {
+            self.epoch += 1;
+        }
+        removed
     }
 
     /// Number of entries currently stored, including not-yet-collected
@@ -146,5 +184,44 @@ mod tests {
         assert_eq!(c.live_count(AdvKind::Group, t(0)), 1);
         assert_eq!(c.live_count(AdvKind::Group, t(100)), 0);
         assert_eq!(c.lookup_owned(&AdvFilter::any(), t(0)).len(), 2);
+    }
+
+    #[test]
+    fn epoch_tracks_mutations_not_reads() {
+        let mut c = DiscoveryCache::new();
+        let e0 = c.epoch();
+        c.insert(peer_adv(1), t(100));
+        assert!(c.epoch() > e0);
+        let e1 = c.epoch();
+        // lookups never bump the epoch
+        let _ = c.lookup(&AdvFilter::any(), t(0));
+        let _ = c.iter_live(&AdvFilter::any(), t(0)).count();
+        assert_eq!(c.epoch(), e1);
+        // replacement bumps
+        c.insert(peer_adv(1), t(200));
+        assert!(c.epoch() > e1);
+        let e2 = c.epoch();
+        // a no-op expire sweep does not bump
+        assert_eq!(c.expire(t(50)), 0);
+        assert_eq!(c.epoch(), e2);
+        // a sweep that removes something does
+        assert_eq!(c.expire(t(300)), 1);
+        assert!(c.epoch() > e2);
+    }
+
+    #[test]
+    fn iter_live_matches_lookup_and_reports_expiry() {
+        let mut c = DiscoveryCache::new();
+        c.insert(peer_adv(1), t(100));
+        c.insert(peer_adv(2), t(200));
+        let any = AdvFilter::any();
+        let borrowed: Vec<_> = c.iter_live(&any, t(150)).collect();
+        assert_eq!(borrowed.len(), 1);
+        assert_eq!(borrowed[0].0.name(), "peer2");
+        assert_eq!(borrowed[0].1, t(200));
+        assert_eq!(
+            c.lookup(&AdvFilter::any(), t(150)),
+            borrowed.iter().map(|(a, _)| *a).collect::<Vec<_>>()
+        );
     }
 }

@@ -288,8 +288,33 @@ impl DiscoveryService {
     }
 
     /// JXTA's `getLocalAdvertisements`: consult only the local cache.
+    ///
+    /// This is the *owned* (cloning) variant, needed when the results
+    /// outlive the cache borrow — e.g. handing them to a response message.
+    /// Each call is counted as `discovery.cache_clones` so hot paths can
+    /// assert they never pay for it; prefer
+    /// [`DiscoveryService::local_lookup_iter`] on the request path.
     pub fn local_lookup(&self, filter: &AdvFilter, now: SimTime) -> Vec<Advertisement> {
+        self.obs_incr("discovery.cache_clones");
         self.cache.lookup_owned(filter, now)
+    }
+
+    /// Borrowing variant of [`DiscoveryService::local_lookup`]: iterates
+    /// live matching advertisements without building a `Vec` or cloning,
+    /// yielding each advertisement with its expiry time.
+    pub fn local_lookup_iter<'a>(
+        &'a self,
+        filter: &'a AdvFilter,
+        now: SimTime,
+    ) -> impl Iterator<Item = (&'a Advertisement, SimTime)> + 'a {
+        self.cache.iter_live(filter, now)
+    }
+
+    /// The local cache's mutation epoch ([`DiscoveryCache::epoch`]).
+    /// Derived results (e.g. the proxy's semantic-match memo) are valid
+    /// only while this value is unchanged.
+    pub fn cache_epoch(&self) -> u64 {
+        self.cache.epoch()
     }
 
     /// JXTA's `getRemoteAdvertisements`: issue a network query per the
@@ -638,6 +663,23 @@ mod tests {
         assert_eq!(rec.counter("discovery.queries"), 1);
         assert_eq!(rec.counter("discovery.responses"), 1);
         assert_eq!(rec.counter("discovery.answered"), 1);
+    }
+
+    #[test]
+    fn borrowed_lookup_is_clone_free_and_epoch_moves_on_publish() {
+        let rec = Recorder::new();
+        let mut d = DiscoveryService::new(PeerId::new(0), DiscoveryStrategy::Flood);
+        d.set_recorder(rec.clone());
+        let e0 = d.cache_epoch();
+        d.publish(sem(1, "A"), SimDuration::from_secs(60), t(0));
+        assert!(d.cache_epoch() > e0, "publish bumps the cache epoch");
+
+        let filter = AdvFilter::of_kind(AdvKind::Semantic);
+        assert_eq!(d.local_lookup_iter(&filter, t(0)).count(), 1);
+        assert_eq!(rec.counter("discovery.cache_clones"), 0);
+
+        assert_eq!(d.local_lookup(&filter, t(0)).len(), 1);
+        assert_eq!(rec.counter("discovery.cache_clones"), 1);
     }
 
     #[test]

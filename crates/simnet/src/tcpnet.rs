@@ -32,16 +32,25 @@ use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
-use whisper_wire::{read_frame, write_frame, Decode, Encode};
+use whisper_wire::{read_frame_into, write_frame_vectored, Decode, Encode};
 
 /// The shared, thread-safe form of an installed [`NetHook`].
 type SharedHook = Arc<Mutex<Box<dyn NetHook + Send>>>;
 
+/// One outgoing link: the socket's write half plus a reusable encode
+/// scratch buffer, bundled behind a single mutex so a steady-state send
+/// takes one lock, encodes into the warm buffer, and writes the frame
+/// with zero transient allocations.
+struct Link {
+    stream: TcpStream,
+    scratch: Vec<u8>,
+}
+
 /// TCP-backed transport: encode, frame, write to the link's socket.
 struct TcpOutbound<M> {
     n: usize,
-    /// Write halves, indexed `from * n + to`; `None` on the diagonal.
-    writers: Vec<Option<Mutex<TcpStream>>>,
+    /// Outgoing links, indexed `from * n + to`; `None` on the diagonal.
+    writers: Vec<Option<Mutex<Link>>>,
     /// In-process channels for self-sends (no socket to ourselves).
     loopback: Vec<Sender<Ctl<M>>>,
     metrics: Arc<Mutex<Metrics>>,
@@ -72,14 +81,22 @@ impl<M: Wire + Encode> Outbound<M> for TcpOutbound<M> {
             }
             return;
         }
-        let bytes = msg.encode();
-        self.metrics.lock().on_send(msg.kind(), bytes.len());
-        self.notify_hook(from, to, msg.kind(), bytes.len());
         let idx = from.index() * self.n + to.index();
-        if let Some(writer) = self.writers.get(idx).and_then(Option::as_ref) {
+        if let Some(link) = self.writers.get(idx).and_then(Option::as_ref) {
+            let mut link = link.lock();
+            let Link { stream, scratch } = &mut *link;
+            scratch.clear();
+            msg.encode_into(scratch);
+            self.metrics.lock().on_send(msg.kind(), scratch.len());
+            self.notify_hook(from, to, msg.kind(), scratch.len());
             // A write error means the peer's link is gone (e.g. during
             // shutdown); the message is simply lost, like on a real LAN.
-            let _ = write_frame(&mut *writer.lock(), &bytes);
+            let _ = write_frame_vectored(stream, scratch);
+        } else {
+            // No link (unknown destination): the message is lost but still
+            // accounted, matching the loopback/metrics behavior above.
+            self.metrics.lock().on_send(msg.kind(), msg.wire_size());
+            self.notify_hook(from, to, msg.kind(), msg.wire_size());
         }
     }
 }
@@ -189,20 +206,25 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
             }
         }
 
-        let mut writers: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(n * n);
+        let mut writers: Vec<Option<Mutex<Link>>> = Vec::with_capacity(n * n);
         writers.resize_with(n * n, || None);
         let mut reader_handles = Vec::with_capacity(links.len());
         let mut reader_sockets = Vec::with_capacity(links.len());
         for link in links {
-            writers[link.from * n + link.to] = Some(Mutex::new(link.writer));
+            writers[link.from * n + link.to] = Some(Mutex::new(Link {
+                stream: link.writer,
+                scratch: Vec::new(),
+            }));
             reader_sockets.push(link.reader.try_clone()?);
             let tx = senders[link.to].clone();
             let from = NodeId::from_index(link.from);
             let link_metrics = Arc::clone(&metrics);
             let mut stream = link.reader;
             reader_handles.push(std::thread::spawn(move || {
+                // One payload buffer per link, reused across frames.
+                let mut payload = Vec::new();
                 // Clean EOF or any I/O error ends the loop: the link is down.
-                while let Ok(Some(payload)) = read_frame(&mut stream) {
+                while let Ok(true) = read_frame_into(&mut stream, &mut payload) {
                     let msg = match M::decode(&payload) {
                         Ok(msg) => msg,
                         // Garbage on the wire kills the link, never the node.
@@ -509,6 +531,94 @@ mod tests {
         let bp = beeps.clone();
         wait_until("timer did not fire", || bp.load(Ordering::SeqCst) >= 1);
         net.shutdown();
+    }
+
+    #[test]
+    fn scratch_buffer_reuse_has_no_cross_frame_bleed() {
+        // Frames of wildly different sizes on the same link: the per-link
+        // encode scratch and the reader's reused payload buffer must not
+        // leak bytes from a long frame into a following short one.
+        #[derive(Clone, Debug, PartialEq)]
+        enum B {
+            Go,
+            Blob(Vec<u8>),
+        }
+        impl Wire for B {
+            fn wire_size(&self) -> usize {
+                self.encoded_len()
+            }
+            fn kind(&self) -> &'static str {
+                "blob"
+            }
+        }
+        impl Encode for B {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                match self {
+                    B::Go => out.push(0),
+                    B::Blob(data) => {
+                        out.push(1);
+                        data.encode_into(out);
+                    }
+                }
+            }
+        }
+        impl Decode for B {
+            fn decode_from(
+                r: &mut whisper_wire::Reader<'_>,
+            ) -> Result<Self, whisper_wire::WireError> {
+                match r.u8()? {
+                    0 => Ok(B::Go),
+                    _ => Ok(B::Blob(Vec::<u8>::decode_from(r)?)),
+                }
+            }
+        }
+
+        fn payloads() -> Vec<Vec<u8>> {
+            vec![
+                vec![0xAA; 4096],
+                vec![0xBB; 7],
+                Vec::new(),
+                vec![0xCC; 1024],
+                vec![0xDD],
+            ]
+        }
+
+        struct Burst {
+            peer: NodeId,
+        }
+        impl Actor<B> for Burst {
+            fn on_message(&mut self, ctx: &mut Context<'_, B>, _: NodeId, msg: B) {
+                if msg == B::Go {
+                    for p in payloads() {
+                        ctx.send(self.peer, B::Blob(p));
+                    }
+                }
+            }
+        }
+        struct Collect {
+            got: Arc<Mutex<Vec<Vec<u8>>>>,
+        }
+        impl Actor<B> for Collect {
+            fn on_message(&mut self, _: &mut Context<'_, B>, _: NodeId, msg: B) {
+                if let B::Blob(data) = msg {
+                    self.got.lock().push(data);
+                }
+            }
+        }
+
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let mut b = TcpNetBuilder::new();
+        let receiver = NodeId::from_index(1);
+        let sender = b.add_node(Burst { peer: receiver });
+        b.add_node(Collect { got: got.clone() });
+        let net = b.start().unwrap();
+        net.inject(sender, sender, B::Go);
+        let g = got.clone();
+        wait_until("blobs did not all arrive", || {
+            g.lock().len() >= payloads().len()
+        });
+        net.shutdown();
+        assert_eq!(*got.lock(), payloads());
     }
 
     #[test]

@@ -136,7 +136,7 @@ impl Envelope {
     pub fn validate_must_understand(&self, understood: &[&str]) -> Result<(), SoapError> {
         for h in &self.headers {
             if h.must_understand && !understood.contains(&h.content.name.as_str()) {
-                return Err(SoapError::MustUnderstand(h.content.name.clone()));
+                return Err(SoapError::MustUnderstand(h.content.name.to_string()));
             }
         }
         Ok(())
@@ -145,12 +145,12 @@ impl Envelope {
     /// Renders the envelope as an XML element tree.
     pub fn to_element(&self) -> Element {
         let mut env = Element::with_ns("Envelope", SOAP_ENVELOPE_NS);
-        env.prefix = Some("soap".to_string());
+        env.prefix = Some("soap".into());
         env.declare_ns("soap", SOAP_ENVELOPE_NS);
 
         if !self.headers.is_empty() {
             let mut header = Element::with_ns("Header", SOAP_ENVELOPE_NS);
-            header.prefix = Some("soap".to_string());
+            header.prefix = Some("soap".into());
             for h in &self.headers {
                 let mut c = h.content.clone();
                 if h.must_understand {
@@ -165,14 +165,14 @@ impl Envelope {
         }
 
         let mut body = Element::with_ns("Body", SOAP_ENVELOPE_NS);
-        body.prefix = Some("soap".to_string());
+        body.prefix = Some("soap".into());
         match &self.body {
             Body::Payload(p) => {
                 body.push_child(p.clone());
             }
             Body::Fault(f) => {
                 let mut fe = f.to_element();
-                fe.prefix = Some("soap".to_string());
+                fe.prefix = Some("soap".into());
                 body.push_child(fe);
             }
             Body::Empty => {}

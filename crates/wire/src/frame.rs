@@ -5,7 +5,7 @@
 //! exactly four bytes to learn the payload size — the property the TCP
 //! transport's per-link reader threads rely on.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 /// Largest payload a frame may carry (16 MiB).
 ///
@@ -35,6 +35,46 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// Like [`write_frame`] but submits the length prefix and payload as one
+/// vectored write, so an unbuffered socket sees a single syscall (and a
+/// single TCP segment for small frames) instead of two.
+///
+/// Falls back to a partial-write loop when the writer accepts fewer bytes
+/// than offered, which plain [`Write::write_vectored`] permits.
+///
+/// # Errors
+///
+/// Same conditions as [`write_frame`].
+pub fn write_frame_vectored<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload {} exceeds MAX_FRAME_LEN {MAX_FRAME_LEN}",
+                payload.len()
+            ),
+        ));
+    }
+    let prefix = (payload.len() as u32).to_le_bytes();
+    let total = prefix.len() + payload.len();
+    let mut written = 0;
+    while written < total {
+        let n = if written < prefix.len() {
+            w.write_vectored(&[IoSlice::new(&prefix[written..]), IoSlice::new(payload)])?
+        } else {
+            w.write(&payload[written - prefix.len()..])?
+        };
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "writer accepted zero bytes mid-frame",
+            ));
+        }
+        written += n;
+    }
+    w.flush()
+}
+
 /// Reads one frame's payload.
 ///
 /// Returns `Ok(None)` on a clean end of stream (EOF before the first
@@ -48,11 +88,32 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
 /// more than [`MAX_FRAME_LEN`] bytes; otherwise any I/O error from the
 /// reader.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut payload = Vec::new();
+    if read_frame_into(r, &mut payload)? {
+        Ok(Some(payload))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Buffer-reusing variant of [`read_frame`]: reads one frame's payload
+/// into `buf` (cleared and resized to the exact payload length), so a
+/// long-lived reader loop amortizes its allocation across frames instead
+/// of paying a fresh `Vec` per message.
+///
+/// Returns `Ok(false)` on a clean end of stream (and leaves `buf` empty),
+/// `Ok(true)` when a frame was read.
+///
+/// # Errors
+///
+/// Same conditions as [`read_frame`].
+pub fn read_frame_into<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<bool> {
+    buf.clear();
     let mut prefix = [0u8; 4];
     let mut filled = 0;
     while filled < prefix.len() {
         match r.read(&mut prefix[filled..])? {
-            0 if filled == 0 => return Ok(None),
+            0 if filled == 0 => return Ok(false),
             0 => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
@@ -69,9 +130,9 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
             format!("frame length {len} exceeds MAX_FRAME_LEN {MAX_FRAME_LEN}"),
         ));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -130,5 +191,64 @@ mod tests {
             io::ErrorKind::InvalidInput
         );
         assert!(sink.is_empty());
+        assert_eq!(
+            write_frame_vectored(&mut sink, &big).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn vectored_write_produces_identical_bytes() {
+        for payload in [&b""[..], b"x", b"hello frame", &[0xAB; 4096][..]] {
+            let mut plain = Vec::new();
+            let mut vectored = Vec::new();
+            write_frame(&mut plain, payload).unwrap();
+            write_frame_vectored(&mut vectored, payload).unwrap();
+            assert_eq!(plain, vectored);
+        }
+    }
+
+    /// A writer that accepts at most one byte per call, exercising the
+    /// partial-write loop in [`write_frame_vectored`].
+    struct Trickle(Vec<u8>);
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.push(buf[0]);
+            Ok(1)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_survives_partial_writes() {
+        let mut t = Trickle(Vec::new());
+        write_frame_vectored(&mut t, b"drip-fed payload").unwrap();
+        let mut r = Cursor::new(t.0);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"drip-fed payload");
+    }
+
+    #[test]
+    fn read_frame_into_reuses_buffer_without_bleed() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"a much longer first frame").unwrap();
+        write_frame(&mut stream, b"short").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+
+        let mut r = Cursor::new(stream);
+        let mut buf = Vec::new();
+        assert!(read_frame_into(&mut r, &mut buf).unwrap());
+        assert_eq!(buf, b"a much longer first frame");
+        // a shorter frame after a longer one must not retain old bytes
+        assert!(read_frame_into(&mut r, &mut buf).unwrap());
+        assert_eq!(buf, b"short");
+        assert!(read_frame_into(&mut r, &mut buf).unwrap());
+        assert!(buf.is_empty());
+        assert!(!read_frame_into(&mut r, &mut buf).unwrap());
     }
 }

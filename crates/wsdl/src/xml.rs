@@ -36,7 +36,7 @@ impl NsEnv {
             if a.prefix.is_none() && a.name == "xmlns" {
                 env.bindings.insert(String::new(), a.value.clone());
             } else if a.prefix.as_deref() == Some("xmlns") {
-                env.bindings.insert(a.name.clone(), a.value.clone());
+                env.bindings.insert(a.name.to_string(), a.value.clone());
             }
         }
         env
@@ -60,7 +60,7 @@ fn require_attr(e: &Element, attr: &str) -> Result<String, WsdlError> {
     e.attr(attr)
         .map(str::to_string)
         .ok_or_else(|| WsdlError::MissingAttribute {
-            element: e.name.clone(),
+            element: e.name.to_string(),
             attribute: attr.to_string(),
         })
 }
@@ -83,7 +83,7 @@ impl ServiceDescription {
     /// Same conditions as [`ServiceDescription::parse`], minus XML errors.
     pub fn from_element(root: &Element) -> Result<Self, WsdlError> {
         if root.name != "definitions" {
-            return Err(WsdlError::NotDefinitions(root.name.clone()));
+            return Err(WsdlError::NotDefinitions(root.name.to_string()));
         }
         let env = NsEnv::default().extended_with(root);
         let name = require_attr(root, "name")?;

@@ -1,5 +1,6 @@
 //! The owned XML document model.
 
+use crate::intern::IStr;
 use crate::name::QName;
 use std::fmt;
 
@@ -53,20 +54,21 @@ impl Document {
 /// them to resolve the `ns` field of elements and attributes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
-    /// Prefix the attribute was written with, if any.
-    pub prefix: Option<String>,
-    /// Local attribute name.
-    pub name: String,
-    /// Resolved namespace URI. Per XML-Namespaces, unprefixed attributes are
-    /// in *no* namespace regardless of a default namespace declaration.
-    pub ns: Option<String>,
+    /// Prefix the attribute was written with, if any (interned).
+    pub prefix: Option<IStr>,
+    /// Local attribute name (interned).
+    pub name: IStr,
+    /// Resolved namespace URI (interned). Per XML-Namespaces, unprefixed
+    /// attributes are in *no* namespace regardless of a default namespace
+    /// declaration.
+    pub ns: Option<IStr>,
     /// The attribute value (entity references already resolved).
     pub value: String,
 }
 
 impl Attribute {
     /// Creates an unprefixed attribute in no namespace.
-    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<IStr>, value: impl Into<String>) -> Self {
         Attribute {
             prefix: None,
             name: name.into(),
@@ -84,7 +86,7 @@ impl Attribute {
     pub fn raw_name(&self) -> String {
         match &self.prefix {
             Some(p) => format!("{p}:{}", self.name),
-            None => self.name.clone(),
+            None => self.name.to_string(),
         }
     }
 }
@@ -142,12 +144,13 @@ impl Node {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Element {
-    /// Prefix the element was written with, if any.
-    pub prefix: Option<String>,
-    /// Local element name.
-    pub name: String,
-    /// Resolved namespace URI (default namespace applies to elements).
-    pub ns: Option<String>,
+    /// Prefix the element was written with, if any (interned).
+    pub prefix: Option<IStr>,
+    /// Local element name (interned).
+    pub name: IStr,
+    /// Resolved namespace URI, interned (default namespace applies to
+    /// elements).
+    pub ns: Option<IStr>,
     /// Attributes in document order, including namespace declarations.
     pub attrs: Vec<Attribute>,
     /// Child nodes in document order.
@@ -156,7 +159,7 @@ pub struct Element {
 
 impl Element {
     /// Creates an element with the given local name, no namespace.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<IStr>) -> Self {
         Element {
             name: name.into(),
             ..Element::default()
@@ -165,7 +168,7 @@ impl Element {
 
     /// Creates an element in a namespace (no prefix; serialized with a
     /// default-namespace declaration unless one is already in scope).
-    pub fn with_ns(name: impl Into<String>, ns: impl Into<String>) -> Self {
+    pub fn with_ns(name: impl Into<IStr>, ns: impl Into<IStr>) -> Self {
         Element {
             name: name.into(),
             ns: Some(ns.into()),
@@ -174,13 +177,14 @@ impl Element {
     }
 
     /// Creates `name` containing a single text node.
-    pub fn with_text(name: impl Into<String>, text: impl Into<String>) -> Self {
+    pub fn with_text(name: impl Into<IStr>, text: impl Into<String>) -> Self {
         let mut e = Element::new(name);
         e.push_text(text);
         e
     }
 
-    /// The resolved qualified name of this element.
+    /// The resolved qualified name of this element (two reference-count
+    /// bumps, no string copies).
     pub fn qname(&self) -> QName {
         match &self.ns {
             Some(ns) => QName::with_ns(ns.clone(), self.name.clone()),
@@ -192,7 +196,7 @@ impl Element {
     pub fn raw_name(&self) -> String {
         match &self.prefix {
             Some(p) => format!("{p}:{}", self.name),
-            None => self.name.clone(),
+            None => self.name.to_string(),
         }
     }
 
@@ -209,7 +213,7 @@ impl Element {
     }
 
     /// Sets (or replaces) an unprefixed attribute.
-    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) -> &mut Self {
+    pub fn set_attr(&mut self, name: impl Into<IStr>, value: impl Into<String>) -> &mut Self {
         let name = name.into();
         let value = value.into();
         if let Some(a) = self
@@ -231,9 +235,9 @@ impl Element {
             Attribute::new("xmlns", uri)
         } else {
             Attribute {
-                prefix: Some("xmlns".to_string()),
-                name: prefix.to_string(),
-                ns: Some(crate::XMLNS_NS.to_string()),
+                prefix: Some("xmlns".into()),
+                name: prefix.into(),
+                ns: Some(crate::XMLNS_NS.into()),
                 value: uri.into(),
             }
         };

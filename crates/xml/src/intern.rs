@@ -1,0 +1,259 @@
+//! Interned strings for XML names.
+
+use std::borrow::Borrow;
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Interner entries kept per thread; documents with more distinct names
+/// than this fall back to plain (un-shared) allocations, bounding the
+/// interner's memory no matter what a peer sends.
+const INTERNER_CAP: usize = 4096;
+
+thread_local! {
+    static INTERNER: std::cell::RefCell<HashSet<Arc<str>>> =
+        std::cell::RefCell::new(HashSet::new());
+}
+
+/// An interned, immutable string backed by `Arc<str>`.
+///
+/// XML *names* — element and attribute local names, prefixes and namespace
+/// URIs — are drawn from a tiny per-protocol vocabulary but repeated on
+/// every node of every message. `IStr` collapses each distinct name to one
+/// shared allocation per thread: parsing the thousandth `<StudentID>` costs
+/// a hash lookup and a reference-count bump instead of a fresh `String`.
+///
+/// Equality, ordering and hashing are by string content (equality takes a
+/// pointer fast path first), so values interned on different threads —
+/// actors migrate across runtime threads — behave exactly like the
+/// `String`s they replace. The backing `Arc<str>` keeps `IStr` both `Send`
+/// and `Sync`.
+///
+/// # Examples
+///
+/// ```
+/// use whisper_xml::IStr;
+///
+/// let a = IStr::from("Envelope");
+/// let b = IStr::from("Envelope");
+/// assert_eq!(a, b);
+/// assert_eq!(a, "Envelope");
+/// assert_eq!(a.as_str(), "Envelope");
+/// ```
+#[derive(Clone)]
+pub struct IStr(Arc<str>);
+
+/// Interns `s`, returning this thread's shared copy.
+///
+/// The per-thread table is bounded ([`IStr`] docs); past the cap the string
+/// is still returned, just without sharing.
+pub fn intern(s: &str) -> IStr {
+    INTERNER.with(|t| {
+        let mut set = t.borrow_mut();
+        if let Some(a) = set.get(s) {
+            IStr(Arc::clone(a))
+        } else {
+            let a: Arc<str> = Arc::from(s);
+            if set.len() < INTERNER_CAP {
+                set.insert(Arc::clone(&a));
+            }
+            IStr(a)
+        }
+    })
+}
+
+impl IStr {
+    /// The string content.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Deref for IStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for IStr {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for IStr {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for IStr {
+    fn default() -> Self {
+        intern("")
+    }
+}
+
+impl fmt::Debug for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq for IStr {
+    fn eq(&self, other: &Self) -> bool {
+        // same-thread interned names share the allocation
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for IStr {}
+
+impl Hash for IStr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl PartialOrd for IStr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IStr {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl PartialEq<str> for IStr {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for IStr {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for IStr {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<IStr> for str {
+    fn eq(&self, other: &IStr) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<IStr> for &str {
+    fn eq(&self, other: &IStr) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<IStr> for String {
+    fn eq(&self, other: &IStr) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl From<&str> for IStr {
+    fn from(s: &str) -> Self {
+        intern(s)
+    }
+}
+
+impl From<&String> for IStr {
+    fn from(s: &String) -> Self {
+        intern(s)
+    }
+}
+
+impl From<String> for IStr {
+    fn from(s: String) -> Self {
+        intern(&s)
+    }
+}
+
+impl From<&IStr> for IStr {
+    fn from(s: &IStr) -> Self {
+        s.clone()
+    }
+}
+
+impl From<IStr> for String {
+    fn from(s: IStr) -> Self {
+        s.as_str().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_content_shares_the_allocation() {
+        let a = intern("StudentInformation");
+        let b = intern("StudentInformation");
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compares_like_strings() {
+        let a = IStr::from("abc");
+        assert_eq!(a, "abc");
+        assert_eq!("abc", a);
+        assert_eq!(a, "abc".to_string());
+        assert_ne!(a, "abd");
+        let (lo, hi) = (IStr::from("a"), IStr::from("b"));
+        assert!(lo < hi);
+        assert_eq!(String::from(a.clone()), "abc");
+        assert_eq!(a.to_string(), "abc");
+    }
+
+    #[test]
+    fn hashes_by_content() {
+        use std::collections::HashMap;
+        let mut m: HashMap<IStr, u32> = HashMap::new();
+        m.insert(IStr::from("k"), 1);
+        assert_eq!(m.get(&IStr::from("k")), Some(&1));
+    }
+
+    #[test]
+    fn crossing_threads_preserves_equality() {
+        let here = intern("Envelope");
+        let there = std::thread::spawn(|| intern("Envelope")).join().unwrap();
+        // different per-thread allocations, equal content
+        assert!(!Arc::ptr_eq(&here.0, &there.0));
+        assert_eq!(here, there);
+        let mut set = std::collections::HashSet::new();
+        set.insert(here);
+        assert!(set.contains(&there));
+    }
+
+    #[test]
+    fn interner_is_bounded() {
+        // past the cap, strings still work, just without sharing
+        for i in 0..INTERNER_CAP + 10 {
+            let s = intern(&format!("gen{i}"));
+            assert_eq!(s.as_str(), format!("gen{i}"));
+        }
+        let a = intern("definitely-past-any-existing-entries-xyz");
+        assert_eq!(a, "definitely-past-any-existing-entries-xyz");
+    }
+}

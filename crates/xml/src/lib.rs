@@ -43,6 +43,7 @@
 mod document;
 mod error;
 mod escape;
+mod intern;
 mod name;
 mod parser;
 mod writer;
@@ -50,6 +51,7 @@ mod writer;
 pub use document::{Attribute, Document, Element, Node};
 pub use error::XmlError;
 pub use escape::{escape_attr, escape_text, unescape};
+pub use intern::{intern, IStr};
 pub use name::QName;
 pub use parser::{parse, parse_document};
 

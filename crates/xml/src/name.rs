@@ -1,5 +1,6 @@
 //! Qualified names (`prefix:local` pairs resolved against a namespace URI).
 
+use crate::intern::IStr;
 use std::fmt;
 
 /// A qualified XML name: an optional namespace URI plus a local name.
@@ -7,6 +8,10 @@ use std::fmt;
 /// `QName` is the unit of comparison used by the semantic layers: two
 /// elements are "the same" when their namespace URI and local name agree,
 /// independent of the prefix a particular document happened to choose.
+///
+/// Both parts are interned ([`IStr`]): the handful of distinct names a
+/// protocol uses are each allocated once per thread, and cloning a `QName`
+/// is two reference-count bumps.
 ///
 /// # Examples
 ///
@@ -20,13 +25,13 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct QName {
-    ns: Option<String>,
-    local: String,
+    ns: Option<IStr>,
+    local: IStr,
 }
 
 impl QName {
     /// Creates a name in no namespace.
-    pub fn new(local: impl Into<String>) -> Self {
+    pub fn new(local: impl Into<IStr>) -> Self {
         QName {
             ns: None,
             local: local.into(),
@@ -34,7 +39,7 @@ impl QName {
     }
 
     /// Creates a name in the namespace `ns`.
-    pub fn with_ns(ns: impl Into<String>, local: impl Into<String>) -> Self {
+    pub fn with_ns(ns: impl Into<IStr>, local: impl Into<IStr>) -> Self {
         QName {
             ns: Some(ns.into()),
             local: local.into(),
@@ -44,6 +49,16 @@ impl QName {
     /// The namespace URI, if any.
     pub fn ns(&self) -> Option<&str> {
         self.ns.as_deref()
+    }
+
+    /// The interned namespace URI, for clone-free propagation.
+    pub fn ns_istr(&self) -> Option<&IStr> {
+        self.ns.as_ref()
+    }
+
+    /// The interned local part, for clone-free propagation.
+    pub fn local_istr(&self) -> &IStr {
+        &self.local
     }
 
     /// The local part of the name.
@@ -65,7 +80,7 @@ impl QName {
     pub fn to_clark(&self) -> String {
         match &self.ns {
             Some(ns) => format!("{{{ns}}}{}", self.local),
-            None => self.local.clone(),
+            None => self.local.to_string(),
         }
     }
 

@@ -3,6 +3,7 @@
 use crate::document::{Attribute, Document, Element, Node};
 use crate::error::{ErrorKind, XmlError};
 use crate::escape::resolve_entity;
+use crate::intern::intern;
 use crate::name::{is_valid_ncname, split_prefixed};
 use std::collections::HashMap;
 
@@ -265,11 +266,15 @@ impl<'a> Parser<'a> {
         };
         let mut out = String::new();
         loop {
+            // copy whole delimiter-free runs at once instead of per-char
+            let rest = self.rest();
+            let stop = rest.find([quote, '&', '<']).unwrap_or(rest.len());
+            out.push_str(&rest[..stop]);
+            self.pos += stop;
             match self.bump() {
-                Some(c) if c == quote => break,
                 Some('&') => out.push(self.parse_entity()?),
                 Some('<') => return Err(self.err(ErrorKind::UnexpectedChar('<'))),
-                Some(c) => out.push(c),
+                Some(_) => break, // the closing quote
                 None => return Err(self.err(ErrorKind::UnexpectedEof)),
             }
         }
@@ -338,8 +343,8 @@ impl<'a> Parser<'a> {
                         scope.bindings.insert(alocal.to_string(), value.clone());
                     }
                     attrs.push(Attribute {
-                        prefix: aprefix.map(str::to_string),
-                        name: alocal.to_string(),
+                        prefix: aprefix.map(intern),
+                        name: intern(alocal),
                         ns: None, // resolved below once the scope is complete
                         value,
                     });
@@ -350,31 +355,27 @@ impl<'a> Parser<'a> {
 
         // Resolve the element's namespace.
         let ns = match eprefix {
-            Some(p) => Some(
-                scope
-                    .resolve(p)
-                    .ok_or_else(|| self.err(ErrorKind::UndeclaredPrefix(p.to_string())))?
-                    .to_string(),
-            ),
-            None => scope.resolve("").map(str::to_string),
+            Some(p) => {
+                Some(intern(scope.resolve(p).ok_or_else(|| {
+                    self.err(ErrorKind::UndeclaredPrefix(p.to_string()))
+                })?))
+            }
+            None => scope.resolve("").map(intern),
         };
         // Resolve attribute namespaces (prefixed attributes only).
         for a in &mut attrs {
             if a.is_ns_decl() {
-                a.ns = Some(crate::XMLNS_NS.to_string());
+                a.ns = Some(intern(crate::XMLNS_NS));
             } else if let Some(p) = &a.prefix {
-                a.ns = Some(
-                    scope
-                        .resolve(p)
-                        .ok_or_else(|| self.err(ErrorKind::UndeclaredPrefix(p.clone())))?
-                        .to_string(),
-                );
+                a.ns = Some(intern(scope.resolve(p).ok_or_else(|| {
+                    self.err(ErrorKind::UndeclaredPrefix(p.to_string()))
+                })?));
             }
         }
 
         let mut element = Element {
-            prefix: eprefix.map(str::to_string),
-            name: elocal.to_string(),
+            prefix: eprefix.map(intern),
+            name: intern(elocal),
             ns,
             attrs,
             children: Vec::new(),
@@ -423,16 +424,17 @@ impl<'a> Parser<'a> {
     fn parse_text(&mut self) -> Result<String, XmlError> {
         let mut out = String::new();
         loop {
+            // copy whole delimiter-free runs at once instead of per-char
+            let rest = self.rest();
+            let stop = rest.find(['<', '&']).unwrap_or(rest.len());
+            out.push_str(&rest[..stop]);
+            self.pos += stop;
             match self.peek() {
-                Some('<') | None => break,
                 Some('&') => {
                     self.bump();
                     out.push(self.parse_entity()?);
                 }
-                Some(c) => {
-                    self.bump();
-                    out.push(c);
-                }
+                _ => break,
             }
         }
         Ok(out)

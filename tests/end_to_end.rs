@@ -107,6 +107,49 @@ fn steady_state_request_costs_four_messages() {
 }
 
 #[test]
+fn warm_binding_request_is_zero_copy_and_skips_semantic_matching() {
+    // The steady-state hot path: once the proxy has discovered the group
+    // and memoized the semantic ranking, a repeat request must perform no
+    // discovery-cache clone and no ontology matching pass at all — the
+    // memo answers from borrowed state.
+    let mut net = WhisperNet::student_scenario(3, 104);
+    let rec = net.enable_obs();
+    net.run_for(SimDuration::from_secs(3));
+    let client = net.client_ids()[0];
+
+    // Request 1 populates the discovery cache (epoch moves as responses
+    // arrive); request 2 rebuilds the memo against the settled epoch.
+    net.submit_student_request(client, "u1000");
+    net.run_for(SimDuration::from_secs(1));
+    net.submit_student_request(client, "u1001");
+    net.run_for(SimDuration::from_secs(1));
+
+    let clones_before = rec.counter("discovery.cache_clones");
+    let matches_before = rec.counter("proxy.semantic_matches");
+    let hits_before = rec.counter("proxy.memo_hits");
+
+    net.submit_student_request(client, "u1002");
+    net.run_for(SimDuration::from_secs(1));
+
+    let env = Envelope::parse(&net.client_last_response(client).expect("response")).expect("soap");
+    assert!(!env.is_fault(), "warm request must succeed");
+    assert_eq!(
+        rec.counter("discovery.cache_clones"),
+        clones_before,
+        "warm path must not clone the discovery cache"
+    );
+    assert_eq!(
+        rec.counter("proxy.semantic_matches"),
+        matches_before,
+        "warm path must not run ontology matching"
+    );
+    assert!(
+        rec.counter("proxy.memo_hits") > hits_before,
+        "warm path must answer from the semantic-match memo"
+    );
+}
+
+#[test]
 fn multiple_clients_share_the_service() {
     let service = whisper_wsdl::samples::student_management();
     let op = service.operation("StudentInformation").expect("op").clone();

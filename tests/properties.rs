@@ -612,3 +612,184 @@ proptest! {
         prop_assert_eq!(svc, back);
     }
 }
+
+// ---------- semantic-match memo equivalence ----------
+
+#[derive(Debug, Clone)]
+enum MemoOp {
+    Insert { adv: usize, lifetime_us: u64 },
+    Advance { delta_us: u64 },
+    Expire,
+    FailGroup { group: u64 },
+    Query,
+}
+
+fn memo_op_strategy() -> impl Strategy<Value = MemoOp> {
+    prop_oneof![
+        (0..8usize, 50..2_000u64)
+            .prop_map(|(adv, lifetime_us)| MemoOp::Insert { adv, lifetime_us }),
+        (1..500u64).prop_map(|delta_us| MemoOp::Advance { delta_us }),
+        Just(MemoOp::Expire),
+        (1..5u64).prop_map(|group| MemoOp::FailGroup { group }),
+        Just(MemoOp::Query),
+        Just(MemoOp::Query),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = whisper::SelectionPolicy> {
+    use whisper::SelectionPolicy::*;
+    prop_oneof![
+        Just(SemanticThenQos),
+        Just(QosOnly),
+        Just(Adaptive),
+        Just(Random),
+        Just(FirstFound),
+    ]
+}
+
+/// A mixed pool of acceptable and unacceptable advertisements against the
+/// student-management `StudentInformation` operation, spread over four
+/// groups so failed-group exclusion bites.
+fn memo_adv_pool() -> Vec<SemanticAdv> {
+    use whisper_ontology::samples::UNIVERSITY_NS;
+    let q = |l: &str| QName::with_ns(UNIVERSITY_NS, l);
+    let combos = [
+        ("StudentInformation", "StudentID", "StudentInfo"),
+        (
+            "StudentTranscriptRetrieval",
+            "StudentID",
+            "StudentTranscript",
+        ),
+        ("StudentInformation", "Identifier", "StudentInfo"),
+        ("InformationRetrieval", "StudentID", "StudentInfo"), // action too general
+        ("StudentInformation", "NationalID", "StudentInfo"),  // unsatisfiable input
+        ("EnrollmentUpdate", "StudentID", "StudentInfo"),     // unrelated action
+        ("StudentInformation", "StudentID", "Record"),        // output too general
+        ("StudentInformation", "StudentID", "StudentInfo"),
+    ];
+    combos
+        .iter()
+        .enumerate()
+        .map(|(i, (action, input, output))| SemanticAdv {
+            group: GroupId::new((i % 4 + 1) as u64),
+            name: format!("adv{i}"),
+            action: q(action),
+            inputs: vec![q(input)],
+            outputs: vec![q(output)],
+            qos: (i % 2 == 0).then(|| QosSpec {
+                latency_us: 100 * (i as u64 + 1),
+                reliability: 0.9 + 0.01 * i as f64,
+                cost: 0.5,
+            }),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The proxy's epoch-keyed semantic-match memo is invisible: under any
+    /// interleaving of inserts, expiries, time passage and group failures,
+    /// the memoized path picks exactly what a from-scratch matching pass
+    /// would (including identical RNG consumption for the Random policy).
+    #[test]
+    fn memoized_semantic_match_equals_uncached_selection(
+        ops in proptest::collection::vec(memo_op_strategy(), 1..40),
+        policy in policy_strategy(),
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        use whisper::matchmaker;
+        use whisper::QosMonitor;
+        use whisper_p2p::{AdvFilter, AdvKind, DiscoveryCache};
+
+        let onto = whisper_ontology::samples::university_ontology();
+        let req = whisper_wsdl::samples::student_management()
+            .operation("StudentInformation")
+            .unwrap()
+            .resolve(&onto)
+            .unwrap();
+        let pool = memo_adv_pool();
+        let monitor = QosMonitor::default();
+        let filter = AdvFilter::of_kind(AdvKind::Semantic);
+
+        let mut cache = DiscoveryCache::new();
+        let mut memo = matchmaker::SemanticMatchCache::new();
+        let mut now = SimTime::ZERO;
+        let mut failed: Vec<GroupId> = Vec::new();
+        // Lockstep RNGs: the property includes "both paths draw the same
+        // amount of randomness", so a stale memo shows up as divergence.
+        let mut rng_memo = SmallRng::seed_from_u64(seed);
+        let mut rng_plain = SmallRng::seed_from_u64(seed);
+
+        for op in ops {
+            match op {
+                MemoOp::Insert { adv, lifetime_us } => {
+                    cache.insert(
+                        Advertisement::Semantic(pool[adv].clone()),
+                        now + SimDuration::from_micros(lifetime_us),
+                    );
+                }
+                MemoOp::Advance { delta_us } => {
+                    now += SimDuration::from_micros(delta_us);
+                }
+                MemoOp::Expire => {
+                    cache.expire(now);
+                }
+                MemoOp::FailGroup { group } => {
+                    let g = GroupId::new(group);
+                    if !failed.contains(&g) {
+                        failed.push(g);
+                    }
+                }
+                MemoOp::Query => {
+                    // memoized path, exactly as the proxy runs it
+                    let epoch = cache.epoch();
+                    let (ranked, _hit) =
+                        memo.get_or_build("StudentInformation", epoch, &failed, now, || {
+                            let mut earliest = SimTime::from_micros(u64::MAX);
+                            let ranked = matchmaker::rank_candidates(
+                                &onto,
+                                &req,
+                                cache
+                                    .iter_live(&filter, now)
+                                    .map(|(a, expires)| {
+                                        if expires < earliest {
+                                            earliest = expires;
+                                        }
+                                        a
+                                    })
+                                    .filter_map(Advertisement::as_semantic)
+                                    .filter(|a| !failed.contains(&a.group)),
+                            );
+                            (ranked, earliest)
+                        });
+                    let memo_pick =
+                        matchmaker::select_from_ranked(ranked, policy, &mut rng_memo, &monitor)
+                            .map(|i| ranked[i].adv.group);
+
+                    // reference path: full matching from scratch
+                    let candidates: Vec<SemanticAdv> = cache
+                        .lookup(&filter, now)
+                        .into_iter()
+                        .filter_map(Advertisement::as_semantic)
+                        .filter(|a| !failed.contains(&a.group))
+                        .cloned()
+                        .collect();
+                    let plain_pick = matchmaker::select_candidate(
+                        &onto,
+                        &req,
+                        &candidates,
+                        policy,
+                        &mut rng_plain,
+                        &monitor,
+                    )
+                    .map(|i| candidates[i].group);
+
+                    prop_assert_eq!(memo_pick, plain_pick);
+                }
+            }
+        }
+    }
+}

@@ -14,7 +14,9 @@ use whisper_p2p::{
     QosSpec, SemanticAdv,
 };
 use whisper_simnet::{MetricsSnapshot, SimDuration};
-use whisper_wire::{read_frame, write_frame, Decode, Encode, WireError};
+use whisper_wire::{
+    read_frame, read_frame_into, write_frame, write_frame_vectored, Decode, Encode, WireError,
+};
 use whisper_xml::QName;
 
 // ---------- generators ----------
@@ -459,6 +461,45 @@ proptest! {
         let _ = ElectionMsg::decode(&bytes);
         let _ = Advertisement::decode(&bytes);
         let _ = AdvFilter::decode(&bytes);
+    }
+
+    // ---------- buffer-reuse transport path: no cross-frame bleed ----------
+
+    /// The zero-copy transport loop (encode into a reused scratch buffer,
+    /// vectored frame write, read back into a reused payload buffer) must
+    /// round-trip arbitrary message sequences exactly — in particular a
+    /// short frame following a long one must not retain stale bytes.
+    #[test]
+    fn reused_buffers_round_trip_message_streams(
+        msgs in proptest::collection::vec(whisper_msg_strategy(), 1..8)
+    ) {
+        let mut stream = Vec::new();
+        let mut scratch = Vec::new();
+        for m in &msgs {
+            scratch.clear();
+            m.encode_into(&mut scratch);
+            write_frame_vectored(&mut stream, &scratch).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(stream);
+        let mut payload = Vec::new();
+        for m in &msgs {
+            prop_assert!(read_frame_into(&mut cursor, &mut payload).unwrap());
+            prop_assert_eq!(&WhisperMsg::decode(&payload).unwrap(), m);
+        }
+        prop_assert!(!read_frame_into(&mut cursor, &mut payload).unwrap());
+    }
+
+    /// Corrupted streams fail identically through the buffer-reuse reader:
+    /// truncating a vectored-written frame is an I/O error, never a panic
+    /// and never a silent partial frame left in the buffer.
+    #[test]
+    fn reused_buffer_reader_rejects_truncation(m in whisper_msg_strategy(), cut_frac in 0.0f64..1.0) {
+        let mut framed = Vec::new();
+        write_frame_vectored(&mut framed, &m.encode()).unwrap();
+        let cut = 1 + ((framed.len() - 2) as f64 * cut_frac) as usize;
+        let mut cursor = std::io::Cursor::new(&framed[..cut]);
+        let mut payload = Vec::new();
+        prop_assert!(read_frame_into(&mut cursor, &mut payload).is_err());
     }
 }
 
