@@ -9,14 +9,19 @@
 //! per-service summary.
 //!
 //! ```text
-//! whisper-top [--peers N] [--interval MS] [--frames N] [--once]
+//! whisper-top [--peers N] [--interval MS] [--frames N] [--once] [--live]
 //! whisper-top --check-summary PATH
 //! whisper-top --compare OLD.json NEW.json [--fail-on-regression PCT]
 //! ```
 //!
 //! `--once` prints a single frame and exits non-zero unless every node
 //! answered and all b-peers agree on a coordinator (the CI smoke check).
-//! `--check-summary` validates that a `BENCH_PR4.json` trajectory file
+//! `--live` boots the pulse telemetry plane alongside the cluster (plus
+//! a deliberately slow transcript replica), drives one request per
+//! refresh, and adds a telemetry panel under each frame: request-rate
+//! and p99 sparklines from the collector's windowed time-series, and a
+//! flame rendering of the latest tail-captured slow request.
+//! `--check-summary` validates that a `BENCH_PR6.json` trajectory file
 //! parses, without booting anything. `--compare` diffs two trajectory
 //! files stat by stat and prints a percent-change table; with
 //! `--fail-on-regression PCT` it exits non-zero if any shared statistic
@@ -26,8 +31,8 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use whisper_bench::{BenchSummary, ClusterTuning, Table, TcpCluster};
-use whisper_obs::NodeSnapshot;
+use whisper_bench::{BenchSummary, ClusterTuning, PulseTuning, Table, TcpCluster};
+use whisper_obs::{MetricsDelta, NodeSnapshot, OutlierTrace, PulseSpan};
 use whisper_simnet::{NodeId, SimDuration, SimTime};
 
 struct Options {
@@ -35,6 +40,7 @@ struct Options {
     interval: Duration,
     frames: Option<u64>,
     once: bool,
+    live: bool,
     check_summary: Option<String>,
     compare: Option<(String, String)>,
     fail_on_regression: Option<f64>,
@@ -42,7 +48,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: whisper-top [--peers N] [--interval MS] [--frames N] [--once]\n\
+        "usage: whisper-top [--peers N] [--interval MS] [--frames N] [--once] [--live]\n\
          \x20      whisper-top --check-summary PATH\n\
          \x20      whisper-top --compare OLD.json NEW.json [--fail-on-regression PCT]"
     );
@@ -55,6 +61,7 @@ fn parse_args() -> Options {
         interval: Duration::from_millis(1000),
         frames: None,
         once: false,
+        live: false,
         check_summary: None,
         compare: None,
         fail_on_regression: None,
@@ -81,6 +88,7 @@ fn parse_args() -> Options {
                 Err(_) => usage(),
             },
             "--once" => opts.once = true,
+            "--live" => opts.live = true,
             "--check-summary" => opts.check_summary = Some(value("--check-summary")),
             "--compare" => {
                 let old = value("--compare");
@@ -307,6 +315,94 @@ fn print_ledger(cluster: &TcpCluster, now: SimTime) {
     }
 }
 
+/// How many pulse windows back the sparklines look.
+const SPARK_WIDTH: usize = 32;
+
+/// Scales `vals` into one `▁`..`█` glyph each (shared maximum).
+fn sparkline(vals: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = vals.iter().fold(0.0_f64, |a, &b| a.max(b));
+    vals.iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                BARS[((v / max * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Renders a captured outlier trace as an indented flame: each span's bar
+/// is proportional to its share of the trace, children nested under
+/// their parent in start order.
+fn print_flame(trace: &OutlierTrace) {
+    println!(
+        "slowest capture: {} · {:.1} ms · {} spans",
+        trace.label,
+        trace.total_us as f64 / 1e3,
+        trace.spans.len()
+    );
+    fn walk(trace: &OutlierTrace, parent: Option<u32>, depth: usize) {
+        let mut children: Vec<&PulseSpan> =
+            trace.spans.iter().filter(|s| s.parent == parent).collect();
+        children.sort_by_key(|s| (s.start_us, s.id));
+        for span in children {
+            let us = span.end_us.saturating_sub(span.start_us);
+            let share = (us * 24 / trace.total_us.max(1)).max(1) as usize;
+            println!(
+                "  {}{} {} ({:.1} ms)",
+                "  ".repeat(depth),
+                "█".repeat(share),
+                span.name,
+                us as f64 / 1e3,
+            );
+            walk(trace, Some(span.id), depth + 1);
+        }
+    }
+    walk(trace, None, 0);
+}
+
+/// The `--live` telemetry panel: request-rate and p99 sparklines from the
+/// proxy's windowed time-series, plus the latest tail capture.
+fn print_pulse(cluster: &TcpCluster) {
+    let store = cluster.pulse_store();
+    let guard = store.lock().unwrap_or_else(|e| e.into_inner());
+    let proxy = cluster.proxy_node().index() as u64;
+    if let Some(series) = guard.series(proxy) {
+        let frames: Vec<&MetricsDelta> = series.frames().collect();
+        let recent = &frames[frames.len().saturating_sub(SPARK_WIDTH)..];
+        let rates: Vec<f64> = recent
+            .iter()
+            .map(|f| f.counter("proxy.requests") as f64 * 1e6 / f.interval_us.max(1) as f64)
+            .collect();
+        let p99s: Vec<f64> = recent
+            .iter()
+            .map(|f| {
+                f.hists
+                    .iter()
+                    .find(|(k, _)| k == "proxy.rtt")
+                    .and_then(|(_, h)| h.percentile(99.0))
+                    .map(|d| d.as_micros() as f64 / 1e3)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        let agg = guard.aggregate(usize::MAX);
+        println!(
+            "req/s {} {:.1}/s now · p99 {} {} window",
+            sparkline(&rates),
+            rates.last().copied().unwrap_or(0.0),
+            sparkline(&p99s),
+            agg.quantile_us("proxy.rtt", 99.0)
+                .map(|us| format!("{:.1}ms", us as f64 / 1e3))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    if let Some(trace) = guard.latest_outlier() {
+        print_flame(trace);
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     if let Some(path) = &opts.check_summary {
@@ -316,16 +412,35 @@ fn main() -> ExitCode {
         return compare_summaries(old, new, opts.fail_on_regression);
     }
 
-    eprintln!("booting {} b-peers + proxy on TCP loopback...", opts.peers);
+    eprintln!(
+        "booting {} b-peers + proxy on TCP loopback{}...",
+        opts.peers,
+        if opts.live {
+            " (+ transcript replica + pulse collector)"
+        } else {
+            ""
+        }
+    );
     let boot = Instant::now();
-    let cluster = match TcpCluster::start(opts.peers, ClusterTuning::default()) {
+    let booted = if opts.live {
+        TcpCluster::start_pulse(opts.peers, ClusterTuning::default(), PulseTuning::default())
+    } else {
+        TcpCluster::start(opts.peers, ClusterTuning::default())
+    };
+    let cluster = match booted {
         Ok(c) => c,
         Err(e) => {
             eprintln!("cluster failed to boot: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let expected = opts.peers + 1; // b-peers + proxy
+    // b-peers + proxy, plus the transcript replica in live mode.
+    let expected = opts.peers + 1 + usize::from(opts.live);
+    let mut targets = cluster.bpeer_nodes().to_vec();
+    if opts.live {
+        targets.push(cluster.transcript_node());
+    }
+    targets.push(cluster.proxy_node());
 
     // Give the boot election a chance before the first frame.
     let settle = Instant::now() + Duration::from_secs(15);
@@ -341,9 +456,30 @@ fn main() -> ExitCode {
     }
 
     let mut frames_left = if opts.once { Some(1) } else { opts.frames };
+    let mut sent = 0usize;
     let healthy = loop {
-        let snaps = cluster.poll_all(Duration::from_secs(5));
-        let coord = TcpCluster::agreed_coordinator(&snaps);
+        // Live mode drives a trickle of real traffic so the telemetry
+        // panel moves: one request per refresh, a slow transcript every
+        // eighth so the tail sampler has something to capture.
+        let mut answered = sent;
+        if opts.live {
+            if sent % 8 == 7 {
+                cluster.submit_transcript("u1004");
+            } else {
+                cluster.submit_student_info(&format!("u100{}", sent % 8));
+            }
+            sent += 1;
+            answered = cluster.await_responses(sent, Duration::from_secs(5));
+        }
+        let snaps = cluster.poll_snapshots(&targets, Duration::from_secs(5));
+        // Coordinator agreement is a fast-group question: the transcript
+        // replica coordinates its own single-member group.
+        let fast: Vec<_> = snaps
+            .iter()
+            .filter(|(n, _)| cluster.bpeer_nodes().contains(n))
+            .cloned()
+            .collect();
+        let coord = TcpCluster::agreed_coordinator(&fast);
         let uptime = boot.elapsed();
         println!(
             "whisper-top · uptime {:.1}s · {}/{} nodes answering · coordinator: {}",
@@ -357,7 +493,10 @@ fn main() -> ExitCode {
         frame_table(&cluster, &snaps).print();
         let now = SimTime::ZERO + SimDuration::from_micros(boot.elapsed().as_micros() as u64);
         print_ledger(&cluster, now);
-        let frame_healthy = snaps.len() == expected && coord.is_some();
+        if opts.live {
+            print_pulse(&cluster);
+        }
+        let frame_healthy = snaps.len() == expected && coord.is_some() && answered == sent;
 
         if let Some(left) = &mut frames_left {
             *left -= 1;

@@ -17,14 +17,17 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use whisper::{
-    BPeerActor, BPeerConfig, Directory, ProxyConfig, ServiceBackend, StudentRegistry,
-    SwsProxyActor, WhisperMsg,
+    pulse::shared_store, BPeerActor, BPeerConfig, Directory, ProxyConfig, PulseCollectorActor,
+    PulseConfig, ServiceBackend, SharedPulseStore, StudentRegistry, SwsProxyActor, WhisperMsg,
 };
 use whisper_election::BullyConfig;
-use whisper_obs::{AvailabilityLedger, NodeSnapshot};
+use whisper_obs::{AvailabilityLedger, NodeSnapshot, Recorder};
 use whisper_p2p::{GroupId, PeerId, SemanticAdv};
 use whisper_simnet::tcpnet::{TcpNet, TcpNetBuilder};
 use whisper_simnet::{Actor, Context, MetricsSnapshot, NodeId, SimDuration};
+use whisper_soap::Envelope;
+use whisper_wsdl::Operation;
+use whisper_xml::Element;
 
 /// Tuning of a live cluster. The defaults are aggressive (50 ms
 /// heartbeats, 250 ms failure timeout, sub-second Bully waits) so smoke
@@ -50,8 +53,78 @@ impl Default for ClusterTuning {
     }
 }
 
+/// Tuning of the streaming-telemetry (pulse) plane of a live cluster,
+/// plus the deliberately slow transcript replica it ships for
+/// tail-capture experiments: every `interval` each node emits a
+/// [`WhisperMsg::PulseReport`] delta frame to an in-cluster collector,
+/// and the `StudentTranscript` operation is served by a dedicated
+/// single-peer group whose backend takes `slow_processing` per request —
+/// a reproducible outlier among sub-millisecond loopback traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct PulseTuning {
+    /// Pulse emission period (every node, heartbeat-aligned by its own
+    /// timer wheel).
+    pub interval: SimDuration,
+    /// Delta frames retained per node in the collector's ring.
+    pub per_node_windows: usize,
+    /// Outlier traces retained by the collector.
+    pub max_outliers: usize,
+    /// Collector byte budget over frames + traces (oldest evicted first).
+    pub max_bytes: usize,
+    /// Service time of the transcript replica (the injected tail).
+    pub slow_processing: SimDuration,
+}
+
+impl Default for PulseTuning {
+    fn default() -> Self {
+        PulseTuning {
+            interval: SimDuration::from_millis(100),
+            per_node_windows: 256,
+            max_outliers: 128,
+            max_bytes: 4 << 20,
+            slow_processing: SimDuration::from_millis(40),
+        }
+    }
+}
+
 /// Snapshots collected by the probe, keyed by scope request id.
 type SnapshotStore = Arc<Mutex<HashMap<u64, Vec<(NodeId, NodeSnapshot)>>>>;
+
+/// SOAP responses collected by the driver, keyed by request id.
+type ResponseStore = Arc<Mutex<HashMap<u64, String>>>;
+
+/// The workload end of a pulse-enabled cluster: a non-peer node the
+/// harness injects [`WhisperMsg::SoapRequest`]s from; it collects the
+/// proxy's [`WhisperMsg::SoapResponse`]s so tests can await completion.
+struct SoapDriver {
+    responses: ResponseStore,
+}
+
+impl Actor<WhisperMsg> for SoapDriver {
+    fn on_message(&mut self, _ctx: &mut Context<'_, WhisperMsg>, _from: NodeId, msg: WhisperMsg) {
+        if let WhisperMsg::SoapResponse {
+            request_id,
+            envelope,
+        } = msg
+        {
+            self.responses
+                .lock()
+                .expect("driver store poisoned")
+                .insert(request_id, envelope);
+        }
+    }
+}
+
+/// The telemetry side of a pulse-enabled cluster.
+struct PulsePlane {
+    store: SharedPulseStore,
+    collector_node: NodeId,
+    recorder: Recorder,
+    transcript_node: NodeId,
+    driver_node: NodeId,
+    responses: ResponseStore,
+    next_soap_request: AtomicU64,
+}
 
 /// The measuring end of the scope protocol: collects every
 /// [`WhisperMsg::ScopeResponse`] it receives, keyed by request id.
@@ -87,6 +160,19 @@ pub struct TcpCluster {
     store: SnapshotStore,
     ledger: AvailabilityLedger,
     next_scope_request: AtomicU64,
+    pulse: Option<PulsePlane>,
+}
+
+/// Builds the semantic advertisement for one operation served by `group`.
+fn semantic_adv(group: GroupId, name: &str, op: &Operation) -> SemanticAdv {
+    SemanticAdv {
+        group,
+        name: name.into(),
+        action: op.action.clone(),
+        inputs: op.inputs.iter().map(|p| p.concept.clone()).collect(),
+        outputs: op.outputs.iter().map(|p| p.concept.clone()).collect(),
+        qos: None,
+    }
 }
 
 impl TcpCluster {
@@ -102,6 +188,40 @@ impl TcpCluster {
     ///
     /// Panics when `peers` is zero.
     pub fn start(peers: usize, tuning: ClusterTuning) -> std::io::Result<TcpCluster> {
+        TcpCluster::boot(peers, tuning, None)
+    }
+
+    /// Like [`TcpCluster::start`], with the streaming-telemetry plane on:
+    /// a second single-peer group serving the (deliberately slow)
+    /// `StudentTranscript` operation, a pulse collector node every actor
+    /// reports to, a SOAP driver node for workload injection, and a shared
+    /// [`Recorder`] on the proxy so captured outlier traces carry real
+    /// span trees.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors while opening the loopback mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `peers` is zero.
+    pub fn start_pulse(
+        peers: usize,
+        tuning: ClusterTuning,
+        pulse: PulseTuning,
+    ) -> std::io::Result<TcpCluster> {
+        TcpCluster::boot(peers, tuning, Some(pulse))
+    }
+
+    /// Node layout: `0..peers` fast b-peers, then (pulse only) the
+    /// transcript b-peer, then the proxy, the scope probe, and (pulse
+    /// only) the collector and the SOAP driver. Peer ids are node index
+    /// + 1 throughout, like the simulator harness.
+    fn boot(
+        peers: usize,
+        tuning: ClusterTuning,
+        pulse: Option<PulseTuning>,
+    ) -> std::io::Result<TcpCluster> {
         assert!(peers > 0, "need at least one b-peer");
         let service = whisper_wsdl::samples::student_management();
         let op = service
@@ -112,23 +232,20 @@ impl TcpCluster {
             .collect();
 
         let peer_of = |idx: usize| PeerId::new(idx as u64 + 1);
-        let proxy_idx = peers;
+        let transcript_idx = pulse.is_some().then_some(peers);
+        let proxy_idx = peers + usize::from(pulse.is_some());
         let mut pairs: Vec<(PeerId, NodeId)> = (0..peers)
             .map(|i| (peer_of(i), NodeId::from_index(i)))
             .collect();
+        if let Some(t) = transcript_idx {
+            pairs.push((peer_of(t), NodeId::from_index(t)));
+        }
         pairs.push((peer_of(proxy_idx), NodeId::from_index(proxy_idx)));
         let directory = Directory::with_routes(pairs, Vec::new());
 
         let group = GroupId::new(1);
         let members: Vec<PeerId> = (0..peers).map(peer_of).collect();
-        let adv = SemanticAdv {
-            group,
-            name: "StudentInfoGroup".into(),
-            action: op.action.clone(),
-            inputs: op.inputs.iter().map(|p| p.concept.clone()).collect(),
-            outputs: op.outputs.iter().map(|p| p.concept.clone()).collect(),
-            qos: None,
-        };
+        let adv = semantic_adv(group, "StudentInfoGroup", op);
         let bp_cfg = BPeerConfig {
             heartbeat_period: tuning.heartbeat_period,
             failure_timeout: tuning.failure_timeout,
@@ -141,7 +258,15 @@ impl TcpCluster {
         };
 
         let ledger = AvailabilityLedger::default();
+        let recorder = pulse.map(|_| Recorder::new());
+        // Node ids are assigned in registration order, so the collector's
+        // id is known before it is added: proxy, probe, then collector.
+        let pulse_cfg =
+            pulse.map(|p| PulseConfig::new(NodeId::from_index(proxy_idx + 2), p.interval));
         let mut builder = TcpNetBuilder::new();
+        if let Some(rec) = &recorder {
+            builder.set_net_hook(Box::new(rec.clone()));
+        }
         let mut bpeer_nodes = Vec::with_capacity(peers);
         for (i, backend) in backends.into_iter().enumerate() {
             let mut actor = BPeerActor::new(
@@ -154,7 +279,36 @@ impl TcpCluster {
                 bp_cfg.clone(),
             );
             actor.set_ledger(ledger.clone());
+            if let Some(cfg) = pulse_cfg {
+                actor.set_pulse(cfg);
+            }
             bpeer_nodes.push(builder.add_node(actor));
+        }
+
+        // The transcript group: one replica, one operation, a fixed
+        // multi-millisecond service time. Every request it serves is a
+        // reproducible tail among sub-millisecond loopback traffic.
+        let mut transcript_node = None;
+        if let (Some(t), Some(p)) = (transcript_idx, pulse) {
+            let transcript_op = service
+                .operation("StudentTranscript")
+                .expect("sample operation");
+            let transcript_group = GroupId::new(2);
+            let mut actor = BPeerActor::new(
+                peer_of(t),
+                transcript_group,
+                vec![peer_of(t)],
+                semantic_adv(transcript_group, "TranscriptGroup", transcript_op),
+                Box::new(StudentRegistry::operational_db().with_sample_data()),
+                directory.clone(),
+                BPeerConfig {
+                    processing_time: p.slow_processing,
+                    ..bp_cfg.clone()
+                },
+            );
+            actor.set_ledger(ledger.clone());
+            actor.set_pulse(pulse_cfg.expect("pulse config exists in pulse mode"));
+            transcript_node = Some(builder.add_node(actor));
         }
 
         let mut proxy = SwsProxyActor::new(
@@ -167,12 +321,49 @@ impl TcpCluster {
         for i in 0..peers {
             proxy.add_known_peer(peer_of(i));
         }
+        if let Some(t) = transcript_idx {
+            proxy.add_known_peer(peer_of(t));
+        }
+        if let Some(rec) = &recorder {
+            proxy.set_recorder(rec.clone());
+        }
+        if let Some(cfg) = pulse_cfg {
+            proxy.set_pulse(cfg);
+        }
         let proxy_node = builder.add_node(proxy);
 
         let store: SnapshotStore = Arc::new(Mutex::new(HashMap::new()));
         let probe_node = builder.add_node(ScopeProbe {
             store: Arc::clone(&store),
         });
+
+        // Pulse plane: the collector is added *after* the protocol nodes
+        // so killing or counting peers stays layout-compatible, and every
+        // emitter is configured before the builder spawns anything (pulse
+        // timers arm from each actor's `on_start`).
+        let mut plane = None;
+        if let Some(p) = pulse {
+            let pulse_store = shared_store(p.per_node_windows, p.max_outliers, p.max_bytes);
+            let collector_node = builder.add_node(PulseCollectorActor::new(pulse_store.clone()));
+            assert_eq!(
+                Some(collector_node),
+                pulse_cfg.map(|c| c.collector),
+                "collector landed on its precomputed node id"
+            );
+            let responses: ResponseStore = Arc::new(Mutex::new(HashMap::new()));
+            let driver_node = builder.add_node(SoapDriver {
+                responses: Arc::clone(&responses),
+            });
+            plane = Some(PulsePlane {
+                store: pulse_store,
+                collector_node,
+                recorder: recorder.clone().expect("recorder exists in pulse mode"),
+                transcript_node: transcript_node.expect("transcript peer exists in pulse mode"),
+                driver_node,
+                responses,
+                next_soap_request: AtomicU64::new(1),
+            });
+        }
 
         let net = builder.start()?;
         Ok(TcpCluster {
@@ -183,12 +374,133 @@ impl TcpCluster {
             store,
             ledger,
             next_scope_request: AtomicU64::new(1),
+            pulse: plane,
         })
     }
 
     /// The b-peer nodes, in peer-id order.
     pub fn bpeer_nodes(&self) -> &[NodeId] {
         &self.bpeer_nodes
+    }
+
+    fn plane(&self) -> &PulsePlane {
+        self.pulse
+            .as_ref()
+            .expect("pulse plane not enabled; boot with TcpCluster::start_pulse")
+    }
+
+    /// The collector's live store (pulse mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cluster was booted with [`TcpCluster::start_pulse`].
+    pub fn pulse_store(&self) -> &SharedPulseStore {
+        &self.plane().store
+    }
+
+    /// The proxy's shared recorder (pulse mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cluster was booted with [`TcpCluster::start_pulse`].
+    pub fn recorder(&self) -> &Recorder {
+        &self.plane().recorder
+    }
+
+    /// The node hosting the slow transcript replica (pulse mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cluster was booted with [`TcpCluster::start_pulse`].
+    pub fn transcript_node(&self) -> NodeId {
+        self.plane().transcript_node
+    }
+
+    /// The pulse collector's node (pulse mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cluster was booted with [`TcpCluster::start_pulse`].
+    pub fn collector_node(&self) -> NodeId {
+        self.plane().collector_node
+    }
+
+    /// Injects `payload` as a SOAP request from the driver node and
+    /// returns the request id; await the response with
+    /// [`TcpCluster::await_responses`] (pulse mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cluster was booted with [`TcpCluster::start_pulse`].
+    pub fn submit_soap(&self, payload: Element) -> u64 {
+        let plane = self.plane();
+        let request_id = plane.next_soap_request.fetch_add(1, Ordering::SeqCst);
+        let envelope = Envelope::request(payload).to_xml_string();
+        self.net.inject(
+            plane.driver_node,
+            self.proxy_node,
+            WhisperMsg::SoapRequest {
+                request_id,
+                envelope,
+            },
+        );
+        request_id
+    }
+
+    /// Submits the paper's `StudentInformation` request (fast group).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cluster was booted with [`TcpCluster::start_pulse`].
+    pub fn submit_student_info(&self, student_id: &str) -> u64 {
+        let mut payload = Element::new("StudentInformation");
+        payload.push_child(Element::with_text("StudentID", student_id));
+        self.submit_soap(payload)
+    }
+
+    /// Submits a `StudentTranscript` request — served by the deliberately
+    /// slow transcript replica, i.e. an injected tail-latency outlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cluster was booted with [`TcpCluster::start_pulse`].
+    pub fn submit_transcript(&self, student_id: &str) -> u64 {
+        let mut payload = Element::new("StudentTranscript");
+        payload.push_child(Element::with_text("StudentID", student_id));
+        self.submit_soap(payload)
+    }
+
+    /// Waits until at least `n` SOAP responses have arrived at the driver
+    /// (or `timeout` passes); returns how many are in (pulse mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cluster was booted with [`TcpCluster::start_pulse`].
+    pub fn await_responses(&self, n: usize, timeout: Duration) -> usize {
+        let plane = self.plane();
+        let deadline = Instant::now() + timeout;
+        loop {
+            let got = plane.responses.lock().expect("driver store poisoned").len();
+            if got >= n || Instant::now() >= deadline {
+                return got;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// The response envelope for `request_id`, when it has arrived
+    /// (pulse mode only).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cluster was booted with [`TcpCluster::start_pulse`].
+    pub fn response(&self, request_id: u64) -> Option<String> {
+        self.plane()
+            .responses
+            .lock()
+            .expect("driver store poisoned")
+            .get(&request_id)
+            .cloned()
     }
 
     /// The proxy node.

@@ -1,0 +1,394 @@
+//! Prometheus-style exposition of the pulse plane: renders a
+//! [`PulseStore`]'s windowed aggregate as the text format scrapers
+//! expect, and serves it over a minimal HTTP/1.1 endpoint so `curl`
+//! (or a real Prometheus) can watch a live cluster.
+//!
+//! The renderer is pure — it reads one consistent snapshot of the store
+//! under its lock and formats counters, gauges, latency quantiles,
+//! histogram buckets, and the pulse plane's own health (frames ingested,
+//! store bytes vs. budget, evictions). The server is deliberately tiny:
+//! a non-blocking accept loop on a dedicated thread, one response per
+//! connection, no keep-alive — exposition is a diagnostic surface, not a
+//! web framework.
+
+use std::fmt::Write as _;
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use whisper::SharedPulseStore;
+use whisper_obs::PulseStore;
+
+/// Quantiles exposed per latency series.
+const QUANTILES: [(f64, &str); 3] = [(50.0, "0.5"), (95.0, "0.95"), (99.0, "0.99")];
+
+fn series_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders the store's aggregate over the most recent `window` frames of
+/// every node as Prometheus text-format exposition.
+///
+/// Metric names stay in a fixed `whisper_*` family; the open-ended
+/// counter/gauge/histogram names from the cluster travel as label values,
+/// so a new series never mints a new metric family at scrape time.
+pub fn render_prometheus(store: &PulseStore, window: usize) -> String {
+    let agg = store.aggregate(window);
+    let mut out = String::new();
+
+    // The headline: requests the proxy accepted over the window.
+    series_header(
+        &mut out,
+        "whisper_request_total",
+        "counter",
+        "Requests accepted by the SWS-proxy over the retained window.",
+    );
+    let _ = writeln!(
+        out,
+        "whisper_request_total {}",
+        agg.counter("proxy.requests")
+    );
+    series_header(
+        &mut out,
+        "whisper_response_total",
+        "counter",
+        "Responses the SWS-proxy forwarded back to clients.",
+    );
+    let _ = writeln!(
+        out,
+        "whisper_response_total {}",
+        agg.counter("proxy.responses")
+    );
+
+    series_header(
+        &mut out,
+        "whisper_counter_total",
+        "counter",
+        "Per-name counter deltas summed over the window, all nodes.",
+    );
+    for (name, v) in &agg.counters {
+        let _ = writeln!(out, "whisper_counter_total{{name=\"{name}\"}} {v}");
+    }
+
+    series_header(
+        &mut out,
+        "whisper_gauge",
+        "gauge",
+        "Latest per-name gauge levels.",
+    );
+    for (name, v) in &agg.gauges {
+        let _ = writeln!(out, "whisper_gauge{{name=\"{name}\"}} {v}");
+    }
+
+    series_header(
+        &mut out,
+        "whisper_latency_us",
+        "summary",
+        "Latency quantiles (microseconds) of each merged histogram series.",
+    );
+    for (name, hist) in &agg.hists {
+        for (p, label) in QUANTILES {
+            if let Some(d) = hist.percentile(p) {
+                let _ = writeln!(
+                    out,
+                    "whisper_latency_us{{series=\"{name}\",quantile=\"{label}\"}} {}",
+                    d.as_micros()
+                );
+            }
+        }
+    }
+
+    series_header(
+        &mut out,
+        "whisper_latency_us_bucket",
+        "histogram",
+        "Cumulative bucket counts (le = bucket upper bound, microseconds).",
+    );
+    for (name, hist) in &agg.hists {
+        let mut cumulative = 0u64;
+        for (_lo, hi, n) in hist.bucket_ranges() {
+            cumulative += n;
+            let _ = writeln!(
+                out,
+                "whisper_latency_us_bucket{{series=\"{name}\",le=\"{hi}\"}} {cumulative}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "whisper_latency_us_bucket{{series=\"{name}\",le=\"+Inf\"}} {}",
+            hist.count()
+        );
+        let _ = writeln!(
+            out,
+            "whisper_latency_us_count{{series=\"{name}\"}} {}",
+            hist.count()
+        );
+        let _ = writeln!(
+            out,
+            "whisper_latency_us_sum{{series=\"{name}\"}} {}",
+            hist.sum_micros()
+        );
+    }
+
+    // The pulse plane watching itself: ingest volume, memory vs. budget,
+    // eviction pressure, and spans shed at the emitters.
+    series_header(
+        &mut out,
+        "whisper_pulse_nodes",
+        "gauge",
+        "Nodes that have reported at least one pulse frame.",
+    );
+    let _ = writeln!(out, "whisper_pulse_nodes {}", store.nodes().len());
+    series_header(
+        &mut out,
+        "whisper_pulse_frames_ingested_total",
+        "counter",
+        "Delta frames ingested by the collector since boot.",
+    );
+    let _ = writeln!(
+        out,
+        "whisper_pulse_frames_ingested_total {}",
+        store.frames_ingested()
+    );
+    series_header(
+        &mut out,
+        "whisper_pulse_outliers_ingested_total",
+        "counter",
+        "Outlier traces ingested by the collector since boot.",
+    );
+    let _ = writeln!(
+        out,
+        "whisper_pulse_outliers_ingested_total {}",
+        store.outliers_ingested()
+    );
+    series_header(
+        &mut out,
+        "whisper_pulse_evictions_total",
+        "counter",
+        "Frames/traces evicted by ring caps or the byte budget.",
+    );
+    let _ = writeln!(out, "whisper_pulse_evictions_total {}", store.evictions());
+    series_header(
+        &mut out,
+        "whisper_pulse_store_bytes",
+        "gauge",
+        "Approximate store memory (encoded bytes held).",
+    );
+    let _ = writeln!(out, "whisper_pulse_store_bytes {}", store.approx_bytes());
+    series_header(
+        &mut out,
+        "whisper_pulse_store_bytes_max",
+        "gauge",
+        "Configured store byte budget.",
+    );
+    let _ = writeln!(out, "whisper_pulse_store_bytes_max {}", store.max_bytes());
+    series_header(
+        &mut out,
+        "whisper_pulse_spans_dropped_total",
+        "counter",
+        "Spans shed by emitter span stores over the window.",
+    );
+    let _ = writeln!(
+        out,
+        "whisper_pulse_spans_dropped_total {}",
+        agg.spans_dropped
+    );
+    out
+}
+
+/// A running exposition endpoint; drop (or [`PulseExporter::stop`]) to
+/// shut the listener down and join its thread.
+pub struct PulseExporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PulseExporter {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PulseExporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves `store`'s exposition on `bind` (e.g. `127.0.0.1:9464`, or port
+/// 0 to let the OS pick). Every request — any path — gets the current
+/// rendering over the most recent `window` frames.
+///
+/// # Errors
+///
+/// Propagates binding errors.
+pub fn serve(store: SharedPulseStore, bind: &str, window: usize) -> io::Result<PulseExporter> {
+    let listener = TcpListener::bind(bind)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let mut req_buf = [0u8; 1024];
+        while !stop_flag.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((mut conn, _)) => {
+                    // Drain what the client sent (we answer any request)
+                    // but never wait long for a slow writer.
+                    let _ = conn.set_read_timeout(Some(Duration::from_millis(500)));
+                    let _ = conn.read(&mut req_buf);
+                    let body = {
+                        let guard = store.lock().unwrap_or_else(|e| e.into_inner());
+                        render_prometheus(&guard, window)
+                    };
+                    let response = format!(
+                        "HTTP/1.1 200 OK\r\n\
+                         Content-Type: text/plain; version=0.0.4\r\n\
+                         Content-Length: {}\r\n\
+                         Connection: close\r\n\r\n{body}",
+                        body.len()
+                    );
+                    let _ = conn.write_all(response.as_bytes());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    });
+    Ok(PulseExporter {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+    use whisper_obs::{MetricsDelta, OutlierTrace, PulseSpan};
+    use whisper_simnet::{Histogram, SimDuration};
+
+    fn seeded_store() -> PulseStore {
+        let mut store = PulseStore::new(16, 8, 1 << 20);
+        let mut hist = Histogram::new();
+        for us in [300, 400, 500, 45_000] {
+            hist.record(SimDuration::from_micros(us));
+        }
+        store.ingest(
+            3,
+            MetricsDelta {
+                seq: 0,
+                now_us: 1_000_000,
+                interval_us: 100_000,
+                counters: vec![("proxy.requests".into(), 7), ("proxy.responses".into(), 6)],
+                gauges: vec![("proxy.pending".into(), 1)],
+                hists: vec![("proxy.rtt".into(), hist)],
+                spans_dropped: 2,
+            },
+            vec![OutlierTrace {
+                request: 9,
+                label: "StudentTranscript".into(),
+                total_us: 45_000,
+                spans: vec![PulseSpan {
+                    id: 0,
+                    parent: None,
+                    name: "proxy.request".into(),
+                    start_us: 0,
+                    end_us: 45_000,
+                }],
+            }],
+        );
+        store
+    }
+
+    #[test]
+    fn rendering_exposes_requests_quantiles_and_plane_health() {
+        let store = seeded_store();
+        let text = render_prometheus(&store, usize::MAX);
+        assert!(text.contains("whisper_request_total 7"), "{text}");
+        assert!(text.contains("whisper_response_total 6"), "{text}");
+        assert!(
+            text.contains("whisper_latency_us{series=\"proxy.rtt\",quantile=\"0.99\"} 45000"),
+            "p99 is the exact max of four samples: {text}"
+        );
+        assert!(
+            text.contains("whisper_latency_us_bucket{series=\"proxy.rtt\",le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("whisper_latency_us_count{series=\"proxy.rtt\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("whisper_gauge{name=\"proxy.pending\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("whisper_pulse_frames_ingested_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("whisper_pulse_outliers_ingested_total 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("whisper_pulse_spans_dropped_total 2"),
+            "{text}"
+        );
+        // Cumulative bucket counts end at the total.
+        let last_bucket = text
+            .lines()
+            .rfind(|l| l.starts_with("whisper_latency_us_bucket{series=\"proxy.rtt\""))
+            .expect("bucket lines");
+        assert!(last_bucket.ends_with(" 4"), "{last_bucket}");
+    }
+
+    #[test]
+    fn http_endpoint_serves_the_current_rendering() {
+        let shared: SharedPulseStore = Arc::new(std::sync::Mutex::new(seeded_store()));
+        let exporter = serve(Arc::clone(&shared), "127.0.0.1:0", usize::MAX).expect("bind");
+        let mut conn = TcpStream::connect(exporter.addr()).expect("connect");
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain"), "{response}");
+        assert!(response.contains("whisper_request_total 7"), "{response}");
+        // A second scrape sees fresh state.
+        shared
+            .lock()
+            .unwrap()
+            .ingest(4, MetricsDelta::default(), Vec::new());
+        let mut conn = TcpStream::connect(exporter.addr()).expect("reconnect");
+        conn.write_all(b"GET / HTTP/1.0\r\n\r\n").expect("request");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("response");
+        assert!(
+            response.contains("whisper_pulse_frames_ingested_total 2"),
+            "{response}"
+        );
+        exporter.stop();
+    }
+}

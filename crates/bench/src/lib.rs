@@ -21,7 +21,7 @@
 //! Run everything with `cargo run -p whisper-bench --bin all_experiments`.
 //! `all_experiments`, `cluster_health` and the Criterion-style benches
 //! additionally merge headline statistics into the machine-readable
-//! trajectory `target/experiments/BENCH_PR4.json` ([`BenchSummary`]).
+//! trajectory `target/experiments/BENCH_PR6.json` ([`BenchSummary`]).
 //!
 //! Beyond the experiments, [`TcpCluster`] + the `whisper-top` binary give
 //! a live TCP-loopback deployment with in-band scope introspection.
@@ -31,10 +31,12 @@
 
 pub mod cluster;
 pub mod experiments;
+pub mod exporter;
 pub mod obs;
 pub mod summary;
 mod table;
 
-pub use cluster::{ClusterTuning, TcpCluster};
+pub use cluster::{ClusterTuning, PulseTuning, TcpCluster};
+pub use exporter::{render_prometheus, PulseExporter};
 pub use summary::{time_mean_us, BenchSummary};
 pub use table::Table;

@@ -11,9 +11,12 @@
 use crate::backend::{BackendError, ServiceBackend};
 use crate::directory::Directory;
 use crate::msg::WhisperMsg;
+use crate::pulse::{self, PulseConfig};
 use crate::trace;
 use whisper_election::{BullyConfig, BullyNode, ElectionMsg, ElectionProtocol, Output};
-use whisper_obs::{AvailabilityLedger, ElectionView, NodeRole, NodeSnapshot, Recorder, SpanId};
+use whisper_obs::{
+    AvailabilityLedger, ElectionView, NodeRole, NodeSnapshot, PulseEmitter, Recorder, SpanId,
+};
 use whisper_p2p::{
     Advertisement, DiscoveryService, DiscoveryStrategy, FailureDetector, GroupId, P2pMessage,
     PeerAdv, PeerId, PipeId, SemanticAdv,
@@ -25,6 +28,7 @@ use whisper_soap::{Envelope, Fault, FaultCode};
 const TOKEN_HEARTBEAT: u64 = 1;
 const TOKEN_FD_CHECK: u64 = 2;
 const TOKEN_REPUBLISH: u64 = 3;
+const TOKEN_PULSE: u64 = 4;
 const ELECTION_TOKEN_BASE: u64 = 1 << 63;
 const RESPONSE_TOKEN_BASE: u64 = 1 << 62;
 
@@ -112,6 +116,9 @@ pub struct BPeerActor {
     rx: Metrics,
     /// Online availability bookkeeping (shared across the deployment).
     ledger: Option<AvailabilityLedger>,
+    /// Telemetry plane: where/how often to push [`WhisperMsg::PulseReport`]s.
+    pulse: Option<PulseConfig>,
+    pulse_emitter: PulseEmitter,
 }
 
 impl BPeerActor {
@@ -148,6 +155,8 @@ impl BPeerActor {
             tx: Metrics::new(),
             rx: Metrics::new(),
             ledger: None,
+            pulse: None,
+            pulse_emitter: PulseEmitter::new(),
         }
     }
 
@@ -218,6 +227,42 @@ impl BPeerActor {
     /// the per-service ones.
     pub fn set_ledger(&mut self, ledger: AvailabilityLedger) {
         self.ledger = Some(ledger);
+    }
+
+    /// Joins the pulse telemetry plane: the b-peer then pushes a
+    /// [`WhisperMsg::PulseReport`] with its traffic and execution counters
+    /// to `cfg.collector` every `cfg.interval`.
+    pub fn set_pulse(&mut self, cfg: PulseConfig) {
+        self.pulse = Some(cfg);
+    }
+
+    /// Builds and ships one telemetry frame, then re-arms the interval.
+    /// B-peers report only node-local tallies — recorder-derived series are
+    /// reported once, by the proxy, because the recorder is shared.
+    fn emit_pulse(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
+        let Some(cfg) = self.pulse else {
+            return;
+        };
+        let mut counters = vec![("bpeer.handled".to_string(), self.requests_handled)];
+        counters.extend(pulse::traffic_counters(&self.tx, &self.rx));
+        counters.sort();
+        let gauges = vec![("bpeer.stash".to_string(), self.stash.len() as i64)];
+        let delta = self.pulse_emitter.frame(
+            ctx.now().as_micros(),
+            cfg.interval.as_micros(),
+            counters,
+            gauges,
+            Vec::new(),
+            0,
+        );
+        let msg = WhisperMsg::PulseReport {
+            delta: Box::new(delta),
+            outliers: Vec::new(),
+        };
+        // The collector is a plain node, not a peer: send directly.
+        self.tx.on_send(msg.kind(), msg.wire_size());
+        ctx.send(cfg.collector, msg);
+        ctx.set_timer(cfg.interval, TOKEN_PULSE);
     }
 
     /// The introspection snapshot served to [`WhisperMsg::ScopeRequest`]:
@@ -555,6 +600,9 @@ impl Actor<WhisperMsg> for BPeerActor {
         // Refresh advertisements at half their lifetime so they never
         // expire from caches while the peer is alive.
         ctx.set_timer(self.republish_period(), TOKEN_REPUBLISH);
+        if let Some(cfg) = self.pulse {
+            ctx.set_timer(cfg.interval, TOKEN_PULSE);
+        }
     }
 
     fn on_restart(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
@@ -648,13 +696,15 @@ impl Actor<WhisperMsg> for BPeerActor {
                 }
             }
             // B-peers neither originate SOAP traffic nor receive responses;
-            // nested relay envelopes are already unwrapped above.
+            // nested relay envelopes are already unwrapped above, and
+            // telemetry frames are consumed by the collector alone.
             WhisperMsg::SoapRequest { .. }
             | WhisperMsg::SoapResponse { .. }
             | WhisperMsg::PeerResponse { .. }
             | WhisperMsg::PeerRedirect { .. }
             | WhisperMsg::ScopeResponse { .. }
-            | WhisperMsg::Relayed { .. } => {}
+            | WhisperMsg::Relayed { .. }
+            | WhisperMsg::PulseReport { .. } => {}
         }
     }
 
@@ -735,6 +785,7 @@ impl Actor<WhisperMsg> for BPeerActor {
                 }
                 ctx.set_timer(self.config.heartbeat_period, TOKEN_FD_CHECK);
             }
+            TOKEN_PULSE => self.emit_pulse(ctx),
             _ => {}
         }
     }

@@ -10,8 +10,9 @@ use crate::client::{ClientActor, ClientConfig, ClientStats};
 use crate::directory::Directory;
 use crate::msg::WhisperMsg;
 use crate::proxy::{ProxyConfig, ProxyStats, SwsProxyActor};
+use crate::pulse::{self, PulseCollectorActor, PulseConfig, SharedPulseStore};
 use crate::WhisperError;
-use whisper_obs::{AvailabilityLedger, NodeRole, NodeSnapshot, Recorder};
+use whisper_obs::{AvailabilityLedger, NodeRole, NodeSnapshot, PulseEmitter, Recorder};
 use whisper_ontology::Ontology;
 use whisper_p2p::{
     DiscoveryService, DiscoveryStrategy, GroupId, P2pMessage, PeerId, QosSpec, SemanticAdv,
@@ -157,7 +158,13 @@ struct RendezvousActor {
     /// Per-kind traffic counters for the introspection snapshot.
     tx: Metrics,
     rx: Metrics,
+    /// Telemetry plane: where/how often to push [`WhisperMsg::PulseReport`]s.
+    pulse: Option<PulseConfig>,
+    pulse_emitter: PulseEmitter,
 }
+
+/// The rendezvous' only timer: its pulse interval.
+const RDV_TOKEN_PULSE: u64 = 1;
 
 impl RendezvousActor {
     /// The introspection snapshot served to [`WhisperMsg::ScopeRequest`]:
@@ -172,9 +179,49 @@ impl RendezvousActor {
         }
         snap
     }
+
+    /// Builds and ships one telemetry frame, then re-arms the interval.
+    fn emit_pulse(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
+        let Some(cfg) = self.pulse else {
+            return;
+        };
+        let mut counters = pulse::traffic_counters(&self.tx, &self.rx);
+        counters.sort();
+        let gauges = vec![(
+            "rendezvous.cache".to_string(),
+            self.disco.cache().len() as i64,
+        )];
+        let delta = self.pulse_emitter.frame(
+            ctx.now().as_micros(),
+            cfg.interval.as_micros(),
+            counters,
+            gauges,
+            Vec::new(),
+            0,
+        );
+        let msg = WhisperMsg::PulseReport {
+            delta: Box::new(delta),
+            outliers: Vec::new(),
+        };
+        self.tx.on_send(msg.kind(), msg.wire_size());
+        ctx.send(cfg.collector, msg);
+        ctx.set_timer(cfg.interval, RDV_TOKEN_PULSE);
+    }
 }
 
 impl Actor<WhisperMsg> for RendezvousActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
+        if let Some(cfg) = self.pulse {
+            ctx.set_timer(cfg.interval, RDV_TOKEN_PULSE);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, WhisperMsg>, token: u64) {
+        if token == RDV_TOKEN_PULSE {
+            self.emit_pulse(ctx);
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Context<'_, WhisperMsg>, from: NodeId, msg: WhisperMsg) {
         let Some((from, msg)) =
             crate::routing::unwrap_or_forward(&self.directory, self.peer, ctx, from, msg)
@@ -235,6 +282,7 @@ pub struct WhisperNet {
     next_node_index: usize,
     obs: Option<Recorder>,
     ledger: Option<AvailabilityLedger>,
+    pulse: Option<(SharedPulseStore, NodeId, SimDuration)>,
 }
 
 impl WhisperNet {
@@ -330,6 +378,8 @@ impl WhisperNet {
                 obs: None,
                 tx: Metrics::new(),
                 rx: Metrics::new(),
+                pulse: None,
+                pulse_emitter: PulseEmitter::new(),
             });
             debug_assert_eq!(added, NodeId::from_index(r));
         }
@@ -444,6 +494,7 @@ impl WhisperNet {
             next_node_index: next_node,
             obs: None,
             ledger: None,
+            pulse: None,
         })
     }
 
@@ -508,6 +559,46 @@ impl WhisperNet {
     /// The installed ledger, when [`WhisperNet::enable_ledger`] has run.
     pub fn ledger(&self) -> Option<AvailabilityLedger> {
         self.ledger.clone()
+    }
+
+    /// Deploys the pulse telemetry plane: adds a collector node and makes
+    /// every actor (proxy, b-peers, rendezvous) push a
+    /// [`WhisperMsg::PulseReport`] to it every `interval`. Returns the
+    /// collector's shared store for windowed queries. Call before the
+    /// deployment first runs (emission starts from each actor's
+    /// `on_start`). Idempotent: repeated calls return the same store and
+    /// ignore a changed interval.
+    pub fn enable_pulse(&mut self, interval: SimDuration) -> SharedPulseStore {
+        if let Some((store, _, _)) = &self.pulse {
+            return store.clone();
+        }
+        // Bounds sized for long soaks: 256 windows/node, 128 traces, 4 MiB.
+        let store = pulse::shared_store(256, 128, 4 << 20);
+        let collector = self.net.add_node(PulseCollectorActor::new(store.clone()));
+        self.next_node_index += 1;
+        let cfg = PulseConfig::new(collector, interval);
+        self.net
+            .node_mut::<SwsProxyActor>(self.proxy_node)
+            .set_pulse(cfg);
+        let bpeers: Vec<NodeId> = self.group_nodes.iter().flatten().copied().collect();
+        for n in bpeers {
+            self.net.node_mut::<BPeerActor>(n).set_pulse(cfg);
+        }
+        if let Some(r) = self.rendezvous_node {
+            self.net.node_mut::<RendezvousActor>(r).pulse = Some(cfg);
+        }
+        self.pulse = Some((store.clone(), collector, interval));
+        store
+    }
+
+    /// The pulse store, when [`WhisperNet::enable_pulse`] has run.
+    pub fn pulse_store(&self) -> Option<SharedPulseStore> {
+        self.pulse.as_ref().map(|(s, _, _)| s.clone())
+    }
+
+    /// The pulse collector node, when [`WhisperNet::enable_pulse`] has run.
+    pub fn pulse_collector(&self) -> Option<NodeId> {
+        self.pulse.as_ref().map(|&(_, n, _)| n)
     }
 
     /// The introspection snapshot of any non-client node, exactly as a
@@ -581,6 +672,11 @@ impl WhisperNet {
             self.net
                 .node_mut::<BPeerActor>(added)
                 .set_ledger(ledger.clone());
+        }
+        if let Some(&(_, collector, interval)) = self.pulse.as_ref() {
+            self.net
+                .node_mut::<BPeerActor>(added)
+                .set_pulse(PulseConfig::new(collector, interval));
         }
         self.group_nodes[gi].push(added);
         // the proxy may flood-query the newcomer too
@@ -900,6 +996,32 @@ mod tests {
         assert!(counter("net.sent.peer-request") > 0);
         let parsed = whisper_obs::Export::parse_jsonl(&export.to_jsonl()).expect("parses");
         assert_eq!(parsed, export);
+    }
+
+    #[test]
+    fn pulse_plane_collects_frames_from_every_node() {
+        let mut net = WhisperNet::student_scenario(3, 13);
+        net.enable_obs();
+        let store = net.enable_pulse(SimDuration::from_millis(500));
+        net.run_for(SimDuration::from_secs(3));
+        let client = net.client_ids()[0];
+        net.submit_student_request(client, "u1004");
+        net.run_for(SimDuration::from_secs(3));
+
+        let store = store.lock().unwrap();
+        // every b-peer and the proxy reported (nodes 0..=2 are b-peers,
+        // node 3 is the proxy)
+        assert_eq!(store.nodes(), vec![0, 1, 2, 3]);
+        assert!(store.frames_ingested() >= 4 * 10, "6 s at 500 ms intervals");
+        let agg = store.aggregate(64);
+        // the proxy's recorder-derived counters and RTT series arrived
+        assert_eq!(agg.counter("proxy.requests"), 1);
+        assert_eq!(agg.counter("client.sent"), 1);
+        assert!(agg.counter("tx.heartbeat") > 0, "b-peer traffic counters");
+        let p99 = agg.quantile_us("proxy.rtt", 99.0).expect("rtt series");
+        assert!(p99 > 0);
+        // memory bound respected
+        assert!(store.approx_bytes() <= store.max_bytes());
     }
 
     #[test]

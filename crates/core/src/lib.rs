@@ -62,6 +62,7 @@ mod harness;
 pub mod matchmaker;
 mod msg;
 mod proxy;
+pub mod pulse;
 mod qos;
 mod routing;
 pub mod trace;
@@ -77,4 +78,5 @@ pub use error::WhisperError;
 pub use harness::{ClientConfigTemplate, DeploymentConfig, GroupSpec, WhisperNet};
 pub use msg::WhisperMsg;
 pub use proxy::{ProxyConfig, ProxyStats, SwsProxyActor};
+pub use pulse::{PulseCollectorActor, PulseConfig, SharedPulseStore};
 pub use qos::{QosMonitor, SelectionPolicy};

@@ -1,7 +1,7 @@
 //! The Whisper wire protocol: everything that travels between nodes.
 
 use whisper_election::ElectionMsg;
-use whisper_obs::NodeSnapshot;
+use whisper_obs::{MetricsDelta, NodeSnapshot, OutlierTrace};
 use whisper_p2p::{GroupId, P2pMessage, PeerId};
 use whisper_simnet::Wire;
 use whisper_wire::{Decode, Encode, Reader, WireError};
@@ -90,6 +90,17 @@ pub enum WhisperMsg {
         /// rarely-sent introspection reply doesn't inflate every message).
         snapshot: Box<NodeSnapshot>,
     },
+    /// Telemetry plane ("whisper-pulse"): a node's periodic metrics-delta
+    /// frame, pushed to the pulse collector.
+    PulseReport {
+        /// Counters/gauges/histograms accumulated since the previous
+        /// frame (boxed: the periodic report must not inflate every
+        /// message variant).
+        delta: Box<MetricsDelta>,
+        /// Span trees the emitter's tail sampler kept this interval
+        /// (usually empty).
+        outliers: Vec<OutlierTrace>,
+    },
 }
 
 impl Wire for WhisperMsg {
@@ -109,7 +120,16 @@ impl Wire for WhisperMsg {
             WhisperMsg::Relayed { .. } => "relayed",
             WhisperMsg::ScopeRequest { .. } => "scope-request",
             WhisperMsg::ScopeResponse { .. } => "scope-response",
+            WhisperMsg::PulseReport { .. } => "pulse-report",
         }
+    }
+
+    fn is_telemetry(&self) -> bool {
+        // Pulse reports are best-effort: a shed frame loses one window's
+        // deltas (the gap shows in the `seq` numbers) but never corrupts
+        // later frames. The TCP transport may drop them instead of
+        // blocking on a contended link.
+        matches!(self, WhisperMsg::PulseReport { .. })
     }
 }
 
@@ -191,6 +211,11 @@ impl Encode for WhisperMsg {
                 request_id.encode_into(out);
                 snapshot.encode_into(out);
             }
+            WhisperMsg::PulseReport { delta, outliers } => {
+                out.push(10);
+                delta.encode_into(out);
+                outliers.encode_into(out);
+            }
         }
     }
 
@@ -235,6 +260,9 @@ impl Encode for WhisperMsg {
                 request_id,
                 snapshot,
             } => request_id.encoded_len() + snapshot.encoded_len(),
+            WhisperMsg::PulseReport { delta, outliers } => {
+                delta.encoded_len() + outliers.encoded_len()
+            }
         }
     }
 }
@@ -288,6 +316,10 @@ impl Decode for WhisperMsg {
             9 => Ok(WhisperMsg::ScopeResponse {
                 request_id: u64::decode_from(r)?,
                 snapshot: Box::new(NodeSnapshot::decode_from(r)?),
+            }),
+            10 => Ok(WhisperMsg::PulseReport {
+                delta: Box::new(MetricsDelta::decode_from(r)?),
+                outliers: Vec::decode_from(r)?,
             }),
             tag => Err(WireError::BadTag {
                 what: "WhisperMsg",
@@ -392,6 +424,10 @@ mod tests {
                 request_id: 5,
                 snapshot: Box::new(sample_snapshot()),
             },
+            WhisperMsg::PulseReport {
+                delta: Box::new(sample_delta()),
+                outliers: vec![sample_outlier()],
+            },
         ]
     }
 
@@ -411,13 +447,57 @@ mod tests {
         s.bindings = vec![(2, 9)];
         s.queue_depth = 1;
         s.registry.counters = vec![("requests.handled".into(), 4)];
+        s.registry.spans_dropped = 2;
         s
+    }
+
+    /// A nontrivially populated pulse delta frame.
+    fn sample_delta() -> MetricsDelta {
+        use whisper_simnet::{Histogram, SimDuration};
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_micros(120));
+        h.record(SimDuration::from_micros(44_000));
+        MetricsDelta {
+            seq: 6,
+            now_us: 3_000_000,
+            interval_us: 500_000,
+            counters: vec![("requests.handled".into(), 12)],
+            gauges: vec![("queue.depth".into(), -1)],
+            hists: vec![("proxy.rtt".into(), h)],
+            spans_dropped: 1,
+        }
+    }
+
+    /// A nontrivially populated outlier trace.
+    fn sample_outlier() -> OutlierTrace {
+        use whisper_obs::PulseSpan;
+        OutlierTrace {
+            request: 9,
+            label: "StudentInformation".into(),
+            total_us: 44_000,
+            spans: vec![
+                PulseSpan {
+                    id: 0,
+                    parent: None,
+                    name: "proxy.request".into(),
+                    start_us: 0,
+                    end_us: 44_000,
+                },
+                PulseSpan {
+                    id: 1,
+                    parent: Some(0),
+                    name: "peer.execute".into(),
+                    start_us: 500,
+                    end_us: 43_500,
+                },
+            ],
+        }
     }
 
     #[test]
     fn every_variant_wire_size_is_exactly_encoded_len() {
         let msgs = one_of_each();
-        assert_eq!(msgs.len(), 10, "update one_of_each when adding variants");
+        assert_eq!(msgs.len(), 11, "update one_of_each when adding variants");
         for m in msgs {
             assert_eq!(m.wire_size(), m.encode().len(), "{m:?}");
         }

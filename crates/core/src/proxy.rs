@@ -22,16 +22,20 @@
 use crate::directory::Directory;
 use crate::matchmaker;
 use crate::msg::WhisperMsg;
+use crate::pulse::{self, PulseConfig};
 use crate::qos::{QosMonitor, SelectionPolicy};
 use crate::trace;
+use rand::RngCore;
 use std::collections::HashMap;
-use whisper_obs::{NodeRole, NodeSnapshot, Recorder, RequestId};
+use whisper_obs::{
+    NodeRole, NodeSnapshot, OutlierTrace, PulseEmitter, PulseSpan, Recorder, RequestId, TailSampler,
+};
 use whisper_ontology::Ontology;
 use whisper_p2p::{
     AdvFilter, AdvKind, Advertisement, DiscoveryService, DiscoveryStrategy, GroupId, PeerId,
     QueryId, SemanticAdv,
 };
-use whisper_simnet::{Actor, Context, Metrics, NodeId, SimDuration, SimTime, Wire};
+use whisper_simnet::{Actor, Context, Histogram, Metrics, NodeId, SimDuration, SimTime, Wire};
 use whisper_soap::{Envelope, Fault, FaultCode};
 use whisper_wsdl::{OperationSemantics, ServiceDescription};
 
@@ -146,9 +150,14 @@ struct Pending {
 }
 
 /// Purpose bits of proxy timer tokens.
+const PURPOSE_PULSE: u64 = 0;
 const PURPOSE_TIMEOUT: u64 = 1;
 const PURPOSE_BACKOFF: u64 = 2;
 const PURPOSE_GATHER: u64 = 3;
+
+/// Outlier traces buffered between pulse frames; beyond this, further
+/// sampled requests of the interval are dropped (bounded memory).
+const MAX_PENDING_OUTLIERS: usize = 16;
 
 fn token(request_id: u64, attempt: u32, purpose: u64) -> u64 {
     (request_id << 20) | ((attempt as u64) << 2) | purpose
@@ -180,6 +189,15 @@ pub struct SwsProxyActor {
     /// Per-kind traffic counters for the introspection snapshot.
     tx: Metrics,
     rx: Metrics,
+    /// Telemetry plane: where/how often to push [`WhisperMsg::PulseReport`]s.
+    pulse: Option<PulseConfig>,
+    pulse_emitter: PulseEmitter,
+    /// Tail sampler deciding which requests' span trees ride the next frame.
+    sampler: TailSampler,
+    /// End-to-end request latency as the proxy sees it (client in → SOAP
+    /// response out), including discovery and re-binds.
+    local_rtt: Histogram,
+    outlier_buf: Vec<OutlierTrace>,
 }
 
 impl SwsProxyActor {
@@ -224,6 +242,14 @@ impl SwsProxyActor {
             obs: None,
             tx: Metrics::new(),
             rx: Metrics::new(),
+            pulse: None,
+            pulse_emitter: PulseEmitter::new(),
+            // Warm after 20 samples per window: pulse windows are short
+            // (~100 ms), so a higher floor can leave the threshold unset
+            // on a lightly loaded proxy and tails would never be flagged.
+            sampler: TailSampler::new(20, 64),
+            local_rtt: Histogram::new(),
+            outlier_buf: Vec::new(),
         }
     }
 
@@ -239,6 +265,14 @@ impl SwsProxyActor {
     pub fn set_recorder(&mut self, rec: Recorder) {
         self.disco.set_recorder(rec.clone());
         self.obs = Some(rec);
+    }
+
+    /// Joins the pulse telemetry plane: the proxy then pushes a
+    /// [`WhisperMsg::PulseReport`] to `cfg.collector` every `cfg.interval`,
+    /// carrying its counter/latency deltas plus the span trees of requests
+    /// its tail sampler flagged.
+    pub fn set_pulse(&mut self, cfg: PulseConfig) {
+        self.pulse = Some(cfg);
     }
 
     /// The recorder handle and traced-request id of a pending request.
@@ -318,6 +352,88 @@ impl SwsProxyActor {
         ctx.send(to, msg);
     }
 
+    /// Feeds a finished request into the pulse plane: records the
+    /// end-to-end latency and, when the tail sampler keeps the request,
+    /// buffers its span tree for the next frame.
+    fn pulse_observe(&mut self, ctx: &mut Context<'_, WhisperMsg>, request_id: u64, p: &Pending) {
+        if self.pulse.is_none() {
+            return;
+        }
+        let now = ctx.now();
+        let dur = now.since(p.started_at);
+        self.local_rtt.record(dur);
+        let us = dur.as_micros();
+        let coin = ctx.rng().next_u64();
+        if !self.sampler.observe(us, coin) || self.outlier_buf.len() >= MAX_PENDING_OUTLIERS {
+            return;
+        }
+        let trace = match (&self.obs, p.obs_req) {
+            (Some(rec), Some(req)) => pulse::capture_trace(rec, req, p.operation.clone(), us, now),
+            // No recorder: a single synthetic span still places the request
+            // on the timeline.
+            _ => OutlierTrace {
+                request: request_id,
+                label: p.operation.clone(),
+                total_us: us,
+                spans: vec![PulseSpan {
+                    id: 0,
+                    parent: None,
+                    name: "proxy.request".into(),
+                    start_us: p.started_at.as_micros(),
+                    end_us: now.as_micros(),
+                }],
+            },
+        };
+        self.outlier_buf.push(trace);
+    }
+
+    /// Builds and ships one telemetry frame, then re-arms the interval.
+    fn emit_pulse(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
+        let Some(cfg) = self.pulse else {
+            return;
+        };
+        self.sampler.roll();
+        let (mut counters, mut gauges, mut hists, spans_dropped) = match &self.obs {
+            Some(rec) => rec.pulse_readings(),
+            None => (Vec::new(), Vec::new(), Vec::new(), 0),
+        };
+        if self.obs.is_none() {
+            // Without a recorder the frame still carries the proxy's own
+            // counters (the recorder path reports these under the same
+            // names, so they are only added once).
+            counters.push(("proxy.requests".into(), self.next_request));
+            counters.push(("proxy.faults".into(), self.stats.faults_generated));
+            counters.push(("proxy.rebinds".into(), self.stats.rebinds));
+            counters.push(("proxy.redirects".into(), self.stats.redirects_followed));
+        }
+        counters.push(("proxy.responses".into(), self.stats.responses_forwarded));
+        counters.push(("proxy.discoveries".into(), self.stats.discoveries));
+        counters.extend(pulse::traffic_counters(&self.tx, &self.rx));
+        counters.sort();
+        gauges.push(("proxy.pending".into(), self.pending.len() as i64));
+        gauges.sort();
+        hists.push(("proxy.rtt".into(), self.local_rtt.clone()));
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        let delta = self.pulse_emitter.frame(
+            ctx.now().as_micros(),
+            cfg.interval.as_micros(),
+            counters,
+            gauges,
+            hists,
+            spans_dropped,
+        );
+        let outliers = std::mem::take(&mut self.outlier_buf);
+        self.send_direct(
+            ctx,
+            cfg.collector,
+            WhisperMsg::PulseReport {
+                delta: Box::new(delta),
+                outliers,
+            },
+        );
+        ctx.set_timer(cfg.interval, token(0, 0, PURPOSE_PULSE));
+    }
+
     fn reply_fault(
         &mut self,
         ctx: &mut Context<'_, WhisperMsg>,
@@ -337,6 +453,7 @@ impl SwsProxyActor {
             rec.incr("proxy.faults", 1);
             self.obs_finish(rec, req, request_id, ctx.now());
         }
+        self.pulse_observe(ctx, request_id, &p);
         self.stats.faults_generated += 1;
         self.stats.responses_forwarded += 1;
         let envelope = Envelope::fault(Fault::new(code, reason)).to_xml_string();
@@ -943,6 +1060,7 @@ impl Actor<WhisperMsg> for SwsProxyActor {
                         rec.record_duration("proxy.request", now.since(p.started_at));
                         self.obs_finish(rec, req, request_id, now);
                     }
+                    self.pulse_observe(ctx, request_id, &p);
                     self.send_direct(
                         ctx,
                         p.client_node,
@@ -969,18 +1087,27 @@ impl Actor<WhisperMsg> for SwsProxyActor {
                     None => self.send_direct(ctx, from, reply),
                 }
             }
-            // Proxies ignore election traffic and stray SOAP responses.
+            // Proxies ignore election traffic, stray SOAP responses, and
+            // telemetry frames (only the collector consumes those).
             WhisperMsg::Election { .. }
             | WhisperMsg::SoapResponse { .. }
             | WhisperMsg::PeerRequest { .. }
             | WhisperMsg::ScopeResponse { .. }
-            | WhisperMsg::Relayed { .. } => {}
+            | WhisperMsg::Relayed { .. }
+            | WhisperMsg::PulseReport { .. } => {}
+        }
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
+        if let Some(cfg) = self.pulse {
+            ctx.set_timer(cfg.interval, token(0, 0, PURPOSE_PULSE));
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, WhisperMsg>, t: u64) {
         let (request_id, attempt, purpose) = untoken(t);
         match purpose {
+            PURPOSE_PULSE => self.emit_pulse(ctx),
             PURPOSE_TIMEOUT => self.handle_timeout(ctx, request_id, attempt),
             PURPOSE_BACKOFF => self.handle_backoff_fired(ctx, request_id),
             PURPOSE_GATHER => self.handle_gather_fired(ctx, request_id),

@@ -408,6 +408,87 @@ mod tests {
     }
 
     #[test]
+    fn open_outage_spans_report_boundary() {
+        // A report taken mid-outage attributes the current stretch to
+        // downtime and shows the interval still open; recovery later
+        // closes it and the totals cover the whole outage.
+        let ledger = AvailabilityLedger::new();
+        ledger.coordinator_elected(1, 9, t(0));
+        ledger.coordinator_down(1, 9, t(100), t(250));
+
+        let mid = ledger.service_report(1, t(300)).unwrap();
+        assert!(!mid.up);
+        assert_eq!(mid.uptime, d(100));
+        assert_eq!(mid.downtime, d(200), "100 → 300 still accruing");
+        assert_eq!(mid.failures, 0, "not a *completed* outage yet");
+        assert_eq!(mid.mttr, None);
+        assert_eq!(mid.downtime_intervals.len(), 1);
+        assert_eq!(mid.downtime_intervals[0].end, None);
+        assert_eq!(mid.coordinator, None, "nobody is believed in while down");
+
+        ledger.coordinator_elected(1, 8, t(500));
+        let after = ledger.service_report(1, t(600)).unwrap();
+        assert_eq!(after.uptime, d(200));
+        assert_eq!(after.downtime, d(400));
+        assert_eq!(after.failures, 1);
+        assert_eq!(after.downtime_intervals[0].end, Some(t(500)));
+    }
+
+    #[test]
+    fn backdate_horizon_clamps_to_current_stretch() {
+        // `last_seen` exactly at the stretch start is the backdate
+        // horizon: a legal zero-length up stretch. A `last_seen` from
+        // *before* the stretch (a stale report) clamps to the stretch
+        // start, so no negative time is ever recorded.
+        let ledger = AvailabilityLedger::new();
+        ledger.peer_heartbeat(5, t(100));
+        // Never seen again after the stretch began; silence noticed the
+        // same instant it started (detected_at == last_seen).
+        ledger.peer_down(5, t(100), t(100));
+        let r = ledger.peer_report(5, t(100)).unwrap();
+        assert!(!r.up);
+        assert_eq!(r.uptime, d(0));
+        assert_eq!(r.downtime, d(0));
+        assert_eq!(r.availability, 1.0, "nothing has elapsed at the edge");
+        assert_eq!(r.downtime_intervals[0].detection_latency(), d(0));
+
+        ledger.peer_heartbeat(5, t(200)); // restart
+                                          // Stale detection carrying a pre-restart last_seen: clamped.
+        ledger.peer_down(5, t(150), t(220));
+        let r = ledger.peer_report(5, t(260)).unwrap();
+        let iv = *r.downtime_intervals.last().unwrap();
+        assert_eq!(iv.start, t(200), "backdate clamped to the restart");
+        assert_eq!(iv.detected_at, t(220));
+        assert_eq!(r.downtime, d(100) + d(60), "100→200 plus 200→260");
+        assert_eq!(r.uptime, d(0));
+        assert_eq!(r.mttr, Some(d(100)), "only the completed outage counts");
+    }
+
+    #[test]
+    fn restarted_coordinator_with_stale_suspicion() {
+        // The same peer id can be re-elected after a restart. A laggard's
+        // suspicion carrying the *old* incarnation's last_seen matches
+        // the current coordinator by identity, but its backdate clamps to
+        // the re-election: pre-restart uptime is never rewritten.
+        let ledger = AvailabilityLedger::new();
+        ledger.coordinator_elected(1, 9, t(0));
+        ledger.coordinator_down(1, 9, t(100), t(150));
+        ledger.coordinator_elected(1, 9, t(300)); // same identity returns
+        let before = ledger.service_report(1, t(400)).unwrap();
+        assert_eq!(before.churn, 0, "same coordinator: no hand-over");
+        assert_eq!(before.failures, 1);
+
+        ledger.coordinator_down(1, 9, t(120), t(450));
+        let r = ledger.service_report(1, t(500)).unwrap();
+        assert!(!r.up);
+        let iv = *r.downtime_intervals.last().unwrap();
+        assert_eq!(iv.start, t(300), "outage clamped to the re-election");
+        assert_eq!(iv.detected_at, t(450));
+        assert_eq!(r.uptime, d(100), "pre-restart uptime untouched");
+        assert_eq!(r.downtime, d(200) + d(200), "100→300 plus 300→500");
+    }
+
+    #[test]
     fn fresh_timeline_is_fully_available() {
         let ledger = AvailabilityLedger::new();
         ledger.peer_heartbeat(3, t(7));

@@ -56,11 +56,16 @@ use whisper_simnet::{Histogram, NetHook, NodeId, SimDuration, SimTime, TraceOutc
 pub mod export;
 mod json;
 pub mod ledger;
+pub mod pulse;
 mod render;
 pub mod scope;
 
 pub use export::Export;
 pub use ledger::{AvailabilityLedger, AvailabilityReport, DowntimeInterval};
+pub use pulse::{
+    MetricsDelta, OutlierTrace, PulseEmitter, PulseSpan, PulseStore, TailSampler, TimeSeries,
+    WindowAgg,
+};
 pub use scope::{ElectionView, HistSummary, NodeRole, NodeSnapshot, RegistryDump};
 
 /// Identity of one end-to-end request (or other traced activity, such as

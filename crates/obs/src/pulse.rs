@@ -1,0 +1,906 @@
+//! Streaming telemetry plane ("whisper-pulse").
+//!
+//! The scope plane answers *point-in-time* questions; this module is the
+//! push side: every actor periodically emits a [`MetricsDelta`] — the
+//! counters and histogram samples accumulated since its previous frame —
+//! plus the span trees of requests its [`TailSampler`] flagged as slow.
+//! A collector ingests those frames into a bounded [`PulseStore`] of
+//! per-node ring buffers ([`TimeSeries`]), which answers windowed queries
+//! (rates, p50/p95/p99 over the last N windows) by merging the delta
+//! histograms bucket-wise ([`whisper_simnet::Histogram::merge`] is exact
+//! at the bucket level, so windowed percentiles have the same fidelity as
+//! a single histogram of all the samples).
+//!
+//! Memory is bounded end to end: each node's ring holds a fixed number of
+//! windows, outlier traces live in a bounded deque, and the store tracks
+//! its own encoded size and evicts oldest-first when a byte budget is
+//! exceeded — an unattended collector cannot grow without bound.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use whisper_simnet::Histogram;
+use whisper_wire::{Decode, Encode, Reader, WireError};
+
+/// One telemetry frame: everything a node accumulated since its previous
+/// frame. Counters and histograms are *deltas*, not absolutes, so windows
+/// can be aggregated by plain summation/merging and a collector restart
+/// loses history but never double-counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsDelta {
+    /// Frame sequence number per emitter (gaps reveal lost frames).
+    pub seq: u64,
+    /// Emitter clock at frame time, microseconds.
+    pub now_us: u64,
+    /// Nominal interval this frame covers, microseconds.
+    pub interval_us: u64,
+    /// Counter increments since the previous frame (zero deltas omitted),
+    /// ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values at frame time (gauges are levels, not deltas),
+    /// ascending by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram samples recorded since the previous frame, as standalone
+    /// delta histograms, ascending by name.
+    pub hists: Vec<(String, Histogram)>,
+    /// Spans dropped by the emitter's span store since the previous frame.
+    pub spans_dropped: u64,
+}
+
+impl MetricsDelta {
+    /// The delta for one counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    }
+}
+
+impl Encode for MetricsDelta {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.seq.encode_into(out);
+        self.now_us.encode_into(out);
+        self.interval_us.encode_into(out);
+        self.counters.encode_into(out);
+        // Gauges travel as their two's-complement bit pattern, like in
+        // RegistryDump.
+        let raw: Vec<(String, u64)> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), *v as u64))
+            .collect();
+        raw.encode_into(out);
+        self.hists.encode_into(out);
+        self.spans_dropped.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        let raw: Vec<(String, u64)> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), *v as u64))
+            .collect();
+        self.seq.encoded_len()
+            + self.now_us.encoded_len()
+            + self.interval_us.encoded_len()
+            + self.counters.encoded_len()
+            + raw.encoded_len()
+            + self.hists.encoded_len()
+            + self.spans_dropped.encoded_len()
+    }
+}
+
+impl Decode for MetricsDelta {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let seq = u64::decode_from(r)?;
+        let now_us = u64::decode_from(r)?;
+        let interval_us = u64::decode_from(r)?;
+        let counters = Vec::decode_from(r)?;
+        let raw: Vec<(String, u64)> = Vec::decode_from(r)?;
+        let gauges = raw.into_iter().map(|(k, v)| (k, v as i64)).collect();
+        let hists = Vec::decode_from(r)?;
+        let spans_dropped = u64::decode_from(r)?;
+        Ok(MetricsDelta {
+            seq,
+            now_us,
+            interval_us,
+            counters,
+            gauges,
+            hists,
+            spans_dropped,
+        })
+    }
+}
+
+/// One span of a captured outlier trace, flattened for the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PulseSpan {
+    /// Span id within the trace (parent references use these).
+    pub id: u32,
+    /// Parent span id, `None` for the root.
+    pub parent: Option<u32>,
+    /// Span name (e.g. `proxy.request`, `match.semantic`).
+    pub name: String,
+    /// Start time, microseconds of emitter sim-time.
+    pub start_us: u64,
+    /// End time, microseconds (`start_us` for instant markers; open spans
+    /// are clamped to capture time).
+    pub end_us: u64,
+}
+
+impl Encode for PulseSpan {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.id.encode_into(out);
+        self.parent.encode_into(out);
+        self.name.encode_into(out);
+        self.start_us.encode_into(out);
+        self.end_us.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len()
+            + self.parent.encoded_len()
+            + self.name.encoded_len()
+            + self.start_us.encoded_len()
+            + self.end_us.encoded_len()
+    }
+}
+
+impl Decode for PulseSpan {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PulseSpan {
+            id: u32::decode_from(r)?,
+            parent: Option::decode_from(r)?,
+            name: String::decode_from(r)?,
+            start_us: u64::decode_from(r)?,
+            end_us: u64::decode_from(r)?,
+        })
+    }
+}
+
+/// The span tree of one request the tail sampler decided to keep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutlierTrace {
+    /// The emitter's request id (recorder-local).
+    pub request: u64,
+    /// Request label (e.g. the operation name).
+    pub label: String,
+    /// End-to-end duration in microseconds, as the emitter measured it.
+    pub total_us: u64,
+    /// The spans, in start order; parents precede children.
+    pub spans: Vec<PulseSpan>,
+}
+
+impl Encode for OutlierTrace {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.request.encode_into(out);
+        self.label.encode_into(out);
+        self.total_us.encode_into(out);
+        self.spans.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.request.encoded_len()
+            + self.label.encoded_len()
+            + self.total_us.encoded_len()
+            + self.spans.encoded_len()
+    }
+}
+
+impl Decode for OutlierTrace {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(OutlierTrace {
+            request: u64::decode_from(r)?,
+            label: String::decode_from(r)?,
+            total_us: u64::decode_from(r)?,
+            spans: Vec::decode_from(r)?,
+        })
+    }
+}
+
+/// Adaptive tail sampler: always keeps requests slower than a rolling p99
+/// threshold, probabilistically keeps `1/sample_one_in` of the rest.
+///
+/// The threshold is frozen from the current window's p99 at each
+/// [`TailSampler::roll`] (called once per pulse interval), so a latency
+/// regime shift moves the bar within one interval instead of being
+/// averaged away by all-time history. Memory is one bounded
+/// [`Histogram`], independent of request volume.
+#[derive(Debug, Clone)]
+pub struct TailSampler {
+    window: Histogram,
+    threshold_us: Option<u64>,
+    min_samples: u64,
+    sample_one_in: u64,
+}
+
+impl TailSampler {
+    /// `min_samples` observations are required before a p99 threshold is
+    /// trusted; until then only the probabilistic path keeps anything.
+    /// `sample_one_in == 0` disables probabilistic sampling entirely.
+    pub fn new(min_samples: u64, sample_one_in: u64) -> Self {
+        TailSampler {
+            window: Histogram::new(),
+            threshold_us: None,
+            min_samples,
+            sample_one_in,
+        }
+    }
+
+    /// Observes one request duration and decides whether to keep its
+    /// trace. `coin` is caller-supplied randomness (e.g. from the actor's
+    /// deterministic RNG) for the probabilistic path.
+    pub fn observe(&mut self, us: u64, coin: u64) -> bool {
+        self.window
+            .record(whisper_simnet::SimDuration::from_micros(us));
+        // Strictly slower than the bar: in a uniform regime the p99
+        // value itself is the common case, not the tail.
+        let tail = self.current_threshold_us().is_some_and(|t| us > t);
+        tail || (self.sample_one_in > 0 && coin.is_multiple_of(self.sample_one_in))
+    }
+
+    /// The threshold currently in force: the one frozen at the last roll,
+    /// or — before any roll — the live window p99 once warmed up.
+    pub fn current_threshold_us(&self) -> Option<u64> {
+        self.threshold_us.or_else(|| {
+            (self.window.count() as u64 >= self.min_samples)
+                .then(|| self.window.percentile(99.0).expect("warm").as_micros())
+        })
+    }
+
+    /// Rotates the window (call once per pulse interval): refreezes the
+    /// threshold from the window just observed when it was warm enough,
+    /// then starts a fresh window.
+    pub fn roll(&mut self) {
+        if self.window.count() as u64 >= self.min_samples {
+            self.threshold_us = Some(self.window.percentile(99.0).expect("warm").as_micros());
+            self.window = Histogram::new();
+        }
+    }
+}
+
+/// Turns absolute counter/histogram readings into [`MetricsDelta`] frames
+/// by remembering the previous reading as a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct PulseEmitter {
+    seq: u64,
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+    spans_dropped: u64,
+}
+
+impl PulseEmitter {
+    /// A fresh emitter whose first frame reports everything since zero.
+    pub fn new() -> Self {
+        PulseEmitter::default()
+    }
+
+    /// Builds the next frame from *absolute* readings, advancing the
+    /// baseline. Counters whose delta is zero are omitted; histograms are
+    /// reduced to the samples recorded since the previous frame via
+    /// [`Histogram::since`].
+    pub fn frame(
+        &mut self,
+        now_us: u64,
+        interval_us: u64,
+        counters: Vec<(String, u64)>,
+        gauges: Vec<(String, i64)>,
+        hists: Vec<(String, Histogram)>,
+        spans_dropped: u64,
+    ) -> MetricsDelta {
+        let mut counter_deltas = Vec::new();
+        for (name, abs) in counters {
+            let prev = self.counters.get(&name).copied().unwrap_or(0);
+            let delta = abs.saturating_sub(prev);
+            if delta > 0 {
+                counter_deltas.push((name.clone(), delta));
+            }
+            self.counters.insert(name, abs);
+        }
+        let mut hist_deltas = Vec::new();
+        for (name, abs) in hists {
+            let delta = match self.hists.get(&name) {
+                Some(prev) => abs.since(prev),
+                None => abs.clone(),
+            };
+            if delta.count() > 0 {
+                hist_deltas.push((name.clone(), delta));
+            }
+            self.hists.insert(name, abs);
+        }
+        let dropped_delta = spans_dropped.saturating_sub(self.spans_dropped);
+        self.spans_dropped = spans_dropped;
+        let seq = self.seq;
+        self.seq += 1;
+        MetricsDelta {
+            seq,
+            now_us,
+            interval_us,
+            counters: counter_deltas,
+            gauges,
+            hists: hist_deltas,
+            spans_dropped: dropped_delta,
+        }
+    }
+}
+
+/// Absolute registry readings for pulse delta framing: counters, gauges,
+/// full duration histograms, and the span-drop total.
+pub type PulseReadings = (
+    Vec<(String, u64)>,
+    Vec<(String, i64)>,
+    Vec<(String, Histogram)>,
+    u64,
+);
+
+impl crate::Recorder {
+    /// Absolute registry readings for pulse delta framing: counters (with
+    /// net-hook counts merged in, like [`crate::Recorder::registry_dump`]),
+    /// gauges, full duration histograms, and the span-drop total.
+    pub fn pulse_readings(&self) -> PulseReadings {
+        let inner = self.lock();
+        let mut counters: Vec<(String, u64)> = inner
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone().into_owned(), v))
+            .collect();
+        for (kind, &n) in &inner.net_sent {
+            counters.push((format!("net.sent.{kind}"), n));
+        }
+        for (kind, &n) in &inner.net_dropped {
+            counters.push((format!("net.dropped.{kind}"), n));
+        }
+        if inner.net_bytes > 0 {
+            counters.push(("net.bytes_sent".into(), inner.net_bytes));
+        }
+        counters.sort();
+        let gauges = inner
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone().into_owned(), v))
+            .collect();
+        let hists = inner
+            .durations
+            .iter()
+            .map(|(k, h)| (k.clone().into_owned(), h.clone()))
+            .collect();
+        (counters, gauges, hists, inner.dropped_spans)
+    }
+}
+
+/// Fixed-capacity ring buffer of one node's recent delta frames.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    cap: usize,
+    frames: VecDeque<MetricsDelta>,
+}
+
+impl TimeSeries {
+    /// A ring holding at most `cap` frames (oldest evicted first).
+    pub fn new(cap: usize) -> Self {
+        TimeSeries {
+            cap: cap.max(1),
+            frames: VecDeque::new(),
+        }
+    }
+
+    /// Appends a frame, returning the evicted oldest frame when full.
+    pub fn push(&mut self, frame: MetricsDelta) -> Option<MetricsDelta> {
+        let evicted = if self.frames.len() == self.cap {
+            self.frames.pop_front()
+        } else {
+            None
+        };
+        self.frames.push_back(frame);
+        evicted
+    }
+
+    /// Frames currently held, oldest first.
+    pub fn frames(&self) -> impl Iterator<Item = &MetricsDelta> {
+        self.frames.iter()
+    }
+
+    /// Number of frames currently held.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Aggregates the most recent `last_n` frames.
+    pub fn aggregate(&self, last_n: usize) -> WindowAgg {
+        let skip = self.frames.len().saturating_sub(last_n);
+        let mut agg = WindowAgg::default();
+        for frame in self.frames.iter().skip(skip) {
+            agg.absorb(frame);
+        }
+        agg
+    }
+}
+
+/// The answer to a windowed query: counters summed and histograms merged
+/// over a set of delta frames.
+#[derive(Debug, Clone, Default)]
+pub struct WindowAgg {
+    /// Number of frames absorbed.
+    pub windows: usize,
+    /// Total time the absorbed frames cover, microseconds.
+    pub elapsed_us: u64,
+    /// Summed counter deltas.
+    pub counters: BTreeMap<String, u64>,
+    /// Latest gauge value per name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Merged delta histograms (bucket-wise exact).
+    pub hists: BTreeMap<String, Histogram>,
+    /// Summed span drops.
+    pub spans_dropped: u64,
+}
+
+impl WindowAgg {
+    /// Folds one frame into the aggregate.
+    pub fn absorb(&mut self, frame: &MetricsDelta) {
+        self.windows += 1;
+        self.elapsed_us += frame.interval_us;
+        for (name, n) in &frame.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += n;
+        }
+        for (name, v) in &frame.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &frame.hists {
+            self.hists.entry(name.clone()).or_default().merge(h);
+        }
+        self.spans_dropped += frame.spans_dropped;
+    }
+
+    /// Merges another aggregate (e.g. the same window range of a different
+    /// node) into this one. `elapsed_us` takes the maximum, not the sum:
+    /// nodes report concurrently, so wall-clock coverage does not add up.
+    pub fn merge(&mut self, other: &WindowAgg) {
+        self.windows = self.windows.max(other.windows);
+        self.elapsed_us = self.elapsed_us.max(other.elapsed_us);
+        for (name, n) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += n;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.hists {
+            self.hists.entry(name.clone()).or_default().merge(h);
+        }
+        self.spans_dropped += other.spans_dropped;
+    }
+
+    /// Total of one counter over the window (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Events per second for one counter over the window.
+    pub fn rate_per_sec(&self, name: &str) -> f64 {
+        if self.elapsed_us == 0 {
+            return 0.0;
+        }
+        self.counter(name) as f64 * 1_000_000.0 / self.elapsed_us as f64
+    }
+
+    /// A percentile of one merged histogram, microseconds.
+    pub fn quantile_us(&self, hist: &str, p: f64) -> Option<u64> {
+        self.hists.get(hist)?.percentile(p).map(|d| d.as_micros())
+    }
+}
+
+/// The collector's store: per-node frame rings plus a bounded deque of
+/// captured outlier traces, with a global byte budget.
+#[derive(Debug)]
+pub struct PulseStore {
+    per_node_windows: usize,
+    max_outliers: usize,
+    max_bytes: usize,
+    nodes: BTreeMap<u64, TimeSeries>,
+    outliers: VecDeque<OutlierTrace>,
+    bytes: usize,
+    frames_ingested: u64,
+    outliers_ingested: u64,
+    evictions: u64,
+}
+
+impl PulseStore {
+    /// A store keeping at most `per_node_windows` frames per node and
+    /// `max_outliers` traces, never exceeding `max_bytes` of encoded
+    /// payload overall.
+    pub fn new(per_node_windows: usize, max_outliers: usize, max_bytes: usize) -> Self {
+        PulseStore {
+            per_node_windows: per_node_windows.max(1),
+            max_outliers: max_outliers.max(1),
+            max_bytes,
+            nodes: BTreeMap::new(),
+            outliers: VecDeque::new(),
+            bytes: 0,
+            frames_ingested: 0,
+            outliers_ingested: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Ingests one report from `node`.
+    pub fn ingest(&mut self, node: u64, delta: MetricsDelta, outliers: Vec<OutlierTrace>) {
+        self.frames_ingested += 1;
+        self.bytes += delta.encoded_len();
+        let per_node = self.per_node_windows;
+        let ring = self
+            .nodes
+            .entry(node)
+            .or_insert_with(|| TimeSeries::new(per_node));
+        if let Some(evicted) = ring.push(delta) {
+            self.bytes -= evicted.encoded_len();
+            self.evictions += 1;
+        }
+        for trace in outliers {
+            self.outliers_ingested += 1;
+            self.bytes += trace.encoded_len();
+            if self.outliers.len() == self.max_outliers {
+                if let Some(old) = self.outliers.pop_front() {
+                    self.bytes -= old.encoded_len();
+                    self.evictions += 1;
+                }
+            }
+            self.outliers.push_back(trace);
+        }
+        self.enforce_budget();
+    }
+
+    /// Evicts oldest-first until under the byte budget: outlier traces go
+    /// before metric frames (a trace is a luxury, the series is the
+    /// product).
+    fn enforce_budget(&mut self) {
+        while self.bytes > self.max_bytes {
+            if let Some(old) = self.outliers.pop_front() {
+                self.bytes -= old.encoded_len();
+                self.evictions += 1;
+                continue;
+            }
+            // Evict the globally oldest frame across nodes.
+            let oldest = self
+                .nodes
+                .iter()
+                .filter_map(|(&n, ts)| ts.frames.front().map(|f| (f.now_us, n)))
+                .min()
+                .map(|(_, n)| n);
+            match oldest {
+                Some(n) => {
+                    let ring = self.nodes.get_mut(&n).expect("node exists");
+                    if let Some(old) = ring.frames.pop_front() {
+                        self.bytes -= old.encoded_len();
+                        self.evictions += 1;
+                    }
+                    if ring.is_empty() {
+                        self.nodes.remove(&n);
+                    }
+                }
+                None => break, // nothing left to evict
+            }
+        }
+    }
+
+    /// Approximate store memory: total encoded bytes of everything held.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured byte budget.
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
+    /// Node ids that have reported, ascending.
+    pub fn nodes(&self) -> Vec<u64> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// One node's frame ring.
+    pub fn series(&self, node: u64) -> Option<&TimeSeries> {
+        self.nodes.get(&node)
+    }
+
+    /// Windowed aggregate over the most recent `last_n` frames of one node.
+    pub fn aggregate_node(&self, node: u64, last_n: usize) -> Option<WindowAgg> {
+        self.nodes.get(&node).map(|ts| ts.aggregate(last_n))
+    }
+
+    /// Windowed aggregate over the most recent `last_n` frames of every
+    /// node (counters summed, histograms merged, elapsed = max).
+    pub fn aggregate(&self, last_n: usize) -> WindowAgg {
+        let mut agg = WindowAgg::default();
+        for ts in self.nodes.values() {
+            agg.merge(&ts.aggregate(last_n));
+        }
+        agg
+    }
+
+    /// Captured outlier traces, oldest first.
+    pub fn outliers(&self) -> impl Iterator<Item = &OutlierTrace> {
+        self.outliers.iter()
+    }
+
+    /// The most recently captured outlier trace.
+    pub fn latest_outlier(&self) -> Option<&OutlierTrace> {
+        self.outliers.back()
+    }
+
+    /// Total frames ingested since creation (eviction does not subtract).
+    pub fn frames_ingested(&self) -> u64 {
+        self.frames_ingested
+    }
+
+    /// Total outlier traces ingested since creation.
+    pub fn outliers_ingested(&self) -> u64 {
+        self.outliers_ingested
+    }
+
+    /// Frames and traces evicted by ring caps or the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whisper_simnet::SimDuration;
+
+    fn hist_of(samples: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &us in samples {
+            h.record(SimDuration::from_micros(us));
+        }
+        h
+    }
+
+    fn frame(seq: u64, now_us: u64, requests: u64, samples: &[u64]) -> MetricsDelta {
+        MetricsDelta {
+            seq,
+            now_us,
+            interval_us: 1_000_000,
+            counters: vec![("requests".into(), requests)],
+            gauges: vec![("depth".into(), seq as i64)],
+            hists: vec![("rtt".into(), hist_of(samples))],
+            spans_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn delta_codec_round_trips() {
+        let d = frame(3, 5_000_000, 40, &[100, 200, 90_000]);
+        let bytes = d.encode();
+        assert_eq!(bytes.len(), d.encoded_len());
+        assert_eq!(MetricsDelta::decode(&bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn outlier_trace_codec_round_trips() {
+        let t = OutlierTrace {
+            request: 12,
+            label: "StudentInformation".into(),
+            total_us: 43_000,
+            spans: vec![
+                PulseSpan {
+                    id: 0,
+                    parent: None,
+                    name: "proxy.request".into(),
+                    start_us: 0,
+                    end_us: 43_000,
+                },
+                PulseSpan {
+                    id: 1,
+                    parent: Some(0),
+                    name: "peer.execute".into(),
+                    start_us: 900,
+                    end_us: 42_100,
+                },
+            ],
+        };
+        let bytes = t.encode();
+        assert_eq!(bytes.len(), t.encoded_len());
+        assert_eq!(OutlierTrace::decode(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn tail_sampler_keeps_slow_requests_after_warmup() {
+        let mut s = TailSampler::new(50, 0);
+        for _ in 0..200 {
+            // fast regime: nothing kept while warm and under threshold
+            s.observe(100, 1);
+        }
+        assert!(s.current_threshold_us().is_some());
+        assert!(s.observe(40_000, 1), "a 400x outlier must be kept");
+        assert!(!s.observe(100, 1), "fast requests stay unsampled");
+    }
+
+    #[test]
+    fn tail_sampler_threshold_rolls_with_the_regime() {
+        let mut s = TailSampler::new(10, 0);
+        for _ in 0..100 {
+            s.observe(100, 1);
+        }
+        s.roll();
+        let slow_bar = s.current_threshold_us().unwrap();
+        assert!(slow_bar <= 101, "p99 of a uniform 100µs regime: {slow_bar}");
+        // The regime shifts 100x slower; after one roll the threshold
+        // follows, so steady 10ms requests stop being "outliers".
+        for _ in 0..100 {
+            s.observe(10_000, 1);
+        }
+        s.roll();
+        let new_bar = s.current_threshold_us().unwrap();
+        assert!(
+            new_bar >= 9_000,
+            "threshold must follow the regime: {new_bar}"
+        );
+        assert!(!s.observe(8_000, 1));
+    }
+
+    #[test]
+    fn tail_sampler_probabilistic_path_is_coin_driven() {
+        let mut s = TailSampler::new(1000, 10);
+        assert!(s.observe(5, 20), "coin divisible by 10 → kept");
+        assert!(!s.observe(5, 21), "coin not divisible → dropped");
+    }
+
+    #[test]
+    fn emitter_frames_are_true_deltas() {
+        let mut e = PulseEmitter::new();
+        let f1 = e.frame(
+            1_000_000,
+            1_000_000,
+            vec![("requests".into(), 10)],
+            vec![],
+            vec![("rtt".into(), hist_of(&[100, 200]))],
+            0,
+        );
+        assert_eq!(f1.seq, 0);
+        assert_eq!(f1.counter("requests"), 10);
+        assert_eq!(f1.hists[0].1.count(), 2);
+        let f2 = e.frame(
+            2_000_000,
+            1_000_000,
+            vec![("requests".into(), 25)],
+            vec![],
+            vec![("rtt".into(), hist_of(&[100, 200, 300, 400]))],
+            0,
+        );
+        assert_eq!(f2.seq, 1);
+        assert_eq!(f2.counter("requests"), 15);
+        assert_eq!(f2.hists[0].1.count(), 2, "only the new samples");
+        assert_eq!(f2.hists[0].1.sum_micros(), 700);
+        // An idle interval emits an empty frame, not a repeat.
+        let f3 = e.frame(
+            3_000_000,
+            1_000_000,
+            vec![("requests".into(), 25)],
+            vec![],
+            vec![("rtt".into(), hist_of(&[100, 200, 300, 400]))],
+            0,
+        );
+        assert!(f3.counters.is_empty());
+        assert!(f3.hists.is_empty());
+    }
+
+    #[test]
+    fn recorder_pulse_readings_include_net_counters() {
+        use whisper_simnet::{NetHook, NodeId, SimTime};
+        let rec = crate::Recorder::new();
+        rec.incr("queries", 3);
+        rec.record_duration("rtt", SimDuration::from_micros(500));
+        let mut hook = rec.clone();
+        hook.on_send(
+            SimTime::ZERO,
+            NodeId::from_index(0),
+            NodeId::from_index(1),
+            "ping",
+            64,
+        );
+        let (counters, _gauges, hists, dropped) = rec.pulse_readings();
+        assert!(counters.contains(&("queries".to_string(), 3)));
+        assert!(counters.contains(&("net.sent.ping".to_string(), 1)));
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].1.count(), 1);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn time_series_ring_evicts_oldest() {
+        let mut ts = TimeSeries::new(3);
+        for i in 0..5 {
+            let evicted = ts.push(frame(i, i * 1_000_000, 1, &[10]));
+            if i < 3 {
+                assert!(evicted.is_none());
+            } else {
+                assert_eq!(evicted.unwrap().seq, i - 3);
+            }
+        }
+        assert_eq!(ts.len(), 3);
+        let seqs: Vec<u64> = ts.frames().map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn window_agg_sums_rates_and_merges_percentiles() {
+        let mut ts = TimeSeries::new(8);
+        ts.push(frame(0, 1_000_000, 100, &[100; 50]));
+        ts.push(frame(1, 2_000_000, 100, &[200; 50]));
+        ts.push(frame(2, 3_000_000, 100, &[40_000; 2]));
+        let agg = ts.aggregate(3);
+        assert_eq!(agg.windows, 3);
+        assert_eq!(agg.counter("requests"), 300);
+        assert!((agg.rate_per_sec("requests") - 100.0).abs() < 1e-9);
+        let p50 = agg.quantile_us("rtt", 50.0).unwrap();
+        assert!(p50 <= 200, "p50={p50}");
+        let p99 = agg.quantile_us("rtt", 99.0).unwrap();
+        assert!(p99 >= 39_000, "p99={p99}");
+        // Narrower window sees only the slow frame.
+        let last = ts.aggregate(1);
+        assert_eq!(last.counter("requests"), 100);
+        assert_eq!(last.quantile_us("rtt", 50.0), Some(40_000));
+    }
+
+    #[test]
+    fn store_aggregates_across_nodes() {
+        let mut store = PulseStore::new(8, 4, 1 << 20);
+        store.ingest(1, frame(0, 1_000_000, 60, &[100; 10]), vec![]);
+        store.ingest(2, frame(0, 1_000_000, 40, &[300; 10]), vec![]);
+        assert_eq!(store.nodes(), vec![1, 2]);
+        let agg = store.aggregate(4);
+        assert_eq!(agg.counter("requests"), 100);
+        assert_eq!(agg.elapsed_us, 1_000_000, "elapsed is max, not sum");
+        assert_eq!(agg.hists["rtt"].count(), 20);
+    }
+
+    #[test]
+    fn store_byte_budget_is_enforced_outliers_first() {
+        let trace = OutlierTrace {
+            request: 1,
+            label: "r".into(),
+            total_us: 50_000,
+            spans: vec![PulseSpan {
+                id: 0,
+                parent: None,
+                name: "client.request".into(),
+                start_us: 0,
+                end_us: 50_000,
+            }],
+        };
+        // Room for the 4-frame ring plus two traces: outlier history gets
+        // trimmed, the series never does.
+        let frame_len = frame(0, 0, 1, &[10]).encoded_len();
+        let budget = 4 * frame_len + 2 * trace.encoded_len();
+        let mut store = PulseStore::new(4, 64, budget);
+        for i in 0..100 {
+            store.ingest(1, frame(i, i * 1_000_000, 1, &[10]), vec![trace.clone()]);
+            assert!(
+                store.approx_bytes() <= budget,
+                "bytes {} over budget {budget} at frame {i}",
+                store.approx_bytes()
+            );
+        }
+        assert!(store.evictions() > 0);
+        // The newest outlier survives; history was evicted oldest-first.
+        assert_eq!(store.latest_outlier().unwrap().request, 1);
+        assert_eq!(store.series(1).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn store_tracks_exact_encoded_bytes() {
+        let mut store = PulseStore::new(4, 4, 1 << 20);
+        store.ingest(1, frame(0, 1_000_000, 5, &[100]), vec![]);
+        store.ingest(1, frame(1, 2_000_000, 5, &[100]), vec![]);
+        let expected: usize = store
+            .series(1)
+            .unwrap()
+            .frames()
+            .map(Encode::encoded_len)
+            .sum();
+        assert_eq!(store.approx_bytes(), expected);
+    }
+}

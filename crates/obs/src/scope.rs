@@ -112,8 +112,9 @@ impl Decode for ElectionView {
     }
 }
 
-/// Aggregate summary of one named duration histogram (bounded: no
-/// per-bucket data crosses the wire in a snapshot).
+/// Aggregate summary of one named duration histogram, including its
+/// occupied bucket bounds (sparse, so the wire cost is proportional to
+/// distinct magnitudes, not samples).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistSummary {
     /// Histogram name in the registry.
@@ -126,6 +127,10 @@ pub struct HistSummary {
     pub min_us: u64,
     /// Largest sample in microseconds.
     pub max_us: u64,
+    /// Occupied bucket bounds as `(lo µs, hi µs, count)` triples with
+    /// half-open ranges `[lo, hi)`, ascending — lets a scope probe
+    /// recompute percentiles remotely instead of trusting a point summary.
+    pub buckets: Vec<(u64, u64, u64)>,
 }
 
 impl Encode for HistSummary {
@@ -135,6 +140,7 @@ impl Encode for HistSummary {
         self.sum_us.encode_into(out);
         self.min_us.encode_into(out);
         self.max_us.encode_into(out);
+        self.buckets.encode_into(out);
     }
     fn encoded_len(&self) -> usize {
         self.name.encoded_len()
@@ -142,6 +148,7 @@ impl Encode for HistSummary {
             + self.sum_us.encoded_len()
             + self.min_us.encoded_len()
             + self.max_us.encoded_len()
+            + self.buckets.encoded_len()
     }
 }
 
@@ -153,6 +160,7 @@ impl Decode for HistSummary {
             sum_us: u64::decode_from(r)?,
             min_us: u64::decode_from(r)?,
             max_us: u64::decode_from(r)?,
+            buckets: Vec::decode_from(r)?,
         })
     }
 }
@@ -170,6 +178,10 @@ pub struct RegistryDump {
     pub gauges: Vec<(String, i64)>,
     /// Duration histogram summaries.
     pub hists: Vec<HistSummary>,
+    /// Spans the bounded span store refused because it was full — a
+    /// non-zero value tells a scope probe the node is under-sampling and
+    /// its span-derived numbers are partial.
+    pub spans_dropped: u64,
 }
 
 impl Encode for RegistryDump {
@@ -182,6 +194,7 @@ impl Encode for RegistryDump {
             .collect();
         raw.encode_into(out);
         self.hists.encode_into(out);
+        self.spans_dropped.encode_into(out);
     }
     fn encoded_len(&self) -> usize {
         let raw: Vec<(String, u64)> = self
@@ -189,7 +202,10 @@ impl Encode for RegistryDump {
             .iter()
             .map(|(k, v)| (k.clone(), *v as u64))
             .collect();
-        self.counters.encoded_len() + raw.encoded_len() + self.hists.encoded_len()
+        self.counters.encoded_len()
+            + raw.encoded_len()
+            + self.hists.encoded_len()
+            + self.spans_dropped.encoded_len()
     }
 }
 
@@ -199,10 +215,12 @@ impl Decode for RegistryDump {
         let raw: Vec<(String, u64)> = Vec::decode_from(r)?;
         let gauges = raw.into_iter().map(|(k, v)| (k, v as i64)).collect();
         let hists = Vec::decode_from(r)?;
+        let spans_dropped = u64::decode_from(r)?;
         Ok(RegistryDump {
             counters,
             gauges,
             hists,
+            spans_dropped,
         })
     }
 }
@@ -341,12 +359,14 @@ impl crate::Recorder {
                 sum_us: h.sum_micros(),
                 min_us: h.min().map(|d| d.as_micros()).unwrap_or(0),
                 max_us: h.max().map(|d| d.as_micros()).unwrap_or(0),
+                buckets: h.bucket_ranges(),
             })
             .collect();
         RegistryDump {
             counters,
             gauges,
             hists,
+            spans_dropped: inner.dropped_spans,
         }
     }
 }
@@ -393,7 +413,9 @@ mod tests {
                     sum_us: 900,
                     min_us: 400,
                     max_us: 500,
+                    buckets: vec![(400, 408, 1), (496, 504, 1)],
                 }],
+                spans_dropped: 17,
             },
         }
     }
@@ -463,5 +485,23 @@ mod tests {
         assert_eq!(dump.gauges, vec![("depth".to_string(), -4)]);
         assert_eq!(dump.hists.len(), 1);
         assert_eq!(dump.hists[0].sum_us, 250);
+        // Satellite: bucket bounds ride along so probes can recompute
+        // percentiles; the single 250 µs sample sits in its exact bucket.
+        assert_eq!(dump.hists[0].buckets, vec![(250, 251, 1)]);
+        assert_eq!(dump.spans_dropped, 0);
+    }
+
+    #[test]
+    fn span_store_overflow_is_visible_in_the_dump() {
+        use whisper_simnet::SimTime;
+        let rec = Recorder::with_span_capacity(2);
+        let req = rec.begin_request("r", SimTime::ZERO);
+        for i in 0..5u64 {
+            let s = rec.start_span("phase", req, SimTime::from_micros(i));
+            rec.end_span(s, SimTime::from_micros(i + 1));
+        }
+        let dump = rec.registry_dump();
+        assert_eq!(dump.spans_dropped, 3);
+        assert_eq!(dump.spans_dropped, rec.dropped_spans());
     }
 }

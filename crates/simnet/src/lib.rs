@@ -89,4 +89,12 @@ pub trait Wire: Clone + std::fmt::Debug + Send + 'static {
     fn kind(&self) -> &'static str {
         "message"
     }
+
+    /// Whether this message is best-effort telemetry (e.g. a pulse report).
+    /// Transports may shed such messages rather than let them head-of-line
+    /// block protocol traffic: the TCP runtime drops a telemetry frame
+    /// instead of waiting on a contended link, counting it as lost.
+    fn is_telemetry(&self) -> bool {
+        false
+    }
 }

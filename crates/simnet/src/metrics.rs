@@ -22,7 +22,7 @@ const LINEAR_BITS: u32 = 8; // log2(LINEAR_CUTOFF)
 /// samples — an unbounded run can no longer grow a `Vec` forever. The
 /// mean is exact (tracked as a running sum), and `min`/`max` are exact and
 /// anchor `percentile(0)`/`percentile(100)`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     buckets: BTreeMap<u32, u64>,
     count: u64,
@@ -171,6 +171,122 @@ impl Histogram {
                 (lo, hi, n)
             })
             .collect()
+    }
+
+    /// Folds another histogram into this one.
+    ///
+    /// Merging is *exact* at the bucket level: because both sides use the
+    /// same fixed bucket boundaries, the merged histogram is bucket-wise
+    /// identical to a histogram built from the concatenated sample
+    /// streams — `count`, `sum`, `min`, `max`, and every bucket count all
+    /// match. This is what lets windowed aggregators combine per-interval
+    /// delta histograms without losing percentile fidelity.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (&b, &n) in &other.buckets {
+            *self.buckets.entry(b).or_insert(0) += n;
+        }
+    }
+
+    /// The samples recorded since `earlier` was cloned from this same
+    /// histogram, as a standalone histogram (bucket-wise subtraction).
+    ///
+    /// `count`, `sum`, and bucket counts are exact. `min`/`max` of the
+    /// delta are exact when the new samples extended the overall range;
+    /// otherwise they are approximated from the first/last occupied delta
+    /// bucket (exact below 256 µs, within 1.6% above), which is the same
+    /// fidelity every interior percentile already has.
+    pub fn since(&self, earlier: &Histogram) -> Histogram {
+        if earlier.count == 0 {
+            return self.clone();
+        }
+        let mut buckets = BTreeMap::new();
+        for (&b, &n) in &self.buckets {
+            let delta = n.saturating_sub(earlier.buckets.get(&b).copied().unwrap_or(0));
+            if delta > 0 {
+                buckets.insert(b, delta);
+            }
+        }
+        let count = self.count.saturating_sub(earlier.count);
+        if count == 0 || buckets.is_empty() {
+            return Histogram::new();
+        }
+        let first = *buckets.keys().next().expect("non-empty");
+        let last = *buckets.keys().next_back().expect("non-empty");
+        let min = if self.min < earlier.min {
+            self.min
+        } else {
+            representative(first).max(self.min)
+        };
+        let max = if self.max > earlier.max {
+            self.max
+        } else {
+            representative(last).min(self.max)
+        };
+        Histogram {
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min,
+            max,
+        }
+    }
+}
+
+impl Encode for Histogram {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.count.encode_into(out);
+        // u128 sum travels as two u64 halves (low, high).
+        (self.sum as u64).encode_into(out);
+        ((self.sum >> 64) as u64).encode_into(out);
+        self.min.encode_into(out);
+        self.max.encode_into(out);
+        let pairs: Vec<(u32, u64)> = self.buckets.iter().map(|(&b, &n)| (b, n)).collect();
+        pairs.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        let pairs: Vec<(u32, u64)> = self.buckets.iter().map(|(&b, &n)| (b, n)).collect();
+        self.count.encoded_len()
+            + (self.sum as u64).encoded_len()
+            + ((self.sum >> 64) as u64).encoded_len()
+            + self.min.encoded_len()
+            + self.max.encoded_len()
+            + pairs.encoded_len()
+    }
+}
+
+impl Decode for Histogram {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let count = u64::decode_from(r)?;
+        let lo = u64::decode_from(r)?;
+        let hi = u64::decode_from(r)?;
+        let min = u64::decode_from(r)?;
+        let max = u64::decode_from(r)?;
+        let pairs: Vec<(u32, u64)> = Vec::decode_from(r)?;
+        let mut buckets = BTreeMap::new();
+        for (b, n) in pairs {
+            if buckets.insert(b, n).is_some() {
+                return Err(WireError::Invalid(format!("duplicate bucket {b}")));
+            }
+        }
+        Ok(Histogram {
+            buckets,
+            count,
+            sum: (lo as u128) | ((hi as u128) << 64),
+            min,
+            max,
+        })
     }
 }
 
@@ -491,5 +607,91 @@ mod tests {
         m.on_send(format!("shard-{}", 3), 8);
         m.on_send("shard-3", 8);
         assert_eq!(m.sent_of_kind("shard-3"), 2);
+    }
+
+    fn hist_of(samples: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &us in samples {
+            h.record(SimDuration::from_micros(us));
+        }
+        h
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let h = hist_of(&[3, 700, 90_000]);
+        let mut merged = h.clone();
+        merged.merge(&Histogram::new());
+        assert_eq!(merged, h);
+        let mut empty = Histogram::new();
+        empty.merge(&h);
+        assert_eq!(empty, h);
+    }
+
+    #[test]
+    fn histogram_codec_round_trips() {
+        for samples in [&[][..], &[0][..], &[5, 5, 1000, u64::MAX / 2][..]] {
+            let h = hist_of(samples);
+            let bytes = h.encode();
+            assert_eq!(bytes.len(), h.encoded_len());
+            assert_eq!(Histogram::decode(&bytes).unwrap(), h);
+        }
+    }
+
+    #[test]
+    fn histogram_codec_rejects_duplicate_buckets() {
+        let mut h = hist_of(&[7]);
+        h.buckets = BTreeMap::from([(7, 1)]);
+        let mut bytes = h.encode();
+        // Re-encode with the bucket pair listed twice.
+        let pairs: Vec<(u32, u64)> = vec![(7, 1), (7, 1)];
+        bytes.truncate(bytes.len() - vec![(7u32, 1u64)].encoded_len());
+        pairs.encode_into(&mut bytes);
+        assert!(matches!(
+            Histogram::decode(&bytes),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn since_returns_the_suffix_of_samples() {
+        let mut h = hist_of(&[10, 500, 90_000]);
+        let baseline = h.clone();
+        h.record(SimDuration::from_micros(40));
+        h.record(SimDuration::from_micros(2_000_000));
+        let delta = h.since(&baseline);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum_micros(), 2_000_040);
+        // 40 µs extended neither end, but sits in the exact linear region.
+        assert_eq!(delta.min(), Some(SimDuration::from_micros(40)));
+        // 2 s extended the max, so it is exact.
+        assert_eq!(delta.max(), Some(SimDuration::from_micros(2_000_000)));
+        assert_eq!(h.since(&h), Histogram::new());
+        assert_eq!(h.since(&Histogram::new()), h);
+    }
+
+    proptest::proptest! {
+        /// Satellite: merging two histograms is bucket-wise identical to a
+        /// histogram of the concatenated sample streams.
+        #[test]
+        fn merge_equals_histogram_of_concatenated_samples(
+            a in proptest::collection::vec(0u64..20_000_000, 0..200),
+            b in proptest::collection::vec(0u64..20_000_000, 0..200),
+        ) {
+            let mut merged = hist_of(&a);
+            merged.merge(&hist_of(&b));
+            let concatenated: Vec<u64> = a.iter().chain(&b).copied().collect();
+            proptest::prop_assert_eq!(merged, hist_of(&concatenated));
+        }
+
+        #[test]
+        fn histogram_codec_round_trips_any_samples(
+            samples in proptest::collection::vec(0u64..20_000_000, 0..200),
+        ) {
+            let h = hist_of(&samples);
+            let bytes = h.encode();
+            proptest::prop_assert_eq!(bytes.len(), h.encoded_len());
+            proptest::prop_assert_eq!(Histogram::decode(&bytes).unwrap(), h);
+        }
     }
 }

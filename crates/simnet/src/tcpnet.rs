@@ -67,6 +67,14 @@ impl<M> TcpOutbound<M> {
             hook.lock().on_send(now, from, to, kind, bytes);
         }
     }
+
+    fn notify_drop(&self, from: NodeId, to: NodeId, kind: &'static str) {
+        if let Some(hook) = &self.hook {
+            let now = SimTime::from_micros(self.epoch.elapsed().as_micros() as u64);
+            hook.lock()
+                .on_drop(now, from, to, kind, crate::TraceOutcome::Lost);
+        }
+    }
 }
 
 impl<M: Wire + Encode> Outbound<M> for TcpOutbound<M> {
@@ -83,7 +91,30 @@ impl<M: Wire + Encode> Outbound<M> for TcpOutbound<M> {
         }
         let idx = from.index() * self.n + to.index();
         if let Some(link) = self.writers.get(idx).and_then(Option::as_ref) {
-            let mut link = link.lock();
+            // Telemetry never head-of-line blocks protocol traffic: if the
+            // link is busy (another thread mid-write), shed the frame and
+            // account it as lost. Pulse deltas are cumulative per emitter,
+            // so a shed frame costs resolution, not correctness.
+            let mut link = if msg.is_telemetry() {
+                match link.try_lock() {
+                    Some(guard) => guard,
+                    None => {
+                        // Same accounting as the engine's loss model: the
+                        // send is counted, then the drop.
+                        let size = msg.wire_size();
+                        {
+                            let mut m = self.metrics.lock();
+                            m.on_send(msg.kind(), size);
+                            m.on_lost();
+                        }
+                        self.notify_hook(from, to, msg.kind(), size);
+                        self.notify_drop(from, to, msg.kind());
+                        return;
+                    }
+                }
+            } else {
+                link.lock()
+            };
             let Link { stream, scratch } = &mut *link;
             scratch.clear();
             msg.encode_into(scratch);
@@ -619,6 +650,68 @@ mod tests {
         });
         net.shutdown();
         assert_eq!(*got.lock(), payloads());
+    }
+
+    #[test]
+    fn telemetry_sheds_on_contended_link_instead_of_blocking() {
+        #[derive(Clone, Debug)]
+        struct Pulse;
+        impl Wire for Pulse {
+            fn wire_size(&self) -> usize {
+                self.encoded_len()
+            }
+            fn kind(&self) -> &'static str {
+                "pulse-report"
+            }
+            fn is_telemetry(&self) -> bool {
+                true
+            }
+        }
+        impl Encode for Pulse {
+            fn encode_into(&self, out: &mut Vec<u8>) {
+                out.push(7);
+            }
+        }
+
+        // Build the outbound by hand so the test can hold the link's lock
+        // and force the contended path deterministically.
+        let (writer, _reader) = connect_pair().unwrap();
+        let mut writers: Vec<Option<Mutex<Link>>> = Vec::new();
+        writers.resize_with(4, || None);
+        writers[1] = Some(Mutex::new(Link {
+            stream: writer,
+            scratch: Vec::new(),
+        }));
+        let (tx0, _rx0) = unbounded();
+        let (tx1, _rx1) = unbounded();
+        let out = TcpOutbound {
+            n: 2,
+            writers,
+            loopback: vec![tx0, tx1],
+            metrics: Arc::new(Mutex::new(Metrics::new())),
+            hook: None,
+            epoch: Instant::now(),
+        };
+        let from = NodeId::from_index(0);
+        let to = NodeId::from_index(1);
+
+        // Uncontended: the telemetry frame goes out on the socket.
+        out.send(from, to, Pulse);
+        {
+            let m = out.metrics.lock().snapshot();
+            assert_eq!(m.sent_of_kind("pulse-report"), 1);
+            assert_eq!(m.lost, 0);
+        }
+
+        // Contended: another sender is mid-write on this link, so the
+        // frame is shed — counted as sent then lost — and send() returns
+        // without blocking.
+        let guard = out.writers[1].as_ref().unwrap().lock();
+        out.send(from, to, Pulse);
+        drop(guard);
+        let m = out.metrics.lock().snapshot();
+        assert_eq!(m.sent_of_kind("pulse-report"), 2);
+        assert_eq!(m.lost, 1);
     }
 
     #[test]

@@ -169,6 +169,25 @@ impl<A: Decode, B: Decode> Decode for (A, B) {
     }
 }
 
+/// Triples work like pairs: plain field concatenation. Used for sparse
+/// histogram buckets, which travel as `(lo, hi, count)`.
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+        self.2.encode_into(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len() + self.2.encoded_len()
+    }
+}
+
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode_from(r)?, B::decode_from(r)?, C::decode_from(r)?))
+    }
+}
+
 impl<T: Encode> Encode for Vec<T> {
     fn encode_into(&self, out: &mut Vec<u8>) {
         write_varint(out, self.len() as u64);

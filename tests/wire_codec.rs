@@ -7,13 +7,16 @@
 use proptest::prelude::*;
 use whisper::WhisperMsg;
 use whisper_election::ElectionMsg;
-use whisper_obs::{ElectionView, HistSummary, NodeRole, NodeSnapshot, RegistryDump};
+use whisper_obs::{
+    ElectionView, HistSummary, MetricsDelta, NodeRole, NodeSnapshot, OutlierTrace, PulseSpan,
+    RegistryDump,
+};
 use whisper_p2p::GroupId;
 use whisper_p2p::{
     AdvFilter, AdvKind, Advertisement, GroupAdv, P2pMessage, PeerAdv, PeerId, PipeAdv, PipeId,
     QosSpec, SemanticAdv,
 };
-use whisper_simnet::{MetricsSnapshot, SimDuration};
+use whisper_simnet::{Histogram, MetricsSnapshot, SimDuration};
 use whisper_wire::{
     read_frame, read_frame_into, write_frame, write_frame_vectored, Decode, Encode, WireError,
 };
@@ -227,23 +230,28 @@ fn registry_dump_strategy() -> impl Strategy<Value = RegistryDump> {
                 name_strategy(),
                 0u64..1 << 40,
                 0u64..1 << 40,
-                0u64..1 << 40,
-                0u64..1 << 40,
+                (0u64..1 << 40, 0u64..1 << 40),
+                proptest::collection::vec((0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40), 0..4),
             )
-                .prop_map(|(name, count, sum_us, min_us, max_us)| HistSummary {
-                    name,
-                    count,
-                    sum_us,
-                    min_us,
-                    max_us,
+                .prop_map(|(name, count, sum_us, (min_us, max_us), buckets)| {
+                    HistSummary {
+                        name,
+                        count,
+                        sum_us,
+                        min_us,
+                        max_us,
+                        buckets,
+                    }
                 }),
             0..3,
         ),
+        0u64..1 << 40,
     )
-        .prop_map(|(counters, gauges, hists)| RegistryDump {
+        .prop_map(|(counters, gauges, hists, spans_dropped)| RegistryDump {
             counters,
             gauges,
             hists,
+            spans_dropped,
         })
 }
 
@@ -306,6 +314,71 @@ fn node_snapshot_strategy() -> impl Strategy<Value = NodeSnapshot> {
         )
 }
 
+fn histogram_strategy() -> impl Strategy<Value = Histogram> {
+    // A histogram is defined by what was recorded into it; building from
+    // samples exercises the same bucket paths the live recorders use.
+    proptest::collection::vec(0u64..1 << 40, 0..16).prop_map(|samples| {
+        let mut h = Histogram::new();
+        for us in samples {
+            h.record(SimDuration::from_micros(us));
+        }
+        h
+    })
+}
+
+fn pulse_span_strategy() -> impl Strategy<Value = PulseSpan> {
+    (
+        0u32..256,
+        proptest::option::of(0u32..256),
+        name_strategy(),
+        0u64..1 << 40,
+        0u64..1 << 40,
+    )
+        .prop_map(|(id, parent, name, start_us, end_us)| PulseSpan {
+            id,
+            parent,
+            name,
+            start_us,
+            end_us,
+        })
+}
+
+fn outlier_trace_strategy() -> impl Strategy<Value = OutlierTrace> {
+    (
+        0u64..1 << 48,
+        name_strategy(),
+        0u64..1 << 40,
+        proptest::collection::vec(pulse_span_strategy(), 0..5),
+    )
+        .prop_map(|(request, label, total_us, spans)| OutlierTrace {
+            request,
+            label,
+            total_us,
+            spans,
+        })
+}
+
+fn metrics_delta_strategy() -> impl Strategy<Value = MetricsDelta> {
+    (
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        proptest::collection::vec((name_strategy(), 0u64..1 << 40), 0..4),
+        proptest::collection::vec((name_strategy(), -(1i64 << 40)..1 << 40), 0..4),
+        proptest::collection::vec((name_strategy(), histogram_strategy()), 0..3),
+        0u64..1 << 40,
+    )
+        .prop_map(
+            |((seq, now_us, interval_us), counters, gauges, hists, spans_dropped)| MetricsDelta {
+                seq,
+                now_us,
+                interval_us,
+                counters,
+                gauges,
+                hists,
+                spans_dropped,
+            },
+        )
+}
+
 fn whisper_leaf_strategy() -> impl Strategy<Value = WhisperMsg> {
     prop_oneof![
         p2p_msg_strategy().prop_map(WhisperMsg::P2p),
@@ -356,6 +429,14 @@ fn whisper_leaf_strategy() -> impl Strategy<Value = WhisperMsg> {
                 snapshot: Box::new(snapshot),
             }
         }),
+        (
+            metrics_delta_strategy(),
+            proptest::collection::vec(outlier_trace_strategy(), 0..3),
+        )
+            .prop_map(|(delta, outliers)| WhisperMsg::PulseReport {
+                delta: Box::new(delta),
+                outliers,
+            }),
     ]
 }
 

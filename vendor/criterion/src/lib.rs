@@ -36,7 +36,10 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_string(), _criterion: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
     }
 }
 
@@ -80,11 +83,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(name: impl Display, param: impl Display) -> Self {
-        BenchmarkId { id: format!("{name}/{param}") }
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
     }
 
     pub fn from_parameter(param: impl Display) -> Self {
-        BenchmarkId { id: param.to_string() }
+        BenchmarkId {
+            id: param.to_string(),
+        }
     }
 }
 

@@ -23,7 +23,9 @@ pub mod channel {
 
     impl<T> Sender<T> {
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.0.send(msg).map_err(|mpsc::SendError(inner)| SendError(inner))
+            self.0
+                .send(msg)
+                .map_err(|mpsc::SendError(inner)| SendError(inner))
         }
     }
 

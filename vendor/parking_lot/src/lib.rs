@@ -23,6 +23,16 @@ impl<T: ?Sized> Mutex<T> {
         self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Non-blocking lock attempt; `None` if the mutex is held elsewhere.
+    /// Like `lock`, recovers from poisoning instead of surfacing it.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
     }
@@ -38,5 +48,15 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held_and_succeeds_after() {
+        let m = Mutex::new(1u32);
+        let guard = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(guard);
+        *m.try_lock().expect("mutex is free") += 1;
+        assert_eq!(*m.lock(), 2);
     }
 }

@@ -19,13 +19,19 @@ pub mod test_runner {
 
     impl ProptestConfig {
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases, ..ProptestConfig::default() }
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64, max_rejects: 4096 }
+            ProptestConfig {
+                cases: 64,
+                max_rejects: 4096,
+            }
         }
     }
 
@@ -443,7 +449,10 @@ pub(crate) mod string {
     }
 
     fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
-        let total: u64 = ranges.iter().map(|&(lo, hi)| hi as u64 - lo as u64 + 1).sum();
+        let total: u64 = ranges
+            .iter()
+            .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+            .sum();
         let mut pick = rng.below(total);
         for &(lo, hi) in ranges {
             let size = hi as u64 - lo as u64 + 1;
@@ -558,20 +567,29 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { min: n, max_exclusive: n + 1 }
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
         }
     }
 
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty collection size range");
-            SizeRange { min: r.start, max_exclusive: r.end }
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
         }
     }
 
@@ -590,7 +608,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -620,11 +641,13 @@ pub mod option {
 }
 
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
-    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 #[macro_export]
