@@ -1,5 +1,5 @@
 //! Runs every experiment back to back (the full evaluation section) and
-//! writes the machine-readable trajectory (`BENCH_PR6.json`) next to the
+//! writes the machine-readable trajectory (`BENCH_PR7.json`) next to the
 //! CSVs.
 
 use whisper_bench::experiments::*;
@@ -135,6 +135,14 @@ fn main() {
     for (stat, value) in cluster_health::summary_stats(&report) {
         summary.record("cluster_health", &stat, value);
     }
+
+    println!("=== E14 / substrate matrix ===\n");
+    let rows = substrate_matrix::run_matrix(&substrate_matrix::MatrixTuning::default());
+    let t = substrate_matrix::table(&rows);
+    t.print();
+    let _ = t.save_csv();
+    substrate_matrix::record(&mut summary, &rows);
+    println!();
 
     match summary.save_merged() {
         Ok(p) => println!("\nbench summary: {}", p.display()),

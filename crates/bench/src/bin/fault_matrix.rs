@@ -1,0 +1,63 @@
+//! Fault matrix: boot the same 5-peer scenario on all three substrates,
+//! kill and restart the coordinator on each via one [`FaultPlan`], and
+//! assert every runtime recovers.
+//!
+//! This is the CI smoke for the deployment layer: one [`Deployment`]
+//! description, one fault schedule, three runtimes (virtual time, OS
+//! threads, TCP loopback). The bin exits non-zero unless every substrate
+//! ends the horizon with an agreed coordinator, exactly one recorded
+//! outage, and a measured MTTR — so a regression in any substrate's
+//! fault handling fails the job even before the numbers are compared.
+//!
+//! Per-substrate availability/MTTR/detection triples are merged into
+//! `target/experiments/BENCH_PR7.json`.
+//!
+//! [`Deployment`]: whisper::deploy::Deployment
+//! [`FaultPlan`]: whisper_simnet::FaultPlan
+
+use std::process::ExitCode;
+
+use whisper_bench::experiments::substrate_matrix::{self, MatrixTuning};
+use whisper_bench::BenchSummary;
+
+fn main() -> ExitCode {
+    let tuning = MatrixTuning::default();
+    println!(
+        "Fault matrix: {} b-peers, kill coordinator at {:.1} s, restart {:.1} s later\n",
+        tuning.peers,
+        tuning.warmup.as_secs_f64(),
+        tuning.outage.as_secs_f64()
+    );
+
+    let rows = substrate_matrix::run_matrix(&tuning);
+    let t = substrate_matrix::table(&rows);
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+
+    let mut summary = BenchSummary::new();
+    substrate_matrix::record(&mut summary, &rows);
+    match summary.save_merged() {
+        Ok(p) => println!("\nbench summary: {}", p.display()),
+        Err(e) => eprintln!("\nbench summary not written: {e}"),
+    }
+
+    let mut ok = rows.len() == 3;
+    for r in &rows {
+        let recovered = r.recovered && r.failures == 1 && r.mttr.is_some();
+        if !recovered {
+            eprintln!(
+                "FAIL {}: recovered={} failures={} mttr={:?}",
+                r.substrate, r.recovered, r.failures, r.mttr
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        println!("\nall substrates recovered");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

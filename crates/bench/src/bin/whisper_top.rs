@@ -14,14 +14,19 @@
 //! whisper-top --compare OLD.json NEW.json [--fail-on-regression PCT]
 //! ```
 //!
-//! `--once` prints a single frame and exits non-zero unless every node
-//! answered and all b-peers agree on a coordinator (the CI smoke check).
+//! `--once` prints a single frame and exits by health (the CI smoke
+//! check): `0` when every node answered, all b-peers agree on a
+//! coordinator and the ledger shows every service up; `3` when the
+//! cluster is *up but degraded* — all nodes still answering but the
+//! b-peers disagree on the coordinator or the ledger carries an open
+//! outage; `1` when nodes are missing or requests went unanswered
+//! (down); `2` on usage errors.
 //! `--live` boots the pulse telemetry plane alongside the cluster (plus
 //! a deliberately slow transcript replica), drives one request per
 //! refresh, and adds a telemetry panel under each frame: request-rate
 //! and p99 sparklines from the collector's windowed time-series, and a
 //! flame rendering of the latest tail-captured slow request.
-//! `--check-summary` validates that a `BENCH_PR6.json` trajectory file
+//! `--check-summary` validates that a `BENCH_PR7.json` trajectory file
 //! parses, without booting anything. `--compare` diffs two trajectory
 //! files stat by stat and prints a percent-change table; with
 //! `--fail-on-regression PCT` it exits non-zero if any shared statistic
@@ -293,6 +298,31 @@ fn frame_table(cluster: &TcpCluster, snaps: &[(NodeId, NodeSnapshot)]) -> Table 
     t
 }
 
+/// How healthy the cluster looked on the last rendered frame, ordered
+/// worst-first so `max` keeps the most pessimistic verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Health {
+    /// Every node answered, coordinator agreed, every service up.
+    Healthy,
+    /// Still serving — every node answered every request — but the
+    /// b-peers disagree on the coordinator or the ledger carries an
+    /// open outage. Exit code 3, so CI can tell "restart it" from
+    /// "wait for re-election".
+    Degraded,
+    /// Nodes missing from the snapshot poll or requests unanswered.
+    Down,
+}
+
+/// `true` when the availability ledger currently carries an open outage
+/// for any service.
+fn ledger_outage(cluster: &TcpCluster, now: SimTime) -> bool {
+    let ledger = cluster.ledger();
+    ledger
+        .services()
+        .iter()
+        .any(|&s| ledger.service_report(s, now).is_some_and(|r| !r.up))
+}
+
 /// Prints the availability ledger's per-service lines.
 fn print_ledger(cluster: &TcpCluster, now: SimTime) {
     let ledger = cluster.ledger();
@@ -457,7 +487,7 @@ fn main() -> ExitCode {
 
     let mut frames_left = if opts.once { Some(1) } else { opts.frames };
     let mut sent = 0usize;
-    let healthy = loop {
+    let health = loop {
         // Live mode drives a trickle of real traffic so the telemetry
         // panel moves: one request per refresh, a slow transcript every
         // eighth so the tail sampler has something to capture.
@@ -496,12 +526,18 @@ fn main() -> ExitCode {
         if opts.live {
             print_pulse(&cluster);
         }
-        let frame_healthy = snaps.len() == expected && coord.is_some() && answered == sent;
+        let frame_health = if snaps.len() != expected || answered != sent {
+            Health::Down
+        } else if coord.is_none() || ledger_outage(&cluster, now) {
+            Health::Degraded
+        } else {
+            Health::Healthy
+        };
 
         if let Some(left) = &mut frames_left {
             *left -= 1;
             if *left == 0 {
-                break frame_healthy;
+                break frame_health;
             }
         }
         println!();
@@ -509,10 +545,15 @@ fn main() -> ExitCode {
     };
     cluster.shutdown();
 
-    if healthy {
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("unhealthy: missing snapshots or no agreed coordinator");
-        ExitCode::FAILURE
+    match health {
+        Health::Healthy => ExitCode::SUCCESS,
+        Health::Degraded => {
+            eprintln!("degraded: nodes answering but no agreed coordinator or open outage");
+            ExitCode::from(3)
+        }
+        Health::Down => {
+            eprintln!("down: missing snapshots or unanswered requests");
+            ExitCode::FAILURE
+        }
     }
 }

@@ -17,16 +17,14 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use whisper::{
-    pulse::shared_store, BPeerActor, BPeerConfig, Directory, ProxyConfig, PulseCollectorActor,
-    PulseConfig, ServiceBackend, SharedPulseStore, StudentRegistry, SwsProxyActor, WhisperMsg,
+    pulse::shared_store, BPeerConfig, GroupSpec, ProxyConfig, PulseWiring, ScenarioWiring,
+    ServiceBackend, SharedPulseStore, StudentRegistry, WhisperMsg,
 };
 use whisper_election::BullyConfig;
 use whisper_obs::{AvailabilityLedger, NodeSnapshot, Recorder};
-use whisper_p2p::{GroupId, PeerId, SemanticAdv};
 use whisper_simnet::tcpnet::{TcpNet, TcpNetBuilder};
-use whisper_simnet::{Actor, Context, MetricsSnapshot, NodeId, SimDuration};
+use whisper_simnet::{Actor, Context, FaultPlan, MetricsSnapshot, NodeId, SimDuration};
 use whisper_soap::Envelope;
-use whisper_wsdl::Operation;
 use whisper_xml::Element;
 
 /// Tuning of a live cluster. The defaults are aggressive (50 ms
@@ -163,18 +161,6 @@ pub struct TcpCluster {
     pulse: Option<PulsePlane>,
 }
 
-/// Builds the semantic advertisement for one operation served by `group`.
-fn semantic_adv(group: GroupId, name: &str, op: &Operation) -> SemanticAdv {
-    SemanticAdv {
-        group,
-        name: name.into(),
-        action: op.action.clone(),
-        inputs: op.inputs.iter().map(|p| p.concept.clone()).collect(),
-        outputs: op.outputs.iter().map(|p| p.concept.clone()).collect(),
-        qos: None,
-    }
-}
-
 impl TcpCluster {
     /// Boots `peers` b-peer replicas plus the proxy and the probe, wired
     /// exactly like the simulator harness (peer ids are node index + 1),
@@ -213,10 +199,17 @@ impl TcpCluster {
         TcpCluster::boot(peers, tuning, Some(pulse))
     }
 
-    /// Node layout: `0..peers` fast b-peers, then (pulse only) the
-    /// transcript b-peer, then the proxy, the scope probe, and (pulse
-    /// only) the collector and the SOAP driver. Peer ids are node index
-    /// + 1 throughout, like the simulator harness.
+    /// Node layout (from the shared deployment layer, see
+    /// [`whisper::deploy`]): `0..peers` fast b-peers, then (pulse only)
+    /// the transcript b-peer, then the proxy, (pulse only) the collector,
+    /// then the scope probe and (pulse only) the SOAP driver. Peer ids
+    /// are node index + 1 throughout, like the simulator harness.
+    ///
+    /// The scenario itself — groups, proxy, ledger, recorder, pulse plane
+    /// — is wired by [`ScenarioWiring`], the same pass [`whisper::WhisperNet`]
+    /// boots the simulator with; this function only appends the
+    /// cluster-specific measuring actors (probe, driver) and starts the
+    /// sockets.
     fn boot(
         peers: usize,
         tuning: ClusterTuning,
@@ -230,135 +223,78 @@ impl TcpCluster {
         let backends: Vec<Box<dyn ServiceBackend>> = (0..peers)
             .map(|_| Box::new(StudentRegistry::operational_db().with_sample_data()) as _)
             .collect();
-
-        let peer_of = |idx: usize| PeerId::new(idx as u64 + 1);
-        let transcript_idx = pulse.is_some().then_some(peers);
-        let proxy_idx = peers + usize::from(pulse.is_some());
-        let mut pairs: Vec<(PeerId, NodeId)> = (0..peers)
-            .map(|i| (peer_of(i), NodeId::from_index(i)))
-            .collect();
-        if let Some(t) = transcript_idx {
-            pairs.push((peer_of(t), NodeId::from_index(t)));
-        }
-        pairs.push((peer_of(proxy_idx), NodeId::from_index(proxy_idx)));
-        let directory = Directory::with_routes(pairs, Vec::new());
-
-        let group = GroupId::new(1);
-        let members: Vec<PeerId> = (0..peers).map(peer_of).collect();
-        let adv = semantic_adv(group, "StudentInfoGroup", op);
-        let bp_cfg = BPeerConfig {
-            heartbeat_period: tuning.heartbeat_period,
-            failure_timeout: tuning.failure_timeout,
-            bully: BullyConfig {
-                answer_timeout: tuning.election_timeout,
-                coordinator_timeout: tuning.election_timeout + tuning.election_timeout,
-                cooldown: tuning.election_timeout,
-            },
-            ..BPeerConfig::default()
-        };
-
-        let ledger = AvailabilityLedger::default();
-        let recorder = pulse.map(|_| Recorder::new());
-        // Node ids are assigned in registration order, so the collector's
-        // id is known before it is added: proxy, probe, then collector.
-        let pulse_cfg =
-            pulse.map(|p| PulseConfig::new(NodeId::from_index(proxy_idx + 2), p.interval));
-        let mut builder = TcpNetBuilder::new();
-        if let Some(rec) = &recorder {
-            builder.set_net_hook(Box::new(rec.clone()));
-        }
-        let mut bpeer_nodes = Vec::with_capacity(peers);
-        for (i, backend) in backends.into_iter().enumerate() {
-            let mut actor = BPeerActor::new(
-                peer_of(i),
-                group,
-                members.clone(),
-                adv.clone(),
-                backend,
-                directory.clone(),
-                bp_cfg.clone(),
-            );
-            actor.set_ledger(ledger.clone());
-            if let Some(cfg) = pulse_cfg {
-                actor.set_pulse(cfg);
-            }
-            bpeer_nodes.push(builder.add_node(actor));
-        }
-
-        // The transcript group: one replica, one operation, a fixed
-        // multi-millisecond service time. Every request it serves is a
-        // reproducible tail among sub-millisecond loopback traffic.
-        let mut transcript_node = None;
-        if let (Some(t), Some(p)) = (transcript_idx, pulse) {
+        let mut groups = vec![GroupSpec::from_operation("StudentInfoGroup", op, backends)];
+        if let Some(p) = pulse {
+            // The transcript group: one replica, one operation, a fixed
+            // multi-millisecond service time. Every request it serves is a
+            // reproducible tail among sub-millisecond loopback traffic.
             let transcript_op = service
                 .operation("StudentTranscript")
                 .expect("sample operation");
-            let transcript_group = GroupId::new(2);
-            let mut actor = BPeerActor::new(
-                peer_of(t),
-                transcript_group,
-                vec![peer_of(t)],
-                semantic_adv(transcript_group, "TranscriptGroup", transcript_op),
-                Box::new(StudentRegistry::operational_db().with_sample_data()),
-                directory.clone(),
-                BPeerConfig {
-                    processing_time: p.slow_processing,
-                    ..bp_cfg.clone()
-                },
+            let mut spec = GroupSpec::from_operation(
+                "TranscriptGroup",
+                transcript_op,
+                vec![Box::new(
+                    StudentRegistry::operational_db().with_sample_data(),
+                )],
             );
-            actor.set_ledger(ledger.clone());
-            actor.set_pulse(pulse_cfg.expect("pulse config exists in pulse mode"));
-            transcript_node = Some(builder.add_node(actor));
+            spec.processing_time = Some(p.slow_processing);
+            groups.push(spec);
         }
 
-        let mut proxy = SwsProxyActor::new(
-            peer_of(proxy_idx),
-            &service,
-            whisper_ontology::samples::university_ontology(),
-            directory.clone(),
-            ProxyConfig::default(),
-        );
-        for i in 0..peers {
-            proxy.add_known_peer(peer_of(i));
-        }
-        if let Some(t) = transcript_idx {
-            proxy.add_known_peer(peer_of(t));
-        }
-        if let Some(rec) = &recorder {
-            proxy.set_recorder(rec.clone());
-        }
-        if let Some(cfg) = pulse_cfg {
-            proxy.set_pulse(cfg);
-        }
-        let proxy_node = builder.add_node(proxy);
+        let ledger = AvailabilityLedger::default();
+        let recorder = pulse.map(|_| Recorder::new());
+        let pulse_store =
+            pulse.map(|p| shared_store(p.per_node_windows, p.max_outliers, p.max_bytes));
+        let wiring = ScenarioWiring {
+            service,
+            ontology: whisper_ontology::samples::university_ontology(),
+            groups,
+            use_rendezvous: false,
+            firewall_bpeers: false,
+            bpeer: BPeerConfig {
+                heartbeat_period: tuning.heartbeat_period,
+                failure_timeout: tuning.failure_timeout,
+                bully: BullyConfig {
+                    answer_timeout: tuning.election_timeout,
+                    coordinator_timeout: tuning.election_timeout + tuning.election_timeout,
+                    cooldown: tuning.election_timeout,
+                },
+                ..BPeerConfig::default()
+            },
+            proxy: ProxyConfig::default(),
+            clients: Vec::new(),
+            ledger: Some(ledger.clone()),
+            recorder: recorder.clone(),
+            pulse: pulse.map(|p| PulseWiring {
+                interval: p.interval,
+                store: pulse_store.clone().expect("store exists in pulse mode"),
+            }),
+        };
 
+        let mut builder = TcpNetBuilder::new();
+        let topo = wiring
+            .wire(&mut builder)
+            .expect("the cluster scenario is well-formed");
+
+        // The measuring actors ride the same sockets but are no part of
+        // the scenario: the probe (and, pulse only, the SOAP driver) are
+        // appended after the deployment-layer nodes, like clients.
         let store: SnapshotStore = Arc::new(Mutex::new(HashMap::new()));
         let probe_node = builder.add_node(ScopeProbe {
             store: Arc::clone(&store),
         });
-
-        // Pulse plane: the collector is added *after* the protocol nodes
-        // so killing or counting peers stays layout-compatible, and every
-        // emitter is configured before the builder spawns anything (pulse
-        // timers arm from each actor's `on_start`).
         let mut plane = None;
-        if let Some(p) = pulse {
-            let pulse_store = shared_store(p.per_node_windows, p.max_outliers, p.max_bytes);
-            let collector_node = builder.add_node(PulseCollectorActor::new(pulse_store.clone()));
-            assert_eq!(
-                Some(collector_node),
-                pulse_cfg.map(|c| c.collector),
-                "collector landed on its precomputed node id"
-            );
+        if pulse.is_some() {
             let responses: ResponseStore = Arc::new(Mutex::new(HashMap::new()));
             let driver_node = builder.add_node(SoapDriver {
                 responses: Arc::clone(&responses),
             });
             plane = Some(PulsePlane {
-                store: pulse_store,
-                collector_node,
-                recorder: recorder.clone().expect("recorder exists in pulse mode"),
-                transcript_node: transcript_node.expect("transcript peer exists in pulse mode"),
+                store: pulse_store.expect("store exists in pulse mode"),
+                collector_node: topo.collector.expect("pulse wiring places a collector"),
+                recorder: recorder.expect("recorder exists in pulse mode"),
+                transcript_node: topo.group_nodes[1][0],
                 driver_node,
                 responses,
                 next_soap_request: AtomicU64::new(1),
@@ -368,8 +304,8 @@ impl TcpCluster {
         let net = builder.start()?;
         Ok(TcpCluster {
             net,
-            bpeer_nodes,
-            proxy_node,
+            bpeer_nodes: topo.group_nodes[0].clone(),
+            proxy_node: topo.proxy,
             probe_node,
             store,
             ledger,
@@ -574,9 +510,32 @@ impl TcpCluster {
     }
 
     /// Kills `node` as a crash (see
-    /// [`TcpNet::stop_node`](whisper_simnet::tcpnet::TcpNet::stop_node)).
-    pub fn kill(&self, node: NodeId) {
-        self.net.stop_node(node);
+    /// [`TcpNet::kill_node`](whisper_simnet::tcpnet::TcpNet::kill_node)).
+    pub fn kill_node(&self, node: NodeId) {
+        self.net.kill_node(node);
+    }
+
+    /// Restarts a killed node: its sockets are re-dialed and its
+    /// `on_restart` hook fires (see
+    /// [`TcpNet::restart_node`](whisper_simnet::tcpnet::TcpNet::restart_node)).
+    pub fn restart_node(&self, node: NodeId) {
+        self.net.restart_node(node);
+    }
+
+    /// Blocks all traffic between `a` and `b`, both directions.
+    pub fn block_link(&self, a: NodeId, b: NodeId) {
+        self.net.block_link(a, b);
+    }
+
+    /// Unblocks traffic between `a` and `b`.
+    pub fn unblock_link(&self, a: NodeId, b: NodeId) {
+        self.net.unblock_link(a, b);
+    }
+
+    /// Replays `plan` against the live cluster in wall-clock time (action
+    /// offsets are measured from cluster start).
+    pub fn execute_plan(&mut self, plan: &FaultPlan) {
+        self.net.execute_plan(plan);
     }
 
     /// Transport metrics so far.

@@ -86,7 +86,7 @@ pub fn run(params: ClusterHealthParams) -> ClusterHealthReport {
 
     let mut rows = Vec::with_capacity(params.kills);
     for k in 0..params.kills {
-        let killed = net.crash_coordinator(0).expect("a coordinator to kill");
+        let killed = net.kill_coordinator(0).expect("a coordinator to kill");
         net.run_for(params.settle);
         let report = ledger
             .service_report(service, net.now())

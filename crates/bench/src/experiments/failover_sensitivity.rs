@@ -108,7 +108,7 @@ pub fn measure(profile: Profile, bpeers: usize, seed: u64) -> FailoverBreakdown 
     net.run_for(SimDuration::from_secs(1));
 
     let crash_at = net.now();
-    net.crash_coordinator(0).expect("coordinator exists");
+    net.kill_coordinator(0).expect("coordinator exists");
     net.submit_student_request(client, "u1001");
 
     let elected_at = loop {

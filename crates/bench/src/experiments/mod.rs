@@ -11,3 +11,4 @@ pub mod load;
 pub mod qos;
 pub mod relay_overhead;
 pub mod rtt;
+pub mod substrate_matrix;

@@ -158,7 +158,7 @@ mod tests {
         net.run_for(SimDuration::from_secs(3));
         let client = net.client_ids()[0];
         // interrupt the closed loop by crashing the coordinator mid-run
-        net.crash_coordinator(0).expect("coordinator exists");
+        net.kill_coordinator(0).expect("coordinator exists");
         net.run_for(SimDuration::from_secs(40));
         let stats = net.client_stats(client);
         assert_eq!(

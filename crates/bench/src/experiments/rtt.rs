@@ -172,7 +172,7 @@ pub fn failover_traced(bpeers: usize, seed: u64) -> (FailoverBreakdown, whisper_
     net.run_for(SimDuration::from_secs(1));
 
     let crash_at = net.now();
-    net.crash_coordinator(0).expect("coordinator exists");
+    net.kill_coordinator(0).expect("coordinator exists");
     // The stalled request: issued right after the crash, while every group
     // member still believes in the dead coordinator.
     net.submit_student_request(client, "u1001");

@@ -1,0 +1,326 @@
+//! **Substrate matrix** — the availability/failover experiment, run
+//! unmodified on all three runtimes from one [`Deployment`].
+//!
+//! The paper measures Whisper's fault tolerance on nine LAN PCs; this
+//! repo's earlier experiments measured it on the calibrated simulator.
+//! The deployment layer closes the loop: the same scenario (one b-peer
+//! group, availability ledger on) boots on the deterministic simulator,
+//! on OS threads, and on real TCP loopback sockets, and the same
+//! [`FaultPlan`] — kill the coordinator, restart it later — replays on
+//! each via [`Substrate::execute_plan`]. The ledger then reports
+//! availability, MTTR and detection latency per substrate, side by side:
+//! virtual-time numbers validated against two kinds of wall-clock
+//! reality.
+//!
+//! MTTR here is detection + re-election (the proxy re-bind leg is
+//! measured separately by the RTT experiments): with heartbeat period
+//! `hb`, failure timeout `to` and Bully answer timeout `el`, every
+//! substrate should land in roughly `[to, to + hb + 2·el]`.
+
+use crate::Table;
+use whisper::deploy::{Booted, Deployment, Topology};
+use whisper::WhisperMsg;
+use whisper_election::BullyConfig;
+use whisper_simnet::{FaultPlan, SimDuration, SimTime, Substrate};
+
+/// Scenario shape and fault schedule, shared by every substrate.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixTuning {
+    /// Redundant b-peers in the group.
+    pub peers: usize,
+    /// Heartbeat beacon period.
+    pub heartbeat_period: SimDuration,
+    /// Silence after which a peer is suspected dead.
+    pub failure_timeout: SimDuration,
+    /// Bully answer/coordinator waits (scaled off this value).
+    pub election_timeout: SimDuration,
+    /// Healthy run-in before the coordinator is killed.
+    pub warmup: SimDuration,
+    /// How long the killed coordinator stays down.
+    pub outage: SimDuration,
+    /// Healthy tail after the restart, before the books close.
+    pub settle: SimDuration,
+}
+
+impl Default for MatrixTuning {
+    /// Aggressive live-cluster timings (the [`crate::ClusterTuning`]
+    /// defaults) so a full three-substrate matrix takes seconds of wall
+    /// clock, not the paper's JXTA-era multi-second windows per leg.
+    fn default() -> Self {
+        MatrixTuning {
+            peers: 5,
+            heartbeat_period: SimDuration::from_millis(50),
+            failure_timeout: SimDuration::from_millis(250),
+            election_timeout: SimDuration::from_millis(200),
+            warmup: SimDuration::from_millis(1500),
+            outage: SimDuration::from_millis(1000),
+            settle: SimDuration::from_millis(1500),
+        }
+    }
+}
+
+impl MatrixTuning {
+    /// Total observed horizon per substrate.
+    pub fn horizon(&self) -> SimDuration {
+        SimDuration::from_micros(
+            self.warmup.as_micros() + self.outage.as_micros() + self.settle.as_micros(),
+        )
+    }
+}
+
+/// What one substrate reported at the end of the schedule.
+#[derive(Debug, Clone)]
+pub struct SubstrateOutcome {
+    /// `"sim"`, `"threadnet"` or `"tcp"`.
+    pub substrate: &'static str,
+    /// Whether the service had an agreed coordinator when the books closed.
+    pub recovered: bool,
+    /// Service availability over the horizon.
+    pub availability: f64,
+    /// Mean time to repair (detection + re-election), once repaired.
+    pub mttr: Option<SimDuration>,
+    /// Mean failure-detection latency over completed outages.
+    pub detection: Option<SimDuration>,
+    /// Completed outages (the schedule injects exactly one).
+    pub failures: u64,
+    /// Coordinator hand-overs (crash election + the restarted peer
+    /// bullying its way back).
+    pub churn: u64,
+    /// Transport messages sent over the horizon.
+    pub messages: u64,
+}
+
+/// The shared scenario: `peers` redundant b-peers, ledger on, no clients.
+pub fn deployment(t: &MatrixTuning) -> Deployment {
+    let mut dep = Deployment::student(t.peers);
+    dep.bpeer.heartbeat_period = t.heartbeat_period;
+    dep.bpeer.failure_timeout = t.failure_timeout;
+    dep.bpeer.bully = BullyConfig {
+        answer_timeout: t.election_timeout,
+        coordinator_timeout: t.election_timeout.saturating_mul(2),
+        cooldown: t.election_timeout,
+    };
+    dep
+}
+
+/// The shared fault schedule against a booted topology: kill the highest
+/// b-peer (the Bully winner, hence the coordinator) after `warmup`,
+/// restart it `outage` later.
+pub fn fault_plan(topo: &Topology, t: &MatrixTuning) -> FaultPlan {
+    let victim = *topo.group_nodes[0]
+        .last()
+        .expect("the group has at least one b-peer");
+    let kill_at = SimTime::ZERO + t.warmup;
+    let mut plan = FaultPlan::new();
+    plan.crash_at(victim, kill_at);
+    plan.restart_at(victim, kill_at + t.outage);
+    plan
+}
+
+/// Runs the schedule on one booted substrate and reads the ledger's
+/// verdict. This function is the point of the experiment: it sees only
+/// [`Substrate`], so the code is literally identical for virtual time and
+/// both wall-clock runtimes.
+pub fn run_on<N: Substrate<WhisperMsg>>(
+    booted: &mut Booted<N>,
+    t: &MatrixTuning,
+) -> SubstrateOutcome {
+    let plan = fault_plan(&booted.topology, t);
+    booted.net.execute_plan(&plan);
+    booted.net.advance(t.horizon());
+
+    let now = booted.net.now();
+    let ledger = booted
+        .ledger
+        .as_ref()
+        .expect("the matrix deployment wires a ledger");
+    let service = booted.topology.group_ids[0].value();
+    let report = ledger
+        .service_report(service, now)
+        .expect("b-peers fed the ledger");
+    let completed: Vec<SimDuration> = report
+        .downtime_intervals
+        .iter()
+        .filter(|i| i.end.is_some())
+        .map(|i| i.detected_at.since(i.start))
+        .collect();
+    let detection = (!completed.is_empty()).then(|| {
+        let sum: u64 = completed.iter().map(|d| d.as_micros()).sum();
+        SimDuration::from_micros(sum / completed.len() as u64)
+    });
+    SubstrateOutcome {
+        substrate: booted.net.name(),
+        recovered: report.up,
+        availability: report.availability,
+        mttr: report.mttr,
+        detection,
+        failures: report.failures,
+        churn: report.churn,
+        messages: booted.net.metrics_snapshot().sent,
+    }
+}
+
+/// Boots the deployment on all three substrates in turn and runs the
+/// same schedule on each. Wall-clock cost: two live horizons (the
+/// simulator leg is virtual).
+pub fn run_matrix(t: &MatrixTuning) -> Vec<SubstrateOutcome> {
+    let dep = deployment(t);
+    let mut rows = Vec::with_capacity(3);
+
+    let mut sim = dep
+        .boot_sim(11)
+        .expect("the matrix scenario is well-formed");
+    rows.push(run_on(&mut sim, t));
+
+    let mut threads = dep
+        .boot_threadnet()
+        .expect("the matrix scenario is well-formed");
+    rows.push(run_on(&mut threads, t));
+    threads.net.shutdown();
+
+    let mut tcp = dep.boot_tcp().expect("loopback sockets");
+    rows.push(run_on(&mut tcp, t));
+    tcp.net.shutdown();
+
+    rows
+}
+
+/// Renders the matrix.
+pub fn table(rows: &[SubstrateOutcome]) -> Table {
+    let mut t = Table::new(
+        "substrate_matrix",
+        &[
+            "substrate",
+            "recovered",
+            "availability",
+            "mttr ms",
+            "detect ms",
+            "failures",
+            "churn",
+            "messages",
+        ],
+    );
+    for r in rows {
+        t.row([
+            r.substrate.to_string(),
+            r.recovered.to_string(),
+            format!("{:.6}", r.availability),
+            r.mttr.map(crate::table::ms).unwrap_or_else(|| "-".into()),
+            r.detection
+                .map(crate::table::ms)
+                .unwrap_or_else(|| "-".into()),
+            r.failures.to_string(),
+            r.churn.to_string(),
+            r.messages.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Records the matrix into the bench trajectory, one stat triple per
+/// substrate, so `BENCH_PR7.json` carries the three availability/MTTR
+/// columns side by side.
+pub fn record(summary: &mut crate::BenchSummary, rows: &[SubstrateOutcome]) {
+    for r in rows {
+        summary.record(
+            "substrate_matrix",
+            &format!("{}_availability", r.substrate),
+            r.availability,
+        );
+        if let Some(mttr) = r.mttr {
+            summary.record(
+                "substrate_matrix",
+                &format!("{}_mttr_ms", r.substrate),
+                mttr.as_millis_f64(),
+            );
+        }
+        if let Some(d) = r.detection {
+            summary.record(
+                "substrate_matrix",
+                &format!("{}_detection_ms", r.substrate),
+                d.as_millis_f64(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The recovery window every substrate must land in: the failure
+    /// cannot be detected before the timeout, and detection + a couple of
+    /// election rounds bounds it above (generous 4x slack for loaded CI
+    /// machines on the wall-clock substrates).
+    fn assert_outcome_sane(r: &SubstrateOutcome, t: &MatrixTuning) {
+        assert!(
+            r.recovered,
+            "{}: no coordinator at the end: {r:?}",
+            r.substrate
+        );
+        assert_eq!(r.failures, 1, "{}: exactly one outage: {r:?}", r.substrate);
+        let mttr = r
+            .mttr
+            .unwrap_or_else(|| panic!("{}: no mttr: {r:?}", r.substrate));
+        assert!(
+            mttr >= t.failure_timeout,
+            "{}: repaired before the failure timeout: {mttr} vs {}",
+            r.substrate,
+            t.failure_timeout
+        );
+        let ceiling = SimDuration::from_micros(
+            (t.failure_timeout.as_micros()
+                + t.heartbeat_period.as_micros()
+                + 2 * t.election_timeout.as_micros())
+                * 4,
+        );
+        assert!(
+            mttr <= ceiling,
+            "{}: repair slower than detection + re-election: {mttr} vs {ceiling}",
+            r.substrate
+        );
+        assert!(
+            r.availability > 0.5 && r.availability < 1.0,
+            "{}: availability should reflect one short outage: {r:?}",
+            r.substrate
+        );
+    }
+
+    /// Same deployment, same plan, same sanity window — on the simulator
+    /// and on OS threads. (The TCP leg runs in the `fault_matrix` bin and
+    /// the tcpnet integration tests; keeping it out of the unit suite
+    /// keeps `cargo test` off the socket-heavy path.)
+    #[test]
+    fn sim_and_threadnet_agree_on_the_recovery_window() {
+        let t = MatrixTuning::default();
+        let dep = deployment(&t);
+
+        let mut sim = dep.boot_sim(3).expect("well-formed");
+        let sim_row = run_on(&mut sim, &t);
+        assert_eq!(sim_row.substrate, "sim");
+        assert_outcome_sane(&sim_row, &t);
+
+        let mut live = dep.boot_threadnet().expect("well-formed");
+        let live_row = run_on(&mut live, &t);
+        live.net.shutdown();
+        assert_eq!(live_row.substrate, "threadnet");
+        assert_outcome_sane(&live_row, &t);
+    }
+
+    #[test]
+    fn fault_plan_targets_the_bully_winner() {
+        let t = MatrixTuning::default();
+        let dep = deployment(&t);
+        let booted = dep.boot_sim(1).expect("well-formed");
+        let plan = fault_plan(&booted.topology, &t);
+        // Highest peer id = last group node = the eventual coordinator.
+        let victim = *booted.topology.group_nodes[0].last().unwrap();
+        assert_eq!(
+            plan.actions().first().map(|&(at, a)| (at, a)),
+            Some((
+                SimTime::ZERO + t.warmup,
+                whisper_simnet::FaultAction::Crash(victim)
+            ))
+        );
+    }
+}

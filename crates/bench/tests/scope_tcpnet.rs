@@ -43,7 +43,7 @@ fn coordinator_kill_is_ledgered_with_measured_mttr() {
     // Kill the coordinator and measure the re-election window ourselves:
     // kill → every survivor names the same new coordinator.
     let killed_at = Instant::now();
-    cluster.kill(coordinator_node);
+    cluster.kill_node(coordinator_node);
     let new_coordinator = wait_for("re-election", Duration::from_secs(20), || {
         let snaps = cluster.poll_snapshots(&survivors, Duration::from_secs(2));
         (snaps.len() == 4)

@@ -760,7 +760,15 @@ impl Actor<WhisperMsg> for BPeerActor {
                 let now = ctx.now();
                 let suspected = self.fd.suspected(now);
                 if let Some(ledger) = &self.ledger {
-                    for &p in &suspected {
+                    // Heartbeats form a star, so silence is only evidence
+                    // for peers whose beacons this node expects: members
+                    // monitor the coordinator, the coordinator monitors
+                    // every member. The fd map also holds stale entries
+                    // from boot-time election traffic; reporting those
+                    // would oscillate the ledger against the beacons the
+                    // coordinator keeps receiving.
+                    let monitored = self.heartbeat_targets();
+                    for &p in suspected.iter().filter(|p| monitored.contains(p)) {
                         let last_seen = self.fd.last_seen(p).unwrap_or(now);
                         ledger.peer_down(p.value(), last_seen, now);
                     }

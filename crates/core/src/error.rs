@@ -14,6 +14,9 @@ pub enum WhisperError {
     UnknownOperation(String),
     /// A deployment was configured inconsistently.
     BadDeployment(String),
+    /// A live transport failed to boot (socket errors on the TCP
+    /// substrate). Carries the I/O error text.
+    Io(String),
 }
 
 impl fmt::Display for WhisperError {
@@ -23,6 +26,7 @@ impl fmt::Display for WhisperError {
             WhisperError::Soap(e) => write!(f, "soap error: {e}"),
             WhisperError::UnknownOperation(op) => write!(f, "unknown operation {op:?}"),
             WhisperError::BadDeployment(why) => write!(f, "bad deployment: {why}"),
+            WhisperError::Io(why) => write!(f, "transport i/o error: {why}"),
         }
     }
 }
@@ -46,6 +50,12 @@ impl From<whisper_wsdl::WsdlError> for WhisperError {
 impl From<whisper_soap::SoapError> for WhisperError {
     fn from(e: whisper_soap::SoapError) -> Self {
         WhisperError::Soap(e)
+    }
+}
+
+impl From<std::io::Error> for WhisperError {
+    fn from(e: std::io::Error) -> Self {
+        WhisperError::Io(e.to_string())
     }
 }
 

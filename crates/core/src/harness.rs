@@ -6,20 +6,17 @@
 
 use crate::backend::{ServiceBackend, StudentRegistry};
 use crate::bpeer::{BPeerActor, BPeerConfig};
-use crate::client::{ClientActor, ClientConfig, ClientStats};
+use crate::client::{ClientActor, ClientStats};
+use crate::deploy::{RendezvousActor, ScenarioWiring};
 use crate::directory::Directory;
 use crate::msg::WhisperMsg;
 use crate::proxy::{ProxyConfig, ProxyStats, SwsProxyActor};
 use crate::pulse::{self, PulseCollectorActor, PulseConfig, SharedPulseStore};
 use crate::WhisperError;
-use whisper_obs::{AvailabilityLedger, NodeRole, NodeSnapshot, PulseEmitter, Recorder};
+use whisper_obs::{AvailabilityLedger, NodeSnapshot, Recorder};
 use whisper_ontology::Ontology;
-use whisper_p2p::{
-    DiscoveryService, DiscoveryStrategy, GroupId, P2pMessage, PeerId, QosSpec, SemanticAdv,
-};
-use whisper_simnet::{
-    Actor, Context, FaultPlan, Metrics, NodeId, SimDuration, SimNet, SimTime, SwitchedLan, Wire,
-};
+use whisper_p2p::{DiscoveryStrategy, GroupId, PeerId, QosSpec, SemanticAdv};
+use whisper_simnet::{FaultPlan, Metrics, NodeId, SimDuration, SimNet, SimTime, SwitchedLan};
 use whisper_soap::Envelope;
 use whisper_wsdl::{Operation, ServiceDescription};
 use whisper_xml::Element;
@@ -76,7 +73,8 @@ impl GroupSpec {
     }
 }
 
-/// [`ClientConfig`] without the proxy node (assigned by the harness).
+/// [`ClientConfig`](crate::client::ClientConfig) without the proxy node
+/// (assigned by the harness).
 #[derive(Debug, Clone)]
 pub struct ClientConfigTemplate {
     /// Traffic generation mode.
@@ -149,122 +147,6 @@ impl Default for DeploymentConfig {
     }
 }
 
-/// A minimal rendezvous peer: caches publications, answers queries.
-struct RendezvousActor {
-    peer: PeerId,
-    directory: Directory,
-    disco: DiscoveryService,
-    obs: Option<Recorder>,
-    /// Per-kind traffic counters for the introspection snapshot.
-    tx: Metrics,
-    rx: Metrics,
-    /// Telemetry plane: where/how often to push [`WhisperMsg::PulseReport`]s.
-    pulse: Option<PulseConfig>,
-    pulse_emitter: PulseEmitter,
-}
-
-/// The rendezvous' only timer: its pulse interval.
-const RDV_TOKEN_PULSE: u64 = 1;
-
-impl RendezvousActor {
-    /// The introspection snapshot served to [`WhisperMsg::ScopeRequest`]:
-    /// cache size, traffic counters and the obs registry dump.
-    fn scope_snapshot(&self) -> NodeSnapshot {
-        let mut snap = NodeSnapshot::empty(NodeRole::Rendezvous, self.peer.value());
-        snap.queue_depth = self.disco.cache().len() as u64;
-        snap.sent = self.tx.snapshot();
-        snap.received = self.rx.snapshot();
-        if let Some(rec) = &self.obs {
-            snap.registry = rec.registry_dump();
-        }
-        snap
-    }
-
-    /// Builds and ships one telemetry frame, then re-arms the interval.
-    fn emit_pulse(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
-        let Some(cfg) = self.pulse else {
-            return;
-        };
-        let mut counters = pulse::traffic_counters(&self.tx, &self.rx);
-        counters.sort();
-        let gauges = vec![(
-            "rendezvous.cache".to_string(),
-            self.disco.cache().len() as i64,
-        )];
-        let delta = self.pulse_emitter.frame(
-            ctx.now().as_micros(),
-            cfg.interval.as_micros(),
-            counters,
-            gauges,
-            Vec::new(),
-            0,
-        );
-        let msg = WhisperMsg::PulseReport {
-            delta: Box::new(delta),
-            outliers: Vec::new(),
-        };
-        self.tx.on_send(msg.kind(), msg.wire_size());
-        ctx.send(cfg.collector, msg);
-        ctx.set_timer(cfg.interval, RDV_TOKEN_PULSE);
-    }
-}
-
-impl Actor<WhisperMsg> for RendezvousActor {
-    fn on_start(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
-        if let Some(cfg) = self.pulse {
-            ctx.set_timer(cfg.interval, RDV_TOKEN_PULSE);
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Context<'_, WhisperMsg>, token: u64) {
-        if token == RDV_TOKEN_PULSE {
-            self.emit_pulse(ctx);
-        }
-    }
-
-    fn on_message(&mut self, ctx: &mut Context<'_, WhisperMsg>, from: NodeId, msg: WhisperMsg) {
-        let Some((from, msg)) =
-            crate::routing::unwrap_or_forward(&self.directory, self.peer, ctx, from, msg)
-        else {
-            return;
-        };
-        self.rx.on_send(msg.kind(), msg.wire_size());
-        if let WhisperMsg::ScopeRequest { request_id } = msg {
-            let reply = WhisperMsg::ScopeResponse {
-                request_id,
-                snapshot: Box::new(self.scope_snapshot()),
-            };
-            self.tx.on_send(reply.kind(), reply.wire_size());
-            match self.directory.peer_of(from) {
-                Some(peer) => {
-                    crate::routing::send_routed(&self.directory, self.peer, ctx, peer, reply)
-                }
-                None => ctx.send(from, reply),
-            }
-            return;
-        }
-        if let WhisperMsg::P2p(m) = msg {
-            let origin = match &m {
-                P2pMessage::Query { origin, .. } => *origin,
-                P2pMessage::Heartbeat { from, .. } => *from,
-                _ => self.peer,
-            };
-            if let (Some(rec), P2pMessage::Query { id, .. }) = (&self.obs, &m) {
-                if let Some(req) = rec.lookup(crate::trace::NS_QUERY, *id) {
-                    rec.instant("rendezvous.lookup", req, ctx.now());
-                }
-                rec.incr("rendezvous.queries", 1);
-            }
-            let (sends, _) = self.disco.handle_message(origin, m, ctx.now());
-            for s in sends {
-                let msg = WhisperMsg::P2p(s.msg);
-                self.tx.on_send(msg.kind(), msg.wire_size());
-                crate::routing::send_routed(&self.directory, self.peer, ctx, s.to, msg);
-            }
-        }
-    }
-}
-
 /// A fully wired Whisper deployment on the deterministic simulator.
 ///
 /// See the crate docs for a quickstart.
@@ -294,183 +176,36 @@ impl WhisperNet {
     /// configurations (no groups, empty group, unresolvable service
     /// annotations).
     pub fn build(cfg: DeploymentConfig) -> Result<Self, WhisperError> {
-        if cfg.groups.is_empty() {
-            return Err(WhisperError::BadDeployment(
-                "no b-peer groups configured".into(),
-            ));
-        }
-        if cfg.groups.iter().any(|g| g.backends.is_empty()) {
-            return Err(WhisperError::BadDeployment("a group has no b-peers".into()));
-        }
-        if cfg.firewall_bpeers && !cfg.use_rendezvous {
-            return Err(WhisperError::BadDeployment(
-                "firewalled b-peers need a rendezvous to relay through".into(),
-            ));
-        }
-        // Validate annotations up front (the proxy would panic otherwise).
-        cfg.service.resolve_all(&cfg.ontology)?;
-
-        // --- Assign node indices and peer ids -------------------------
-        let mut next_node = 0usize;
-        let rendezvous_idx = cfg.use_rendezvous.then(|| {
-            let i = next_node;
-            next_node += 1;
-            i
-        });
-        let mut group_node_idx: Vec<Vec<usize>> = Vec::new();
-        for g in &cfg.groups {
-            let idxs = (0..g.backends.len())
-                .map(|_| {
-                    let i = next_node;
-                    next_node += 1;
-                    i
-                })
-                .collect();
-            group_node_idx.push(idxs);
-        }
-        let proxy_idx = next_node;
-        next_node += 1;
-        let client_idx: Vec<usize> = (0..cfg.clients.len())
-            .map(|_| {
-                let i = next_node;
-                next_node += 1;
-                i
-            })
-            .collect();
-
-        // Peers: every node except clients. PeerId = node index + 1.
-        let peer_of = |idx: usize| PeerId::new(idx as u64 + 1);
-        let mut pairs = Vec::new();
-        if let Some(r) = rendezvous_idx {
-            pairs.push((peer_of(r), NodeId::from_index(r)));
-        }
-        for idxs in &group_node_idx {
-            for &i in idxs {
-                pairs.push((peer_of(i), NodeId::from_index(i)));
-            }
-        }
-        pairs.push((peer_of(proxy_idx), NodeId::from_index(proxy_idx)));
-        let mut routes = Vec::new();
-        if cfg.firewall_bpeers {
-            let relay = peer_of(rendezvous_idx.expect("validated above"));
-            for idxs in &group_node_idx {
-                for &i in idxs {
-                    routes.push((peer_of(i), relay));
-                }
-            }
-        }
-        let directory = Directory::with_routes(pairs, routes);
-
-        let strategy = match rendezvous_idx {
-            Some(r) => DiscoveryStrategy::Rendezvous(peer_of(r)),
-            None => DiscoveryStrategy::Flood,
+        let firewall_bpeers = cfg.firewall_bpeers;
+        let bpeer_cfg = cfg.bpeer.clone();
+        let wiring = ScenarioWiring {
+            service: cfg.service,
+            ontology: cfg.ontology,
+            groups: cfg.groups,
+            use_rendezvous: cfg.use_rendezvous,
+            firewall_bpeers,
+            bpeer: cfg.bpeer,
+            proxy: cfg.proxy,
+            clients: cfg.clients,
+            ledger: None,
+            recorder: None,
+            pulse: None,
         };
-
-        // --- Instantiate the network ----------------------------------
         let mut net: SimNet<WhisperMsg> = SimNet::with_link(cfg.seed, cfg.link);
-
-        if let Some(r) = rendezvous_idx {
-            let rdv_peer = peer_of(r);
-            let added = net.add_node(RendezvousActor {
-                peer: rdv_peer,
-                directory: directory.clone(),
-                disco: DiscoveryService::new(rdv_peer, DiscoveryStrategy::Rendezvous(rdv_peer)),
-                obs: None,
-                tx: Metrics::new(),
-                rx: Metrics::new(),
-                pulse: None,
-                pulse_emitter: PulseEmitter::new(),
-            });
-            debug_assert_eq!(added, NodeId::from_index(r));
-        }
-
-        let mut group_nodes = Vec::new();
-        let mut group_ids = Vec::new();
-        let mut group_advs = Vec::new();
-        for (gi, spec) in cfg.groups.into_iter().enumerate() {
-            let group = GroupId::new(gi as u64 + 1);
-            let idxs = &group_node_idx[gi];
-            let members: Vec<PeerId> = idxs.iter().map(|&i| peer_of(i)).collect();
-            let adv = SemanticAdv {
-                group,
-                name: spec.name.clone(),
-                action: spec.action.clone(),
-                inputs: spec.inputs.clone(),
-                outputs: spec.outputs.clone(),
-                qos: spec.qos,
-            };
-            let mut nodes = Vec::new();
-            for (pi, backend) in spec.backends.into_iter().enumerate() {
-                let peer = peer_of(idxs[pi]);
-                let mut bp_cfg = cfg.bpeer.clone();
-                bp_cfg.strategy = strategy;
-                if let Some(pt) = spec.processing_time {
-                    bp_cfg.processing_time = pt;
-                }
-                let actor = BPeerActor::new(
-                    peer,
-                    group,
-                    members.clone(),
-                    adv.clone(),
-                    backend,
-                    directory.clone(),
-                    bp_cfg,
-                );
-                let added = net.add_node(actor);
-                debug_assert_eq!(added, NodeId::from_index(idxs[pi]));
-                nodes.push(added);
-            }
-            group_nodes.push(nodes);
-            group_ids.push(group);
-            group_advs.push(adv);
-        }
-
-        let proxy_peer = peer_of(proxy_idx);
-        let mut proxy_cfg = cfg.proxy.clone();
-        proxy_cfg.strategy = strategy;
-        let mut proxy = SwsProxyActor::new(
-            proxy_peer,
-            &cfg.service,
-            cfg.ontology,
-            directory.clone(),
-            proxy_cfg,
-        );
-        for idxs in &group_node_idx {
-            for &i in idxs {
-                proxy.add_known_peer(peer_of(i));
-            }
-        }
-        if let Some(r) = rendezvous_idx {
-            proxy.add_known_peer(peer_of(r));
-        }
-        let proxy_node = net.add_node(proxy);
-        debug_assert_eq!(proxy_node, NodeId::from_index(proxy_idx));
-
-        let mut client_nodes = Vec::new();
-        for (ci, tpl) in cfg.clients.into_iter().enumerate() {
-            let cc = ClientConfig {
-                proxy_node,
-                workload: tpl.workload,
-                payloads: tpl.payloads,
-                total: tpl.total,
-                timeout: tpl.timeout,
-                warmup: tpl.warmup,
-            };
-            let added = net.add_node(ClientActor::new(cc));
-            debug_assert_eq!(added, NodeId::from_index(client_idx[ci]));
-            client_nodes.push(added);
-        }
+        let topo = wiring.wire(&mut net)?;
 
         // Enforce the firewall on the wire: block every direct link that a
         // NATed b-peer must not use, leaving only b-peer↔rendezvous. Any
         // traffic that bypasses the relay then surfaces as a partition drop
-        // in the metrics (asserted zero by the relay experiment).
-        if cfg.firewall_bpeers {
-            let all_bpeers: Vec<NodeId> = group_nodes.iter().flatten().copied().collect();
+        // in the metrics (asserted zero by the relay experiment). The
+        // directory routes come from the wiring pass; the wire-level
+        // blocks are a simulator capability, so they live here.
+        if firewall_bpeers {
+            let all_bpeers = topo.all_bpeers();
             let mut plan = FaultPlan::new();
             for (i, &a) in all_bpeers.iter().enumerate() {
-                plan.block_at(a, proxy_node, SimTime::ZERO);
-                for &c in &client_nodes {
+                plan.block_at(a, topo.proxy, SimTime::ZERO);
+                for &c in &topo.clients {
                     plan.block_at(a, c, SimTime::ZERO);
                 }
                 for &b in &all_bpeers[i + 1..] {
@@ -482,16 +217,16 @@ impl WhisperNet {
 
         Ok(WhisperNet {
             net,
-            directory,
-            rendezvous_node: rendezvous_idx.map(NodeId::from_index),
-            group_nodes,
-            group_ids,
-            group_advs,
-            proxy_node,
-            client_nodes,
-            strategy,
-            bpeer_cfg: cfg.bpeer,
-            next_node_index: next_node,
+            directory: topo.directory,
+            rendezvous_node: topo.rendezvous,
+            group_nodes: topo.group_nodes,
+            group_ids: topo.group_ids,
+            group_advs: topo.group_advs,
+            proxy_node: topo.proxy,
+            client_nodes: topo.clients,
+            strategy: topo.strategy,
+            bpeer_cfg,
+            next_node_index: topo.node_count,
             obs: None,
             ledger: None,
             pulse: None,
@@ -848,23 +583,24 @@ impl WhisperNet {
 
     // --- Fault injection ---------------------------------------------------
 
-    /// Crashes the current coordinator of group `gi` immediately; returns
-    /// the crashed peer, or `None` when the group has no coordinator.
-    pub fn crash_coordinator(&mut self, gi: usize) -> Option<PeerId> {
+    /// Kills the current coordinator of group `gi` immediately (a crash);
+    /// returns the killed peer, or `None` when the group has no
+    /// coordinator.
+    pub fn kill_coordinator(&mut self, gi: usize) -> Option<PeerId> {
         let coord = self.coordinator_of(gi)?;
         let node = self.directory.node_of(coord)?;
-        self.net.crash_now(node);
+        self.net.kill_node(node);
         Some(coord)
     }
 
-    /// Crashes an arbitrary node now.
-    pub fn crash_node(&mut self, node: NodeId) {
-        self.net.crash_now(node);
+    /// Kills an arbitrary node now (a crash).
+    pub fn kill_node(&mut self, node: NodeId) {
+        self.net.kill_node(node);
     }
 
     /// Restarts a crashed node now.
     pub fn restart_node(&mut self, node: NodeId) {
-        self.net.restart_now(node);
+        self.net.restart_node(node);
     }
 
     /// Installs a pre-built fault plan.

@@ -56,6 +56,7 @@ mod backend;
 mod bpeer;
 mod client;
 pub mod composition;
+pub mod deploy;
 mod directory;
 mod error;
 mod harness;
@@ -73,6 +74,9 @@ pub use backend::{
 };
 pub use bpeer::{BPeerActor, BPeerConfig};
 pub use client::{ClientActor, ClientConfig, ClientStats, RequestOutcome, Workload};
+pub use deploy::{
+    BackendFactory, Booted, Deployment, GroupBlueprint, PulseWiring, ScenarioWiring, Topology,
+};
 pub use directory::Directory;
 pub use error::WhisperError;
 pub use harness::{ClientConfigTemplate, DeploymentConfig, GroupSpec, WhisperNet};

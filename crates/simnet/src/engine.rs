@@ -97,16 +97,33 @@ pub trait Actor<M>: Send {
     fn on_restart(&mut self, _ctx: &mut Context<'_, M>) {}
 }
 
-trait AnyActor<M>: Actor<M> {
+/// An [`Actor`] that can also be inspected via [`Any`] downcasts.
+///
+/// Deployment harnesses that wire the *same* scenario onto every substrate
+/// hand actors around as `Box<dyn DynActor<M>>` (see
+/// [`Spawner`](crate::Spawner)): the box spawns onto the simulator, the
+/// threaded runtime or the TCP runtime unchanged, while
+/// [`SimNet::node`]/[`SimNet::node_mut`] keep their concrete-type access.
+/// The blanket impl covers every `'static` actor, so implementors never
+/// write this by hand.
+pub trait DynActor<M>: Actor<M> {
+    /// The actor as [`Any`], for downcasting.
     fn as_any(&self) -> &dyn Any;
+    /// The actor as mutable [`Any`], for downcasting.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// Consumes the box into an owned [`Any`], used by the threaded
+    /// runtimes to return actors out of `shutdown`.
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send>;
 }
 
-impl<M, T: Actor<M> + Any> AnyActor<M> for T {
+impl<M, T: Actor<M> + Any + Send> DynActor<M> for T {
     fn as_any(&self) -> &dyn Any {
         self
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send> {
         self
     }
 }
@@ -196,7 +213,7 @@ impl<'a, M> Context<'a, M> {
 }
 
 struct NodeSlot<M> {
-    actor: Box<dyn AnyActor<M>>,
+    actor: Box<dyn DynActor<M>>,
     up: bool,
     /// Incremented on every crash so stale timers never fire after restart.
     epoch: u32,
@@ -296,9 +313,16 @@ impl<M: Wire> SimNet<M> {
     /// Adds a node running `actor`; its `on_start` hook is scheduled at the
     /// current virtual time.
     pub fn add_node(&mut self, actor: impl Actor<M> + Any) -> NodeId {
+        self.add_boxed(Box::new(actor))
+    }
+
+    /// Adds an already-boxed node (the substrate-agnostic deployment path;
+    /// see [`Spawner`](crate::Spawner)). [`SimNet::node`]'s downcasts still
+    /// resolve to the concrete actor type inside the box.
+    pub fn add_boxed(&mut self, actor: Box<dyn DynActor<M>>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(NodeSlot {
-            actor: Box::new(actor),
+            actor,
             up: true,
             epoch: 0,
         });
@@ -396,16 +420,34 @@ impl<M: Wire> SimNet<M> {
         }
     }
 
-    /// Crashes a node at the current time (sugar over a one-entry plan).
-    pub fn crash_now(&mut self, node: NodeId) {
+    /// Kills a node at the current time, as a crash (sugar over a
+    /// one-entry plan). Named like
+    /// [`ThreadNet::kill_node`](crate::threadnet::ThreadNet::kill_node)
+    /// and [`TcpNet::kill_node`](crate::tcpnet::TcpNet::kill_node) so
+    /// substrate-generic code reads the same everywhere.
+    pub fn kill_node(&mut self, node: NodeId) {
         self.queue
             .push(self.clock, EventKind::Fault(FaultAction::Crash(node)));
     }
 
-    /// Restarts a node at the current time.
-    pub fn restart_now(&mut self, node: NodeId) {
+    /// Restarts a killed node at the current time; its `on_restart` hook
+    /// fires.
+    pub fn restart_node(&mut self, node: NodeId) {
         self.queue
             .push(self.clock, EventKind::Fault(FaultAction::Restart(node)));
+    }
+
+    /// Blocks all traffic between `a` and `b` (both directions) from the
+    /// current time, as a partition.
+    pub fn block_link(&mut self, a: NodeId, b: NodeId) {
+        self.queue
+            .push(self.clock, EventKind::Fault(FaultAction::Block(a, b)));
+    }
+
+    /// Unblocks traffic between `a` and `b` at the current time.
+    pub fn unblock_link(&mut self, a: NodeId, b: NodeId) {
+        self.queue
+            .push(self.clock, EventKind::Fault(FaultAction::Unblock(a, b)));
     }
 
     /// Delivers a message into the network "from outside" (used by test
@@ -785,7 +827,7 @@ mod tests {
         let rec = net.add_node(Recorder::default());
         net.run_until_quiescent();
 
-        net.crash_now(rec);
+        net.kill_node(rec);
         net.run_until_quiescent();
         assert!(!net.is_up(rec));
         // messages to a down node are dropped at delivery
@@ -794,7 +836,7 @@ mod tests {
         assert_eq!(net.metrics().messages_to_down_nodes(), 1);
         assert!(net.node::<Recorder>(rec).seen.is_empty());
 
-        net.restart_now(rec);
+        net.restart_node(rec);
         net.run_until_quiescent();
         assert!(net.is_up(rec));
         assert_eq!(net.node::<Recorder>(rec).restarted, 1);
@@ -928,7 +970,7 @@ mod tests {
         net.enable_trace();
         net.inject(a, b, Msg::Note("one"));
         net.run_until_quiescent();
-        net.crash_now(b);
+        net.kill_node(b);
         net.run_until_quiescent();
         net.inject(a, b, Msg::Note("two"));
         net.run_until_quiescent();

@@ -4,8 +4,13 @@ use crate::engine::NodeId;
 use crate::time::SimTime;
 
 /// One injected fault.
+///
+/// On the simulator these are discrete events executed at virtual time;
+/// on the threaded and TCP runtimes a real-time fault driver replays them
+/// against the live transport (see
+/// [`Substrate::execute_plan`](crate::Substrate::execute_plan)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum FaultAction {
+pub enum FaultAction {
     /// Crash-stop a node: it stops receiving messages and timers.
     Crash(NodeId),
     /// Restart a crashed node; its `on_restart` hook runs.
@@ -16,11 +21,15 @@ pub(crate) enum FaultAction {
     Unblock(NodeId, NodeId),
 }
 
-/// A schedule of faults to inject into a [`SimNet`] run.
+/// A schedule of faults to inject into a run on any substrate.
 ///
-/// Build the plan up front, then install it with [`SimNet::apply_faults`];
-/// the engine executes each action at its virtual time. This keeps
-/// experiments declarative and reproducible.
+/// Build the plan up front, then install it with [`SimNet::apply_faults`]
+/// (the engine executes each action at its virtual time) or replay it on a
+/// live transport with
+/// [`Substrate::execute_plan`](crate::Substrate::execute_plan), where a
+/// fault-driver thread fires each action at the matching wall-clock
+/// offset. This keeps experiments declarative and reproducible — the same
+/// plan drives the simulator, the threaded runtime and real TCP sockets.
 ///
 /// [`SimNet`]: crate::SimNet
 /// [`SimNet::apply_faults`]: crate::SimNet::apply_faults
@@ -93,6 +102,11 @@ impl FaultPlan {
             }
         }
         self
+    }
+
+    /// The scheduled actions, in insertion order (not sorted by time).
+    pub fn actions(&self) -> &[(SimTime, FaultAction)] {
+        &self.actions
     }
 
     /// Number of scheduled actions.

@@ -62,14 +62,18 @@ mod event;
 mod faults;
 mod link;
 mod metrics;
+mod substrate;
 pub mod tcpnet;
 pub mod threadnet;
 mod time;
 
-pub use engine::{Actor, Context, NetHook, NodeId, SimNet, TimerId, TraceEvent, TraceOutcome};
-pub use faults::FaultPlan;
+pub use engine::{
+    Actor, Context, DynActor, NetHook, NodeId, SimNet, TimerId, TraceEvent, TraceOutcome,
+};
+pub use faults::{FaultAction, FaultPlan};
 pub use link::{LinkModel, PerfectLink, SwitchedLan};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use substrate::{Spawner, Substrate};
 pub use time::{SimDuration, SimTime};
 
 /// A message type that can travel over the simulated (or threaded) network.

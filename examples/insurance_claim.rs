@@ -87,7 +87,7 @@ fn main() {
     // Kill the whole premium group: the proxy re-discovers and the
     // standard group takes over.
     for &n in &net.group_nodes(premium_group).to_vec() {
-        net.crash_node(n);
+        net.kill_node(n);
     }
     println!("\npremium group crashed; resubmitting...");
     net.submit_request(client, claim("c-102", "99.00"));

@@ -30,7 +30,7 @@ fn main() {
 
     // Crash the coordinator mid-flight and send another request: the proxy
     // re-binds to the newly elected coordinator, transparently.
-    let victim = net.crash_coordinator(0).expect("there was a coordinator");
+    let victim = net.kill_coordinator(0).expect("there was a coordinator");
     println!("\ncrashed coordinator {victim}; sending another request...");
     net.submit_student_request(client, "u1007");
     net.run_for(SimDuration::from_secs(10));

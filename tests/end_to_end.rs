@@ -405,7 +405,7 @@ fn coordinator_binds_the_group_request_pipe() {
     assert_eq!(adv.owner, coord);
 
     // after failover the NEW coordinator rebinds the same pipe
-    net.crash_coordinator(0);
+    net.kill_coordinator(0);
     net.run_for(SimDuration::from_secs(10));
     let new_coord = net.coordinator_of(0).expect("re-elected");
     assert_ne!(new_coord, coord);

@@ -14,7 +14,7 @@ fn coordinator_crash_is_masked_for_the_next_request() {
     net.submit_student_request(client, "u1000");
     net.run_for(SimDuration::from_secs(1));
 
-    let victim = net.crash_coordinator(0).expect("had a coordinator");
+    let victim = net.kill_coordinator(0).expect("had a coordinator");
     net.submit_student_request(client, "u1001");
     net.run_for(SimDuration::from_secs(15));
 
@@ -36,7 +36,7 @@ fn cascading_coordinator_failures_until_one_replica_left() {
 
     // kill coordinators one after another; each time the service recovers
     for round in 0..3 {
-        net.crash_coordinator(0).expect("coordinator exists");
+        net.kill_coordinator(0).expect("coordinator exists");
         net.submit_student_request(client, &format!("u100{}", round + 1));
         net.run_for(SimDuration::from_secs(20));
         let s = net.client_stats(client);
@@ -61,7 +61,7 @@ fn restarted_highest_peer_reclaims_coordination() {
     let original = net.coordinator_of(0).expect("elected");
     let original_node = net.directory().node_of(original).expect("routable");
 
-    net.crash_node(original_node);
+    net.kill_node(original_node);
     net.run_for(SimDuration::from_secs(10));
     let interim = net.coordinator_of(0).expect("re-elected");
     assert_ne!(interim, original);
@@ -128,7 +128,7 @@ fn whole_group_down_yields_fault_then_recovers_after_restart() {
 
     let nodes: Vec<_> = net.group_nodes(0).to_vec();
     for &n in &nodes {
-        net.crash_node(n);
+        net.kill_node(n);
     }
     net.submit_student_request(client, "u1001");
     net.run_for(SimDuration::from_secs(40));
@@ -227,9 +227,9 @@ fn every_member_converges_on_the_same_coordinator_after_churn() {
     // churn: crash two highest, restart one
     let n5 = net.group_nodes(0)[4];
     let n4 = net.group_nodes(0)[3];
-    net.crash_node(n5);
+    net.kill_node(n5);
     net.run_for(SimDuration::from_secs(8));
-    net.crash_node(n4);
+    net.kill_node(n4);
     net.run_for(SimDuration::from_secs(8));
     net.restart_node(n5);
     net.run_for(SimDuration::from_secs(8));
@@ -289,7 +289,7 @@ fn bpeers_joining_at_runtime_raise_availability() {
 
     // The original lone replica can now die without an outage.
     let original = net.group_nodes(0)[0];
-    net.crash_node(original);
+    net.kill_node(original);
     net.submit_student_request(client, "u1001");
     net.run_for(SimDuration::from_secs(15));
     let s = net.client_stats(client);
