@@ -1,5 +1,5 @@
 //! Runs every experiment back to back (the full evaluation section) and
-//! writes the machine-readable trajectory (`BENCH_PR7.json`) next to the
+//! writes the machine-readable trajectory (`BENCH_PR8.json`) next to the
 //! CSVs.
 
 use whisper_bench::experiments::*;
@@ -142,6 +142,14 @@ fn main() {
     t.print();
     let _ = t.save_csv();
     substrate_matrix::record(&mut summary, &rows);
+    println!();
+
+    println!("=== E15 / postmortem matrix ===\n");
+    let rows = postmortem::run_matrix(&substrate_matrix::MatrixTuning::default());
+    let t = postmortem::table(&rows);
+    t.print();
+    let _ = t.save_csv();
+    postmortem::record(&mut summary, &rows);
     println!();
 
     match summary.save_merged() {

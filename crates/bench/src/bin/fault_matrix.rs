@@ -10,7 +10,7 @@
 //! fault handling fails the job even before the numbers are compared.
 //!
 //! Per-substrate availability/MTTR/detection triples are merged into
-//! `target/experiments/BENCH_PR7.json`.
+//! `target/experiments/BENCH_PR8.json`.
 //!
 //! [`Deployment`]: whisper::deploy::Deployment
 //! [`FaultPlan`]: whisper_simnet::FaultPlan

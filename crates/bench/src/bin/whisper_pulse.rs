@@ -13,15 +13,24 @@
 //!
 //! `--seconds 0` (the default) runs until interrupted. `--smoke` runs the
 //! workload, then scrapes its own exposition endpoint and exits non-zero
-//! unless `whisper_request_total` is non-zero and a `proxy.rtt` p99
-//! series is present — the CI self-check.
+//! unless `whisper_request_total` is non-zero, a `proxy.rtt` p99 series
+//! is present, and the `whisper_slo_*` series are exposed — the CI
+//! self-check.
+//!
+//! An [`SloEngine`] with the default objectives (99 % availability, p99
+//! ≤ 250 ms) watches the cluster's availability ledger and the live p99;
+//! its burn rates, budget, and firing state ride along on every scrape
+//! as `whisper_slo_*` series.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use whisper_bench::{exporter, ClusterTuning, PulseTuning, TcpCluster};
+use whisper_obs::{SloConfig, SloEngine};
+use whisper_simnet::{SimDuration, SimTime};
 
 struct Options {
     peers: usize,
@@ -104,8 +113,23 @@ fn smoke_check(body: &str) -> Result<(), String> {
     if !body.lines().any(|l| l.starts_with(p99)) {
         return Err(format!("p99 series {p99:?} missing from exposition"));
     }
-    println!("smoke: ok ({requests} requests exposed, p99 series present)");
+    if !body.lines().any(|l| l.starts_with("whisper_slo_target{")) {
+        return Err("whisper_slo_target series missing from exposition".into());
+    }
+    println!("smoke: ok ({requests} requests exposed, p99 + SLO series present)");
     Ok(())
+}
+
+/// Total ledger downtime across every tracked service at `now`.
+fn ledger_downtime(cluster: &TcpCluster, now: SimTime) -> SimDuration {
+    let ledger = cluster.ledger();
+    let mut total = SimDuration::ZERO;
+    for &s in &ledger.services() {
+        if let Some(r) = ledger.service_report(s, now) {
+            total = total + r.downtime;
+        }
+    }
+    total
 }
 
 fn main() -> ExitCode {
@@ -140,8 +164,19 @@ fn main() -> ExitCode {
         std::thread::sleep(Duration::from_millis(20));
     }
 
+    let boot = Instant::now();
+    let slo: exporter::SharedSlo = Arc::new(Mutex::new(SloEngine::new(SloConfig::default())));
+    slo.lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .tick(SimTime::ZERO, SimDuration::ZERO, None);
+
     let bind = format!("127.0.0.1:{}", opts.port);
-    let server = match exporter::serve(cluster.pulse_store().clone(), &bind, usize::MAX) {
+    let server = match exporter::serve_with_slo(
+        cluster.pulse_store().clone(),
+        Some(slo.clone()),
+        &bind,
+        usize::MAX,
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("failed to bind exposition endpoint on {bind}: {e}");
@@ -183,18 +218,29 @@ fn main() -> ExitCode {
             let store = cluster.pulse_store();
             let guard = store.lock().unwrap_or_else(|e| e.into_inner());
             let agg = guard.aggregate(usize::MAX);
+            let p99_us = agg.quantile_us("proxy.rtt", 99.0);
             println!(
                 "pulse · {:.0}s · {answered} answered · p50 {} · p99 {} · {} frames · {} outliers",
                 start.elapsed().as_secs_f64(),
                 agg.quantile_us("proxy.rtt", 50.0)
                     .map(|us| format!("{:.1}ms", us as f64 / 1e3))
                     .unwrap_or_else(|| "-".into()),
-                agg.quantile_us("proxy.rtt", 99.0)
+                p99_us
                     .map(|us| format!("{:.1}ms", us as f64 / 1e3))
                     .unwrap_or_else(|| "-".into()),
                 guard.frames_ingested(),
                 guard.outliers_ingested(),
             );
+            drop(guard);
+            let now = SimTime::ZERO + SimDuration::from_micros(boot.elapsed().as_micros() as u64);
+            let mut slo_guard = slo.lock().unwrap_or_else(|e| e.into_inner());
+            for ev in slo_guard.tick(
+                now,
+                ledger_downtime(&cluster, now),
+                p99_us.map(SimDuration::from_micros),
+            ) {
+                println!("slo · {ev:?}");
+            }
         }
         // A breather so the pulse interval ticks relative to the load.
         std::thread::sleep(Duration::from_millis(5));

@@ -11,33 +11,41 @@
 //! ```text
 //! whisper-top [--peers N] [--interval MS] [--frames N] [--once] [--live]
 //! whisper-top --check-summary PATH
-//! whisper-top --compare OLD.json NEW.json [--fail-on-regression PCT]
+//! whisper-top --compare OLD.json NEW.json [--only SUBSTR] [--fail-on-regression PCT]
 //! ```
 //!
 //! `--once` prints a single frame and exits by health (the CI smoke
 //! check): `0` when every node answered, all b-peers agree on a
 //! coordinator and the ledger shows every service up; `3` when the
 //! cluster is *up but degraded* — all nodes still answering but the
-//! b-peers disagree on the coordinator or the ledger carries an open
-//! outage; `1` when nodes are missing or requests went unanswered
-//! (down); `2` on usage errors.
+//! b-peers disagree on the coordinator, the ledger carries an open
+//! outage, or the SLO engine is burning (an alert firing or an error
+//! budget exhausted); `1` when nodes are missing or requests went
+//! unanswered (down); `2` on usage errors.
+//!
+//! Every frame ends with an `ALERTS` pane: per-objective burn rates over
+//! the fast/slow windows, the error budget left, and whether the
+//! multi-window burn-rate alert is firing (see `whisper_obs::slo`).
 //! `--live` boots the pulse telemetry plane alongside the cluster (plus
 //! a deliberately slow transcript replica), drives one request per
 //! refresh, and adds a telemetry panel under each frame: request-rate
 //! and p99 sparklines from the collector's windowed time-series, and a
 //! flame rendering of the latest tail-captured slow request.
-//! `--check-summary` validates that a `BENCH_PR7.json` trajectory file
+//! `--check-summary` validates that a `BENCH_PR8.json` trajectory file
 //! parses, without booting anything. `--compare` diffs two trajectory
 //! files stat by stat and prints a percent-change table; with
 //! `--fail-on-regression PCT` it exits non-zero if any shared statistic
 //! worsened by more than `PCT` percent (direction-aware: throughput-like
 //! stats such as availability count a *drop* as the regression).
+//! `--only SUBSTR` restricts the comparison to stats whose
+//! `experiment/stat` name contains `SUBSTR` — CI uses it to hold the
+//! tcpnet request-cycle bench to a tighter gate than the noisy rest.
 
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use whisper_bench::{BenchSummary, ClusterTuning, PulseTuning, Table, TcpCluster};
-use whisper_obs::{MetricsDelta, NodeSnapshot, OutlierTrace, PulseSpan};
+use whisper_obs::{MetricsDelta, NodeSnapshot, OutlierTrace, PulseSpan, SloConfig, SloEngine};
 use whisper_simnet::{NodeId, SimDuration, SimTime};
 
 struct Options {
@@ -48,6 +56,7 @@ struct Options {
     live: bool,
     check_summary: Option<String>,
     compare: Option<(String, String)>,
+    only: Option<String>,
     fail_on_regression: Option<f64>,
 }
 
@@ -55,7 +64,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: whisper-top [--peers N] [--interval MS] [--frames N] [--once] [--live]\n\
          \x20      whisper-top --check-summary PATH\n\
-         \x20      whisper-top --compare OLD.json NEW.json [--fail-on-regression PCT]"
+         \x20      whisper-top --compare OLD.json NEW.json [--only SUBSTR] [--fail-on-regression PCT]\n\
+         \n\
+         --once exits by health: 0 healthy; 3 up but degraded (coordinator\n\
+         disagreement, open ledger outage, or SLO burn — alert firing /\n\
+         error budget exhausted); 1 down (missing nodes or unanswered\n\
+         requests); 2 usage errors."
     );
     std::process::exit(2);
 }
@@ -69,6 +83,7 @@ fn parse_args() -> Options {
         live: false,
         check_summary: None,
         compare: None,
+        only: None,
         fail_on_regression: None,
     };
     let mut args = std::env::args().skip(1);
@@ -100,6 +115,7 @@ fn parse_args() -> Options {
                 let new = value("--compare");
                 opts.compare = Some((old, new));
             }
+            "--only" => opts.only = Some(value("--only")),
             "--fail-on-regression" => match value("--fail-on-regression").parse() {
                 Ok(pct) if pct >= 0.0 => opts.fail_on_regression = Some(pct),
                 _ => usage(),
@@ -160,11 +176,19 @@ fn load_summary(path: &str) -> Option<BenchSummary> {
 
 /// Diffs two trajectory files stat by stat: prints a percent-change table
 /// and, when `fail_pct` is set, exits non-zero if any shared statistic
-/// worsened by more than that many percent.
-fn compare_summaries(old_path: &str, new_path: &str, fail_pct: Option<f64>) -> ExitCode {
+/// worsened by more than that many percent. `only` restricts the diff to
+/// stats whose `experiment/stat` name contains the given substring.
+fn compare_summaries(
+    old_path: &str,
+    new_path: &str,
+    only: Option<&str>,
+    fail_pct: Option<f64>,
+) -> ExitCode {
     let (Some(old), Some(new)) = (load_summary(old_path), load_summary(new_path)) else {
         return ExitCode::FAILURE;
     };
+    let selected =
+        |exp: &str, stat: &str| only.is_none_or(|needle| format!("{exp}/{stat}").contains(needle));
 
     let mut t = Table::new(
         "bench_compare",
@@ -172,8 +196,13 @@ fn compare_summaries(old_path: &str, new_path: &str, fail_pct: Option<f64>) -> E
     );
     let mut worst: Option<(String, f64)> = None;
     let mut missing = 0usize;
+    let mut compared = 0usize;
     for exp in new.experiment_names() {
         for (stat, new_v) in new.stats(exp) {
+            if !selected(exp, stat) {
+                continue;
+            }
+            compared += 1;
             let Some(old_v) = old.get(exp, stat) else {
                 t.row(&[
                     exp.to_string(),
@@ -220,12 +249,18 @@ fn compare_summaries(old_path: &str, new_path: &str, fail_pct: Option<f64>) -> E
     }
     for exp in old.experiment_names() {
         for (stat, _) in old.stats(exp) {
-            if new.get(exp, stat).is_none() {
+            if selected(exp, stat) && new.get(exp, stat).is_none() {
                 missing += 1;
                 eprintln!(
                     "warning: {exp}/{stat} present in {old_path} but missing from {new_path}"
                 );
             }
+        }
+    }
+    if let Some(needle) = only {
+        if compared == 0 {
+            eprintln!("FAIL: no stat matching {needle:?} in {new_path}");
+            return ExitCode::FAILURE;
         }
     }
     t.print();
@@ -305,12 +340,48 @@ enum Health {
     /// Every node answered, coordinator agreed, every service up.
     Healthy,
     /// Still serving — every node answered every request — but the
-    /// b-peers disagree on the coordinator or the ledger carries an
-    /// open outage. Exit code 3, so CI can tell "restart it" from
+    /// b-peers disagree on the coordinator, the ledger carries an open
+    /// outage, or the SLO engine is burning (alert firing or error
+    /// budget exhausted). Exit code 3, so CI can tell "restart it" from
     /// "wait for re-election".
     Degraded,
     /// Nodes missing from the snapshot poll or requests unanswered.
     Down,
+}
+
+/// Cumulative downtime across every ledgered service — the availability
+/// signal the SLO engine burns against.
+fn ledger_downtime(cluster: &TcpCluster, now: SimTime) -> SimDuration {
+    let ledger = cluster.ledger();
+    let mut total = SimDuration::ZERO;
+    for &s in &ledger.services() {
+        if let Some(r) = ledger.service_report(s, now) {
+            total = total + r.downtime;
+        }
+    }
+    total
+}
+
+/// The `ALERTS` pane: per-objective burn rates, budget left and alert
+/// state from the SLO engine.
+fn print_alerts(slo: &SloEngine) {
+    for s in slo.status() {
+        println!(
+            "ALERTS {:<13} target={:.3} burn fast={:.1}x slow={:.1}x budget={:>6.1}% {}",
+            s.objective,
+            s.target,
+            s.fast_burn,
+            s.slow_burn,
+            s.budget_remaining * 100.0,
+            if s.firing {
+                "FIRING"
+            } else if s.budget_remaining <= 0.0 {
+                "BUDGET EXHAUSTED"
+            } else {
+                "ok"
+            },
+        );
+    }
 }
 
 /// `true` when the availability ledger currently carries an open outage
@@ -439,7 +510,7 @@ fn main() -> ExitCode {
         return check_summary(path);
     }
     if let Some((old, new)) = &opts.compare {
-        return compare_summaries(old, new, opts.fail_on_regression);
+        return compare_summaries(old, new, opts.only.as_deref(), opts.fail_on_regression);
     }
 
     eprintln!(
@@ -487,6 +558,10 @@ fn main() -> ExitCode {
 
     let mut frames_left = if opts.once { Some(1) } else { opts.frames };
     let mut sent = 0usize;
+    // The SLO engine burns against the ledger from boot, so even a single
+    // `--once` frame sees all downtime accumulated since startup.
+    let mut slo = SloEngine::new(SloConfig::default());
+    slo.tick(SimTime::ZERO, SimDuration::ZERO, None);
     let health = loop {
         // Live mode drives a trickle of real traffic so the telemetry
         // panel moves: one request per refresh, a slow transcript every
@@ -526,9 +601,23 @@ fn main() -> ExitCode {
         if opts.live {
             print_pulse(&cluster);
         }
+        let p99 = opts.live.then(|| {
+            let store = cluster.pulse_store();
+            let guard = store.lock().unwrap_or_else(|e| e.into_inner());
+            guard
+                .aggregate(usize::MAX)
+                .quantile_us("proxy.rtt", 99.0)
+                .map(SimDuration::from_micros)
+        });
+        slo.tick(now, ledger_downtime(&cluster, now), p99.flatten());
+        print_alerts(&slo);
         let frame_health = if snaps.len() != expected || answered != sent {
             Health::Down
-        } else if coord.is_none() || ledger_outage(&cluster, now) {
+        } else if coord.is_none()
+            || ledger_outage(&cluster, now)
+            || slo.any_firing()
+            || slo.any_budget_exhausted()
+        {
             Health::Degraded
         } else {
             Health::Healthy
@@ -548,7 +637,10 @@ fn main() -> ExitCode {
     match health {
         Health::Healthy => ExitCode::SUCCESS,
         Health::Degraded => {
-            eprintln!("degraded: nodes answering but no agreed coordinator or open outage");
+            eprintln!(
+                "degraded: nodes answering but no agreed coordinator, an open outage, \
+                 or SLO burn (alert firing / error budget exhausted)"
+            );
             ExitCode::from(3)
         }
         Health::Down => {

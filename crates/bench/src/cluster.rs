@@ -270,6 +270,7 @@ impl TcpCluster {
                 interval: p.interval,
                 store: pulse_store.clone().expect("store exists in pulse mode"),
             }),
+            flight: None,
         };
 
         let mut builder = TcpNetBuilder::new();

@@ -20,7 +20,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use whisper::SharedPulseStore;
-use whisper_obs::PulseStore;
+use whisper_obs::{PulseStore, SloEngine};
+
+/// An [`SloEngine`] shared between the driving loop (which ticks it) and
+/// the exposition endpoint (which renders it).
+pub type SharedSlo = Arc<std::sync::Mutex<SloEngine>>;
 
 /// Quantiles exposed per latency series.
 const QUANTILES: [(f64, &str); 3] = [(50.0, "0.5"), (95.0, "0.95"), (99.0, "0.99")];
@@ -200,6 +204,85 @@ pub fn render_prometheus(store: &PulseStore, window: usize) -> String {
     out
 }
 
+/// Renders the SLO engine's objectives as `whisper_slo_*` series:
+/// targets, fast/slow burn rates, error budget left, alert state and the
+/// total alerts fired since boot.
+pub fn render_slo(slo: &SloEngine) -> String {
+    let mut out = String::new();
+    let statuses = slo.status();
+
+    series_header(
+        &mut out,
+        "whisper_slo_target",
+        "gauge",
+        "Configured objective target (fraction of good time/requests).",
+    );
+    for s in &statuses {
+        let _ = writeln!(
+            out,
+            "whisper_slo_target{{objective=\"{}\"}} {}",
+            s.objective, s.target
+        );
+    }
+
+    series_header(
+        &mut out,
+        "whisper_slo_burn_rate",
+        "gauge",
+        "Error-budget burn rate over each alert window (1.0 = spending exactly the budget).",
+    );
+    for s in &statuses {
+        let _ = writeln!(
+            out,
+            "whisper_slo_burn_rate{{objective=\"{}\",window=\"fast\"}} {}",
+            s.objective, s.fast_burn
+        );
+        let _ = writeln!(
+            out,
+            "whisper_slo_burn_rate{{objective=\"{}\",window=\"slow\"}} {}",
+            s.objective, s.slow_burn
+        );
+    }
+
+    series_header(
+        &mut out,
+        "whisper_slo_budget_remaining",
+        "gauge",
+        "Fraction of the error budget left over the budget window (negative = overspent).",
+    );
+    for s in &statuses {
+        let _ = writeln!(
+            out,
+            "whisper_slo_budget_remaining{{objective=\"{}\"}} {}",
+            s.objective, s.budget_remaining
+        );
+    }
+
+    series_header(
+        &mut out,
+        "whisper_slo_firing",
+        "gauge",
+        "1 while the multi-window burn-rate alert for the objective is firing.",
+    );
+    for s in &statuses {
+        let _ = writeln!(
+            out,
+            "whisper_slo_firing{{objective=\"{}\"}} {}",
+            s.objective,
+            u8::from(s.firing)
+        );
+    }
+
+    series_header(
+        &mut out,
+        "whisper_slo_alerts_fired_total",
+        "counter",
+        "Burn-rate alerts fired since boot, all objectives.",
+    );
+    let _ = writeln!(out, "whisper_slo_alerts_fired_total {}", slo.fired_total());
+    out
+}
+
 /// A running exposition endpoint; drop (or [`PulseExporter::stop`]) to
 /// shut the listener down and join its thread.
 pub struct PulseExporter {
@@ -241,6 +324,21 @@ impl Drop for PulseExporter {
 ///
 /// Propagates binding errors.
 pub fn serve(store: SharedPulseStore, bind: &str, window: usize) -> io::Result<PulseExporter> {
+    serve_with_slo(store, None, bind, window)
+}
+
+/// Like [`serve`], but when `slo` is given every scrape also carries the
+/// `whisper_slo_*` series from [`render_slo`].
+///
+/// # Errors
+///
+/// Propagates binding errors.
+pub fn serve_with_slo(
+    store: SharedPulseStore,
+    slo: Option<SharedSlo>,
+    bind: &str,
+    window: usize,
+) -> io::Result<PulseExporter> {
     let listener = TcpListener::bind(bind)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -255,10 +353,14 @@ pub fn serve(store: SharedPulseStore, bind: &str, window: usize) -> io::Result<P
                     // but never wait long for a slow writer.
                     let _ = conn.set_read_timeout(Some(Duration::from_millis(500)));
                     let _ = conn.read(&mut req_buf);
-                    let body = {
+                    let mut body = {
                         let guard = store.lock().unwrap_or_else(|e| e.into_inner());
                         render_prometheus(&guard, window)
                     };
+                    if let Some(slo) = &slo {
+                        let guard = slo.lock().unwrap_or_else(|e| e.into_inner());
+                        body.push_str(&render_slo(&guard));
+                    }
                     let response = format!(
                         "HTTP/1.1 200 OK\r\n\
                          Content-Type: text/plain; version=0.0.4\r\n\
@@ -387,6 +489,73 @@ mod tests {
         conn.read_to_string(&mut response).expect("response");
         assert!(
             response.contains("whisper_pulse_frames_ingested_total 2"),
+            "{response}"
+        );
+        exporter.stop();
+    }
+
+    #[test]
+    fn slo_rendering_exposes_burn_budget_and_firing_state() {
+        use whisper_obs::{SloConfig, SloEngine};
+        use whisper_simnet::SimTime;
+
+        let mut slo = SloEngine::new(SloConfig::default());
+        slo.tick(SimTime::ZERO, SimDuration::ZERO, None);
+        // Half a second of accrued downtime: the availability objective
+        // burns well past both windows' thresholds and fires.
+        slo.tick(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            SimDuration::from_millis(500),
+            Some(SimDuration::from_millis(10)),
+        );
+        let text = render_slo(&slo);
+        assert!(
+            text.contains("whisper_slo_target{objective=\"availability\"} 0.99"),
+            "{text}"
+        );
+        assert!(
+            text.contains("whisper_slo_burn_rate{objective=\"availability\",window=\"fast\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("whisper_slo_burn_rate{objective=\"availability\",window=\"slow\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("whisper_slo_budget_remaining{objective=\"availability\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("whisper_slo_firing{objective=\"availability\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("whisper_slo_firing{objective=\"latency\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("whisper_slo_alerts_fired_total 1"), "{text}");
+    }
+
+    #[test]
+    fn http_endpoint_appends_slo_series_when_shared() {
+        use whisper_obs::{SloConfig, SloEngine};
+        use whisper_simnet::SimTime;
+
+        let shared: SharedPulseStore = Arc::new(std::sync::Mutex::new(seeded_store()));
+        let mut engine = SloEngine::new(SloConfig::default());
+        engine.tick(SimTime::ZERO, SimDuration::ZERO, None);
+        let slo: SharedSlo = Arc::new(std::sync::Mutex::new(engine));
+        let exporter = serve_with_slo(Arc::clone(&shared), Some(slo), "127.0.0.1:0", usize::MAX)
+            .expect("bind");
+        let mut conn = TcpStream::connect(exporter.addr()).expect("connect");
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+            .expect("request");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("whisper_request_total 7"), "{response}");
+        assert!(
+            response.contains("whisper_slo_target{objective=\"availability\"} 0.99"),
             "{response}"
         );
         exporter.stop();

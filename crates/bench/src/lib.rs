@@ -21,7 +21,7 @@
 //! Run everything with `cargo run -p whisper-bench --bin all_experiments`.
 //! `all_experiments`, `cluster_health` and the Criterion-style benches
 //! additionally merge headline statistics into the machine-readable
-//! trajectory `target/experiments/BENCH_PR7.json` ([`BenchSummary`]).
+//! trajectory `target/experiments/BENCH_PR8.json` ([`BenchSummary`]).
 //!
 //! Beyond the experiments, [`TcpCluster`] + the `whisper-top` binary give
 //! a live TCP-loopback deployment with in-band scope introspection.

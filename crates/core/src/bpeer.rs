@@ -15,7 +15,8 @@ use crate::pulse::{self, PulseConfig};
 use crate::trace;
 use whisper_election::{BullyConfig, BullyNode, ElectionMsg, ElectionProtocol, Output};
 use whisper_obs::{
-    AvailabilityLedger, ElectionView, NodeRole, NodeSnapshot, PulseEmitter, Recorder, SpanId,
+    AvailabilityLedger, ElectionView, FlightHandle, NodeRole, NodeSnapshot, PulseEmitter, Recorder,
+    SpanId,
 };
 use whisper_p2p::{
     Advertisement, DiscoveryService, DiscoveryStrategy, FailureDetector, GroupId, P2pMessage,
@@ -119,6 +120,14 @@ pub struct BPeerActor {
     /// Telemetry plane: where/how often to push [`WhisperMsg::PulseReport`]s.
     pulse: Option<PulseConfig>,
     pulse_emitter: PulseEmitter,
+    /// Always-on flight recorder ("whisper-flight"): protocol-level
+    /// transitions recorded into the same Lamport-stamped ring the
+    /// transport writes message events to.
+    flight: Option<FlightHandle>,
+    /// Peers currently flagged as heartbeat-missing in the flight ring,
+    /// so each suspicion records one miss and one restore, not one per
+    /// detector sweep.
+    flight_suspects: std::collections::BTreeSet<u64>,
 }
 
 impl BPeerActor {
@@ -157,6 +166,8 @@ impl BPeerActor {
             ledger: None,
             pulse: None,
             pulse_emitter: PulseEmitter::new(),
+            flight: None,
+            flight_suspects: std::collections::BTreeSet::new(),
         }
     }
 
@@ -234,6 +245,13 @@ impl BPeerActor {
     /// to `cfg.collector` every `cfg.interval`.
     pub fn set_pulse(&mut self, cfg: PulseConfig) {
         self.pulse = Some(cfg);
+    }
+
+    /// Installs this node's flight recorder handle. The same handle must
+    /// be installed into the substrate (`Spawner::set_flight_hook`) so
+    /// protocol transitions and message traffic share one Lamport clock.
+    pub fn set_flight(&mut self, flight: FlightHandle) {
+        self.flight = Some(flight);
     }
 
     /// Builds and ships one telemetry frame, then re-arms the interval.
@@ -341,12 +359,28 @@ impl BPeerActor {
             if let Some(ledger) = &self.ledger {
                 ledger.coordinator_elected(self.group.value(), winner.value(), ctx.now());
             }
+            if let Some(flight) = &self.flight {
+                flight.note_election(
+                    ctx.now(),
+                    self.election.epoch(),
+                    Some(winner.value()),
+                    "elected",
+                );
+            }
             if winner == self.peer {
                 // A new coordinator re-binds the group's request pipe
                 // (JXTA input-pipe creation); senders re-resolve it — the
                 // paper's "new binding between the SWS-proxy and the
                 // elected b-peer".
                 let name = self.pipe_name();
+                if let Some(flight) = &self.flight {
+                    flight.note_bind(
+                        ctx.now(),
+                        name.clone(),
+                        self.peer.value(),
+                        self.election.epoch() > 1,
+                    );
+                }
                 let sends = self.disco.bind_input_pipe(
                     PipeId::new(self.group.value()),
                     name,
@@ -560,6 +594,9 @@ impl BPeerActor {
             let stash_id = self.next_stash;
             self.next_stash += 1;
             self.stash.insert(stash_id, (reply_to, msg, exec_span));
+            if let Some(flight) = &self.flight {
+                flight.note_queue_depth(now, self.stash.len() as u64);
+            }
             ctx.set_timer(self.busy_until.since(now), RESPONSE_TOKEN_BASE | stash_id);
         }
     }
@@ -695,6 +732,28 @@ impl Actor<WhisperMsg> for BPeerActor {
                     }
                 }
             }
+            // An empty-events dump is a collector's solicitation: answer
+            // with this node's ring. Filled dumps are collector traffic.
+            WhisperMsg::FlightDump {
+                request_id, events, ..
+            } if events.is_empty() => {
+                let reply = WhisperMsg::FlightDump {
+                    request_id,
+                    node: self.peer.value(),
+                    events: self
+                        .flight
+                        .as_ref()
+                        .map(FlightHandle::snapshot)
+                        .unwrap_or_default(),
+                };
+                match self.directory.peer_of(from) {
+                    Some(peer) => self.send_to_peer(ctx, peer, reply),
+                    None => {
+                        self.tx.on_send(reply.kind(), reply.wire_size());
+                        ctx.send(from, reply);
+                    }
+                }
+            }
             // B-peers neither originate SOAP traffic nor receive responses;
             // nested relay envelopes are already unwrapped above, and
             // telemetry frames are consumed by the collector alone.
@@ -704,7 +763,8 @@ impl Actor<WhisperMsg> for BPeerActor {
             | WhisperMsg::PeerRedirect { .. }
             | WhisperMsg::ScopeResponse { .. }
             | WhisperMsg::Relayed { .. }
-            | WhisperMsg::PulseReport { .. } => {}
+            | WhisperMsg::PulseReport { .. }
+            | WhisperMsg::FlightDump { .. } => {}
         }
     }
 
@@ -759,6 +819,28 @@ impl Actor<WhisperMsg> for BPeerActor {
             TOKEN_FD_CHECK => {
                 let now = ctx.now();
                 let suspected = self.fd.suspected(now);
+                if let Some(flight) = &self.flight {
+                    // record suspicion *transitions*: one miss when a
+                    // monitored peer goes silent, one restore when it is
+                    // heard from again
+                    let monitored = self.heartbeat_targets();
+                    for &p in suspected.iter().filter(|p| monitored.contains(p)) {
+                        if self.flight_suspects.insert(p.value()) {
+                            let last_seen = self.fd.last_seen(p).unwrap_or(now);
+                            flight.note_heartbeat_miss(now, p.value(), last_seen);
+                        }
+                    }
+                    let restored: Vec<u64> = self
+                        .flight_suspects
+                        .iter()
+                        .copied()
+                        .filter(|&p| !suspected.iter().any(|s| s.value() == p))
+                        .collect();
+                    for p in restored {
+                        self.flight_suspects.remove(&p);
+                        flight.note_heartbeat_restore(now, p);
+                    }
+                }
                 if let Some(ledger) = &self.ledger {
                     // Heartbeats form a star, so silence is only evidence
                     // for peers whose beacons this node expects: members
@@ -785,6 +867,14 @@ impl Actor<WhisperMsg> for BPeerActor {
                                 coord.value(),
                                 last_seen,
                                 now,
+                            );
+                        }
+                        if let Some(flight) = &self.flight {
+                            flight.note_election(
+                                now,
+                                self.election.epoch(),
+                                self.election.coordinator().map(|p| p.value()),
+                                "started",
                             );
                         }
                         let out = self.election.start_election(now);

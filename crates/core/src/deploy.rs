@@ -32,7 +32,9 @@ use crate::msg::WhisperMsg;
 use crate::proxy::{ProxyConfig, SwsProxyActor};
 use crate::pulse::{self, PulseCollectorActor, PulseConfig, SharedPulseStore};
 use crate::WhisperError;
-use whisper_obs::{AvailabilityLedger, NodeRole, NodeSnapshot, PulseEmitter, Recorder};
+use whisper_obs::{
+    AvailabilityLedger, FlightHandle, FlightPlane, NodeRole, NodeSnapshot, PulseEmitter, Recorder,
+};
 use whisper_ontology::Ontology;
 use whisper_p2p::{DiscoveryService, DiscoveryStrategy, GroupId, P2pMessage, PeerId, SemanticAdv};
 use whisper_simnet::tcpnet::{TcpNet, TcpNetBuilder};
@@ -213,6 +215,12 @@ pub struct ScenarioWiring {
     pub recorder: Option<Recorder>,
     /// Pulse telemetry plane; adds a collector node after the clients.
     pub pulse: Option<PulseWiring>,
+    /// Flight-recorder plane: per-node ring byte budget. When set, every
+    /// node gets an always-on [`FlightHandle`] (ring id = node index)
+    /// installed both into the substrate (message send/recv + fault
+    /// events, Lamport-stamped) and into the protocol actors (elections,
+    /// binds, heartbeat transitions, queue high-water marks).
+    pub flight: Option<usize>,
 }
 
 impl ScenarioWiring {
@@ -234,6 +242,7 @@ impl ScenarioWiring {
             ledger: None,
             recorder: None,
             pulse: None,
+            flight: None,
         }
     }
 
@@ -336,6 +345,27 @@ impl ScenarioWiring {
             spawner.set_net_hook(Box::new(rec.clone()));
         }
 
+        // One flight ring per node, shared between the substrate hook and
+        // the node's actor so both stamp the same Lamport clock. Ring ids
+        // are node *indices*, matching the `from`/`to` the substrate
+        // records — that is what makes merged timelines causally
+        // checkable.
+        let flight_plane = self.flight.map(|budget| {
+            let mut plane = FlightPlane::new();
+            for i in 0..next_node {
+                let handle = FlightHandle::new(i as u64, budget);
+                spawner.set_flight_hook(NodeId::from_index(i), Box::new(handle.clone()));
+                plane.push(handle);
+            }
+            plane
+        });
+        let flight_of = |idx: usize| {
+            flight_plane
+                .as_ref()
+                .and_then(|p| p.handle(idx as u64))
+                .cloned()
+        };
+
         if let Some(r) = rendezvous_idx {
             let mut rdv = RendezvousActor::new(peer_of(r), directory.clone());
             if let Some(rec) = &self.recorder {
@@ -388,6 +418,9 @@ impl ScenarioWiring {
                 if let Some(cfg) = pulse_cfg {
                     actor.set_pulse(cfg);
                 }
+                if let Some(handle) = flight_of(idxs[pi]) {
+                    actor.set_flight(handle);
+                }
                 let added = spawner.add(actor);
                 debug_assert_eq!(added, NodeId::from_index(idxs[pi]));
                 nodes.push(added);
@@ -420,6 +453,9 @@ impl ScenarioWiring {
         }
         if let Some(cfg) = pulse_cfg {
             proxy.set_pulse(cfg);
+        }
+        if let Some(handle) = flight_of(proxy_idx) {
+            proxy.set_flight(handle);
         }
         let proxy_node = spawner.add(proxy);
         debug_assert_eq!(proxy_node, NodeId::from_index(proxy_idx));
@@ -461,6 +497,7 @@ impl ScenarioWiring {
             directory,
             strategy,
             node_count: next_node,
+            flight: flight_plane,
         })
     }
 }
@@ -487,6 +524,9 @@ pub struct Topology {
     pub strategy: DiscoveryStrategy,
     /// Total nodes placed (the next free node index).
     pub node_count: usize,
+    /// The flight-recorder plane, when wired: one handle per node, ready
+    /// for [`FlightPlane::capture`] into an incident timeline.
+    pub flight: Option<FlightPlane>,
 }
 
 impl Topology {
@@ -578,6 +618,9 @@ pub struct Deployment {
     pub clients: Vec<ClientConfigTemplate>,
     /// Install a fresh [`AvailabilityLedger`] into every boot's b-peers.
     pub with_ledger: bool,
+    /// Install the always-on flight recorder into every boot's nodes
+    /// (ring budget [`whisper_obs::flight::DEFAULT_RING_BYTES`] per node).
+    pub with_flight: bool,
 }
 
 /// A freshly booted deployment: the transport (any [`Substrate`]), where
@@ -591,6 +634,9 @@ pub struct Booted<N> {
     pub topology: Topology,
     /// The availability ledger, when the deployment asked for one.
     pub ledger: Option<AvailabilityLedger>,
+    /// The flight-recorder plane, when the deployment asked for one
+    /// (shared with `topology.flight`; handles are reference-counted).
+    pub flight: Option<FlightPlane>,
 }
 
 impl Deployment {
@@ -617,6 +663,7 @@ impl Deployment {
             proxy: ProxyConfig::default(),
             clients: Vec::new(),
             with_ledger: true,
+            with_flight: true,
         }
     }
 
@@ -650,6 +697,9 @@ impl Deployment {
             ledger: ledger.clone(),
             recorder: None,
             pulse: None,
+            flight: self
+                .with_flight
+                .then_some(whisper_obs::flight::DEFAULT_RING_BYTES),
         };
         Ok((wiring, ledger))
     }
@@ -663,10 +713,12 @@ impl Deployment {
         let (wiring, ledger) = self.wiring()?;
         let mut net: SimNet<WhisperMsg> = SimNet::with_link(seed, SwitchedLan::paper_testbed());
         let topology = wiring.wire(&mut net)?;
+        let flight = topology.flight.clone();
         Ok(Booted {
             net,
             topology,
             ledger,
+            flight,
         })
     }
 
@@ -679,10 +731,12 @@ impl Deployment {
         let (wiring, ledger) = self.wiring()?;
         let mut builder = ThreadNetBuilder::new();
         let topology = wiring.wire(&mut builder)?;
+        let flight = topology.flight.clone();
         Ok(Booted {
             net: builder.start(),
             topology,
             ledger,
+            flight,
         })
     }
 
@@ -697,10 +751,12 @@ impl Deployment {
         let (wiring, ledger) = self.wiring()?;
         let mut builder = TcpNetBuilder::new();
         let topology = wiring.wire(&mut builder)?;
+        let flight = topology.flight.clone();
         Ok(Booted {
             net: builder.start()?,
             topology,
             ledger,
+            flight,
         })
     }
 }
@@ -738,6 +794,28 @@ mod tests {
             .expect("b-peers fed the ledger");
         assert!(report.up, "group elected a coordinator: {report:?}");
         assert_eq!(report.coordinator, Some(3), "Bully winner is peer 3");
+    }
+
+    /// The always-on flight plane records substrate traffic and protocol
+    /// milestones, and the merged timeline is causally ordered.
+    #[test]
+    fn booted_flight_plane_records_a_causal_timeline() {
+        let dep = Deployment::student(3);
+        let mut booted = dep.boot_sim(11).expect("sim boots");
+        let flight = booted.flight.clone().expect("student() wires flight");
+        assert_eq!(flight.handles().len(), booted.topology.node_count);
+        Substrate::advance(&mut booted.net, SimDuration::from_secs(3));
+        let timeline = flight.capture();
+        assert!(!timeline.events().is_empty(), "rings saw traffic");
+        assert!(timeline.causally_consistent(), "no recv before its send");
+        // Protocol milestones made it in: the group elected a coordinator.
+        let elected = timeline.events().iter().any(|e| {
+            matches!(
+                &e.kind,
+                whisper_obs::FlightEventKind::Election { detail, .. } if detail == "elected"
+            )
+        });
+        assert!(elected, "election milestone recorded");
     }
 
     #[test]

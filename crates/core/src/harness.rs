@@ -190,6 +190,7 @@ impl WhisperNet {
             ledger: None,
             recorder: None,
             pulse: None,
+            flight: None,
         };
         let mut net: SimNet<WhisperMsg> = SimNet::with_link(cfg.seed, cfg.link);
         let topo = wiring.wire(&mut net)?;

@@ -1,7 +1,7 @@
 //! The Whisper wire protocol: everything that travels between nodes.
 
 use whisper_election::ElectionMsg;
-use whisper_obs::{MetricsDelta, NodeSnapshot, OutlierTrace};
+use whisper_obs::{FlightEvent, MetricsDelta, NodeSnapshot, OutlierTrace};
 use whisper_p2p::{GroupId, P2pMessage, PeerId};
 use whisper_simnet::Wire;
 use whisper_wire::{Decode, Encode, Reader, WireError};
@@ -101,6 +101,19 @@ pub enum WhisperMsg {
         /// (usually empty).
         outliers: Vec<OutlierTrace>,
     },
+    /// Flight-recorder plane ("whisper-flight"): a snapshot of one node's
+    /// flight ring, or — with empty `events` — a collector's solicitation
+    /// for one. A node answering a solicitation replies with its ring
+    /// contents under the same `request_id`.
+    FlightDump {
+        /// Collector-chosen correlation id, echoed in the reply.
+        request_id: u64,
+        /// The node whose ring this is (the *target* in a solicitation).
+        node: u64,
+        /// The retained flight events, oldest first; empty in a
+        /// solicitation.
+        events: Vec<FlightEvent>,
+    },
 }
 
 impl Wire for WhisperMsg {
@@ -121,6 +134,24 @@ impl Wire for WhisperMsg {
             WhisperMsg::ScopeRequest { .. } => "scope-request",
             WhisperMsg::ScopeResponse { .. } => "scope-response",
             WhisperMsg::PulseReport { .. } => "pulse-report",
+            WhisperMsg::FlightDump { .. } => "flight-dump",
+        }
+    }
+
+    fn correlation(&self) -> Option<u64> {
+        match self {
+            WhisperMsg::SoapRequest { request_id, .. }
+            | WhisperMsg::SoapResponse { request_id, .. }
+            | WhisperMsg::PeerRequest { request_id, .. }
+            | WhisperMsg::PeerResponse { request_id, .. }
+            | WhisperMsg::PeerRedirect { request_id, .. }
+            | WhisperMsg::ScopeRequest { request_id }
+            | WhisperMsg::ScopeResponse { request_id, .. }
+            | WhisperMsg::FlightDump { request_id, .. } => Some(*request_id),
+            WhisperMsg::Relayed { inner, .. } => inner.correlation(),
+            WhisperMsg::P2p(_) | WhisperMsg::Election { .. } | WhisperMsg::PulseReport { .. } => {
+                None
+            }
         }
     }
 
@@ -216,6 +247,16 @@ impl Encode for WhisperMsg {
                 delta.encode_into(out);
                 outliers.encode_into(out);
             }
+            WhisperMsg::FlightDump {
+                request_id,
+                node,
+                events,
+            } => {
+                out.push(11);
+                request_id.encode_into(out);
+                node.encode_into(out);
+                events.encode_into(out);
+            }
         }
     }
 
@@ -263,6 +304,11 @@ impl Encode for WhisperMsg {
             WhisperMsg::PulseReport { delta, outliers } => {
                 delta.encoded_len() + outliers.encoded_len()
             }
+            WhisperMsg::FlightDump {
+                request_id,
+                node,
+                events,
+            } => request_id.encoded_len() + node.encoded_len() + events.encoded_len(),
         }
     }
 }
@@ -320,6 +366,11 @@ impl Decode for WhisperMsg {
             10 => Ok(WhisperMsg::PulseReport {
                 delta: Box::new(MetricsDelta::decode_from(r)?),
                 outliers: Vec::decode_from(r)?,
+            }),
+            11 => Ok(WhisperMsg::FlightDump {
+                request_id: u64::decode_from(r)?,
+                node: u64::decode_from(r)?,
+                events: Vec::decode_from(r)?,
             }),
             tag => Err(WireError::BadTag {
                 what: "WhisperMsg",
@@ -428,7 +479,31 @@ mod tests {
                 delta: Box::new(sample_delta()),
                 outliers: vec![sample_outlier()],
             },
+            WhisperMsg::FlightDump {
+                request_id: 6,
+                node: 2,
+                events: vec![sample_flight_event()],
+            },
         ]
+    }
+
+    /// A nontrivially populated flight-recorder event.
+    fn sample_flight_event() -> FlightEvent {
+        use whisper_obs::FlightEventKind;
+        use whisper_simnet::SimTime;
+        FlightEvent {
+            seq: 12,
+            lamport: 40,
+            at: SimTime::from_micros(2_500_000),
+            node: 2,
+            kind: FlightEventKind::MsgRecv {
+                from: 0,
+                kind: "peer-request".into(),
+                bytes: 412,
+                correlation: Some(6),
+                sent_clock: 39,
+            },
+        }
     }
 
     /// A nontrivially populated snapshot exercising every field group.
@@ -497,7 +572,7 @@ mod tests {
     #[test]
     fn every_variant_wire_size_is_exactly_encoded_len() {
         let msgs = one_of_each();
-        assert_eq!(msgs.len(), 11, "update one_of_each when adding variants");
+        assert_eq!(msgs.len(), 12, "update one_of_each when adding variants");
         for m in msgs {
             assert_eq!(m.wire_size(), m.encode().len(), "{m:?}");
         }
@@ -507,6 +582,30 @@ mod tests {
     fn every_variant_round_trips() {
         for m in one_of_each() {
             assert_eq!(WhisperMsg::decode(&m.encode()).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn correlation_surfaces_request_ids_through_relays() {
+        for m in one_of_each() {
+            match &m {
+                WhisperMsg::SoapRequest { request_id, .. }
+                | WhisperMsg::SoapResponse { request_id, .. }
+                | WhisperMsg::PeerRequest { request_id, .. }
+                | WhisperMsg::PeerResponse { request_id, .. }
+                | WhisperMsg::PeerRedirect { request_id, .. }
+                | WhisperMsg::ScopeRequest { request_id }
+                | WhisperMsg::ScopeResponse { request_id, .. }
+                | WhisperMsg::FlightDump { request_id, .. } => {
+                    assert_eq!(m.correlation(), Some(*request_id), "{m:?}");
+                }
+                // a relay is transparent: the inner request id shows through
+                WhisperMsg::Relayed { inner, .. } => {
+                    assert_eq!(m.correlation(), inner.correlation(), "{m:?}");
+                    assert!(m.correlation().is_some());
+                }
+                _ => assert_eq!(m.correlation(), None, "{m:?}"),
+            }
         }
     }
 

@@ -28,7 +28,8 @@ use crate::trace;
 use rand::RngCore;
 use std::collections::HashMap;
 use whisper_obs::{
-    NodeRole, NodeSnapshot, OutlierTrace, PulseEmitter, PulseSpan, Recorder, RequestId, TailSampler,
+    FlightHandle, NodeRole, NodeSnapshot, OutlierTrace, PulseEmitter, PulseSpan, Recorder,
+    RequestId, TailSampler,
 };
 use whisper_ontology::Ontology;
 use whisper_p2p::{
@@ -198,6 +199,10 @@ pub struct SwsProxyActor {
     /// response out), including discovery and re-binds.
     local_rtt: Histogram,
     outlier_buf: Vec<OutlierTrace>,
+    /// Always-on flight recorder ("whisper-flight"): bind/re-bind
+    /// decisions recorded into the same Lamport-stamped ring the
+    /// transport writes message events to.
+    flight: Option<FlightHandle>,
 }
 
 impl SwsProxyActor {
@@ -250,6 +255,7 @@ impl SwsProxyActor {
             sampler: TailSampler::new(20, 64),
             local_rtt: Histogram::new(),
             outlier_buf: Vec::new(),
+            flight: None,
         }
     }
 
@@ -273,6 +279,13 @@ impl SwsProxyActor {
     /// its tail sampler flagged.
     pub fn set_pulse(&mut self, cfg: PulseConfig) {
         self.pulse = Some(cfg);
+    }
+
+    /// Installs this node's flight recorder handle. The same handle must
+    /// be installed into the substrate (`Spawner::set_flight_hook`) so
+    /// protocol transitions and message traffic share one Lamport clock.
+    pub fn set_flight(&mut self, flight: FlightHandle) {
+        self.flight = Some(flight);
     }
 
     /// The recorder handle and traced-request id of a pending request.
@@ -747,6 +760,16 @@ impl SwsProxyActor {
         let attempts = p.attempts;
         let envelope = p.envelope.clone();
         self.bindings.insert(group, target);
+        if let Some(flight) = &self.flight {
+            // attempt 1 is the initial binding; later waves are re-binds
+            // after a timeout or redirect
+            flight.note_bind(
+                ctx.now(),
+                format!("group-{}", group.value()),
+                target.value(),
+                attempts > 1,
+            );
+        }
         if let Some((rec, req)) = self.obs_of(request_id) {
             let now = ctx.now();
             // a retry closes the previous attempt's invoke span first
@@ -1087,6 +1110,25 @@ impl Actor<WhisperMsg> for SwsProxyActor {
                     None => self.send_direct(ctx, from, reply),
                 }
             }
+            // An empty-events dump is a collector's solicitation: answer
+            // with this node's ring. Filled dumps are collector traffic.
+            WhisperMsg::FlightDump {
+                request_id, events, ..
+            } if events.is_empty() => {
+                let reply = WhisperMsg::FlightDump {
+                    request_id,
+                    node: self.peer.value(),
+                    events: self
+                        .flight
+                        .as_ref()
+                        .map(FlightHandle::snapshot)
+                        .unwrap_or_default(),
+                };
+                match self.directory.peer_of(from) {
+                    Some(peer) => self.send_to_peer(ctx, peer, reply),
+                    None => self.send_direct(ctx, from, reply),
+                }
+            }
             // Proxies ignore election traffic, stray SOAP responses, and
             // telemetry frames (only the collector consumes those).
             WhisperMsg::Election { .. }
@@ -1094,7 +1136,8 @@ impl Actor<WhisperMsg> for SwsProxyActor {
             | WhisperMsg::PeerRequest { .. }
             | WhisperMsg::ScopeResponse { .. }
             | WhisperMsg::Relayed { .. }
-            | WhisperMsg::PulseReport { .. } => {}
+            | WhisperMsg::PulseReport { .. }
+            | WhisperMsg::FlightDump { .. } => {}
         }
     }
 

@@ -54,19 +54,25 @@ use std::sync::{Arc, Mutex};
 use whisper_simnet::{Histogram, NetHook, NodeId, SimDuration, SimTime, TraceOutcome};
 
 pub mod export;
+pub mod flight;
 mod json;
 pub mod ledger;
 pub mod pulse;
 mod render;
 pub mod scope;
+pub mod slo;
 
 pub use export::Export;
+pub use flight::{
+    FlightEvent, FlightEventKind, FlightHandle, FlightPlane, FlightRing, IncidentTimeline,
+};
 pub use ledger::{AvailabilityLedger, AvailabilityReport, DowntimeInterval};
 pub use pulse::{
     MetricsDelta, OutlierTrace, PulseEmitter, PulseSpan, PulseStore, TailSampler, TimeSeries,
     WindowAgg,
 };
 pub use scope::{ElectionView, HistSummary, NodeRole, NodeSnapshot, RegistryDump};
+pub use slo::{SloConfig, SloEngine, SloEvent, SloStatus};
 
 /// Identity of one end-to-end request (or other traced activity, such as
 /// an election run), minted by [`Recorder::begin_request`].

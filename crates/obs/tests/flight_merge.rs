@@ -1,0 +1,158 @@
+//! Property tests of cross-node incident merging: for arbitrary message
+//! exchanges between flight rings, the merged [`IncidentTimeline`] places
+//! every send before its matched receive (happens-before is embedded in
+//! the Lamport order), keeps each node's own events in recording order,
+//! and passes its own `causally_consistent` audit.
+
+use proptest::prelude::*;
+use whisper_obs::{FlightEventKind, FlightRing, IncidentTimeline};
+use whisper_simnet::{SimDuration, SimTime};
+
+/// One step of the random cluster script.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Node records a local (non-message) event.
+    Local(usize),
+    /// Node sends to another node; the message sits in flight until a
+    /// later `Deliver` pops it.
+    Send { from: usize, to: usize },
+    /// Deliver the oldest in-flight message selected by index.
+    Deliver(usize),
+}
+
+fn op_strategy(nodes: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..nodes).prop_map(Op::Local),
+        (0..nodes, 0..nodes).prop_map(|(from, to)| Op::Send { from, to }),
+        (0usize..1 << 16).prop_map(Op::Deliver),
+    ]
+}
+
+/// A message in flight between two rings.
+struct InFlight {
+    from: usize,
+    to: usize,
+    correlation: u64,
+    clock: u64,
+}
+
+/// Replays `script` against `nodes` fresh rings and returns them plus
+/// the correlation ids of every message that was actually delivered.
+fn drive(nodes: usize, script: &[Op]) -> (Vec<FlightRing>, Vec<u64>) {
+    let mut rings: Vec<FlightRing> = (0..nodes)
+        .map(|n| FlightRing::new(n as u64, 1 << 20))
+        .collect();
+    let mut now = SimTime::ZERO;
+    let mut pending: Vec<InFlight> = Vec::new();
+    let mut delivered = Vec::new();
+    let mut next_correlation = 0u64;
+    for op in script {
+        now += SimDuration::from_micros(1);
+        match *op {
+            Op::Local(n) => rings[n].record(
+                now,
+                FlightEventKind::Fault {
+                    action: format!("local on {n}"),
+                },
+            ),
+            Op::Send { from, to } => {
+                let correlation = next_correlation;
+                next_correlation += 1;
+                let clock = rings[from].record_send(now, to as u64, "msg", 16, Some(correlation));
+                pending.push(InFlight {
+                    from,
+                    to,
+                    correlation,
+                    clock,
+                });
+            }
+            Op::Deliver(sel) => {
+                if pending.is_empty() {
+                    continue;
+                }
+                let m = pending.remove(sel % pending.len());
+                rings[m.to].record_recv(
+                    now,
+                    m.from as u64,
+                    "msg",
+                    16,
+                    Some(m.correlation),
+                    m.clock,
+                );
+                delivered.push(m.correlation);
+            }
+        }
+    }
+    (rings, delivered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The merged timeline respects happens-before: every delivered
+    /// message's send appears strictly before its receive, per-node
+    /// events stay in recording (seq) order, and the timeline's own
+    /// causal audit agrees.
+    #[test]
+    fn merged_timelines_respect_happens_before(
+        nodes in 2usize..5,
+        script in proptest::collection::vec(op_strategy(4), 1..60),
+    ) {
+        // op_strategy draws node ids from 0..4; clamp into range.
+        let script: Vec<Op> = script
+            .into_iter()
+            .map(|op| match op {
+                Op::Local(n) => Op::Local(n % nodes),
+                Op::Send { from, to } => Op::Send { from: from % nodes, to: to % nodes },
+                d => d,
+            })
+            .collect();
+        let (rings, delivered) = drive(nodes, &script);
+        let timeline = IncidentTimeline::merge(rings.iter().map(|r| r.snapshot()));
+
+        prop_assert!(timeline.causally_consistent());
+
+        // Send-before-receive for every delivered correlation id.
+        for c in delivered {
+            let send = timeline.positions(|ev| {
+                matches!(&ev.kind, FlightEventKind::MsgSend { correlation, .. }
+                    if *correlation == Some(c))
+            });
+            let recv = timeline.positions(|ev| {
+                matches!(&ev.kind, FlightEventKind::MsgRecv { correlation, .. }
+                    if *correlation == Some(c))
+            });
+            prop_assert_eq!(send.len(), 1, "correlation {} sent once", c);
+            prop_assert_eq!(recv.len(), 1, "correlation {} delivered once", c);
+            prop_assert!(
+                send[0] < recv[0],
+                "send of {} at merged index {} must precede its receive at {}",
+                c, send[0], recv[0]
+            );
+        }
+
+        // Each node's events appear in its own recording order.
+        for ring in &rings {
+            let mut last_seq = None;
+            for ev in timeline.events().iter().filter(|ev| ev.node == ring.node()) {
+                if let Some(prev) = last_seq {
+                    prop_assert!(ev.seq > prev, "node {} out of order", ring.node());
+                }
+                last_seq = Some(ev.seq);
+            }
+        }
+    }
+
+    /// Merging is insensitive to dump order: any permutation of the same
+    /// per-node dumps yields the identical merged event sequence.
+    #[test]
+    fn merge_is_dump_order_independent(
+        script in proptest::collection::vec(op_strategy(3), 1..40),
+    ) {
+        let (rings, _) = drive(3, &script);
+        let dumps: Vec<Vec<_>> = rings.iter().map(|r| r.snapshot()).collect();
+        let forward = IncidentTimeline::merge(dumps.clone());
+        let reversed = IncidentTimeline::merge(dumps.into_iter().rev());
+        prop_assert_eq!(forward.events(), reversed.events());
+    }
+}

@@ -239,6 +239,8 @@ pub struct SimNet<M: Wire> {
     trace: Option<Vec<TraceEvent>>,
     /// Observability hook; `None` keeps the message hot path allocation-free.
     hook: Option<Box<dyn NetHook>>,
+    /// Per-node flight recorders, indexed by node; `None` slots are free.
+    flight: Vec<Option<Box<dyn FlightHook + Send>>>,
 }
 
 /// Callbacks observing the message layer, installed with
@@ -272,6 +274,44 @@ pub trait NetHook {
     }
 }
 
+/// Per-node flight recorder, installed with
+/// [`Spawner::set_flight_hook`](crate::Spawner::set_flight_hook) (or
+/// [`SimNet::set_flight_hook`] directly). Unlike [`NetHook`], which observes
+/// the network as a whole, a flight hook belongs to *one node* and owns that
+/// node's Lamport clock: the engine asks it to stamp every outgoing message
+/// and hands it the sender's stamp on every delivery, so cross-node order is
+/// recoverable without synchronized clocks.
+pub trait FlightHook: Send {
+    /// The node hands a message to the network. Returns the Lamport clock to
+    /// carry on the message (the hook increments its counter first, so the
+    /// returned stamp is strictly greater than every event recorded so far).
+    fn on_send_msg(
+        &mut self,
+        now: SimTime,
+        to: NodeId,
+        kind: &'static str,
+        bytes: usize,
+        correlation: Option<u64>,
+    ) -> u64;
+
+    /// A message stamped with the sender's Lamport `clock` arrived at the
+    /// node. The hook merges the stamp (`counter = max(counter, clock) + 1`),
+    /// so the recorded receive is ordered after the matching send.
+    fn on_recv_msg(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        kind: &'static str,
+        bytes: usize,
+        correlation: Option<u64>,
+        clock: u64,
+    );
+
+    /// A fault-plan action touching this node was applied (kill, restart,
+    /// link block/unblock), described in the substrate's own words.
+    fn on_fault(&mut self, now: SimTime, action: &str);
+}
+
 impl<M: Wire> SimNet<M> {
     /// Creates a simulator over the paper-calibrated [`SwitchedLan`] with
     /// the given RNG seed.
@@ -295,6 +335,7 @@ impl<M: Wire> SimNet<M> {
             events_processed: 0,
             trace: None,
             hook: None,
+            flight: Vec::new(),
         }
     }
 
@@ -308,6 +349,16 @@ impl<M: Wire> SimNet<M> {
     /// Removes the observability hook.
     pub fn clear_net_hook(&mut self) {
         self.hook = None;
+    }
+
+    /// Installs `node`'s flight recorder. With none installed (the default)
+    /// messages carry Lamport clock 0 and the hot path pays one slot lookup.
+    pub fn set_flight_hook(&mut self, node: NodeId, hook: Box<dyn FlightHook + Send>) {
+        let i = node.index();
+        if self.flight.len() <= i {
+            self.flight.resize_with(i + 1, || None);
+        }
+        self.flight[i] = Some(hook);
     }
 
     /// Adds a node running `actor`; its `on_start` hook is scheduled at the
@@ -479,6 +530,7 @@ impl<M: Wire> SimNet<M> {
                 from,
                 to,
                 sent_at,
+                clock,
                 msg,
             } => {
                 let up = self.nodes[to.index()].up;
@@ -499,6 +551,16 @@ impl<M: Wire> SimNet<M> {
                 }
                 if up {
                     self.metrics.on_deliver();
+                    if let Some(h) = self.flight.get_mut(to.index()).and_then(Option::as_mut) {
+                        h.on_recv_msg(
+                            ev.at,
+                            from,
+                            msg.kind(),
+                            msg.wire_size(),
+                            msg.correlation(),
+                            clock,
+                        );
+                    }
                     self.dispatch(to, Hook::Message(from, msg));
                 } else {
                     self.metrics.on_drop_down();
@@ -556,23 +618,35 @@ impl<M: Wire> SimNet<M> {
                 if slot.up {
                     slot.up = false;
                     slot.epoch += 1;
+                    self.record_fault(id, &format!("kill {id}"));
                 }
             }
             FaultAction::Restart(id) => {
                 let slot = &mut self.nodes[id.index()];
                 if !slot.up {
                     slot.up = true;
+                    self.record_fault(id, &format!("restart {id}"));
                     self.dispatch(id, Hook::Restart);
                 }
             }
             FaultAction::Block(a, b) => {
                 self.blocked.insert((a, b));
                 self.blocked.insert((b, a));
+                self.record_fault(a, &format!("block {a} {b}"));
+                self.record_fault(b, &format!("block {a} {b}"));
             }
             FaultAction::Unblock(a, b) => {
                 self.blocked.remove(&(a, b));
                 self.blocked.remove(&(b, a));
+                self.record_fault(a, &format!("unblock {a} {b}"));
+                self.record_fault(b, &format!("unblock {a} {b}"));
             }
+        }
+    }
+
+    fn record_fault(&mut self, node: NodeId, action: &str) {
+        if let Some(h) = self.flight.get_mut(node.index()).and_then(Option::as_mut) {
+            h.on_fault(self.clock, action);
         }
     }
 
@@ -624,6 +698,10 @@ impl<M: Wire> SimNet<M> {
         if let Some(h) = self.hook.as_mut() {
             h.on_send(self.clock, from, to, msg.kind(), size);
         }
+        let clock = match self.flight.get_mut(from.index()).and_then(Option::as_mut) {
+            Some(h) => h.on_send_msg(self.clock, to, msg.kind(), size, msg.correlation()),
+            None => 0,
+        };
         let record_drop = |trace: &mut Option<Vec<TraceEvent>>, outcome| {
             if let Some(t) = trace {
                 t.push(TraceEvent {
@@ -660,6 +738,7 @@ impl<M: Wire> SimNet<M> {
                 from,
                 to,
                 sent_at: self.clock,
+                clock,
                 msg,
             },
         );

@@ -20,6 +20,9 @@ pub(crate) enum EventKind<M> {
         to: NodeId,
         /// When the message left the sender.
         sent_at: SimTime,
+        /// Lamport clock stamped by the sender's flight recorder
+        /// (0 when the sender has none installed).
+        clock: u64,
         /// The payload.
         msg: M,
     },
@@ -116,6 +119,7 @@ mod tests {
             from: NodeId(0),
             to: NodeId(0),
             sent_at: SimTime::ZERO,
+            clock: 0,
             msg: n,
         }
     }

@@ -68,7 +68,8 @@ pub mod threadnet;
 mod time;
 
 pub use engine::{
-    Actor, Context, DynActor, NetHook, NodeId, SimNet, TimerId, TraceEvent, TraceOutcome,
+    Actor, Context, DynActor, FlightHook, NetHook, NodeId, SimNet, TimerId, TraceEvent,
+    TraceOutcome,
 };
 pub use faults::{FaultAction, FaultPlan};
 pub use link::{LinkModel, PerfectLink, SwitchedLan};
@@ -100,5 +101,13 @@ pub trait Wire: Clone + std::fmt::Debug + Send + 'static {
     /// instead of waiting on a contended link, counting it as lost.
     fn is_telemetry(&self) -> bool {
         false
+    }
+
+    /// The request/correlation id this message carries, if any. Substrates
+    /// pass it to the per-node [`FlightHook`], so the flight recorder can
+    /// stitch message-level evidence back to end-to-end requests without
+    /// knowing the concrete message type.
+    fn correlation(&self) -> Option<u64> {
+        None
     }
 }

@@ -29,7 +29,7 @@
 //! [`ThreadNet`]: crate::threadnet::ThreadNet
 //! [`TcpNet`]: crate::tcpnet::TcpNet
 
-use crate::engine::{DynActor, NetHook, NodeId, SimNet};
+use crate::engine::{DynActor, FlightHook, NetHook, NodeId, SimNet};
 use crate::faults::{FaultAction, FaultPlan};
 use crate::metrics::MetricsSnapshot;
 use crate::tcpnet::{TcpNet, TcpNetBuilder};
@@ -55,6 +55,13 @@ pub trait Spawner<M: Wire> {
     /// Installs a [`NetHook`] observing every transport send and drop.
     fn set_net_hook(&mut self, hook: Box<dyn NetHook + Send>);
 
+    /// Installs `node`'s per-node [`FlightHook`]: the substrate asks it to
+    /// stamp every outgoing message with a Lamport clock, hands it every
+    /// delivery (with the sender's stamp) and every fault touching the
+    /// node, so one flight recorder per node sees the same event story on
+    /// all three runtimes.
+    fn set_flight_hook(&mut self, node: NodeId, hook: Box<dyn FlightHook + Send>);
+
     /// Registers an unboxed actor (sugar over [`Spawner::add_boxed`]).
     fn add(&mut self, actor: impl crate::Actor<M> + Any) -> NodeId
     where
@@ -72,6 +79,10 @@ impl<M: Wire> Spawner<M> for SimNet<M> {
     fn set_net_hook(&mut self, hook: Box<dyn NetHook + Send>) {
         SimNet::set_net_hook(self, hook);
     }
+
+    fn set_flight_hook(&mut self, node: NodeId, hook: Box<dyn FlightHook + Send>) {
+        SimNet::set_flight_hook(self, node, hook);
+    }
 }
 
 impl<M: Wire> Spawner<M> for ThreadNetBuilder<M> {
@@ -82,6 +93,10 @@ impl<M: Wire> Spawner<M> for ThreadNetBuilder<M> {
     fn set_net_hook(&mut self, hook: Box<dyn NetHook + Send>) {
         ThreadNetBuilder::set_net_hook(self, hook);
     }
+
+    fn set_flight_hook(&mut self, node: NodeId, hook: Box<dyn FlightHook + Send>) {
+        ThreadNetBuilder::set_flight_hook(self, node, hook);
+    }
 }
 
 impl<M: Wire + Encode + Decode> Spawner<M> for TcpNetBuilder<M> {
@@ -91,6 +106,10 @@ impl<M: Wire + Encode + Decode> Spawner<M> for TcpNetBuilder<M> {
 
     fn set_net_hook(&mut self, hook: Box<dyn NetHook + Send>) {
         TcpNetBuilder::set_net_hook(self, hook);
+    }
+
+    fn set_flight_hook(&mut self, node: NodeId, hook: Box<dyn FlightHook + Send>) {
+        TcpNetBuilder::set_flight_hook(self, node, hook);
     }
 }
 

@@ -29,11 +29,12 @@
 //! or fails to parse terminates that link's current socket (the TCP
 //! analogue of a broken peer) without panicking the node.
 
+use crate::engine::FlightHook;
 use crate::engine::{Actor, NetHook, NodeId, TraceOutcome};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::substrate::FaultDriver;
 use crate::threadnet::{
-    BoxHolder, Ctl, FaultState, Holder, Outbound, Shared, SharedHook, Spawnable,
+    BoxHolder, Ctl, FaultState, FlightTable, Holder, Outbound, Shared, SharedHook, Spawnable,
 };
 use crate::time::SimTime;
 use crate::{DynActor, FaultAction, FaultPlan, Wire};
@@ -45,7 +46,7 @@ use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
-use whisper_wire::{read_frame_into, write_frame_vectored, Decode, Encode};
+use whisper_wire::{decode_clocked, read_frame_into, write_frame_vectored, Decode, Encode};
 
 /// One outgoing link: the socket's write half plus a reusable encode
 /// scratch buffer, bundled behind a single mutex so a steady-state send
@@ -97,12 +98,17 @@ struct TcpOutbound<M> {
     metrics: Arc<Mutex<Metrics>>,
     faults: Arc<FaultState>,
     hook: Option<SharedHook>,
+    flights: Arc<FlightTable>,
     /// Wall-clock origin shared with the node loops, so hook timestamps
     /// line up with actor-visible [`SimTime`]s.
     epoch: Instant,
 }
 
 impl<M> TcpOutbound<M> {
+    fn now_ts(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
     fn notify_hook(&self, from: NodeId, to: NodeId, kind: &'static str, bytes: usize) {
         if let Some(hook) = &self.hook {
             let now = SimTime::from_micros(self.epoch.elapsed().as_micros() as u64);
@@ -121,10 +127,17 @@ impl<M> TcpOutbound<M> {
 impl<M: Wire + Encode> Outbound<M> for TcpOutbound<M> {
     fn send(&self, from: NodeId, to: NodeId, msg: M) {
         if from == to {
-            self.metrics.lock().on_send(msg.kind(), msg.wire_size());
-            self.notify_hook(from, to, msg.kind(), msg.wire_size());
+            let size = msg.wire_size();
+            self.metrics.lock().on_send(msg.kind(), size);
+            self.notify_hook(from, to, msg.kind(), size);
+            let clock = if self.flights.armed(from) {
+                self.flights
+                    .on_send(from, self.now_ts(), to, msg.kind(), size, msg.correlation())
+            } else {
+                0
+            };
             if let Some(tx) = self.loopback.get(to.index()) {
-                if tx.send(Ctl::Msg(from, msg)).is_ok() {
+                if tx.send(Ctl::Msg(from, msg, clock)).is_ok() {
                     self.metrics.lock().on_deliver();
                 }
             }
@@ -142,6 +155,10 @@ impl<M: Wire + Encode> Outbound<M> for TcpOutbound<M> {
                 m.on_drop_partition();
             }
             self.notify_hook(from, to, kind, size);
+            if self.flights.armed(from) {
+                self.flights
+                    .on_send(from, self.now_ts(), to, kind, size, msg.correlation());
+            }
             self.notify_drop(from, to, kind, TraceOutcome::Partitioned);
             return;
         }
@@ -154,6 +171,10 @@ impl<M: Wire + Encode> Outbound<M> for TcpOutbound<M> {
                 m.on_drop_down();
             }
             self.notify_hook(from, to, kind, size);
+            if self.flights.armed(from) {
+                self.flights
+                    .on_send(from, self.now_ts(), to, kind, size, msg.correlation());
+            }
             self.notify_drop(from, to, kind, TraceOutcome::DestinationDown);
             return;
         }
@@ -175,6 +196,16 @@ impl<M: Wire + Encode> Outbound<M> for TcpOutbound<M> {
                         m.on_lost();
                     }
                     self.notify_hook(from, to, msg.kind(), size);
+                    if self.flights.armed(from) {
+                        self.flights.on_send(
+                            from,
+                            self.now_ts(),
+                            to,
+                            msg.kind(),
+                            size,
+                            msg.correlation(),
+                        );
+                    }
                     self.notify_drop(from, to, msg.kind(), TraceOutcome::Lost);
                     return;
                 }
@@ -186,8 +217,28 @@ impl<M: Wire + Encode> Outbound<M> for TcpOutbound<M> {
             Some(Link { stream, scratch }) => {
                 scratch.clear();
                 msg.encode_into(scratch);
+                // Metrics take the message length *before* the trailing
+                // Lamport varint, so byte accounting equals `wire_size()`
+                // on every substrate; the clock rides as framing overhead
+                // like the length prefix does.
                 self.metrics.lock().on_send(msg.kind(), scratch.len());
                 self.notify_hook(from, to, msg.kind(), scratch.len());
+                // Unhooked senders emit the pre-clock frame layout — no
+                // trailing varint, no wall-clock read — so a cluster with
+                // no recorders pays one slot load per send. Receivers take
+                // the zero-clock compat path, which is exact: a sender
+                // with no ring has no events to order against.
+                if self.flights.armed(from) {
+                    let clock = self.flights.on_send(
+                        from,
+                        self.now_ts(),
+                        to,
+                        msg.kind(),
+                        scratch.len(),
+                        msg.correlation(),
+                    );
+                    clock.encode_into(scratch);
+                }
                 // A write error means the peer's link is gone (e.g. during
                 // shutdown); the message is simply lost, like on a real LAN.
                 let _ = write_frame_vectored(stream, scratch);
@@ -196,8 +247,19 @@ impl<M: Wire + Encode> Outbound<M> for TcpOutbound<M> {
                 // No live link (torn down, not yet re-dialed): the message
                 // is lost but still accounted, matching the loopback
                 // behavior above.
-                self.metrics.lock().on_send(msg.kind(), msg.wire_size());
-                self.notify_hook(from, to, msg.kind(), msg.wire_size());
+                let size = msg.wire_size();
+                self.metrics.lock().on_send(msg.kind(), size);
+                self.notify_hook(from, to, msg.kind(), size);
+                if self.flights.armed(from) {
+                    self.flights.on_send(
+                        from,
+                        self.now_ts(),
+                        to,
+                        msg.kind(),
+                        size,
+                        msg.correlation(),
+                    );
+                }
             }
         }
     }
@@ -227,21 +289,41 @@ struct TcpFaultCtl<M> {
     reader_ctrl: Vec<Option<Sender<TcpStream>>>,
     links: Arc<LinkTable>,
     faults: Arc<FaultState>,
+    flights: Arc<FlightTable>,
+    epoch: Instant,
 }
 
 impl<M> TcpFaultCtl<M> {
+    fn now_ts(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
     fn apply(&self, action: FaultAction) {
         match action {
             FaultAction::Crash(node) => self.kill(node),
             FaultAction::Restart(node) => self.restart(node),
-            FaultAction::Block(a, b) => self.faults.set_blocked(a, b, true),
-            FaultAction::Unblock(a, b) => self.faults.set_blocked(a, b, false),
+            FaultAction::Block(a, b) => {
+                self.faults.set_blocked(a, b, true);
+                self.flights
+                    .on_fault(a, self.now_ts(), &format!("block {a} {b}"));
+                self.flights
+                    .on_fault(b, self.now_ts(), &format!("block {a} {b}"));
+            }
+            FaultAction::Unblock(a, b) => {
+                self.faults.set_blocked(a, b, false);
+                self.flights
+                    .on_fault(a, self.now_ts(), &format!("unblock {a} {b}"));
+                self.flights
+                    .on_fault(b, self.now_ts(), &format!("unblock {a} {b}"));
+            }
         }
     }
 
     fn kill(&self, node: NodeId) {
         // Gate sends first so traffic starts dropping immediately.
         self.faults.set_up(node, false);
+        self.flights
+            .on_fault(node, self.now_ts(), &format!("kill {node}"));
         if let Some(tx) = self.senders.get(node.index()) {
             let _ = tx.send(Ctl::Crash);
         }
@@ -299,6 +381,8 @@ impl<M> TcpFaultCtl<M> {
             }
         }
         self.faults.set_up(node, true);
+        self.flights
+            .on_fault(node, self.now_ts(), &format!("restart {node}"));
         if let Some(tx) = self.senders.get(node.index()) {
             let _ = tx.send(Ctl::Restart);
         }
@@ -314,6 +398,7 @@ impl<M> TcpFaultCtl<M> {
 pub struct TcpNetBuilder<M: Wire + Encode + Decode> {
     actors: Vec<Box<dyn Spawnable<M>>>,
     hook: Option<Box<dyn NetHook + Send>>,
+    flights: Vec<(NodeId, Box<dyn FlightHook + Send>)>,
 }
 
 impl<M: Wire + Encode + Decode> Default for TcpNetBuilder<M> {
@@ -328,6 +413,7 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
         TcpNetBuilder {
             actors: Vec::new(),
             hook: None,
+            flights: Vec::new(),
         }
     }
 
@@ -340,6 +426,15 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
     /// callbacks cheap.
     pub fn set_net_hook(&mut self, hook: Box<dyn NetHook + Send>) {
         self.hook = Some(hook);
+    }
+
+    /// Installs `node`'s flight recorder (see
+    /// [`FlightHook`]). The recorder stamps every frame
+    /// the node writes with a Lamport clock — carried as a trailing varint
+    /// after the message payload, so old frames without one decode with
+    /// clock 0 — and merges the stamp on every frame the node reads.
+    pub fn set_flight_hook(&mut self, node: NodeId, hook: Box<dyn FlightHook + Send>) {
+        self.flights.push((node, hook));
     }
 
     /// Registers an actor and returns its future node id.
@@ -415,13 +510,16 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
                 // a disconnected control channel ends the thread.
                 while let Ok(mut stream) = ctrl_rx.recv() {
                     while let Ok(true) = read_frame_into(&mut stream, &mut payload) {
-                        let msg = match M::decode(&payload) {
-                            Ok(msg) => msg,
+                        // A frame is the message encoding plus an optional
+                        // trailing Lamport varint; frames from before the
+                        // clock existed decode with clock 0.
+                        let (msg, clock) = match decode_clocked::<M>(&payload) {
+                            Ok(pair) => pair,
                             // Garbage on the wire kills the socket, never
                             // the node.
                             Err(_) => break,
                         };
-                        if tx.send(Ctl::Msg(from_id, msg)).is_err() {
+                        if tx.send(Ctl::Msg(from_id, msg, clock)).is_err() {
                             return;
                         }
                         link_metrics.lock().on_deliver();
@@ -432,16 +530,19 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
 
         let epoch = Instant::now();
         let hook: Option<SharedHook> = self.hook.map(|h| Arc::new(Mutex::new(h)));
+        let flights = Arc::new(FlightTable::new(n, self.flights));
         let outbound = TcpOutbound {
             links: Arc::clone(&links),
             loopback: senders.clone(),
             metrics: Arc::clone(&metrics),
             faults: Arc::clone(&faults),
             hook: hook.clone(),
+            flights: Arc::clone(&flights),
             epoch,
         };
         let shared = Shared {
             outbound: Arc::new(outbound) as Arc<dyn Outbound<M>>,
+            flights: Arc::clone(&flights),
             epoch,
         };
         let handles = self
@@ -457,6 +558,8 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
                 reader_ctrl,
                 links,
                 faults,
+                flights,
+                epoch,
             }),
             handles,
             reader_handles,
@@ -531,7 +634,7 @@ impl<M: Wire> TcpNet<M> {
                 .on_send(now, from, to, msg.kind(), msg.wire_size());
         }
         if let Some(tx) = self.ctl.senders.get(to.index()) {
-            if tx.send(Ctl::Msg(from, msg)).is_ok() {
+            if tx.send(Ctl::Msg(from, msg, 0)).is_ok() {
                 self.metrics.lock().on_deliver();
             }
         }
@@ -900,6 +1003,7 @@ mod tests {
             metrics: Arc::new(Mutex::new(Metrics::new())),
             faults: Arc::new(FaultState::new(2)),
             hook: None,
+            flights: Arc::new(FlightTable::new(2, Vec::new())),
             epoch: Instant::now(),
         };
         let from = NodeId::from_index(0);

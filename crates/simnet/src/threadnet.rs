@@ -19,7 +19,7 @@
 //! [`Substrate::execute_plan`](crate::Substrate::execute_plan) produces
 //! comparable counters on every substrate.
 
-use crate::engine::{Actor, Context, NetHook, NodeId, Op, TimerId, TraceOutcome};
+use crate::engine::{Actor, Context, FlightHook, NetHook, NodeId, Op, TimerId, TraceOutcome};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::substrate::FaultDriver;
 use crate::time::SimTime;
@@ -38,8 +38,81 @@ use std::time::{Duration, Instant};
 /// The shared, thread-safe form of an installed [`NetHook`].
 pub(crate) type SharedHook = Arc<Mutex<Box<dyn NetHook + Send>>>;
 
+/// Per-node flight recorders shared between sender threads (which stamp
+/// outgoing messages with a Lamport clock) and node loops (which merge the
+/// incoming stamp). Slots without a hook cost one `Option` check — the
+/// always-on recorder is cheap and uninstalled nodes are free.
+pub(crate) struct FlightTable {
+    hooks: Vec<Option<Mutex<Box<dyn FlightHook + Send>>>>,
+}
+
+impl FlightTable {
+    pub(crate) fn new(n: usize, installed: Vec<(NodeId, Box<dyn FlightHook + Send>)>) -> Self {
+        let mut hooks: Vec<Option<Mutex<Box<dyn FlightHook + Send>>>> =
+            (0..n).map(|_| None).collect();
+        for (node, hook) in installed {
+            if let Some(slot) = hooks.get_mut(node.index()) {
+                *slot = Some(Mutex::new(hook));
+            }
+        }
+        FlightTable { hooks }
+    }
+
+    /// Whether `node` has a recorder installed. The transports check this
+    /// before paying for the hook's arguments (a wall-clock read, the
+    /// correlation lookup, the trailing clock varint on TCP frames), so an
+    /// unhooked hot path costs exactly one slot load.
+    pub(crate) fn armed(&self, node: NodeId) -> bool {
+        self.hooks
+            .get(node.index())
+            .is_some_and(|slot| slot.is_some())
+    }
+
+    pub(crate) fn on_send(
+        &self,
+        from: NodeId,
+        now: SimTime,
+        to: NodeId,
+        kind: &'static str,
+        bytes: usize,
+        correlation: Option<u64>,
+    ) -> u64 {
+        match self.hooks.get(from.index()).and_then(Option::as_ref) {
+            Some(h) => h.lock().on_send_msg(now, to, kind, bytes, correlation),
+            None => 0,
+        }
+    }
+
+    // The argument list mirrors the wire frame one-to-one; bundling them
+    // into a struct would just move the field list one hop away.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_recv(
+        &self,
+        node: NodeId,
+        now: SimTime,
+        from: NodeId,
+        kind: &'static str,
+        bytes: usize,
+        correlation: Option<u64>,
+        clock: u64,
+    ) {
+        if let Some(h) = self.hooks.get(node.index()).and_then(Option::as_ref) {
+            h.lock()
+                .on_recv_msg(now, from, kind, bytes, correlation, clock);
+        }
+    }
+
+    pub(crate) fn on_fault(&self, node: NodeId, now: SimTime, action: &str) {
+        if let Some(h) = self.hooks.get(node.index()).and_then(Option::as_ref) {
+            h.lock().on_fault(now, action);
+        }
+    }
+}
+
 pub(crate) enum Ctl<M> {
-    Msg(NodeId, M),
+    /// A delivered message: sender, payload, and the sender's Lamport stamp
+    /// (0 when the sender records no flight data).
+    Msg(NodeId, M, u64),
     /// Crash the node: it drops messages and timers until restarted.
     Crash,
     /// Bring a crashed node back; its `on_restart` hook runs.
@@ -123,6 +196,7 @@ pub(crate) struct ChannelOutbound<M> {
     metrics: Arc<Mutex<Metrics>>,
     faults: Arc<FaultState>,
     hook: Option<SharedHook>,
+    flights: Arc<FlightTable>,
     epoch: Instant,
 }
 
@@ -140,6 +214,16 @@ impl<M: Wire> Outbound<M> for ChannelOutbound<M> {
         if let Some(hook) = &self.hook {
             hook.lock().on_send(self.hook_now(), from, to, kind, size);
         }
+        // Stamp before the fault gates: the send happened even if the
+        // message then dies on a blocked pair, matching the engine. An
+        // unhooked sender skips the stamp (and the wall-clock read it
+        // needs) and ships clock 0, same as the TCP compat frames.
+        let clock = if self.flights.armed(from) {
+            self.flights
+                .on_send(from, self.hook_now(), to, kind, size, msg.correlation())
+        } else {
+            0
+        };
         if from != to && self.faults.is_blocked(from, to) {
             self.metrics.lock().on_drop_partition();
             if let Some(hook) = &self.hook {
@@ -162,7 +246,7 @@ impl<M: Wire> Outbound<M> for ChannelOutbound<M> {
             return;
         }
         if let Some(tx) = self.senders.get(to.index()) {
-            if tx.send(Ctl::Msg(from, msg)).is_ok() {
+            if tx.send(Ctl::Msg(from, msg, clock)).is_ok() {
                 self.metrics.lock().on_deliver();
             }
         }
@@ -195,6 +279,7 @@ impl Ord for PendingTimer {
 
 pub(crate) struct Shared<M> {
     pub(crate) outbound: Arc<dyn Outbound<M>>,
+    pub(crate) flights: Arc<FlightTable>,
     pub(crate) epoch: Instant,
 }
 
@@ -202,6 +287,7 @@ impl<M> Clone for Shared<M> {
     fn clone(&self) -> Self {
         Shared {
             outbound: Arc::clone(&self.outbound),
+            flights: Arc::clone(&self.flights),
             epoch: self.epoch,
         }
     }
@@ -345,8 +431,19 @@ pub(crate) fn run_node<M: Wire>(
             .map(|t| t.deadline.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(timeout) {
-            Ok(Ctl::Msg(from, m)) => {
+            Ok(Ctl::Msg(from, m, clock)) => {
                 if up {
+                    if shared.flights.armed(id) {
+                        shared.flights.on_recv(
+                            id,
+                            SimTime::from_micros(shared.epoch.elapsed().as_micros() as u64),
+                            from,
+                            m.kind(),
+                            m.wire_size(),
+                            m.correlation(),
+                            clock,
+                        );
+                    }
                     run_hook(
                         actor,
                         Hook::Message(from, m),
@@ -387,27 +484,49 @@ pub(crate) fn run_node<M: Wire>(
 struct ThreadFaultCtl<M> {
     senders: Vec<Sender<Ctl<M>>>,
     faults: Arc<FaultState>,
+    flights: Arc<FlightTable>,
+    epoch: Instant,
 }
 
 impl<M> ThreadFaultCtl<M> {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
     fn apply(&self, action: FaultAction) {
         match action {
             FaultAction::Crash(node) => {
                 // Flip the sender-side gate first so in-flight sends start
                 // dropping before the node even processes the crash marker.
                 self.faults.set_up(node, false);
+                self.flights
+                    .on_fault(node, self.now(), &format!("kill {node}"));
                 if let Some(tx) = self.senders.get(node.index()) {
                     let _ = tx.send(Ctl::Crash);
                 }
             }
             FaultAction::Restart(node) => {
                 self.faults.set_up(node, true);
+                self.flights
+                    .on_fault(node, self.now(), &format!("restart {node}"));
                 if let Some(tx) = self.senders.get(node.index()) {
                     let _ = tx.send(Ctl::Restart);
                 }
             }
-            FaultAction::Block(a, b) => self.faults.set_blocked(a, b, true),
-            FaultAction::Unblock(a, b) => self.faults.set_blocked(a, b, false),
+            FaultAction::Block(a, b) => {
+                self.faults.set_blocked(a, b, true);
+                self.flights
+                    .on_fault(a, self.now(), &format!("block {a} {b}"));
+                self.flights
+                    .on_fault(b, self.now(), &format!("block {a} {b}"));
+            }
+            FaultAction::Unblock(a, b) => {
+                self.faults.set_blocked(a, b, false);
+                self.flights
+                    .on_fault(a, self.now(), &format!("unblock {a} {b}"));
+                self.flights
+                    .on_fault(b, self.now(), &format!("unblock {a} {b}"));
+            }
         }
     }
 }
@@ -420,6 +539,7 @@ impl<M> ThreadFaultCtl<M> {
 pub struct ThreadNetBuilder<M: Wire> {
     actors: Vec<Box<dyn Spawnable<M>>>,
     hook: Option<Box<dyn NetHook + Send>>,
+    flights: Vec<(NodeId, Box<dyn FlightHook + Send>)>,
 }
 
 impl<M: Wire> Default for ThreadNetBuilder<M> {
@@ -434,6 +554,7 @@ impl<M: Wire> ThreadNetBuilder<M> {
         ThreadNetBuilder {
             actors: Vec::new(),
             hook: None,
+            flights: Vec::new(),
         }
     }
 
@@ -459,6 +580,14 @@ impl<M: Wire> ThreadNetBuilder<M> {
         self.hook = Some(hook);
     }
 
+    /// Installs `node`'s flight recorder (see
+    /// [`FlightHook`]): sender threads ask it to stamp
+    /// every outgoing message with a Lamport clock, and the node's loop
+    /// hands it every delivery.
+    pub fn set_flight_hook(&mut self, node: NodeId, hook: Box<dyn FlightHook + Send>) {
+        self.flights.push((node, hook));
+    }
+
     /// Spawns every registered actor on its own thread and returns the
     /// running network. Each actor's `on_start` runs before its first
     /// message is processed.
@@ -474,15 +603,18 @@ impl<M: Wire> ThreadNetBuilder<M> {
             receivers.push(rx);
         }
         let epoch = Instant::now();
+        let flights = Arc::new(FlightTable::new(n, self.flights));
         let outbound = ChannelOutbound {
             senders: senders.clone(),
             metrics: Arc::clone(&metrics),
             faults: Arc::clone(&faults),
             hook: self.hook.map(|h| Arc::new(Mutex::new(h))),
+            flights: Arc::clone(&flights),
             epoch,
         };
         let shared = Shared {
             outbound: Arc::new(outbound) as Arc<dyn Outbound<M>>,
+            flights: Arc::clone(&flights),
             epoch,
         };
         let handles = self
@@ -493,7 +625,12 @@ impl<M: Wire> ThreadNetBuilder<M> {
             .map(|(i, (a, rx))| a.spawn(NodeId(i as u32), rx, shared.clone()))
             .collect();
         ThreadNet {
-            ctl: ThreadFaultCtl { senders, faults },
+            ctl: ThreadFaultCtl {
+                senders,
+                faults,
+                flights,
+                epoch,
+            },
             handles,
             metrics,
             epoch,
@@ -545,7 +682,7 @@ impl<M: Wire> ThreadNet<M> {
     pub fn inject(&self, from: NodeId, to: NodeId, msg: M) {
         self.metrics.lock().on_send(msg.kind(), msg.wire_size());
         if let Some(tx) = self.ctl.senders.get(to.index()) {
-            if tx.send(Ctl::Msg(from, msg)).is_ok() {
+            if tx.send(Ctl::Msg(from, msg, 0)).is_ok() {
                 self.metrics.lock().on_deliver();
             }
         }
@@ -601,7 +738,12 @@ impl<M: Wire> ThreadNet<M> {
     pub fn execute_plan(&mut self, plan: &FaultPlan) {
         let senders = self.ctl.senders.clone();
         let faults = Arc::clone(&self.ctl.faults);
-        let ctl = ThreadFaultCtl { senders, faults };
+        let ctl = ThreadFaultCtl {
+            senders,
+            faults,
+            flights: Arc::clone(&self.ctl.flights),
+            epoch: self.ctl.epoch,
+        };
         self.drivers.push(FaultDriver::spawn(
             plan,
             self.epoch,

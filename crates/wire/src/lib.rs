@@ -110,6 +110,37 @@ pub trait Decode: Sized {
     }
 }
 
+/// Appends `value` followed by a trailing Lamport-`clock` varint.
+///
+/// The clock travels *after* the message encoding, so readers that predate
+/// it (which call [`Decode::decode`] on a clock-less frame) and readers
+/// that expect it (which call [`decode_clocked`] on an old frame) both
+/// keep working: a missing trailing varint simply reads back as clock 0.
+pub fn encode_clocked_into<T: Encode>(value: &T, clock: u64, out: &mut Vec<u8>) {
+    value.encode_into(out);
+    clock.encode_into(out);
+}
+
+/// Decodes a complete message followed by an *optional* trailing
+/// Lamport-clock varint. Frames written before clocks existed end exactly
+/// where the message does; those decode with clock 0.
+///
+/// # Errors
+///
+/// Any [`WireError`]; [`WireError::TrailingBytes`] when bytes remain after
+/// the clock varint.
+pub fn decode_clocked<T: Decode>(bytes: &[u8]) -> Result<(T, u64), WireError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode_from(&mut r)?;
+    let clock = if r.is_empty() {
+        0
+    } else {
+        u64::decode_from(&mut r)?
+    };
+    r.finish()?;
+    Ok((value, clock))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +156,29 @@ mod tests {
         let mut buf = 7u64.encode();
         buf.push(0xFF);
         assert_eq!(u64::decode(&buf), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn clocked_round_trip_and_old_frame_compat() {
+        let value = "payload".to_string();
+        let mut buf = Vec::new();
+        encode_clocked_into(&value, 99, &mut buf);
+        assert_eq!(decode_clocked::<String>(&buf).unwrap(), (value.clone(), 99));
+        // an old frame without the trailing varint decodes with clock 0
+        assert_eq!(
+            decode_clocked::<String>(&value.encode()).unwrap(),
+            (value, 0)
+        );
+    }
+
+    #[test]
+    fn clocked_decode_rejects_bytes_after_the_clock() {
+        let mut buf = Vec::new();
+        encode_clocked_into(&"x".to_string(), 1, &mut buf);
+        buf.push(0x01);
+        assert_eq!(
+            decode_clocked::<String>(&buf),
+            Err(WireError::TrailingBytes(1))
+        );
     }
 }

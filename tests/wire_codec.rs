@@ -8,17 +8,18 @@ use proptest::prelude::*;
 use whisper::WhisperMsg;
 use whisper_election::ElectionMsg;
 use whisper_obs::{
-    ElectionView, HistSummary, MetricsDelta, NodeRole, NodeSnapshot, OutlierTrace, PulseSpan,
-    RegistryDump,
+    ElectionView, FlightEvent, FlightEventKind, HistSummary, MetricsDelta, NodeRole, NodeSnapshot,
+    OutlierTrace, PulseSpan, RegistryDump,
 };
 use whisper_p2p::GroupId;
 use whisper_p2p::{
     AdvFilter, AdvKind, Advertisement, GroupAdv, P2pMessage, PeerAdv, PeerId, PipeAdv, PipeId,
     QosSpec, SemanticAdv,
 };
-use whisper_simnet::{Histogram, MetricsSnapshot, SimDuration};
+use whisper_simnet::{Histogram, MetricsSnapshot, SimDuration, SimTime};
 use whisper_wire::{
-    read_frame, read_frame_into, write_frame, write_frame_vectored, Decode, Encode, WireError,
+    decode_clocked, encode_clocked_into, read_frame, read_frame_into, write_frame,
+    write_frame_vectored, Decode, Encode, WireError,
 };
 use whisper_xml::QName;
 
@@ -379,6 +380,85 @@ fn metrics_delta_strategy() -> impl Strategy<Value = MetricsDelta> {
         )
 }
 
+fn flight_event_kind_strategy() -> impl Strategy<Value = FlightEventKind> {
+    prop_oneof![
+        (
+            0u64..64,
+            name_strategy(),
+            0u64..1 << 40,
+            proptest::option::of(0u64..1 << 48)
+        )
+            .prop_map(|(to, kind, bytes, correlation)| FlightEventKind::MsgSend {
+                to,
+                kind,
+                bytes,
+                correlation,
+            }),
+        (
+            0u64..64,
+            name_strategy(),
+            0u64..1 << 40,
+            proptest::option::of(0u64..1 << 48),
+            0u64..1 << 40,
+        )
+            .prop_map(|(from, kind, bytes, correlation, sent_clock)| {
+                FlightEventKind::MsgRecv {
+                    from,
+                    kind,
+                    bytes,
+                    correlation,
+                    sent_clock,
+                }
+            }),
+        (
+            0u64..1 << 32,
+            proptest::option::of(0u64..64),
+            name_strategy()
+        )
+            .prop_map(|(term, coordinator, detail)| FlightEventKind::Election {
+                term,
+                coordinator,
+                detail,
+            }),
+        (
+            name_strategy(),
+            0u64..64,
+            proptest::arbitrary::any::<bool>()
+        )
+            .prop_map(|(group, peer, rebind)| FlightEventKind::Bind {
+                group,
+                peer,
+                rebind
+            }),
+        (0u64..64, 0u64..1 << 40).prop_map(|(peer, last_seen)| FlightEventKind::HeartbeatMiss {
+            peer,
+            last_seen: SimTime::ZERO + SimDuration::from_micros(last_seen),
+        }),
+        (0u64..64).prop_map(|peer| FlightEventKind::HeartbeatRestore { peer }),
+        name_strategy().prop_map(|action| FlightEventKind::Fault { action }),
+        (0u64..1 << 32).prop_map(|depth| FlightEventKind::QueueDepth { depth }),
+        (name_strategy(), proptest::arbitrary::any::<bool>())
+            .prop_map(|(name, firing)| FlightEventKind::Alert { name, firing }),
+    ]
+}
+
+fn flight_event_strategy() -> impl Strategy<Value = FlightEvent> {
+    (
+        0u64..1 << 40,
+        0u64..1 << 40,
+        0u64..1 << 40,
+        0u64..64,
+        flight_event_kind_strategy(),
+    )
+        .prop_map(|(seq, lamport, at, node, kind)| FlightEvent {
+            seq,
+            lamport,
+            at: SimTime::ZERO + SimDuration::from_micros(at),
+            node,
+            kind,
+        })
+}
+
 fn whisper_leaf_strategy() -> impl Strategy<Value = WhisperMsg> {
     prop_oneof![
         p2p_msg_strategy().prop_map(WhisperMsg::P2p),
@@ -437,6 +517,16 @@ fn whisper_leaf_strategy() -> impl Strategy<Value = WhisperMsg> {
                 delta: Box::new(delta),
                 outliers,
             }),
+        (
+            0u64..1 << 48,
+            0u64..64,
+            proptest::collection::vec(flight_event_strategy(), 0..4),
+        )
+            .prop_map(|(request_id, node, events)| WhisperMsg::FlightDump {
+                request_id,
+                node,
+                events,
+            }),
     ]
 }
 
@@ -485,6 +575,74 @@ proptest! {
     #[test]
     fn advertisement_round_trips(adv in advertisement_strategy()) {
         prop_assert_eq!(Advertisement::decode(&adv.encode()).unwrap(), adv);
+    }
+
+    #[test]
+    fn flight_event_round_trips(ev in flight_event_strategy()) {
+        let bytes = ev.encode();
+        prop_assert_eq!(bytes.len(), ev.encoded_len());
+        prop_assert_eq!(FlightEvent::decode(&bytes).unwrap(), ev);
+    }
+
+    // ---------- Lamport-clocked frames ----------
+
+    /// A message encoded with a trailing Lamport stamp decodes to the
+    /// same message *and* the same stamp.
+    #[test]
+    fn clocked_frames_round_trip(m in whisper_msg_strategy(), clock in 0u64..1 << 48) {
+        let mut bytes = Vec::new();
+        encode_clocked_into(&m, clock, &mut bytes);
+        let (decoded, got) = decode_clocked::<WhisperMsg>(&bytes).unwrap();
+        prop_assert_eq!(decoded, m);
+        prop_assert_eq!(got, clock);
+    }
+
+    /// Frames written before clocks existed end exactly where the message
+    /// does; the clocked decoder must accept them with clock 0 — the
+    /// cross-version compatibility contract.
+    #[test]
+    fn unclocked_frames_decode_with_clock_zero(m in whisper_msg_strategy()) {
+        let (decoded, clock) = decode_clocked::<WhisperMsg>(&m.encode()).unwrap();
+        prop_assert_eq!(decoded, m);
+        prop_assert_eq!(clock, 0);
+    }
+
+    /// Truncating a clocked frame anywhere — inside the message or inside
+    /// the trailing stamp — errors or yields a different message; never a
+    /// panic, and never the original message with a corrupt clock
+    /// silently accepted as authoritative.
+    #[test]
+    fn truncated_clocked_frames_never_panic(
+        m in whisper_msg_strategy(),
+        clock in 1u64..1 << 48,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut bytes = Vec::new();
+        encode_clocked_into(&m, clock, &mut bytes);
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        if let Ok((decoded, got)) = decode_clocked::<WhisperMsg>(&bytes[..cut]) {
+            // If the original message survives, it can only have come in
+            // through the explicit "frame ends at the message" clock-0
+            // compatibility path — a truncated stamp must never be
+            // accepted as an authoritative nonzero clock.
+            if decoded == m {
+                prop_assert_eq!(got, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flipped_clocked_frames_never_panic(
+        m in whisper_msg_strategy(),
+        clock in 0u64..1 << 48,
+        pos in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = Vec::new();
+        encode_clocked_into(&m, clock, &mut bytes);
+        let idx = pos % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let _ = decode_clocked::<WhisperMsg>(&bytes);
     }
 
     // ---------- corruption properties: Err, never panic ----------
