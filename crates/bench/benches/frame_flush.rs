@@ -1,0 +1,105 @@
+//! Cost of one batched frame flush at different coalescing widths: 1, 8
+//! and 32 queued frames leaving in a single
+//! [`write_frames_vectored`] call, versus the same frames written one
+//! [`write_frame`] at a time.
+//!
+//! This is the syscall-free core of the whisper-surge flush path — the
+//! writer here is an in-memory sink, so the numbers isolate the framing
+//! and gather-list arithmetic the batching transport pays per flush.
+//! The per-*frame* amortized cost must fall as the batch widens; the CI
+//! trajectory tracks all three widths.
+
+use std::io::Write;
+
+use criterion::{black_box, criterion_group, Criterion};
+use whisper::WhisperMsg;
+use whisper_bench::{time_mean_us, BenchSummary};
+use whisper_soap::Envelope;
+use whisper_wire::{write_frame, write_frames_vectored, Encode};
+use whisper_xml::Element;
+
+/// The coalescing widths measured (1 = the unbatched baseline shape).
+const WIDTHS: [usize; 3] = [1, 8, 32];
+
+/// An in-memory sink that is reused across iterations, so allocation
+/// noise stays out of the measurement.
+struct Sink(Vec<u8>);
+
+impl Write for Sink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The encoded ~1 KiB SOAP request frame the RTT benches use.
+fn encoded_request() -> Vec<u8> {
+    let mut payload = Element::new("StudentInformation");
+    payload.push_child(Element::with_text("StudentID", "u1004"));
+    let mut envelope = Envelope::request(payload.clone()).to_xml_string();
+    while envelope.len() < 1024 {
+        payload.push_child(Element::with_text("Padding", "x".repeat(64)));
+        envelope = Envelope::request(payload.clone()).to_xml_string();
+    }
+    WhisperMsg::SoapRequest {
+        request_id: 7,
+        envelope,
+    }
+    .encode()
+}
+
+fn bench_frame_flush(c: &mut Criterion) {
+    let frame = encoded_request();
+    for width in WIDTHS {
+        let batch: Vec<&[u8]> = (0..width).map(|_| frame.as_slice()).collect();
+        let mut sink = Sink(Vec::with_capacity((frame.len() + 4) * width));
+        c.bench_function(&format!("frame_flush/vectored/{width}"), |b| {
+            b.iter(|| {
+                sink.0.clear();
+                write_frames_vectored(&mut sink, black_box(&batch)).unwrap();
+            })
+        });
+        c.bench_function(&format!("frame_flush/one_by_one/{width}"), |b| {
+            b.iter(|| {
+                sink.0.clear();
+                for p in &batch {
+                    write_frame(&mut sink, black_box(p)).unwrap();
+                }
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_frame_flush);
+
+/// One amortized per-frame headline number per width for the trajectory
+/// (`BENCH_PR9.json`), next to Criterion's full statistics.
+fn record_summary() {
+    let frame = encoded_request();
+    let mut s = BenchSummary::new();
+    for width in WIDTHS {
+        let batch: Vec<&[u8]> = (0..width).map(|_| frame.as_slice()).collect();
+        let mut sink = Sink(Vec::with_capacity((frame.len() + 4) * width));
+        let per_flush = time_mean_us(50_000, || {
+            sink.0.clear();
+            write_frames_vectored(&mut sink, black_box(&batch)).unwrap();
+        });
+        s.record(
+            "bench_frame_flush",
+            &format!("flush{width}_per_frame_us"),
+            per_flush / width as f64,
+        );
+    }
+    match s.save_merged() {
+        Ok(p) => println!("bench summary: {}", p.display()),
+        Err(e) => eprintln!("bench summary not written: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    record_summary();
+}

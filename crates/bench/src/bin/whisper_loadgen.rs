@@ -1,0 +1,126 @@
+//! `whisper-loadgen` — the whisper-surge saturation load plane (E16).
+//!
+//! Boots the student deployment on real TCP loopback (load-sharing on,
+//! surge worker pools enabled) and drives it with open-loop rate sweeps
+//! and closed-loop in-flight windows across replica counts, printing the
+//! throughput–latency matrix, the saturation knee per replica count and
+//! the closed-loop peak. Open-loop percentiles are
+//! coordinated-omission-corrected (latency from the intended send time).
+//!
+//! ```text
+//! whisper-loadgen [--smoke] [--peers N,N,..] [--rates R,R,..]
+//!                 [--windows W,W,..] [--secs S] [--workers K]
+//! ```
+//!
+//! `--smoke` runs the short CI matrix. Headline statistics merge into
+//! `target/experiments/BENCH_PR9.json` (the trajectory the CI
+//! `load-smoke` job diffs against the committed baseline); the full
+//! matrix lands as a CSV next to the other experiment tables.
+
+use std::process::ExitCode;
+
+use whisper_bench::experiments::load_matrix::{self, MatrixParams};
+use whisper_bench::BenchSummary;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: whisper-loadgen [--smoke] [--peers N,N,..] [--rates R,R,..]\n\
+         \x20                      [--windows W,W,..] [--secs S] [--workers K]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_list<T: std::str::FromStr>(raw: &str) -> Vec<T> {
+    raw.split(',')
+        .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+        .collect()
+}
+
+fn parse_args() -> MatrixParams {
+    let mut params = MatrixParams::full();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--smoke" => {
+                let smoke = MatrixParams::smoke();
+                params = smoke;
+            }
+            "--peers" => params.peers = parse_list(&value("--peers")),
+            "--rates" => params.rates = parse_list(&value("--rates")),
+            "--windows" => params.windows = parse_list(&value("--windows")),
+            "--secs" => match value("--secs").parse() {
+                Ok(s) if s > 0.0 => params.secs = s,
+                _ => usage(),
+            },
+            "--workers" => match value("--workers").parse() {
+                Ok(k) => params.workers = k,
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if params.peers.is_empty() || params.peers.contains(&0) {
+        usage();
+    }
+    params
+}
+
+fn main() -> ExitCode {
+    let params = parse_args();
+    println!(
+        "whisper-loadgen: replicas {:?}, {} workers/b-peer, open rates {:?} rps \
+         ({}s each), closed windows {:?} ({} requests each)\n",
+        params.peers,
+        params.workers,
+        params.rates,
+        params.secs,
+        params.windows,
+        params.closed_total,
+    );
+    let rows = match load_matrix::run_matrix(&params) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("load matrix failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t = load_matrix::table(&rows);
+    t.print();
+    if let Ok(p) = t.save_csv() {
+        println!("csv: {}", p.display());
+    }
+
+    println!(
+        "\nclosed-loop peak: {:.0} req/s",
+        load_matrix::peak_rps(&rows)
+    );
+    for &p in &params.peers {
+        match load_matrix::knee(&rows, p) {
+            Some(k) => {
+                let p99 = load_matrix::half_knee_p99_us(&rows, p)
+                    .map(|us| format!("{:.2} ms", us as f64 / 1e3))
+                    .unwrap_or_else(|| "-".into());
+                println!("{p} replica(s): knee ≥ {k:.0} req/s, corrected p99 at half knee {p99}");
+            }
+            None => println!("{p} replica(s): saturated at every offered rate"),
+        }
+    }
+
+    let mut summary = BenchSummary::new();
+    load_matrix::record(&mut summary, &rows);
+    match summary.save_merged() {
+        Ok(path) => println!("trajectory: {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write the bench trajectory: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

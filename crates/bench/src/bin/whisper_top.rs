@@ -31,7 +31,7 @@
 //! refresh, and adds a telemetry panel under each frame: request-rate
 //! and p99 sparklines from the collector's windowed time-series, and a
 //! flame rendering of the latest tail-captured slow request.
-//! `--check-summary` validates that a `BENCH_PR8.json` trajectory file
+//! `--check-summary` validates that a `BENCH_PR9.json` trajectory file
 //! parses, without booting anything. `--compare` diffs two trajectory
 //! files stat by stat and prints a percent-change table; with
 //! `--fail-on-regression PCT` it exits non-zero if any shared statistic
@@ -148,10 +148,12 @@ fn check_summary(path: &str) -> ExitCode {
     }
 }
 
-/// `true` for statistics where bigger is better; everything else in the
-/// trajectory is a latency/cost number where smaller wins.
+/// `true` for statistics where bigger is better — availability, fit
+/// quality, time-to-failure and the load plane's throughput numbers
+/// (`*_rps`); everything else in the trajectory is a latency/cost number
+/// where smaller wins.
 fn higher_is_better(stat: &str) -> bool {
-    ["availability", "r2", "mttf"]
+    ["availability", "r2", "mttf", "rps", "throughput"]
         .iter()
         .any(|m| stat.contains(m))
 }

@@ -86,7 +86,7 @@ impl Default for PulseTuning {
 }
 
 /// Snapshots collected by the probe, keyed by scope request id.
-type SnapshotStore = Arc<Mutex<HashMap<u64, Vec<(NodeId, NodeSnapshot)>>>>;
+pub(crate) type SnapshotStore = Arc<Mutex<HashMap<u64, Vec<(NodeId, NodeSnapshot)>>>>;
 
 /// SOAP responses collected by the driver, keyed by request id.
 type ResponseStore = Arc<Mutex<HashMap<u64, String>>>;
@@ -126,8 +126,8 @@ struct PulsePlane {
 
 /// The measuring end of the scope protocol: collects every
 /// [`WhisperMsg::ScopeResponse`] it receives, keyed by request id.
-struct ScopeProbe {
-    store: SnapshotStore,
+pub(crate) struct ScopeProbe {
+    pub(crate) store: SnapshotStore,
 }
 
 impl Actor<WhisperMsg> for ScopeProbe {
@@ -464,32 +464,14 @@ impl TcpCluster {
         targets: &[NodeId],
         timeout: Duration,
     ) -> Vec<(NodeId, NodeSnapshot)> {
-        let request_id = self.next_scope_request.fetch_add(1, Ordering::SeqCst);
-        for &t in targets {
-            self.net
-                .inject(self.probe_node, t, WhisperMsg::ScopeRequest { request_id });
-        }
-        let deadline = Instant::now() + timeout;
-        loop {
-            {
-                let store = self.store.lock().expect("probe store poisoned");
-                if store.get(&request_id).map(Vec::len).unwrap_or(0) >= targets.len() {
-                    break;
-                }
-            }
-            if Instant::now() >= deadline {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(2));
-        }
-        let mut got = self
-            .store
-            .lock()
-            .expect("probe store poisoned")
-            .remove(&request_id)
-            .unwrap_or_default();
-        got.sort_by_key(|(n, _)| n.index());
-        got
+        poll_snapshots_on(
+            &self.net,
+            self.probe_node,
+            &self.store,
+            &self.next_scope_request,
+            targets,
+            timeout,
+        )
     }
 
     /// Convenience: snapshots of every node (b-peers + proxy).
@@ -548,6 +530,44 @@ impl TcpCluster {
     pub fn shutdown(self) {
         self.net.shutdown();
     }
+}
+
+/// The scope poll every TCP harness shares ([`TcpCluster`] and the surge
+/// load plane): sends one [`WhisperMsg::ScopeRequest`] to every target
+/// from `probe` and waits up to `timeout` for the snapshots to land in
+/// `store`, returning whatever arrived sorted by node index.
+pub(crate) fn poll_snapshots_on(
+    net: &TcpNet<WhisperMsg>,
+    probe: NodeId,
+    store: &SnapshotStore,
+    next_request: &AtomicU64,
+    targets: &[NodeId],
+    timeout: Duration,
+) -> Vec<(NodeId, NodeSnapshot)> {
+    let request_id = next_request.fetch_add(1, Ordering::SeqCst);
+    for &t in targets {
+        net.inject(probe, t, WhisperMsg::ScopeRequest { request_id });
+    }
+    let deadline = Instant::now() + timeout;
+    loop {
+        {
+            let store = store.lock().expect("probe store poisoned");
+            if store.get(&request_id).map(Vec::len).unwrap_or(0) >= targets.len() {
+                break;
+            }
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut got = store
+        .lock()
+        .expect("probe store poisoned")
+        .remove(&request_id)
+        .unwrap_or_default();
+    got.sort_by_key(|(n, _)| n.index());
+    got
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@ pub mod election;
 pub mod failover_sensitivity;
 pub mod fig4;
 pub mod load;
+pub mod load_matrix;
 pub mod postmortem;
 pub mod qos;
 pub mod relay_overhead;

@@ -123,6 +123,7 @@ pub fn run_policy(policy: SelectionPolicy, params: QosParams) -> QosRow {
         clients: vec![ClientConfigTemplate {
             workload: Workload::Closed {
                 think: SimDuration::from_millis(5),
+                window: 1,
             },
             payloads: vec![payload],
             total: Some(params.requests),
@@ -254,6 +255,7 @@ pub fn run_lying_advertiser(policy: SelectionPolicy, params: QosParams) -> QosRo
         clients: vec![ClientConfigTemplate {
             workload: Workload::Closed {
                 think: SimDuration::from_millis(5),
+                window: 1,
             },
             payloads: vec![payload],
             total: Some(params.requests),

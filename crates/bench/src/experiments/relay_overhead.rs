@@ -57,6 +57,7 @@ fn deployment(firewalled: bool, bpeers: usize, seed: u64) -> WhisperNet {
         clients: vec![ClientConfigTemplate {
             workload: Workload::Closed {
                 think: SimDuration::from_millis(20),
+                window: 1,
             },
             payloads: vec![payload],
             total: Some(100),

@@ -125,6 +125,7 @@ pub fn service_rtt(requests: u64, bpeers: usize, seed: u64) -> Histogram {
         clients: vec![ClientConfigTemplate {
             workload: Workload::Closed {
                 think: SimDuration::from_millis(20),
+                window: 1,
             },
             payloads: vec![payload],
             total: Some(requests),

@@ -218,7 +218,7 @@ pub fn table(rows: &[SubstrateOutcome]) -> Table {
 }
 
 /// Records the matrix into the bench trajectory, one stat triple per
-/// substrate, so `BENCH_PR8.json` carries the three availability/MTTR
+/// substrate, so `BENCH_PR9.json` carries the three availability/MTTR
 /// columns side by side.
 pub fn record(summary: &mut crate::BenchSummary, rows: &[SubstrateOutcome]) {
     for r in rows {

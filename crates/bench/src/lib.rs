@@ -17,11 +17,13 @@
 //! | `qos_selection` | §2.4 extension: QoS-aware peer selection | [`experiments::qos`] |
 //! | `discovery_cost` | ablation: flooding vs. rendezvous discovery | [`experiments::discovery_cost`] |
 //! | `cluster_health` | the availability ledger tracking coordinator kills | [`experiments::cluster_health`] |
+//! | `whisper-loadgen` | E16: real-TCP saturation matrix (whisper-surge) | [`experiments::load_matrix`] |
 //!
 //! Run everything with `cargo run -p whisper-bench --bin all_experiments`.
-//! `all_experiments`, `cluster_health` and the Criterion-style benches
-//! additionally merge headline statistics into the machine-readable
-//! trajectory `target/experiments/BENCH_PR8.json` ([`BenchSummary`]).
+//! `all_experiments`, `cluster_health`, `whisper-loadgen` and the
+//! Criterion-style benches additionally merge headline statistics into
+//! the machine-readable trajectory `target/experiments/BENCH_PR9.json`
+//! ([`BenchSummary`]).
 //!
 //! Beyond the experiments, [`TcpCluster`] + the `whisper-top` binary give
 //! a live TCP-loopback deployment with in-band scope introspection.
@@ -32,11 +34,13 @@
 pub mod cluster;
 pub mod experiments;
 pub mod exporter;
+pub mod loadplane;
 pub mod obs;
 pub mod summary;
 mod table;
 
 pub use cluster::{ClusterTuning, PulseTuning, TcpCluster};
 pub use exporter::{render_prometheus, PulseExporter};
+pub use loadplane::{LoadCluster, LoadOutcome, LoadTuning};
 pub use summary::{time_mean_us, BenchSummary};
 pub use table::Table;

@@ -59,6 +59,18 @@ pub trait ServiceBackend: Send + Any {
     /// A short label identifying the implementation (appears in responses
     /// so experiments can see *which* replica answered).
     fn label(&self) -> &str;
+
+    /// Clones this backend for a parallel execution worker
+    /// ([`crate::BPeerConfig::workers`]). Only backends whose `handle` is a
+    /// pure function of the *current* state may opt in: each worker gets an
+    /// independent replica snapshotted at pool creation, so later mutations
+    /// through [`dyn ServiceBackend::downcast_mut`] (e.g. flipping
+    /// availability mid-experiment) do not reach already-spawned workers.
+    /// Stateful backends keep the default `None` and execute inline on the
+    /// actor loop.
+    fn replicate(&self) -> Option<Box<dyn ServiceBackend>> {
+        None
+    }
 }
 
 impl dyn ServiceBackend {
@@ -208,6 +220,12 @@ impl ServiceBackend for StudentRegistry {
 
     fn label(&self) -> &str {
         self.source
+    }
+
+    /// Lookups never mutate the registry, so workers may serve from
+    /// independent snapshots of the student table.
+    fn replicate(&self) -> Option<Box<dyn ServiceBackend>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -380,6 +398,10 @@ impl ServiceBackend for EchoBackend {
 
     fn label(&self) -> &str {
         "echo"
+    }
+
+    fn replicate(&self) -> Option<Box<dyn ServiceBackend>> {
+        Some(Box::new(EchoBackend))
     }
 }
 

@@ -70,6 +70,17 @@ pub struct BPeerConfig {
     /// members instead of executing everything itself (the paper's
     /// "scalability requirements through load-sharing").
     pub load_share: bool,
+    /// Parallel execution width ("whisper-surge"). `0` (the default) keeps
+    /// backend execution inline on the actor loop. With `k > 0` and a
+    /// replicable backend ([`ServiceBackend::replicate`]), the thread and
+    /// TCP substrates offload execution onto `k` worker threads — requests
+    /// complete out of order across clients (per-client order is
+    /// preserved by sharding), and the actor loop stays free to answer
+    /// heartbeats and elections while requests execute. On the
+    /// deterministic simulator the same `k` widens the virtual-time server
+    /// model instead: `processing_time` is served by `k` virtual servers,
+    /// so E-load results stay exactly reproducible.
+    pub workers: usize,
 }
 
 impl Default for BPeerConfig {
@@ -84,8 +95,148 @@ impl Default for BPeerConfig {
             strategy: DiscoveryStrategy::Flood,
             processing_time: SimDuration::ZERO,
             load_share: false,
+            workers: 0,
         }
     }
+}
+
+/// Runs one serialized request envelope against a backend, free of any
+/// actor state so workers can call it off-loop: parse, dispatch, wrap.
+/// Returns the response envelope, whether the backend handled the request
+/// (counts toward `requests_handled`), and whether it reported itself
+/// unavailable (failover may still mask that with a delegation).
+fn run_backend(backend: &mut dyn ServiceBackend, envelope: &str) -> (String, bool, bool) {
+    let parsed = match Envelope::parse(envelope) {
+        Ok(env) => env,
+        Err(e) => {
+            return (
+                BPeerActor::fault_envelope(FaultCode::Sender, format!("unparseable request: {e}")),
+                false,
+                false,
+            )
+        }
+    };
+    let Some(payload) = parsed.body_payload() else {
+        return (
+            BPeerActor::fault_envelope(FaultCode::Sender, "empty request body".to_string()),
+            false,
+            false,
+        );
+    };
+    let operation = payload.name.clone();
+    match backend.handle(&operation, payload) {
+        Ok(result) => (Envelope::request(result).to_xml_string(), true, false),
+        Err(BackendError::Unavailable(what)) => (
+            BPeerActor::fault_envelope(FaultCode::Receiver, format!("backend unavailable: {what}")),
+            false,
+            true,
+        ),
+        Err(
+            e @ (BackendError::BadRequest(_)
+            | BackendError::UnsupportedOperation(_)
+            | BackendError::NotFound(_)),
+        ) => (
+            BPeerActor::fault_envelope(FaultCode::Sender, e.to_string()),
+            false,
+            false,
+        ),
+    }
+}
+
+/// One offloaded request on its way to a worker.
+struct Job {
+    job: u64,
+    request_id: u64,
+    envelope: String,
+}
+
+/// The parallel execution plane of one b-peer: `k` worker threads, each
+/// owning an independent backend replica and a FIFO job queue. Completions
+/// re-enter the actor loop as self-injected [`WhisperMsg::JobDone`]
+/// messages, so all protocol state stays single-threaded.
+struct WorkerPool {
+    senders: Vec<std::sync::mpsc::Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(
+        replicas: Vec<Box<dyn ServiceBackend>>,
+        injector: whisper_simnet::SelfInjector<WhisperMsg>,
+        processing_time: SimDuration,
+    ) -> Self {
+        let mut senders = Vec::with_capacity(replicas.len());
+        let mut handles = Vec::with_capacity(replicas.len());
+        for mut backend in replicas {
+            let (tx, rx) = std::sync::mpsc::channel::<Job>();
+            let injector = injector.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    if processing_time > SimDuration::ZERO {
+                        // Model the configured service time for real, so
+                        // the three substrates agree on what a "busy"
+                        // replica means.
+                        std::thread::sleep(std::time::Duration::from_micros(
+                            processing_time.as_micros(),
+                        ));
+                    }
+                    let (envelope, handled, unavailable) =
+                        run_backend(backend.as_mut(), &job.envelope);
+                    injector.inject(WhisperMsg::JobDone {
+                        job: job.job,
+                        request_id: job.request_id,
+                        handled,
+                        unavailable,
+                        envelope,
+                    });
+                }
+            }));
+            senders.push(tx);
+        }
+        WorkerPool { senders, handles }
+    }
+
+    /// Shards by the replying proxy: one client's requests always land on
+    /// the same worker queue, so per-client FIFO survives the pool even
+    /// though completions across clients arrive out of order.
+    fn submit(&self, reply_to: PeerId, job: Job) {
+        let shard = (reply_to.value() as usize) % self.senders.len();
+        // workers only exit once their sender drops, so this cannot fail
+        let _ = self.senders[shard].send(job);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect the queues; each worker drains what it has and exits.
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Lazily probed state of the worker pool (probing needs a live
+/// [`Context`] to learn whether the substrate supports self-injection).
+enum PoolState {
+    Unprobed,
+    Disabled,
+    Ready(WorkerPool),
+}
+
+/// Actor-side context of an offloaded request, keyed by job id until its
+/// [`WhisperMsg::JobDone`] arrives.
+struct JobCtx {
+    request_id: u64,
+    reply_to: PeerId,
+    delegated: bool,
+    /// Original request envelope, retained only while failover-by-
+    /// delegation is still possible (i.e. the request was not itself a
+    /// delegation).
+    envelope: Option<String>,
+    /// The request's still-open `backend.execute` span, closed when the
+    /// response finally leaves.
+    span: Option<SpanId>,
 }
 
 /// A b-peer: group member, election participant, request executor.
@@ -102,8 +253,16 @@ pub struct BPeerActor {
     config: BPeerConfig,
     requests_handled: u64,
     name: String,
-    /// Server model: the instant the replica becomes free again.
-    busy_until: whisper_simnet::SimTime,
+    /// Virtual-time server model: per-slot instants the replica's servers
+    /// become free again (`config.workers.max(1)` slots — one slot is the
+    /// classic M/D/1 server, `k` slots model the parallel pool).
+    busy_slots: Vec<whisper_simnet::SimTime>,
+    /// Parallel execution plane, probed lazily on the first request.
+    pool: PoolState,
+    /// Requests parked with the worker pool, keyed by job id until their
+    /// [`WhisperMsg::JobDone`] completion re-enters the loop.
+    jobs: std::collections::HashMap<u64, JobCtx>,
+    next_job: u64,
     /// Deferred responses keyed by stash id (token payload); the span is
     /// the request's still-open `backend.execute`, closed when the
     /// response finally leaves.
@@ -143,6 +302,7 @@ impl BPeerActor {
         config: BPeerConfig,
     ) -> Self {
         let name = format!("b-peer {peer} of {}", semantic_adv.name);
+        let server_slots = config.workers.max(1);
         BPeerActor {
             peer,
             group,
@@ -156,7 +316,10 @@ impl BPeerActor {
             config,
             requests_handled: 0,
             name,
-            busy_until: whisper_simnet::SimTime::ZERO,
+            busy_slots: vec![whisper_simnet::SimTime::ZERO; server_slots],
+            pool: PoolState::Unprobed,
+            jobs: std::collections::HashMap::new(),
+            next_job: 0,
             stash: std::collections::HashMap::new(),
             next_stash: 0,
             rr_cursor: 0,
@@ -264,7 +427,10 @@ impl BPeerActor {
         let mut counters = vec![("bpeer.handled".to_string(), self.requests_handled)];
         counters.extend(pulse::traffic_counters(&self.tx, &self.rx));
         counters.sort();
-        let gauges = vec![("bpeer.stash".to_string(), self.stash.len() as i64)];
+        let gauges = vec![
+            ("bpeer.jobs".to_string(), self.jobs.len() as i64),
+            ("bpeer.stash".to_string(), self.stash.len() as i64),
+        ];
         let delta = self.pulse_emitter.frame(
             ctx.now().as_micros(),
             cfg.interval.as_micros(),
@@ -302,7 +468,7 @@ impl BPeerActor {
             .into_iter()
             .map(|(p, age)| (p.value(), age.as_micros()))
             .collect();
-        snap.queue_depth = self.stash.len() as u64;
+        snap.queue_depth = (self.stash.len() + self.jobs.len()) as u64;
         snap.sent = self.tx.snapshot();
         snap.received = self.rx.snapshot();
         if let Some(rec) = &self.obs {
@@ -435,32 +601,111 @@ impl BPeerActor {
         Envelope::fault(Fault::new(code, reason)).to_xml_string()
     }
 
+    /// Inline execution of one envelope (the worker pool calls
+    /// [`run_backend`] directly); kept for unit tests of the wrap/count
+    /// behaviour.
+    #[cfg(test)]
     fn execute(&mut self, envelope: &str) -> String {
-        let parsed = match Envelope::parse(envelope) {
-            Ok(env) => env,
-            Err(e) => {
-                return Self::fault_envelope(FaultCode::Sender, format!("unparseable request: {e}"))
-            }
+        let (response, handled, _unavailable) = run_backend(self.backend.as_mut(), envelope);
+        if handled {
+            self.requests_handled += 1;
+        }
+        response
+    }
+
+    /// Whether the parallel execution plane is usable, spawning it on
+    /// first use. Requires `config.workers > 0`, a substrate that supports
+    /// self-injection (thread/TCP — never the deterministic simulator),
+    /// and a backend that opts into replication.
+    fn ensure_pool(&mut self, ctx: &Context<'_, WhisperMsg>) -> bool {
+        if self.config.workers == 0 {
+            return false;
+        }
+        match self.pool {
+            PoolState::Ready(_) => return true,
+            PoolState::Disabled => return false,
+            PoolState::Unprobed => {}
+        }
+        let Some(injector) = ctx.self_injector() else {
+            // SimNet: stay inline; the k-slot virtual-time server model
+            // provides the parallelism deterministically.
+            self.pool = PoolState::Disabled;
+            return false;
         };
-        let Some(payload) = parsed.body_payload() else {
-            return Self::fault_envelope(FaultCode::Sender, "empty request body".to_string());
-        };
-        let operation = payload.name.clone();
-        match self.backend.handle(&operation, payload) {
-            Ok(result) => {
-                self.requests_handled += 1;
-                Envelope::request(result).to_xml_string()
-            }
-            Err(BackendError::Unavailable(what)) => {
-                Self::fault_envelope(FaultCode::Receiver, format!("backend unavailable: {what}"))
-            }
-            Err(e @ (BackendError::BadRequest(_) | BackendError::UnsupportedOperation(_))) => {
-                Self::fault_envelope(FaultCode::Sender, e.to_string())
-            }
-            Err(e @ BackendError::NotFound(_)) => {
-                Self::fault_envelope(FaultCode::Sender, e.to_string())
+        let mut replicas = Vec::with_capacity(self.config.workers);
+        for _ in 0..self.config.workers {
+            match self.backend.replicate() {
+                Some(b) => replicas.push(b),
+                None => {
+                    self.pool = PoolState::Disabled;
+                    return false;
+                }
             }
         }
+        self.pool = PoolState::Ready(WorkerPool::spawn(
+            replicas,
+            injector,
+            self.config.processing_time,
+        ));
+        true
+    }
+
+    /// A worker finished an offloaded request: close it out exactly like
+    /// the inline path would — count it, maybe fail it over, answer the
+    /// proxy. Completions arrive out of order across clients; the job id
+    /// correlates each one to the request parked in `jobs`, so cross-talk
+    /// is impossible. Stale completions (job parked before a crash) find
+    /// no entry and are dropped — the proxy's timeout already re-bound.
+    fn finish_job(
+        &mut self,
+        ctx: &mut Context<'_, WhisperMsg>,
+        job: u64,
+        handled: bool,
+        unavailable: bool,
+        envelope: String,
+    ) {
+        let Some(jctx) = self.jobs.remove(&job) else {
+            return;
+        };
+        if handled {
+            self.requests_handled += 1;
+        }
+        if let Some(flight) = &self.flight {
+            flight.note_queue_depth(ctx.now(), (self.stash.len() + self.jobs.len()) as u64);
+        }
+        if unavailable && !jctx.delegated {
+            if let (Some(delegate), Some(original)) =
+                (self.delegate_target(ctx.now()), jctx.envelope)
+            {
+                if let (Some(rec), Some(s)) = (&self.obs, jctx.span) {
+                    rec.set_attr(s, "outcome", "unavailable");
+                    rec.end_span(s, ctx.now());
+                }
+                self.obs_delegate(ctx.now(), jctx.reply_to, jctx.request_id, delegate);
+                self.send_to_peer(
+                    ctx,
+                    delegate,
+                    WhisperMsg::PeerRequest {
+                        request_id: jctx.request_id,
+                        reply_to: jctx.reply_to,
+                        delegated: true,
+                        envelope: original,
+                    },
+                );
+                return;
+            }
+        }
+        if let (Some(rec), Some(s)) = (&self.obs, jctx.span) {
+            rec.end_span(s, ctx.now());
+        }
+        self.send_to_peer(
+            ctx,
+            jctx.reply_to,
+            WhisperMsg::PeerResponse {
+                request_id: jctx.request_id,
+                envelope,
+            },
+        );
     }
 
     /// Picks a live member other than us to delegate to when our own
@@ -547,14 +792,41 @@ impl BPeerActor {
             rec.incr("bpeer.executed", 1);
             Some(s)
         });
-        let response = self.execute(&envelope);
-        let unavailable = Envelope::parse(&response)
-            .ok()
-            .and_then(|e| {
-                e.as_fault()
-                    .map(|f| f.reason.contains("backend unavailable"))
-            })
-            .unwrap_or(false);
+        // Parallel plane: park the request with the worker pool and let
+        // its out-of-order completion (a self-injected JobDone) finish it.
+        if self.ensure_pool(&*ctx) {
+            let job = self.next_job;
+            self.next_job += 1;
+            self.jobs.insert(
+                job,
+                JobCtx {
+                    request_id,
+                    reply_to,
+                    delegated,
+                    envelope: (!delegated).then(|| envelope.clone()),
+                    span: exec_span,
+                },
+            );
+            if let Some(flight) = &self.flight {
+                flight.note_queue_depth(ctx.now(), (self.stash.len() + self.jobs.len()) as u64);
+            }
+            let PoolState::Ready(pool) = &self.pool else {
+                unreachable!("ensure_pool returned true");
+            };
+            pool.submit(
+                reply_to,
+                Job {
+                    job,
+                    request_id,
+                    envelope,
+                },
+            );
+            return;
+        }
+        let (response, handled, unavailable) = run_backend(self.backend.as_mut(), &envelope);
+        if handled {
+            self.requests_handled += 1;
+        }
         if unavailable && !delegated {
             if let Some(delegate) = self.delegate_target(ctx.now()) {
                 if let (Some(rec), Some(s)) = (&self.obs, exec_span) {
@@ -585,19 +857,27 @@ impl BPeerActor {
             }
             self.send_to_peer(ctx, reply_to, msg);
         } else {
-            // Serve like a single-threaded server: requests queue behind the
-            // one in progress. The execute span stays open until the
-            // response leaves, so it measures queueing + service time.
+            // Serve like a k-server queue (k = 1 unless `workers` widens
+            // it): each request occupies the earliest-free virtual server,
+            // queueing behind it when all are busy. The execute span stays
+            // open until the response leaves, so it measures queueing +
+            // service time.
             let now = ctx.now();
-            let start = self.busy_until.max(now);
-            self.busy_until = start + self.config.processing_time;
+            let slot = self
+                .busy_slots
+                .iter_mut()
+                .min()
+                .expect("at least one server slot");
+            let start = (*slot).max(now);
+            *slot = start + self.config.processing_time;
+            let ready_at = *slot;
             let stash_id = self.next_stash;
             self.next_stash += 1;
             self.stash.insert(stash_id, (reply_to, msg, exec_span));
             if let Some(flight) = &self.flight {
-                flight.note_queue_depth(now, self.stash.len() as u64);
+                flight.note_queue_depth(now, (self.stash.len() + self.jobs.len()) as u64);
             }
-            ctx.set_timer(self.busy_until.since(now), RESPONSE_TOKEN_BASE | stash_id);
+            ctx.set_timer(ready_at.since(now), RESPONSE_TOKEN_BASE | stash_id);
         }
     }
 
@@ -644,7 +924,11 @@ impl Actor<WhisperMsg> for BPeerActor {
 
     fn on_restart(&mut self, ctx: &mut Context<'_, WhisperMsg>) {
         // A recovered peer rejoins: re-publish, re-elect (it may be the
-        // rightful highest-id coordinator), restart beacons.
+        // rightful highest-id coordinator), restart beacons. Requests
+        // parked with the worker pool before the crash are abandoned —
+        // their completions find no job entry and are dropped, and the
+        // proxy's timeout has already failed the requests over.
+        self.jobs.clear();
         self.fd = FailureDetector::new(self.config.failure_timeout);
         self.election = BullyNode::new(self.peer, self.members.iter().copied(), self.config.bully);
         // the fresh BullyNode must observe through the same recorder
@@ -716,6 +1000,15 @@ impl Actor<WhisperMsg> for BPeerActor {
                 envelope,
             } => {
                 self.handle_peer_request(ctx, request_id, reply_to, delegated, envelope);
+            }
+            WhisperMsg::JobDone {
+                job,
+                request_id: _,
+                handled,
+                unavailable,
+                envelope,
+            } => {
+                self.finish_job(ctx, job, handled, unavailable, envelope);
             }
             WhisperMsg::ScopeRequest { request_id } => {
                 let reply = WhisperMsg::ScopeResponse {

@@ -21,18 +21,26 @@ use whisper_xml::Element;
 ///     poisson: true,
 /// };
 /// // one request at a time with 50 ms think time
-/// let closed = Workload::Closed { think: SimDuration::from_millis(50) };
-/// # let _ = (open, closed);
+/// let closed = Workload::Closed { think: SimDuration::from_millis(50), window: 1 };
+/// // eight requests in flight at once (the proxy pipelines them)
+/// let windowed = Workload::Closed { think: SimDuration::ZERO, window: 8 };
+/// # let _ = (open, closed, windowed);
 /// ```
 #[derive(Debug, Clone)]
 pub enum Workload {
     /// No autonomous traffic; requests are injected by the harness
     /// ([`WhisperNet::submit_request`](crate::WhisperNet::submit_request)).
     Manual,
-    /// Closed loop: wait for each response (or timeout), think, repeat.
+    /// Closed loop: keep `window` requests in flight; every response (or
+    /// timeout) is replaced after `think`.
     Closed {
-        /// Think time between a response and the next request.
+        /// Think time between a response and its replacement request.
         think: SimDuration,
+        /// Concurrent in-flight requests this client maintains. `1` is the
+        /// classic closed loop; larger windows pipeline through the
+        /// proxy's pending map and measure the deployment's concurrency,
+        /// not just its sequential round-trip.
+        window: u32,
     },
     /// Open loop: fire at fixed or exponential intervals regardless of
     /// outstanding requests.
@@ -222,7 +230,7 @@ impl ClientActor {
                     *interval
                 }
             }
-            Workload::Closed { think } => *think,
+            Workload::Closed { think, .. } => *think,
             Workload::Manual => SimDuration::ZERO,
         }
     }
@@ -317,7 +325,18 @@ impl Actor<WhisperMsg> for ClientActor {
 
     fn on_timer(&mut self, ctx: &mut Context<'_, WhisperMsg>, token: u64) {
         match token {
-            TOKEN_SEND | TOKEN_THINK => self.send_next(ctx),
+            // The warmup fire opens a closed loop's whole window at once;
+            // afterwards each completion replaces exactly one request.
+            TOKEN_SEND => {
+                if let Workload::Closed { window, .. } = self.config.workload {
+                    for _ in 0..window.max(1) {
+                        self.send_next(ctx);
+                    }
+                } else {
+                    self.send_next(ctx);
+                }
+            }
+            TOKEN_THINK => self.send_next(ctx),
             t if t & 0b11 == PURPOSE_REQ_TIMEOUT => {
                 let id = t >> 2;
                 if let Some(o) = self.outcomes.iter_mut().find(|o| o.id == id) {

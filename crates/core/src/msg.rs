@@ -114,6 +114,27 @@ pub enum WhisperMsg {
         /// solicitation.
         events: Vec<FlightEvent>,
     },
+    /// Worker pool → its own b-peer actor loop: an offloaded backend
+    /// execution finished. Always self-addressed (the worker injects it
+    /// back into the loop that parked the request), so it never crosses a
+    /// peer boundary — but it still encodes, because on the TCP substrate
+    /// even self-sends are loopback frames.
+    JobDone {
+        /// The b-peer-local job key the actor parked the request under
+        /// (request ids alone are proxy-scoped, not unique at a delegate).
+        job: u64,
+        /// Correlation id of the underlying peer request, for flight/trace
+        /// stitching.
+        request_id: u64,
+        /// Whether the backend handled the request successfully (counts
+        /// toward `requests_handled`).
+        handled: bool,
+        /// Whether the backend reported itself unavailable — the actor may
+        /// still fail the request over to an equivalent member.
+        unavailable: bool,
+        /// Serialized SOAP envelope (response or fault).
+        envelope: String,
+    },
 }
 
 impl Wire for WhisperMsg {
@@ -135,6 +156,7 @@ impl Wire for WhisperMsg {
             WhisperMsg::ScopeResponse { .. } => "scope-response",
             WhisperMsg::PulseReport { .. } => "pulse-report",
             WhisperMsg::FlightDump { .. } => "flight-dump",
+            WhisperMsg::JobDone { .. } => "job-done",
         }
     }
 
@@ -147,7 +169,8 @@ impl Wire for WhisperMsg {
             | WhisperMsg::PeerRedirect { request_id, .. }
             | WhisperMsg::ScopeRequest { request_id }
             | WhisperMsg::ScopeResponse { request_id, .. }
-            | WhisperMsg::FlightDump { request_id, .. } => Some(*request_id),
+            | WhisperMsg::FlightDump { request_id, .. }
+            | WhisperMsg::JobDone { request_id, .. } => Some(*request_id),
             WhisperMsg::Relayed { inner, .. } => inner.correlation(),
             WhisperMsg::P2p(_) | WhisperMsg::Election { .. } | WhisperMsg::PulseReport { .. } => {
                 None
@@ -257,6 +280,20 @@ impl Encode for WhisperMsg {
                 node.encode_into(out);
                 events.encode_into(out);
             }
+            WhisperMsg::JobDone {
+                job,
+                request_id,
+                handled,
+                unavailable,
+                envelope,
+            } => {
+                out.push(12);
+                job.encode_into(out);
+                request_id.encode_into(out);
+                handled.encode_into(out);
+                unavailable.encode_into(out);
+                envelope.encode_into(out);
+            }
         }
     }
 
@@ -309,6 +346,19 @@ impl Encode for WhisperMsg {
                 node,
                 events,
             } => request_id.encoded_len() + node.encoded_len() + events.encoded_len(),
+            WhisperMsg::JobDone {
+                job,
+                request_id,
+                handled,
+                unavailable,
+                envelope,
+            } => {
+                job.encoded_len()
+                    + request_id.encoded_len()
+                    + handled.encoded_len()
+                    + unavailable.encoded_len()
+                    + envelope.encoded_len()
+            }
         }
     }
 }
@@ -371,6 +421,13 @@ impl Decode for WhisperMsg {
                 request_id: u64::decode_from(r)?,
                 node: u64::decode_from(r)?,
                 events: Vec::decode_from(r)?,
+            }),
+            12 => Ok(WhisperMsg::JobDone {
+                job: u64::decode_from(r)?,
+                request_id: u64::decode_from(r)?,
+                handled: bool::decode_from(r)?,
+                unavailable: bool::decode_from(r)?,
+                envelope: String::decode_from(r)?,
             }),
             tag => Err(WireError::BadTag {
                 what: "WhisperMsg",
@@ -484,6 +541,13 @@ mod tests {
                 node: 2,
                 events: vec![sample_flight_event()],
             },
+            WhisperMsg::JobDone {
+                job: 7,
+                request_id: 8,
+                handled: true,
+                unavailable: false,
+                envelope: "<e>done</e>".into(),
+            },
         ]
     }
 
@@ -572,7 +636,7 @@ mod tests {
     #[test]
     fn every_variant_wire_size_is_exactly_encoded_len() {
         let msgs = one_of_each();
-        assert_eq!(msgs.len(), 12, "update one_of_each when adding variants");
+        assert_eq!(msgs.len(), 13, "update one_of_each when adding variants");
         for m in msgs {
             assert_eq!(m.wire_size(), m.encode().len(), "{m:?}");
         }
@@ -596,7 +660,8 @@ mod tests {
                 | WhisperMsg::PeerRedirect { request_id, .. }
                 | WhisperMsg::ScopeRequest { request_id }
                 | WhisperMsg::ScopeResponse { request_id, .. }
-                | WhisperMsg::FlightDump { request_id, .. } => {
+                | WhisperMsg::FlightDump { request_id, .. }
+                | WhisperMsg::JobDone { request_id, .. } => {
                     assert_eq!(m.correlation(), Some(*request_id), "{m:?}");
                 }
                 // a relay is transparent: the inner request id shows through

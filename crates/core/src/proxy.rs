@@ -160,12 +160,30 @@ const PURPOSE_GATHER: u64 = 3;
 /// sampled requests of the interval are dropped (bounded memory).
 const MAX_PENDING_OUTLIERS: usize = 16;
 
+/// Token layout: 44 bits of request id | 18 bits of attempt | 2 bits of
+/// purpose. Fields are masked so an out-of-range value can only alias
+/// within its own field, never corrupt a neighbouring one (a request id
+/// overflow would otherwise cancel timers of an unrelated request).
+const TOKEN_ATTEMPT_MASK: u64 = 0x3_ffff;
+const TOKEN_REQUEST_MASK: u64 = (1 << 44) - 1;
+
 fn token(request_id: u64, attempt: u32, purpose: u64) -> u64 {
-    (request_id << 20) | ((attempt as u64) << 2) | purpose
+    debug_assert!(purpose <= 0b11, "purpose {purpose} exceeds its 2-bit field");
+    debug_assert!(
+        request_id <= TOKEN_REQUEST_MASK,
+        "request id {request_id} exceeds its 44-bit token field"
+    );
+    debug_assert!(
+        u64::from(attempt) <= TOKEN_ATTEMPT_MASK,
+        "attempt {attempt} exceeds its 18-bit token field"
+    );
+    ((request_id & TOKEN_REQUEST_MASK) << 20)
+        | ((u64::from(attempt) & TOKEN_ATTEMPT_MASK) << 2)
+        | (purpose & 0b11)
 }
 
 fn untoken(t: u64) -> (u64, u32, u64) {
-    (t >> 20, ((t >> 2) & 0x3_ffff) as u32, t & 0b11)
+    (t >> 20, ((t >> 2) & TOKEN_ATTEMPT_MASK) as u32, t & 0b11)
 }
 
 /// The semantic Web service endpoint plus its SWS-proxy, deployed on one
@@ -1129,15 +1147,17 @@ impl Actor<WhisperMsg> for SwsProxyActor {
                     None => self.send_direct(ctx, from, reply),
                 }
             }
-            // Proxies ignore election traffic, stray SOAP responses, and
-            // telemetry frames (only the collector consumes those).
+            // Proxies ignore election traffic, stray SOAP responses,
+            // telemetry frames (only the collector consumes those), and
+            // worker completions (b-peer-internal traffic).
             WhisperMsg::Election { .. }
             | WhisperMsg::SoapResponse { .. }
             | WhisperMsg::PeerRequest { .. }
             | WhisperMsg::ScopeResponse { .. }
             | WhisperMsg::Relayed { .. }
             | WhisperMsg::PulseReport { .. }
-            | WhisperMsg::FlightDump { .. } => {}
+            | WhisperMsg::FlightDump { .. }
+            | WhisperMsg::JobDone { .. } => {}
         }
     }
 
@@ -1174,6 +1194,29 @@ mod tests {
             let (r, a, p) = untoken(t);
             assert_eq!((r, a, p), (rid, att & 0x3_ffff, purpose));
         }
+    }
+
+    #[test]
+    fn token_fields_saturate_without_bleeding_into_neighbours() {
+        // Every field simultaneously at its maximum round-trips exactly:
+        // the packing masks keep each field inside its own bit range.
+        let rid = TOKEN_REQUEST_MASK;
+        let att = TOKEN_ATTEMPT_MASK as u32;
+        for purpose in [
+            PURPOSE_PULSE,
+            PURPOSE_TIMEOUT,
+            PURPOSE_BACKOFF,
+            PURPOSE_GATHER,
+        ] {
+            let (r, a, p) = untoken(token(rid, att, purpose));
+            assert_eq!((r, a, p), (rid, att, purpose));
+        }
+        // A saturated attempt never flips request-id bits: two tokens for
+        // different requests stay distinct whatever the attempt counter is.
+        assert_ne!(
+            token(1, att, PURPOSE_TIMEOUT) >> 20,
+            token(2, att, PURPOSE_TIMEOUT) >> 20
+        );
     }
 
     #[test]

@@ -141,6 +141,54 @@ pub(crate) enum Op<M> {
     CancelTimer(TimerId),
 }
 
+/// A handle that lets work running *outside* the actor loop — a worker
+/// pool thread, a completion callback — push a message back into the
+/// owning node's own mailbox, where it is delivered through the normal
+/// `on_message` path (subject to the node's up/down state like any other
+/// send-to-self).
+///
+/// Obtained via [`Context::self_injector`] on the threaded runtimes; the
+/// deterministic simulator returns `None` there, because off-loop wall
+/// clock work would break replayability — actors must keep a sequential
+/// fallback for that substrate.
+pub struct SelfInjector<M> {
+    node: NodeId,
+    send: std::sync::Arc<dyn Fn(M) + Send + Sync>,
+}
+
+impl<M> Clone for SelfInjector<M> {
+    fn clone(&self) -> Self {
+        SelfInjector {
+            node: self.node,
+            send: std::sync::Arc::clone(&self.send),
+        }
+    }
+}
+
+impl<M> fmt::Debug for SelfInjector<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SelfInjector")
+            .field("node", &self.node)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> SelfInjector<M> {
+    pub(crate) fn new(node: NodeId, send: std::sync::Arc<dyn Fn(M) + Send + Sync>) -> Self {
+        SelfInjector { node, send }
+    }
+
+    /// Enqueues `msg` into the owning node's mailbox as a send-to-self.
+    pub fn inject(&self, msg: M) {
+        (self.send)(msg);
+    }
+
+    /// The node this injector feeds.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+}
+
 /// The actor's window onto the engine during one hook invocation.
 pub struct Context<'a, M> {
     now: SimTime,
@@ -148,6 +196,7 @@ pub struct Context<'a, M> {
     next_timer: &'a mut u64,
     ops: Vec<Op<M>>,
     rng: &'a mut SmallRng,
+    injector: Option<&'a SelfInjector<M>>,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -158,6 +207,7 @@ impl<'a, M> Context<'a, M> {
         id: NodeId,
         next_timer: &'a mut u64,
         rng: &'a mut SmallRng,
+        injector: Option<&'a SelfInjector<M>>,
     ) -> Self {
         Context {
             now,
@@ -165,6 +215,7 @@ impl<'a, M> Context<'a, M> {
             next_timer,
             ops: Vec::new(),
             rng,
+            injector,
         }
     }
 
@@ -209,6 +260,14 @@ impl<'a, M> Context<'a, M> {
     /// Deterministic randomness (seeded per run).
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
+    }
+
+    /// A cloneable handle for off-loop work (e.g. a worker pool) to push
+    /// messages back into this node's mailbox. `None` on the
+    /// deterministic simulator, where every effect must stay inside the
+    /// event loop — callers keep an inline fallback for that substrate.
+    pub fn self_injector(&self) -> Option<SelfInjector<M>> {
+        self.injector.cloned()
     }
 }
 
@@ -657,6 +716,7 @@ impl<M: Wire> SimNet<M> {
             next_timer: &mut self.next_timer,
             ops: Vec::new(),
             rng: &mut self.rng,
+            injector: None,
         };
         let actor = &mut self.nodes[id.index()].actor;
         match hook {

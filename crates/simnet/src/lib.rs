@@ -68,8 +68,8 @@ pub mod threadnet;
 mod time;
 
 pub use engine::{
-    Actor, Context, DynActor, FlightHook, NetHook, NodeId, SimNet, TimerId, TraceEvent,
-    TraceOutcome,
+    Actor, Context, DynActor, FlightHook, NetHook, NodeId, SelfInjector, SimNet, TimerId,
+    TraceEvent, TraceOutcome,
 };
 pub use faults::{FaultAction, FaultPlan};
 pub use link::{LinkModel, PerfectLink, SwitchedLan};

@@ -299,6 +299,9 @@ pub struct Metrics {
     dropped_down: u64,
     dropped_partition: u64,
     bytes_sent: u64,
+    batch_flushes: u64,
+    frames_coalesced: u64,
+    backpressure_waits: u64,
     by_kind: BTreeMap<Cow<'static, str>, u64>,
 }
 
@@ -334,6 +337,19 @@ impl Metrics {
         self.dropped_partition += 1;
     }
 
+    /// Counts one vectored flush that drained `frames` queued frames in a
+    /// single write (the TCP transport's flat-combining path).
+    pub(crate) fn on_batch_flush(&mut self, frames: usize) {
+        self.batch_flushes += 1;
+        self.frames_coalesced += frames as u64;
+    }
+
+    /// Counts one sender that found the link queue full and had to wait
+    /// for the writer (backpressure, not loss).
+    pub(crate) fn on_backpressure_wait(&mut self) {
+        self.backpressure_waits += 1;
+    }
+
     /// Total messages handed to the network (the paper's Figure 4 metric).
     pub fn messages_sent(&self) -> u64 {
         self.sent
@@ -362,6 +378,22 @@ impl Metrics {
     /// Total bytes handed to the network.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    /// Vectored flushes that drained a link's outbound queue.
+    pub fn batch_flushes(&self) -> u64 {
+        self.batch_flushes
+    }
+
+    /// Frames written through queue drains (coalesced into batched
+    /// writes rather than one syscall each).
+    pub fn frames_coalesced(&self) -> u64 {
+        self.frames_coalesced
+    }
+
+    /// Senders that blocked on a full link queue (backpressure events).
+    pub fn backpressure_waits(&self) -> u64 {
+        self.backpressure_waits
     }
 
     /// Messages sent, broken down by [`Wire::kind`]. Keys are `Cow` so
@@ -396,6 +428,9 @@ impl Metrics {
             to_down: self.dropped_down,
             partitioned: self.dropped_partition,
             bytes_sent: self.bytes_sent,
+            batch_flushes: self.batch_flushes,
+            frames_coalesced: self.frames_coalesced,
+            backpressure_waits: self.backpressure_waits,
             by_kind: self
                 .by_kind
                 .iter()
@@ -424,6 +459,12 @@ pub struct MetricsSnapshot {
     pub partitioned: u64,
     /// Total bytes handed to the network.
     pub bytes_sent: u64,
+    /// Vectored flushes that drained a link's outbound queue.
+    pub batch_flushes: u64,
+    /// Frames written through queue drains instead of per-frame writes.
+    pub frames_coalesced: u64,
+    /// Senders that blocked on a full link queue (backpressure events).
+    pub backpressure_waits: u64,
     /// Per-kind send counts, ascending by kind name.
     pub by_kind: Vec<(String, u64)>,
 }
@@ -462,6 +503,9 @@ impl Encode for MetricsSnapshot {
         self.to_down.encode_into(out);
         self.partitioned.encode_into(out);
         self.bytes_sent.encode_into(out);
+        self.batch_flushes.encode_into(out);
+        self.frames_coalesced.encode_into(out);
+        self.backpressure_waits.encode_into(out);
         self.by_kind.encode_into(out);
     }
 
@@ -472,6 +516,9 @@ impl Encode for MetricsSnapshot {
             + self.to_down.encoded_len()
             + self.partitioned.encoded_len()
             + self.bytes_sent.encoded_len()
+            + self.batch_flushes.encoded_len()
+            + self.frames_coalesced.encoded_len()
+            + self.backpressure_waits.encoded_len()
             + self.by_kind.encoded_len()
     }
 }
@@ -485,6 +532,9 @@ impl Decode for MetricsSnapshot {
             to_down: u64::decode_from(r)?,
             partitioned: u64::decode_from(r)?,
             bytes_sent: u64::decode_from(r)?,
+            batch_flushes: u64::decode_from(r)?,
+            frames_coalesced: u64::decode_from(r)?,
+            backpressure_waits: u64::decode_from(r)?,
             by_kind: Vec::decode_from(r)?,
         })
     }
@@ -587,8 +637,19 @@ mod tests {
         m.on_lost();
         m.on_drop_down();
         m.on_drop_partition();
+        m.on_batch_flush(8);
+        m.on_batch_flush(1);
+        m.on_backpressure_wait();
         assert_eq!(m.messages_sent(), 3);
         assert_eq!(m.bytes_sent(), 160);
+        assert_eq!(m.batch_flushes(), 2);
+        assert_eq!(m.frames_coalesced(), 9);
+        assert_eq!(m.backpressure_waits(), 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.batch_flushes, 2);
+        assert_eq!(snap.frames_coalesced, 9);
+        assert_eq!(snap.backpressure_waits, 1);
+        assert_eq!(MetricsSnapshot::decode(&snap.encode()).unwrap(), snap);
         assert_eq!(m.sent_of_kind("election"), 2);
         assert_eq!(m.sent_of_kind("heartbeat"), 1);
         assert_eq!(m.sent_of_kind("nope"), 0);

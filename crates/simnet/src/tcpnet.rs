@@ -39,14 +39,17 @@ use crate::threadnet::{
 use crate::time::SimTime;
 use crate::{DynActor, FaultAction, FaultPlan, Wire};
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::any::Any;
+use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
-use whisper_wire::{decode_clocked, read_frame_into, write_frame_vectored, Decode, Encode};
+use whisper_wire::{
+    decode_clocked, read_frame_into, write_frame_vectored, write_frames_vectored, Decode, Encode,
+};
 
 /// One outgoing link: the socket's write half plus a reusable encode
 /// scratch buffer, bundled behind a single mutex so a steady-state send
@@ -57,14 +60,25 @@ struct Link {
     scratch: Vec<u8>,
 }
 
+/// Most frames a link parks while its writer is busy. Beyond this,
+/// telemetry is shed and protocol traffic waits for the writer
+/// (backpressure), so a stalled socket bounds memory per link.
+const LINK_QUEUE_CAP: usize = 64;
+
 /// One ordered link's live socket state: the writer half used by the
 /// sender, and a clone of the current reader socket kept so a kill can
 /// shut the connection down from outside the reader thread. `None` means
 /// the link is down (endpoint killed, or decode error) until a restart
 /// re-dials it.
+///
+/// `queue` holds fully-encoded frames (trailing Lamport varint included)
+/// from senders that found the writer busy; the current lock holder
+/// drains it into a single vectored write (flat combining), so a
+/// contended link coalesces frames instead of serializing syscalls.
 struct LinkSlot {
     writer: Mutex<Option<Link>>,
     reader: Mutex<Option<TcpStream>>,
+    queue: Mutex<VecDeque<Vec<u8>>>,
 }
 
 /// The full mesh of ordered links, indexed `from * n + to` (diagonal
@@ -81,6 +95,7 @@ impl LinkTable {
         slots.resize_with(n * n, || LinkSlot {
             writer: Mutex::new(None),
             reader: Mutex::new(None),
+            queue: Mutex::new(VecDeque::new()),
         });
         LinkTable { n, slots }
     }
@@ -120,6 +135,42 @@ impl<M> TcpOutbound<M> {
         if let Some(hook) = &self.hook {
             let now = SimTime::from_micros(self.epoch.elapsed().as_micros() as u64);
             hook.lock().on_drop(now, from, to, kind, reason);
+        }
+    }
+
+    /// Flushes frames that peers queued on `slot` while `guard` was held,
+    /// then releases the writer. The release re-check loop is the flat-
+    /// combining liveness protocol: a peer that enqueues just as the
+    /// holder's last drain saw an empty queue will either observe the
+    /// writer free (and take over the flush itself) or be covered by the
+    /// holder re-acquiring here — no frame is stranded either way.
+    fn drain_after<'a>(&self, slot: &'a LinkSlot, mut guard: MutexGuard<'a, Option<Link>>) {
+        loop {
+            loop {
+                let batch: Vec<Vec<u8>> = {
+                    let mut q = slot.queue.lock();
+                    if q.is_empty() {
+                        break;
+                    }
+                    q.drain(..).collect()
+                };
+                // A down link discards the batch: the frames were already
+                // accounted at enqueue time, matching a direct write that
+                // fails mid-flight.
+                if let Some(Link { stream, .. }) = guard.as_mut() {
+                    let refs: Vec<&[u8]> = batch.iter().map(|f| f.as_slice()).collect();
+                    let _ = write_frames_vectored(stream, &refs);
+                    self.metrics.lock().on_batch_flush(batch.len());
+                }
+            }
+            drop(guard);
+            if slot.queue.lock().is_empty() {
+                return;
+            }
+            match slot.writer.try_lock() {
+                Some(g) => guard = g,
+                None => return, // the new holder drains behind itself
+            }
         }
     }
 }
@@ -179,86 +230,135 @@ impl<M: Wire + Encode> Outbound<M> for TcpOutbound<M> {
             return;
         }
         let slot = self.links.slot(from.index(), to.index());
-        // Telemetry never head-of-line blocks protocol traffic: if the
-        // link is busy (another thread mid-write), shed the frame and
-        // account it as lost. Pulse deltas are cumulative per emitter,
-        // so a shed frame costs resolution, not correctness.
-        let mut guard = if msg.is_telemetry() {
-            match slot.writer.try_lock() {
-                Some(guard) => guard,
-                None => {
-                    // Same accounting as the engine's loss model: the
-                    // send is counted, then the drop.
-                    let size = msg.wire_size();
-                    {
-                        let mut m = self.metrics.lock();
-                        m.on_send(msg.kind(), size);
-                        m.on_lost();
+        match slot.writer.try_lock() {
+            Some(mut guard) => {
+                match guard.as_mut() {
+                    Some(Link { stream, scratch }) => {
+                        scratch.clear();
+                        msg.encode_into(scratch);
+                        // Metrics take the message length *before* the trailing
+                        // Lamport varint, so byte accounting equals `wire_size()`
+                        // on every substrate; the clock rides as framing overhead
+                        // like the length prefix does.
+                        self.metrics.lock().on_send(msg.kind(), scratch.len());
+                        self.notify_hook(from, to, msg.kind(), scratch.len());
+                        // Unhooked senders emit the pre-clock frame layout — no
+                        // trailing varint, no wall-clock read — so a cluster with
+                        // no recorders pays one slot load per send. Receivers take
+                        // the zero-clock compat path, which is exact: a sender
+                        // with no ring has no events to order against.
+                        if self.flights.armed(from) {
+                            let clock = self.flights.on_send(
+                                from,
+                                self.now_ts(),
+                                to,
+                                msg.kind(),
+                                scratch.len(),
+                                msg.correlation(),
+                            );
+                            clock.encode_into(scratch);
+                        }
+                        // Frames parked while the writer was last busy go out
+                        // *ahead* of ours in one vectored write, preserving
+                        // link FIFO; an idle link (empty queue) takes exactly
+                        // the pre-batching single-frame path. A write error
+                        // means the peer's link is gone (e.g. during
+                        // shutdown); the frames are simply lost, like on a
+                        // real LAN.
+                        let queued: Vec<Vec<u8>> = {
+                            let mut q = slot.queue.lock();
+                            if q.is_empty() {
+                                Vec::new()
+                            } else {
+                                q.drain(..).collect()
+                            }
+                        };
+                        if queued.is_empty() {
+                            let _ = write_frame_vectored(stream, scratch);
+                        } else {
+                            let refs: Vec<&[u8]> = queued
+                                .iter()
+                                .map(|f| f.as_slice())
+                                .chain(std::iter::once(scratch.as_slice()))
+                                .collect();
+                            let _ = write_frames_vectored(stream, &refs);
+                            self.metrics.lock().on_batch_flush(queued.len());
+                        }
                     }
-                    self.notify_hook(from, to, msg.kind(), size);
-                    if self.flights.armed(from) {
-                        self.flights.on_send(
-                            from,
-                            self.now_ts(),
-                            to,
-                            msg.kind(),
-                            size,
-                            msg.correlation(),
-                        );
+                    None => {
+                        // No live link (torn down, not yet re-dialed): the message
+                        // is lost but still accounted, matching the loopback
+                        // behavior above.
+                        let size = msg.wire_size();
+                        self.metrics.lock().on_send(msg.kind(), size);
+                        self.notify_hook(from, to, msg.kind(), size);
+                        if self.flights.armed(from) {
+                            self.flights.on_send(
+                                from,
+                                self.now_ts(),
+                                to,
+                                msg.kind(),
+                                size,
+                                msg.correlation(),
+                            );
+                        }
                     }
-                    self.notify_drop(from, to, msg.kind(), TraceOutcome::Lost);
-                    return;
                 }
+                self.drain_after(slot, guard);
             }
-        } else {
-            slot.writer.lock()
-        };
-        match guard.as_mut() {
-            Some(Link { stream, scratch }) => {
-                scratch.clear();
-                msg.encode_into(scratch);
-                // Metrics take the message length *before* the trailing
-                // Lamport varint, so byte accounting equals `wire_size()`
-                // on every substrate; the clock rides as framing overhead
-                // like the length prefix does.
-                self.metrics.lock().on_send(msg.kind(), scratch.len());
-                self.notify_hook(from, to, msg.kind(), scratch.len());
-                // Unhooked senders emit the pre-clock frame layout — no
-                // trailing varint, no wall-clock read — so a cluster with
-                // no recorders pays one slot load per send. Receivers take
-                // the zero-clock compat path, which is exact: a sender
-                // with no ring has no events to order against.
+            None => {
+                // Another thread is mid-write on this link: encode to an
+                // owned frame and park it for the lock holder to flush in
+                // one vectored write. The send is accounted here, at
+                // enqueue time, exactly as a direct write would be.
+                let mut frame = Vec::with_capacity(msg.wire_size() + 8);
+                msg.encode_into(&mut frame);
+                let body = frame.len();
+                self.metrics.lock().on_send(msg.kind(), body);
+                self.notify_hook(from, to, msg.kind(), body);
                 if self.flights.armed(from) {
                     let clock = self.flights.on_send(
                         from,
                         self.now_ts(),
                         to,
                         msg.kind(),
-                        scratch.len(),
+                        body,
                         msg.correlation(),
                     );
-                    clock.encode_into(scratch);
+                    clock.encode_into(&mut frame);
                 }
-                // A write error means the peer's link is gone (e.g. during
-                // shutdown); the message is simply lost, like on a real LAN.
-                let _ = write_frame_vectored(stream, scratch);
-            }
-            None => {
-                // No live link (torn down, not yet re-dialed): the message
-                // is lost but still accounted, matching the loopback
-                // behavior above.
-                let size = msg.wire_size();
-                self.metrics.lock().on_send(msg.kind(), size);
-                self.notify_hook(from, to, msg.kind(), size);
-                if self.flights.armed(from) {
-                    self.flights.on_send(
-                        from,
-                        self.now_ts(),
-                        to,
-                        msg.kind(),
-                        size,
-                        msg.correlation(),
-                    );
+                let parked = {
+                    let mut q = slot.queue.lock();
+                    if q.len() < LINK_QUEUE_CAP {
+                        q.push_back(std::mem::take(&mut frame));
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if parked {
+                    // The holder may have finished its drain between our
+                    // failed try_lock and the push; re-check so the frame
+                    // is never stranded on an idle link.
+                    if let Some(guard) = slot.writer.try_lock() {
+                        self.drain_after(slot, guard);
+                    }
+                } else if msg.is_telemetry() {
+                    // Queue full: telemetry never head-of-line blocks
+                    // protocol traffic, so the frame is shed — counted as
+                    // sent then lost, the same accounting as the engine's
+                    // loss model. Pulse deltas are cumulative per emitter,
+                    // so a shed frame costs resolution, not correctness.
+                    self.metrics.lock().on_lost();
+                    self.notify_drop(from, to, msg.kind(), TraceOutcome::Lost);
+                } else {
+                    // Protocol traffic must not be lost to contention:
+                    // wait for the writer (backpressure), then flush the
+                    // backlog and this frame in link order.
+                    self.metrics.lock().on_backpressure_wait();
+                    let guard = slot.writer.lock();
+                    slot.queue.lock().push_back(frame);
+                    self.drain_after(slot, guard);
                 }
             }
         }
@@ -348,6 +448,10 @@ impl<M> TcpFaultCtl<M> {
                 if let Some(link) = slot.writer.lock().take() {
                     let _ = link.stream.shutdown(Shutdown::Both);
                 }
+                // Parked frames were addressed to the dead incarnation;
+                // dropping them keeps a later restart's fresh socket from
+                // replaying stale traffic. They were accounted at enqueue.
+                slot.queue.lock().clear();
             }
         }
     }
@@ -966,30 +1070,11 @@ mod tests {
         assert_eq!(*got.lock(), payloads());
     }
 
-    #[test]
-    fn telemetry_sheds_on_contended_link_instead_of_blocking() {
-        #[derive(Clone, Debug)]
-        struct Pulse;
-        impl Wire for Pulse {
-            fn wire_size(&self) -> usize {
-                self.encoded_len()
-            }
-            fn kind(&self) -> &'static str {
-                "pulse-report"
-            }
-            fn is_telemetry(&self) -> bool {
-                true
-            }
-        }
-        impl Encode for Pulse {
-            fn encode_into(&self, out: &mut Vec<u8>) {
-                out.push(7);
-            }
-        }
-
-        // Build the outbound by hand so the test can hold the link's lock
-        // and force the contended path deterministically.
-        let (writer, _reader) = connect_pair().unwrap();
+    /// Builds a two-node outbound by hand so tests can hold the link's
+    /// writer lock and force the contended paths deterministically. The
+    /// returned reader keeps the socket pair alive.
+    fn hand_built_outbound<W: Wire + Encode>() -> (TcpOutbound<W>, TcpStream) {
+        let (writer, reader) = connect_pair().unwrap();
         let links = Arc::new(LinkTable::new(2));
         *links.slot(0, 1).writer.lock() = Some(Link {
             stream: writer,
@@ -998,7 +1083,7 @@ mod tests {
         let (tx0, _rx0) = unbounded();
         let (tx1, _rx1) = unbounded();
         let out = TcpOutbound {
-            links: Arc::clone(&links),
+            links,
             loopback: vec![tx0, tx1],
             metrics: Arc::new(Mutex::new(Metrics::new())),
             faults: Arc::new(FaultState::new(2)),
@@ -1006,6 +1091,31 @@ mod tests {
             flights: Arc::new(FlightTable::new(2, Vec::new())),
             epoch: Instant::now(),
         };
+        (out, reader)
+    }
+
+    #[derive(Clone, Debug)]
+    struct Pulse;
+    impl Wire for Pulse {
+        fn wire_size(&self) -> usize {
+            self.encoded_len()
+        }
+        fn kind(&self) -> &'static str {
+            "pulse-report"
+        }
+        fn is_telemetry(&self) -> bool {
+            true
+        }
+    }
+    impl Encode for Pulse {
+        fn encode_into(&self, out: &mut Vec<u8>) {
+            out.push(7);
+        }
+    }
+
+    #[test]
+    fn telemetry_queues_on_contention_and_sheds_when_queue_fills() {
+        let (out, _reader) = hand_built_outbound::<Pulse>();
         let from = NodeId::from_index(0);
         let to = NodeId::from_index(1);
 
@@ -1017,15 +1127,107 @@ mod tests {
             assert_eq!(m.lost, 0);
         }
 
-        // Contended: another sender is mid-write on this link, so the
-        // frame is shed — counted as sent then lost — and send() returns
-        // without blocking.
-        let guard = links.slot(0, 1).writer.lock();
+        // Contended with queue space: frames park in the link's outbound
+        // queue instead of shedding, and send() never blocks.
+        let guard = out.links.slot(0, 1).writer.lock();
+        for _ in 0..LINK_QUEUE_CAP {
+            out.send(from, to, Pulse);
+        }
+        {
+            let m = out.metrics.lock().snapshot();
+            assert_eq!(m.sent_of_kind("pulse-report"), 1 + LINK_QUEUE_CAP as u64);
+            assert_eq!(m.lost, 0, "queued telemetry must not count as shed");
+        }
+
+        // Queue full: the frame is shed — counted as sent then lost, the
+        // same accounting as the pre-batching try_lock shed path.
         out.send(from, to, Pulse);
+        {
+            let m = out.metrics.lock().snapshot();
+            assert_eq!(m.sent_of_kind("pulse-report"), 2 + LINK_QUEUE_CAP as u64);
+            assert_eq!(m.lost, 1);
+        }
         drop(guard);
+
+        // The next direct send drains the backlog ahead of itself in one
+        // vectored write.
+        out.send(from, to, Pulse);
         let m = out.metrics.lock().snapshot();
-        assert_eq!(m.sent_of_kind("pulse-report"), 2);
+        assert_eq!(m.batch_flushes, 1);
+        assert_eq!(m.frames_coalesced, LINK_QUEUE_CAP as u64);
         assert_eq!(m.lost, 1);
+    }
+
+    #[test]
+    fn contended_frames_flush_in_link_order() {
+        let (out, mut reader) = hand_built_outbound::<M>();
+        let from = NodeId::from_index(0);
+        let to = NodeId::from_index(1);
+
+        // Park three protocol frames behind a held writer lock — none may
+        // block or shed — then release and send a fourth directly.
+        let guard = out.links.slot(0, 1).writer.lock();
+        for n in 0..3 {
+            out.send(from, to, M::Ping(n));
+        }
+        {
+            let m = out.metrics.lock().snapshot();
+            assert_eq!(m.sent_of_kind("ping"), 3);
+            assert_eq!(m.lost, 0);
+            assert_eq!(m.backpressure_waits, 0);
+        }
+        drop(guard);
+        out.send(from, to, M::Ping(3));
+
+        // The wire carries the queued frames first, then the direct one:
+        // link FIFO survives batching.
+        let mut payload = Vec::new();
+        for expect in 0..4u32 {
+            assert!(read_frame_into(&mut reader, &mut payload).unwrap());
+            let (msg, _) = decode_clocked::<M>(&payload).unwrap();
+            assert_eq!(msg, M::Ping(expect));
+        }
+        let m = out.metrics.lock().snapshot();
+        assert_eq!(m.batch_flushes, 1);
+        assert_eq!(m.frames_coalesced, 3);
+    }
+
+    #[test]
+    fn full_queue_applies_backpressure_to_protocol_traffic_without_loss() {
+        let (out, mut reader) = hand_built_outbound::<M>();
+        let out = Arc::new(out);
+        let from = NodeId::from_index(0);
+        let to = NodeId::from_index(1);
+
+        let guard = out.links.slot(0, 1).writer.lock();
+        for n in 0..LINK_QUEUE_CAP as u32 {
+            out.send(from, to, M::Ping(n));
+        }
+        // One more protocol frame from another thread: the queue is full,
+        // so that sender must wait for the writer rather than shed. Only
+        // release the lock once it has registered the backpressure wait,
+        // so the blocking path is exercised deterministically.
+        let o2 = Arc::clone(&out);
+        let blocked = std::thread::spawn(move || {
+            o2.send(from, to, M::Ping(LINK_QUEUE_CAP as u32));
+        });
+        let o3 = Arc::clone(&out);
+        wait_until("sender never hit the full-queue backpressure path", || {
+            o3.metrics.lock().snapshot().backpressure_waits == 1
+        });
+        drop(guard);
+        blocked.join().unwrap();
+
+        let mut payload = Vec::new();
+        for expect in 0..=LINK_QUEUE_CAP as u32 {
+            assert!(read_frame_into(&mut reader, &mut payload).unwrap());
+            let (msg, _) = decode_clocked::<M>(&payload).unwrap();
+            assert_eq!(msg, M::Ping(expect));
+        }
+        let m = out.metrics.lock().snapshot();
+        assert_eq!(m.lost, 0, "protocol traffic must never shed");
+        assert_eq!(m.backpressure_waits, 1);
+        assert_eq!(m.sent_of_kind("ping"), LINK_QUEUE_CAP as u64 + 1);
     }
 
     #[test]

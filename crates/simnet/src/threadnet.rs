@@ -19,7 +19,9 @@
 //! [`Substrate::execute_plan`](crate::Substrate::execute_plan) produces
 //! comparable counters on every substrate.
 
-use crate::engine::{Actor, Context, FlightHook, NetHook, NodeId, Op, TimerId, TraceOutcome};
+use crate::engine::{
+    Actor, Context, FlightHook, NetHook, NodeId, Op, SelfInjector, TimerId, TraceOutcome,
+};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::substrate::FaultDriver;
 use crate::time::SimTime;
@@ -349,6 +351,13 @@ pub(crate) fn run_node<M: Wire>(
     let mut next_timer: u64 = 0;
     let mut timers: BinaryHeap<PendingTimer> = BinaryHeap::new();
     let mut cancelled: HashSet<TimerId> = HashSet::new();
+    // Off-loop work (worker pools) re-enters the node through its own
+    // mailbox: a self-send on the transport respects the node's up/down
+    // gate, so completions racing a crash are dropped like any message.
+    let injector = SelfInjector::new(id, {
+        let outbound = Arc::clone(&shared.outbound);
+        Arc::new(move |msg| outbound.send(id, id, msg))
+    });
     // Crash-stop state: while down the node drops messages and timers, the
     // same observable behavior as the engine's crashed nodes.
     let mut up = true;
@@ -367,7 +376,7 @@ pub(crate) fn run_node<M: Wire>(
                     timers: &mut BinaryHeap<PendingTimer>,
                     cancelled: &mut HashSet<TimerId>| {
         let now = SimTime::from_micros(shared.epoch.elapsed().as_micros() as u64);
-        let mut ctx = Context::detached(now, id, next_timer, rng);
+        let mut ctx = Context::detached(now, id, next_timer, rng, Some(&injector));
         match hook {
             Hook::Start => actor.on_start(&mut ctx),
             Hook::Restart => actor.on_restart(&mut ctx),

@@ -75,6 +75,76 @@ pub fn write_frame_vectored<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<(
     w.flush()
 }
 
+/// Writes several frames (each with its own length prefix) as a single
+/// vectored write — the flush path of a batching transport: frames that
+/// queued up behind a busy link leave in one `writev` instead of one
+/// syscall each.
+///
+/// The byte stream is identical to calling [`write_frame`] once per
+/// payload, so readers need no batching awareness. Falls back to a
+/// partial-write loop when the writer accepts fewer bytes than offered.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidInput`] when any payload exceeds
+/// [`MAX_FRAME_LEN`] (nothing is written); otherwise any I/O error from
+/// the writer.
+pub fn write_frames_vectored<W: Write>(w: &mut W, payloads: &[&[u8]]) -> io::Result<()> {
+    for p in payloads {
+        if p.len() > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "frame payload {} exceeds MAX_FRAME_LEN {MAX_FRAME_LEN}",
+                    p.len()
+                ),
+            ));
+        }
+    }
+    if payloads.is_empty() {
+        return w.flush();
+    }
+    let prefixes: Vec<[u8; 4]> = payloads
+        .iter()
+        .map(|p| (p.len() as u32).to_le_bytes())
+        .collect();
+    // The flattened frame sequence: prefix, payload, prefix, payload...
+    let part = |i: usize| -> &[u8] {
+        if i.is_multiple_of(2) {
+            &prefixes[i / 2]
+        } else {
+            payloads[i / 2]
+        }
+    };
+    let parts = payloads.len() * 2;
+    let mut idx = 0; // current part
+    let mut off = 0; // bytes of it already written
+    while idx < parts {
+        let mut slices = Vec::with_capacity(parts - idx);
+        slices.push(IoSlice::new(&part(idx)[off..]));
+        slices.extend((idx + 1..parts).map(|i| IoSlice::new(part(i))));
+        let mut n = w.write_vectored(&slices)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "writer accepted zero bytes mid-batch",
+            ));
+        }
+        while idx < parts && n > 0 {
+            let left = part(idx).len() - off;
+            if n >= left {
+                n -= left;
+                idx += 1;
+                off = 0;
+            } else {
+                off += n;
+                n = 0;
+            }
+        }
+    }
+    w.flush()
+}
+
 /// Reads one frame's payload.
 ///
 /// Returns `Ok(None)` on a clean end of stream (EOF before the first
@@ -231,6 +301,50 @@ mod tests {
         write_frame_vectored(&mut t, b"drip-fed payload").unwrap();
         let mut r = Cursor::new(t.0);
         assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"drip-fed payload");
+    }
+
+    #[test]
+    fn batched_write_matches_sequential_frames() {
+        let payloads: Vec<&[u8]> = vec![b"first", b"", b"third message", &[0xCD; 2048][..]];
+        let mut sequential = Vec::new();
+        for p in &payloads {
+            write_frame(&mut sequential, p).unwrap();
+        }
+        let mut batched = Vec::new();
+        write_frames_vectored(&mut batched, &payloads).unwrap();
+        assert_eq!(sequential, batched);
+
+        let mut r = Cursor::new(batched);
+        for p in &payloads {
+            assert_eq!(read_frame(&mut r).unwrap().unwrap(), *p);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn batched_write_survives_partial_writes() {
+        let mut t = Trickle(Vec::new());
+        write_frames_vectored(&mut t, &[b"drip", b"", b"fed batch"]).unwrap();
+        let mut r = Cursor::new(t.0);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"drip");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"fed batch");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn batched_write_refuses_any_oversize_payload_atomically() {
+        let big = vec![0u8; MAX_FRAME_LEN + 1];
+        let mut sink = Vec::new();
+        assert_eq!(
+            write_frames_vectored(&mut sink, &[b"ok", &big])
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::InvalidInput
+        );
+        assert!(sink.is_empty(), "nothing written before the bad frame");
+        write_frames_vectored(&mut sink, &[]).unwrap();
+        assert!(sink.is_empty(), "empty batch writes nothing");
     }
 
     #[test]

@@ -61,7 +61,10 @@ mod primitives;
 mod reader;
 
 pub use error::WireError;
-pub use frame::{read_frame, read_frame_into, write_frame, write_frame_vectored, MAX_FRAME_LEN};
+pub use frame::{
+    read_frame, read_frame_into, write_frame, write_frame_vectored, write_frames_vectored,
+    MAX_FRAME_LEN,
+};
 pub use reader::{Reader, MAX_DEPTH};
 
 /// A value that can be serialized to wire bytes.

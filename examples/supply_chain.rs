@@ -34,6 +34,7 @@ fn main() {
     let client_tpl = ClientConfigTemplate {
         workload: Workload::Closed {
             think: SimDuration::from_millis(200),
+            window: 1,
         },
         payloads: vec![track("po-77"), track("po-78"), track("po-79")],
         total: Some(60),

@@ -159,6 +159,7 @@ fn multiple_clients_share_the_service() {
     let client_tpl = |n: u64| ClientConfigTemplate {
         workload: Workload::Closed {
             think: SimDuration::from_millis(50),
+            window: 1,
         },
         payloads: vec![student_req(&format!("u100{n}"))],
         total: Some(20),
@@ -367,6 +368,7 @@ fn load_shared_group_spreads_work() {
         clients: vec![ClientConfigTemplate {
             workload: Workload::Closed {
                 think: SimDuration::from_millis(10),
+                window: 1,
             },
             payloads: vec![student_req("u1000")],
             total: Some(30),

@@ -205,10 +205,15 @@ fn metrics_snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
             0u64..1 << 40,
             0u64..1 << 40,
         ),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
         proptest::collection::vec((name_strategy(), 0u64..1 << 40), 0..4),
     )
         .prop_map(
-            |((sent, delivered, lost, to_down, partitioned, bytes_sent), by_kind)| {
+            |(
+                (sent, delivered, lost, to_down, partitioned, bytes_sent),
+                (batch_flushes, frames_coalesced, backpressure_waits),
+                by_kind,
+            )| {
                 MetricsSnapshot {
                     sent,
                     delivered,
@@ -216,6 +221,9 @@ fn metrics_snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
                     to_down,
                     partitioned,
                     bytes_sent,
+                    batch_flushes,
+                    frames_coalesced,
+                    backpressure_waits,
                     by_kind,
                 }
             },
