@@ -51,7 +51,7 @@ fn bench_ring(c: &mut Criterion) {
 criterion_group!(benches, bench_bully, bench_ring);
 
 /// Headline per-step costs for the machine-readable trajectory
-/// (`BENCH_PR9.json`).
+/// (`BENCH_PR10.json`).
 fn record_summary() {
     let mut s = BenchSummary::new();
     s.record(

@@ -27,7 +27,7 @@ fn bench_fig4(c: &mut Criterion) {
 criterion_group!(benches, bench_fig4);
 
 /// Simulator wall-clock per Figure-4 point, for the machine-readable
-/// trajectory (`BENCH_PR9.json`).
+/// trajectory (`BENCH_PR10.json`).
 fn record_summary() {
     let params = Fig4Params {
         steady_window: SimDuration::from_secs(10),

@@ -76,7 +76,7 @@ fn bench_frame_flush(c: &mut Criterion) {
 criterion_group!(benches, bench_frame_flush);
 
 /// One amortized per-frame headline number per width for the trajectory
-/// (`BENCH_PR9.json`), next to Criterion's full statistics.
+/// (`BENCH_PR10.json`), next to Criterion's full statistics.
 fn record_summary() {
     let frame = encoded_request();
     let mut s = BenchSummary::new();

@@ -92,7 +92,7 @@ criterion_group!(
 );
 
 /// Headline substrate costs for the machine-readable trajectory
-/// (`BENCH_PR9.json`).
+/// (`BENCH_PR10.json`).
 fn record_summary() {
     let text = sample_soap_text();
     let onto = university_ontology();

@@ -331,7 +331,7 @@ criterion_group!(
 );
 
 /// Headline transport round-trip numbers for the machine-readable
-/// trajectory (`BENCH_PR9.json`): per-hop threadnet overhead and the warm
+/// trajectory (`BENCH_PR10.json`): per-hop threadnet overhead and the warm
 /// TCP request cycle, the two ends of the runtime's latency range.
 fn record_summary() {
     let mut s = BenchSummary::new();

@@ -76,7 +76,7 @@ fn bench_wire_codec(c: &mut Criterion) {
 criterion_group!(benches, bench_wire_codec);
 
 /// One headline number per codec direction for the machine-readable
-/// trajectory (`BENCH_PR9.json`), next to Criterion's full statistics.
+/// trajectory (`BENCH_PR10.json`), next to Criterion's full statistics.
 fn record_summary() {
     let msg = soap_request_1kib();
     let bytes = msg.encode();

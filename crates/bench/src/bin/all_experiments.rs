@@ -1,5 +1,5 @@
 //! Runs every experiment back to back (the full evaluation section) and
-//! writes the machine-readable trajectory (`BENCH_PR9.json`) next to the
+//! writes the machine-readable trajectory (`BENCH_PR10.json`) next to the
 //! CSVs.
 
 use whisper_bench::experiments::*;

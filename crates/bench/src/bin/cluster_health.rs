@@ -1,12 +1,12 @@
 //! Cluster health: the availability ledger watching injected coordinator
-//! kills, plus the machine-readable bench trajectory (`BENCH_PR9.json`).
+//! kills, plus the machine-readable bench trajectory (`BENCH_PR10.json`).
 //!
 //! Runs the deterministic simnet deployment with the
 //! [`whisper_obs::AvailabilityLedger`] attached, kills the coordinator
 //! several times, and prints what the ledger recorded about each outage:
 //! detection latency, repair time (the online-measured failover window),
 //! and the recovered availability. The summary statistics are merged into
-//! `target/experiments/BENCH_PR9.json` and a copy of the trajectory file
+//! `target/experiments/BENCH_PR10.json` and a copy of the trajectory file
 //! is written at the repository root.
 
 use whisper_bench::experiments::cluster_health::{self, ClusterHealthParams};
@@ -44,8 +44,8 @@ fn main() {
             println!("\nbench summary: {}", p.display());
             // Refresh the committed trajectory copy from the merged file.
             if let Ok(text) = std::fs::read_to_string(&p) {
-                if std::fs::write("BENCH_PR9.json", &text).is_ok() {
-                    println!("trajectory: BENCH_PR9.json");
+                if std::fs::write("BENCH_PR10.json", &text).is_ok() {
+                    println!("trajectory: BENCH_PR10.json");
                 }
             }
         }

@@ -9,27 +9,114 @@
 //! outage, and a measured MTTR — so a regression in any substrate's
 //! fault handling fails the job even before the numbers are compared.
 //!
-//! Per-substrate availability/MTTR/detection triples are merged into
-//! `target/experiments/BENCH_PR8.json`.
+//! ```text
+//! fault_matrix [--plan FILE]
+//! ```
+//!
+//! With `--plan FILE` the built-in kill/restart schedule is replaced by a
+//! [`FaultPlan`] loaded from its text form ([`FaultPlan::parse_text`]),
+//! replayed identically on all three substrates. Custom plans may inject
+//! any number of outages (or none — gray-only plans), so the
+//! exactly-one-outage assertion is relaxed to "the service is up when the
+//! books close".
+//!
+//! Per-substrate availability/MTTR/detection triples are merged into the
+//! bench trajectory next to the experiment CSVs.
 //!
 //! [`Deployment`]: whisper::deploy::Deployment
 //! [`FaultPlan`]: whisper_simnet::FaultPlan
 
 use std::process::ExitCode;
 
-use whisper_bench::experiments::substrate_matrix::{self, MatrixTuning};
+use whisper_bench::experiments::substrate_matrix::{self, MatrixTuning, SubstrateOutcome};
 use whisper_bench::BenchSummary;
+use whisper_simnet::{FaultPlan, SimDuration, SimTime};
+
+/// Replays a custom plan on all three substrates; the horizon is the last
+/// scheduled action plus the tuning's settle tail.
+fn run_custom_plan(tuning: &MatrixTuning, plan: &FaultPlan) -> Vec<SubstrateOutcome> {
+    let last = plan
+        .actions()
+        .iter()
+        .map(|&(at, _)| at.since(SimTime::ZERO))
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    let horizon = SimDuration::from_micros(last.as_micros() + tuning.settle.as_micros());
+    let dep = substrate_matrix::deployment(tuning);
+    let mut rows = Vec::with_capacity(3);
+
+    let mut sim = dep
+        .boot_sim(11)
+        .expect("the matrix scenario is well-formed");
+    rows.push(substrate_matrix::run_plan_on(&mut sim, plan, horizon));
+
+    let mut threads = dep
+        .boot_threadnet()
+        .expect("the matrix scenario is well-formed");
+    rows.push(substrate_matrix::run_plan_on(&mut threads, plan, horizon));
+    threads.net.shutdown();
+
+    let mut tcp = dep.boot_tcp().expect("loopback sockets");
+    rows.push(substrate_matrix::run_plan_on(&mut tcp, plan, horizon));
+    tcp.net.shutdown();
+
+    rows
+}
 
 fn main() -> ExitCode {
-    let tuning = MatrixTuning::default();
-    println!(
-        "Fault matrix: {} b-peers, kill coordinator at {:.1} s, restart {:.1} s later\n",
-        tuning.peers,
-        tuning.warmup.as_secs_f64(),
-        tuning.outage.as_secs_f64()
-    );
+    let mut plan: Option<FaultPlan> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--plan" => {
+                let path = match args.next() {
+                    Some(p) => p,
+                    None => {
+                        eprintln!("--plan needs a file path");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match FaultPlan::parse_text(&text) {
+                    Ok(p) => {
+                        println!("replaying {} actions from {path}", p.actions().len());
+                        plan = Some(p);
+                    }
+                    Err(e) => {
+                        eprintln!("bad fault plan {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (usage: fault_matrix [--plan FILE])");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
-    let rows = substrate_matrix::run_matrix(&tuning);
+    let tuning = MatrixTuning::default();
+    let rows = match &plan {
+        Some(p) => {
+            println!("Fault matrix: {} b-peers, custom plan\n", tuning.peers);
+            run_custom_plan(&tuning, p)
+        }
+        None => {
+            println!(
+                "Fault matrix: {} b-peers, kill coordinator at {:.1} s, restart {:.1} s later\n",
+                tuning.peers,
+                tuning.warmup.as_secs_f64(),
+                tuning.outage.as_secs_f64()
+            );
+            substrate_matrix::run_matrix(&tuning)
+        }
+    };
     let t = substrate_matrix::table(&rows);
     t.print();
     if let Ok(p) = t.save_csv() {
@@ -45,7 +132,12 @@ fn main() -> ExitCode {
 
     let mut ok = rows.len() == 3;
     for r in &rows {
-        let recovered = r.recovered && r.failures == 1 && r.mttr.is_some();
+        // A custom plan may schedule any number of outages; the built-in
+        // schedule must book exactly one with a measured repair.
+        let recovered = match plan {
+            Some(_) => r.recovered,
+            None => r.recovered && r.failures == 1 && r.mttr.is_some(),
+        };
         if !recovered {
             eprintln!(
                 "FAIL {}: recovered={} failures={} mttr={:?}",

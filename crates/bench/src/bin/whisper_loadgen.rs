@@ -13,7 +13,7 @@
 //! ```
 //!
 //! `--smoke` runs the short CI matrix. Headline statistics merge into
-//! `target/experiments/BENCH_PR9.json` (the trajectory the CI
+//! `target/experiments/BENCH_PR10.json` (the trajectory the CI
 //! `load-smoke` job diffs against the committed baseline); the full
 //! matrix lands as a CSV next to the other experiment tables.
 

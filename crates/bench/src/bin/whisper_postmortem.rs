@@ -16,7 +16,7 @@
 //! causally consistent and tells the full failover arc in happens-before
 //! order: `kill` → heartbeat miss → re-election → proxy re-bind. The
 //! per-substrate counters merge into the bench trajectory
-//! (`BENCH_PR9.json`).
+//! (`BENCH_PR10.json`).
 //!
 //! [`FaultPlan`]: whisper_simnet::FaultPlan
 

@@ -31,7 +31,7 @@
 //! refresh, and adds a telemetry panel under each frame: request-rate
 //! and p99 sparklines from the collector's windowed time-series, and a
 //! flame rendering of the latest tail-captured slow request.
-//! `--check-summary` validates that a `BENCH_PR9.json` trajectory file
+//! `--check-summary` validates that a `BENCH_PR10.json` trajectory file
 //! parses, without booting anything. `--compare` diffs two trajectory
 //! files stat by stat and prints a percent-change table; with
 //! `--fail-on-regression PCT` it exits non-zero if any shared statistic

@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per table/figure.
 
 pub mod availability;
+pub mod chaos_soak;
 pub mod cluster_health;
 pub mod discovery_cost;
 pub mod discovery_quality;

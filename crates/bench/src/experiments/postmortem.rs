@@ -265,7 +265,7 @@ pub fn table(rows: &[PostmortemOutcome]) -> Table {
     t
 }
 
-/// Records the matrix into the bench trajectory (`BENCH_PR9.json`):
+/// Records the matrix into the bench trajectory (`BENCH_PR10.json`):
 /// per-substrate alert/capture counts and the boolean gates as 0/1.
 pub fn record(summary: &mut crate::BenchSummary, rows: &[PostmortemOutcome]) {
     for r in rows {

@@ -126,8 +126,20 @@ pub fn run_on<N: Substrate<WhisperMsg>>(
     t: &MatrixTuning,
 ) -> SubstrateOutcome {
     let plan = fault_plan(&booted.topology, t);
-    booted.net.execute_plan(&plan);
-    booted.net.advance(t.horizon());
+    run_plan_on(booted, &plan, t.horizon())
+}
+
+/// Replays an arbitrary [`FaultPlan`] — e.g. one loaded from a file with
+/// [`FaultPlan::parse_text`] via `fault_matrix --plan` — over `horizon`
+/// and reads the ledger's verdict, exactly like [`run_on`] does for the
+/// built-in kill/restart schedule.
+pub fn run_plan_on<N: Substrate<WhisperMsg>>(
+    booted: &mut Booted<N>,
+    plan: &FaultPlan,
+    horizon: SimDuration,
+) -> SubstrateOutcome {
+    booted.net.execute_plan(plan);
+    booted.net.advance(horizon);
 
     let now = booted.net.now();
     let ledger = booted
@@ -218,7 +230,7 @@ pub fn table(rows: &[SubstrateOutcome]) -> Table {
 }
 
 /// Records the matrix into the bench trajectory, one stat triple per
-/// substrate, so `BENCH_PR9.json` carries the three availability/MTTR
+/// substrate, so `BENCH_PR10.json` carries the three availability/MTTR
 /// columns side by side.
 pub fn record(summary: &mut crate::BenchSummary, rows: &[SubstrateOutcome]) {
     for r in rows {

@@ -18,11 +18,12 @@
 //! | `discovery_cost` | ablation: flooding vs. rendezvous discovery | [`experiments::discovery_cost`] |
 //! | `cluster_health` | the availability ledger tracking coordinator kills | [`experiments::cluster_health`] |
 //! | `whisper-loadgen` | E16: real-TCP saturation matrix (whisper-surge) | [`experiments::load_matrix`] |
+//! | `whisper-chaos` | E17: gray-failure soak + fail-slow rebind race | [`experiments::chaos_soak`] |
 //!
 //! Run everything with `cargo run -p whisper-bench --bin all_experiments`.
 //! `all_experiments`, `cluster_health`, `whisper-loadgen` and the
 //! Criterion-style benches additionally merge headline statistics into
-//! the machine-readable trajectory `target/experiments/BENCH_PR9.json`
+//! the machine-readable trajectory `target/experiments/BENCH_PR10.json`
 //! ([`BenchSummary`]).
 //!
 //! Beyond the experiments, [`TcpCluster`] + the `whisper-top` binary give

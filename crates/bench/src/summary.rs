@@ -1,5 +1,5 @@
 //! The machine-readable bench trajectory: a single JSON file
-//! (`BENCH_PR9.json`) mapping experiment → key statistics, written next to
+//! (`BENCH_PR10.json`) mapping experiment → key statistics, written next to
 //! the CSVs by `all_experiments` and `cluster_health` so successive runs
 //! can be diffed by tooling instead of eyeballed from tables.
 //!
@@ -236,7 +236,7 @@ impl BenchSummary {
         fs::write(path, self.to_json())
     }
 
-    /// Writes the summary under `target/experiments/BENCH_PR9.json` (next
+    /// Writes the summary under `target/experiments/BENCH_PR10.json` (next
     /// to the experiment CSVs), merging into whatever an earlier run left
     /// there so the file accumulates the whole trajectory. Returns the
     /// path.
@@ -256,7 +256,7 @@ impl BenchSummary {
             .unwrap_or(manifest)
             .join("target")
             .join("experiments")
-            .join("BENCH_PR9.json");
+            .join("BENCH_PR10.json");
         let mut merged = fs::read_to_string(&path)
             .ok()
             .and_then(|s| BenchSummary::parse(&s).ok())

@@ -559,6 +559,12 @@ impl WhisperNet {
         self.net.node::<SwsProxyActor>(self.proxy_node).stats()
     }
 
+    /// The deployed SWS-proxy actor, for inspection (bindings, QoS
+    /// monitors, the fail-slow detector's evidence).
+    pub fn proxy(&self) -> &SwsProxyActor {
+        self.net.node::<SwsProxyActor>(self.proxy_node)
+    }
+
     /// Client counters.
     pub fn client_stats(&self, client: NodeId) -> ClientStats {
         self.net.node::<ClientActor>(client).stats().clone()
@@ -759,6 +765,169 @@ mod tests {
         assert!(p99 > 0);
         // memory bound respected
         assert!(store.approx_bytes() <= store.max_bytes());
+    }
+
+    /// The student scenario with a custom proxy configuration.
+    fn student_scenario_with_proxy(n_bpeers: usize, seed: u64, proxy: ProxyConfig) -> WhisperNet {
+        let service = whisper_wsdl::samples::student_management();
+        let op = service
+            .operation("StudentInformation")
+            .expect("sample operation");
+        let backends: Vec<Box<dyn ServiceBackend>> = (0..n_bpeers)
+            .map(|_| -> Box<dyn ServiceBackend> {
+                Box::new(StudentRegistry::operational_db().with_sample_data())
+            })
+            .collect();
+        let group = GroupSpec::from_operation("StudentInfoGroup", op, backends);
+        let cfg = DeploymentConfig {
+            seed,
+            groups: vec![group],
+            proxy,
+            ..DeploymentConfig::default()
+        };
+        WhisperNet::build(cfg).expect("well-formed")
+    }
+
+    #[test]
+    fn fail_slow_coordinator_is_demoted_without_an_election() {
+        let mut net = student_scenario_with_proxy(
+            3,
+            21,
+            ProxyConfig {
+                fail_slow_after: Some(SimDuration::from_millis(5)),
+                fail_slow_cooldown: SimDuration::from_secs(5),
+                ..ProxyConfig::default()
+            },
+        );
+        net.run_for(SimDuration::from_secs(3));
+        let client = net.client_ids()[0];
+        let coord_node = *net.group_nodes(0).last().unwrap();
+        let coord_peer = net.coordinator_of(0).expect("elected");
+
+        // one healthy request establishes the binding
+        net.submit_student_request(client, "u1004");
+        net.run_for(SimDuration::from_secs(2));
+        assert_eq!(net.proxy_stats().fail_slow_rebinds, 0);
+
+        // the coordinator turns gray: up, answering, but 100x slower
+        net.sim()
+            .apply_action(whisper_simnet::FaultAction::Slow(coord_node, 10_000));
+        for _ in 0..3 {
+            net.submit_student_request(client, "u1004");
+            net.run_for(SimDuration::from_secs(1));
+        }
+        let stats = net.proxy_stats();
+        assert_eq!(stats.fail_slow_rebinds, 1, "stats: {stats:?}");
+        assert_eq!(stats.rebinds, 0, "no timeout fired: {stats:?}");
+        // demotion is not an election: the group still agrees on the
+        // same coordinator
+        assert_eq!(net.coordinator_of(0), Some(coord_peer));
+
+        // traffic now bypasses the slow coordinator via delegated forwards
+        net.submit_student_request(client, "u1004");
+        net.run_for(SimDuration::from_secs(1));
+        let gid = net.group_id(0);
+        assert!(net.proxy().binding_is_delegated(gid));
+        assert_ne!(net.proxy().binding_of(gid), Some(coord_peer));
+        let cs = net.client_stats(client);
+        assert_eq!(cs.completed, 5, "every request answered: {cs:?}");
+        assert_eq!(cs.faults, 0);
+
+        // after the cooldown the coordinator earns its traffic back
+        net.sim()
+            .apply_action(whisper_simnet::FaultAction::Slow(coord_node, 100));
+        net.run_for(SimDuration::from_secs(6));
+        net.submit_student_request(client, "u1004");
+        net.run_for(SimDuration::from_secs(1));
+        assert!(!net.proxy().binding_is_delegated(gid));
+        assert_eq!(net.proxy().binding_of(gid), Some(coord_peer));
+    }
+
+    #[test]
+    fn deadline_budget_caps_the_retry_ladder() {
+        let mut net = student_scenario_with_proxy(
+            3,
+            23,
+            ProxyConfig {
+                deadline: Some(SimDuration::from_millis(800)),
+                request_timeout: SimDuration::from_millis(250),
+                // must close before the 250 ms request timeout fires
+                gather_window: SimDuration::from_millis(50),
+                ..ProxyConfig::default()
+            },
+        );
+        net.run_for(SimDuration::from_secs(3));
+        let client = net.client_ids()[0];
+        // warm the caches and the binding so the dead deployment exercises
+        // the re-bind ladder rather than the no-group fast fault
+        net.submit_student_request(client, "u1004");
+        net.run_for(SimDuration::from_secs(2));
+        for &n in net.group_nodes(0).to_vec().iter() {
+            net.kill_node(n);
+        }
+        let sent_at = net.now();
+        net.submit_student_request(client, "u1004");
+        net.run_for(SimDuration::from_secs(5));
+        let stats = net.proxy_stats();
+        assert_eq!(stats.deadline_faults, 1, "stats: {stats:?}");
+        let cs = net.client_stats(client);
+        assert_eq!(cs.completed, 2);
+        assert_eq!(cs.faults, 1);
+        let done = net.client_outcomes(client)[1]
+            .completed_at
+            .expect("faulted in time");
+        // budget 800 ms + at most one 250 ms timeout rung of overshoot;
+        // without the budget this deployment burns 10 x 250 ms attempts
+        assert!(
+            done.since(sent_at) <= SimDuration::from_millis(1300),
+            "deadline fault came at +{:?}",
+            done.since(sent_at)
+        );
+    }
+
+    #[test]
+    fn duplicated_client_requests_are_answered_exactly_once() {
+        let mut net = WhisperNet::student_scenario(3, 29);
+        net.run_for(SimDuration::from_secs(3));
+        let client = net.client_ids()[0];
+        let proxy_node = net.proxy_node();
+
+        let mut payload = Element::new("StudentInformation");
+        payload.push_child(Element::with_text("StudentID", "u1004"));
+        let envelope = Envelope::request(payload.clone()).to_xml_string();
+
+        // duplicate of a completed request: re-served from the answer cache
+        let id = net.submit_request(client, payload.clone());
+        net.run_for(SimDuration::from_secs(2));
+        net.sim().inject(
+            client,
+            proxy_node,
+            WhisperMsg::SoapRequest {
+                request_id: id,
+                envelope: envelope.clone(),
+            },
+        );
+        net.run_for(SimDuration::from_secs(1));
+        let stats = net.proxy_stats();
+        assert_eq!(stats.duplicate_requests, 1, "stats: {stats:?}");
+        assert_eq!(stats.responses_forwarded, 1, "no second execution");
+
+        // duplicate racing the original: joins the in-flight pipeline
+        let id2 = net.submit_request(client, payload);
+        net.sim().inject(
+            client,
+            proxy_node,
+            WhisperMsg::SoapRequest {
+                request_id: id2,
+                envelope,
+            },
+        );
+        net.run_for(SimDuration::from_secs(2));
+        let stats = net.proxy_stats();
+        assert_eq!(stats.duplicate_requests, 2, "stats: {stats:?}");
+        assert_eq!(stats.responses_forwarded, 2);
+        let cs = net.client_stats(client);
+        assert_eq!(cs.completed, 2, "each request completed once: {cs:?}");
     }
 
     #[test]

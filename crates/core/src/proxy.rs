@@ -23,7 +23,7 @@ use crate::directory::Directory;
 use crate::matchmaker;
 use crate::msg::WhisperMsg;
 use crate::pulse::{self, PulseConfig};
-use crate::qos::{QosMonitor, SelectionPolicy};
+use crate::qos::{PeerHealth, QosMonitor, SelectionPolicy};
 use crate::trace;
 use rand::RngCore;
 use std::collections::HashMap;
@@ -75,6 +75,23 @@ pub struct ProxyConfig {
     /// network and makes QoS-aware selection meaningful; zero selects on
     /// the first response.
     pub gather_window: SimDuration,
+    /// End-to-end budget per request, measured from the moment the client
+    /// request reached the proxy. Once exceeded, the retry/re-bind ladder
+    /// stops and the client gets a fault immediately instead of burning
+    /// further attempts a caller has already given up on. `None` (the
+    /// default) disables the budget.
+    pub deadline: Option<SimDuration>,
+    /// Fail-slow threshold: when a peer's smoothed response latency
+    /// exceeds this, the proxy demotes it — drops its binding, marks it
+    /// suspect for [`fail_slow_cooldown`](Self::fail_slow_cooldown) and
+    /// re-binds to the next group member with `delegated` forwards, all
+    /// without waiting for a timeout or an election. `None` (the default)
+    /// disables gray detection.
+    pub fail_slow_after: Option<SimDuration>,
+    /// How long a demoted peer stays suspect before it may earn traffic
+    /// back. On expiry its latency history is reset, so re-demotion needs
+    /// fresh evidence.
+    pub fail_slow_cooldown: SimDuration,
 }
 
 impl Default for ProxyConfig {
@@ -86,6 +103,9 @@ impl Default for ProxyConfig {
             retry_backoff: SimDuration::from_millis(300),
             max_attempts: 10,
             gather_window: SimDuration::from_millis(250),
+            deadline: None,
+            fail_slow_after: None,
+            fail_slow_cooldown: SimDuration::from_secs(5),
         }
     }
 }
@@ -103,6 +123,65 @@ pub struct ProxyStats {
     pub responses_forwarded: u64,
     /// Requests answered with a proxy-generated fault.
     pub faults_generated: u64,
+    /// Client requests recognised as duplicates of one already in flight
+    /// or recently answered (the answered ones are re-served from cache).
+    pub duplicate_requests: u64,
+    /// B-peer responses for requests no longer pending — late replies
+    /// crossing a retry, or chaos-duplicated frames. Dropped, never
+    /// forwarded: the client sees each request answered exactly once.
+    pub duplicate_responses: u64,
+    /// Proactive demotions of fail-slow peers (gray re-binds that needed
+    /// no timeout and no election).
+    pub fail_slow_rebinds: u64,
+    /// Requests faulted because their end-to-end deadline budget ran out.
+    pub deadline_faults: u64,
+}
+
+/// The peer a group is currently bound to, plus how to address it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Binding {
+    peer: PeerId,
+    /// Forwards carry `delegated: true`: the target executes the request
+    /// itself instead of redirecting to the coordinator this binding
+    /// bypasses.
+    delegated: bool,
+    /// The presumed coordinator a delegated binding is shadowing; once it
+    /// is no longer suspect the binding is dropped so traffic returns.
+    shadows: Option<PeerId>,
+}
+
+/// Whether `peer` is currently under a fail-slow demotion cooldown.
+/// A free function (not a method) so it can run while a pending entry
+/// holds a mutable borrow of another field.
+fn peer_suspect(suspects: &HashMap<PeerId, SimTime>, peer: PeerId, now: SimTime) -> bool {
+    suspects.get(&peer).is_some_and(|&until| now < until)
+}
+
+/// Picks the member to bind from a sorted, non-empty member list: the
+/// Bully winner (highest id) when healthy, otherwise the highest
+/// non-suspect member, addressed with `delegated` forwards that shadow
+/// the suspect coordinator. An all-suspect group falls back to the
+/// coordinator — a demotion must never strand a request entirely. The
+/// untried remainder is handed to `stash` (the pending entry's candidate
+/// list for crash re-binds).
+fn pick_target(
+    members: &mut Vec<PeerId>,
+    suspects: &HashMap<PeerId, SimTime>,
+    now: SimTime,
+    stash: impl FnOnce(Vec<PeerId>),
+) -> (PeerId, bool, Option<PeerId>) {
+    let presumed = *members.last().expect("non-empty");
+    let idx = members
+        .iter()
+        .rposition(|m| !peer_suspect(suspects, *m, now))
+        .unwrap_or(members.len() - 1);
+    let target = members.remove(idx);
+    stash(std::mem::take(members));
+    if target == presumed {
+        (target, false, None)
+    } else {
+        (target, true, Some(presumed))
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -160,6 +239,12 @@ const PURPOSE_GATHER: u64 = 3;
 /// sampled requests of the interval are dropped (bounded memory).
 const MAX_PENDING_OUTLIERS: usize = 16;
 
+/// Recently-answered client requests kept for duplicate re-serving
+/// (bounded memory; beyond this the oldest answer is forgotten and a very
+/// late duplicate would be processed as a fresh request — the client's
+/// own dedup still protects it).
+const ANSWERED_CAP: usize = 128;
+
 /// Token layout: 44 bits of request id | 18 bits of attempt | 2 bits of
 /// purpose. Fields are masked so an out-of-range value can only alias
 /// within its own field, never corrupt a neighbouring one (a request id
@@ -194,13 +279,26 @@ pub struct SwsProxyActor {
     disco: DiscoveryService,
     ontology: Ontology,
     semantics: HashMap<String, OperationSemantics>,
-    bindings: HashMap<GroupId, PeerId>,
+    bindings: HashMap<GroupId, Binding>,
     pending: HashMap<u64, Pending>,
     queries: HashMap<QueryId, u64>,
     next_request: u64,
     config: ProxyConfig,
     stats: ProxyStats,
     monitor: QosMonitor,
+    /// Per-peer latency EWMAs feeding the fail-slow detector.
+    peer_health: PeerHealth,
+    /// Demoted peers and when their cooldown expires. Entries are checked
+    /// against the clock on use, so an expired suspicion is inert even
+    /// before it is pruned.
+    suspects: HashMap<PeerId, SimTime>,
+    /// In-flight client requests by (client node, client request id):
+    /// a chaos-duplicated request joins the existing pending entry
+    /// instead of spawning a second pipeline (and a second reply).
+    inflight_clients: HashMap<(NodeId, u64), u64>,
+    /// Recently answered client requests with their response envelopes;
+    /// a duplicate arriving after completion is re-served from here.
+    answered: std::collections::VecDeque<((NodeId, u64), String)>,
     /// Memoized semantic-match rankings, keyed on the discovery cache
     /// epoch: the warm request path skips ontology matching entirely.
     memo: matchmaker::SemanticMatchCache,
@@ -261,6 +359,10 @@ impl SwsProxyActor {
             config,
             stats: ProxyStats::default(),
             monitor: QosMonitor::default(),
+            peer_health: PeerHealth::default(),
+            suspects: HashMap::new(),
+            inflight_clients: HashMap::new(),
+            answered: std::collections::VecDeque::new(),
             memo: matchmaker::SemanticMatchCache::new(),
             obs: None,
             tx: Metrics::new(),
@@ -347,7 +449,91 @@ impl SwsProxyActor {
     /// The group each operation is currently bound to (via its coordinator
     /// peer), for inspection in tests.
     pub fn binding_of(&self, group: GroupId) -> Option<PeerId> {
-        self.bindings.get(&group).copied()
+        self.bindings.get(&group).map(|b| b.peer)
+    }
+
+    /// Whether `group`'s current binding bypasses a fail-slow coordinator
+    /// with delegated forwards.
+    pub fn binding_is_delegated(&self, group: GroupId) -> bool {
+        self.bindings.get(&group).is_some_and(|b| b.delegated)
+    }
+
+    /// The per-peer latency record backing the fail-slow detector.
+    pub fn peer_health(&self) -> &PeerHealth {
+        &self.peer_health
+    }
+
+    /// Demotes `peer` when the fail-slow detector is armed and its
+    /// evidence crosses the configured threshold. Returns whether a
+    /// demotion happened.
+    fn maybe_trip_fail_slow(&mut self, now: SimTime, peer: PeerId) -> bool {
+        let Some(threshold) = self.config.fail_slow_after else {
+            return false;
+        };
+        if peer_suspect(&self.suspects, peer, now) {
+            return false; // already serving a cooldown
+        }
+        // Expired cooldown: forget it (and the stale EWMA was already
+        // reset at demotion time — evidence since then is fresh).
+        self.suspects.retain(|_, &mut until| now < until);
+        if !self.peer_health.is_fail_slow(peer, threshold) {
+            return false;
+        }
+        self.suspects
+            .insert(peer, now + self.config.fail_slow_cooldown);
+        // Fresh evidence required before any re-demotion after cooldown.
+        self.peer_health.reset(peer);
+        self.stats.fail_slow_rebinds += 1;
+        // Unbind every group routed through the demoted peer; the next
+        // request re-binds around it.
+        self.bindings.retain(|_, b| b.peer != peer);
+        if let Some(flight) = &self.flight {
+            flight.note_alert(now, format!("fail-slow p{}", peer.value()), true);
+        }
+        if let Some(rec) = &self.obs {
+            rec.incr("proxy.fail_slow_rebinds", 1);
+        }
+        true
+    }
+
+    /// Faults the request when its end-to-end budget (if any) has run
+    /// out; returns whether the request was retired. Checked at every
+    /// rung of the retry/re-bind ladder, so a budget cannot be overshot
+    /// by more than one timeout.
+    fn deadline_exceeded(
+        &mut self,
+        ctx: &mut Context<'_, WhisperMsg>,
+        request_id: u64,
+        started_at: SimTime,
+    ) -> bool {
+        let Some(deadline) = self.config.deadline else {
+            return false;
+        };
+        if ctx.now().since(started_at) < deadline {
+            return false;
+        }
+        self.stats.deadline_faults += 1;
+        if let Some(rec) = &self.obs {
+            rec.incr("proxy.deadline_faults", 1);
+        }
+        self.reply_fault(
+            ctx,
+            request_id,
+            FaultCode::Receiver,
+            "request deadline exceeded".to_string(),
+        );
+        true
+    }
+
+    /// Completes a client request: retires its in-flight dedup entry and
+    /// remembers the answer so chaos-duplicated requests are re-served
+    /// instead of re-executed.
+    fn remember_answered(&mut self, key: (NodeId, u64), envelope: &str) {
+        self.inflight_clients.remove(&key);
+        self.answered.push_back((key, envelope.to_string()));
+        if self.answered.len() > ANSWERED_CAP {
+            self.answered.pop_front();
+        }
     }
 
     /// The introspection snapshot served to [`WhisperMsg::ScopeRequest`]:
@@ -358,7 +544,7 @@ impl SwsProxyActor {
         let mut bindings: Vec<(u64, u64)> = self
             .bindings
             .iter()
-            .map(|(g, p)| (g.value(), p.value()))
+            .map(|(g, b)| (g.value(), b.peer.value()))
             .collect();
         bindings.sort_unstable();
         snap.bindings = bindings;
@@ -436,6 +622,19 @@ impl SwsProxyActor {
             counters.push(("proxy.faults".into(), self.stats.faults_generated));
             counters.push(("proxy.rebinds".into(), self.stats.rebinds));
             counters.push(("proxy.redirects".into(), self.stats.redirects_followed));
+            counters.push((
+                "proxy.duplicate_requests".into(),
+                self.stats.duplicate_requests,
+            ));
+            counters.push((
+                "proxy.duplicate_responses".into(),
+                self.stats.duplicate_responses,
+            ));
+            counters.push((
+                "proxy.fail_slow_rebinds".into(),
+                self.stats.fail_slow_rebinds,
+            ));
+            counters.push(("proxy.deadline_faults".into(), self.stats.deadline_faults));
         }
         counters.push(("proxy.responses".into(), self.stats.responses_forwarded));
         counters.push(("proxy.discoveries".into(), self.stats.discoveries));
@@ -488,6 +687,7 @@ impl SwsProxyActor {
         self.stats.faults_generated += 1;
         self.stats.responses_forwarded += 1;
         let envelope = Envelope::fault(Fault::new(code, reason)).to_xml_string();
+        self.remember_answered((p.client_node, p.client_request_id), &envelope);
         self.send_direct(
             ctx,
             p.client_node,
@@ -506,6 +706,34 @@ impl SwsProxyActor {
         client_request_id: u64,
         envelope: String,
     ) {
+        // Exactly-once gate: a duplicated delivery of a request already in
+        // flight rides the existing pipeline; one answered recently is
+        // re-served from the answer cache. Either way the b-peers see the
+        // request once and the client is answered once per execution.
+        let key = (client_node, client_request_id);
+        if self.inflight_clients.contains_key(&key) {
+            self.stats.duplicate_requests += 1;
+            if let Some(rec) = &self.obs {
+                rec.incr("proxy.duplicate_requests", 1);
+            }
+            return;
+        }
+        if let Some((_, cached)) = self.answered.iter().rev().find(|(k, _)| *k == key) {
+            self.stats.duplicate_requests += 1;
+            let resend = cached.clone();
+            if let Some(rec) = &self.obs {
+                rec.incr("proxy.duplicate_requests", 1);
+            }
+            self.send_direct(
+                ctx,
+                client_node,
+                WhisperMsg::SoapResponse {
+                    request_id: client_request_id,
+                    envelope: resend,
+                },
+            );
+            return;
+        }
         let operation = match Envelope::parse(&envelope) {
             Ok(env) => match env.body_payload() {
                 Some(p) => p.name.to_string(),
@@ -545,6 +773,7 @@ impl SwsProxyActor {
         };
         let request_id = self.next_request;
         self.next_request += 1;
+        self.inflight_clients.insert(key, request_id);
         let obs_req = self.obs.as_ref().map(|rec| {
             let now = ctx.now();
             // Join the client's trace when it announced itself; otherwise
@@ -693,13 +922,25 @@ impl SwsProxyActor {
         let now = ctx.now();
         let mut filter = AdvFilter::of_kind(AdvKind::Peer);
         filter.group = Some(group);
-        let target: Option<PeerId> = {
+        // A cached binding is reused unless its peer turned suspect, or it
+        // was a fail-slow bypass whose shadowed coordinator has recovered;
+        // either way the stale binding is dropped and the member scan runs.
+        let cached = self.bindings.get(&group).copied();
+        if let Some(b) = cached {
+            let stale = peer_suspect(&self.suspects, b.peer, now)
+                || b.shadows
+                    .is_some_and(|c| !peer_suspect(&self.suspects, c, now));
+            if stale {
+                self.bindings.remove(&group);
+            }
+        }
+        let target: Option<(PeerId, bool, Option<PeerId>)> = {
             let Some(p) = self.pending.get_mut(&request_id) else {
                 return;
             };
             p.group = Some(group);
-            if let Some(&bound) = self.bindings.get(&group) {
-                Some(bound)
+            if let Some(b) = self.bindings.get(&group) {
+                Some((b.peer, b.delegated, b.shadows))
             } else {
                 let dead = &p.dead_peers;
                 let mut members: Vec<PeerId> = self
@@ -715,16 +956,14 @@ impl SwsProxyActor {
                     None
                 } else {
                     members.sort();
-                    p.candidates = members;
-                    // the Bully winner is the highest id: try it first
-                    let target = *p.candidates.last().expect("non-empty");
-                    p.candidates.pop();
-                    Some(target)
+                    Some(pick_target(&mut members, &self.suspects, now, |c| {
+                        p.candidates = c;
+                    }))
                 }
             }
         };
-        if let Some(target) = target {
-            self.forward_to_peer(ctx, request_id, target, group);
+        if let Some((target, delegated, shadows)) = target {
+            self.forward_to_peer(ctx, request_id, target, group, delegated, shadows);
             return;
         }
         // No member knowledge: query the network for the group's peers.
@@ -758,8 +997,14 @@ impl SwsProxyActor {
         request_id: u64,
         target: PeerId,
         group: GroupId,
+        delegated: bool,
+        shadows: Option<PeerId>,
     ) {
-        let Some(attempts_so_far) = self.pending.get(&request_id).map(|p| p.attempts) else {
+        let Some((attempts_so_far, started_at)) = self
+            .pending
+            .get(&request_id)
+            .map(|p| (p.attempts, p.started_at))
+        else {
             return;
         };
         if attempts_so_far >= self.config.max_attempts {
@@ -771,13 +1016,23 @@ impl SwsProxyActor {
             );
             return;
         }
+        if self.deadline_exceeded(ctx, request_id, started_at) {
+            return;
+        }
         let p = self.pending.get_mut(&request_id).expect("checked above");
         p.attempts += 1;
         p.state = PendingState::AwaitResponse(target);
         p.forwarded_at = Some(ctx.now());
         let attempts = p.attempts;
         let envelope = p.envelope.clone();
-        self.bindings.insert(group, target);
+        self.bindings.insert(
+            group,
+            Binding {
+                peer: target,
+                delegated,
+                shadows,
+            },
+        );
         if let Some(flight) = &self.flight {
             // attempt 1 is the initial binding; later waves are re-binds
             // after a timeout or redirect
@@ -804,7 +1059,7 @@ impl SwsProxyActor {
             WhisperMsg::PeerRequest {
                 request_id,
                 reply_to: self.peer,
-                delegated: false,
+                delegated,
                 envelope,
             },
         );
@@ -860,14 +1115,16 @@ impl SwsProxyActor {
                     return;
                 }
                 self.queries.remove(&query);
-                p.candidates = members;
-                let target = *p.candidates.last().expect("non-empty");
-                p.candidates.pop();
+                let now = ctx.now();
+                let (target, delegated, shadows) =
+                    pick_target(&mut members, &self.suspects, now, |c| {
+                        p.candidates = c;
+                    });
                 if let (Some(rec), Some(req)) = (&self.obs, p.obs_req) {
-                    rec.end_named(req, "proxy.members", ctx.now());
+                    rec.end_named(req, "proxy.members", now);
                     rec.unbind(trace::NS_QUERY, query);
                 }
-                self.forward_to_peer(ctx, request_id, target, group);
+                self.forward_to_peer(ctx, request_id, target, group, delegated, shadows);
             }
             _ => {
                 self.queries.remove(&query);
@@ -900,7 +1157,7 @@ impl SwsProxyActor {
         match (coordinator, group) {
             (Some(c), Some(g)) if c != old_target => {
                 self.stats.redirects_followed += 1;
-                self.forward_to_peer(ctx, request_id, c, g);
+                self.forward_to_peer(ctx, request_id, c, g, false, None);
             }
             (_, Some(g)) => {
                 // No coordinator yet (election in flight) or a self-loop:
@@ -931,6 +1188,11 @@ impl SwsProxyActor {
         if p.attempts != attempt {
             return; // stale timer from an earlier attempt
         }
+        let started_at = p.started_at;
+        if self.deadline_exceeded(ctx, request_id, started_at) {
+            return;
+        }
+        let p = self.pending.get(&request_id).expect("not retired above");
         if p.attempts >= self.config.max_attempts {
             self.reply_fault(
                 ctx,
@@ -986,7 +1248,9 @@ impl SwsProxyActor {
                         None
                     });
                     match next {
-                        Some(next_target) => self.forward_to_peer(ctx, request_id, next_target, g),
+                        Some(next_target) => {
+                            self.forward_to_peer(ctx, request_id, next_target, g, false, None)
+                        }
                         // Consult the caches / the network for members we
                         // have not tried yet; a new coordinator may exist.
                         None => self.bind_or_find_members(ctx, request_id, g),
@@ -1085,6 +1349,15 @@ impl Actor<WhisperMsg> for SwsProxyActor {
             } => {
                 if let Some(p) = self.pending.remove(&request_id) {
                     self.stats.responses_forwarded += 1;
+                    // Per-peer latency evidence: attribute the response to
+                    // the peer it was forwarded to, so a fail-slow member
+                    // is demoted on observation, not on timeout.
+                    if let (PendingState::AwaitResponse(peer), Some(f)) = (&p.state, p.forwarded_at)
+                    {
+                        let peer = *peer;
+                        self.peer_health.record_response(peer, ctx.now().since(f));
+                        self.maybe_trip_fail_slow(ctx.now(), peer);
+                    }
                     if let Some(g) = p.group {
                         let fault = Envelope::parse(&envelope)
                             .map(|e| e.is_fault())
@@ -1102,6 +1375,7 @@ impl Actor<WhisperMsg> for SwsProxyActor {
                         self.obs_finish(rec, req, request_id, now);
                     }
                     self.pulse_observe(ctx, request_id, &p);
+                    self.remember_answered((p.client_node, p.client_request_id), &envelope);
                     self.send_direct(
                         ctx,
                         p.client_node,
@@ -1110,6 +1384,14 @@ impl Actor<WhisperMsg> for SwsProxyActor {
                             envelope,
                         },
                     );
+                } else {
+                    // A late reply crossing a retry, or a chaos-duplicated
+                    // frame: the client was (or will be) answered by the
+                    // winning copy; this one is dropped, not forwarded.
+                    self.stats.duplicate_responses += 1;
+                    if let Some(rec) = &self.obs {
+                        rec.incr("proxy.duplicate_responses", 1);
+                    }
                 }
             }
             WhisperMsg::PeerRedirect {

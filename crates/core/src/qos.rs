@@ -7,7 +7,7 @@
 //! itself loses traffic to an honestly better one.
 
 use std::collections::HashMap;
-use whisper_p2p::GroupId;
+use whisper_p2p::{GroupId, PeerId};
 use whisper_simnet::SimDuration;
 
 /// How the SWS-proxy chooses among semantically acceptable b-peer groups.
@@ -134,6 +134,110 @@ impl Default for QosMonitor {
     }
 }
 
+/// Per-peer latency record backing [`PeerHealth`].
+#[derive(Debug, Clone, Copy, Default)]
+struct PeerObservation {
+    ewma_latency_us: f64,
+    responses: u64,
+}
+
+/// Per-*peer* response-latency EWMA — the fail-slow detector's evidence.
+///
+/// [`QosMonitor`] aggregates per *group* and cannot tell a slow coordinator
+/// from a slow group; this tracker attributes each response to the peer
+/// that produced it, so the proxy can demote one gray member while the
+/// rest of its group keeps serving.
+///
+/// # Examples
+///
+/// ```
+/// use whisper::PeerHealth;
+/// use whisper_p2p::PeerId;
+/// use whisper_simnet::SimDuration;
+///
+/// let mut h = PeerHealth::new(3);
+/// let p = PeerId::new(7);
+/// let slow = SimDuration::from_millis(50);
+/// for _ in 0..3 {
+///     h.record_response(p, slow);
+/// }
+/// assert!(h.is_fail_slow(p, SimDuration::from_millis(10)));
+/// assert!(!h.is_fail_slow(p, SimDuration::from_millis(100)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeerHealth {
+    observations: HashMap<PeerId, PeerObservation>,
+    /// Samples required before a peer can be declared fail-slow.
+    min_samples: u64,
+    /// EWMA smoothing factor for latency.
+    alpha: f64,
+}
+
+impl PeerHealth {
+    /// Creates a tracker that can flag a peer after `min_samples`
+    /// responses.
+    pub fn new(min_samples: u64) -> Self {
+        PeerHealth {
+            observations: HashMap::new(),
+            min_samples,
+            alpha: 0.3,
+        }
+    }
+
+    /// Records one response from `peer` with the observed latency.
+    pub fn record_response(&mut self, peer: PeerId, latency: SimDuration) {
+        let o = self.observations.entry(peer).or_default();
+        let l = latency.as_micros() as f64;
+        o.ewma_latency_us = if o.responses == 0 {
+            l
+        } else {
+            self.alpha * l + (1.0 - self.alpha) * o.ewma_latency_us
+        };
+        o.responses += 1;
+    }
+
+    /// Number of responses observed from `peer` since the last reset.
+    pub fn sample_count(&self, peer: PeerId) -> u64 {
+        self.observations
+            .get(&peer)
+            .map(|o| o.responses)
+            .unwrap_or(0)
+    }
+
+    /// Smoothed response latency of `peer`, once any sample exists.
+    pub fn ewma_latency(&self, peer: PeerId) -> Option<SimDuration> {
+        let o = self.observations.get(&peer)?;
+        if o.responses == 0 {
+            return None;
+        }
+        Some(SimDuration::from_micros(o.ewma_latency_us as u64))
+    }
+
+    /// Whether `peer` looks fail-slow: at least `min_samples` responses
+    /// observed and a smoothed latency above `threshold`. A peer that
+    /// stops answering entirely never trips this — that is the crash
+    /// detector's (timeout's) job, not the gray detector's.
+    pub fn is_fail_slow(&self, peer: PeerId, threshold: SimDuration) -> bool {
+        let Some(o) = self.observations.get(&peer) else {
+            return false;
+        };
+        o.responses >= self.min_samples && o.ewma_latency_us > threshold.as_micros() as f64
+    }
+
+    /// Forgets `peer`'s history — called when a demotion's cooldown
+    /// expires, so re-trip needs fresh evidence instead of the stale EWMA.
+    pub fn reset(&mut self, peer: PeerId) {
+        self.observations.remove(&peer);
+    }
+}
+
+impl Default for PeerHealth {
+    /// Flags a peer after 3 samples.
+    fn default() -> Self {
+        PeerHealth::new(3)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +293,40 @@ mod tests {
         }
         let after = m.observed_utility(g).expect("samples");
         assert!(after < before, "degradation must show: {after} vs {before}");
+    }
+
+    #[test]
+    fn peer_health_needs_min_samples_before_flagging() {
+        let mut h = PeerHealth::new(3);
+        let p = whisper_p2p::PeerId::new(1);
+        let threshold = SimDuration::from_millis(5);
+        h.record_response(p, SimDuration::from_millis(50));
+        h.record_response(p, SimDuration::from_millis(50));
+        assert!(!h.is_fail_slow(p, threshold), "2 samples < min 3");
+        h.record_response(p, SimDuration::from_millis(50));
+        assert!(h.is_fail_slow(p, threshold));
+        assert_eq!(h.sample_count(p), 3);
+        assert!(h.ewma_latency(p).expect("samples") >= SimDuration::from_millis(49));
+    }
+
+    #[test]
+    fn peer_health_tracks_recovery_and_reset() {
+        let mut h = PeerHealth::new(1);
+        let p = whisper_p2p::PeerId::new(2);
+        let threshold = SimDuration::from_millis(5);
+        for _ in 0..5 {
+            h.record_response(p, SimDuration::from_millis(50));
+        }
+        assert!(h.is_fail_slow(p, threshold));
+        // enough fast samples drag the EWMA back under the threshold
+        for _ in 0..20 {
+            h.record_response(p, SimDuration::from_micros(300));
+        }
+        assert!(!h.is_fail_slow(p, threshold), "recovered peer un-flags");
+        h.record_response(p, SimDuration::from_millis(50));
+        h.reset(p);
+        assert_eq!(h.sample_count(p), 0);
+        assert!(!h.is_fail_slow(p, threshold), "reset forgets history");
     }
 
     #[test]

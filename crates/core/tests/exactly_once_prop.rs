@@ -1,0 +1,106 @@
+//! Property: whatever the chaos plane does to replies — duplicating them,
+//! reordering them, letting a late reply cross a retry, or duplicating the
+//! client's request itself — each client request id is answered exactly
+//! once, and every surplus message is counted, never forwarded.
+
+use proptest::prelude::*;
+use whisper::{WhisperMsg, WhisperNet};
+use whisper_simnet::SimDuration;
+use whisper_soap::Envelope;
+use whisper_xml::Element;
+
+fn student_payload() -> Element {
+    let mut p = Element::new("StudentInformation");
+    p.push_child(Element::with_text("StudentID", "u1004"));
+    p
+}
+
+const REQUESTS: u64 = 4;
+
+proptest! {
+    // Each case boots a full deployment; a handful of cases over the
+    // seed/duplication space is plenty and keeps the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn replies_collapse_to_exactly_one_per_request(
+        seed in 0u64..500,
+        forged_inflight in 0usize..3,
+        forged_late in 0usize..3,
+        dup_requests in 0usize..3,
+        stray in 0usize..2,
+    ) {
+        let mut net = WhisperNet::student_scenario(3, seed);
+        net.run_for(SimDuration::from_secs(3));
+        let client = net.client_ids()[0];
+        let proxy = net.proxy_node();
+        let bpeer = net.group_nodes(0)[0];
+        let forged_env = Envelope::request(student_payload()).to_xml_string();
+
+        // Sequential requests; the proxy numbers them 0..REQUESTS in
+        // arrival order, which the forged replies below rely on.
+        for i in 0..REQUESTS {
+            net.submit_student_request(client, "u1004");
+            if i == 0 {
+                // replies racing the real one for the in-flight request:
+                // whichever copy arrives first wins, the rest are dropped
+                for _ in 0..forged_inflight {
+                    net.sim().inject(bpeer, proxy, WhisperMsg::PeerResponse {
+                        request_id: 0,
+                        envelope: forged_env.clone(),
+                    });
+                }
+            }
+            net.run_for(SimDuration::from_secs(2));
+        }
+        // late replies for requests already answered (a retry's first
+        // attempt surfacing after the second one won)
+        for k in 0..forged_late {
+            net.sim().inject(bpeer, proxy, WhisperMsg::PeerResponse {
+                request_id: k as u64 % REQUESTS,
+                envelope: forged_env.clone(),
+            });
+        }
+        // replies for requests that never existed
+        for _ in 0..stray {
+            net.sim().inject(bpeer, proxy, WhisperMsg::PeerResponse {
+                request_id: 999_999,
+                envelope: forged_env.clone(),
+            });
+        }
+        // chaos-duplicated client requests: re-served from the answer
+        // cache, never re-executed
+        for k in 0..dup_requests {
+            net.sim().inject(client, proxy, WhisperMsg::SoapRequest {
+                request_id: k as u64 % REQUESTS,
+                envelope: forged_env.clone(),
+            });
+        }
+        net.run_for(SimDuration::from_secs(2));
+
+        let stats = net.proxy_stats();
+        prop_assert_eq!(stats.responses_forwarded, REQUESTS, "stats: {:?}", stats);
+        // Every surplus reply is counted, never forwarded. The exact tally
+        // depends on the race for request 0: when a forged copy wins before
+        // the forward, the b-peer never executes and the "real" reply does
+        // not exist, so one fewer duplicate arrives.
+        let dups = stats.duplicate_responses as usize;
+        let floor = forged_inflight.saturating_sub(1) + forged_late + stray;
+        let ceil = forged_inflight + forged_late + stray;
+        prop_assert!(
+            dups >= floor && dups <= ceil,
+            "duplicate_responses {} outside [{}, {}]: {:?}",
+            dups, floor, ceil, stats
+        );
+        prop_assert_eq!(stats.duplicate_requests as usize, dup_requests, "stats: {:?}", stats);
+
+        let cs = net.client_stats(client);
+        prop_assert_eq!(cs.completed, REQUESTS, "client: {:?}", cs);
+        prop_assert_eq!(cs.timeouts, 0);
+        let outcomes = net.client_outcomes(client);
+        prop_assert_eq!(outcomes.len() as u64, REQUESTS);
+        for o in &outcomes {
+            prop_assert!(o.completed_at.is_some(), "unanswered request {:?}", o);
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Gray-failure injection state shared by the live substrates.
+//!
+//! [`SimNet`](crate::SimNet) implements chaos natively inside its event
+//! queue; threadnet and tcpnet instead consult a [`ChaosState`] on every
+//! outbound message and, when a decision calls for delay or duplication,
+//! hand the delivery to a [`DelayPump`] thread that re-injects it when due.
+//!
+//! The hot path is engineered around a single atomic load: while no gray
+//! action is active, `decide` returns [`ChaosDecision::Clean`] without
+//! touching any lock, so the idle-path cost on `tcpnet_request_cycle` is
+//! one relaxed atomic read.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::faults::{DegradeSpec, FaultAction};
+
+/// Per-message slowdown charged to a `Slow` node, per hundredth of factor
+/// above 1.00×: factor 200 (2.00×) holds each outbound message for 1 ms.
+const SLOW_STEP_US: u64 = 10;
+
+/// What the chaos plane wants done with one outbound message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChaosDecision {
+    /// No active chaos touches this link; send immediately.
+    Clean,
+    /// Deliver after `delay` (possibly zero), optionally a second time.
+    Deliver {
+        /// Hold the message this long before handing it to the transport.
+        delay: Duration,
+        /// Deliver a second copy (after a further beat) as well.
+        duplicate: bool,
+    },
+    /// Drop the message and count it as chaos loss.
+    Drop,
+    /// Corrupt the message in transit. tcpnet flips bits in the encoded
+    /// frame so the receiver sees a real decode error; threadnet (no
+    /// byte stage) drops the message and counts a decode error directly.
+    Corrupt,
+}
+
+/// Shared gray-failure state for a live substrate.
+///
+/// One instance per network; outbound transports call [`decide`] per
+/// message, fault controllers call [`apply`] when the driver fires a gray
+/// action.
+///
+/// [`decide`]: ChaosState::decide
+/// [`apply`]: ChaosState::apply
+pub(crate) struct ChaosState {
+    /// Count of active gray entries across all three maps. Zero means the
+    /// fast path can skip every lock.
+    active: AtomicUsize,
+    degraded: Mutex<HashMap<(u32, u32), DegradeSpec>>,
+    stalled_until: Mutex<HashMap<u32, Instant>>,
+    slow: Mutex<HashMap<u32, u32>>,
+    rng: Mutex<SmallRng>,
+}
+
+impl ChaosState {
+    pub(crate) fn new(seed: u64) -> Self {
+        ChaosState {
+            active: AtomicUsize::new(0),
+            degraded: Mutex::new(HashMap::new()),
+            stalled_until: Mutex::new(HashMap::new()),
+            slow: Mutex::new(HashMap::new()),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Apply a gray action. Binary actions are ignored (the substrate's
+    /// own fault controller handles those).
+    pub(crate) fn apply(&self, action: FaultAction) {
+        match action {
+            FaultAction::Degrade(a, b, spec) => {
+                let mut map = self.degraded.lock().unwrap();
+                if spec.is_noop() {
+                    map.remove(&(a.index() as u32, b.index() as u32));
+                    map.remove(&(b.index() as u32, a.index() as u32));
+                } else {
+                    map.insert((a.index() as u32, b.index() as u32), spec);
+                    map.insert((b.index() as u32, a.index() as u32), spec);
+                }
+                let n = map.len();
+                drop(map);
+                self.recount(n, 0);
+            }
+            FaultAction::Restore(a, b) => {
+                let mut map = self.degraded.lock().unwrap();
+                map.remove(&(a.index() as u32, b.index() as u32));
+                map.remove(&(b.index() as u32, a.index() as u32));
+                let n = map.len();
+                drop(map);
+                self.recount(n, 0);
+            }
+            FaultAction::Stall(node, d) => {
+                let until = Instant::now() + Duration::from_micros(d.as_micros());
+                self.stalled_until
+                    .lock()
+                    .unwrap()
+                    .insert(node.index() as u32, until);
+                // Stalls expire lazily in `decide`; the entry itself keeps
+                // the slow path armed until then.
+                self.active.fetch_add(1, Ordering::Release);
+            }
+            FaultAction::Slow(node, factor) => {
+                let mut map = self.slow.lock().unwrap();
+                if factor <= 100 {
+                    map.remove(&(node.index() as u32));
+                } else {
+                    map.insert(node.index() as u32, factor);
+                }
+                let n = map.len();
+                drop(map);
+                self.recount(n, 1);
+            }
+            _ => {}
+        }
+    }
+
+    /// Recompute `active` as degraded + stalled + slow entry counts, given
+    /// the fresh size of one map (`which`: 0 = degraded, 1 = slow).
+    fn recount(&self, fresh: usize, which: u8) {
+        let degraded = if which == 0 {
+            fresh
+        } else {
+            self.degraded.lock().unwrap().len()
+        };
+        let slow = if which == 1 {
+            fresh
+        } else {
+            self.slow.lock().unwrap().len()
+        };
+        let stalled = self.stalled_until.lock().unwrap().len();
+        self.active
+            .store(degraded + slow + stalled, Ordering::Release);
+    }
+
+    /// Decide the fate of one outbound message `from -> to`.
+    pub(crate) fn decide(&self, from: u32, to: u32) -> ChaosDecision {
+        if self.active.load(Ordering::Acquire) == 0 {
+            return ChaosDecision::Clean;
+        }
+        let mut delay_us = 0u64;
+        let mut duplicate = false;
+        if let Some(spec) = self.degraded.lock().unwrap().get(&(from, to)).copied() {
+            let mut rng = self.rng.lock().unwrap();
+            if spec.loss_pct > 0 && rng.gen_range(0..100u32) < spec.loss_pct {
+                return ChaosDecision::Drop;
+            }
+            if spec.corrupt_pct > 0 && rng.gen_range(0..100u32) < spec.corrupt_pct {
+                return ChaosDecision::Corrupt;
+            }
+            delay_us = spec.latency.as_micros();
+            if spec.jitter > crate::SimDuration::ZERO {
+                delay_us += rng.gen_range(0..=spec.jitter.as_micros());
+            }
+            if spec.reorder_pct > 0 && rng.gen_range(0..100u32) < spec.reorder_pct {
+                delay_us += (3 * spec.jitter.as_micros()).max(500);
+            }
+            if spec.dup_pct > 0 && rng.gen_range(0..100u32) < spec.dup_pct {
+                duplicate = true;
+            }
+        }
+        {
+            let slow = self.slow.lock().unwrap();
+            let factor = slow
+                .get(&from)
+                .copied()
+                .unwrap_or(100)
+                .max(slow.get(&to).copied().unwrap_or(100));
+            if factor > 100 {
+                delay_us += (factor as u64 - 100) * SLOW_STEP_US;
+            }
+        }
+        {
+            let mut stalled = self.stalled_until.lock().unwrap();
+            if let Some(&until) = stalled.get(&from) {
+                let now = Instant::now();
+                if until > now {
+                    let remaining = until.duration_since(now).as_micros() as u64;
+                    delay_us = delay_us.max(remaining);
+                } else {
+                    stalled.remove(&from);
+                    drop(stalled);
+                    self.active.fetch_sub(1, Ordering::Release);
+                }
+            }
+        }
+        if delay_us == 0 && !duplicate {
+            ChaosDecision::Clean
+        } else {
+            ChaosDecision::Deliver {
+                delay: Duration::from_micros(delay_us),
+                duplicate,
+            }
+        }
+    }
+}
+
+struct PumpEntry {
+    due: Instant,
+    seq: u64,
+    deliver: Box<dyn FnOnce() + Send>,
+}
+
+impl PartialEq for PumpEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for PumpEntry {}
+impl PartialOrd for PumpEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PumpEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Inverted: BinaryHeap is a max-heap, we want earliest-due first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A single thread that holds delayed deliveries and fires them when due.
+///
+/// Transports enqueue `(delay, closure)` pairs; the pump sleeps until the
+/// earliest deadline and runs the closure (typically a re-send through the
+/// normal outbound path with chaos disabled for that hop). Dropping the
+/// sender side shuts the pump down; pending deliveries are discarded,
+/// which is the right semantic during network shutdown.
+pub(crate) struct DelayPump {
+    tx: Mutex<Option<Sender<PumpEntry>>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl DelayPump {
+    pub(crate) fn start() -> Arc<Self> {
+        let (tx, rx) = channel::<PumpEntry>();
+        let handle = std::thread::Builder::new()
+            .name("whisper-chaos-pump".into())
+            .spawn(move || {
+                let mut heap: BinaryHeap<PumpEntry> = BinaryHeap::new();
+                loop {
+                    let timeout = match heap.peek() {
+                        Some(next) => next.due.saturating_duration_since(Instant::now()),
+                        None => Duration::from_millis(200),
+                    };
+                    if timeout.is_zero() {
+                        if let Some(entry) = heap.pop() {
+                            (entry.deliver)();
+                        }
+                        continue;
+                    }
+                    match rx.recv_timeout(timeout) {
+                        Ok(entry) => heap.push(entry),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            })
+            .expect("spawn chaos pump");
+        Arc::new(DelayPump {
+            tx: Mutex::new(Some(tx)),
+            handle: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// Schedule `deliver` to run after `delay`. Falls back to running it
+    /// inline if the pump has already shut down.
+    pub(crate) fn after(&self, delay: Duration, seq: u64, deliver: Box<dyn FnOnce() + Send>) {
+        let entry = PumpEntry {
+            due: Instant::now() + delay,
+            seq,
+            deliver,
+        };
+        let guard = self.tx.lock().unwrap();
+        match guard.as_ref() {
+            Some(tx) => {
+                if let Err(e) = tx.send(entry) {
+                    drop(guard);
+                    (e.0.deliver)();
+                }
+            }
+            None => {
+                drop(guard);
+                (entry.deliver)();
+            }
+        }
+    }
+
+    /// Stop the pump thread, discarding pending deliveries.
+    pub(crate) fn shutdown(&self) {
+        let tx = self.tx.lock().unwrap().take();
+        drop(tx);
+        if let Some(handle) = self.handle.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::DegradeSpec;
+    use crate::{NodeId, SimDuration};
+    use std::sync::atomic::AtomicU32;
+
+    fn node(i: u32) -> NodeId {
+        NodeId::from_index(i as usize)
+    }
+
+    #[test]
+    fn clean_until_armed_then_clean_after_restore() {
+        let chaos = ChaosState::new(7);
+        assert_eq!(chaos.decide(0, 1), ChaosDecision::Clean);
+        chaos.apply(FaultAction::Degrade(
+            node(0),
+            node(1),
+            DegradeSpec {
+                loss_pct: 100,
+                ..DegradeSpec::default()
+            },
+        ));
+        assert_eq!(chaos.decide(0, 1), ChaosDecision::Drop);
+        // Symmetric, like Block.
+        assert_eq!(chaos.decide(1, 0), ChaosDecision::Drop);
+        // Unrelated link unaffected.
+        assert_eq!(chaos.decide(0, 2), ChaosDecision::Clean);
+        chaos.apply(FaultAction::Restore(node(0), node(1)));
+        assert_eq!(chaos.decide(0, 1), ChaosDecision::Clean);
+        assert_eq!(chaos.active.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn corrupt_and_dup_and_delay_decisions() {
+        let chaos = ChaosState::new(7);
+        chaos.apply(FaultAction::Degrade(
+            node(0),
+            node(1),
+            DegradeSpec {
+                corrupt_pct: 100,
+                ..DegradeSpec::default()
+            },
+        ));
+        assert_eq!(chaos.decide(0, 1), ChaosDecision::Corrupt);
+        chaos.apply(FaultAction::Degrade(
+            node(0),
+            node(1),
+            DegradeSpec {
+                latency: SimDuration::from_micros(300),
+                dup_pct: 100,
+                ..DegradeSpec::default()
+            },
+        ));
+        match chaos.decide(0, 1) {
+            ChaosDecision::Deliver { delay, duplicate } => {
+                assert_eq!(delay, Duration::from_micros(300));
+                assert!(duplicate);
+            }
+            other => panic!("expected delayed duplicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_node_charges_per_message_delay() {
+        let chaos = ChaosState::new(7);
+        chaos.apply(FaultAction::Slow(node(2), 300));
+        match chaos.decide(2, 0) {
+            ChaosDecision::Deliver { delay, duplicate } => {
+                assert_eq!(delay, Duration::from_micros(200 * SLOW_STEP_US));
+                assert!(!duplicate);
+            }
+            other => panic!("expected slowed delivery, got {other:?}"),
+        }
+        // Inbound to the slow node is slowed too (its receive path is
+        // starved just like its send path).
+        assert!(matches!(chaos.decide(0, 2), ChaosDecision::Deliver { .. }));
+        chaos.apply(FaultAction::Slow(node(2), 100));
+        assert_eq!(chaos.decide(2, 0), ChaosDecision::Clean);
+    }
+
+    #[test]
+    fn stall_expires_lazily() {
+        let chaos = ChaosState::new(7);
+        chaos.apply(FaultAction::Stall(node(1), SimDuration::from_millis(5)));
+        match chaos.decide(1, 0) {
+            ChaosDecision::Deliver { delay, .. } => {
+                assert!(delay > Duration::ZERO && delay <= Duration::from_millis(5));
+            }
+            other => panic!("expected stalled delivery, got {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(6));
+        assert_eq!(chaos.decide(1, 0), ChaosDecision::Clean);
+        assert_eq!(chaos.active.load(Ordering::Acquire), 0);
+    }
+
+    #[test]
+    fn pump_fires_in_due_order_and_survives_shutdown() {
+        let pump = DelayPump::start();
+        let fired = Arc::new(AtomicU32::new(0));
+        let f1 = fired.clone();
+        let f2 = fired.clone();
+        pump.after(
+            Duration::from_millis(20),
+            1,
+            Box::new(move || {
+                f1.compare_exchange(1, 2, Ordering::SeqCst, Ordering::SeqCst)
+                    .unwrap();
+            }),
+        );
+        pump.after(
+            Duration::from_millis(2),
+            2,
+            Box::new(move || {
+                f2.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .unwrap();
+            }),
+        );
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while fired.load(Ordering::SeqCst) != 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        pump.shutdown();
+        // After shutdown, deliveries run inline rather than being lost.
+        let f3 = fired.clone();
+        pump.after(
+            Duration::from_millis(1),
+            3,
+            Box::new(move || {
+                f3.store(10, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(fired.load(Ordering::SeqCst), 10);
+    }
+}

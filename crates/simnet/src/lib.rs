@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod engine;
 mod event;
 mod faults;
@@ -71,7 +72,7 @@ pub use engine::{
     Actor, Context, DynActor, FlightHook, NetHook, NodeId, SelfInjector, SimNet, TimerId,
     TraceEvent, TraceOutcome,
 };
-pub use faults::{FaultAction, FaultPlan};
+pub use faults::{DegradeSpec, FaultAction, FaultPlan};
 pub use link::{LinkModel, PerfectLink, SwitchedLan};
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use substrate::{Spawner, Substrate};

@@ -302,6 +302,7 @@ pub struct Metrics {
     batch_flushes: u64,
     frames_coalesced: u64,
     backpressure_waits: u64,
+    decode_errors: u64,
     by_kind: BTreeMap<Cow<'static, str>, u64>,
 }
 
@@ -350,6 +351,14 @@ impl Metrics {
         self.backpressure_waits += 1;
     }
 
+    /// Counts one frame that arrived but failed to decode (corruption on
+    /// the wire, injected or real). The message is lost but the link and
+    /// the node survive; this counter is what makes that gray failure
+    /// observable.
+    pub(crate) fn on_decode_error(&mut self) {
+        self.decode_errors += 1;
+    }
+
     /// Total messages handed to the network (the paper's Figure 4 metric).
     pub fn messages_sent(&self) -> u64 {
         self.sent
@@ -396,6 +405,11 @@ impl Metrics {
         self.backpressure_waits
     }
 
+    /// Frames that arrived but failed to decode (corrupted on the wire).
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
     /// Messages sent, broken down by [`Wire::kind`]. Keys are `Cow` so
     /// dynamically-named kinds can be counted alongside static ones.
     ///
@@ -431,6 +445,7 @@ impl Metrics {
             batch_flushes: self.batch_flushes,
             frames_coalesced: self.frames_coalesced,
             backpressure_waits: self.backpressure_waits,
+            decode_errors: self.decode_errors,
             by_kind: self
                 .by_kind
                 .iter()
@@ -465,6 +480,8 @@ pub struct MetricsSnapshot {
     pub frames_coalesced: u64,
     /// Senders that blocked on a full link queue (backpressure events).
     pub backpressure_waits: u64,
+    /// Frames that arrived but failed to decode (corrupted on the wire).
+    pub decode_errors: u64,
     /// Per-kind send counts, ascending by kind name.
     pub by_kind: Vec<(String, u64)>,
 }
@@ -506,6 +523,7 @@ impl Encode for MetricsSnapshot {
         self.batch_flushes.encode_into(out);
         self.frames_coalesced.encode_into(out);
         self.backpressure_waits.encode_into(out);
+        self.decode_errors.encode_into(out);
         self.by_kind.encode_into(out);
     }
 
@@ -519,6 +537,7 @@ impl Encode for MetricsSnapshot {
             + self.batch_flushes.encoded_len()
             + self.frames_coalesced.encoded_len()
             + self.backpressure_waits.encoded_len()
+            + self.decode_errors.encoded_len()
             + self.by_kind.encoded_len()
     }
 }
@@ -535,6 +554,7 @@ impl Decode for MetricsSnapshot {
             batch_flushes: u64::decode_from(r)?,
             frames_coalesced: u64::decode_from(r)?,
             backpressure_waits: u64::decode_from(r)?,
+            decode_errors: u64::decode_from(r)?,
             by_kind: Vec::decode_from(r)?,
         })
     }
@@ -640,15 +660,19 @@ mod tests {
         m.on_batch_flush(8);
         m.on_batch_flush(1);
         m.on_backpressure_wait();
+        m.on_decode_error();
+        m.on_decode_error();
         assert_eq!(m.messages_sent(), 3);
         assert_eq!(m.bytes_sent(), 160);
         assert_eq!(m.batch_flushes(), 2);
         assert_eq!(m.frames_coalesced(), 9);
         assert_eq!(m.backpressure_waits(), 1);
+        assert_eq!(m.decode_errors(), 2);
         let snap = m.snapshot();
         assert_eq!(snap.batch_flushes, 2);
         assert_eq!(snap.frames_coalesced, 9);
         assert_eq!(snap.backpressure_waits, 1);
+        assert_eq!(snap.decode_errors, 2);
         assert_eq!(MetricsSnapshot::decode(&snap.encode()).unwrap(), snap);
         assert_eq!(m.sent_of_kind("election"), 2);
         assert_eq!(m.sent_of_kind("heartbeat"), 1);

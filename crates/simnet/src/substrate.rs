@@ -142,6 +142,10 @@ pub trait Substrate<M: Wire> {
     /// Unblocks traffic between `a` and `b`.
     fn unblock_link(&mut self, a: NodeId, b: NodeId);
 
+    /// Applies one [`FaultAction`] now — including the gray kinds
+    /// (degrade/restore/stall/slow) that have no dedicated method.
+    fn apply_action(&mut self, action: FaultAction);
+
     /// Schedules `plan` against this substrate: discrete events on the
     /// simulator, a real-time fault-driver thread on the live runtimes.
     /// Action times are measured from substrate start.
@@ -185,6 +189,10 @@ impl<M: Wire> Substrate<M> for SimNet<M> {
 
     fn unblock_link(&mut self, a: NodeId, b: NodeId) {
         SimNet::unblock_link(self, a, b);
+    }
+
+    fn apply_action(&mut self, action: FaultAction) {
+        SimNet::apply_action(self, action);
     }
 
     fn execute_plan(&mut self, plan: &FaultPlan) {
@@ -233,6 +241,10 @@ impl<M: Wire> Substrate<M> for ThreadNet<M> {
         ThreadNet::unblock_link(self, a, b);
     }
 
+    fn apply_action(&mut self, action: FaultAction) {
+        ThreadNet::apply_action(self, action);
+    }
+
     fn execute_plan(&mut self, plan: &FaultPlan) {
         ThreadNet::execute_plan(self, plan);
     }
@@ -277,6 +289,10 @@ impl<M: Wire> Substrate<M> for TcpNet<M> {
 
     fn unblock_link(&mut self, a: NodeId, b: NodeId) {
         TcpNet::unblock_link(self, a, b);
+    }
+
+    fn apply_action(&mut self, action: FaultAction) {
+        TcpNet::apply_action(self, action);
     }
 
     fn execute_plan(&mut self, plan: &FaultPlan) {

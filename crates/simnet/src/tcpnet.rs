@@ -29,6 +29,7 @@
 //! or fails to parse terminates that link's current socket (the TCP
 //! analogue of a broken peer) without panicking the node.
 
+use crate::chaos::{ChaosDecision, ChaosState, DelayPump};
 use crate::engine::FlightHook;
 use crate::engine::{Actor, NetHook, NodeId, TraceOutcome};
 use crate::metrics::{Metrics, MetricsSnapshot};
@@ -44,9 +45,10 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::io;
 use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use whisper_wire::{
     decode_clocked, read_frame_into, write_frame_vectored, write_frames_vectored, Decode, Encode,
 };
@@ -117,6 +119,9 @@ struct TcpOutbound<M> {
     /// Wall-clock origin shared with the node loops, so hook timestamps
     /// line up with actor-visible [`SimTime`]s.
     epoch: Instant,
+    chaos: Arc<ChaosState>,
+    pump: Arc<DelayPump>,
+    pump_seq: Arc<AtomicU64>,
 }
 
 impl<M> TcpOutbound<M> {
@@ -175,6 +180,26 @@ impl<M> TcpOutbound<M> {
     }
 }
 
+impl<M: Wire + Encode> TcpOutbound<M> {
+    /// Encodes `msg` into an owned frame with full send accounting
+    /// (metrics, net hook, flight stamp with trailing clock varint) — the
+    /// chaos paths use this because the frame outlives the send call.
+    fn encode_accounted(&self, from: NodeId, to: NodeId, msg: &M) -> Vec<u8> {
+        let mut frame = Vec::with_capacity(msg.wire_size() + 8);
+        msg.encode_into(&mut frame);
+        let body = frame.len();
+        self.metrics.lock().on_send(msg.kind(), body);
+        self.notify_hook(from, to, msg.kind(), body);
+        if self.flights.armed(from) {
+            let clock =
+                self.flights
+                    .on_send(from, self.now_ts(), to, msg.kind(), body, msg.correlation());
+            clock.encode_into(&mut frame);
+        }
+        frame
+    }
+}
+
 impl<M: Wire + Encode> Outbound<M> for TcpOutbound<M> {
     fn send(&self, from: NodeId, to: NodeId, msg: M) {
         if from == to {
@@ -228,6 +253,75 @@ impl<M: Wire + Encode> Outbound<M> for TcpOutbound<M> {
             }
             self.notify_drop(from, to, kind, TraceOutcome::DestinationDown);
             return;
+        }
+        // Gray degradation interposes here — after the fault gates, before
+        // any socket work — as a frame-level mangler: chaos loss never
+        // reaches the wire, corruption flips bits in the encoded frame so
+        // the receiver hits a *real* decode error, and delay/duplication
+        // park the finished frame on the pump thread. The healthy path
+        // costs one atomic load inside `decide`.
+        match self.chaos.decide(from.0, to.0) {
+            ChaosDecision::Clean => {}
+            ChaosDecision::Drop => {
+                let size = msg.wire_size();
+                let kind = msg.kind();
+                {
+                    let mut m = self.metrics.lock();
+                    m.on_send(kind, size);
+                    m.on_lost();
+                }
+                self.notify_hook(from, to, kind, size);
+                if self.flights.armed(from) {
+                    self.flights
+                        .on_send(from, self.now_ts(), to, kind, size, msg.correlation());
+                }
+                self.notify_drop(from, to, kind, TraceOutcome::Lost);
+                return;
+            }
+            ChaosDecision::Corrupt => {
+                let mut frame = self.encode_accounted(from, to, &msg);
+                // Damage both ends of the payload: the first byte carries
+                // the message tag, so the decode on the far side fails
+                // rather than resynthesizing a different valid message.
+                if let Some(first) = frame.first_mut() {
+                    *first ^= 0xFF;
+                }
+                if frame.len() > 1 {
+                    // Only on multi-byte frames: on a 1-byte payload this
+                    // would re-flip the same byte back to valid.
+                    let last = frame.len() - 1;
+                    frame[last] ^= 0xFF;
+                }
+                let slot = self.links.slot(from.index(), to.index());
+                let mut guard = slot.writer.lock();
+                if let Some(Link { stream, .. }) = guard.as_mut() {
+                    let _ = write_frame_vectored(stream, &frame);
+                }
+                self.drain_after(slot, guard);
+                return;
+            }
+            ChaosDecision::Deliver { delay, duplicate } => {
+                let frame = self.encode_accounted(from, to, &msg);
+                let copies = if duplicate { 2 } else { 1 };
+                for i in 0..copies {
+                    let links = Arc::clone(&self.links);
+                    let f = frame.clone();
+                    let (fi, ti) = (from.index(), to.index());
+                    let seq = self.pump_seq.fetch_add(1, Ordering::Relaxed);
+                    self.pump.after(
+                        delay + Duration::from_micros(200 * i as u64),
+                        seq,
+                        Box::new(move || {
+                            let slot = links.slot(fi, ti);
+                            let mut guard = slot.writer.lock();
+                            if let Some(Link { stream, .. }) = guard.as_mut() {
+                                let _ = write_frame_vectored(stream, &f);
+                            }
+                        }),
+                    );
+                }
+                return;
+            }
         }
         let slot = self.links.slot(from.index(), to.index());
         match slot.writer.try_lock() {
@@ -390,6 +484,7 @@ struct TcpFaultCtl<M> {
     links: Arc<LinkTable>,
     faults: Arc<FaultState>,
     flights: Arc<FlightTable>,
+    chaos: Arc<ChaosState>,
     epoch: Instant,
 }
 
@@ -415,6 +510,30 @@ impl<M> TcpFaultCtl<M> {
                     .on_fault(a, self.now_ts(), &format!("unblock {a} {b}"));
                 self.flights
                     .on_fault(b, self.now_ts(), &format!("unblock {a} {b}"));
+            }
+            FaultAction::Degrade(a, b, _) => {
+                self.chaos.apply(action);
+                self.flights
+                    .on_fault(a, self.now_ts(), &format!("degrade {a} {b}"));
+                self.flights
+                    .on_fault(b, self.now_ts(), &format!("degrade {a} {b}"));
+            }
+            FaultAction::Restore(a, b) => {
+                self.chaos.apply(action);
+                self.flights
+                    .on_fault(a, self.now_ts(), &format!("restore {a} {b}"));
+                self.flights
+                    .on_fault(b, self.now_ts(), &format!("restore {a} {b}"));
+            }
+            FaultAction::Stall(node, _) => {
+                self.chaos.apply(action);
+                self.flights
+                    .on_fault(node, self.now_ts(), &format!("stall {node}"));
+            }
+            FaultAction::Slow(node, _) => {
+                self.chaos.apply(action);
+                self.flights
+                    .on_fault(node, self.now_ts(), &format!("slow {node}"));
             }
         }
     }
@@ -503,6 +622,7 @@ pub struct TcpNetBuilder<M: Wire + Encode + Decode> {
     actors: Vec<Box<dyn Spawnable<M>>>,
     hook: Option<Box<dyn NetHook + Send>>,
     flights: Vec<(NodeId, Box<dyn FlightHook + Send>)>,
+    chaos_seed: u64,
 }
 
 impl<M: Wire + Encode + Decode> Default for TcpNetBuilder<M> {
@@ -518,7 +638,15 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
             actors: Vec::new(),
             hook: None,
             flights: Vec::new(),
+            chaos_seed: 0,
         }
+    }
+
+    /// Seeds the gray-failure RNG, making chaos soaks reproducible: the
+    /// same seed and plan produce the same per-frame loss/dup/corrupt
+    /// decisions (kernel scheduling still varies, as on any real network).
+    pub fn set_chaos_seed(&mut self, seed: u64) {
+        self.chaos_seed = seed;
     }
 
     /// Installs a network hook observing every send on the transport —
@@ -596,6 +724,12 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
             }
         }
 
+        let epoch = Instant::now();
+        let hook: Option<SharedHook> = self.hook.map(|h| Arc::new(Mutex::new(h)));
+        let flights = Arc::new(FlightTable::new(n, self.flights));
+        let chaos = Arc::new(ChaosState::new(self.chaos_seed));
+        let pump = DelayPump::start();
+
         let mut reader_ctrl: Vec<Option<Sender<TcpStream>>> = Vec::with_capacity(n * n);
         reader_ctrl.resize_with(n * n, || None);
         let mut reader_handles = Vec::with_capacity(initial.len());
@@ -605,7 +739,9 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
             reader_ctrl[from * n + to] = Some(ctrl_tx);
             let tx = senders[to].clone();
             let from_id = NodeId::from_index(from);
+            let to_id = NodeId::from_index(to);
             let link_metrics = Arc::clone(&metrics);
+            let link_flights = Arc::clone(&flights);
             reader_handles.push(std::thread::spawn(move || {
                 // One payload buffer per link, reused across sockets.
                 let mut payload = Vec::new();
@@ -619,9 +755,21 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
                         // clock existed decode with clock 0.
                         let (msg, clock) = match decode_clocked::<M>(&payload) {
                             Ok(pair) => pair,
-                            // Garbage on the wire kills the socket, never
-                            // the node.
-                            Err(_) => break,
+                            // Garbage on the wire is a counted, flight-
+                            // recorded link fault — never a teardown. The
+                            // length prefix has already advanced the stream
+                            // past the bad payload, so the next frame
+                            // parses cleanly; corruption injection is
+                            // observable rather than fatal.
+                            Err(_) => {
+                                link_metrics.lock().on_decode_error();
+                                link_flights.on_fault(
+                                    to_id,
+                                    SimTime::from_micros(epoch.elapsed().as_micros() as u64),
+                                    &format!("decode-error {from_id} {to_id}"),
+                                );
+                                continue;
+                            }
                         };
                         if tx.send(Ctl::Msg(from_id, msg, clock)).is_err() {
                             return;
@@ -631,10 +779,6 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
                 }
             }));
         }
-
-        let epoch = Instant::now();
-        let hook: Option<SharedHook> = self.hook.map(|h| Arc::new(Mutex::new(h)));
-        let flights = Arc::new(FlightTable::new(n, self.flights));
         let outbound = TcpOutbound {
             links: Arc::clone(&links),
             loopback: senders.clone(),
@@ -643,6 +787,9 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
             hook: hook.clone(),
             flights: Arc::clone(&flights),
             epoch,
+            chaos: Arc::clone(&chaos),
+            pump: Arc::clone(&pump),
+            pump_seq: Arc::new(AtomicU64::new(0)),
         };
         let shared = Shared {
             outbound: Arc::new(outbound) as Arc<dyn Outbound<M>>,
@@ -663,6 +810,7 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
                 links,
                 faults,
                 flights,
+                chaos,
                 epoch,
             }),
             handles,
@@ -671,6 +819,7 @@ impl<M: Wire + Encode + Decode> TcpNetBuilder<M> {
             hook,
             epoch,
             drivers: Vec::new(),
+            pump,
         })
     }
 }
@@ -725,6 +874,7 @@ pub struct TcpNet<M: Wire> {
     hook: Option<SharedHook>,
     epoch: Instant,
     drivers: Vec<FaultDriver>,
+    pump: Arc<DelayPump>,
 }
 
 impl<M: Wire> TcpNet<M> {
@@ -790,6 +940,12 @@ impl<M: Wire> TcpNet<M> {
         self.ctl.apply(FaultAction::Unblock(a, b));
     }
 
+    /// Applies any [`FaultAction`] — including the gray kinds
+    /// (degrade/restore/stall/slow) — immediately.
+    pub fn apply_action(&self, action: FaultAction) {
+        self.ctl.apply(action);
+    }
+
     /// Replays `plan` against the live mesh in real time: a fault-driver
     /// thread sleeps until each action's wall-clock offset (measured from
     /// network start) and applies it. Multiple plans may be in flight;
@@ -815,6 +971,9 @@ impl<M: Wire> TcpNet<M> {
         for d in self.drivers {
             d.stop();
         }
+        // Chaos-delayed frames still on the pump die with the network,
+        // like in-flight bytes on a torn-down socket.
+        self.pump.shutdown();
         for tx in &self.ctl.senders {
             let _ = tx.send(Ctl::Shutdown);
         }
@@ -915,6 +1074,76 @@ mod tests {
         // Byte accounting is the real encoded size: 1 varint byte per ping
         // here, not a hand-estimated constant.
         assert_eq!(m.bytes_sent(), 10);
+    }
+
+    #[test]
+    fn chaos_corrupt_counts_decode_error_and_link_survives() {
+        let a_hits = Arc::new(AtomicU32::new(0));
+        let b_hits = Arc::new(AtomicU32::new(0));
+        let mut b = TcpNetBuilder::new();
+        b.set_chaos_seed(42);
+        let na = b.add_node(Echo {
+            bounces: a_hits.clone(),
+        });
+        let nb = b.add_node(Echo {
+            bounces: b_hits.clone(),
+        });
+        let net = b.start().unwrap();
+        net.apply_action(FaultAction::Degrade(
+            na,
+            nb,
+            crate::DegradeSpec {
+                corrupt_pct: 100,
+                ..crate::DegradeSpec::default()
+            },
+        ));
+        // na's reply crosses the degraded link as a bit-flipped frame and
+        // fails to decode at nb — counted, not fatal.
+        net.inject(nb, na, M::Ping(1));
+        let m = Arc::clone(&net.metrics);
+        wait_until("decode error never counted", || {
+            m.lock().decode_errors() >= 1
+        });
+        assert_eq!(b_hits.load(Ordering::SeqCst), 0);
+
+        // The same socket keeps working once the degradation lifts: the
+        // length prefix resynchronized the stream past the bad payload.
+        net.apply_action(FaultAction::Restore(na, nb));
+        net.inject(nb, na, M::Ping(1));
+        let bh = Arc::clone(&b_hits);
+        wait_until("link did not survive the corrupted frame", || {
+            bh.load(Ordering::SeqCst) >= 1
+        });
+        net.shutdown();
+    }
+
+    #[test]
+    fn chaos_dup_delivers_frame_twice() {
+        let a_hits = Arc::new(AtomicU32::new(0));
+        let b_hits = Arc::new(AtomicU32::new(0));
+        let mut b = TcpNetBuilder::new();
+        b.set_chaos_seed(42);
+        let na = b.add_node(Echo {
+            bounces: a_hits.clone(),
+        });
+        let nb = b.add_node(Echo {
+            bounces: b_hits.clone(),
+        });
+        let net = b.start().unwrap();
+        net.apply_action(FaultAction::Degrade(
+            na,
+            nb,
+            crate::DegradeSpec {
+                dup_pct: 100,
+                ..crate::DegradeSpec::default()
+            },
+        ));
+        net.inject(nb, na, M::Ping(1));
+        let bh = Arc::clone(&b_hits);
+        wait_until("duplicate frame never arrived", || {
+            bh.load(Ordering::SeqCst) >= 2
+        });
+        net.shutdown();
     }
 
     #[test]
@@ -1090,6 +1319,9 @@ mod tests {
             hook: None,
             flights: Arc::new(FlightTable::new(2, Vec::new())),
             epoch: Instant::now(),
+            chaos: Arc::new(ChaosState::new(0)),
+            pump: DelayPump::start(),
+            pump_seq: Arc::new(AtomicU64::new(0)),
         };
         (out, reader)
     }

@@ -19,6 +19,7 @@
 //! [`Substrate::execute_plan`](crate::Substrate::execute_plan) produces
 //! comparable counters on every substrate.
 
+use crate::chaos::{ChaosDecision, ChaosState, DelayPump};
 use crate::engine::{
     Actor, Context, FlightHook, NetHook, NodeId, Op, SelfInjector, TimerId, TraceOutcome,
 };
@@ -32,7 +33,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::any::Any;
 use std::collections::{BinaryHeap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -200,6 +201,9 @@ pub(crate) struct ChannelOutbound<M> {
     hook: Option<SharedHook>,
     flights: Arc<FlightTable>,
     epoch: Instant,
+    chaos: Arc<ChaosState>,
+    pump: Arc<DelayPump>,
+    pump_seq: Arc<AtomicU64>,
 }
 
 impl<M> ChannelOutbound<M> {
@@ -246,6 +250,54 @@ impl<M: Wire> Outbound<M> for ChannelOutbound<M> {
                 );
             }
             return;
+        }
+        // Gray degradation, decided sender-side like the engine's chaos
+        // arm. The idle path costs one atomic load inside `decide`.
+        match self.chaos.decide(from.0, to.0) {
+            ChaosDecision::Clean => {}
+            ChaosDecision::Drop => {
+                self.metrics.lock().on_lost();
+                if let Some(hook) = &self.hook {
+                    hook.lock()
+                        .on_drop(self.hook_now(), from, to, kind, TraceOutcome::Lost);
+                }
+                return;
+            }
+            ChaosDecision::Corrupt => {
+                // No byte stage on channels: a corrupted message is a
+                // counted decode error at the receiver, same observable
+                // as tcpnet's real bit-flip.
+                self.metrics.lock().on_decode_error();
+                if let Some(hook) = &self.hook {
+                    hook.lock()
+                        .on_drop(self.hook_now(), from, to, kind, TraceOutcome::Lost);
+                }
+                self.flights
+                    .on_fault(to, self.hook_now(), &format!("decode-error {from} {to}"));
+                return;
+            }
+            ChaosDecision::Deliver { delay, duplicate } => {
+                let copies = if duplicate { 2 } else { 1 };
+                for i in 0..copies {
+                    let Some(tx) = self.senders.get(to.index()).cloned() else {
+                        return;
+                    };
+                    let metrics = Arc::clone(&self.metrics);
+                    let m = msg.clone();
+                    let seq = self.pump_seq.fetch_add(1, Ordering::Relaxed);
+                    let beat = delay + Duration::from_micros(200 * i as u64);
+                    self.pump.after(
+                        beat,
+                        seq,
+                        Box::new(move || {
+                            if tx.send(Ctl::Msg(from, m, clock)).is_ok() {
+                                metrics.lock().on_deliver();
+                            }
+                        }),
+                    );
+                }
+                return;
+            }
         }
         if let Some(tx) = self.senders.get(to.index()) {
             if tx.send(Ctl::Msg(from, msg, clock)).is_ok() {
@@ -494,6 +546,7 @@ struct ThreadFaultCtl<M> {
     senders: Vec<Sender<Ctl<M>>>,
     faults: Arc<FaultState>,
     flights: Arc<FlightTable>,
+    chaos: Arc<ChaosState>,
     epoch: Instant,
 }
 
@@ -536,6 +589,30 @@ impl<M> ThreadFaultCtl<M> {
                 self.flights
                     .on_fault(b, self.now(), &format!("unblock {a} {b}"));
             }
+            FaultAction::Degrade(a, b, _) => {
+                self.chaos.apply(action);
+                self.flights
+                    .on_fault(a, self.now(), &format!("degrade {a} {b}"));
+                self.flights
+                    .on_fault(b, self.now(), &format!("degrade {a} {b}"));
+            }
+            FaultAction::Restore(a, b) => {
+                self.chaos.apply(action);
+                self.flights
+                    .on_fault(a, self.now(), &format!("restore {a} {b}"));
+                self.flights
+                    .on_fault(b, self.now(), &format!("restore {a} {b}"));
+            }
+            FaultAction::Stall(node, _) => {
+                self.chaos.apply(action);
+                self.flights
+                    .on_fault(node, self.now(), &format!("stall {node}"));
+            }
+            FaultAction::Slow(node, _) => {
+                self.chaos.apply(action);
+                self.flights
+                    .on_fault(node, self.now(), &format!("slow {node}"));
+            }
         }
     }
 }
@@ -549,6 +626,7 @@ pub struct ThreadNetBuilder<M: Wire> {
     actors: Vec<Box<dyn Spawnable<M>>>,
     hook: Option<Box<dyn NetHook + Send>>,
     flights: Vec<(NodeId, Box<dyn FlightHook + Send>)>,
+    chaos_seed: u64,
 }
 
 impl<M: Wire> Default for ThreadNetBuilder<M> {
@@ -564,7 +642,16 @@ impl<M: Wire> ThreadNetBuilder<M> {
             actors: Vec::new(),
             hook: None,
             flights: Vec::new(),
+            chaos_seed: 0,
         }
+    }
+
+    /// Seeds the gray-failure RNG, making chaos soaks reproducible: the
+    /// same seed and plan produce the same per-message loss/dup/corrupt
+    /// decisions (wall-clock interleavings still vary, as on any live
+    /// substrate).
+    pub fn set_chaos_seed(&mut self, seed: u64) {
+        self.chaos_seed = seed;
     }
 
     /// Registers an actor and returns its future node id.
@@ -613,6 +700,8 @@ impl<M: Wire> ThreadNetBuilder<M> {
         }
         let epoch = Instant::now();
         let flights = Arc::new(FlightTable::new(n, self.flights));
+        let chaos = Arc::new(ChaosState::new(self.chaos_seed));
+        let pump = DelayPump::start();
         let outbound = ChannelOutbound {
             senders: senders.clone(),
             metrics: Arc::clone(&metrics),
@@ -620,6 +709,9 @@ impl<M: Wire> ThreadNetBuilder<M> {
             hook: self.hook.map(|h| Arc::new(Mutex::new(h))),
             flights: Arc::clone(&flights),
             epoch,
+            chaos: Arc::clone(&chaos),
+            pump: Arc::clone(&pump),
+            pump_seq: Arc::new(AtomicU64::new(0)),
         };
         let shared = Shared {
             outbound: Arc::new(outbound) as Arc<dyn Outbound<M>>,
@@ -638,12 +730,14 @@ impl<M: Wire> ThreadNetBuilder<M> {
                 senders,
                 faults,
                 flights,
+                chaos,
                 epoch,
             },
             handles,
             metrics,
             epoch,
             drivers: Vec::new(),
+            pump,
         }
     }
 }
@@ -684,6 +778,7 @@ pub struct ThreadNet<M: Wire> {
     metrics: Arc<Mutex<Metrics>>,
     epoch: Instant,
     drivers: Vec<FaultDriver>,
+    pump: Arc<DelayPump>,
 }
 
 impl<M: Wire> ThreadNet<M> {
@@ -740,6 +835,12 @@ impl<M: Wire> ThreadNet<M> {
         self.ctl.apply(FaultAction::Unblock(a, b));
     }
 
+    /// Applies any [`FaultAction`] — including the gray kinds
+    /// (degrade/restore/stall/slow) — immediately.
+    pub fn apply_action(&self, action: FaultAction) {
+        self.ctl.apply(action);
+    }
+
     /// Replays `plan` against the live network in real time: a fault-driver
     /// thread sleeps until each action's wall-clock offset (measured from
     /// network start) and applies it. Multiple plans may be in flight; all
@@ -751,6 +852,7 @@ impl<M: Wire> ThreadNet<M> {
             senders,
             faults,
             flights: Arc::clone(&self.ctl.flights),
+            chaos: Arc::clone(&self.ctl.chaos),
             epoch: self.ctl.epoch,
         };
         self.drivers.push(FaultDriver::spawn(
@@ -772,6 +874,9 @@ impl<M: Wire> ThreadNet<M> {
         for d in self.drivers {
             d.stop();
         }
+        // Chaos-delayed deliveries still in the pump die with the network,
+        // exactly like in-flight frames on a torn-down socket.
+        self.pump.shutdown();
         for tx in &self.ctl.senders {
             let _ = tx.send(Ctl::Shutdown);
         }
@@ -840,6 +945,93 @@ mod tests {
             10
         );
         assert_eq!(m.sent_of_kind("ping"), 10);
+    }
+
+    #[test]
+    fn chaos_degrade_drops_then_restore_heals() {
+        let a_hits = Arc::new(AtomicU32::new(0));
+        let b_hits = Arc::new(AtomicU32::new(0));
+        let mut b = ThreadNetBuilder::new();
+        b.set_chaos_seed(42);
+        let na = b.add_node(Echo {
+            bounces: a_hits.clone(),
+        });
+        let nb = b.add_node(Echo {
+            bounces: b_hits.clone(),
+        });
+        let net = b.start();
+        net.apply_action(FaultAction::Degrade(
+            na,
+            nb,
+            crate::DegradeSpec {
+                loss_pct: 100,
+                ..crate::DegradeSpec::default()
+            },
+        ));
+        // Injection bypasses the transport; na's *reply* crosses the
+        // degraded link and dies there.
+        net.inject(nb, na, M::Ping(3));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while net.metrics_snapshot().lost < 1 {
+            assert!(Instant::now() < deadline, "chaos loss never counted");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(b_hits.load(Ordering::SeqCst), 0);
+
+        net.apply_action(FaultAction::Restore(na, nb));
+        net.inject(nb, na, M::Ping(3));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while b_hits.load(Ordering::SeqCst) == 0 {
+            assert!(Instant::now() < deadline, "restored link never delivered");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn chaos_dup_delivers_twice_and_corrupt_counts_decode_error() {
+        let a_hits = Arc::new(AtomicU32::new(0));
+        let b_hits = Arc::new(AtomicU32::new(0));
+        let mut b = ThreadNetBuilder::new();
+        b.set_chaos_seed(42);
+        let na = b.add_node(Echo {
+            bounces: a_hits.clone(),
+        });
+        let nb = b.add_node(Echo {
+            bounces: b_hits.clone(),
+        });
+        let net = b.start();
+        net.apply_action(FaultAction::Degrade(
+            na,
+            nb,
+            crate::DegradeSpec {
+                dup_pct: 100,
+                ..crate::DegradeSpec::default()
+            },
+        ));
+        // na's reply Ping(0) is duplicated: nb hears it twice.
+        net.inject(nb, na, M::Ping(1));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while b_hits.load(Ordering::SeqCst) < 2 {
+            assert!(Instant::now() < deadline, "duplicate never delivered");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        net.apply_action(FaultAction::Degrade(
+            na,
+            nb,
+            crate::DegradeSpec {
+                corrupt_pct: 100,
+                ..crate::DegradeSpec::default()
+            },
+        ));
+        net.inject(nb, na, M::Ping(1));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while net.metrics_snapshot().decode_errors < 1 {
+            assert!(Instant::now() < deadline, "corruption never counted");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        net.shutdown();
     }
 
     #[test]

@@ -205,13 +205,13 @@ fn metrics_snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
             0u64..1 << 40,
             0u64..1 << 40,
         ),
-        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 40),
         proptest::collection::vec((name_strategy(), 0u64..1 << 40), 0..4),
     )
         .prop_map(
             |(
                 (sent, delivered, lost, to_down, partitioned, bytes_sent),
-                (batch_flushes, frames_coalesced, backpressure_waits),
+                (batch_flushes, frames_coalesced, backpressure_waits, decode_errors),
                 by_kind,
             )| {
                 MetricsSnapshot {
@@ -224,6 +224,7 @@ fn metrics_snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
                     batch_flushes,
                     frames_coalesced,
                     backpressure_waits,
+                    decode_errors,
                     by_kind,
                 }
             },
